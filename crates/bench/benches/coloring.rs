@@ -1,0 +1,45 @@
+//! Scaling of the conflict-graph coloring kernels (exact chromatic
+//! search vs. DSATUR).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vnet_graph::coloring::{dsatur_coloring, exact_coloring};
+use vnet_graph::{NodeId, UnGraph};
+
+fn random_ungraph(n: usize, density: f64, seed: u64) -> UnGraph<()> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UnGraph::new();
+    let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            if rng.gen_bool(density) {
+                g.add_edge(ns[i], ns[j]);
+            }
+        }
+    }
+    g
+}
+
+fn bench_coloring(c: &mut Criterion) {
+    let mut grp = c.benchmark_group("coloring");
+    for n in [8usize, 12, 16, 20] {
+        let g = random_ungraph(n, 0.3, 5 + n as u64);
+        grp.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
+            b.iter(|| black_box(exact_coloring(g)))
+        });
+        grp.bench_with_input(BenchmarkId::new("dsatur", n), &g, |b, g| {
+            b.iter(|| black_box(dsatur_coloring(g)))
+        });
+    }
+    for n in [64usize, 128] {
+        let g = random_ungraph(n, 0.2, 11 + n as u64);
+        grp.bench_with_input(BenchmarkId::new("dsatur", n), &g, |b, g| {
+            b.iter(|| black_box(dsatur_coloring(g)))
+        });
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_coloring);
+criterion_main!(benches);

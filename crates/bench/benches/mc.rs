@@ -1,0 +1,50 @@
+//! Model-checker throughput: states explored per unit time on small
+//! closed configurations, and the directed Figure-3 deadlock search.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use vnet_mc::{explore, InjectionBudget, McConfig, VnMap};
+use vnet_protocol::protocols;
+
+fn bench_small_complete(c: &mut Criterion) {
+    let spec = protocols::msi_blocking_cache();
+    let mut cfg = McConfig::general(&spec);
+    cfg.n_caches = 2;
+    cfg.n_addrs = 1;
+    cfg.n_dirs = 1;
+    cfg.budget = InjectionBudget::PerCache(1);
+    c.bench_function("mc/msi_2c_1a_complete", |b| {
+        b.iter(|| black_box(explore(&spec, &cfg)))
+    });
+}
+
+fn bench_figure3_deadlock_search(c: &mut Criterion) {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = McConfig::figure3(&spec);
+    let mut group = c.benchmark_group("mc");
+    group.sample_size(10);
+    group.bench_function("figure3_deadlock_search", |b| {
+        b.iter(|| black_box(explore(&spec, &cfg)))
+    });
+    group.finish();
+}
+
+fn bench_clean_bounded(c: &mut Criterion) {
+    let spec = protocols::msi_nonblocking_cache();
+    let outcome = vnet_core::minimize_vns(&spec);
+    let vns = VnMap::from_assignment(outcome.assignment().unwrap(), spec.messages().len());
+    let cfg = McConfig::figure3(&spec).with_vns(vns);
+    let mut group = c.benchmark_group("mc");
+    group.sample_size(10);
+    group.bench_function("figure3_clean_complete", |b| {
+        b.iter(|| black_box(explore(&spec, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_small_complete,
+    bench_figure3_deadlock_search,
+    bench_clean_bounded
+);
+criterion_main!(benches);

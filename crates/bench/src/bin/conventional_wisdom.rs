@@ -1,0 +1,63 @@
+//! Regenerates the paper's **§III** argument as a measured table: the
+//! textbook rule ("one VN per message class, count the longest chain")
+//! is *neither necessary nor sufficient*.
+//!
+//! For every protocol: the textbook VN count, whether the textbook
+//! mapping actually satisfies the deadlock-freedom condition (Eq. 4),
+//! and the true minimum from the paper's algorithm.
+
+use vnet_core::assignment::certify;
+use vnet_core::textbook::{textbook_assignment, textbook_vn_count};
+use vnet_core::waits::compute_waits;
+use vnet_core::{minimize_vns, VnOutcome};
+use vnet_protocol::protocols;
+
+fn main() {
+    println!("Conventional wisdom vs. this work (paper §III)\n");
+    println!(
+        "{:<26} {:>9} {:>11} {:>8}   verdict on the textbook rule",
+        "protocol", "textbook", "sufficient?", "minimum"
+    );
+
+    let mut insufficient = 0;
+    let mut wasteful = 0;
+    for spec in protocols::all() {
+        let tb = textbook_vn_count(&spec);
+        let waits = compute_waits(&spec);
+        let tb_ok = certify(&spec, &waits, &textbook_assignment(&spec));
+        let outcome = minimize_vns(&spec);
+        let (min_text, verdict) = match &outcome {
+            VnOutcome::Class2(_) => {
+                insufficient += 1;
+                ("-".to_string(), "NOT SUFFICIENT: no VN count avoids deadlock")
+            }
+            VnOutcome::Assigned { assignment, .. } => {
+                let min = assignment.n_vns();
+                let v = if min < tb {
+                    wasteful += 1;
+                    "NOT NECESSARY: over-provisioned"
+                } else {
+                    "coincides"
+                };
+                (min.to_string(), v)
+            }
+        };
+        println!(
+            "{:<26} {:>9} {:>11} {:>8}   {}",
+            spec.name(),
+            tb,
+            if tb_ok { "yes" } else { "NO" },
+            min_text,
+            verdict
+        );
+        // The rule must fail exactly on the Class-2 protocols.
+        assert_eq!(tb_ok, !matches!(outcome, VnOutcome::Class2(_)));
+    }
+
+    println!(
+        "\nsummary: the textbook rule is insufficient for {insufficient} protocols \
+         (they deadlock at any VN count)\n         and over-provisions {wasteful} \
+         (including CHI: 4 prescribed, 2 needed)."
+    );
+    assert!(insufficient >= 4 && wasteful >= 3);
+}

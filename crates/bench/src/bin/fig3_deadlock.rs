@@ -1,0 +1,45 @@
+//! Regenerates the paper's **Figure 3**: the multi-directory deadlock of
+//! the textbook MSI protocol — two caches each stalling a Fwd-GetM for
+//! one block with the other block's Fwd-GetM stuck behind it.
+//!
+//! The checker drives the figure's exact workload (C1 owns X, C2 owns Y;
+//! then C1 writes Y, C2 writes X, C3 writes both) and prints the
+//! shortest trace to the standoff plus the final wedged state.
+
+use vnet_mc::{explore, McConfig, Verdict};
+use vnet_protocol::protocols;
+
+fn main() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = McConfig::figure3(&spec);
+
+    println!("Figure 3 — deadlock example ({})", spec.name());
+    println!(
+        "system: {} caches, {} addresses, {} directories; textbook 3-VN mapping\n",
+        cfg.n_caches, cfg.n_addrs, cfg.n_dirs
+    );
+    println!("workload (in order): C1 St X, C2 St Y  [setup: the figure's initial state]");
+    println!("                     C1 St Y, C2 St X  [figure time 1]");
+    println!("                     C3 St Y, C3 St X  [figure time 2]\n");
+
+    match explore(&spec, &cfg) {
+        Verdict::Deadlock { trace, depth, stats } => {
+            println!(
+                "DEADLOCK found at BFS depth {depth} ({} states explored).\n",
+                stats.states
+            );
+            println!("as a message-sequence chart (* = core op, ! = processed,");
+            println!("arrows = network delivery; undelivered forwards stay queued):\n");
+            println!("{}", trace.sequence_chart(&cfg));
+            println!("full trace:");
+            println!("{}", trace.display(&spec, &cfg));
+            println!(
+                "Reading the final state: each of C1/C2 stalls a Fwd-GetM for the\n\
+                 block it is acquiring, while the Fwd-GetM it must serve (for the\n\
+                 block it owns) is queued *behind* the stalled one in the same VN\n\
+                 FIFO — the circular wait of Figure 3."
+            );
+        }
+        other => println!("unexpected: {}", other.summary()),
+    }
+}

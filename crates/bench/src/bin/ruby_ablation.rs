@@ -1,0 +1,73 @@
+//! Ablation for the paper's §VIII discussion of gem5-Ruby-style relaxed
+//! FIFOs: a blocked head-of-queue message is recirculated to the tail,
+//! letting younger messages bypass it.
+//!
+//! Measured claims:
+//!
+//! * strict FIFOs with a single VN wedge under contention (the VN
+//!   deadlock the paper's algorithm exists to prevent);
+//! * recirculation lets even a single VN survive — VNs and relaxed
+//!   FIFOs are substitutes for *deadlock*;
+//! * but recirculation costs latency (messages take extra laps) — and,
+//!   as the paper notes, it forfeits the point-to-point ordering many
+//!   protocols rely on, which is why VNs remain the deployed mechanism.
+
+use vnet_mc::VnMap;
+use vnet_protocol::protocols;
+use vnet_sim::sim::minimal_vn_map;
+use vnet_sim::{SimConfig, Simulator, Topology, Workload};
+
+fn main() {
+    let spec = protocols::msi_nonblocking_cache();
+    let topo = Topology::Mesh(3, 2);
+    let n_addrs = 2;
+    let n_dirs = 2;
+
+    println!("Ruby-style recirculation vs. virtual networks ({})\n", spec.name());
+    println!(
+        "{:<34} {:>10} {:>10} {:>10} {:>8}",
+        "configuration", "completed", "cycles", "avg lat", "wedged"
+    );
+
+    let single = VnMap::single(spec.messages().len());
+    let minimal = minimal_vn_map(&spec).expect("Class 3");
+    let configs: Vec<(&str, SimConfig)> = vec![
+        (
+            "1 VN, strict FIFOs",
+            SimConfig::new(&spec, topo, n_addrs, n_dirs).with_vns(single.clone()),
+        ),
+        (
+            "1 VN, recirculating FIFOs",
+            SimConfig::new(&spec, topo, n_addrs, n_dirs)
+                .with_vns(single)
+                .with_recirculation(),
+        ),
+        (
+            "2 VNs (derived), strict FIFOs",
+            SimConfig::new(&spec, topo, n_addrs, n_dirs).with_vns(minimal),
+        ),
+    ];
+
+    let mut results = Vec::new();
+    for (name, cfg) in configs {
+        let w = Workload::uniform_random(cfg.n_caches(), n_addrs, 40, 23);
+        let r = Simulator::new(spec.clone(), cfg).run(w, 500_000);
+        println!(
+            "{:<34} {:>10} {:>10} {:>10.1} {:>8}",
+            name, r.completed_transactions, r.cycles, r.avg_latency, r.deadlocked
+        );
+        assert_eq!(r.model_error, None, "{name}: {:?}", r.model_error);
+        results.push((name, r));
+    }
+
+    assert!(results[0].1.deadlocked, "strict 1 VN must wedge");
+    assert!(!results[1].1.deadlocked, "recirculation must not wedge");
+    assert!(!results[2].1.deadlocked, "derived 2 VNs must not wedge");
+
+    println!(
+        "\nshape: recirculation and VNs are substitutes for deadlock avoidance,\n\
+         but recirculation gives up point-to-point ordering (§VIII) — which is\n\
+         why provisioned VNs, sized by the paper's algorithm, stay the\n\
+         deployed mechanism."
+    );
+}

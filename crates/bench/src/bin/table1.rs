@@ -1,0 +1,60 @@
+//! Regenerates the static-analysis half of the paper's **Table I**:
+//! for each evaluated protocol, its class and (for Class 3) the minimum
+//! VN count and message→VN mapping.
+//!
+//! Expected output shape (matching the paper):
+//! experiments (1) → 1 VN; (2), (6) → Class 2; (4), (5) → 2 VNs.
+
+use vnet_core::report::{full_report, table1_summary};
+use vnet_core::{analyze, ProtocolClass};
+use vnet_protocol::protocols;
+
+fn main() {
+    println!("Table I — static analysis (this work's algorithm)\n");
+    println!("{}", table1_summary());
+
+    // The paper's expectations per experiment, asserted so the binary is
+    // also a self-check.
+    let expected = [
+        ("MOSI-nonblocking-cache", ProtocolClass::Class3 { min_vns: 1 }),
+        ("MOESI-nonblocking-cache", ProtocolClass::Class3 { min_vns: 1 }),
+        ("MOSI-blocking-cache", ProtocolClass::Class2),
+        ("MOESI-blocking-cache", ProtocolClass::Class2),
+        ("CHI", ProtocolClass::Class3 { min_vns: 2 }),
+        ("MSI-nonblocking-cache", ProtocolClass::Class3 { min_vns: 2 }),
+        ("MESI-nonblocking-cache", ProtocolClass::Class3 { min_vns: 2 }),
+        ("MSI-blocking-cache", ProtocolClass::Class2),
+        ("MESI-blocking-cache", ProtocolClass::Class2),
+    ];
+    let mut all_match = true;
+    for (name, want) in expected {
+        let spec = protocols::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .expect("protocol exists");
+        let got = analyze(&spec).class();
+        let ok = got == want;
+        all_match &= ok;
+        println!(
+            "  {:<26} paper: {:<32} measured: {:<32} {}",
+            name,
+            want.to_string(),
+            got.to_string(),
+            if ok { "MATCH" } else { "MISMATCH" }
+        );
+    }
+    println!(
+        "\n{}",
+        if all_match {
+            "All verdicts match Table I."
+        } else {
+            "MISMATCHES FOUND — see above."
+        }
+    );
+
+    if std::env::args().any(|a| a == "--verbose") {
+        for spec in protocols::all() {
+            println!("\n{}", full_report(&analyze(&spec)));
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! The §VI-C3 implication, measured: sweep the number of VNs provisioned
+//! for a Class-3 protocol and report buffer cost and behavior.
+//!
+//! * Below the minimum (1 VN for CHI / MSI-nonblocking): the simulator
+//!   wedges under a write storm — the VN deadlock is real.
+//! * At the minimum (2 VNs, derived mapping): deadlock-free.
+//! * Above the minimum (3–4 VNs, type-split mappings): still
+//!   deadlock-free, but buffer cost grows linearly for nothing.
+
+use vnet_mc::VnMap;
+use vnet_protocol::{protocols, MsgType, ProtocolSpec};
+use vnet_sim::sim::minimal_vn_map;
+use vnet_sim::{SimConfig, Simulator, Topology, Workload};
+
+fn mapping_with(spec: &ProtocolSpec, n: usize) -> VnMap {
+    // 1 = everything together; 2 = derived minimum; 3 = req/fwd/resp;
+    // 4 = req/fwd/ctrl/data (CHI's own split).
+    match n {
+        1 => VnMap::single(spec.messages().len()),
+        2 => minimal_vn_map(spec).expect("Class 3 protocol"),
+        3 => VnMap::textbook(spec),
+        _ => VnMap::from_vns(
+            spec.messages()
+                .iter()
+                .map(|m| match m.mtype {
+                    MsgType::Request => 0,
+                    MsgType::FwdRequest => 1,
+                    MsgType::CtrlResponse => 2,
+                    MsgType::DataResponse => 3,
+                })
+                .collect(),
+        ),
+    }
+}
+
+fn main() {
+    let topo = Topology::Mesh(3, 2);
+    let n_addrs = 2;
+    let n_dirs = 2;
+
+    for spec in [protocols::chi(), protocols::msi_nonblocking_cache()] {
+        println!("\n=== {} on 3x2 mesh, mixed read/write contention ===", spec.name());
+        println!(
+            "{:>4} {:>12} {:>10} {:>10} {:>10} {:>11}",
+            "VNs", "buffer cost", "cycles", "completed", "avg lat", "deadlocked"
+        );
+        for n in 1..=4 {
+            let vns = mapping_with(&spec, n);
+            let cfg = SimConfig::new(&spec, topo, n_addrs, n_dirs).with_vns(vns);
+            let cost = cfg.buffer_cost();
+            // A mixed read/write workload: writes alone never enter MSI's
+            // S_D (its only directory stall), so reads are needed to
+            // exercise the queueing that VN separation exists for.
+            let w = Workload::uniform_random(cfg.n_caches(), n_addrs, 40, 23);
+            let r = Simulator::new(spec.clone(), cfg).run(w, 1_000_000);
+            println!(
+                "{:>4} {:>12} {:>10} {:>10} {:>10.1} {:>11}",
+                r.n_vns, cost, r.cycles, r.completed_transactions, r.avg_latency, r.deadlocked
+            );
+            assert!(
+                r.model_error.is_none(),
+                "{}: {:?}",
+                spec.name(),
+                r.model_error
+            );
+            if n == 1 {
+                assert!(
+                    r.deadlocked,
+                    "{}: a single VN must wedge under contention",
+                    spec.name()
+                );
+            } else {
+                assert!(!r.deadlocked, "{}: {n} VNs must be clean", spec.name());
+            }
+        }
+        println!(
+            "shape: deadlock at 1 VN; clean from the derived minimum (2) upward;\n\
+             buffer cost grows linearly with VNs with no behavioral benefit."
+        );
+    }
+}

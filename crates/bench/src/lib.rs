@@ -1,0 +1,135 @@
+//! # vnet-bench
+//!
+//! The reproduction harness: one binary per table/figure of the paper
+//! plus Criterion benches for the algorithm, its graph kernels, the
+//! model checker, and the NoC simulator.
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I, static-analysis half (class / min VNs / mapping per protocol) |
+//! | `table1_mc` | Table I, model-checking half (deadlock / no-deadlock per cell) |
+//! | `fig1_2_tables` | Figures 1–2 (the textbook MSI controller tables) |
+//! | `fig3_deadlock` | Figure 3 (the multi-directory Fwd-GetM standoff, with trace) |
+//! | `fig4_icn_demo` | Figure 4 (the two-global-buffer ICN model's behaviors) |
+//! | `fig5_chi` | Figure 5 / Eq. 7 (CHI causes & waits relations) |
+//! | `vn_cost_sweep` | §VI-C3 (buffer cost vs. VN count, measured in simulation) |
+//! | `mc_depth_series` | §VII-D (level-by-level model-checking progress) |
+//! | `run_all` | the artifact's run-all script (writes `vn_results.csv`) |
+
+#![forbid(unsafe_code)]
+
+use vnet_protocol::ProtocolSpec;
+
+/// Renders one controller table as an ASCII grid (rows = states,
+/// columns = triggers), in the spirit of the Primer figures.
+pub fn render_controller_table(
+    spec: &ProtocolSpec,
+    kind: vnet_protocol::ControllerKind,
+) -> String {
+    use std::collections::BTreeSet;
+    use vnet_protocol::{Cell, Event, Guard};
+
+    let ctrl = spec.controller(kind);
+    // Column set: every trigger that appears anywhere in the table.
+    let mut triggers: BTreeSet<vnet_protocol::Trigger> = BTreeSet::new();
+    for (_, t, _) in ctrl.iter() {
+        triggers.insert(*t);
+    }
+    let triggers: Vec<_> = triggers.into_iter().collect();
+    let col_name = |t: &vnet_protocol::Trigger| -> String {
+        match t.event {
+            Event::Core(op) => op.to_string(),
+            Event::Msg(m) => {
+                let base = spec.message_name(m).to_string();
+                if t.guard == Guard::Always {
+                    base
+                } else {
+                    format!("{base}[{}]", t.guard)
+                }
+            }
+        }
+    };
+    let cell_text = |cell: &Cell, ctrl: &vnet_protocol::ControllerSpec| -> String {
+        match cell {
+            Cell::Stall => "stall".to_string(),
+            Cell::Entry(e) => {
+                let mut parts = Vec::new();
+                for (m, to) in e.sends() {
+                    parts.push(format!("{}>{}", spec.message_name(m), to));
+                }
+                if let Some(n) = e.next {
+                    parts.push(format!("/{}", ctrl.state(n).name));
+                }
+                if parts.is_empty() {
+                    "hit".to_string()
+                } else {
+                    parts.join(" ")
+                }
+            }
+        }
+    };
+
+    let mut widths: Vec<usize> = triggers.iter().map(|t| col_name(t).len()).collect();
+    let state_w = ctrl
+        .states()
+        .iter()
+        .map(|s| s.name.len())
+        .max()
+        .unwrap_or(5)
+        .max(5);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (si, sdef) in ctrl.states().iter().enumerate() {
+        let mut row = vec![sdef.name.clone()];
+        for (ti, t) in triggers.iter().enumerate() {
+            let text = ctrl
+                .cell(vnet_protocol::StateId(si), *t)
+                .map(|c| cell_text(c, ctrl))
+                .unwrap_or_default();
+            widths[ti] = widths[ti].max(text.len());
+            row.push(text);
+        }
+        rows.push(row);
+    }
+
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    let _ = write!(out, "{:<state_w$}", "state");
+    for (ti, t) in triggers.iter().enumerate() {
+        let _ = write!(out, " | {:<w$}", col_name(t), w = widths[ti]);
+    }
+    out.push('\n');
+    let total: usize = state_w + widths.iter().map(|w| w + 3).sum::<usize>();
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        let _ = write!(out, "{:<state_w$}", row[0]);
+        for (ti, cell) in row[1..].iter().enumerate() {
+            let _ = write!(out, " | {:<w$}", cell, w = widths[ti]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::{protocols, ControllerKind};
+
+    #[test]
+    fn renders_msi_cache_table() {
+        let spec = protocols::msi_blocking_cache();
+        let text = render_controller_table(&spec, ControllerKind::Cache);
+        assert!(text.contains("IM_AD"));
+        assert!(text.contains("stall"));
+        assert!(text.contains("GetS>Dir"));
+    }
+
+    #[test]
+    fn renders_directory_table() {
+        let spec = protocols::msi_blocking_cache();
+        let text = render_controller_table(&spec, ControllerKind::Directory);
+        assert!(text.contains("S_D"));
+        assert!(text.contains("Fwd-GetS>Owner"));
+    }
+}

@@ -1,0 +1,117 @@
+//! One-call analysis entry point.
+
+use crate::assignment::{minimize_vns_from_relations, VnOutcome};
+use crate::causes::compute_causes;
+use crate::classify::ProtocolClass;
+use crate::queues::compute_queues;
+use crate::relation::Relation;
+use crate::stalls::{compute_stalls, StallSite};
+use crate::waits::waits_from;
+use vnet_protocol::ProtocolSpec;
+
+/// Everything the analysis derives from a protocol: the three static
+/// relations, the stall sites, and the minimization outcome.
+#[derive(Debug)]
+pub struct AnalysisReport {
+    spec: ProtocolSpec,
+    causes: Relation,
+    stalls: Relation,
+    stall_sites: Vec<StallSite>,
+    waits: Relation,
+    outcome: VnOutcome,
+}
+
+impl AnalysisReport {
+    /// The analyzed protocol.
+    pub fn spec(&self) -> &ProtocolSpec {
+        &self.spec
+    }
+
+    /// The `causes` relation (§IV-A).
+    pub fn causes(&self) -> &Relation {
+        &self.causes
+    }
+
+    /// The `stalls` relation (§IV-C).
+    pub fn stalls(&self) -> &Relation {
+        &self.stalls
+    }
+
+    /// The individual stall sites behind [`AnalysisReport::stalls`].
+    pub fn stall_sites(&self) -> &[StallSite] {
+        &self.stall_sites
+    }
+
+    /// The `waits` relation (Eq. 3).
+    pub fn waits(&self) -> &Relation {
+        &self.waits
+    }
+
+    /// The conservative single-VN `queues` relation (§IV-E).
+    pub fn queues_single_vn(&self) -> Relation {
+        compute_queues(&self.spec, None)
+    }
+
+    /// The minimization outcome (assignment or Class-2 evidence).
+    pub fn outcome(&self) -> &VnOutcome {
+        &self.outcome
+    }
+
+    /// The static protocol class.
+    pub fn class(&self) -> ProtocolClass {
+        ProtocolClass::from_outcome(&self.outcome)
+    }
+}
+
+/// Runs the full static pipeline on a protocol.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::analyze;
+/// use vnet_protocol::protocols;
+///
+/// let report = analyze(&protocols::msi_nonblocking_cache());
+/// assert_eq!(report.outcome().min_vns(), Some(2));
+/// assert!(!report.waits().is_empty());
+/// ```
+pub fn analyze(spec: &ProtocolSpec) -> AnalysisReport {
+    let causes = compute_causes(spec);
+    let (stalls, stall_sites) = compute_stalls(spec);
+    let waits = waits_from(&stalls, &causes);
+    let outcome = minimize_vns_from_relations(spec, &waits);
+    AnalysisReport {
+        spec: spec.clone(),
+        causes,
+        stalls,
+        stall_sites,
+        waits,
+        outcome,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn report_exposes_all_relations() {
+        let r = analyze(&protocols::msi_blocking_cache());
+        assert!(!r.causes().is_empty());
+        assert!(!r.stalls().is_empty());
+        assert!(!r.waits().is_empty());
+        assert!(!r.stall_sites().is_empty());
+        assert!(!r.queues_single_vn().is_empty());
+        assert_eq!(r.class(), ProtocolClass::Class2);
+        assert_eq!(r.spec().name(), "MSI-blocking-cache");
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let a = analyze(&protocols::chi());
+        let b = analyze(&protocols::chi());
+        assert_eq!(a.outcome(), b.outcome());
+        assert_eq!(a.waits(), b.waits());
+    }
+}

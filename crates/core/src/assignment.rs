@@ -1,0 +1,462 @@
+//! The VN-minimization algorithm (paper §VI-A) and its certifier.
+//!
+//! Pipeline: build the condition graph under a single-VN assumption →
+//! weighted minimum feedback arc set (Eq. 6) → translate the selected
+//! edges back to their `qs(e)` `queues` pairs → color the resulting
+//! conflict graph → the chromatic number is the number of VNs and the
+//! coloring is the mapping.
+//!
+//! Two hardenings beyond the paper's description:
+//!
+//! * **Class-2 detection is done twice** — directly (a cycle in `waits`,
+//!   §V-E) and through the algorithm (a FAS edge with empty `qs`,
+//!   §VI-A(b)); they must agree.
+//! * **The result is certified, not trusted**: the `queues` relation is
+//!   re-derived under the produced assignment and Eq. 4 is re-checked.
+//!   If a cycle survives (possible in principle, because `qs` only
+//!   covers *minimal* witness paths), its `queues` steps are added to
+//!   the conflict graph and the coloring is repeated. The loop
+//!   terminates because the conflict graph grows monotonically within a
+//!   finite pair set; in practice the first coloring already certifies.
+
+use crate::causes::compute_causes;
+use crate::deadlock::{build_condition_graph, find_eq4_cycle_edges, StepKind};
+use crate::queues::compute_queues;
+use crate::relation::Relation;
+use crate::stalls::compute_stalls;
+use crate::waits::waits_from;
+use std::collections::BTreeSet;
+use vnet_graph::coloring::exact_coloring;
+use vnet_graph::fas::minimum_feedback_arc_set;
+use vnet_graph::UnGraph;
+use vnet_protocol::{MsgId, MsgType, ProtocolSpec};
+
+/// A mapping from message names to virtual networks.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VnAssignment {
+    vn_of: Vec<usize>,
+    n_vns: usize,
+}
+
+impl VnAssignment {
+    /// Builds an assignment from a per-message VN vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vn_of` is empty but VN indices are not dense from 0.
+    pub fn from_vns(vn_of: Vec<usize>) -> Self {
+        let n_vns = vn_of.iter().max().map_or(1, |&m| m + 1);
+        VnAssignment { vn_of, n_vns }
+    }
+
+    /// The single-VN assignment for `n` messages.
+    pub fn single(n: usize) -> Self {
+        VnAssignment {
+            vn_of: vec![0; n],
+            n_vns: 1,
+        }
+    }
+
+    /// One VN per message name (the Class-2 thought experiment).
+    pub fn one_per_message(n: usize) -> Self {
+        VnAssignment {
+            vn_of: (0..n).collect(),
+            n_vns: n.max(1),
+        }
+    }
+
+    /// The VN of message `m`.
+    pub fn vn_of(&self, m: MsgId) -> usize {
+        self.vn_of[m.0]
+    }
+
+    /// Number of VNs.
+    pub fn n_vns(&self) -> usize {
+        self.n_vns
+    }
+
+    /// The messages mapped to `vn`.
+    pub fn messages_in(&self, vn: usize) -> impl Iterator<Item = MsgId> + '_ {
+        self.vn_of
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &v)| v == vn)
+            .map(|(i, _)| MsgId(i))
+    }
+
+    /// Renders the mapping with message names, one VN per line.
+    pub fn display(&self, spec: &ProtocolSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for vn in 0..self.n_vns {
+            let names: Vec<&str> = self
+                .messages_in(vn)
+                .map(|m| spec.message_name(m))
+                .collect();
+            let _ = writeln!(out, "  VN{vn}: {{{}}}", names.join(", "));
+        }
+        out
+    }
+}
+
+/// Evidence that a protocol is Class 2.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Class2Evidence {
+    /// A cycle in the `waits` relation (message names repeat-free; the
+    /// last element waits for the first).
+    pub waits_cycle: Vec<MsgId>,
+}
+
+/// The result of VN minimization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VnOutcome {
+    /// The protocol has a `waits` cycle: no per-message-name VN
+    /// assignment can prevent deadlock (paper §V-E).
+    Class2(Class2Evidence),
+    /// A minimal assignment was found and certified against Eq. 4.
+    Assigned {
+        /// The message → VN mapping.
+        assignment: VnAssignment,
+        /// The conflict pairs the coloring separated.
+        conflict_pairs: BTreeSet<(MsgId, MsgId)>,
+        /// Total Eq.-6 weight of the selected feedback arc set.
+        fas_weight: u128,
+        /// How many certify-and-recolor rounds ran (0 = first coloring
+        /// was already sound).
+        recolor_rounds: usize,
+    },
+}
+
+impl VnOutcome {
+    /// The number of VNs, or `None` for Class 2.
+    pub fn min_vns(&self) -> Option<usize> {
+        match self {
+            VnOutcome::Class2(_) => None,
+            VnOutcome::Assigned { assignment, .. } => Some(assignment.n_vns()),
+        }
+    }
+
+    /// The assignment, or `None` for Class 2.
+    pub fn assignment(&self) -> Option<&VnAssignment> {
+        match self {
+            VnOutcome::Class2(_) => None,
+            VnOutcome::Assigned { assignment, .. } => Some(assignment),
+        }
+    }
+}
+
+/// Checks Eq. 4 for `spec` under `assignment`: `true` iff the protocol
+/// cannot deadlock with that mapping (per the paper's sufficient
+/// condition).
+pub fn certify(spec: &ProtocolSpec, waits: &Relation, assignment: &VnAssignment) -> bool {
+    let queues = compute_queues(spec, Some(assignment));
+    find_eq4_cycle_edges(waits, &queues).is_none()
+}
+
+/// Runs the §VI-A algorithm on a protocol.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::minimize_vns;
+/// use vnet_protocol::protocols;
+///
+/// let outcome = minimize_vns(&protocols::msi_nonblocking_cache());
+/// assert_eq!(outcome.min_vns(), Some(2));
+///
+/// let outcome = minimize_vns(&protocols::msi_blocking_cache());
+/// assert_eq!(outcome.min_vns(), None); // Class 2
+/// ```
+pub fn minimize_vns(spec: &ProtocolSpec) -> VnOutcome {
+    let causes = compute_causes(spec);
+    let (stalls, _) = compute_stalls(spec);
+    let waits = waits_from(&stalls, &causes);
+    minimize_vns_from_relations(spec, &waits)
+}
+
+/// The algorithm proper, given a precomputed `waits` relation.
+pub fn minimize_vns_from_relations(spec: &ProtocolSpec, waits: &Relation) -> VnOutcome {
+    let n = spec.messages().len();
+
+    // §V-E: a waits cycle means Class 2, full stop.
+    if let Some(cycle) = waits.find_cycle() {
+        return VnOutcome::Class2(Class2Evidence { waits_cycle: cycle });
+    }
+
+    // §VI-A(a): single-VN queues, condition graph with witnesses.
+    let queues1 = compute_queues(spec, None);
+    let cg = build_condition_graph(waits, &queues1);
+
+    // §VI-A(b): weighted minimum FAS.
+    let fas = minimum_feedback_arc_set(&cg.graph, |w| {
+        // Recompute Eq. 6 inline (the closure cannot borrow `cg`'s method
+        // with the graph borrowed, so duplicate the two-case weight).
+        if w.qs.is_empty() {
+            if n >= 127 {
+                u128::MAX
+            } else {
+                (1u128 << n) + 1
+            }
+        } else {
+            1
+        }
+    });
+
+    // A pure-waits FAS edge would contradict the acyclicity of waits
+    // checked above.
+    debug_assert!(
+        fas.edges.iter().all(|&e| !cg.graph.edge(e).qs.is_empty()),
+        "FAS selected an unbreakable edge although waits is acyclic"
+    );
+
+    // §VI-A(c): conflict pairs from the selected edges.
+    let mut conflict_pairs: BTreeSet<(MsgId, MsgId)> = BTreeSet::new();
+    for &e in &fas.edges {
+        for &(a, b) in &cg.graph.edge(e).qs {
+            conflict_pairs.insert(normalize(a, b));
+        }
+    }
+
+    // Color, assign, certify; grow the conflict graph if a non-minimal
+    // witness path survived (see module docs).
+    let mut rounds = 0usize;
+    loop {
+        let assignment = color_and_assign(spec, &conflict_pairs);
+        let queues = compute_queues(spec, Some(&assignment));
+        match find_eq4_cycle_edges(waits, &queues) {
+            None => {
+                return VnOutcome::Assigned {
+                    assignment,
+                    conflict_pairs,
+                    fas_weight: fas.weight,
+                    recolor_rounds: rounds,
+                };
+            }
+            Some(cycle_edges) => {
+                rounds += 1;
+                let before = conflict_pairs.len();
+                for (a, b, kind) in cycle_edges {
+                    if kind == StepKind::Queues && a != b {
+                        conflict_pairs.insert(normalize(a, b));
+                    }
+                }
+                assert!(
+                    conflict_pairs.len() > before,
+                    "certification failed without new separable pairs — \
+                     waits acyclicity should have prevented this"
+                );
+            }
+        }
+    }
+}
+
+fn normalize(a: MsgId, b: MsgId) -> (MsgId, MsgId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Colors the conflict graph exactly and extends the partial mapping to
+/// all messages: unconstrained messages join the VN where messages of
+/// their type (request/forward/response) predominate, defaulting to VN 0.
+fn color_and_assign(spec: &ProtocolSpec, pairs: &BTreeSet<(MsgId, MsgId)>) -> VnAssignment {
+    let n = spec.messages().len();
+    if pairs.is_empty() {
+        return VnAssignment::single(n);
+    }
+    // Conflict graph over the constrained messages only.
+    let mut members: Vec<MsgId> = pairs
+        .iter()
+        .flat_map(|&(a, b)| [a, b])
+        .collect();
+    members.sort();
+    members.dedup();
+    let mut g: UnGraph<MsgId> = UnGraph::new();
+    let mut node_of = std::collections::BTreeMap::new();
+    for &m in &members {
+        node_of.insert(m, g.add_node(m));
+    }
+    for &(a, b) in pairs {
+        g.add_edge(node_of[&a], node_of[&b]);
+    }
+    let coloring = exact_coloring(&g);
+    let n_vns = coloring.num_colors.max(1);
+
+    const UNSET: usize = usize::MAX;
+    let mut vn_of = vec![UNSET; n];
+    for &m in &members {
+        vn_of[m.0] = coloring.color_of(node_of[&m]);
+    }
+
+    // Placement for the unconstrained messages: same-type majority
+    // first, then same-side majority (request vs. non-request — the
+    // paper's presented mappings group responses with forwards), then
+    // VN 0.
+    let mut type_counts = vec![vec![0usize; n_vns]; 4];
+    let mut side_counts = vec![vec![0usize; n_vns]; 2];
+    let type_idx = |t: MsgType| match t {
+        MsgType::Request => 0,
+        MsgType::FwdRequest => 1,
+        MsgType::DataResponse => 2,
+        MsgType::CtrlResponse => 3,
+    };
+    let side_idx = |t: MsgType| usize::from(t != MsgType::Request);
+    for &m in &members {
+        let t = spec.message(m).mtype;
+        type_counts[type_idx(t)][vn_of[m.0]] += 1;
+        side_counts[side_idx(t)][vn_of[m.0]] += 1;
+    }
+    for (i, slot) in vn_of.iter_mut().enumerate() {
+        if *slot != UNSET {
+            continue;
+        }
+        let t = spec.message(MsgId(i)).mtype;
+        let pick = |counts: &[usize]| -> Option<usize> {
+            let best = (0..n_vns).max_by_key(|&v| counts[v])?;
+            (counts[best] > 0).then_some(best)
+        };
+        *slot = pick(&type_counts[type_idx(t)])
+            .or_else(|| pick(&side_counts[side_idx(t)]))
+            .unwrap_or(0);
+    }
+    VnAssignment { vn_of, n_vns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn class2_protocols_rejected_with_evidence() {
+        for p in [
+            protocols::msi_blocking_cache(),
+            protocols::mesi_blocking_cache(),
+            protocols::mosi_blocking_cache(),
+            protocols::moesi_blocking_cache(),
+        ] {
+            match minimize_vns(&p) {
+                VnOutcome::Class2(ev) => {
+                    assert!(!ev.waits_cycle.is_empty(), "{}", p.name());
+                }
+                other => panic!("{} should be Class 2, got {other:?}", p.name()),
+            }
+        }
+    }
+
+    #[test]
+    fn fully_nonblocking_protocols_need_one_vn() {
+        for p in [
+            protocols::mosi_nonblocking_cache(),
+            protocols::moesi_nonblocking_cache(),
+        ] {
+            assert_eq!(minimize_vns(&p).min_vns(), Some(1), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn table1_cell5_msi_mesi_need_two_vns() {
+        for p in [
+            protocols::msi_nonblocking_cache(),
+            protocols::mesi_nonblocking_cache(),
+        ] {
+            let outcome = minimize_vns(&p);
+            assert_eq!(outcome.min_vns(), Some(2), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn table1_cell4_chi_needs_two_vns() {
+        let outcome = minimize_vns(&protocols::chi());
+        assert_eq!(outcome.min_vns(), Some(2));
+    }
+
+    #[test]
+    fn chi_mapping_separates_requests_from_everything_else() {
+        let p = protocols::chi();
+        let VnOutcome::Assigned { assignment, .. } = minimize_vns(&p) else {
+            panic!("CHI should be assignable");
+        };
+        let req_vn = assignment.vn_of(p.message_by_name("ReadShared").unwrap());
+        for m in p.message_ids() {
+            let is_req = p.message(m).mtype == MsgType::Request;
+            assert_eq!(
+                assignment.vn_of(m) == req_vn,
+                is_req,
+                "{} misplaced",
+                p.message_name(m)
+            );
+        }
+    }
+
+    #[test]
+    fn assignments_certify_and_single_vn_does_not() {
+        for p in [
+            protocols::msi_nonblocking_cache(),
+            protocols::mesi_nonblocking_cache(),
+            protocols::chi(),
+        ] {
+            let waits = crate::waits::compute_waits(&p);
+            let VnOutcome::Assigned { assignment, .. } = minimize_vns(&p) else {
+                panic!("{} should be assignable", p.name());
+            };
+            assert!(certify(&p, &waits, &assignment), "{}", p.name());
+            // One fewer VN (the single-VN map) must fail Eq. 4.
+            let single = VnAssignment::single(p.messages().len());
+            assert!(!certify(&p, &waits, &single), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn minimality_no_smaller_merge_certifies() {
+        // For the 2-VN protocols, every way of merging the two VNs into
+        // one fails — i.e. 2 is truly minimal (exhaustive because the
+        // only 1-VN assignment is the single-VN one).
+        for p in [protocols::msi_nonblocking_cache(), protocols::chi()] {
+            let waits = crate::waits::compute_waits(&p);
+            let single = VnAssignment::single(p.messages().len());
+            assert!(!certify(&p, &waits, &single), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn first_coloring_certifies_for_builtins() {
+        for p in protocols::all() {
+            if let VnOutcome::Assigned { recolor_rounds, .. } = minimize_vns(&p) {
+                assert_eq!(recolor_rounds, 0, "{} needed recoloring", p.name());
+            }
+        }
+    }
+
+    #[test]
+    fn one_vn_per_message_does_not_save_class2() {
+        // The defining property of Class 2 (§V-E): even the
+        // one-VN-per-message assignment fails Eq. 4.
+        let p = protocols::msi_blocking_cache();
+        let waits = crate::waits::compute_waits(&p);
+        let per_msg = VnAssignment::one_per_message(p.messages().len());
+        assert!(!certify(&p, &waits, &per_msg));
+    }
+
+    #[test]
+    fn assignment_display_lists_all_vns() {
+        let p = protocols::chi();
+        let VnOutcome::Assigned { assignment, .. } = minimize_vns(&p) else {
+            panic!();
+        };
+        let text = assignment.display(&p);
+        assert!(text.contains("VN0"));
+        assert!(text.contains("VN1"));
+        assert!(text.contains("ReadShared"));
+    }
+
+    #[test]
+    fn from_vns_round_trip() {
+        let a = VnAssignment::from_vns(vec![0, 1, 1, 0]);
+        assert_eq!(a.n_vns(), 2);
+        assert_eq!(a.vn_of(MsgId(2)), 1);
+        assert_eq!(a.messages_in(0).count(), 2);
+    }
+}

@@ -1,0 +1,202 @@
+//! The `causes` relation (paper §IV-A/B).
+//!
+//! `m1 —causes→ m2` iff some coherence transaction can contain an event
+//! of name `m1` whose processing (transitively) sends an event named
+//! `m2`. It is computed by a static worklist traversal of the protocol
+//! tables: start from every core event, follow each send to every state
+//! of the destination controller that accepts the message, and record
+//! the trigger→send edges. This over-approximates any single execution,
+//! exactly as the paper prescribes.
+
+use crate::relation::Relation;
+use std::collections::BTreeSet;
+use vnet_protocol::{ControllerKind, Event, MsgId, ProtocolSpec, Target};
+
+fn kind_of(target: Target) -> ControllerKind {
+    if target.is_cache() {
+        ControllerKind::Cache
+    } else {
+        ControllerKind::Directory
+    }
+}
+
+/// Computes the `causes` relation of a protocol.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::causes::compute_causes;
+/// use vnet_protocol::protocols;
+///
+/// let msi = protocols::msi_blocking_cache();
+/// let causes = compute_causes(&msi);
+/// let gets = msi.message_by_name("GetS").unwrap();
+/// let fwd = msi.message_by_name("Fwd-GetS").unwrap();
+/// let data = msi.message_by_name("Data").unwrap();
+/// // Paper Eq. 2: GetS —causes→ Fwd-GetS —causes→ Data.
+/// assert!(causes.contains(gets, fwd));
+/// assert!(causes.contains(fwd, data));
+/// ```
+pub fn compute_causes(spec: &ProtocolSpec) -> Relation {
+    let n = spec.messages().len();
+    let mut rel = Relation::new(n);
+    let mut visited: BTreeSet<(MsgId, ControllerKind)> = BTreeSet::new();
+    let mut work: Vec<(MsgId, ControllerKind)> = Vec::new();
+
+    // Roots: every message a core event can send, in any cache state.
+    for (_, trigger, cell) in spec.cache().iter() {
+        if let Event::Core(_) = trigger.event {
+            if let Some(entry) = cell.entry() {
+                for (m, target) in entry.sends() {
+                    work.push((m, kind_of(target)));
+                }
+            }
+        }
+    }
+
+    // Trace: processing message m at a controller of the given kind can
+    // fire any defined (non-stall) entry for m; each of that entry's
+    // sends is caused by m.
+    while let Some((m, kind)) = work.pop() {
+        if !visited.insert((m, kind)) {
+            continue;
+        }
+        let ctrl = spec.controller(kind);
+        for (_, trigger, cell) in ctrl.iter() {
+            if trigger.message() != Some(m) {
+                continue;
+            }
+            if let Some(entry) = cell.entry() {
+                for (m2, target) in entry.sends() {
+                    rel.insert(m, m2);
+                    work.push((m2, kind_of(target)));
+                }
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    fn ids(spec: &ProtocolSpec, names: &[&str]) -> Vec<MsgId> {
+        names
+            .iter()
+            .map(|n| spec.message_by_name(n).unwrap_or_else(|| panic!("{n}")))
+            .collect()
+    }
+
+    #[test]
+    fn msi_read_chains_match_paper_eq1_eq2() {
+        let p = protocols::msi_blocking_cache();
+        let c = compute_causes(&p);
+        let m = ids(&p, &["GetS", "Fwd-GetS", "Data", "GetM", "Fwd-GetM", "Inv", "Inv-Ack"]);
+        let (gets, fwds, data, getm, fwdm, inv, invack) =
+            (m[0], m[1], m[2], m[3], m[4], m[5], m[6]);
+        // Eq. 1: GetS causes Data (directory owns the block).
+        assert!(c.contains(gets, data));
+        // Eq. 2: GetS causes Fwd-GetS causes Data.
+        assert!(c.contains(gets, fwds));
+        assert!(c.contains(fwds, data));
+        // Write chain: GetM → {Data, Fwd-GetM, Inv}; Inv → Inv-Ack.
+        assert!(c.contains(getm, data));
+        assert!(c.contains(getm, fwdm));
+        assert!(c.contains(getm, inv));
+        assert!(c.contains(inv, invack));
+        assert!(c.contains(fwdm, data));
+    }
+
+    #[test]
+    fn responses_cause_nothing_in_blocking_msi() {
+        let p = protocols::msi_blocking_cache();
+        let c = compute_causes(&p);
+        let data = p.message_by_name("Data").unwrap();
+        let invack = p.message_by_name("Inv-Ack").unwrap();
+        let putack = p.message_by_name("Put-Ack").unwrap();
+        assert_eq!(c.image(data).count(), 0);
+        assert_eq!(c.image(invack).count(), 0);
+        assert_eq!(c.image(putack).count(), 0);
+    }
+
+    #[test]
+    fn nonblocking_msi_data_completes_deferred_forwards() {
+        // In the deferring cache, receiving Data in IM_AD_FS sends Data:
+        // Data —causes→ Data appears. That self-edge is fine — causes
+        // feeds waits via composition, not acyclicity.
+        let p = protocols::msi_nonblocking_cache();
+        let c = compute_causes(&p);
+        let data = p.message_by_name("Data").unwrap();
+        assert!(c.contains(data, data));
+        // Inv-Ack completes deferred forwards too.
+        let invack = p.message_by_name("Inv-Ack").unwrap();
+        assert!(c.contains(invack, data));
+    }
+
+    #[test]
+    fn chi_figure5_chain() {
+        // Paper Eq. 7 (their names → ours): CleanUnique → Inv → Inv-Ack
+        // (SnpAck) → Resp (Comp) → Comp (CompAck).
+        let p = protocols::chi();
+        let c = compute_causes(&p);
+        let m = ids(&p, &["CleanUnique", "Inv", "SnpAck", "Comp", "CompAck"]);
+        assert!(c.contains(m[0], m[1]));
+        assert!(c.contains(m[1], m[2]));
+        assert!(c.contains(m[2], m[3]));
+        assert!(c.contains(m[3], m[4]));
+    }
+
+    #[test]
+    fn chi_requests_are_never_caused() {
+        let p = protocols::chi();
+        let c = compute_causes(&p);
+        for req in p.messages_of_type(vnet_protocol::MsgType::Request) {
+            for m in p.message_ids() {
+                assert!(
+                    !c.contains(m, req),
+                    "{} causes request {}",
+                    p.message_name(m),
+                    p.message_name(req)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn requests_never_caused_in_any_builtin() {
+        for p in protocols::all() {
+            let c = compute_causes(&p);
+            for req in p.messages_of_type(vnet_protocol::MsgType::Request) {
+                assert_eq!(
+                    c.inverse().image(req).count(),
+                    0,
+                    "{}: request {} is caused by a message",
+                    p.name(),
+                    p.message_name(req)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn every_message_is_reachable_from_a_request_or_is_a_request() {
+        // Sanity: the traversal visits the whole vocabulary for the
+        // builtin protocols (no dead message definitions).
+        for p in protocols::all() {
+            let c = compute_causes(&p);
+            let tc = c.transitive_closure();
+            for m in p.message_ids() {
+                if p.message(m).mtype == vnet_protocol::MsgType::Request {
+                    continue;
+                }
+                let reached = p
+                    .messages_of_type(vnet_protocol::MsgType::Request)
+                    .iter()
+                    .any(|&r| tc.contains(r, m));
+                assert!(reached, "{}: {} unreachable", p.name(), p.message_name(m));
+            }
+        }
+    }
+}

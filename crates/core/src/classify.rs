@@ -1,0 +1,89 @@
+//! The paper's three-way protocol classification (§I, §VI-C).
+
+use crate::assignment::VnOutcome;
+use std::fmt;
+
+/// The class of a protocol with respect to VN requirements.
+///
+/// Class 1 (protocol deadlock regardless of VNs) is a *dynamic* property:
+/// the paper identifies it by model checking with one address and one VN
+/// per message (`vnet-mc` provides that configuration). The static
+/// analysis here assumes the protocol is not Class 1 — exactly as the
+/// paper does (§V-A) — and distinguishes Class 2 from Class 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolClass {
+    /// Protocol deadlock: a cycle in dynamic waiting with every message
+    /// on its own VN. Detected by model checking, not statically.
+    Class1,
+    /// Inevitable VN deadlock: a cycle in the static `waits` relation.
+    /// No per-message-name assignment helps.
+    Class2,
+    /// A finite VN assignment exists; the payload is the minimum count.
+    Class3 {
+        /// The minimum number of VNs.
+        min_vns: usize,
+    },
+}
+
+impl ProtocolClass {
+    /// Derives the static class from a minimization outcome.
+    pub fn from_outcome(outcome: &VnOutcome) -> ProtocolClass {
+        match outcome {
+            VnOutcome::Class2(_) => ProtocolClass::Class2,
+            VnOutcome::Assigned { assignment, .. } => ProtocolClass::Class3 {
+                min_vns: assignment.n_vns(),
+            },
+        }
+    }
+}
+
+impl fmt::Display for ProtocolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtocolClass::Class1 => write!(f, "Class 1 (protocol deadlock)"),
+            ProtocolClass::Class2 => write!(f, "Class 2 (inevitable VN deadlock)"),
+            ProtocolClass::Class3 { min_vns } => {
+                write!(f, "Class 3 ({min_vns} VN{})", if *min_vns == 1 { "" } else { "s" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::minimize_vns;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn classes_for_builtin_protocols() {
+        let class = |p: &vnet_protocol::ProtocolSpec| {
+            ProtocolClass::from_outcome(&minimize_vns(p))
+        };
+        assert_eq!(
+            class(&protocols::mosi_nonblocking_cache()),
+            ProtocolClass::Class3 { min_vns: 1 }
+        );
+        assert_eq!(class(&protocols::mosi_blocking_cache()), ProtocolClass::Class2);
+        assert_eq!(class(&protocols::chi()), ProtocolClass::Class3 { min_vns: 2 });
+        assert_eq!(
+            class(&protocols::msi_nonblocking_cache()),
+            ProtocolClass::Class3 { min_vns: 2 }
+        );
+        assert_eq!(class(&protocols::msi_blocking_cache()), ProtocolClass::Class2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            ProtocolClass::Class3 { min_vns: 1 }.to_string(),
+            "Class 3 (1 VN)"
+        );
+        assert_eq!(
+            ProtocolClass::Class3 { min_vns: 2 }.to_string(),
+            "Class 3 (2 VNs)"
+        );
+        assert!(ProtocolClass::Class2.to_string().contains("inevitable"));
+        assert!(ProtocolClass::Class1.to_string().contains("protocol deadlock"));
+    }
+}

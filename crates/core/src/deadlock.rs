@@ -1,0 +1,326 @@
+//! The deadlock-condition graph (paper Eq. 4/5) and its acyclicity check.
+//!
+//! * Eq. 4 (sufficient condition): the protocol cannot deadlock if
+//!   `waits ; (waits ∪ queues)*` is acyclic. Equivalently: no cycle of
+//!   the union digraph `waits ∪ queues` contains a `waits` edge — which
+//!   is what [`find_eq4_cycle`] checks via strongly connected components.
+//! * Eq. 5 (graph construction): the graph `G` whose edges are exactly
+//!   that composed relation, built here with the **witness bookkeeping**
+//!   the algorithm needs: for every edge, the set `qs(e)` of `queues`
+//!   steps on its *minimal* witness paths. Breaking an edge is only
+//!   possible by separating one of those `queues` pairs onto different
+//!   VNs — an edge with empty `qs` is unbreakable (pure-`waits`), which
+//!   is how Class 2 manifests inside the algorithm (§VI-A(b)).
+
+use crate::relation::Relation;
+use std::collections::BTreeSet;
+use vnet_graph::paths::{all_shortest_paths, bfs_distances};
+use vnet_graph::{DiGraph, NodeId};
+use vnet_protocol::MsgId;
+
+/// The kind of a step in the union digraph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepKind {
+    /// A `waits` edge.
+    Waits,
+    /// A `queues` edge.
+    Queues,
+}
+
+/// Witness data attached to each condition-graph edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeWitness {
+    /// The `queues` pairs appearing on minimal witness paths. Empty for
+    /// pure-`waits` edges (which no VN assignment can break).
+    pub qs: BTreeSet<(MsgId, MsgId)>,
+    /// Length (in relation steps) of the minimal witness paths.
+    pub path_len: usize,
+}
+
+/// The deadlock-condition graph `G` of Eq. 5.
+#[derive(Debug)]
+pub struct ConditionGraph {
+    /// Nodes are message ids; edges carry their witnesses.
+    pub graph: DiGraph<MsgId, EdgeWitness>,
+}
+
+impl ConditionGraph {
+    /// The Eq. 6 weight of an edge: 1 if breakable, `2^|V| + 1`
+    /// (saturating) otherwise.
+    pub fn weight(&self, witness: &EdgeWitness) -> u128 {
+        if witness.qs.is_empty() {
+            let v = self.graph.node_count() as u32;
+            if v >= 127 {
+                u128::MAX
+            } else {
+                (1u128 << v) + 1
+            }
+        } else {
+            1
+        }
+    }
+}
+
+/// Builds the union digraph `waits ∪ queues` with labeled (possibly
+/// parallel) edges.
+pub fn union_digraph(waits: &Relation, queues: &Relation) -> DiGraph<MsgId, StepKind> {
+    assert_eq!(waits.universe(), queues.universe(), "universe mismatch");
+    let n = waits.universe();
+    let mut g = DiGraph::with_capacity(n, waits.len() + queues.len());
+    for i in 0..n {
+        g.add_node(MsgId(i));
+    }
+    for (a, b) in waits.iter() {
+        g.add_edge(NodeId(a.0), NodeId(b.0), StepKind::Waits);
+    }
+    for (a, b) in queues.iter() {
+        g.add_edge(NodeId(a.0), NodeId(b.0), StepKind::Queues);
+    }
+    g
+}
+
+/// Checks Eq. 4: returns a message cycle containing at least one `waits`
+/// edge if one exists, or `None` if the condition holds (no deadlock).
+pub fn find_eq4_cycle(waits: &Relation, queues: &Relation) -> Option<Vec<MsgId>> {
+    let u = union_digraph(waits, queues);
+    let sccs = vnet_graph::scc::tarjan(&u);
+    for (eid, s, d) in u.edges() {
+        if *u.edge(eid) != StepKind::Waits {
+            continue;
+        }
+        if s == d {
+            return Some(vec![MsgId(s.index())]);
+        }
+        if sccs.same_component(s, d) {
+            // Reconstruct: the waits edge s→d plus a path d→s inside the
+            // union digraph (it exists since they share an SCC).
+            let path = vnet_graph::paths::shortest_path(&u, d, s)
+                .expect("same SCC implies a path back");
+            let mut cycle = vec![MsgId(s.index()), MsgId(d.index())];
+            for e in path {
+                let (_, to) = u.endpoints(e);
+                if to != s {
+                    cycle.push(MsgId(to.index()));
+                }
+            }
+            return Some(cycle);
+        }
+    }
+    None
+}
+
+/// Like [`find_eq4_cycle`] but returns the cycle's *edges* with their
+/// step kinds, so callers can extract the `queues` pairs that must be
+/// separated to break it.
+pub fn find_eq4_cycle_edges(
+    waits: &Relation,
+    queues: &Relation,
+) -> Option<Vec<(MsgId, MsgId, StepKind)>> {
+    let u = union_digraph(waits, queues);
+    let sccs = vnet_graph::scc::tarjan(&u);
+    for (eid, s, d) in u.edges() {
+        if *u.edge(eid) != StepKind::Waits {
+            continue;
+        }
+        if s == d {
+            return Some(vec![(MsgId(s.index()), MsgId(d.index()), StepKind::Waits)]);
+        }
+        if sccs.same_component(s, d) {
+            let mut edges = vec![(MsgId(s.index()), MsgId(d.index()), StepKind::Waits)];
+            let path = vnet_graph::paths::shortest_path(&u, d, s)
+                .expect("same SCC implies a path back");
+            for e in path {
+                let (from, to) = u.endpoints(e);
+                edges.push((MsgId(from.index()), MsgId(to.index()), *u.edge(e)));
+            }
+            return Some(edges);
+        }
+    }
+    None
+}
+
+/// Bound on how many minimal witness paths are enumerated per edge.
+/// Minimal paths in these graphs are short (length ≤ 2 under the
+/// single-VN start), so this is a safety valve, not a precision knob.
+const PATH_CAP: usize = 10_000;
+
+/// Builds the condition graph `G` (Eq. 5) from `waits` and `queues`,
+/// remembering `qs(e)` for every edge.
+///
+/// An edge `a → b` exists iff some path starts with a `waits` step at
+/// `a` and reaches `b` through `waits`/`queues` steps (zero or more).
+/// `qs(e)` is the union of the `queues` pairs over all minimal-length
+/// such paths.
+pub fn build_condition_graph(waits: &Relation, queues: &Relation) -> ConditionGraph {
+    let n = waits.universe();
+    let u = union_digraph(waits, queues);
+    let mut g: DiGraph<MsgId, EdgeWitness> = DiGraph::with_capacity(n, 0);
+    for i in 0..n {
+        g.add_node(MsgId(i));
+    }
+
+    // Distances in the union digraph from every node.
+    let dist: Vec<Vec<usize>> = (0..n)
+        .map(|v| bfs_distances(&u, NodeId(v)))
+        .collect();
+
+    for a in 0..n {
+        let wsucc: Vec<usize> = waits.image(MsgId(a)).map(|m| m.0).collect();
+        if wsucc.is_empty() {
+            continue;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for b in 0..n {
+            // Minimal total length over waits-successors x: 1 + dist(x, b),
+            // with dist 0 when x == b.
+            let mut minlen = usize::MAX;
+            for &x in &wsucc {
+                let d = if x == b { 0 } else { dist[x][b] };
+                if d != usize::MAX {
+                    minlen = minlen.min(1 + d);
+                }
+            }
+            if minlen == usize::MAX {
+                continue;
+            }
+            let mut qs: BTreeSet<(MsgId, MsgId)> = BTreeSet::new();
+            for &x in &wsucc {
+                let d = if x == b { 0 } else { dist[x][b] };
+                if d == usize::MAX || 1 + d != minlen {
+                    continue;
+                }
+                for path in all_shortest_paths(&u, NodeId(x), NodeId(b), PATH_CAP) {
+                    for e in path {
+                        if *u.edge(e) == StepKind::Queues {
+                            let (s, t) = u.endpoints(e);
+                            qs.insert((MsgId(s.index()), MsgId(t.index())));
+                        }
+                    }
+                }
+            }
+            g.add_edge(NodeId(a), NodeId(b), EdgeWitness { qs, path_len: minlen });
+        }
+    }
+    ConditionGraph { graph: g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(usize, usize)]) -> Relation {
+        let mut r = Relation::new(n);
+        for &(a, b) in pairs {
+            r.insert(MsgId(a), MsgId(b));
+        }
+        r
+    }
+
+    #[test]
+    fn eq4_holds_without_stalls() {
+        let waits = Relation::new(3);
+        let queues = rel(3, &[(0, 1), (2, 1)]);
+        assert!(find_eq4_cycle(&waits, &queues).is_none());
+    }
+
+    #[test]
+    fn eq4_detects_waits_queues_cycle() {
+        // The §V-B example: GetM(0) —waits→ Data(1) —queues→ GetM(0).
+        let waits = rel(2, &[(0, 1)]);
+        let queues = rel(2, &[(1, 0)]);
+        let cycle = find_eq4_cycle(&waits, &queues).unwrap();
+        assert!(cycle.contains(&MsgId(0)));
+        assert!(cycle.contains(&MsgId(1)));
+    }
+
+    #[test]
+    fn eq4_ignores_queues_only_cycles() {
+        // A queues-only cycle has no stall to seed a deadlock.
+        let waits = Relation::new(2);
+        let queues = rel(2, &[(0, 1), (1, 0)]);
+        assert!(find_eq4_cycle(&waits, &queues).is_none());
+    }
+
+    #[test]
+    fn eq4_waits_self_loop_is_a_cycle() {
+        let waits = rel(1, &[(0, 0)]);
+        let queues = Relation::new(1);
+        assert_eq!(find_eq4_cycle(&waits, &queues), Some(vec![MsgId(0)]));
+    }
+
+    #[test]
+    fn condition_graph_direct_waits_edge_has_empty_qs() {
+        let waits = rel(3, &[(0, 1)]);
+        let queues = rel(3, &[(2, 1)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let e = cg.graph.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let w = cg.graph.edge(e);
+        assert!(w.qs.is_empty());
+        assert_eq!(w.path_len, 1);
+    }
+
+    #[test]
+    fn condition_graph_records_queues_witness() {
+        // 0 —waits→ 1 —queues→ 2 gives edge (0,2) with qs {(1,2)}.
+        let waits = rel(3, &[(0, 1)]);
+        let queues = rel(3, &[(1, 2)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let e = cg.graph.find_edge(NodeId(0), NodeId(2)).unwrap();
+        let w = cg.graph.edge(e);
+        assert_eq!(w.path_len, 2);
+        assert_eq!(w.qs, [(MsgId(1), MsgId(2))].into());
+    }
+
+    #[test]
+    fn minimal_paths_shadow_longer_ones() {
+        // Direct waits (0,2) exists alongside 0→1→2; only the length-1
+        // witness is minimal, so qs is empty.
+        let waits = rel(3, &[(0, 1), (0, 2)]);
+        let queues = rel(3, &[(1, 2)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let e = cg.graph.find_edge(NodeId(0), NodeId(2)).unwrap();
+        assert!(cg.graph.edge(e).qs.is_empty());
+    }
+
+    #[test]
+    fn multiple_minimal_paths_union_their_qs() {
+        // 0 —waits→ 1 —queues→ 3 and 0 —waits→ 2 —queues→ 3: both minimal.
+        let waits = rel(4, &[(0, 1), (0, 2)]);
+        let queues = rel(4, &[(1, 3), (2, 3)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let e = cg.graph.find_edge(NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(
+            cg.graph.edge(e).qs,
+            [(MsgId(1), MsgId(3)), (MsgId(2), MsgId(3))].into()
+        );
+    }
+
+    #[test]
+    fn self_edge_via_queues_return() {
+        // 0 —waits→ 1 —queues→ 0: self edge (0,0) with the queues pair.
+        let waits = rel(2, &[(0, 1)]);
+        let queues = rel(2, &[(1, 0)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let e = cg.graph.find_edge(NodeId(0), NodeId(0)).unwrap();
+        assert_eq!(cg.graph.edge(e).qs, [(MsgId(1), MsgId(0))].into());
+    }
+
+    #[test]
+    fn weights_follow_eq6() {
+        let waits = rel(3, &[(0, 1)]);
+        let queues = rel(3, &[(1, 2)]);
+        let cg = build_condition_graph(&waits, &queues);
+        let direct = cg.graph.find_edge(NodeId(0), NodeId(1)).unwrap();
+        let via_q = cg.graph.find_edge(NodeId(0), NodeId(2)).unwrap();
+        assert_eq!(cg.weight(cg.graph.edge(via_q)), 1);
+        assert_eq!(cg.weight(cg.graph.edge(direct)), (1 << 3) + 1);
+    }
+
+    #[test]
+    fn no_edges_without_waits() {
+        let waits = Relation::new(4);
+        let queues = rel(4, &[(0, 1), (1, 2), (2, 3)]);
+        let cg = build_condition_graph(&waits, &queues);
+        assert_eq!(cg.graph.edge_count(), 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Designer-facing explanations of analysis outcomes.
+//!
+//! * For **Class 2**, reconstruct the paper's §V-E argument concretely:
+//!   take the `waits` cycle and chain its edges across distinct
+//!   addresses with same-name `queues` steps, producing the inevitable
+//!   dynamic deadlock narrative (the generalization of the Figure-3
+//!   story).
+//! * For **Class 3**, explain *why* each conflict pair must be
+//!   separated: exhibit, for each pair, a condition-graph cycle that
+//!   survives if the two messages share a VN.
+
+use crate::analyze::AnalysisReport;
+use crate::assignment::VnOutcome;
+use crate::deadlock::find_eq4_cycle_edges;
+use crate::queues::compute_queues;
+use crate::relation::Relation;
+use crate::stalls::StallSite;
+use std::fmt::Write as _;
+use vnet_protocol::{MsgId, ProtocolSpec};
+
+/// The §V-E narrative for a Class-2 protocol: one step per `waits` edge,
+/// chained across addresses.
+pub fn explain_class2(spec: &ProtocolSpec, cycle: &[MsgId], sites: &[StallSite]) -> String {
+    let mut out = String::new();
+    let name = |m: MsgId| spec.message_name(m);
+    let addr = |i: usize| (b'A' + (i % 26) as u8) as char;
+
+    let _ = writeln!(
+        out,
+        "The waits relation has a cycle of length {}: {} -> {}.",
+        cycle.len(),
+        cycle.iter().map(|&m| name(m)).collect::<Vec<_>>().join(" -> "),
+        name(cycle[0])
+    );
+    let _ = writeln!(
+        out,
+        "Per §V-E of the paper, this chains into a deadlock that no\n\
+         per-message-name VN assignment can break:\n"
+    );
+    for (i, &m) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        // Find a stall site that witnesses this waits edge: a site whose
+        // stalled message is `m` and whose initiating transaction can
+        // produce `next`.
+        let site = sites.iter().find(|s| s.stalled == m);
+        let where_clause = site
+            .map(|s| format!(" (stalled by the {} in state {})", s.kind, s.state))
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  {}. An instance of {} for block {} waits for a {} of block {}{};",
+            i + 1,
+            name(m),
+            addr(i),
+            name(next),
+            addr(i),
+            where_clause
+        );
+        let _ = writeln!(
+            out,
+            "     that {} instance is queued in the same VN behind the {} of block {}.",
+            name(next),
+            name(next),
+            addr(i + 1)
+        );
+    }
+    let _ = writeln!(
+        out,
+        "\nEvery queued-behind step relates two instances of the *same* message\n\
+         name ({}), so assigning message names to VNs cannot separate them —\n\
+         only a VN per cache-block address could, which is impractical.\n\
+         Remedy: stop stalling forwarded requests (make the cache deferring),\n\
+         as in the protocol's nonblocking variant.",
+        cycle
+            .iter()
+            .map(|&m| name(m))
+            .collect::<Vec<_>>()
+            .join("/")
+    );
+    out
+}
+
+/// For each conflict pair of a Class-3 outcome, a cycle that would
+/// survive if the pair shared a VN — the justification for separating
+/// them.
+pub fn explain_conflicts(spec: &ProtocolSpec, report: &AnalysisReport) -> String {
+    let VnOutcome::Assigned {
+        assignment,
+        conflict_pairs,
+        ..
+    } = report.outcome()
+    else {
+        return String::from("(Class 2: see explain_class2)");
+    };
+    let mut out = String::new();
+    let name = |m: MsgId| spec.message_name(m);
+    let _ = writeln!(
+        out,
+        "{} conflict pair(s) force the {}-VN split:\n",
+        conflict_pairs.len(),
+        assignment.n_vns()
+    );
+    for &(a, b) in conflict_pairs {
+        // Re-derive queues with ONLY this pair merged onto one VN (and
+        // everything else per the final assignment): the Eq.-4 cycle that
+        // reappears is the reason the pair is separated.
+        let merged = merge_pair(spec, report, a, b);
+        match find_eq4_cycle_edges(report.waits(), &merged) {
+            Some(cycle) => {
+                let steps: Vec<String> = cycle
+                    .iter()
+                    .map(|(x, y, k)| {
+                        let arrow = match k {
+                            crate::deadlock::StepKind::Waits => "waits",
+                            crate::deadlock::StepKind::Queues => "queues behind",
+                        };
+                        format!("{} {} {}", name(*x), arrow, name(*y))
+                    })
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    "  {} | {}:  sharing a VN re-admits the cycle [{}]",
+                    name(a),
+                    name(b),
+                    steps.join("; ")
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "  {} | {}:  separated conservatively (no single-pair cycle)",
+                    name(a),
+                    name(b)
+                );
+            }
+        }
+    }
+    out
+}
+
+/// `queues` under the report's final assignment, with the single pair
+/// `(a, b)` additionally treated as same-VN.
+fn merge_pair(spec: &ProtocolSpec, report: &AnalysisReport, a: MsgId, b: MsgId) -> Relation {
+    let assignment = report
+        .outcome()
+        .assignment()
+        .expect("merge_pair only for assigned outcomes");
+    let base = compute_queues(spec, Some(assignment));
+    let mut merged = base;
+    let stallable = spec.stallable_messages();
+    for (x, y) in [(a, b), (b, a)] {
+        if stallable.contains(&y) && x != y {
+            merged.insert(x, y);
+        }
+    }
+    merged
+}
+
+/// Renders the right explanation for any outcome.
+pub fn explain(report: &AnalysisReport) -> String {
+    match report.outcome() {
+        VnOutcome::Class2(ev) => {
+            explain_class2(report.spec(), &ev.waits_cycle, report.stall_sites())
+        }
+        VnOutcome::Assigned { .. } => explain_conflicts(report.spec(), report),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn class2_narrative_names_the_cycle_and_the_remedy() {
+        let spec = protocols::msi_blocking_cache();
+        let r = analyze(&spec);
+        let text = explain(&r);
+        assert!(text.contains("Fwd-GetM"));
+        assert!(text.contains("same"));
+        assert!(text.contains("nonblocking"));
+    }
+
+    #[test]
+    fn class3_explanations_cover_every_conflict_pair() {
+        let spec = protocols::chi();
+        let r = analyze(&spec);
+        let VnOutcome::Assigned { conflict_pairs, .. } = r.outcome() else {
+            panic!()
+        };
+        let text = explain(&r);
+        // One line per pair.
+        let lines = text.lines().filter(|l| l.contains('|')).count();
+        assert_eq!(lines, conflict_pairs.len());
+        // Most pairs should come with a concrete re-admitted cycle.
+        assert!(text.contains("re-admits the cycle"));
+    }
+
+    #[test]
+    fn merged_pairs_reintroduce_cycles_for_msi() {
+        // Sanity: merging Data with GetM (the §V-B example) re-admits a
+        // cycle in the nonblocking MSI.
+        let spec = protocols::msi_nonblocking_cache();
+        let r = analyze(&spec);
+        let data = spec.message_by_name("Data").unwrap();
+        let getm = spec.message_by_name("GetM").unwrap();
+        let merged = merge_pair(&spec, &r, data, getm);
+        assert!(find_eq4_cycle_edges(r.waits(), &merged).is_some());
+    }
+}

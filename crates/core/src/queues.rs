@@ -1,0 +1,114 @@
+//! The `queues` relation (paper §IV-E).
+//!
+//! `m2 —queues→ m1` iff an instance of `m2` can sit behind a *stalled*
+//! instance of `m1` in a VN buffer. Making no ICN assumptions (the paper
+//! makes none, and neither do CHI/CXL), the conservative model is: any
+//! message mapped to the same VN as a stallable message can queue behind
+//! it.
+//!
+//! Same-name pairs (`m —queues→ m`) are real — they are exactly how a
+//! `waits` cycle is chained into an inevitable deadlock across addresses
+//! (§V-E) — but they can never be broken by a VN assignment and never
+//! lie on a *minimal* witness path, so the graph construction omits them
+//! and Class-2 detection handles their effect separately.
+
+use crate::assignment::VnAssignment;
+use crate::relation::Relation;
+use vnet_protocol::ProtocolSpec;
+
+/// Computes `queues` under a VN assignment; `None` means a single VN
+/// (the algorithm's §VI-A(a) starting point).
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::queues::compute_queues;
+/// use vnet_protocol::protocols;
+///
+/// let msi = protocols::msi_nonblocking_cache();
+/// let q = compute_queues(&msi, None);
+/// let data = msi.message_by_name("Data").unwrap();
+/// let getm = msi.message_by_name("GetM").unwrap();
+/// // §V-B: Data can queue behind a stalled GetM on a shared VN.
+/// assert!(q.contains(data, getm));
+/// ```
+pub fn compute_queues(spec: &ProtocolSpec, assignment: Option<&VnAssignment>) -> Relation {
+    let n = spec.messages().len();
+    let stallable = spec.stallable_messages();
+    let mut rel = Relation::new(n);
+    for m1 in &stallable {
+        for m2 in spec.message_ids() {
+            if m2 == *m1 {
+                continue;
+            }
+            let same_vn = match assignment {
+                None => true,
+                Some(a) => a.vn_of(m2) == a.vn_of(*m1),
+            };
+            if same_vn {
+                rel.insert(m2, *m1);
+            }
+        }
+    }
+    rel
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::VnAssignment;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn single_vn_queues_targets_only_stallable() {
+        let p = protocols::msi_blocking_cache();
+        let q = compute_queues(&p, None);
+        let stallable = p.stallable_messages();
+        for (_, m1) in q.iter() {
+            assert!(stallable.contains(&m1));
+        }
+        // Everything else can queue behind each stallable message.
+        let n = p.messages().len();
+        assert_eq!(q.len(), stallable.len() * (n - 1));
+    }
+
+    #[test]
+    fn no_stalls_means_empty_queues() {
+        let p = protocols::mosi_nonblocking_cache();
+        assert!(compute_queues(&p, None).is_empty());
+    }
+
+    #[test]
+    fn assignment_restricts_to_same_vn() {
+        let p = protocols::msi_nonblocking_cache();
+        let gets = p.message_by_name("GetS").unwrap();
+        let getm = p.message_by_name("GetM").unwrap();
+        let data = p.message_by_name("Data").unwrap();
+        // Requests on VN 0, everything else on VN 1.
+        let vn_of: Vec<usize> = p
+            .message_ids()
+            .map(|m| {
+                if p.message(m).mtype == vnet_protocol::MsgType::Request {
+                    0
+                } else {
+                    1
+                }
+            })
+            .collect();
+        let a = VnAssignment::from_vns(vn_of);
+        let q = compute_queues(&p, Some(&a));
+        // GetM (stallable, VN0) can be queued behind by GetS (VN0)…
+        assert!(q.contains(gets, getm));
+        // …but not by Data (VN1).
+        assert!(!q.contains(data, getm));
+    }
+
+    #[test]
+    fn self_pairs_excluded() {
+        let p = protocols::msi_blocking_cache();
+        let q = compute_queues(&p, None);
+        for (a, b) in q.iter() {
+            assert_ne!(a, b);
+        }
+    }
+}

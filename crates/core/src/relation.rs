@@ -1,0 +1,311 @@
+//! Binary relations over message names, with the operators the paper's
+//! equations are written in: inverse, composition, (reflexive) transitive
+//! closure, and union.
+
+use std::collections::{BTreeMap, BTreeSet};
+use vnet_graph::{DiGraph, NodeId};
+use vnet_protocol::{MsgId, ProtocolSpec};
+
+/// A binary relation `⊆ M × M` over the message names of a protocol.
+///
+/// The universe size is carried explicitly so closures and graph
+/// conversions know the node set even for messages with no pairs.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::Relation;
+/// use vnet_protocol::MsgId;
+///
+/// let mut r = Relation::new(3);
+/// r.insert(MsgId(0), MsgId(1));
+/// r.insert(MsgId(1), MsgId(2));
+/// let tc = r.transitive_closure();
+/// assert!(tc.contains(MsgId(0), MsgId(2)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    universe: usize,
+    pairs: BTreeSet<(MsgId, MsgId)>,
+}
+
+impl Relation {
+    /// The empty relation over a universe of `universe` messages.
+    pub fn new(universe: usize) -> Self {
+        Relation {
+            universe,
+            pairs: BTreeSet::new(),
+        }
+    }
+
+    /// The number of message names in the universe.
+    pub fn universe(&self) -> usize {
+        self.universe
+    }
+
+    /// Adds the pair `(a, b)`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is outside the universe.
+    pub fn insert(&mut self, a: MsgId, b: MsgId) -> bool {
+        assert!(a.0 < self.universe && b.0 < self.universe, "id out of universe");
+        self.pairs.insert((a, b))
+    }
+
+    /// Returns `true` if `(a, b)` is in the relation.
+    pub fn contains(&self, a: MsgId, b: MsgId) -> bool {
+        self.pairs.contains(&(a, b))
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Returns `true` if the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Iterates over the pairs in order.
+    pub fn iter(&self) -> impl Iterator<Item = (MsgId, MsgId)> + '_ {
+        self.pairs.iter().copied()
+    }
+
+    /// The image of `a`: all `b` with `(a, b)` in the relation.
+    pub fn image(&self, a: MsgId) -> impl Iterator<Item = MsgId> + '_ {
+        self.pairs
+            .range((a, MsgId(0))..=(a, MsgId(usize::MAX)))
+            .map(|&(_, b)| b)
+    }
+
+    /// The inverse relation `R⁻¹`.
+    pub fn inverse(&self) -> Relation {
+        Relation {
+            universe: self.universe,
+            pairs: self.pairs.iter().map(|&(a, b)| (b, a)).collect(),
+        }
+    }
+
+    /// The composition `self ; other` = `{(a, c) | ∃b: aRb ∧ bSc}`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn compose(&self, other: &Relation) -> Relation {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        let mut by_first: BTreeMap<MsgId, Vec<MsgId>> = BTreeMap::new();
+        for (b, c) in other.iter() {
+            by_first.entry(b).or_default().push(c);
+        }
+        let mut out = Relation::new(self.universe);
+        for (a, b) in self.iter() {
+            if let Some(cs) = by_first.get(&b) {
+                for &c in cs {
+                    out.insert(a, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// The union `self ∪ other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the universes differ.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.universe, other.universe, "universe mismatch");
+        Relation {
+            universe: self.universe,
+            pairs: self.pairs.union(&other.pairs).copied().collect(),
+        }
+    }
+
+    /// The strict transitive closure `R⁺`.
+    pub fn transitive_closure(&self) -> Relation {
+        let g = self.to_digraph();
+        let tc = vnet_graph::closure::transitive_closure(&g);
+        let mut out = Relation::new(self.universe);
+        for (a, b) in tc.pairs() {
+            out.insert(MsgId(a.index()), MsgId(b.index()));
+        }
+        out
+    }
+
+    /// The reflexive-transitive closure `R*`.
+    pub fn reflexive_transitive_closure(&self) -> Relation {
+        let mut out = self.transitive_closure();
+        for i in 0..self.universe {
+            out.insert(MsgId(i), MsgId(i));
+        }
+        out
+    }
+
+    /// Returns `true` if the relation has a cycle (including self-pairs).
+    pub fn has_cycle(&self) -> bool {
+        vnet_graph::scc::has_cycle(&self.to_digraph())
+    }
+
+    /// One message-name cycle, if any exists (for diagnostics).
+    pub fn find_cycle(&self) -> Option<Vec<MsgId>> {
+        let g = self.to_digraph();
+        let cycles = vnet_graph::cycles::elementary_cycles(&g, 1);
+        cycles
+            .first()
+            .map(|c| c.nodes(&g).iter().map(|n| MsgId(n.index())).collect())
+    }
+
+    /// Converts to a directed graph with one node per universe element.
+    pub fn to_digraph(&self) -> DiGraph<MsgId, ()> {
+        let mut g = DiGraph::with_capacity(self.universe, self.pairs.len());
+        for i in 0..self.universe {
+            g.add_node(MsgId(i));
+        }
+        for (a, b) in self.iter() {
+            g.add_edge(NodeId(a.0), NodeId(b.0), ());
+        }
+        g
+    }
+
+    /// Renders the relation with message names, one `a -> b` per line.
+    pub fn display(&self, spec: &ProtocolSpec) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (a, b) in self.iter() {
+            let _ = writeln!(
+                out,
+                "  {} -> {}",
+                spec.message_name(a),
+                spec.message_name(b)
+            );
+        }
+        out
+    }
+}
+
+impl FromIterator<(MsgId, MsgId)> for Relation {
+    /// Builds a relation whose universe is one past the largest id seen.
+    fn from_iter<I: IntoIterator<Item = (MsgId, MsgId)>>(iter: I) -> Self {
+        let pairs: BTreeSet<(MsgId, MsgId)> = iter.into_iter().collect();
+        let universe = pairs
+            .iter()
+            .map(|&(a, b)| a.0.max(b.0) + 1)
+            .max()
+            .unwrap_or(0);
+        Relation { universe, pairs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rel(n: usize, pairs: &[(usize, usize)]) -> Relation {
+        let mut r = Relation::new(n);
+        for &(a, b) in pairs {
+            r.insert(MsgId(a), MsgId(b));
+        }
+        r
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let r = rel(3, &[(0, 1)]);
+        assert!(r.contains(MsgId(0), MsgId(1)));
+        assert!(!r.contains(MsgId(1), MsgId(0)));
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn image_is_sorted() {
+        let r = rel(4, &[(1, 3), (1, 0), (1, 2), (2, 3)]);
+        let img: Vec<usize> = r.image(MsgId(1)).map(|m| m.0).collect();
+        assert_eq!(img, vec![0, 2, 3]);
+    }
+
+    #[test]
+    fn inverse_swaps() {
+        let r = rel(2, &[(0, 1)]).inverse();
+        assert!(r.contains(MsgId(1), MsgId(0)));
+        assert!(!r.contains(MsgId(0), MsgId(1)));
+    }
+
+    #[test]
+    fn composition_chains() {
+        let r = rel(3, &[(0, 1)]);
+        let s = rel(3, &[(1, 2)]);
+        let c = r.compose(&s);
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![(MsgId(0), MsgId(2))]);
+    }
+
+    #[test]
+    fn composition_with_empty_is_empty() {
+        let r = rel(3, &[(0, 1)]);
+        let e = Relation::new(3);
+        assert!(r.compose(&e).is_empty());
+        assert!(e.compose(&r).is_empty());
+    }
+
+    #[test]
+    fn transitive_closure_strict() {
+        let r = rel(3, &[(0, 1), (1, 2)]).transitive_closure();
+        assert!(r.contains(MsgId(0), MsgId(2)));
+        assert!(!r.contains(MsgId(0), MsgId(0)));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn reflexive_closure_adds_diagonal() {
+        let r = rel(2, &[(0, 1)]).reflexive_transitive_closure();
+        assert!(r.contains(MsgId(0), MsgId(0)));
+        assert!(r.contains(MsgId(1), MsgId(1)));
+        assert_eq!(r.len(), 3);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        assert!(!rel(3, &[(0, 1), (1, 2)]).has_cycle());
+        assert!(rel(3, &[(0, 1), (1, 0)]).has_cycle());
+        assert!(rel(1, &[(0, 0)]).has_cycle());
+    }
+
+    #[test]
+    fn find_cycle_names_members() {
+        let r = rel(3, &[(0, 1), (1, 0), (1, 2)]);
+        let c = r.find_cycle().unwrap();
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn union_merges() {
+        let u = rel(3, &[(0, 1)]).union(&rel(3, &[(1, 2)]));
+        assert_eq!(u.len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_infers_universe() {
+        let r: Relation = [(MsgId(0), MsgId(5))].into_iter().collect();
+        assert_eq!(r.universe(), 6);
+    }
+
+    #[test]
+    fn eq3_shape_waits_from_stalls_and_causes() {
+        // stalls = {(GetS→GetM)}; causes = {GetS→Fwd, Fwd→Data}.
+        // waits = stalls⁻¹ ; causes⁺ = {GetM→Fwd, GetM→Data}.
+        let gets = MsgId(0);
+        let getm = MsgId(1);
+        let fwd = MsgId(2);
+        let data = MsgId(3);
+        let mut stalls = Relation::new(4);
+        stalls.insert(gets, getm);
+        let mut causes = Relation::new(4);
+        causes.insert(gets, fwd);
+        causes.insert(fwd, data);
+        let waits = stalls.inverse().compose(&causes.transitive_closure());
+        assert!(waits.contains(getm, fwd));
+        assert!(waits.contains(getm, data));
+        assert_eq!(waits.len(), 2);
+    }
+}

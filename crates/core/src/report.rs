@@ -1,0 +1,288 @@
+//! Human-readable rendering of analysis results — including the Table-I
+//! style summary the benchmark harness prints.
+
+use crate::analyze::AnalysisReport;
+use crate::assignment::VnOutcome;
+use crate::classify::ProtocolClass;
+use crate::deadlock::{build_condition_graph, StepKind};
+use crate::queues::compute_queues;
+use std::fmt::Write as _;
+use vnet_graph::dot::{digraph_to_dot, ungraph_to_dot};
+use vnet_graph::UnGraph;
+use vnet_protocol::protocols;
+
+/// Renders a full multi-section report: relations, stall sites, and the
+/// outcome (mapping or Class-2 evidence).
+pub fn full_report(report: &AnalysisReport) -> String {
+    let spec = report.spec();
+    let mut out = String::new();
+    let _ = writeln!(out, "=== {} ===", spec.name());
+    let _ = writeln!(
+        out,
+        "messages: {}",
+        spec.messages()
+            .iter()
+            .map(|m| format!("{} [{}]", m.name, m.mtype.label()))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    let _ = writeln!(out, "\ncauses ({} pairs):", report.causes().len());
+    out.push_str(&report.causes().display(spec));
+
+    let _ = writeln!(out, "\nstall sites:");
+    for s in report.stall_sites() {
+        let inits: Vec<&str> = s
+            .initiators
+            .iter()
+            .map(|&m| spec.message_name(m))
+            .collect();
+        let _ = writeln!(
+            out,
+            "  {} state {} stalls {} (initiated by {})",
+            s.kind,
+            s.state,
+            spec.message_name(s.stalled),
+            inits.join("/")
+        );
+    }
+
+    let _ = writeln!(out, "\nwaits ({} pairs):", report.waits().len());
+    out.push_str(&report.waits().display(spec));
+
+    let _ = writeln!(out, "\nverdict: {}", report.class());
+    match report.outcome() {
+        VnOutcome::Class2(ev) => {
+            let names: Vec<&str> = ev
+                .waits_cycle
+                .iter()
+                .map(|&m| spec.message_name(m))
+                .collect();
+            let _ = writeln!(
+                out,
+                "waits cycle: {} -> {}",
+                names.join(" -> "),
+                names.first().copied().unwrap_or("?")
+            );
+            let _ = writeln!(
+                out,
+                "The protocol is a Class 2 protocol, Program Exit!"
+            );
+        }
+        VnOutcome::Assigned {
+            assignment,
+            conflict_pairs,
+            fas_weight,
+            recolor_rounds,
+        } => {
+            let _ = writeln!(out, "feedback-arc-set weight: {fas_weight}");
+            let _ = writeln!(out, "conflict pairs separated: {}", conflict_pairs.len());
+            if *recolor_rounds > 0 {
+                let _ = writeln!(out, "recolor rounds: {recolor_rounds}");
+            }
+            let _ = writeln!(out, "minimum VNs: {}", assignment.n_vns());
+            out.push_str(&assignment.display(spec));
+        }
+    }
+    out
+}
+
+/// One row of the Table-I summary: experiment number, protocol, and
+/// verdict.
+pub fn table1_row(report: &AnalysisReport) -> String {
+    let name = report.spec().name();
+    let exp = protocols::experiment_of(name)
+        .map(|e| format!("({e})"))
+        .unwrap_or_else(|| "(?)".to_string());
+    let verdict = match report.class() {
+        ProtocolClass::Class1 => "protocol deadlock".to_string(),
+        ProtocolClass::Class2 => "Class 2: deadlocks with any per-message VNs".to_string(),
+        ProtocolClass::Class3 { min_vns } => {
+            let mapping = report
+                .outcome()
+                .assignment()
+                .map(|a| {
+                    (0..a.n_vns())
+                        .map(|vn| {
+                            let ms: Vec<&str> = a
+                                .messages_in(vn)
+                                .map(|m| report.spec().message_name(m))
+                                .collect();
+                            format!("VN{vn}={{{}}}", ms.join(","))
+                        })
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                })
+                .unwrap_or_default();
+            format!("{min_vns} VN: {mapping}")
+        }
+    };
+    format!("{exp:>4}  {name:<26} {verdict}")
+}
+
+/// The whole Table-I summary over all builtin protocols, ordered by
+/// experiment number.
+pub fn table1_summary() -> String {
+    let mut rows: Vec<(u8, String)> = protocols::all()
+        .iter()
+        .map(|p| {
+            let report = crate::analyze(p);
+            (
+                protocols::experiment_of(p.name()).unwrap_or(0),
+                table1_row(&report),
+            )
+        })
+        .collect();
+    rows.sort();
+    let mut out = String::from(
+        " exp  protocol                   verdict (static analysis)\n\
+         ----  -------------------------  -------------------------\n",
+    );
+    for (_, row) in rows {
+        out.push_str(&row);
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+
+    #[test]
+    fn full_report_mentions_key_sections() {
+        let r = analyze(&protocols::chi());
+        let text = full_report(&r);
+        assert!(text.contains("=== CHI ==="));
+        assert!(text.contains("causes"));
+        assert!(text.contains("waits"));
+        assert!(text.contains("minimum VNs: 2"));
+    }
+
+    #[test]
+    fn class2_report_uses_artifact_exit_phrase() {
+        let r = analyze(&protocols::msi_blocking_cache());
+        let text = full_report(&r);
+        assert!(text.contains("Class 2 protocol, Program Exit!"));
+    }
+
+    #[test]
+    fn table1_summary_has_all_nine_rows() {
+        let text = table1_summary();
+        let rows = text
+            .lines()
+            .filter(|l| l.trim_start().starts_with('('))
+            .count();
+        assert_eq!(rows, 9);
+        assert!(text.contains("CHI"));
+        assert!(text.contains("2 VN"));
+        assert!(text.contains("Class 2"));
+    }
+
+    #[test]
+    fn rows_sorted_by_experiment() {
+        let text = table1_summary();
+        let exps: Vec<u8> = text
+            .lines()
+            .skip(2)
+            .filter_map(|l| l.trim_start().strip_prefix('(')?.chars().next())
+            .map(|c| c.to_digit(10).unwrap() as u8)
+            .collect();
+        let mut sorted = exps.clone();
+        sorted.sort();
+        assert_eq!(exps, sorted);
+    }
+}
+
+/// DOT rendering of the `waits ∪ queues` union digraph under the
+/// single-VN assumption (queues edges labeled `q`, waits edges `w`).
+pub fn dot_union(report: &AnalysisReport) -> String {
+    let queues = compute_queues(report.spec(), None);
+    let u = crate::deadlock::union_digraph(report.waits(), &queues);
+    let spec = report.spec();
+    digraph_to_dot(
+        &u,
+        |m| spec.message_name(*m).to_string(),
+        |k| match k {
+            StepKind::Waits => "w".to_string(),
+            StepKind::Queues => "q".to_string(),
+        },
+        &[],
+    )
+}
+
+/// DOT rendering of the Eq.-5 condition graph, with the selected
+/// feedback arc set highlighted (red/dashed) when the protocol is
+/// Class 3.
+pub fn dot_condition(report: &AnalysisReport) -> String {
+    let queues = compute_queues(report.spec(), None);
+    let cg = build_condition_graph(report.waits(), &queues);
+    let spec = report.spec();
+    // Recompute the FAS to highlight it (cheap at these sizes).
+    let n = spec.messages().len();
+    let fas = vnet_graph::fas::minimum_feedback_arc_set(&cg.graph, |w| {
+        if w.qs.is_empty() {
+            (1u128 << n.min(126)) + 1
+        } else {
+            1
+        }
+    });
+    digraph_to_dot(
+        &cg.graph,
+        |m| spec.message_name(*m).to_string(),
+        |w| format!("|qs|={}", w.qs.len()),
+        &fas.edges,
+    )
+}
+
+/// DOT rendering of the conflict graph colored by the final assignment
+/// (Class 3 only; `None` for Class 2).
+pub fn dot_conflict(report: &AnalysisReport) -> Option<String> {
+    let VnOutcome::Assigned {
+        assignment,
+        conflict_pairs,
+        ..
+    } = report.outcome()
+    else {
+        return None;
+    };
+    let spec = report.spec();
+    let mut g: UnGraph<String> = UnGraph::new();
+    let ids: Vec<_> = spec
+        .message_ids()
+        .map(|m| g.add_node(spec.message_name(m).to_string()))
+        .collect();
+    for &(a, b) in conflict_pairs {
+        g.add_edge(ids[a.0], ids[b.0]);
+    }
+    let colors: Vec<usize> = spec.message_ids().map(|m| assignment.vn_of(m)).collect();
+    Some(ungraph_to_dot(&g, |n| n.clone(), Some(&colors)))
+}
+
+#[cfg(test)]
+mod dot_tests {
+    use super::*;
+    use crate::analyze;
+
+    #[test]
+    fn dot_outputs_are_well_formed() {
+        let r = analyze(&protocols::msi_nonblocking_cache());
+        let u = dot_union(&r);
+        assert!(u.starts_with("digraph"));
+        assert!(u.contains("GetM"));
+        let c = dot_condition(&r);
+        assert!(c.contains("color=red"), "FAS should be highlighted");
+        let k = dot_conflict(&r).unwrap();
+        assert!(k.starts_with("graph"));
+        assert!(k.contains("fillcolor"));
+    }
+
+    #[test]
+    fn class2_has_no_conflict_dot() {
+        let r = analyze(&protocols::msi_blocking_cache());
+        assert!(dot_conflict(&r).is_none());
+        // But the union graph still renders (it shows the waits cycle).
+        assert!(dot_union(&r).contains("Fwd-GetM"));
+    }
+}

@@ -1,0 +1,213 @@
+//! The `stalls` relation (paper §IV-C/D).
+//!
+//! `m0 —stalls→ m1` iff some controller, having started a transaction
+//! with message `m0` (received it, or sent it on a core event) and
+//! transitioned into a transient state, stalls an incoming `m1` there.
+//!
+//! For each stall cell `(T, m1)` we compute the set `Init(T)` of
+//! initiating messages by walking backwards from `T` to the stable
+//! states: a transition out of a stable state contributes its triggering
+//! message (directory case — e.g. `S_D` is entered from `M` on GetS) or
+//! the request messages it sends (cache case — e.g. `IM_AD` is entered
+//! from `I` on a Store that sends GetM).
+
+use crate::relation::Relation;
+use std::collections::BTreeSet;
+use vnet_protocol::{ControllerKind, Event, MsgId, ProtocolSpec, StateId, StateKind};
+
+/// One stall site, for diagnostics and reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StallSite {
+    /// Which controller stalls.
+    pub kind: ControllerKind,
+    /// The transient state in which the stall happens.
+    pub state: String,
+    /// The stalled message.
+    pub stalled: MsgId,
+    /// The initiating messages `Init(T)`.
+    pub initiators: Vec<MsgId>,
+}
+
+/// Computes the `stalls` relation, plus the per-site breakdown.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::stalls::compute_stalls;
+/// use vnet_protocol::protocols;
+///
+/// let msi = protocols::msi_blocking_cache();
+/// let (stalls, _sites) = compute_stalls(&msi);
+/// let gets = msi.message_by_name("GetS").unwrap();
+/// let getm = msi.message_by_name("GetM").unwrap();
+/// // §II-E: an in-flight GetS transaction stalls a GetM at the directory.
+/// assert!(stalls.contains(gets, getm));
+/// ```
+pub fn compute_stalls(spec: &ProtocolSpec) -> (Relation, Vec<StallSite>) {
+    let n = spec.messages().len();
+    let mut rel = Relation::new(n);
+    let mut sites = Vec::new();
+
+    for kind in [ControllerKind::Cache, ControllerKind::Directory] {
+        let ctrl = spec.controller(kind);
+        for (state, stalled) in ctrl.message_stalls() {
+            let inits = initiators(spec, kind, state);
+            for &m0 in &inits {
+                rel.insert(m0, stalled);
+            }
+            sites.push(StallSite {
+                kind,
+                state: ctrl.state(state).name.clone(),
+                stalled,
+                initiators: inits.into_iter().collect(),
+            });
+        }
+    }
+    (rel, sites)
+}
+
+/// The messages that can initiate the transaction a controller is in
+/// while sitting in transient state `t` — the `Init(T)` set.
+pub fn initiators(spec: &ProtocolSpec, kind: ControllerKind, t: StateId) -> BTreeSet<MsgId> {
+    let ctrl = spec.controller(kind);
+    let mut init = BTreeSet::new();
+    let mut visited: BTreeSet<StateId> = [t].into();
+    let mut stack = vec![t];
+
+    while let Some(s) = stack.pop() {
+        for (src, trigger) in ctrl.transitions_into(s) {
+            match ctrl.state(src).kind {
+                StateKind::Stable => match trigger.event {
+                    // Directory-style entry: the received request starts
+                    // the transaction.
+                    Event::Msg(m) => {
+                        init.insert(m);
+                    }
+                    // Cache-style entry: the request sent by the core
+                    // event starts the transaction.
+                    Event::Core(_) => {
+                        if let Some(cell) = ctrl.cell(src, *trigger) {
+                            if let Some(entry) = cell.entry() {
+                                for (m, _) in entry.sends() {
+                                    init.insert(m);
+                                }
+                            }
+                        }
+                    }
+                },
+                StateKind::Transient => {
+                    if visited.insert(src) {
+                        stack.push(src);
+                    }
+                }
+            }
+        }
+    }
+    init
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn directory_sd_initiated_by_gets() {
+        let p = protocols::msi_blocking_cache();
+        let sd = p.directory().state_by_name("S_D").unwrap();
+        let init = initiators(&p, ControllerKind::Directory, sd);
+        let gets = p.message_by_name("GetS").unwrap();
+        assert_eq!(init, [gets].into());
+    }
+
+    #[test]
+    fn cache_im_ad_initiated_by_getm() {
+        let p = protocols::msi_blocking_cache();
+        let im_ad = p.cache().state_by_name("IM_AD").unwrap();
+        let init = initiators(&p, ControllerKind::Cache, im_ad);
+        let getm = p.message_by_name("GetM").unwrap();
+        assert_eq!(init, [getm].into());
+    }
+
+    #[test]
+    fn backward_walk_crosses_transient_chains() {
+        // IM_A is only reachable through IM_AD (and SM demotions); its
+        // initiator is still GetM.
+        let p = protocols::msi_blocking_cache();
+        let im_a = p.cache().state_by_name("IM_A").unwrap();
+        let init = initiators(&p, ControllerKind::Cache, im_a);
+        let getm = p.message_by_name("GetM").unwrap();
+        assert_eq!(init, [getm].into());
+    }
+
+    #[test]
+    fn blocking_msi_stall_relation() {
+        let p = protocols::msi_blocking_cache();
+        let (stalls, sites) = compute_stalls(&p);
+        let gets = p.message_by_name("GetS").unwrap();
+        let getm = p.message_by_name("GetM").unwrap();
+        let fwds = p.message_by_name("Fwd-GetS").unwrap();
+        let fwdm = p.message_by_name("Fwd-GetM").unwrap();
+        let inv = p.message_by_name("Inv").unwrap();
+        // Directory: GetS-initiated S_D stalls both request types.
+        assert!(stalls.contains(gets, gets));
+        assert!(stalls.contains(gets, getm));
+        // Cache: GetM-initiated transients stall forwards; GetS-initiated
+        // IS_D stalls Inv.
+        assert!(stalls.contains(getm, fwds));
+        assert!(stalls.contains(getm, fwdm));
+        assert!(stalls.contains(gets, inv));
+        assert!(!sites.is_empty());
+    }
+
+    #[test]
+    fn nonblocking_msi_only_directory_stalls() {
+        let p = protocols::msi_nonblocking_cache();
+        let (stalls, sites) = compute_stalls(&p);
+        assert!(sites.iter().all(|s| s.kind == ControllerKind::Directory));
+        let gets = p.message_by_name("GetS").unwrap();
+        let getm = p.message_by_name("GetM").unwrap();
+        let pairs: Vec<_> = stalls.iter().collect();
+        assert_eq!(pairs, vec![(gets, gets), (gets, getm)]);
+    }
+
+    #[test]
+    fn mosi_nonblocking_has_empty_stalls() {
+        let p = protocols::mosi_nonblocking_cache();
+        let (stalls, sites) = compute_stalls(&p);
+        assert!(stalls.is_empty());
+        assert!(sites.is_empty());
+    }
+
+    #[test]
+    fn chi_busy_states_initiated_by_requests_only() {
+        let p = protocols::chi();
+        let (stalls, _) = compute_stalls(&p);
+        for (m0, _) in stalls.iter() {
+            assert_eq!(
+                p.message(m0).mtype,
+                vnet_protocol::MsgType::Request,
+                "{} initiates a stall",
+                p.message_name(m0)
+            );
+        }
+        // Every request can be stalled by an in-flight ReadUnique.
+        let ru = p.message_by_name("ReadUnique").unwrap();
+        for r in p.messages_of_type(vnet_protocol::MsgType::Request) {
+            assert!(stalls.contains(ru, r));
+        }
+    }
+
+    #[test]
+    fn only_transient_states_appear_as_sites() {
+        for p in protocols::all() {
+            let (_, sites) = compute_stalls(&p);
+            for s in &sites {
+                let ctrl = p.controller(s.kind);
+                let sid = ctrl.state_by_name(&s.state).unwrap();
+                assert!(ctrl.state(sid).is_transient());
+                assert!(!s.initiators.is_empty(), "{}: {} has no initiator", p.name(), s.state);
+            }
+        }
+    }
+}

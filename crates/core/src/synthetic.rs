@@ -1,0 +1,211 @@
+//! Synthetic inputs for the scaling benchmarks.
+//!
+//! The paper notes (§VI-B) that real instances have ~10¹ message names,
+//! where the exact NP-hard solvers are instantaneous. The generators
+//! here let the benches push the pipeline well past that to measure how
+//! the FAS/coloring machinery scales:
+//!
+//! * [`striped_protocol`] — a full `ProtocolSpec` containing `k`
+//!   independent copies ("stripes") of the nonblocking-MSI message
+//!   family. The analysis must still find 2 VNs (conflicts never cross
+//!   stripes), but the relation and graph sizes grow linearly in `k`.
+//! * [`random_waits_queues`] — raw relation pairs with a seeded
+//!   xorshift generator, for benching the graph construction and FAS in
+//!   isolation.
+
+use crate::relation::Relation;
+use vnet_protocol::{acts, CoreOp, Guard, MsgId, MsgType, ProtocolBuilder, ProtocolSpec, Target};
+
+/// Builds a protocol with `k` independent nonblocking-MSI-like stripes.
+/// Stripe `i`'s messages are suffixed `#i`. Each stripe has its own
+/// cache/directory state family, so the stripes never interact — the
+/// expected analysis outcome stays "Class 3, 2 VNs" at every `k`.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn striped_protocol(k: usize) -> ProtocolSpec {
+    assert!(k > 0, "need at least one stripe");
+    let mut b = ProtocolBuilder::new(format!("striped-msi-x{k}"));
+
+    for i in 0..k {
+        b.msg(&format!("GetS#{i}"), MsgType::Request)
+            .msg(&format!("GetM#{i}"), MsgType::Request)
+            .msg(&format!("Fwd-GetS#{i}"), MsgType::FwdRequest)
+            .msg(&format!("Data#{i}"), MsgType::DataResponse);
+    }
+
+    // One shared idle state plus per-stripe transients.
+    let mut cache_stable = vec!["I".to_string()];
+    let mut cache_transient = Vec::new();
+    let mut dir_stable = vec!["I".to_string()];
+    let mut dir_transient = Vec::new();
+    for i in 0..k {
+        cache_stable.push(format!("S#{i}"));
+        cache_stable.push(format!("M#{i}"));
+        cache_transient.push(format!("IS_D#{i}"));
+        cache_transient.push(format!("IM_D#{i}"));
+        dir_stable.push(format!("M#{i}"));
+        dir_transient.push(format!("S_D#{i}"));
+    }
+    let cs: Vec<&str> = cache_stable.iter().map(String::as_str).collect();
+    let ct: Vec<&str> = cache_transient.iter().map(String::as_str).collect();
+    let ds: Vec<&str> = dir_stable.iter().map(String::as_str).collect();
+    let dt: Vec<&str> = dir_transient.iter().map(String::as_str).collect();
+    b.cache_stable(&cs).cache_transient(&ct).cache_initial("I");
+    b.dir_stable(&ds).dir_transient(&dt).dir_initial("I");
+
+    for i in 0..k {
+        let gets = format!("GetS#{i}");
+        let getm = format!("GetM#{i}");
+        let fwd = format!("Fwd-GetS#{i}");
+        let data = format!("Data#{i}");
+        let s = format!("S#{i}");
+        let m = format!("M#{i}");
+        let is_d = format!("IS_D#{i}");
+        let im_d = format!("IM_D#{i}");
+        let s_d = format!("S_D#{i}");
+
+        // Only stripe 0's core events fire from the shared I state; the
+        // others are rooted in their own stable states to keep the table
+        // well-formed without k² cells.
+        if i == 0 {
+            b.cache_on_core("I", CoreOp::Load, acts().send(&gets, Target::Dir).goto(&is_d));
+            b.cache_on_core("I", CoreOp::Store, acts().send(&getm, Target::Dir).goto(&im_d));
+        } else {
+            let prev_s = format!("S#{}", i - 1);
+            b.cache_on_core(&prev_s, CoreOp::Load, acts().send(&gets, Target::Dir).goto(&is_d));
+            b.cache_on_core(&prev_s, CoreOp::Store, acts().send(&getm, Target::Dir).goto(&im_d));
+        }
+        b.cache_on_msg_if(&is_d, &data, Guard::AckZero, acts().goto(&s));
+        b.cache_on_msg_if(&im_d, &data, Guard::AckZero, acts().goto(&m));
+        b.cache_on_msg(
+            &m,
+            &fwd,
+            acts().send_data(&data, Target::Req).send_data(&data, Target::Dir).goto(&s),
+        );
+
+        b.dir_on_msg("I", &gets, acts().send_data(&data, Target::Req));
+        b.dir_on_msg("I", &getm, acts().send_data(&data, Target::Req).set_owner_to_req().goto(&m));
+        b.dir_on_msg(
+            &m,
+            &gets,
+            acts().send(&fwd, Target::Owner).clear_owner().goto(&s_d),
+        );
+        b.dir_on_msg(&m, &getm, acts().send(&fwd, Target::Owner).clear_owner().goto(&s_d));
+        b.dir_stall_msg(&s_d, &gets);
+        b.dir_stall_msg(&s_d, &getm);
+        b.dir_on_msg(&s_d, &data, acts().copy_to_mem().goto("I"));
+    }
+    b.build()
+}
+
+/// A tiny deterministic xorshift generator (the core crate takes no RNG
+/// dependency; benches that want real distributions use `rand`).
+#[derive(Debug, Clone)]
+pub struct XorShift(u64);
+
+impl XorShift {
+    /// Seeds the generator (0 is mapped to a fixed nonzero seed).
+    pub fn new(seed: u64) -> Self {
+        XorShift(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish value in `0..bound`.
+    pub fn below(&mut self, bound: usize) -> usize {
+        (self.next_u64() % bound.max(1) as u64) as usize
+    }
+
+    /// Bernoulli with probability `p` (in per-mille).
+    pub fn chance(&mut self, per_mille: u64) -> bool {
+        self.next_u64() % 1000 < per_mille
+    }
+}
+
+/// Generates random `waits`/`queues` relations over `n` messages.
+/// `waits_density` and `queues_density` are per-mille edge
+/// probabilities. The `waits` relation is kept acyclic (pairs only go
+/// from lower to higher id) so the instance is Class-3-shaped.
+pub fn random_waits_queues(
+    n: usize,
+    waits_density: u64,
+    queues_density: u64,
+    seed: u64,
+) -> (Relation, Relation) {
+    let mut rng = XorShift::new(seed);
+    let mut waits = Relation::new(n);
+    let mut queues = Relation::new(n);
+    for a in 0..n {
+        for b in 0..n {
+            if a < b && rng.chance(waits_density) {
+                waits.insert(MsgId(a), MsgId(b));
+            }
+            if a != b && rng.chance(queues_density) {
+                queues.insert(MsgId(a), MsgId(b));
+            }
+        }
+    }
+    (waits, queues)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analyze;
+    use crate::classify::ProtocolClass;
+
+    #[test]
+    fn striped_protocol_validates_and_scales() {
+        for k in [1, 2, 4] {
+            let p = striped_protocol(k);
+            p.validate().unwrap_or_else(|e| panic!("k={k}: {e}"));
+            assert_eq!(p.messages().len(), 4 * k);
+        }
+    }
+
+    #[test]
+    fn striped_protocol_needs_two_vns_at_any_width() {
+        for k in [1, 3] {
+            let r = analyze(&striped_protocol(k));
+            assert_eq!(
+                r.class(),
+                ProtocolClass::Class3 { min_vns: 2 },
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn xorshift_is_deterministic() {
+        let mut a = XorShift::new(7);
+        let mut b = XorShift::new(7);
+        for _ in 0..10 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn random_relations_respect_shape() {
+        let (w, q) = random_waits_queues(20, 100, 100, 42);
+        assert!(!w.has_cycle());
+        for (a, b) in w.iter() {
+            assert!(a < b);
+        }
+        for (a, b) in q.iter() {
+            assert_ne!(a, b);
+        }
+        // Same seed reproduces.
+        let (w2, _) = random_waits_queues(20, 100, 100, 42);
+        assert_eq!(w, w2);
+    }
+}

@@ -1,0 +1,246 @@
+//! The **conventional-wisdom baseline** the paper argues against (§I,
+//! §III): group messages into classes (requests, forwarded requests,
+//! responses, and — where present — completions) and provision one VN
+//! per class along the longest chain of class dependencies.
+//!
+//! The paper shows this rule is *neither necessary nor sufficient*; this
+//! module implements it faithfully so the claim can be measured:
+//!
+//! * `textbook_vn_count` — the VN count the rule prescribes;
+//! * `textbook_assignment` — the class→VN mapping it implies;
+//! * compare both against [`crate::minimize_vns`] and
+//!   [`crate::assignment::certify`] (see the `conventional_wisdom`
+//!   binary in `vnet-bench`).
+
+use crate::assignment::VnAssignment;
+use crate::causes::compute_causes;
+use crate::relation::Relation;
+use std::collections::BTreeSet;
+use vnet_protocol::{ControllerKind, MsgId, MsgType, ProtocolSpec};
+
+/// The textbook message classes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MsgClass {
+    /// Cache → directory requests.
+    Request,
+    /// Directory → cache forwarded requests / invalidations / snoops.
+    Forward,
+    /// Data and control responses.
+    Response,
+    /// Transaction-completion messages (responses to responses, sent to
+    /// the home) — the fourth class of protocols like CHI.
+    Completion,
+}
+
+impl MsgClass {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgClass::Request => "Req",
+            MsgClass::Forward => "Fwd",
+            MsgClass::Response => "Resp",
+            MsgClass::Completion => "Compl",
+        }
+    }
+}
+
+/// Classifies every message the way the textbook reasoning does.
+///
+/// Requests and forwards follow their declared [`MsgType`]. A response is
+/// a *completion* when it is only ever received by directories **and**
+/// every message that causes it is itself a response — the "requestor
+/// closes the transaction with the home" pattern (CHI's CompAck).
+pub fn classify_messages(spec: &ProtocolSpec) -> Vec<MsgClass> {
+    let causes = compute_causes(spec);
+    spec.message_ids()
+        .map(|m| match spec.message(m).mtype {
+            MsgType::Request => MsgClass::Request,
+            MsgType::FwdRequest => MsgClass::Forward,
+            MsgType::DataResponse | MsgType::CtrlResponse => {
+                let receivers = spec.receivers_of(m);
+                let dir_only = receivers.len() == 1
+                    && receivers.contains(&ControllerKind::Directory);
+                let parents: BTreeSet<MsgId> = causes.inverse().image(m).collect();
+                let from_responses = !parents.is_empty()
+                    && parents
+                        .iter()
+                        .all(|&p| spec.message(p).mtype.is_response());
+                if dir_only && from_responses {
+                    MsgClass::Completion
+                } else {
+                    MsgClass::Response
+                }
+            }
+        })
+        .collect()
+}
+
+/// The class-level dependency relation: `A → B` iff some message of
+/// class `A` causes some message of class `B` (self-edges dropped — a
+/// class never chains with itself in the textbook picture).
+pub fn class_dependency_graph(spec: &ProtocolSpec) -> (Vec<MsgClass>, Relation) {
+    let classes = classify_messages(spec);
+    let causes = compute_causes(spec);
+    let class_ids = [
+        MsgClass::Request,
+        MsgClass::Forward,
+        MsgClass::Response,
+        MsgClass::Completion,
+    ];
+    let idx = |c: MsgClass| class_ids.iter().position(|&x| x == c).expect("known class");
+    let mut rel = Relation::new(4);
+    for (a, b) in causes.iter() {
+        let (ca, cb) = (classes[a.0], classes[b.0]);
+        if ca != cb {
+            rel.insert(MsgId(idx(ca)), MsgId(idx(cb)));
+        }
+    }
+    (classes, rel)
+}
+
+/// The conventional-wisdom VN count: the length of the longest chain in
+/// the class-dependency graph (number of classes on the longest path).
+///
+/// The class graph over {Req, Fwd, Resp, Compl} is a DAG for every
+/// sensible protocol; if a cycle appears, all four classes are counted
+/// (the rule has no better answer).
+pub fn textbook_vn_count(spec: &ProtocolSpec) -> usize {
+    let (classes, rel) = class_dependency_graph(spec);
+    let present: BTreeSet<MsgClass> = classes.iter().copied().collect();
+    if rel.has_cycle() {
+        return present.len();
+    }
+    // Longest path (in nodes) over the 4-node DAG, restricted to classes
+    // that actually occur.
+    let g = rel.to_digraph();
+    let order = vnet_graph::topo::topological_sort(&g).expect("acyclic checked");
+    let mut longest = [1usize; 4];
+    for v in order.into_iter().rev() {
+        for s in g.successors(v) {
+            longest[v.index()] = longest[v.index()].max(1 + longest[s.index()]);
+        }
+    }
+    let class_ids = [
+        MsgClass::Request,
+        MsgClass::Forward,
+        MsgClass::Response,
+        MsgClass::Completion,
+    ];
+    (0..4)
+        .filter(|&i| present.contains(&class_ids[i]))
+        .map(|i| longest[i])
+        .max()
+        .unwrap_or(1)
+}
+
+/// The class→VN assignment the textbook rule prescribes (one VN per
+/// *present* class, in class order).
+pub fn textbook_assignment(spec: &ProtocolSpec) -> VnAssignment {
+    let classes = classify_messages(spec);
+    let mut present: Vec<MsgClass> = classes.clone();
+    present.sort();
+    present.dedup();
+    let vn_of = classes
+        .iter()
+        .map(|c| present.iter().position(|p| p == c).expect("present"))
+        .collect();
+    VnAssignment::from_vns(vn_of)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::certify;
+    use crate::waits::compute_waits;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn msi_classes_match_the_primer() {
+        let p = protocols::msi_blocking_cache();
+        let classes = classify_messages(&p);
+        let class_of = |n: &str| classes[p.message_by_name(n).unwrap().0];
+        assert_eq!(class_of("GetS"), MsgClass::Request);
+        assert_eq!(class_of("Fwd-GetM"), MsgClass::Forward);
+        assert_eq!(class_of("Data"), MsgClass::Response);
+        assert_eq!(class_of("Inv-Ack"), MsgClass::Response);
+        // No completions in MSI.
+        assert!(!classes.contains(&MsgClass::Completion));
+    }
+
+    #[test]
+    fn chi_compack_is_a_completion() {
+        let p = protocols::chi();
+        let classes = classify_messages(&p);
+        let compack = p.message_by_name("CompAck").unwrap();
+        assert_eq!(classes[compack.0], MsgClass::Completion);
+        // CompData/Comp are plain responses.
+        let compdata = p.message_by_name("CompData").unwrap();
+        assert_eq!(classes[compdata.0], MsgClass::Response);
+    }
+
+    #[test]
+    fn textbook_counts_match_the_paper_narrative() {
+        // "For many directory protocols that chain length is three…"
+        for p in [
+            protocols::msi_blocking_cache(),
+            protocols::msi_nonblocking_cache(),
+            protocols::mesi_blocking_cache(),
+            protocols::mosi_blocking_cache(),
+            protocols::moesi_nonblocking_cache(),
+        ] {
+            assert_eq!(textbook_vn_count(&p), 3, "{}", p.name());
+        }
+        // "…some protocols, which follow a response with a completion
+        // message, have a chain length of four." (CHI)
+        assert_eq!(textbook_vn_count(&protocols::chi()), 4);
+    }
+
+    #[test]
+    fn textbook_is_not_sufficient_for_class2_protocols() {
+        // §III-A: 3 VNs don't save the textbook MSI.
+        let p = protocols::msi_blocking_cache();
+        let waits = compute_waits(&p);
+        let a = textbook_assignment(&p);
+        assert_eq!(a.n_vns(), 3);
+        assert!(!certify(&p, &waits, &a));
+    }
+
+    #[test]
+    fn textbook_is_not_necessary_for_nonblocking_protocols() {
+        // §III-B: the fully nonblocking protocols need 1 VN, the rule
+        // says 3.
+        for p in [
+            protocols::mosi_nonblocking_cache(),
+            protocols::moesi_nonblocking_cache(),
+        ] {
+            assert_eq!(textbook_vn_count(&p), 3, "{}", p.name());
+            assert_eq!(crate::minimize_vns(&p).min_vns(), Some(1), "{}", p.name());
+        }
+        // And CHI: the rule says 4, two suffice.
+        let chi = protocols::chi();
+        assert_eq!(textbook_vn_count(&chi), 4);
+        assert_eq!(crate::minimize_vns(&chi).min_vns(), Some(2));
+    }
+
+    #[test]
+    fn textbook_assignment_is_sufficient_for_class3() {
+        // When the protocol is Class 3, the (wasteful) textbook mapping
+        // does at least certify — it separates strictly more than the
+        // minimum does.
+        for p in [
+            protocols::msi_nonblocking_cache(),
+            protocols::chi(),
+        ] {
+            let waits = compute_waits(&p);
+            assert!(certify(&p, &waits, &textbook_assignment(&p)), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn class_graph_is_a_dag_for_builtins() {
+        for p in protocols::all() {
+            let (_, rel) = class_dependency_graph(&p);
+            assert!(!rel.has_cycle(), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,111 @@
+//! The `waits` relation (paper Eq. 3): `waits = stalls⁻¹ ; causes⁺`.
+//!
+//! `m1 —waits→ m2` iff a stalled `m1` can be waiting for an `m2` from the
+//! transaction that caused the stall. A **cycle in `waits` is the Class-2
+//! signature** (§V-E): such a protocol deadlocks even with one VN per
+//! message name, because the cycle can be chained across addresses with
+//! same-name `queues` edges that no assignment can break.
+
+use crate::causes::compute_causes;
+use crate::relation::Relation;
+use crate::stalls::compute_stalls;
+use vnet_protocol::ProtocolSpec;
+
+/// Computes `waits` from already-computed `stalls` and `causes`.
+pub fn waits_from(stalls: &Relation, causes: &Relation) -> Relation {
+    stalls.inverse().compose(&causes.transitive_closure())
+}
+
+/// Computes the `waits` relation of a protocol from scratch.
+///
+/// # Example
+///
+/// ```
+/// use vnet_core::waits::compute_waits;
+/// use vnet_protocol::protocols;
+///
+/// let msi = protocols::msi_blocking_cache();
+/// let waits = compute_waits(&msi);
+/// let fwdm = msi.message_by_name("Fwd-GetM").unwrap();
+/// // §V-E(b): the textbook protocol has Fwd-GetM —waits→ Fwd-GetM.
+/// assert!(waits.contains(fwdm, fwdm));
+/// ```
+pub fn compute_waits(spec: &ProtocolSpec) -> Relation {
+    let causes = compute_causes(spec);
+    let (stalls, _) = compute_stalls(spec);
+    waits_from(&stalls, &causes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn textbook_msi_has_the_fwdgetm_self_wait() {
+        let p = protocols::msi_blocking_cache();
+        let w = compute_waits(&p);
+        let fwdm = p.message_by_name("Fwd-GetM").unwrap();
+        assert!(w.contains(fwdm, fwdm));
+        assert!(w.has_cycle());
+    }
+
+    #[test]
+    fn nonblocking_msi_waits_is_requests_on_left_only() {
+        let p = protocols::msi_nonblocking_cache();
+        let w = compute_waits(&p);
+        assert!(!w.has_cycle());
+        for (m1, _) in w.iter() {
+            assert_eq!(p.message(m1).mtype, vnet_protocol::MsgType::Request);
+        }
+        // GetM waits for Fwd-GetS and Data (paper §IV-C example).
+        let getm = p.message_by_name("GetM").unwrap();
+        let fwds = p.message_by_name("Fwd-GetS").unwrap();
+        let data = p.message_by_name("Data").unwrap();
+        assert!(w.contains(getm, fwds));
+        assert!(w.contains(getm, data));
+    }
+
+    #[test]
+    fn chi_waits_matches_paper_generalization() {
+        // req —waits→ {fwd, res, data} and nothing else (§VII-C).
+        let p = protocols::chi();
+        let w = compute_waits(&p);
+        assert!(!w.has_cycle());
+        for (m1, m2) in w.iter() {
+            assert_eq!(p.message(m1).mtype, vnet_protocol::MsgType::Request);
+            assert_ne!(p.message(m2).mtype, vnet_protocol::MsgType::Request);
+        }
+        // The Figure-5 instance: ReadShared waits {Inv, SnpAck, Comp,
+        // CompAck} when blocked behind a CleanUnique.
+        let rs = p.message_by_name("ReadShared").unwrap();
+        for m in ["Inv", "SnpAck", "Comp", "CompAck"] {
+            let id = p.message_by_name(m).unwrap();
+            assert!(w.contains(rs, id), "ReadShared should wait for {m}");
+        }
+    }
+
+    #[test]
+    fn fully_nonblocking_protocols_have_empty_waits() {
+        for p in [
+            protocols::mosi_nonblocking_cache(),
+            protocols::moesi_nonblocking_cache(),
+        ] {
+            assert!(compute_waits(&p).is_empty(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn blocking_mosi_and_moesi_have_waits_cycles() {
+        for p in [
+            protocols::mosi_blocking_cache(),
+            protocols::moesi_blocking_cache(),
+            protocols::mesi_blocking_cache(),
+        ] {
+            let w = compute_waits(&p);
+            assert!(w.has_cycle(), "{} should be Class 2", p.name());
+            let fwdm = p.message_by_name("Fwd-GetM").unwrap();
+            assert!(w.contains(fwdm, fwdm), "{}", p.name());
+        }
+    }
+}

@@ -1,0 +1,312 @@
+//! A fixed-capacity bitset over `u64` words.
+//!
+//! Used by the reachability and closure algorithms, where row-level bitwise
+//! OR turns per-node BFS into a handful of word operations.
+
+use std::fmt;
+
+/// A growable set of small non-negative integers stored as machine words.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::BitSet;
+///
+/// let mut s = BitSet::with_capacity(10);
+/// s.insert(3);
+/// s.insert(7);
+/// assert!(s.contains(3));
+/// assert_eq!(s.iter().collect::<Vec<_>>(), vec![3, 7]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of valid bit positions (not number of set bits).
+    capacity: usize,
+}
+
+const WORD_BITS: usize = 64;
+
+impl BitSet {
+    /// Creates an empty bitset that can hold values in `0..capacity`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BitSet {
+            words: vec![0; capacity.div_ceil(WORD_BITS)],
+            capacity,
+        }
+    }
+
+    /// Returns the capacity (one past the largest storable value).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Grows the capacity to at least `capacity`, preserving contents.
+    pub fn grow(&mut self, capacity: usize) {
+        if capacity > self.capacity {
+            self.capacity = capacity;
+            self.words.resize(capacity.div_ceil(WORD_BITS), 0);
+        }
+    }
+
+    /// Inserts `value`, returning `true` if it was not already present.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value >= self.capacity()`.
+    pub fn insert(&mut self, value: usize) -> bool {
+        assert!(value < self.capacity, "bitset index {value} out of range");
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let fresh = self.words[w] & (1 << b) == 0;
+        self.words[w] |= 1 << b;
+        fresh
+    }
+
+    /// Removes `value`, returning `true` if it was present.
+    pub fn remove(&mut self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        let (w, b) = (value / WORD_BITS, value % WORD_BITS);
+        let present = self.words[w] & (1 << b) != 0;
+        self.words[w] &= !(1 << b);
+        present
+    }
+
+    /// Returns `true` if `value` is in the set.
+    pub fn contains(&self, value: usize) -> bool {
+        if value >= self.capacity {
+            return false;
+        }
+        self.words[value / WORD_BITS] & (1 << (value % WORD_BITS)) != 0
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Returns `true` if no elements are present.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    /// In-place union; returns `true` if `self` changed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let before = *a;
+            *a |= b;
+            changed |= *a != before;
+        }
+        changed
+    }
+
+    /// In-place intersection.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacities differ.
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Returns `true` if the two sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if every element of `self` is in `other`.
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
+    }
+
+    /// Iterates over the elements in ascending order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+/// Ascending iterator over the elements of a [`BitSet`].
+#[derive(Debug, Clone)]
+pub struct Iter<'a> {
+    set: &'a BitSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros() as usize;
+                self.bits &= self.bits - 1;
+                return Some(self.word * WORD_BITS + b);
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut set = BitSet::with_capacity(cap);
+        for v in items {
+            set.insert(v);
+        }
+        set
+    }
+}
+
+impl Extend<usize> for BitSet {
+    fn extend<I: IntoIterator<Item = usize>>(&mut self, iter: I) {
+        for v in iter {
+            if v >= self.capacity {
+                self.grow(v + 1);
+            }
+            self.insert(v);
+        }
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut s = BitSet::with_capacity(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(0));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn remove_round_trips() {
+        let mut s = BitSet::with_capacity(70);
+        s.insert(65);
+        assert!(s.remove(65));
+        assert!(!s.remove(65));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn remove_out_of_range_is_false() {
+        let mut s = BitSet::with_capacity(4);
+        assert!(!s.remove(100));
+    }
+
+    #[test]
+    fn union_reports_change() {
+        let mut a = BitSet::with_capacity(64);
+        let mut b = BitSet::with_capacity(64);
+        b.insert(5);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b));
+        assert!(a.contains(5));
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let mut a: BitSet = [1, 2, 3].into_iter().collect();
+        a.grow(8);
+        let mut b: BitSet = [2, 3, 5].into_iter().collect();
+        b.grow(8);
+        a.intersect_with(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![2, 3]);
+    }
+
+    #[test]
+    fn subset_and_intersects() {
+        let mut a = BitSet::with_capacity(16);
+        let mut b = BitSet::with_capacity(16);
+        a.insert(3);
+        b.insert(3);
+        b.insert(4);
+        assert!(a.is_subset(&b));
+        assert!(!b.is_subset(&a));
+        assert!(a.intersects(&b));
+        a.clear();
+        assert!(!a.intersects(&b));
+        assert!(a.is_subset(&b));
+    }
+
+    #[test]
+    fn iter_crosses_word_boundaries() {
+        let values = [0usize, 63, 64, 127, 128];
+        let s: BitSet = values.into_iter().collect();
+        assert_eq!(s.iter().collect::<Vec<_>>(), values.to_vec());
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut s = BitSet::with_capacity(2);
+        s.insert(1);
+        s.grow(200);
+        s.insert(199);
+        assert!(s.contains(1));
+        assert!(s.contains(199));
+    }
+
+    #[test]
+    fn extend_grows_automatically() {
+        let mut s = BitSet::with_capacity(1);
+        s.extend([0, 10, 300]);
+        assert!(s.contains(300));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn insert_out_of_range_panics() {
+        let mut s = BitSet::with_capacity(4);
+        s.insert(4);
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let s = BitSet::with_capacity(4);
+        assert_eq!(format!("{s:?}"), "{}");
+    }
+}

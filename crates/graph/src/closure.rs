@@ -1,0 +1,167 @@
+//! Reachability and transitive closure.
+//!
+//! The analysis pipeline needs `causes⁺` (transitive closure) and
+//! `(waits ∪ queues)*` (reflexive-transitive closure) over message-name
+//! graphs with ≈10¹ nodes, so a bitset row per node is more than fast
+//! enough and exact.
+
+use crate::bitset::BitSet;
+use crate::digraph::{DiGraph, NodeId};
+
+/// A reachability matrix: `rows[v]` is the set of nodes reachable from `v`.
+#[derive(Debug, Clone)]
+pub struct Reachability {
+    rows: Vec<BitSet>,
+}
+
+impl Reachability {
+    /// Returns `true` if `to` is reachable from `from` (per the closure
+    /// variant that produced this matrix).
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        self.rows[from.0].contains(to.0)
+    }
+
+    /// The set of nodes reachable from `from`.
+    pub fn row(&self, from: NodeId) -> &BitSet {
+        &self.rows[from.0]
+    }
+
+    /// Iterates over all reachable pairs `(from, to)`.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.rows
+            .iter()
+            .enumerate()
+            .flat_map(|(i, row)| row.iter().map(move |j| (NodeId(i), NodeId(j))))
+    }
+}
+
+/// Computes the *strict* transitive closure `E⁺`: `reachable(a, b)` iff
+/// there is a path of length ≥ 1 from `a` to `b`.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, closure::transitive_closure};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, c, ());
+/// let tc = transitive_closure(&g);
+/// assert!(tc.reachable(a, c));
+/// assert!(!tc.reachable(a, a)); // strict: no length-0 paths
+/// ```
+pub fn transitive_closure<N, E>(graph: &DiGraph<N, E>) -> Reachability {
+    let n = graph.node_count();
+    // BFS from every node. O(n * (n + m)) — fine at this scale; the bitset
+    // rows keep memory compact for the synthetic benches too.
+    let mut rows = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut row = BitSet::with_capacity(n);
+        let mut stack: Vec<usize> = graph.successors(NodeId(start)).map(|s| s.0).collect();
+        while let Some(v) = stack.pop() {
+            if row.insert(v) {
+                stack.extend(graph.successors(NodeId(v)).map(|s| s.0));
+            }
+        }
+        rows.push(row);
+    }
+    Reachability { rows }
+}
+
+/// Computes the reflexive-transitive closure `E*`: like
+/// [`transitive_closure`] but every node reaches itself.
+pub fn reflexive_transitive_closure<N, E>(graph: &DiGraph<N, E>) -> Reachability {
+    let mut r = transitive_closure(graph);
+    for (i, row) in r.rows.iter_mut().enumerate() {
+        row.insert(i);
+    }
+    r
+}
+
+/// The set of nodes reachable from `start` via paths of length ≥ 1.
+pub fn reachable_from<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> BitSet {
+    let n = graph.node_count();
+    let mut row = BitSet::with_capacity(n);
+    let mut stack: Vec<usize> = graph.successors(start).map(|s| s.0).collect();
+    while let Some(v) = stack.pop() {
+        if row.insert(v) {
+            stack.extend(graph.successors(NodeId(v)).map(|s| s.0));
+        }
+    }
+    row
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn chain_closure() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let tc = transitive_closure(&g);
+        assert!(tc.reachable(NodeId(0), NodeId(3)));
+        assert!(tc.reachable(NodeId(1), NodeId(3)));
+        assert!(!tc.reachable(NodeId(3), NodeId(0)));
+        assert!(!tc.reachable(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn cycle_members_reach_themselves_strictly() {
+        let g = graph(2, &[(0, 1), (1, 0)]);
+        let tc = transitive_closure(&g);
+        assert!(tc.reachable(NodeId(0), NodeId(0)));
+        assert!(tc.reachable(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn self_loop_strict_closure() {
+        let g = graph(1, &[(0, 0)]);
+        let tc = transitive_closure(&g);
+        assert!(tc.reachable(NodeId(0), NodeId(0)));
+    }
+
+    #[test]
+    fn reflexive_closure_adds_identity() {
+        let g = graph(2, &[(0, 1)]);
+        let rtc = reflexive_transitive_closure(&g);
+        assert!(rtc.reachable(NodeId(0), NodeId(0)));
+        assert!(rtc.reachable(NodeId(1), NodeId(1)));
+        assert!(rtc.reachable(NodeId(0), NodeId(1)));
+        assert!(!rtc.reachable(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn pairs_enumeration() {
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let tc = transitive_closure(&g);
+        let pairs: Vec<_> = tc.pairs().collect();
+        assert_eq!(pairs.len(), 3); // (0,1) (0,2) (1,2)
+    }
+
+    #[test]
+    fn reachable_from_single_source() {
+        let g = graph(4, &[(0, 1), (1, 2), (3, 0)]);
+        let r = reachable_from(&g, NodeId(0));
+        assert_eq!(r.iter().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn diamond_closure() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let tc = transitive_closure(&g);
+        assert!(tc.reachable(NodeId(0), NodeId(3)));
+        assert_eq!(tc.row(NodeId(0)).len(), 3);
+    }
+}

@@ -1,0 +1,338 @@
+//! Minimum vertex coloring of undirected graphs.
+//!
+//! The number of colors of the conflict graph *is* the number of virtual
+//! networks (paper §VI-A(c)), so we provide an exact solver for the final
+//! answer plus DSATUR/greedy for cross-checks and scaling studies.
+
+use crate::digraph::NodeId;
+use crate::ungraph::UnGraph;
+
+/// A proper vertex coloring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coloring {
+    /// `colors[v]` is the color (0-based) of node `v`.
+    pub colors: Vec<usize>,
+    /// Number of colors used.
+    pub num_colors: usize,
+    /// `true` if produced by the exact solver (chromatic number).
+    pub exact: bool,
+}
+
+impl Coloring {
+    /// The color of `node`.
+    pub fn color_of(&self, node: NodeId) -> usize {
+        self.colors[node.0]
+    }
+
+    /// Checks that no edge of `graph` is monochromatic.
+    pub fn is_proper<N>(&self, graph: &UnGraph<N>) -> bool {
+        graph
+            .edges()
+            .all(|(a, b)| self.colors[a.0] != self.colors[b.0])
+    }
+}
+
+/// Greedy coloring in the given vertex order.
+pub fn greedy_coloring<N>(graph: &UnGraph<N>, order: &[NodeId]) -> Coloring {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut colors = vec![UNSET; n];
+    let mut max_color = 0usize;
+    for &v in order {
+        let mut used = vec![false; max_color + 1];
+        for nb in graph.neighbors(v) {
+            let c = colors[nb.0];
+            if c != UNSET && c < used.len() {
+                used[c] = true;
+            }
+        }
+        let c = used.iter().position(|&u| !u).unwrap_or(used.len());
+        colors[v.0] = c;
+        max_color = max_color.max(c + 1);
+    }
+    let num_colors = if n == 0 {
+        0
+    } else {
+        colors.iter().max().map_or(0, |&c| c + 1)
+    };
+    Coloring {
+        colors,
+        num_colors,
+        exact: false,
+    }
+}
+
+/// DSATUR coloring: repeatedly color the vertex with the highest
+/// *saturation* (number of distinct neighbor colors), breaking ties by
+/// degree. Optimal on many structured graphs; always proper.
+pub fn dsatur_coloring<N>(graph: &UnGraph<N>) -> Coloring {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut colors = vec![UNSET; n];
+    let mut colored = 0usize;
+    while colored < n {
+        // Saturation of each uncolored vertex.
+        let v = (0..n)
+            .filter(|&v| colors[v] == UNSET)
+            .max_by_key(|&v| {
+                let sat: std::collections::BTreeSet<usize> = graph
+                    .neighbors(NodeId(v))
+                    .filter_map(|nb| (colors[nb.0] != UNSET).then_some(colors[nb.0]))
+                    .collect();
+                (sat.len(), graph.degree(NodeId(v)))
+            })
+            .expect("uncolored vertex exists");
+        let used: std::collections::BTreeSet<usize> = graph
+            .neighbors(NodeId(v))
+            .filter_map(|nb| (colors[nb.0] != UNSET).then_some(colors[nb.0]))
+            .collect();
+        let c = (0..).find(|c| !used.contains(c)).expect("unbounded range");
+        colors[v] = c;
+        colored += 1;
+    }
+    let num_colors = colors.iter().max().map_or(0, |&c| c + 1);
+    Coloring {
+        colors,
+        num_colors,
+        exact: false,
+    }
+}
+
+/// Exact minimum coloring (chromatic number) by iterative-deepening
+/// backtracking with DSATUR as the upper bound.
+///
+/// Exponential in the worst case; intended for the tiny conflict graphs of
+/// the VN pipeline. For an empty graph returns zero colors.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{UnGraph, coloring::exact_coloring};
+///
+/// let mut g: UnGraph<&str> = UnGraph::new();
+/// let a = g.add_node("GetM");
+/// let b = g.add_node("Data");
+/// g.add_edge(a, b);
+/// let c = exact_coloring(&g);
+/// assert_eq!(c.num_colors, 2);
+/// assert!(c.is_proper(&g));
+/// ```
+pub fn exact_coloring<N>(graph: &UnGraph<N>) -> Coloring {
+    let n = graph.node_count();
+    if n == 0 {
+        return Coloring {
+            colors: Vec::new(),
+            num_colors: 0,
+            exact: true,
+        };
+    }
+    if graph.edge_count() == 0 {
+        return Coloring {
+            colors: vec![0; n],
+            num_colors: 1,
+            exact: true,
+        };
+    }
+    let upper = dsatur_coloring(graph);
+    // A clique lower bound: greedy clique from the max-degree vertex.
+    let lower = greedy_clique_size(graph).max(2);
+    for k in lower..=upper.num_colors {
+        if let Some(colors) = try_k_coloring(graph, k) {
+            return Coloring {
+                colors,
+                num_colors: k,
+                exact: true,
+            };
+        }
+    }
+    Coloring {
+        exact: true,
+        ..upper
+    }
+}
+
+fn greedy_clique_size<N>(graph: &UnGraph<N>) -> usize {
+    let n = graph.node_count();
+    if n == 0 {
+        return 0;
+    }
+    let start = (0..n)
+        .max_by_key(|&v| graph.degree(NodeId(v)))
+        .expect("nonempty");
+    let mut clique = vec![start];
+    let mut candidates: Vec<usize> = graph.neighbors(NodeId(start)).map(|v| v.0).collect();
+    candidates.sort_by_key(|&v| std::cmp::Reverse(graph.degree(NodeId(v))));
+    for v in candidates {
+        if clique
+            .iter()
+            .all(|&c| graph.are_adjacent(NodeId(v), NodeId(c)))
+        {
+            clique.push(v);
+        }
+    }
+    clique.len()
+}
+
+/// Backtracking k-colorability test. Vertices are processed in DSATUR-ish
+/// static order (descending degree); symmetry is broken by only allowing a
+/// new color index one past the current maximum.
+fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize) -> Option<Vec<usize>> {
+    let n = graph.node_count();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(NodeId(v))));
+    const UNSET: usize = usize::MAX;
+    let mut colors = vec![UNSET; n];
+
+    fn backtrack<N>(
+        graph: &UnGraph<N>,
+        order: &[usize],
+        pos: usize,
+        k: usize,
+        max_used: usize,
+        colors: &mut Vec<usize>,
+    ) -> bool {
+        if pos == order.len() {
+            return true;
+        }
+        let v = order[pos];
+        let forbidden: std::collections::BTreeSet<usize> = graph
+            .neighbors(NodeId(v))
+            .filter_map(|nb| (colors[nb.0] != usize::MAX).then_some(colors[nb.0]))
+            .collect();
+        let limit = (max_used + 1).min(k);
+        for c in 0..limit {
+            if forbidden.contains(&c) {
+                continue;
+            }
+            colors[v] = c;
+            let new_max = max_used.max(c + 1);
+            if backtrack(graph, order, pos + 1, k, new_max, colors) {
+                return true;
+            }
+            colors[v] = usize::MAX;
+        }
+        false
+    }
+
+    backtrack(graph, &order, 0, k, 0, &mut colors).then_some(colors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> UnGraph<usize> {
+        let mut g = UnGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b]);
+        }
+        g
+    }
+
+    #[test]
+    fn empty_graph_zero_colors() {
+        let g: UnGraph<usize> = UnGraph::new();
+        assert_eq!(exact_coloring(&g).num_colors, 0);
+    }
+
+    #[test]
+    fn edgeless_graph_one_color() {
+        let g = graph(5, &[]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 1);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn single_edge_two_colors() {
+        let g = graph(2, &[(0, 1)]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 2);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn triangle_three_colors() {
+        let g = graph(3, &[(0, 1), (1, 2), (0, 2)]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 3);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn even_cycle_two_colors() {
+        let g = graph(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 2);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn odd_cycle_three_colors() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 3);
+        assert!(c.is_proper(&g));
+    }
+
+    #[test]
+    fn bipartite_needs_two_even_when_dsatur_might_struggle() {
+        // Crown-ish bipartite graph.
+        let g = graph(
+            6,
+            &[(0, 3), (0, 4), (1, 3), (1, 5), (2, 4), (2, 5)],
+        );
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 2);
+    }
+
+    #[test]
+    fn k4_needs_four() {
+        let g = graph(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let c = exact_coloring(&g);
+        assert_eq!(c.num_colors, 4);
+    }
+
+    #[test]
+    fn dsatur_is_proper_and_bounded() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let d = dsatur_coloring(&g);
+        assert!(d.is_proper(&g));
+        let e = exact_coloring(&g);
+        assert!(e.num_colors <= d.num_colors);
+    }
+
+    #[test]
+    fn greedy_is_proper() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let order: Vec<NodeId> = g.node_ids().collect();
+        let c = greedy_coloring(&g, &order);
+        assert!(c.is_proper(&g));
+        assert!(c.num_colors >= 2);
+    }
+
+    #[test]
+    fn exact_matches_on_random_graphs_vs_dsatur_bound() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..15 {
+            let n = rng.gen_range(2..9);
+            let mut g: UnGraph<()> = UnGraph::new();
+            let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for i in 0..n {
+                for j in i + 1..n {
+                    if rng.gen_bool(0.5) {
+                        g.add_edge(ns[i], ns[j]);
+                    }
+                }
+            }
+            let e = exact_coloring(&g);
+            let d = dsatur_coloring(&g);
+            assert!(e.is_proper(&g));
+            assert!(d.is_proper(&g));
+            assert!(e.num_colors <= d.num_colors);
+            assert!(e.num_colors >= greedy_clique_size(&g).min(e.num_colors));
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Condensation of a directed graph into its DAG of strongly connected
+//! components.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use crate::scc::{tarjan, SccResult};
+use std::collections::BTreeSet;
+
+/// The condensation DAG of a directed graph.
+///
+/// Each node of the condensation carries the member list of its SCC; each
+/// edge carries the original edge ids that cross between the two SCCs.
+#[derive(Debug)]
+pub struct Condensation {
+    /// The condensation graph: node payload = members, edge payload =
+    /// original crossing edges.
+    pub dag: DiGraph<Vec<NodeId>, Vec<EdgeId>>,
+    /// The underlying SCC labeling.
+    pub sccs: SccResult,
+}
+
+/// Builds the condensation of `graph`.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, condensation::condense};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// g.add_edge(b, c, ());
+/// let cond = condense(&g);
+/// assert_eq!(cond.dag.node_count(), 2);
+/// assert_eq!(cond.dag.edge_count(), 1);
+/// ```
+pub fn condense<N, E>(graph: &DiGraph<N, E>) -> Condensation {
+    let sccs = tarjan(graph);
+    let mut dag: DiGraph<Vec<NodeId>, Vec<EdgeId>> = DiGraph::new();
+    for members in &sccs.members {
+        dag.add_node(members.clone());
+    }
+    // Group crossing edges by (src component, dst component).
+    let mut seen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    let mut buckets: std::collections::BTreeMap<(usize, usize), Vec<EdgeId>> =
+        std::collections::BTreeMap::new();
+    for (eid, s, d) in graph.edges() {
+        let (cs, cd) = (sccs.component_of(s), sccs.component_of(d));
+        if cs != cd {
+            seen.insert((cs, cd));
+            buckets.entry((cs, cd)).or_default().push(eid);
+        }
+    }
+    for ((cs, cd), edges) in buckets {
+        dag.add_edge(NodeId(cs), NodeId(cd), edges);
+    }
+    debug_assert_eq!(seen.len(), dag.edge_count());
+    Condensation { dag, sccs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn condensation_is_acyclic() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ns: Vec<NodeId> = (0..5).map(|_| g.add_node(())).collect();
+        for &(a, b) in &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2), (3, 4)] {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        let cond = condense(&g);
+        assert_eq!(cond.dag.node_count(), 3);
+        assert!(!crate::scc::has_cycle(&cond.dag));
+    }
+
+    #[test]
+    fn crossing_edges_recorded() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        let e0 = g.add_edge(a, b, ());
+        let e1 = g.add_edge(a, b, ());
+        let cond = condense(&g);
+        assert_eq!(cond.dag.edge_count(), 1);
+        let eid = cond.dag.edge_ids().next().unwrap();
+        assert_eq!(cond.dag.edge(eid), &vec![e0, e1]);
+    }
+
+    #[test]
+    fn internal_edges_not_crossing() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let cond = condense(&g);
+        assert_eq!(cond.dag.node_count(), 1);
+        assert_eq!(cond.dag.edge_count(), 0);
+        assert_eq!(cond.dag.node(NodeId(0)).len(), 2);
+    }
+}

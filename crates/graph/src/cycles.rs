@@ -1,0 +1,269 @@
+//! Elementary-cycle enumeration (Johnson's algorithm).
+//!
+//! The exact minimum feedback arc set solver works on the set of elementary
+//! cycles: a feedback arc set must hit every one of them, and any edge set
+//! hitting all elementary cycles makes the graph acyclic.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::collections::BTreeSet;
+
+/// An elementary cycle, reported as the sequence of edges traversed.
+///
+/// For a cycle `a -> b -> c -> a` the edge list is `[a->b, b->c, c->a]`.
+/// Self-loops yield a single-edge cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cycle {
+    /// The edges of the cycle, in traversal order.
+    pub edges: Vec<EdgeId>,
+}
+
+impl Cycle {
+    /// The nodes on the cycle, in traversal order (starting at the source
+    /// of the first edge).
+    pub fn nodes<N, E>(&self, graph: &DiGraph<N, E>) -> Vec<NodeId> {
+        self.edges.iter().map(|&e| graph.endpoints(e).0).collect()
+    }
+
+    /// Cycle length in edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` if the cycle has no edges (never produced by the
+    /// enumerator; exists for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Enumerates elementary cycles with Johnson's algorithm, up to `limit`
+/// cycles (pass `usize::MAX` for no limit).
+///
+/// Parallel edges produce distinct cycles (one per edge choice), which is
+/// what the feedback-arc-set reduction needs: hitting one parallel edge
+/// does not break the cycle through its twin.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, cycles::elementary_cycles};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// g.add_edge(a, a, ());
+/// let cycles = elementary_cycles(&g, usize::MAX);
+/// assert_eq!(cycles.len(), 2); // the 2-cycle and the self-loop
+/// ```
+pub fn elementary_cycles<N, E>(graph: &DiGraph<N, E>, limit: usize) -> Vec<Cycle> {
+    let n = graph.node_count();
+    let mut cycles = Vec::new();
+
+    // Self-loops first (Johnson's algorithm proper skips them).
+    for (eid, s, d) in graph.edges() {
+        if s == d {
+            cycles.push(Cycle { edges: vec![eid] });
+            if cycles.len() >= limit {
+                return cycles;
+            }
+        }
+    }
+
+    // Johnson: for each start node s (ascending), find cycles whose minimum
+    // node is s, restricted to the subgraph induced by nodes >= s.
+    for start in 0..n {
+        let mut ctx = Johnson {
+            graph,
+            start,
+            blocked: vec![false; n],
+            block_map: vec![BTreeSet::new(); n],
+            edge_stack: Vec::new(),
+            cycles: &mut cycles,
+            limit,
+        };
+        ctx.circuit(start);
+        if cycles.len() >= limit {
+            break;
+        }
+    }
+    cycles
+}
+
+struct Johnson<'a, N, E> {
+    graph: &'a DiGraph<N, E>,
+    start: usize,
+    blocked: Vec<bool>,
+    block_map: Vec<BTreeSet<usize>>,
+    edge_stack: Vec<EdgeId>,
+    cycles: &'a mut Vec<Cycle>,
+    limit: usize,
+}
+
+impl<N, E> Johnson<'_, N, E> {
+    fn unblock(&mut self, v: usize) {
+        self.blocked[v] = false;
+        let deps: Vec<usize> = self.block_map[v].iter().copied().collect();
+        self.block_map[v].clear();
+        for w in deps {
+            if self.blocked[w] {
+                self.unblock(w);
+            }
+        }
+    }
+
+    fn circuit(&mut self, v: usize) -> bool {
+        if self.cycles.len() >= self.limit {
+            return true;
+        }
+        let mut found = false;
+        self.blocked[v] = true;
+        let out: Vec<(EdgeId, usize)> = self
+            .graph
+            .out_edges(NodeId(v))
+            .map(|e| (e, self.graph.endpoints(e).1 .0))
+            .filter(|&(_, w)| w >= self.start && w != v)
+            .collect();
+        for (eid, w) in &out {
+            if self.cycles.len() >= self.limit {
+                break;
+            }
+            self.edge_stack.push(*eid);
+            if *w == self.start {
+                self.cycles.push(Cycle {
+                    edges: self.edge_stack.clone(),
+                });
+                found = true;
+            } else if !self.blocked[*w] && self.circuit(*w) {
+                found = true;
+            }
+            self.edge_stack.pop();
+        }
+        if found {
+            self.unblock(v);
+        } else {
+            for (_, w) in &out {
+                self.block_map[*w].insert(v);
+            }
+        }
+        found
+    }
+}
+
+/// Returns the shortest cycle through each edge that lies on any cycle —
+/// a cheap diagnostic used to explain FAS choices. The result maps each
+/// cyclic edge to one witness cycle containing it.
+pub fn witness_cycles<N, E>(graph: &DiGraph<N, E>) -> Vec<(EdgeId, Cycle)> {
+    let all = elementary_cycles(graph, 100_000);
+    let mut witness: std::collections::BTreeMap<EdgeId, Cycle> = Default::default();
+    for c in all {
+        for &e in &c.edges {
+            match witness.get(&e) {
+                Some(existing) if existing.len() <= c.len() => {}
+                _ => {
+                    witness.insert(e, c.clone());
+                }
+            }
+        }
+    }
+    witness.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn triangle_has_one_cycle() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 3);
+        assert_eq!(
+            cycles[0].nodes(&g),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+    }
+
+    #[test]
+    fn dag_has_no_cycles() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert!(elementary_cycles(&g, usize::MAX).is_empty());
+    }
+
+    #[test]
+    fn complete_graph_k3_cycle_count() {
+        // K3 (all ordered pairs): 3 two-cycles + 2 three-cycles = 5.
+        let g = graph(
+            3,
+            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
+        );
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 5);
+    }
+
+    #[test]
+    fn parallel_edges_give_distinct_cycles() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(b, a, ());
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn limit_respected() {
+        let g = graph(
+            3,
+            &[(0, 1), (1, 0), (0, 2), (2, 0), (1, 2), (2, 1)],
+        );
+        let cycles = elementary_cycles(&g, 2);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn self_loops_reported() {
+        let g = graph(2, &[(0, 0), (0, 1), (1, 0)]);
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 2);
+        assert!(cycles.iter().any(|c| c.len() == 1));
+    }
+
+    #[test]
+    fn figure_eight() {
+        // Two cycles sharing node 1: 0->1->0 and 1->2->1.
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2), (2, 1)]);
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 2);
+    }
+
+    #[test]
+    fn witness_covers_cyclic_edges() {
+        let g = graph(3, &[(0, 1), (1, 0), (1, 2)]);
+        let w = witness_cycles(&g);
+        // Edges 0 and 1 are cyclic, edge 2 is not.
+        let covered: Vec<EdgeId> = w.iter().map(|(e, _)| *e).collect();
+        assert_eq!(covered, vec![EdgeId(0), EdgeId(1)]);
+    }
+
+    #[test]
+    fn four_cycle() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let cycles = elementary_cycles(&g, usize::MAX);
+        assert_eq!(cycles.len(), 1);
+        assert_eq!(cycles[0].len(), 4);
+    }
+}

@@ -1,0 +1,339 @@
+//! A directed multigraph with stable integer indices.
+//!
+//! Nodes and edges carry arbitrary payloads. Indices are never invalidated
+//! (there is no removal; the analysis pipeline builds graphs once and then
+//! only reads them — edge *sets* under consideration, e.g. a feedback arc
+//! set, are represented externally as index collections).
+
+use std::fmt;
+
+/// Identifier of a node in a [`DiGraph`] (or [`crate::UnGraph`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Identifier of an edge in a [`DiGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EdgeId(pub usize);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl EdgeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Edge<E> {
+    src: NodeId,
+    dst: NodeId,
+    weight: E,
+}
+
+/// A directed multigraph: parallel edges and self-loops are allowed.
+///
+/// `N` is the node payload, `E` the edge payload.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::DiGraph;
+///
+/// let mut g: DiGraph<&str, ()> = DiGraph::new();
+/// let a = g.add_node("GetM");
+/// let b = g.add_node("Data");
+/// g.add_edge(a, b, ());
+/// assert_eq!(g.out_degree(a), 1);
+/// assert_eq!(g.node(b), &"Data");
+/// ```
+#[derive(Clone)]
+pub struct DiGraph<N, E> {
+    nodes: Vec<N>,
+    edges: Vec<Edge<E>>,
+    out_adj: Vec<Vec<EdgeId>>,
+    in_adj: Vec<Vec<EdgeId>>,
+}
+
+impl<N, E> DiGraph<N, E> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DiGraph {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            out_adj: Vec::new(),
+            in_adj: Vec::new(),
+        }
+    }
+
+    /// Creates an empty graph with preallocated capacity.
+    pub fn with_capacity(nodes: usize, edges: usize) -> Self {
+        DiGraph {
+            nodes: Vec::with_capacity(nodes),
+            edges: Vec::with_capacity(edges),
+            out_adj: Vec::with_capacity(nodes),
+            in_adj: Vec::with_capacity(nodes),
+        }
+    }
+
+    /// Adds a node with the given payload, returning its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(payload);
+        self.out_adj.push(Vec::new());
+        self.in_adj.push(Vec::new());
+        id
+    }
+
+    /// Adds a directed edge `src -> dst`, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is not a node of this graph.
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId, weight: E) -> EdgeId {
+        assert!(src.0 < self.nodes.len(), "source {src} out of range");
+        assert!(dst.0 < self.nodes.len(), "destination {dst} out of range");
+        let id = EdgeId(self.edges.len());
+        self.edges.push(Edge { src, dst, weight });
+        self.out_adj[src.0].push(id);
+        self.in_adj[dst.0].push(id);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The payload of `node`.
+    pub fn node(&self, node: NodeId) -> &N {
+        &self.nodes[node.0]
+    }
+
+    /// Mutable payload of `node`.
+    pub fn node_mut(&mut self, node: NodeId) -> &mut N {
+        &mut self.nodes[node.0]
+    }
+
+    /// The payload of `edge`.
+    pub fn edge(&self, edge: EdgeId) -> &E {
+        &self.edges[edge.0].weight
+    }
+
+    /// Mutable payload of `edge`.
+    pub fn edge_mut(&mut self, edge: EdgeId) -> &mut E {
+        &mut self.edges[edge.0].weight
+    }
+
+    /// The `(source, destination)` endpoints of `edge`.
+    pub fn endpoints(&self, edge: EdgeId) -> (NodeId, NodeId) {
+        let e = &self.edges[edge.0];
+        (e.src, e.dst)
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Iterates over all edge ids.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Iterates over `(edge, src, dst)` triples.
+    pub fn edges(&self) -> impl Iterator<Item = (EdgeId, NodeId, NodeId)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EdgeId(i), e.src, e.dst))
+    }
+
+    /// Outgoing edge ids of `node`.
+    pub fn out_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.out_adj[node.0].iter().copied()
+    }
+
+    /// Incoming edge ids of `node`.
+    pub fn in_edges(&self, node: NodeId) -> impl Iterator<Item = EdgeId> + '_ {
+        self.in_adj[node.0].iter().copied()
+    }
+
+    /// Successor nodes of `node` (with multiplicity).
+    pub fn successors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.out_adj[node.0].iter().map(|e| self.edges[e.0].dst)
+    }
+
+    /// Predecessor nodes of `node` (with multiplicity).
+    pub fn predecessors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.in_adj[node.0].iter().map(|e| self.edges[e.0].src)
+    }
+
+    /// Out-degree of `node`.
+    pub fn out_degree(&self, node: NodeId) -> usize {
+        self.out_adj[node.0].len()
+    }
+
+    /// In-degree of `node`.
+    pub fn in_degree(&self, node: NodeId) -> usize {
+        self.in_adj[node.0].len()
+    }
+
+    /// Returns the first edge `src -> dst`, if any.
+    pub fn find_edge(&self, src: NodeId, dst: NodeId) -> Option<EdgeId> {
+        self.out_adj[src.0]
+            .iter()
+            .copied()
+            .find(|e| self.edges[e.0].dst == dst)
+    }
+
+    /// Returns `true` if an edge `src -> dst` exists.
+    pub fn has_edge(&self, src: NodeId, dst: NodeId) -> bool {
+        self.find_edge(src, dst).is_some()
+    }
+
+    /// Maps node payloads, preserving structure and edge payloads by clone.
+    pub fn map_nodes<M>(&self, mut f: impl FnMut(NodeId, &N) -> M) -> DiGraph<M, E>
+    where
+        E: Clone,
+    {
+        DiGraph {
+            nodes: self
+                .nodes
+                .iter()
+                .enumerate()
+                .map(|(i, n)| f(NodeId(i), n))
+                .collect(),
+            edges: self.edges.clone(),
+            out_adj: self.out_adj.clone(),
+            in_adj: self.in_adj.clone(),
+        }
+    }
+}
+
+impl<N, E> Default for DiGraph<N, E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: fmt::Debug, E: fmt::Debug> fmt::Debug for DiGraph<N, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DiGraph {{ {} nodes, {} edges", self.nodes.len(), self.edges.len())?;
+        for (i, e) in self.edges.iter().enumerate() {
+            writeln!(
+                f,
+                "  e{}: {:?} -> {:?} [{:?}]",
+                i, self.nodes[e.src.0], self.nodes[e.dst.0], e.weight
+            )?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> (DiGraph<char, u32>, Vec<NodeId>) {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = "abc".chars().map(|c| g.add_node(c)).collect();
+        g.add_edge(ns[0], ns[1], 10);
+        g.add_edge(ns[1], ns[2], 20);
+        g.add_edge(ns[2], ns[0], 30);
+        (g, ns)
+    }
+
+    #[test]
+    fn counts_and_payloads() {
+        let (g, ns) = sample();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(*g.node(ns[1]), 'b');
+        assert_eq!(*g.edge(EdgeId(1)), 20);
+    }
+
+    #[test]
+    fn adjacency() {
+        let (g, ns) = sample();
+        assert_eq!(g.successors(ns[0]).collect::<Vec<_>>(), vec![ns[1]]);
+        assert_eq!(g.predecessors(ns[0]).collect::<Vec<_>>(), vec![ns[2]]);
+        assert_eq!(g.out_degree(ns[0]), 1);
+        assert_eq!(g.in_degree(ns[0]), 1);
+    }
+
+    #[test]
+    fn endpoints_and_find() {
+        let (g, ns) = sample();
+        assert_eq!(g.endpoints(EdgeId(0)), (ns[0], ns[1]));
+        assert!(g.has_edge(ns[2], ns[0]));
+        assert!(!g.has_edge(ns[0], ns[2]));
+        assert_eq!(g.find_edge(ns[1], ns[2]), Some(EdgeId(1)));
+    }
+
+    #[test]
+    fn parallel_edges_and_self_loops() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        g.add_edge(a, a, ());
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.out_degree(a), 3);
+        assert_eq!(g.in_degree(a), 1);
+    }
+
+    #[test]
+    fn map_nodes_preserves_structure() {
+        let (g, _) = sample();
+        let h = g.map_nodes(|id, c| format!("{}{}", c, id.index()));
+        assert_eq!(h.node(NodeId(0)), "a0");
+        assert_eq!(h.edge_count(), 3);
+    }
+
+    #[test]
+    fn mutable_payloads() {
+        let (mut g, ns) = sample();
+        *g.node_mut(ns[0]) = 'z';
+        *g.edge_mut(EdgeId(0)) = 99;
+        assert_eq!(*g.node(ns[0]), 'z');
+        assert_eq!(*g.edge(EdgeId(0)), 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn add_edge_validates_endpoints() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        g.add_edge(a, NodeId(5), ());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(format!("{g:?}").contains("0 nodes"));
+    }
+}

@@ -1,0 +1,119 @@
+//! Graphviz DOT export for debugging and documentation.
+
+use crate::digraph::{DiGraph, EdgeId};
+use crate::ungraph::UnGraph;
+use std::fmt::Write as _;
+
+/// Renders a directed graph to DOT, labeling nodes and edges with the
+/// supplied formatters. Edges in `highlight` are drawn red and dashed
+/// (used to visualize a feedback arc set).
+pub fn digraph_to_dot<N, E>(
+    graph: &DiGraph<N, E>,
+    node_label: impl Fn(&N) -> String,
+    edge_label: impl Fn(&E) -> String,
+    highlight: &[EdgeId],
+) -> String {
+    let mut out = String::from("digraph G {\n  rankdir=LR;\n");
+    for id in graph.node_ids() {
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"];",
+            id.index(),
+            escape(&node_label(graph.node(id)))
+        );
+    }
+    for (eid, s, d) in graph.edges() {
+        let style = if highlight.contains(&eid) {
+            ", color=red, style=dashed"
+        } else {
+            ""
+        };
+        let label = edge_label(graph.edge(eid));
+        let _ = writeln!(
+            out,
+            "  n{} -> n{} [label=\"{}\"{}];",
+            s.index(),
+            d.index(),
+            escape(&label),
+            style
+        );
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders an undirected graph to DOT, with `color[v]` shown per node when
+/// provided (used to visualize the conflict-graph coloring / VN mapping).
+pub fn ungraph_to_dot<N>(
+    graph: &UnGraph<N>,
+    node_label: impl Fn(&N) -> String,
+    colors: Option<&[usize]>,
+) -> String {
+    const PALETTE: [&str; 8] = [
+        "#8dd3c7", "#ffffb3", "#bebada", "#fb8072", "#80b1d3", "#fdb462", "#b3de69", "#fccde5",
+    ];
+    let mut out = String::from("graph G {\n");
+    for id in graph.node_ids() {
+        let fill = colors
+            .and_then(|c| c.get(id.index()))
+            .map(|&c| {
+                format!(
+                    ", style=filled, fillcolor=\"{}\"",
+                    PALETTE[c % PALETTE.len()]
+                )
+            })
+            .unwrap_or_default();
+        let _ = writeln!(
+            out,
+            "  n{} [label=\"{}\"{}];",
+            id.index(),
+            escape(&node_label(graph.node(id))),
+            fill
+        );
+    }
+    for (a, b) in graph.edges() {
+        let _ = writeln!(out, "  n{} -- n{};", a.index(), b.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digraph_dot_contains_edges_and_highlights() {
+        let mut g: DiGraph<&str, u32> = DiGraph::new();
+        let a = g.add_node("GetM");
+        let b = g.add_node("Data");
+        let e = g.add_edge(a, b, 1);
+        let dot = digraph_to_dot(&g, |n| n.to_string(), |w| w.to_string(), &[e]);
+        assert!(dot.contains("n0 -> n1"));
+        assert!(dot.contains("color=red"));
+        assert!(dot.contains("GetM"));
+    }
+
+    #[test]
+    fn ungraph_dot_colors_nodes() {
+        let mut g: UnGraph<&str> = UnGraph::new();
+        let a = g.add_node("Req");
+        let b = g.add_node("Resp");
+        g.add_edge(a, b);
+        let dot = ungraph_to_dot(&g, |n| n.to_string(), Some(&[0, 1]));
+        assert!(dot.contains("n0 -- n1"));
+        assert!(dot.contains("fillcolor"));
+    }
+
+    #[test]
+    fn quotes_escaped() {
+        let mut g: DiGraph<&str, ()> = DiGraph::new();
+        g.add_node("say \"hi\"");
+        let dot = digraph_to_dot(&g, |n| n.to_string(), |_| String::new(), &[]);
+        assert!(dot.contains("\\\"hi\\\""));
+    }
+}

@@ -1,0 +1,626 @@
+//! Weighted minimum feedback arc set (FAS).
+//!
+//! A feedback arc set is a set of edges whose removal makes the graph
+//! acyclic. The VN-minimization algorithm (paper §VI-A) computes a
+//! *minimum-weight* FAS of the deadlock-condition graph, where edges whose
+//! minimal witness paths contain a `queues` step weigh 1 and pure-`waits`
+//! edges weigh `2^|V| + 1` — so a minimum FAS only ever selects a
+//! pure-`waits` edge when `waits` itself is cyclic (the Class 2 signal).
+//!
+//! Two solvers are provided:
+//!
+//! * [`minimum_feedback_arc_set`] — exact, via lazily-generated elementary
+//!   cycles and a branch-and-bound minimum-weight hitting set. Intended for
+//!   the paper's instances (|V| ≈ 10¹), but practical well beyond that.
+//! * [`heuristic_feedback_arc_set`] — the Eades–Lin–Smyth (GR) linear
+//!   arrangement heuristic with a weighted greedy tie-break and a
+//!   sifting local-search pass; used by the synthetic scaling benches and
+//!   as a fallback for very large instances.
+
+use crate::cycles::elementary_cycles;
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::collections::BTreeSet;
+
+/// The result of a FAS computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FeedbackArcSet {
+    /// The selected edges, ascending by id.
+    pub edges: Vec<EdgeId>,
+    /// Total weight of the selected edges.
+    pub weight: u128,
+    /// `true` if produced by the exact solver (guaranteed minimum).
+    pub exact: bool,
+}
+
+impl FeedbackArcSet {
+    /// Returns `true` if `edge` is in the set.
+    pub fn contains(&self, edge: EdgeId) -> bool {
+        self.edges.binary_search(&edge).is_ok()
+    }
+}
+
+/// Checks that removing `removed` from `graph` leaves it acyclic.
+pub fn is_acyclic_without<N, E>(graph: &DiGraph<N, E>, removed: &[EdgeId]) -> bool {
+    remaining_cycle(graph, removed).is_none()
+}
+
+/// Finds one elementary cycle avoiding `removed` edges, if any remains.
+fn remaining_cycle<N, E>(graph: &DiGraph<N, E>, removed: &[EdgeId]) -> Option<Vec<EdgeId>> {
+    let removed: BTreeSet<EdgeId> = removed.iter().copied().collect();
+    let n = graph.node_count();
+    // Iterative DFS cycle detection, reconstructing the edge cycle.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+    let mut color = vec![Color::White; n];
+    let mut parent_edge: Vec<Option<EdgeId>> = vec![None; n];
+
+    for root in 0..n {
+        if color[root] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(usize, Vec<EdgeId>)> = vec![(
+            root,
+            graph
+                .out_edges(NodeId(root))
+                .filter(|e| !removed.contains(e))
+                .collect(),
+        )];
+        color[root] = Color::Gray;
+        while let Some((v, edges)) = stack.last_mut() {
+            let v = *v;
+            if let Some(eid) = edges.pop() {
+                let (_, w) = graph.endpoints(eid);
+                match color[w.0] {
+                    Color::Gray => {
+                        // Found a cycle: w ->* v -> w. Walk parent edges
+                        // from v back to w.
+                        let mut cycle = vec![eid];
+                        let mut cur = v;
+                        while cur != w.0 {
+                            let pe = parent_edge[cur].expect("gray node without parent");
+                            cycle.push(pe);
+                            cur = graph.endpoints(pe).0 .0;
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    Color::White => {
+                        color[w.0] = Color::Gray;
+                        parent_edge[w.0] = Some(eid);
+                        let next: Vec<EdgeId> = graph
+                            .out_edges(w)
+                            .filter(|e| !removed.contains(e))
+                            .collect();
+                        stack.push((w.0, next));
+                    }
+                    Color::Black => {}
+                }
+            } else {
+                color[v] = Color::Black;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Exact minimum-weight feedback arc set.
+///
+/// Uses lazy cycle generation: solve a minimum-weight hitting set over the
+/// cycles discovered so far (branch and bound), test the candidate, and if
+/// a cycle survives, add it and re-solve. Terminates because each round
+/// adds a distinct elementary cycle.
+///
+/// `weight` maps each edge payload to its positive weight.
+///
+/// # Panics
+///
+/// Panics if any edge weight is zero (a zero-weight FAS edge would make
+/// minimality meaningless).
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, fas::minimum_feedback_arc_set};
+///
+/// let mut g: DiGraph<(), u64> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, 1);
+/// g.add_edge(b, c, 5);
+/// g.add_edge(c, a, 5);
+/// let fas = minimum_feedback_arc_set(&g, |&w| w as u128);
+/// assert_eq!(fas.weight, 1); // picks the cheap edge
+/// ```
+pub fn minimum_feedback_arc_set<N, E>(
+    graph: &DiGraph<N, E>,
+    weight: impl Fn(&E) -> u128,
+) -> FeedbackArcSet {
+    let weights: Vec<u128> = graph.edge_ids().map(|e| weight(graph.edge(e))).collect();
+    assert!(
+        weights.iter().all(|&w| w > 0),
+        "FAS edge weights must be positive"
+    );
+
+    // Seed with the short cycles found by a bounded Johnson enumeration —
+    // a strong starting constraint set that usually makes the lazy loop
+    // converge in one round.
+    const SEED_LIMIT: usize = 4096;
+    let mut cycle_sets: Vec<Vec<usize>> = elementary_cycles(graph, SEED_LIMIT)
+        .into_iter()
+        .map(|c| {
+            let mut v: Vec<usize> = c.edges.iter().map(|e| e.0).collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        })
+        .collect();
+    cycle_sets.sort();
+    cycle_sets.dedup();
+
+    loop {
+        let chosen = min_hitting_set(&cycle_sets, &weights);
+        let chosen_edges: Vec<EdgeId> = chosen.iter().map(|&i| EdgeId(i)).collect();
+        match remaining_cycle(graph, &chosen_edges) {
+            None => {
+                let total = chosen.iter().map(|&i| weights[i]).sum();
+                return FeedbackArcSet {
+                    edges: chosen_edges,
+                    weight: total,
+                    exact: true,
+                };
+            }
+            Some(cycle) => {
+                let mut set: Vec<usize> = cycle.iter().map(|e| e.0).collect();
+                set.sort_unstable();
+                set.dedup();
+                cycle_sets.push(set);
+            }
+        }
+    }
+}
+
+/// Branch-and-bound minimum-weight hitting set over `sets` (indices into
+/// `weights`). Returns the chosen element indices, ascending.
+fn min_hitting_set(sets: &[Vec<usize>], weights: &[u128]) -> Vec<usize> {
+    if sets.is_empty() {
+        return Vec::new();
+    }
+
+    // Upper bound from a greedy cover: repeatedly pick the element hitting
+    // the most uncovered sets per unit weight.
+    let greedy = greedy_hitting_set(sets, weights);
+    let mut best: Vec<usize> = greedy.clone();
+    let mut best_weight: u128 = greedy.iter().map(|&i| weights[i]).sum();
+
+    let mut chosen: Vec<usize> = Vec::new();
+    branch(
+        sets,
+        weights,
+        &mut vec![false; sets.len()],
+        0,
+        &mut chosen,
+        &mut best,
+        &mut best_weight,
+    );
+    best.sort_unstable();
+    best
+}
+
+fn greedy_hitting_set(sets: &[Vec<usize>], weights: &[u128]) -> Vec<usize> {
+    let mut covered = vec![false; sets.len()];
+    let mut chosen = Vec::new();
+    while covered.iter().any(|&c| !c) {
+        // Count coverage per element among uncovered sets.
+        let mut counts: std::collections::BTreeMap<usize, usize> = Default::default();
+        for (si, set) in sets.iter().enumerate() {
+            if covered[si] {
+                continue;
+            }
+            for &e in set {
+                *counts.entry(e).or_default() += 1;
+            }
+        }
+        // Maximize hits/weight: compare a.hits * b.weight vs b.hits * a.weight.
+        let (&elem, _) = counts
+            .iter()
+            .max_by(|(ea, ca), (eb, cb)| {
+                let lhs = (**ca as u128).saturating_mul(weights[**eb]);
+                let rhs = (**cb as u128).saturating_mul(weights[**ea]);
+                lhs.cmp(&rhs)
+            })
+            .expect("uncovered set with no elements");
+        chosen.push(elem);
+        for (si, set) in sets.iter().enumerate() {
+            if !covered[si] && set.contains(&elem) {
+                covered[si] = true;
+            }
+        }
+    }
+    chosen
+}
+
+/// Lower bound: greedily pick pairwise-disjoint uncovered sets; their
+/// cheapest elements must all (separately) be paid for.
+fn lower_bound(sets: &[Vec<usize>], weights: &[u128], covered: &[bool]) -> u128 {
+    let mut used: BTreeSet<usize> = BTreeSet::new();
+    let mut bound: u128 = 0;
+    let mut order: Vec<usize> = (0..sets.len()).filter(|&i| !covered[i]).collect();
+    order.sort_by_key(|&i| sets[i].len());
+    for si in order {
+        if sets[si].iter().any(|e| used.contains(e)) {
+            continue;
+        }
+        let min_w = sets[si].iter().map(|&e| weights[e]).min().unwrap_or(0);
+        bound = bound.saturating_add(min_w);
+        used.extend(sets[si].iter().copied());
+    }
+    bound
+}
+
+#[allow(clippy::too_many_arguments)]
+fn branch(
+    sets: &[Vec<usize>],
+    weights: &[u128],
+    covered: &mut Vec<bool>,
+    current_weight: u128,
+    chosen: &mut Vec<usize>,
+    best: &mut Vec<usize>,
+    best_weight: &mut u128,
+) {
+    // Find the first uncovered set (choose the smallest for tighter branching).
+    let pick = (0..sets.len())
+        .filter(|&i| !covered[i])
+        .min_by_key(|&i| sets[i].len());
+    let Some(si) = pick else {
+        if current_weight < *best_weight {
+            *best_weight = current_weight;
+            *best = chosen.clone();
+        }
+        return;
+    };
+    if current_weight.saturating_add(lower_bound(sets, weights, covered)) >= *best_weight {
+        return;
+    }
+    // Branch on each element of the chosen set, cheapest first.
+    let mut elems = sets[si].clone();
+    elems.sort_by_key(|&e| weights[e]);
+    for e in elems {
+        let w = weights[e];
+        if current_weight.saturating_add(w) >= *best_weight {
+            continue;
+        }
+        let newly: Vec<usize> = (0..sets.len())
+            .filter(|&i| !covered[i] && sets[i].contains(&e))
+            .collect();
+        for &i in &newly {
+            covered[i] = true;
+        }
+        chosen.push(e);
+        branch(
+            sets,
+            weights,
+            covered,
+            current_weight.saturating_add(w),
+            chosen,
+            best,
+            best_weight,
+        );
+        chosen.pop();
+        for &i in &newly {
+            covered[i] = false;
+        }
+    }
+}
+
+/// The Eades–Lin–Smyth "GR" heuristic: compute a vertex ordering, take all
+/// backward edges as the FAS, then improve by sifting single vertices.
+///
+/// Not guaranteed minimum; `exact` is `false` in the result. Runs in
+/// roughly O(n² + nm) with the sifting pass.
+pub fn heuristic_feedback_arc_set<N, E>(
+    graph: &DiGraph<N, E>,
+    weight: impl Fn(&E) -> u128,
+) -> FeedbackArcSet {
+    let weights: Vec<u128> = graph.edge_ids().map(|e| weight(graph.edge(e))).collect();
+    let order = eades_lin_smyth_order(graph, &weights);
+    let order = sift(graph, &weights, order);
+    let mut edges: Vec<EdgeId> = backward_edges(graph, &order);
+    edges.sort_unstable();
+    let total = edges.iter().map(|e| weights[e.0]).sum();
+    FeedbackArcSet {
+        edges,
+        weight: total,
+        exact: false,
+    }
+}
+
+/// Computes the GR vertex ordering (weighted variant: degree deltas use
+/// edge weights).
+pub fn eades_lin_smyth_order<N, E>(graph: &DiGraph<N, E>, weights: &[u128]) -> Vec<NodeId> {
+    let n = graph.node_count();
+    let mut removed = vec![false; n];
+    let mut head: Vec<NodeId> = Vec::new(); // s1
+    let mut tail: Vec<NodeId> = Vec::new(); // s2 (reversed at the end)
+    let mut remaining = n;
+
+    let wsum = |it: &mut dyn Iterator<Item = EdgeId>, removed: &[bool], g: &DiGraph<N, E>| {
+        it.filter(|&e| {
+            let (s, d) = g.endpoints(e);
+            !removed[s.0] && !removed[d.0]
+        })
+        .map(|e| weights[e.0])
+        .sum::<u128>()
+    };
+
+    while remaining > 0 {
+        // Exhaust sinks.
+        loop {
+            let sink = (0..n).find(|&v| {
+                !removed[v]
+                    && wsum(&mut graph.out_edges(NodeId(v)), &removed, graph) == 0
+            });
+            match sink {
+                Some(v) => {
+                    removed[v] = true;
+                    remaining -= 1;
+                    tail.push(NodeId(v));
+                }
+                None => break,
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // Exhaust sources.
+        loop {
+            let source = (0..n).find(|&v| {
+                !removed[v]
+                    && wsum(&mut graph.in_edges(NodeId(v)), &removed, graph) == 0
+            });
+            match source {
+                Some(v) => {
+                    removed[v] = true;
+                    remaining -= 1;
+                    head.push(NodeId(v));
+                }
+                None => break,
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+        if remaining == 0 {
+            break;
+        }
+        // Pick the vertex maximizing out-weight − in-weight.
+        let v = (0..n)
+            .filter(|&v| !removed[v])
+            .max_by_key(|&v| {
+                let out = wsum(&mut graph.out_edges(NodeId(v)), &removed, graph) as i128;
+                let inw = wsum(&mut graph.in_edges(NodeId(v)), &removed, graph) as i128;
+                out - inw
+            })
+            .expect("nonempty remaining set");
+        removed[v] = true;
+        remaining -= 1;
+        head.push(NodeId(v));
+    }
+    tail.reverse();
+    head.extend(tail);
+    head
+}
+
+/// Edges going backward with respect to `order` (self-loops always count).
+pub fn backward_edges<N, E>(graph: &DiGraph<N, E>, order: &[NodeId]) -> Vec<EdgeId> {
+    let mut pos = vec![0usize; graph.node_count()];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v.0] = i;
+    }
+    graph
+        .edges()
+        .filter(|&(_, s, d)| pos[s.0] >= pos[d.0])
+        .map(|(e, _, _)| e)
+        .collect()
+}
+
+/// Local search: move each vertex to its best position (sifting) until no
+/// single move improves the backward-edge weight.
+fn sift<N, E>(graph: &DiGraph<N, E>, weights: &[u128], mut order: Vec<NodeId>) -> Vec<NodeId> {
+    let cost = |order: &[NodeId]| -> u128 {
+        backward_edges(graph, order)
+            .iter()
+            .map(|e| weights[e.0])
+            .sum()
+    };
+    let n = order.len();
+    let mut improved = true;
+    let mut rounds = 0;
+    while improved && rounds < 10 {
+        improved = false;
+        rounds += 1;
+        for i in 0..n {
+            let v = order[i];
+            let base = cost(&order);
+            let mut best_pos = i;
+            let mut best_cost = base;
+            let mut trial = order.clone();
+            trial.remove(i);
+            for j in 0..n {
+                let mut t = trial.clone();
+                t.insert(j, v);
+                let c = cost(&t);
+                if c < best_cost {
+                    best_cost = c;
+                    best_pos = j;
+                }
+            }
+            if best_pos != i {
+                order.remove(i);
+                order.insert(best_pos, v);
+                improved = true;
+            }
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize, u128)]) -> DiGraph<(), u128> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b, w) in edges {
+            g.add_edge(ns[a], ns[b], w);
+        }
+        g
+    }
+
+    #[test]
+    fn acyclic_graph_needs_nothing() {
+        let g = graph(3, &[(0, 1, 1), (1, 2, 1)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert!(fas.edges.is_empty());
+        assert_eq!(fas.weight, 0);
+        assert!(fas.exact);
+    }
+
+    #[test]
+    fn two_cycle_removes_cheaper_edge() {
+        let g = graph(2, &[(0, 1, 10), (1, 0, 3)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert_eq!(fas.edges, vec![EdgeId(1)]);
+        assert_eq!(fas.weight, 3);
+    }
+
+    #[test]
+    fn shared_edge_hits_two_cycles() {
+        // Cycles 0->1->0 and 0->1->2->0 share edge 0->1: removing it costs 1,
+        // removing the others costs 2.
+        let g = graph(3, &[(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 0, 1)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert_eq!(fas.edges, vec![EdgeId(0)]);
+        assert_eq!(fas.weight, 1);
+    }
+
+    #[test]
+    fn weights_can_force_two_removals() {
+        // Same shape but the shared edge is expensive.
+        let g = graph(3, &[(0, 1, 100), (1, 0, 1), (1, 2, 1), (2, 0, 1)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert_eq!(fas.weight, 2);
+        assert_eq!(fas.edges.len(), 2);
+        assert!(is_acyclic_without(&g, &fas.edges));
+    }
+
+    #[test]
+    fn self_loop_must_be_removed() {
+        let g = graph(2, &[(0, 0, 7), (0, 1, 1)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert_eq!(fas.edges, vec![EdgeId(0)]);
+        assert_eq!(fas.weight, 7);
+    }
+
+    #[test]
+    fn parallel_edges_both_removed() {
+        let mut g: DiGraph<(), u128> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, 1);
+        g.add_edge(a, b, 1);
+        g.add_edge(b, a, 5);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        // Either both parallel edges (weight 2) — cheaper than the single
+        // return edge (weight 5).
+        assert_eq!(fas.weight, 2);
+        assert!(is_acyclic_without(&g, &fas.edges));
+    }
+
+    #[test]
+    fn huge_weight_edge_avoided_like_class2_detection() {
+        // Mirrors Eq 6: one cycle where every edge is "waits-only"
+        // (huge weight) forces selecting a huge edge — detectable.
+        let huge = (1u128 << 20) + 1;
+        let g = graph(2, &[(0, 1, huge), (1, 0, huge)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert_eq!(fas.weight, huge);
+    }
+
+    #[test]
+    fn exact_beats_or_ties_heuristic_on_random_graphs() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let n = rng.gen_range(3..8);
+            let mut g: DiGraph<(), u128> = DiGraph::new();
+            let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+            for i in 0..n {
+                for j in 0..n {
+                    if i != j && rng.gen_bool(0.4) {
+                        g.add_edge(ns[i], ns[j], rng.gen_range(1..10));
+                    }
+                }
+            }
+            let exact = minimum_feedback_arc_set(&g, |&w| w);
+            let heur = heuristic_feedback_arc_set(&g, |&w| w);
+            assert!(is_acyclic_without(&g, &exact.edges));
+            assert!(is_acyclic_without(&g, &heur.edges));
+            assert!(exact.weight <= heur.weight, "exact worse than heuristic");
+        }
+    }
+
+    #[test]
+    fn heuristic_on_acyclic_graph_is_empty() {
+        let g = graph(4, &[(0, 1, 1), (1, 2, 1), (2, 3, 1)]);
+        let fas = heuristic_feedback_arc_set(&g, |&w| w);
+        assert!(fas.edges.is_empty());
+        assert!(!fas.exact);
+    }
+
+    #[test]
+    fn remaining_cycle_reconstructs_edges() {
+        let g = graph(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1)]);
+        let c = remaining_cycle(&g, &[]).expect("cycle exists");
+        assert_eq!(c.len(), 3);
+        // Removing the found cycle's edges kills the cycle.
+        assert!(is_acyclic_without(&g, &c));
+    }
+
+    #[test]
+    fn contains_uses_sorted_order() {
+        let g = graph(2, &[(0, 1, 1), (1, 0, 1)]);
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert!(fas.contains(fas.edges[0]));
+        let other = if fas.edges[0] == EdgeId(0) { EdgeId(1) } else { EdgeId(0) };
+        assert!(!fas.contains(other));
+    }
+
+    #[test]
+    fn fas_leaves_sccs_trivial() {
+        let g = graph(
+            4,
+            &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (2, 3, 1), (3, 2, 1)],
+        );
+        let fas = minimum_feedback_arc_set(&g, |&w| w);
+        assert!(is_acyclic_without(&g, &fas.edges));
+        // Sanity: the original graph was cyclic.
+        assert!(crate::scc::tarjan(&g).nontrivial().next().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_weights_rejected() {
+        let g = graph(2, &[(0, 1, 0), (1, 0, 1)]);
+        let _ = minimum_feedback_arc_set(&g, |&w| w);
+    }
+}

@@ -1,0 +1,57 @@
+//! # vnet-graph
+//!
+//! Self-contained graph algorithms backing the virtual-network minimization
+//! pipeline of `vnet-core`:
+//!
+//! * [`DiGraph`] — a compact adjacency-list directed multigraph with stable
+//!   node/edge indices.
+//! * [`UnGraph`] — an undirected simple graph used for conflict coloring.
+//! * [`scc`] — Tarjan strongly-connected components and condensation.
+//! * [`closure`] — reachability / transitive closure over bitsets.
+//! * [`cycles`] — Johnson's elementary-cycle enumeration.
+//! * [`fas`] — weighted minimum feedback arc set (exact branch-and-bound
+//!   over an elementary-cycle cover, plus the Eades–Lin–Smyth heuristic
+//!   with local search for larger instances).
+//! * [`coloring`] — minimum vertex coloring (exact branch-and-bound,
+//!   DSATUR, and greedy).
+//! * [`topo`] — topological sorting (Kahn).
+//! * [`dot`] — Graphviz export for debugging and documentation.
+//!
+//! The graphs produced by the coherence-protocol analysis are tiny (the
+//! vertex set is the set of protocol message names, ~10¹ per the paper), so
+//! the exact solvers are the default; the heuristics exist for the synthetic
+//! scaling studies in `vnet-bench`.
+//!
+//! ## Example
+//!
+//! ```
+//! use vnet_graph::{DiGraph, fas};
+//!
+//! let mut g: DiGraph<&str, u128> = DiGraph::new();
+//! let a = g.add_node("a");
+//! let b = g.add_node("b");
+//! g.add_edge(a, b, 1);
+//! g.add_edge(b, a, 1);
+//! let set = fas::minimum_feedback_arc_set(&g, |&w| w);
+//! assert_eq!(set.edges.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitset;
+pub mod closure;
+pub mod coloring;
+pub mod condensation;
+pub mod cycles;
+pub mod digraph;
+pub mod dot;
+pub mod fas;
+pub mod paths;
+pub mod scc;
+pub mod topo;
+pub mod ungraph;
+
+pub use bitset::BitSet;
+pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use ungraph::UnGraph;

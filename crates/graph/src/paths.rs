@@ -1,0 +1,223 @@
+//! Shortest paths and minimal-path enumeration.
+//!
+//! The graph-construction step of the VN algorithm (paper §VI-A(a))
+//! remembers, for each derived edge, *all* minimal witness paths from the
+//! underlying `waits`/`queues` relations — these functions provide the
+//! machinery.
+
+use crate::digraph::{DiGraph, EdgeId, NodeId};
+use std::collections::VecDeque;
+
+/// BFS distances (in edges) from `start`. `usize::MAX` marks unreachable.
+pub fn bfs_distances<N, E>(graph: &DiGraph<N, E>, start: NodeId) -> Vec<usize> {
+    let mut dist = vec![usize::MAX; graph.node_count()];
+    dist[start.0] = 0;
+    let mut q = VecDeque::from([start]);
+    while let Some(v) = q.pop_front() {
+        for w in graph.successors(v) {
+            if dist[w.0] == usize::MAX {
+                dist[w.0] = dist[v.0] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// One shortest path from `start` to `goal` as an edge sequence, if any.
+pub fn shortest_path<N, E>(
+    graph: &DiGraph<N, E>,
+    start: NodeId,
+    goal: NodeId,
+) -> Option<Vec<EdgeId>> {
+    let mut parent: Vec<Option<EdgeId>> = vec![None; graph.node_count()];
+    let mut seen = vec![false; graph.node_count()];
+    seen[start.0] = true;
+    let mut q = VecDeque::from([start]);
+    let mut found = start == goal;
+    'bfs: while let Some(v) = q.pop_front() {
+        for e in graph.out_edges(v) {
+            let (_, w) = graph.endpoints(e);
+            if !seen[w.0] {
+                seen[w.0] = true;
+                parent[w.0] = Some(e);
+                if w == goal {
+                    found = true;
+                    break 'bfs;
+                }
+                q.push_back(w);
+            }
+        }
+    }
+    if !found {
+        return None;
+    }
+    if start == goal {
+        return Some(Vec::new());
+    }
+    let mut path = Vec::new();
+    let mut cur = goal;
+    while cur != start {
+        let e = parent[cur.0].expect("path reconstruction");
+        path.push(e);
+        cur = graph.endpoints(e).0;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// All *minimal-length* paths from `start` to `goal`, as edge sequences.
+///
+/// Only paths of exactly the BFS-shortest length are returned. For
+/// `start == goal` the answer is the empty path. `cap` bounds the number
+/// of enumerated paths (parallel minimal paths can multiply).
+pub fn all_shortest_paths<N, E>(
+    graph: &DiGraph<N, E>,
+    start: NodeId,
+    goal: NodeId,
+    cap: usize,
+) -> Vec<Vec<EdgeId>> {
+    if start == goal {
+        return vec![Vec::new()];
+    }
+    let dist = bfs_distances(graph, start);
+    if dist[goal.0] == usize::MAX {
+        return Vec::new();
+    }
+    // Distances *to* goal, over reversed edges.
+    let mut rdist = vec![usize::MAX; graph.node_count()];
+    rdist[goal.0] = 0;
+    let mut q = VecDeque::from([goal]);
+    while let Some(v) = q.pop_front() {
+        for w in graph.predecessors(v) {
+            if rdist[w.0] == usize::MAX {
+                rdist[w.0] = rdist[v.0] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    let total = dist[goal.0];
+    let mut out = Vec::new();
+    let mut prefix: Vec<EdgeId> = Vec::new();
+    dfs_minimal(graph, start, goal, total, &rdist, &mut prefix, &mut out, cap);
+    out
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs_minimal<N, E>(
+    graph: &DiGraph<N, E>,
+    v: NodeId,
+    goal: NodeId,
+    total: usize,
+    rdist: &[usize],
+    prefix: &mut Vec<EdgeId>,
+    out: &mut Vec<Vec<EdgeId>>,
+    cap: usize,
+) {
+    if out.len() >= cap {
+        return;
+    }
+    if v == goal && prefix.len() == total {
+        out.push(prefix.clone());
+        return;
+    }
+    for e in graph.out_edges(v) {
+        let (_, w) = graph.endpoints(e);
+        // Stay on shortest paths: the remaining distance must shrink by 1.
+        if rdist[w.0] != usize::MAX && prefix.len() + 1 + rdist[w.0] == total {
+            prefix.push(e);
+            dfs_minimal(graph, w, goal, total, rdist, prefix, out, cap);
+            prefix.pop();
+            if out.len() >= cap {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn distances_on_chain() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn unreachable_is_max() {
+        let g = graph(3, &[(0, 1)]);
+        let d = bfs_distances(&g, NodeId(0));
+        assert_eq!(d[2], usize::MAX);
+        assert!(shortest_path(&g, NodeId(0), NodeId(2)).is_none());
+    }
+
+    #[test]
+    fn shortest_path_reconstruction() {
+        let g = graph(4, &[(0, 1), (1, 3), (0, 2), (2, 3), (0, 3)]);
+        let p = shortest_path(&g, NodeId(0), NodeId(3)).unwrap();
+        assert_eq!(p.len(), 1);
+        assert_eq!(g.endpoints(p[0]), (NodeId(0), NodeId(3)));
+    }
+
+    #[test]
+    fn trivial_path_to_self() {
+        let g = graph(1, &[]);
+        assert_eq!(shortest_path(&g, NodeId(0), NodeId(0)), Some(vec![]));
+        assert_eq!(
+            all_shortest_paths(&g, NodeId(0), NodeId(0), 10),
+            vec![Vec::<EdgeId>::new()]
+        );
+    }
+
+    #[test]
+    fn diamond_has_two_minimal_paths() {
+        let g = graph(4, &[(0, 1), (1, 3), (0, 2), (2, 3)]);
+        let paths = all_shortest_paths(&g, NodeId(0), NodeId(3), 10);
+        assert_eq!(paths.len(), 2);
+        assert!(paths.iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn longer_detours_excluded() {
+        // 0->3 direct, and 0->1->2->3 detour: only the direct path is minimal.
+        let g = graph(4, &[(0, 3), (0, 1), (1, 2), (2, 3)]);
+        let paths = all_shortest_paths(&g, NodeId(0), NodeId(3), 10);
+        assert_eq!(paths.len(), 1);
+        assert_eq!(paths[0].len(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_multiply_minimal_paths() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        g.add_edge(a, b, ());
+        g.add_edge(a, b, ());
+        let paths = all_shortest_paths(&g, a, b, 10);
+        assert_eq!(paths.len(), 2);
+    }
+
+    #[test]
+    fn cap_limits_enumeration() {
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        for _ in 0..5 {
+            g.add_edge(a, b, ());
+        }
+        let paths = all_shortest_paths(&g, a, b, 3);
+        assert_eq!(paths.len(), 3);
+    }
+}

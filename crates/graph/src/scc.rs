@@ -1,0 +1,239 @@
+//! Strongly connected components via Tarjan's algorithm (iterative).
+
+use crate::digraph::{DiGraph, NodeId};
+
+/// The strongly connected components of a directed graph.
+///
+/// Components are numbered `0..count` in *reverse topological order of the
+/// condensation* (Tarjan emits sinks first), and every node belongs to
+/// exactly one component.
+#[derive(Debug, Clone)]
+pub struct SccResult {
+    /// `component[v]` is the component index of node `v`.
+    pub component: Vec<usize>,
+    /// The members of each component.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl SccResult {
+    /// Number of components.
+    pub fn count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Component index of `node`.
+    pub fn component_of(&self, node: NodeId) -> usize {
+        self.component[node.0]
+    }
+
+    /// Returns `true` if `a` and `b` are in the same component.
+    pub fn same_component(&self, a: NodeId, b: NodeId) -> bool {
+        self.component[a.0] == self.component[b.0]
+    }
+
+    /// Components with more than one node, or with a self-loop (callers
+    /// that need self-loop detection should check edges separately; this
+    /// method returns only the size>1 components).
+    pub fn nontrivial(&self) -> impl Iterator<Item = &Vec<NodeId>> {
+        self.members.iter().filter(|m| m.len() > 1)
+    }
+}
+
+/// Computes strongly connected components with an iterative Tarjan.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, scc::tarjan};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// let c = g.add_node(());
+/// g.add_edge(a, b, ());
+/// g.add_edge(b, a, ());
+/// g.add_edge(b, c, ());
+/// let sccs = tarjan(&g);
+/// assert_eq!(sccs.count(), 2);
+/// assert!(sccs.same_component(a, b));
+/// assert!(!sccs.same_component(a, c));
+/// ```
+pub fn tarjan<N, E>(graph: &DiGraph<N, E>) -> SccResult {
+    let n = graph.node_count();
+    const UNSET: usize = usize::MAX;
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS stack: (node, iterator position over successors).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != UNSET {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut i) => {
+                    let succs: Vec<usize> =
+                        graph.successors(NodeId(v)).map(|s| s.0).collect();
+                    let mut descended = false;
+                    while i < succs.len() {
+                        let w = succs[i];
+                        i += 1;
+                        if index[w] == UNSET {
+                            frames.push(Frame::Resume(v, i));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let comp_id = members.len();
+                        let mut comp = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w] = false;
+                            component[w] = comp_id;
+                            comp.push(NodeId(w));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp.sort();
+                        members.push(comp);
+                    }
+                    // Propagate lowlink to parent (the frame below us, if it
+                    // is a Resume of our DFS parent).
+                    if let Some(Frame::Resume(parent, _)) = frames.last() {
+                        let p = *parent;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+
+    SccResult { component, members }
+}
+
+/// Returns `true` if the graph has a cycle — i.e. a nontrivial SCC or a
+/// self-loop.
+pub fn has_cycle<N, E>(graph: &DiGraph<N, E>) -> bool {
+    if graph.edges().any(|(_, s, d)| s == d) {
+        return true;
+    }
+    tarjan(graph).nontrivial().next().is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph<usize, ()> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|i| g.add_node(i)).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let r = tarjan(&g);
+        assert_eq!(r.count(), 1);
+        assert_eq!(r.members[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let r = tarjan(&g);
+        assert_eq!(r.count(), 4);
+        assert!(r.nontrivial().next().is_none());
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn two_cycles_bridged_counts() {
+        let g = graph(6, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]);
+        let r = tarjan(&g);
+        assert_eq!(r.count(), 3);
+        assert!(r.same_component(NodeId(0), NodeId(1)));
+        assert!(r.same_component(NodeId(2), NodeId(4)));
+        assert!(!r.same_component(NodeId(1), NodeId(2)));
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn self_loop_detected_as_cycle() {
+        let g = graph(2, &[(0, 0), (0, 1)]);
+        assert!(has_cycle(&g));
+        // but the SCCs themselves are singletons
+        assert_eq!(tarjan(&g).count(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g: DiGraph<usize, ()> = DiGraph::new();
+        assert_eq!(tarjan(&g).count(), 0);
+        assert!(!has_cycle(&g));
+    }
+
+    #[test]
+    fn reverse_topological_numbering() {
+        // 0 -> 1 -> 2 : Tarjan emits sinks first.
+        let g = graph(3, &[(0, 1), (1, 2)]);
+        let r = tarjan(&g);
+        assert!(r.component_of(NodeId(2)) < r.component_of(NodeId(1)));
+        assert!(r.component_of(NodeId(1)) < r.component_of(NodeId(0)));
+    }
+
+    #[test]
+    fn long_path_no_stack_overflow() {
+        // An iterative implementation must survive deep graphs.
+        let n = 200_000;
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n - 1 {
+            g.add_edge(ns[i], ns[i + 1], ());
+        }
+        let r = tarjan(&g);
+        assert_eq!(r.count(), n);
+    }
+
+    #[test]
+    fn long_cycle_is_single_component() {
+        let n = 50_000;
+        let mut g: DiGraph<(), ()> = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for i in 0..n {
+            g.add_edge(ns[i], ns[(i + 1) % n], ());
+        }
+        let r = tarjan(&g);
+        assert_eq!(r.count(), 1);
+    }
+}

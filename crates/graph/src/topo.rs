@@ -1,0 +1,121 @@
+//! Topological sorting (Kahn's algorithm).
+
+use crate::digraph::{DiGraph, NodeId};
+use std::collections::VecDeque;
+
+/// Error returned when the graph contains a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleDetectedError {
+    /// Nodes that could not be ordered (they lie on or behind a cycle).
+    pub stuck: Vec<NodeId>,
+}
+
+impl std::fmt::Display for CycleDetectedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "graph contains a cycle involving {} unordered node(s)",
+            self.stuck.len()
+        )
+    }
+}
+
+impl std::error::Error for CycleDetectedError {}
+
+/// Topologically sorts the graph; fails with [`CycleDetectedError`] if a
+/// cycle exists.
+///
+/// # Errors
+///
+/// Returns [`CycleDetectedError`] listing the nodes on or downstream of
+/// cycles if the graph is not a DAG.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::{DiGraph, topo::topological_sort};
+///
+/// let mut g: DiGraph<(), ()> = DiGraph::new();
+/// let a = g.add_node(());
+/// let b = g.add_node(());
+/// g.add_edge(a, b, ());
+/// let order = topological_sort(&g)?;
+/// assert_eq!(order, vec![a, b]);
+/// # Ok::<(), vnet_graph::topo::CycleDetectedError>(())
+/// ```
+pub fn topological_sort<N, E>(graph: &DiGraph<N, E>) -> Result<Vec<NodeId>, CycleDetectedError> {
+    let n = graph.node_count();
+    let mut in_deg: Vec<usize> = (0..n).map(|v| graph.in_degree(NodeId(v))).collect();
+    let mut q: VecDeque<NodeId> = (0..n)
+        .filter(|&v| in_deg[v] == 0)
+        .map(NodeId)
+        .collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(v) = q.pop_front() {
+        order.push(v);
+        for w in graph.successors(v) {
+            in_deg[w.0] -= 1;
+            if in_deg[w.0] == 0 {
+                q.push_back(w);
+            }
+        }
+    }
+    if order.len() == n {
+        Ok(order)
+    } else {
+        let placed: std::collections::BTreeSet<usize> =
+            order.iter().map(|v| v.0).collect();
+        Err(CycleDetectedError {
+            stuck: (0..n).filter(|v| !placed.contains(v)).map(NodeId).collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), ()> {
+        let mut g = DiGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in edges {
+            g.add_edge(ns[a], ns[b], ());
+        }
+        g
+    }
+
+    #[test]
+    fn dag_sorts() {
+        let g = graph(4, &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        let order = topological_sort(&g).unwrap();
+        let pos: Vec<usize> = {
+            let mut p = vec![0; 4];
+            for (i, v) in order.iter().enumerate() {
+                p[v.0] = i;
+            }
+            p
+        };
+        assert!(pos[0] < pos[1] && pos[0] < pos[2]);
+        assert!(pos[1] < pos[3] && pos[2] < pos[3]);
+    }
+
+    #[test]
+    fn cycle_errors_with_stuck_nodes() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 1)]);
+        let err = topological_sort(&g).unwrap_err();
+        assert_eq!(err.stuck, vec![NodeId(1), NodeId(2)]);
+        assert!(err.to_string().contains("cycle"));
+    }
+
+    #[test]
+    fn empty_graph_sorts_trivially() {
+        let g: DiGraph<(), ()> = DiGraph::new();
+        assert!(topological_sort(&g).unwrap().is_empty());
+    }
+
+    #[test]
+    fn self_loop_is_cycle() {
+        let g = graph(1, &[(0, 0)]);
+        assert!(topological_sort(&g).is_err());
+    }
+}

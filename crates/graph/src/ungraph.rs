@@ -1,0 +1,195 @@
+//! An undirected simple graph used for conflict-graph coloring.
+
+use crate::digraph::NodeId;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An undirected simple graph (no parallel edges, no self-loops).
+///
+/// The VN-assignment pipeline builds a *conflict graph* whose vertices are
+/// protocol messages and whose edges are `queues` pairs selected by the
+/// feedback arc set; a minimum coloring of this graph is the minimum number
+/// of virtual networks.
+///
+/// # Example
+///
+/// ```
+/// use vnet_graph::UnGraph;
+///
+/// let mut g: UnGraph<&str> = UnGraph::new();
+/// let a = g.add_node("GetM");
+/// let b = g.add_node("Data");
+/// assert!(g.add_edge(a, b));
+/// assert!(!g.add_edge(b, a)); // already present
+/// assert!(g.are_adjacent(a, b));
+/// ```
+#[derive(Clone)]
+pub struct UnGraph<N> {
+    nodes: Vec<N>,
+    adj: Vec<BTreeSet<usize>>,
+    edge_count: usize,
+}
+
+impl<N> UnGraph<N> {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        UnGraph {
+            nodes: Vec::new(),
+            adj: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, payload: N) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        self.nodes.push(payload);
+        self.adj.push(BTreeSet::new());
+        id
+    }
+
+    /// Adds the undirected edge `{a, b}`. Returns `false` if it already
+    /// existed (or `a == b`, since self-loops are rejected).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        assert!(a.0 < self.nodes.len(), "endpoint {a} out of range");
+        assert!(b.0 < self.nodes.len(), "endpoint {b} out of range");
+        if a == b {
+            return false;
+        }
+        let fresh = self.adj[a.0].insert(b.0);
+        self.adj[b.0].insert(a.0);
+        if fresh {
+            self.edge_count += 1;
+        }
+        fresh
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// The payload of `node`.
+    pub fn node(&self, node: NodeId) -> &N {
+        &self.nodes[node.0]
+    }
+
+    /// Iterates over all node ids.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len()).map(NodeId)
+    }
+
+    /// Neighbors of `node` in ascending id order.
+    pub fn neighbors(&self, node: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adj[node.0].iter().map(|&i| NodeId(i))
+    }
+
+    /// Degree of `node`.
+    pub fn degree(&self, node: NodeId) -> usize {
+        self.adj[node.0].len()
+    }
+
+    /// Returns `true` if `{a, b}` is an edge.
+    pub fn are_adjacent(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj[a.0].contains(&b.0)
+    }
+
+    /// Iterates over each undirected edge once, as `(low, high)` pairs.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.adj.iter().enumerate().flat_map(|(i, set)| {
+            set.iter()
+                .filter(move |&&j| j > i)
+                .map(move |&j| (NodeId(i), NodeId(j)))
+        })
+    }
+}
+
+impl<N> Default for UnGraph<N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<N: fmt::Debug> fmt::Debug for UnGraph<N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "UnGraph {{ {} nodes, {} edges",
+            self.nodes.len(),
+            self.edge_count
+        )?;
+        for (a, b) in self.edges() {
+            writeln!(f, "  {:?} -- {:?}", self.nodes[a.0], self.nodes[b.0])?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_structure() {
+        let mut g: UnGraph<u8> = UnGraph::new();
+        let a = g.add_node(1);
+        let b = g.add_node(2);
+        let c = g.add_node(3);
+        assert!(g.add_edge(a, b));
+        assert!(g.add_edge(b, c));
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.degree(b), 2);
+        assert!(g.are_adjacent(a, b));
+        assert!(g.are_adjacent(b, a));
+        assert!(!g.are_adjacent(a, c));
+    }
+
+    #[test]
+    fn duplicate_edges_rejected() {
+        let mut g: UnGraph<()> = UnGraph::new();
+        let a = g.add_node(());
+        let b = g.add_node(());
+        assert!(g.add_edge(a, b));
+        assert!(!g.add_edge(a, b));
+        assert!(!g.add_edge(b, a));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut g: UnGraph<()> = UnGraph::new();
+        let a = g.add_node(());
+        assert!(!g.add_edge(a, a));
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn edges_enumerated_once() {
+        let mut g: UnGraph<()> = UnGraph::new();
+        let ns: Vec<_> = (0..4).map(|_| g.add_node(())).collect();
+        g.add_edge(ns[0], ns[1]);
+        g.add_edge(ns[2], ns[1]);
+        g.add_edge(ns[3], ns[0]);
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges.len(), 3);
+        assert!(edges.contains(&(ns[0], ns[1])));
+        assert!(edges.contains(&(ns[1], ns[2])));
+        assert!(edges.contains(&(ns[0], ns[3])));
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let g: UnGraph<()> = UnGraph::new();
+        assert!(format!("{g:?}").contains("0 nodes"));
+    }
+}

@@ -1,0 +1,224 @@
+//! Property-based tests for the graph kernels, checked against naive
+//! oracles.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use vnet_graph::coloring::{dsatur_coloring, exact_coloring};
+use vnet_graph::cycles::elementary_cycles;
+use vnet_graph::fas::{heuristic_feedback_arc_set, is_acyclic_without, minimum_feedback_arc_set};
+use vnet_graph::scc::tarjan;
+use vnet_graph::{BitSet, DiGraph, NodeId, UnGraph};
+
+fn digraph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), u128> {
+    let mut g = DiGraph::new();
+    let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+    for &(a, b) in edges {
+        g.add_edge(ns[a % n], ns[b % n], 1);
+    }
+    g
+}
+
+/// Naive reachability for the SCC oracle.
+fn reaches(g: &DiGraph<(), u128>, from: NodeId, to: NodeId) -> bool {
+    let mut seen = vec![false; g.node_count()];
+    let mut stack = vec![from];
+    while let Some(v) = stack.pop() {
+        if v == to {
+            return true;
+        }
+        if std::mem::replace(&mut seen[v.index()], true) {
+            continue;
+        }
+        stack.extend(g.successors(v));
+    }
+    // `from == to` needs a nonempty path; restart from successors.
+    false
+}
+
+fn strictly_reaches(g: &DiGraph<(), u128>, from: NodeId, to: NodeId) -> bool {
+    g.successors(from).any(|s| s == to || reaches(g, s, to))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn tarjan_matches_mutual_reachability(
+        n in 1usize..8,
+        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
+    ) {
+        let g = digraph(n, &edges);
+        let sccs = tarjan(&g);
+        for a in 0..n {
+            for b in 0..n {
+                let (na, nb) = (NodeId(a), NodeId(b));
+                let same = sccs.same_component(na, nb);
+                let oracle = a == b
+                    || (strictly_reaches(&g, na, nb) && strictly_reaches(&g, nb, na));
+                prop_assert_eq!(same, oracle, "nodes {} {}", a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn exact_fas_is_sound_and_never_worse(
+        n in 2usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..16),
+    ) {
+        let g = digraph(n, &edges);
+        let exact = minimum_feedback_arc_set(&g, |&w| w);
+        let heur = heuristic_feedback_arc_set(&g, |&w| w);
+        prop_assert!(is_acyclic_without(&g, &exact.edges));
+        prop_assert!(is_acyclic_without(&g, &heur.edges));
+        prop_assert!(exact.weight <= heur.weight);
+        // Minimality against brute force for small edge counts.
+        if g.edge_count() <= 10 {
+            let m = g.edge_count();
+            let mut best = u128::MAX;
+            for mask in 0u32..(1 << m) {
+                let removed: Vec<vnet_graph::EdgeId> = (0..m)
+                    .filter(|i| mask & (1 << i) != 0)
+                    .map(vnet_graph::EdgeId)
+                    .collect();
+                if is_acyclic_without(&g, &removed) {
+                    best = best.min(removed.len() as u128);
+                }
+            }
+            prop_assert_eq!(exact.weight, best, "brute force disagrees");
+        }
+    }
+
+    #[test]
+    fn exact_coloring_is_proper_and_minimal(
+        n in 1usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..14),
+    ) {
+        let mut g: UnGraph<()> = UnGraph::new();
+        let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
+        for &(a, b) in &edges {
+            if a % n != b % n {
+                g.add_edge(ns[a % n], ns[b % n]);
+            }
+        }
+        let exact = exact_coloring(&g);
+        let ds = dsatur_coloring(&g);
+        prop_assert!(exact.is_proper(&g));
+        prop_assert!(ds.is_proper(&g));
+        prop_assert!(exact.num_colors <= ds.num_colors);
+        // Brute-force chromatic number for tiny graphs.
+        if n <= 5 {
+            let mut best = n;
+            'k: for k in 1..=n {
+                let mut assign = vec![0usize; n];
+                loop {
+                    let proper = g.edges().all(|(a, b)| assign[a.index()] != assign[b.index()]);
+                    if proper {
+                        best = k;
+                        break 'k;
+                    }
+                    // increment base-k counter
+                    let mut i = 0;
+                    loop {
+                        if i == n {
+                            break;
+                        }
+                        assign[i] += 1;
+                        if assign[i] < k {
+                            break;
+                        }
+                        assign[i] = 0;
+                        i += 1;
+                    }
+                    if i == n {
+                        break;
+                    }
+                }
+            }
+            if g.edge_count() == 0 {
+                prop_assert_eq!(exact.num_colors, usize::from(n > 0));
+            } else {
+                prop_assert_eq!(exact.num_colors, best);
+            }
+        }
+    }
+
+    #[test]
+    fn johnson_cycles_are_genuine_and_distinct(
+        n in 1usize..6,
+        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..14),
+    ) {
+        let g = digraph(n, &edges);
+        let cycles = elementary_cycles(&g, 10_000);
+        let mut seen = BTreeSet::new();
+        for c in &cycles {
+            // Edge chain closes.
+            let nodes = c.nodes(&g);
+            for (i, &e) in c.edges.iter().enumerate() {
+                let (s, d) = g.endpoints(e);
+                prop_assert_eq!(s, nodes[i]);
+                let next = nodes[(i + 1) % nodes.len()];
+                prop_assert_eq!(d, next);
+            }
+            // Elementary: node-distinct.
+            let set: BTreeSet<_> = nodes.iter().collect();
+            prop_assert_eq!(set.len(), nodes.len());
+            prop_assert!(seen.insert(c.edges.clone()), "duplicate cycle");
+        }
+        // Consistency with cycle detection.
+        prop_assert_eq!(cycles.is_empty(), !vnet_graph::scc::has_cycle(&g));
+    }
+
+    #[test]
+    fn bitset_behaves_like_btreeset(
+        ops in proptest::collection::vec((0usize..3, 0usize..64), 1..60),
+    ) {
+        let mut bs = BitSet::with_capacity(64);
+        let mut model = BTreeSet::new();
+        for (op, v) in ops {
+            match op {
+                0 => {
+                    prop_assert_eq!(bs.insert(v), model.insert(v));
+                }
+                1 => {
+                    prop_assert_eq!(bs.remove(v), model.remove(&v));
+                }
+                _ => {
+                    prop_assert_eq!(bs.contains(v), model.contains(&v));
+                }
+            }
+        }
+        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn closure_is_transitive_and_supports_edges(
+        n in 1usize..7,
+        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..16),
+    ) {
+        let g = digraph(n, &edges);
+        let tc = vnet_graph::closure::transitive_closure(&g);
+        // Contains every edge.
+        for (_, s, d) in g.edges() {
+            prop_assert!(tc.reachable(s, d));
+        }
+        // Transitive.
+        for a in 0..n {
+            for b in 0..n {
+                for c in 0..n {
+                    if tc.reachable(NodeId(a), NodeId(b)) && tc.reachable(NodeId(b), NodeId(c)) {
+                        prop_assert!(tc.reachable(NodeId(a), NodeId(c)));
+                    }
+                }
+            }
+        }
+        // Sound: agrees with naive reachability.
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    tc.reachable(NodeId(a), NodeId(b)),
+                    strictly_reaches(&g, NodeId(a), NodeId(b))
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,527 @@
+//! Executable semantics of protocol tables: guard evaluation and action
+//! application against a concrete [`GlobalState`].
+
+use crate::config::McConfig;
+use crate::state::{GlobalState, Msg, Node};
+use vnet_protocol::{
+    Action, Cell, ControllerKind, CoreOp, Guard, MsgId, Payload, ProtocolSpec, StateId, Target,
+    Trigger,
+};
+
+/// Outcome of attempting to process a trigger at a controller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Firing {
+    /// The entry fired: the state was mutated and these messages must be
+    /// placed into the ICN.
+    Fired {
+        /// Messages produced by the entry's send actions, in order.
+        sends: Vec<Msg>,
+    },
+    /// A stall cell matched: the trigger stays blocked.
+    Stalled,
+    /// No cell matched: a protocol-specification bug.
+    Undefined,
+}
+
+/// Delivers message `m` to its destination controller, firing the
+/// matching table entry.
+pub fn deliver(spec: &ProtocolSpec, cfg: &McConfig, gs: &mut GlobalState, m: &Msg) -> Firing {
+    let kind = match m.dst {
+        Node::Cache(_) => ControllerKind::Cache,
+        Node::Dir(_) => ControllerKind::Directory,
+    };
+    let ctrl = spec.controller(kind);
+    let state = current_state(gs, m.dst, m.addr);
+    let msg_id = MsgId(m.msg as usize);
+
+    // Find the (unique, validated) matching guarded cell.
+    let mut matched: Option<Cell> = None;
+    for (guard, cell) in ctrl.entries_for_message(StateId(state as usize), msg_id) {
+        if eval_guard(*guard, gs, m) {
+            matched = Some(cell.clone());
+            break;
+        }
+    }
+    match matched {
+        None => Firing::Undefined,
+        Some(Cell::Stall) => Firing::Stalled,
+        Some(Cell::Entry(entry)) => {
+            let sends = apply_entry(spec, cfg, gs, m.dst, m.addr, Some(m), &entry);
+            Firing::Fired { sends }
+        }
+    }
+}
+
+/// Injects a core operation at a cache. Returns `None` when the op is
+/// not currently processable (stall or no cell) or is a pure hit with no
+/// effect; otherwise fires the entry.
+pub fn inject(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    gs: &mut GlobalState,
+    cache: u8,
+    addr: u8,
+    op: CoreOp,
+) -> Option<Vec<Msg>> {
+    let state = gs.caches[cache as usize][addr as usize].state;
+    let cell = spec
+        .cache()
+        .cell(StateId(state as usize), Trigger::core(op))?;
+    let entry = match cell {
+        Cell::Stall => return None,
+        Cell::Entry(e) => e.clone(),
+    };
+    // Pure hits (no actions, no transition) don't change the state; the
+    // explorer skips them to avoid useless self-loops.
+    if entry.actions.is_empty() && entry.next.is_none() {
+        return None;
+    }
+    Some(apply_entry(spec, cfg, gs, Node::Cache(cache), addr, None, &entry))
+}
+
+fn current_state(gs: &GlobalState, node: Node, addr: u8) -> u8 {
+    match node {
+        Node::Cache(c) => gs.caches[c as usize][addr as usize].state,
+        Node::Dir(_) => gs.dirs[addr as usize].state,
+    }
+}
+
+/// Evaluates a guard in the context of message `m` arriving at `m.dst`.
+pub fn eval_guard(guard: Guard, gs: &GlobalState, m: &Msg) -> bool {
+    let addr = m.addr as usize;
+    match guard {
+        Guard::Always => true,
+        // Cache-side ack guards.
+        Guard::AckZero | Guard::AckPositive => {
+            let Node::Cache(c) = m.dst else { return false };
+            let total = gs.caches[c as usize][addr].needed_acks as i32 + m.ack as i32;
+            (total == 0) == (guard == Guard::AckZero)
+        }
+        Guard::LastAck | Guard::NotLastAck => {
+            let Node::Cache(c) = m.dst else { return false };
+            let last = gs.caches[c as usize][addr].needed_acks == 1;
+            last == (guard == Guard::LastAck)
+        }
+        // Directory-side guards.
+        Guard::LastSharer | Guard::NotLastSharer => {
+            let others = gs.dirs[addr].sharers & !(1u8 << m.requestor);
+            (others == 0) == (guard == Guard::LastSharer)
+        }
+        Guard::FromOwner | Guard::NotFromOwner => {
+            let from_owner = match m.src {
+                Node::Cache(c) => gs.dirs[addr].owner == Some(c),
+                Node::Dir(_) => false,
+            };
+            from_owner == (guard == Guard::FromOwner)
+        }
+        Guard::LastSnpAck | Guard::NotLastSnpAck => {
+            let last = gs.dirs[addr].pending == 1;
+            last == (guard == Guard::LastSnpAck)
+        }
+        Guard::NoOtherSharers | Guard::HasOtherSharers => {
+            let others = gs.dirs[addr].sharers & !(1u8 << m.requestor);
+            (others == 0) == (guard == Guard::NoOtherSharers)
+        }
+        Guard::ReqIsOwner | Guard::ReqNotOwner => {
+            let is_owner = gs.dirs[addr].owner == Some(m.requestor);
+            is_owner == (guard == Guard::ReqIsOwner)
+        }
+    }
+}
+
+/// Applies an entry's actions at `node` for `addr`, triggered by
+/// `trigger_msg` (or a core event when `None`). Returns the sends.
+///
+/// Sends carry the triggering message's requestor (or the acting cache
+/// for core events); sends to deferred readers/writers carry the
+/// recorded ids instead.
+fn apply_entry(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    gs: &mut GlobalState,
+    node: Node,
+    addr: u8,
+    trigger_msg: Option<&Msg>,
+    entry: &vnet_protocol::Entry,
+) -> Vec<Msg> {
+    let requestor = match trigger_msg {
+        Some(m) => m.requestor,
+        None => match node {
+            Node::Cache(c) => c,
+            Node::Dir(_) => unreachable!("core events only fire at caches"),
+        },
+    };
+    let msg_ack = trigger_msg.map_or(0, |m| m.ack);
+    let mut sends = Vec::new();
+
+    for action in &entry.actions {
+        match action {
+            Action::Send { msg, to, payload } => {
+                emit(spec, cfg, gs, node, addr, requestor, msg_ack, *msg, *to, *payload, &mut sends);
+            }
+            Action::SendToSharersExceptReq { msg } => {
+                let sharers = gs.dirs[addr as usize].sharers & !(1u8 << requestor);
+                for s in 0..cfg.n_caches as u8 {
+                    if sharers & (1 << s) != 0 {
+                        sends.push(Msg {
+                            msg: msg.index() as u8,
+                            addr,
+                            src: node,
+                            dst: Node::Cache(s),
+                            requestor,
+                            ack: 0,
+                        });
+                    }
+                }
+            }
+            Action::SetOwnerToReq => gs.dirs[addr as usize].owner = Some(requestor),
+            Action::ClearOwner => gs.dirs[addr as usize].owner = None,
+            Action::AddReqToSharers => gs.dirs[addr as usize].sharers |= 1 << requestor,
+            Action::AddOwnerToSharers => {
+                if let Some(o) = gs.dirs[addr as usize].owner {
+                    gs.dirs[addr as usize].sharers |= 1 << o;
+                }
+            }
+            Action::RemoveReqFromSharers => {
+                gs.dirs[addr as usize].sharers &= !(1u8 << requestor)
+            }
+            Action::ClearSharers => gs.dirs[addr as usize].sharers = 0,
+            Action::CopyDataToMem => {}
+            Action::RecordReader => {
+                let Node::Cache(c) = node else { unreachable!() };
+                gs.caches[c as usize][addr as usize].readers |= 1 << requestor;
+            }
+            Action::RecordWriter => {
+                let Node::Cache(c) = node else { unreachable!() };
+                gs.caches[c as usize][addr as usize].writer = Some((requestor, msg_ack));
+            }
+            Action::SetPendingToOtherSharers => {
+                let others = gs.dirs[addr as usize].sharers & !(1u8 << requestor);
+                gs.dirs[addr as usize].pending = others.count_ones() as i8;
+            }
+            Action::DecPending => gs.dirs[addr as usize].pending -= 1,
+            Action::AddAcksFromMsg => {
+                let Node::Cache(c) = node else { unreachable!() };
+                gs.caches[c as usize][addr as usize].needed_acks += msg_ack;
+            }
+            Action::DecNeededAcks => {
+                let Node::Cache(c) = node else { unreachable!() };
+                gs.caches[c as usize][addr as usize].needed_acks -= 1;
+            }
+        }
+    }
+
+    if let Some(next) = entry.next {
+        match node {
+            Node::Cache(c) => gs.caches[c as usize][addr as usize].state = next.index() as u8,
+            Node::Dir(_) => gs.dirs[addr as usize].state = next.index() as u8,
+        }
+    }
+    sends
+}
+
+#[allow(clippy::too_many_arguments)]
+fn emit(
+    _spec: &ProtocolSpec,
+    cfg: &McConfig,
+    gs: &mut GlobalState,
+    node: Node,
+    addr: u8,
+    requestor: u8,
+    msg_ack: i8,
+    msg: MsgId,
+    to: Target,
+    payload: Payload,
+    sends: &mut Vec<Msg>,
+) {
+    let dline = &gs.dirs[addr as usize];
+    let others = (dline.sharers & !(1u8 << requestor)).count_ones() as i8;
+    let base_ack = |stored: Option<(u8, i8)>| match payload {
+        Payload::None | Payload::Data => 0,
+        Payload::DataAckFromSharers | Payload::AckFromSharers => others,
+        Payload::DataAckFromMsg => msg_ack,
+        Payload::DataAckStored => stored.map_or(0, |(_, a)| a),
+    };
+    match to {
+        Target::Req => sends.push(Msg {
+            msg: msg.index() as u8,
+            addr,
+            src: node,
+            dst: Node::Cache(requestor),
+            requestor,
+            ack: base_ack(None),
+        }),
+        Target::Dir => sends.push(Msg {
+            msg: msg.index() as u8,
+            addr,
+            src: node,
+            dst: Node::Dir(cfg.home_of(addr as usize) as u8),
+            requestor,
+            ack: base_ack(None),
+        }),
+        Target::Owner => {
+            // A send to a missing owner is a specification bug; encode it
+            // as a send to a sentinel that the explorer reports.
+            let owner = dline.owner.expect("send to Owner with no owner recorded");
+            sends.push(Msg {
+                msg: msg.index() as u8,
+                addr,
+                src: node,
+                dst: Node::Cache(owner),
+                requestor,
+                ack: base_ack(None),
+            });
+        }
+        Target::Readers => {
+            let Node::Cache(c) = node else { unreachable!() };
+            let line = &mut gs.caches[c as usize][addr as usize];
+            let readers = line.readers;
+            line.readers = 0;
+            for r in 0..cfg.n_caches as u8 {
+                if readers & (1 << r) != 0 {
+                    sends.push(Msg {
+                        msg: msg.index() as u8,
+                        addr,
+                        src: node,
+                        dst: Node::Cache(r),
+                        requestor: r,
+                        ack: 0,
+                    });
+                }
+            }
+        }
+        Target::Writer => {
+            let Node::Cache(c) = node else { unreachable!() };
+            let line = &mut gs.caches[c as usize][addr as usize];
+            let writer = line.writer.take();
+            let (w, stored_ack) = writer.expect("send to Writer with none recorded");
+            let ack = match payload {
+                Payload::DataAckStored => stored_ack,
+                _ => base_ack(Some((w, stored_ack))),
+            };
+            sends.push(Msg {
+                msg: msg.index() as u8,
+                addr,
+                src: node,
+                dst: Node::Cache(w),
+                requestor: w,
+                ack,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    fn setup() -> (ProtocolSpec, McConfig, GlobalState) {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let gs = GlobalState::initial(&spec, &cfg);
+        (spec, cfg, gs)
+    }
+
+    #[test]
+    fn store_in_i_sends_getm_and_transitions() {
+        let (spec, cfg, mut gs) = setup();
+        let sends = inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Store).unwrap();
+        assert_eq!(sends.len(), 1);
+        let m = sends[0];
+        assert_eq!(m.dst, Node::Dir(0));
+        assert_eq!(m.requestor, 0);
+        assert_eq!(
+            spec.message_name(MsgId(m.msg as usize)),
+            "GetM"
+        );
+        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
+        assert_eq!(gs.caches[0][0].state, im_ad.index() as u8);
+    }
+
+    #[test]
+    fn load_hit_in_m_is_a_no_op() {
+        let (spec, cfg, mut gs) = setup();
+        let m_state = spec.cache().state_by_name("M").unwrap();
+        gs.caches[0][0].state = m_state.index() as u8;
+        assert!(inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Load).is_none());
+    }
+
+    #[test]
+    fn getm_at_idle_directory_grants_ownership() {
+        let (spec, cfg, mut gs) = setup();
+        let getm = spec.message_by_name("GetM").unwrap();
+        let msg = Msg {
+            msg: getm.index() as u8,
+            addr: 0,
+            src: Node::Cache(1),
+            dst: Node::Dir(0),
+            requestor: 1,
+            ack: 0,
+        };
+        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
+            panic!("GetM in I should fire");
+        };
+        assert_eq!(gs.dirs[0].owner, Some(1));
+        let m_state = spec.directory().state_by_name("M").unwrap();
+        assert_eq!(gs.dirs[0].state, m_state.index() as u8);
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].dst, Node::Cache(1));
+        assert_eq!(sends[0].ack, 0); // no sharers
+    }
+
+    #[test]
+    fn getm_in_s_counts_acks_and_invalidates_sharers() {
+        let (spec, cfg, mut gs) = setup();
+        let s_state = spec.directory().state_by_name("S").unwrap();
+        gs.dirs[0].state = s_state.index() as u8;
+        gs.dirs[0].sharers = 0b110; // caches 1 and 2 share
+        let getm = spec.message_by_name("GetM").unwrap();
+        let msg = Msg {
+            msg: getm.index() as u8,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        };
+        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
+            panic!()
+        };
+        // Data to requestor with ack=2, plus two Invs.
+        let data = spec.message_by_name("Data").unwrap();
+        let inv = spec.message_by_name("Inv").unwrap();
+        let data_msg = sends.iter().find(|m| m.msg == data.index() as u8).unwrap();
+        assert_eq!(data_msg.ack, 2);
+        let invs: Vec<&Msg> = sends.iter().filter(|m| m.msg == inv.index() as u8).collect();
+        assert_eq!(invs.len(), 2);
+        assert!(invs.iter().all(|m| m.requestor == 0));
+        assert_eq!(gs.dirs[0].sharers, 0);
+        assert_eq!(gs.dirs[0].owner, Some(0));
+    }
+
+    #[test]
+    fn stall_reported_in_transient_state() {
+        let (spec, cfg, mut gs) = setup();
+        let sd = spec.directory().state_by_name("S_D").unwrap();
+        gs.dirs[0].state = sd.index() as u8;
+        let getm = spec.message_by_name("GetM").unwrap();
+        let msg = Msg {
+            msg: getm.index() as u8,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        };
+        assert_eq!(deliver(&spec, &cfg, &mut gs, &msg), Firing::Stalled);
+    }
+
+    #[test]
+    fn undefined_reception_reported() {
+        let (spec, cfg, mut gs) = setup();
+        // Put-Ack arriving at a cache in I is undefined in the tables.
+        let putack = spec.message_by_name("Put-Ack").unwrap();
+        let msg = Msg {
+            msg: putack.index() as u8,
+            addr: 0,
+            src: Node::Dir(0),
+            dst: Node::Cache(0),
+            requestor: 0,
+            ack: 0,
+        };
+        assert_eq!(deliver(&spec, &cfg, &mut gs, &msg), Firing::Undefined);
+    }
+
+    #[test]
+    fn ack_guards_combine_message_and_counter() {
+        let (spec, cfg, mut gs) = setup();
+        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
+        gs.caches[0][0].state = im_ad.index() as u8;
+        // Two early Inv-Acks already arrived.
+        gs.caches[0][0].needed_acks = -2;
+        let data = spec.message_by_name("Data").unwrap();
+        let msg = Msg {
+            msg: data.index() as u8,
+            addr: 0,
+            src: Node::Dir(0),
+            dst: Node::Cache(0),
+            requestor: 0,
+            ack: 2,
+        };
+        // 2 + (-2) == 0: the ack=0 entry fires straight to M.
+        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
+            panic!()
+        };
+        assert!(sends.is_empty());
+        let m_state = spec.cache().state_by_name("M").unwrap();
+        assert_eq!(gs.caches[0][0].state, m_state.index() as u8);
+        assert_eq!(gs.caches[0][0].needed_acks, 0);
+    }
+
+    #[test]
+    fn last_inv_ack_completes_write() {
+        let (spec, cfg, mut gs) = setup();
+        let im_a = spec.cache().state_by_name("IM_A").unwrap();
+        gs.caches[0][0].state = im_a.index() as u8;
+        gs.caches[0][0].needed_acks = 1;
+        let invack = spec.message_by_name("Inv-Ack").unwrap();
+        let msg = Msg {
+            msg: invack.index() as u8,
+            addr: 0,
+            src: Node::Cache(1),
+            dst: Node::Cache(0),
+            requestor: 0,
+            ack: 0,
+        };
+        let Firing::Fired { .. } = deliver(&spec, &cfg, &mut gs, &msg) else {
+            panic!()
+        };
+        let m_state = spec.cache().state_by_name("M").unwrap();
+        assert_eq!(gs.caches[0][0].state, m_state.index() as u8);
+        assert_eq!(gs.caches[0][0].needed_acks, 0);
+    }
+
+    #[test]
+    fn deferred_writer_round_trip_in_nonblocking_msi() {
+        let spec = protocols::msi_nonblocking_cache();
+        let cfg = McConfig::general(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
+        gs.caches[0][0].state = im_ad.index() as u8;
+        // A Fwd-GetM for cache 2 arrives and is deferred.
+        let fwdm = spec.message_by_name("Fwd-GetM").unwrap();
+        let fwd = Msg {
+            msg: fwdm.index() as u8,
+            addr: 0,
+            src: Node::Dir(0),
+            dst: Node::Cache(0),
+            requestor: 2,
+            ack: 0,
+        };
+        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &fwd) else {
+            panic!()
+        };
+        assert!(sends.is_empty());
+        assert_eq!(gs.caches[0][0].writer, Some((2, 0)));
+        // Data (ack=0) completes the write and serves the writer.
+        let data = spec.message_by_name("Data").unwrap();
+        let dm = Msg {
+            msg: data.index() as u8,
+            addr: 0,
+            src: Node::Dir(0),
+            dst: Node::Cache(0),
+            requestor: 0,
+            ack: 0,
+        };
+        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &dm) else {
+            panic!()
+        };
+        assert_eq!(sends.len(), 1);
+        assert_eq!(sends[0].dst, Node::Cache(2));
+        assert_eq!(sends[0].requestor, 2);
+        assert_eq!(gs.caches[0][0].writer, None);
+        let i_state = spec.cache().state_by_name("I").unwrap();
+        assert_eq!(gs.caches[0][0].state, i_state.index() as u8);
+    }
+}

@@ -1,0 +1,399 @@
+//! Breadth-first exploration with deadlock detection and bounded-run
+//! reporting.
+
+use crate::config::McConfig;
+use crate::rules::{successors, Expansion};
+use crate::state::GlobalState;
+use crate::trace::Trace;
+use std::collections::{HashMap, VecDeque};
+use vnet_protocol::ProtocolSpec;
+
+/// Exploration statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct states visited.
+    pub states: usize,
+    /// Deepest completed BFS level.
+    pub levels: usize,
+    /// `true` if the whole reachable space was explored (no bound hit).
+    pub complete: bool,
+}
+
+/// The outcome of a model-checking run.
+#[derive(Debug)]
+pub enum Verdict {
+    /// No deadlock found. `stats.complete` distinguishes a full proof
+    /// from a bounded run (the paper's "reached level N without error").
+    NoDeadlock(ExploreStats),
+    /// A reachable state with work in flight and no enabled rule.
+    Deadlock {
+        /// Shortest path to the deadlocked state.
+        trace: Trace,
+        /// BFS depth at which it was found.
+        depth: usize,
+        /// Statistics at detection time.
+        stats: ExploreStats,
+    },
+    /// A controller received an undefined message — a specification bug.
+    ModelError {
+        /// Path to the erroneous state.
+        trace: Trace,
+        /// What went wrong.
+        detail: String,
+        /// Statistics at detection time.
+        stats: ExploreStats,
+    },
+    /// A safety invariant (SWMR) was violated.
+    InvariantViolation {
+        /// Path to the violating state.
+        trace: Trace,
+        /// The violation description.
+        detail: String,
+        /// Statistics at detection time.
+        stats: ExploreStats,
+    },
+}
+
+impl Verdict {
+    /// `true` for [`Verdict::Deadlock`].
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Verdict::Deadlock { .. })
+    }
+
+    /// The statistics of the run.
+    pub fn stats(&self) -> &ExploreStats {
+        match self {
+            Verdict::NoDeadlock(s) => s,
+            Verdict::Deadlock { stats, .. }
+            | Verdict::ModelError { stats, .. }
+            | Verdict::InvariantViolation { stats, .. } => stats,
+        }
+    }
+
+    /// One-line summary in the style of the paper's result extraction.
+    pub fn summary(&self) -> String {
+        match self {
+            Verdict::NoDeadlock(s) if s.complete => format!(
+                "no deadlock (complete, {} states, {} levels)",
+                s.states, s.levels
+            ),
+            Verdict::NoDeadlock(s) => format!(
+                "no deadlock up to bound ({} states, {} levels)",
+                s.states, s.levels
+            ),
+            Verdict::Deadlock { depth, stats, .. } => format!(
+                "DEADLOCK at depth {depth} ({} states explored)",
+                stats.states
+            ),
+            Verdict::ModelError { detail, .. } => format!("MODEL ERROR: {detail}"),
+            Verdict::InvariantViolation { detail, .. } => {
+                format!("INVARIANT VIOLATION: {detail}")
+            }
+        }
+    }
+}
+
+/// Explores the reachable state space of `spec` under `cfg`.
+///
+/// See the crate docs for an end-to-end example.
+pub fn explore(spec: &ProtocolSpec, cfg: &McConfig) -> Verdict {
+    explore_with(spec, cfg, |_, _| {})
+}
+
+/// Like [`explore`], invoking `on_level(level, states_so_far)` as each
+/// BFS level completes (the paper reports Murphi progress the same way).
+pub fn explore_with(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    mut on_level: impl FnMut(usize, usize),
+) -> Verdict {
+    if cfg.symmetry {
+        assert!(
+            matches!(cfg.budget, crate::config::InjectionBudget::PerCache(_)),
+            "symmetry reduction requires a uniform per-cache budget"
+        );
+    }
+    let canon = |gs: GlobalState| -> (GlobalState, Vec<u8>) {
+        if cfg.symmetry {
+            crate::symmetry::canonicalize(&gs)
+        } else {
+            let key = gs.encode();
+            (gs, key)
+        }
+    };
+    let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
+
+    // Invariant check on the initial state (vacuous for sane specs, but
+    // uniform).
+    if let Some(swmr) = &cfg.swmr {
+        if let Some(detail) = swmr.check(&initial, spec) {
+            return Verdict::InvariantViolation {
+                trace: Trace { steps: Vec::new(), last: initial },
+                detail,
+                stats: ExploreStats { states: 1, levels: 0, complete: false },
+            };
+        }
+    }
+
+    // parent[key] = (parent key, rule label). The initial state maps to
+    // itself with an empty label.
+    let mut parent: HashMap<Vec<u8>, (Vec<u8>, String)> = HashMap::new();
+    parent.insert(init_key.clone(), (init_key.clone(), String::new()));
+
+    let mut frontier: VecDeque<GlobalState> = VecDeque::from([initial]);
+    let mut level = 0usize;
+    let mut complete = true;
+
+    'bfs: while !frontier.is_empty() {
+        if let Some(max) = cfg.max_depth {
+            if level >= max {
+                complete = false;
+                break;
+            }
+        }
+        let mut next_frontier = VecDeque::new();
+        for gs in frontier.drain(..) {
+            let key = gs.encode();
+            match successors(spec, cfg, &gs) {
+                Expansion::Bug { rule, detail } => {
+                    let mut trace = rebuild_trace(&parent, &key, gs);
+                    trace.steps.push(rule);
+                    let stats = ExploreStats {
+                        states: parent.len(),
+                        levels: level,
+                        complete: false,
+                    };
+                    return Verdict::ModelError {
+                        trace,
+                        detail,
+                        stats,
+                    };
+                }
+                Expansion::Ok(succs) => {
+                    if succs.is_empty() {
+                        if !gs.is_quiescent(spec) {
+                            let stats = ExploreStats {
+                                states: parent.len(),
+                                levels: level,
+                                complete: false,
+                            };
+                            let trace = rebuild_trace(&parent, &key, gs);
+                            return Verdict::Deadlock {
+                                depth: level,
+                                trace,
+                                stats,
+                            };
+                        }
+                        continue;
+                    }
+                    for s in succs {
+                        let (sstate, skey) = canon(s.state);
+                        if parent.contains_key(&skey) {
+                            continue;
+                        }
+                        if let Some(swmr) = &cfg.swmr {
+                            if let Some(detail) = swmr.check(&sstate, spec) {
+                                parent.insert(skey.clone(), (key.clone(), s.label));
+                                let stats = ExploreStats {
+                                    states: parent.len(),
+                                    levels: level,
+                                    complete: false,
+                                };
+                                let trace = rebuild_trace(&parent, &skey, sstate);
+                                return Verdict::InvariantViolation { trace, detail, stats };
+                            }
+                        }
+                        parent.insert(skey, (key.clone(), s.label));
+                        next_frontier.push_back(sstate);
+                        if parent.len() >= cfg.max_states {
+                            complete = false;
+                            // Finish nothing further; report bounded.
+                            break 'bfs;
+                        }
+                    }
+                }
+            }
+        }
+        level += 1;
+        on_level(level, parent.len());
+        frontier = next_frontier;
+    }
+
+    Verdict::NoDeadlock(ExploreStats {
+        states: parent.len(),
+        levels: level,
+        complete,
+    })
+}
+
+fn rebuild_trace(
+    parent: &HashMap<Vec<u8>, (Vec<u8>, String)>,
+    key: &[u8],
+    last: GlobalState,
+) -> Trace {
+    let mut steps = Vec::new();
+    let mut cur = key.to_vec();
+    loop {
+        let (p, label) = &parent[&cur];
+        if label.is_empty() {
+            break;
+        }
+        steps.push(label.clone());
+        cur = p.clone();
+    }
+    steps.reverse();
+    Trace { steps, last }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{IcnOrder, InjectionBudget, McConfig, VnMap};
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn figure3_deadlock_found_in_textbook_msi() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let v = explore(&spec, &cfg);
+        match &v {
+            Verdict::Deadlock { depth, trace, .. } => {
+                assert!(*depth > 4, "deadlock depth {depth} suspiciously small");
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected deadlock, got {}", other.summary()),
+        }
+    }
+
+    #[test]
+    fn figure3_deadlock_survives_unique_vns() {
+        // Class 2: even one VN per message name deadlocks.
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec)
+            .with_vns(VnMap::one_per_message(spec.messages().len()));
+        assert!(explore(&spec, &cfg).is_deadlock());
+    }
+
+    #[test]
+    fn nonblocking_msi_with_two_vns_is_clean_on_figure3() {
+        let spec = protocols::msi_nonblocking_cache();
+        let outcome = vnet_core::minimize_vns(&spec);
+        let vns = VnMap::from_assignment(
+            outcome.assignment().expect("class 3"),
+            spec.messages().len(),
+        );
+        let cfg = McConfig::figure3(&spec).with_vns(vns);
+        let v = explore(&spec, &cfg);
+        assert!(!v.is_deadlock(), "{}", v.summary());
+        if let Verdict::NoDeadlock(stats) = &v {
+            assert!(stats.complete);
+        }
+    }
+
+    #[test]
+    fn single_cache_single_addr_msi_completes_cleanly() {
+        let spec = protocols::msi_blocking_cache();
+        let mut cfg = McConfig::general(&spec);
+        cfg.n_caches = 1;
+        cfg.n_addrs = 1;
+        cfg.n_dirs = 1;
+        cfg.budget = InjectionBudget::PerCache(2);
+        let v = explore(&spec, &cfg);
+        match v {
+            Verdict::NoDeadlock(stats) => assert!(stats.complete),
+            other => panic!("{}", other.summary()),
+        }
+    }
+
+    #[test]
+    fn level_callback_fires() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let mut levels = 0;
+        let _ = explore_with(&spec, &cfg, |_, _| levels += 1);
+        assert!(levels > 0);
+    }
+
+    #[test]
+    fn depth_bound_reports_incomplete() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec).with_limits(usize::MAX, Some(2));
+        match explore(&spec, &cfg) {
+            Verdict::NoDeadlock(stats) => {
+                assert!(!stats.complete);
+                assert!(stats.levels <= 2);
+            }
+            other => panic!("{}", other.summary()),
+        }
+    }
+
+    #[test]
+    fn swmr_holds_on_the_directed_scenario() {
+        let spec = protocols::msi_nonblocking_cache();
+        let outcome = vnet_core::minimize_vns(&spec);
+        let vns = VnMap::from_assignment(outcome.assignment().unwrap(), spec.messages().len());
+        let cfg = McConfig::figure3(&spec)
+            .with_vns(vns)
+            .with_swmr(crate::invariant::Swmr::by_convention(&spec));
+        let v = explore(&spec, &cfg);
+        assert!(matches!(v, Verdict::NoDeadlock(_)), "{}", v.summary());
+    }
+
+    #[test]
+    fn swmr_catches_a_broken_protocol() {
+        // A directory that grants M to every requestor without
+        // invalidating anyone: two stores → two writers.
+        use vnet_protocol::{acts, CoreOp, Guard, MsgType, ProtocolBuilder, Target};
+        let mut b = ProtocolBuilder::new("broken-grants");
+        b.msg("GetM", MsgType::Request).msg("Data", MsgType::DataResponse);
+        b.cache_stable(&["I", "M"]).cache_transient(&["IM"]);
+        b.dir_stable(&["I"]);
+        b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM"));
+        b.cache_on_msg_if("IM", "Data", Guard::AckZero, acts().goto("M"));
+        b.dir_on_msg("I", "GetM", acts().send_data("Data", Target::Req));
+        let spec = b.build();
+        spec.validate().unwrap();
+
+        let mut cfg = McConfig::general(&spec)
+            .with_budget(InjectionBudget::PerCache(1))
+            .with_swmr(crate::invariant::Swmr::by_convention(&spec));
+        cfg.n_caches = 2;
+        cfg.n_addrs = 1;
+        cfg.n_dirs = 1;
+        let v = explore(&spec, &cfg);
+        match v {
+            Verdict::InvariantViolation { detail, trace, .. } => {
+                assert!(detail.contains("SWMR"));
+                assert!(!trace.is_empty());
+            }
+            other => panic!("expected SWMR violation, got {}", other.summary()),
+        }
+    }
+
+    #[test]
+    fn symmetry_reduces_states_and_preserves_the_verdict() {
+        let spec = protocols::msi_blocking_cache();
+        let mut base = McConfig::general(&spec).with_budget(InjectionBudget::PerCache(1));
+        base.n_caches = 3;
+        base.n_addrs = 1;
+        base.n_dirs = 1;
+        let plain = explore(&spec, &base);
+        let reduced = explore(&spec, &base.clone().with_symmetry());
+        let (p, r) = (plain.stats(), reduced.stats());
+        assert!(p.complete && r.complete);
+        assert!(
+            r.states * 2 < p.states,
+            "symmetry should at least halve the space: {} vs {}",
+            r.states,
+            p.states
+        );
+        assert_eq!(plain.is_deadlock(), reduced.is_deadlock());
+    }
+
+    #[test]
+    fn p2p_ordering_also_finds_the_class2_deadlock() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec).with_order(IcnOrder::PointToPoint { salt: 1 });
+        assert!(explore(&spec, &cfg).is_deadlock());
+    }
+}

@@ -1,0 +1,172 @@
+//! Safety invariants checked during exploration.
+//!
+//! The paper's focus is deadlock, but its Murphi models also carry the
+//! standard coherence safety properties; we support the central one —
+//! **Single-Writer / Multiple-Reader** (SWMR): at no instant may a cache
+//! hold write permission for a block while any other cache holds any
+//! permission for it.
+//!
+//! Which states grant which permission is protocol-specific; the
+//! [`Swmr::by_convention`] constructor recognizes the MOESIF naming used
+//! by the built-in protocols (writable: `M`, `E`; readable: `S`, `O`),
+//! and custom sets can be supplied for hand-written specs.
+
+use crate::state::GlobalState;
+use vnet_protocol::ProtocolSpec;
+
+/// The SWMR invariant configuration: which *cache* states grant write
+/// permission and which grant read permission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Swmr {
+    writable: Vec<u8>,
+    readable: Vec<u8>,
+}
+
+impl Swmr {
+    /// Builds the invariant from explicit state-name lists.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a name does not exist in the cache controller.
+    pub fn new(spec: &ProtocolSpec, writable: &[&str], readable: &[&str]) -> Self {
+        let resolve = |names: &[&str]| -> Vec<u8> {
+            names
+                .iter()
+                .map(|n| {
+                    spec.cache()
+                        .state_by_name(n)
+                        .unwrap_or_else(|| panic!("unknown cache state {n}"))
+                        .index() as u8
+                })
+                .collect()
+        };
+        Swmr {
+            writable: resolve(writable),
+            readable: resolve(readable),
+        }
+    }
+
+    /// The MOESIF-convention invariant: `M`/`E` writable, `S`/`O`
+    /// readable (whichever of those states the protocol has).
+    pub fn by_convention(spec: &ProtocolSpec) -> Self {
+        fn pick<'a>(spec: &ProtocolSpec, names: &[&'a str]) -> Vec<&'a str> {
+            names
+                .iter()
+                .copied()
+                .filter(|n| spec.cache().state_by_name(n).is_some())
+                .collect()
+        }
+        let w = pick(spec, &["M", "E"]);
+        let r = pick(spec, &["S", "O"]);
+        Swmr::new(spec, &w, &r)
+    }
+
+    /// Checks the invariant on one state; returns a description of the
+    /// violation if any address breaks it.
+    pub fn check(&self, gs: &GlobalState, spec: &ProtocolSpec) -> Option<String> {
+        let n_addrs = gs.dirs.len();
+        for addr in 0..n_addrs {
+            let mut writers = Vec::new();
+            let mut readers = Vec::new();
+            for (c, row) in gs.caches.iter().enumerate() {
+                let s = row[addr].state;
+                if self.writable.contains(&s) {
+                    writers.push(c);
+                } else if self.readable.contains(&s) {
+                    readers.push(c);
+                }
+            }
+            if writers.len() > 1 || (writers.len() == 1 && !readers.is_empty()) {
+                let name = |c: usize| {
+                    let s = gs.caches[c][addr].state;
+                    format!(
+                        "C{}:{}",
+                        c + 1,
+                        spec.cache().state(vnet_protocol::StateId(s as usize)).name
+                    )
+                };
+                let all: Vec<String> = writers
+                    .iter()
+                    .chain(readers.iter())
+                    .map(|&c| name(c))
+                    .collect();
+                return Some(format!(
+                    "SWMR violated for addr {}: {}",
+                    (b'X' + addr as u8) as char,
+                    all.join(", ")
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::McConfig;
+    use vnet_protocol::protocols;
+
+    fn put(gs: &mut GlobalState, spec: &ProtocolSpec, c: usize, addr: usize, state: &str) {
+        gs.caches[c][addr].state = spec.cache().state_by_name(state).unwrap().index() as u8;
+    }
+
+    #[test]
+    fn clean_states_pass() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let inv = Swmr::by_convention(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        put(&mut gs, &spec, 0, 0, "S");
+        put(&mut gs, &spec, 1, 0, "S");
+        put(&mut gs, &spec, 2, 1, "M");
+        assert_eq!(inv.check(&gs, &spec), None);
+    }
+
+    #[test]
+    fn two_writers_flagged() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let inv = Swmr::by_convention(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        put(&mut gs, &spec, 0, 0, "M");
+        put(&mut gs, &spec, 1, 0, "M");
+        let v = inv.check(&gs, &spec).unwrap();
+        assert!(v.contains("SWMR"));
+        assert!(v.contains("C1:M"));
+        assert!(v.contains("C2:M"));
+    }
+
+    #[test]
+    fn writer_plus_reader_flagged() {
+        let spec = protocols::mesi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let inv = Swmr::by_convention(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        put(&mut gs, &spec, 0, 1, "E");
+        put(&mut gs, &spec, 2, 1, "S");
+        assert!(inv.check(&gs, &spec).is_some());
+    }
+
+    #[test]
+    fn owned_plus_shared_is_legal() {
+        let spec = protocols::mosi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let inv = Swmr::by_convention(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        put(&mut gs, &spec, 0, 0, "O");
+        put(&mut gs, &spec, 1, 0, "S");
+        assert_eq!(inv.check(&gs, &spec), None);
+    }
+
+    #[test]
+    fn transients_are_not_counted() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let inv = Swmr::by_convention(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        put(&mut gs, &spec, 0, 0, "M");
+        put(&mut gs, &spec, 1, 0, "IM_AD");
+        assert_eq!(inv.check(&gs, &spec), None);
+    }
+}

@@ -1,0 +1,372 @@
+//! The global model-checking state and its canonical encoding.
+
+use crate::config::McConfig;
+use std::collections::VecDeque;
+use vnet_protocol::{ProtocolSpec, StateId};
+
+/// An endpoint of the system: a cache or a directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Node {
+    /// Cache `i`.
+    Cache(u8),
+    /// Directory `i`.
+    Dir(u8),
+}
+
+impl Node {
+    /// Flat endpoint index (caches first, then directories).
+    pub fn index(self, n_caches: usize) -> usize {
+        match self {
+            Node::Cache(i) => i as usize,
+            Node::Dir(i) => n_caches + i as usize,
+        }
+    }
+}
+
+impl std::fmt::Display for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Cache(i) => write!(f, "C{}", i + 1),
+            Node::Dir(i) => write!(f, "Dir{}", i + 1),
+        }
+    }
+}
+
+/// A message instance in flight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Msg {
+    /// The static message name.
+    pub msg: u8,
+    /// The cache-block address.
+    pub addr: u8,
+    /// Sender.
+    pub src: Node,
+    /// Destination.
+    pub dst: Node,
+    /// The transaction's original requestor (a cache index).
+    pub requestor: u8,
+    /// Carried ack count.
+    pub ack: i8,
+}
+
+impl Msg {
+    /// Pretty form, e.g. `Fwd-GetM(X) C1→C2 req=C3 ack=1`.
+    pub fn display(&self, spec: &ProtocolSpec) -> String {
+        let addr = (b'X' + self.addr) as char;
+        let mut s = format!(
+            "{}({}) {}\u{2192}{} req=C{}",
+            spec.message_name(vnet_protocol::MsgId(self.msg as usize)),
+            addr,
+            self.src,
+            self.dst,
+            self.requestor + 1
+        );
+        if self.ack != 0 {
+            s.push_str(&format!(" ack={}", self.ack));
+        }
+        s
+    }
+}
+
+/// Per-(cache, address) protocol state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct CacheLine {
+    /// FSM state.
+    pub state: u8,
+    /// Outstanding invalidation-ack balance (may go negative while acks
+    /// race the data).
+    pub needed_acks: i8,
+    /// Deferred-reader set (bitmask over cache ids).
+    pub readers: u8,
+    /// Deferred writer: `(cache id, stored ack count)`.
+    pub writer: Option<(u8, i8)>,
+}
+
+/// Per-address directory state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DirLine {
+    /// FSM state.
+    pub state: u8,
+    /// Recorded owner cache.
+    pub owner: Option<u8>,
+    /// Sharer set (bitmask over cache ids).
+    pub sharers: u8,
+    /// Outstanding snoop-ack count.
+    pub pending: i8,
+}
+
+/// The complete system state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct GlobalState {
+    /// `caches[c][a]` — cache `c`'s line for address `a`.
+    pub caches: Vec<Vec<CacheLine>>,
+    /// `dirs[a]` — the home directory line for address `a`.
+    pub dirs: Vec<DirLine>,
+    /// Remaining per-cache budget (uniform mode) — empty in explicit mode.
+    pub budgets: Vec<u8>,
+    /// Bitmask of already-used explicit injections (explicit mode).
+    pub used_injections: u32,
+    /// `global_bufs[vn * 2 + b]` — the two global FIFO buffers per VN.
+    pub global_bufs: Vec<VecDeque<Msg>>,
+    /// `endpoint_fifos[endpoint * n_vns + vn]` — per-endpoint input FIFOs.
+    pub endpoint_fifos: Vec<VecDeque<Msg>>,
+}
+
+impl GlobalState {
+    /// The initial state: every controller in its initial state, all
+    /// buffers empty, full budgets.
+    pub fn initial(spec: &ProtocolSpec, cfg: &McConfig) -> Self {
+        let cache_init = spec.cache().initial().index() as u8;
+        let dir_init = spec.directory().initial().index() as u8;
+        let n_vns = cfg.vns.n_vns();
+        GlobalState {
+            caches: vec![
+                vec![
+                    CacheLine {
+                        state: cache_init,
+                        ..CacheLine::default()
+                    };
+                    cfg.n_addrs
+                ];
+                cfg.n_caches
+            ],
+            dirs: vec![
+                DirLine {
+                    state: dir_init,
+                    ..DirLine::default()
+                };
+                cfg.n_addrs
+            ],
+            budgets: match &cfg.budget {
+                crate::config::InjectionBudget::PerCache(b) => vec![*b; cfg.n_caches],
+                crate::config::InjectionBudget::Explicit(_) => Vec::new(),
+            },
+            used_injections: 0,
+            global_bufs: vec![VecDeque::new(); n_vns * 2],
+            endpoint_fifos: vec![VecDeque::new(); cfg.n_endpoints() * n_vns],
+        }
+    }
+
+    /// `true` if nothing is in flight and every controller sits in a
+    /// stable state — the good kind of "nothing enabled".
+    pub fn is_quiescent(&self, spec: &ProtocolSpec) -> bool {
+        let all_empty = self.global_bufs.iter().all(VecDeque::is_empty)
+            && self.endpoint_fifos.iter().all(VecDeque::is_empty);
+        if !all_empty {
+            return false;
+        }
+        let cache_stable = self.caches.iter().flatten().all(|l| {
+            !spec.cache().state(StateId(l.state as usize)).is_transient()
+        });
+        let dir_stable = self
+            .dirs
+            .iter()
+            .all(|l| !spec.directory().state(StateId(l.state as usize)).is_transient());
+        cache_stable && dir_stable
+    }
+
+    /// Canonical byte encoding for hashing/deduplication.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        for row in &self.caches {
+            for l in row {
+                out.push(l.state);
+                out.push(l.needed_acks as u8);
+                out.push(l.readers);
+                match l.writer {
+                    None => out.extend([0xff, 0]),
+                    Some((w, a)) => out.extend([w, a as u8]),
+                }
+            }
+        }
+        for d in &self.dirs {
+            out.push(d.state);
+            out.push(d.owner.map_or(0xff, |o| o));
+            out.push(d.sharers);
+            out.push(d.pending as u8);
+        }
+        out.extend(&self.budgets);
+        out.extend(self.used_injections.to_le_bytes());
+        let enc_msg = |out: &mut Vec<u8>, m: &Msg| {
+            out.push(m.msg);
+            out.push(m.addr);
+            out.push(match m.src {
+                Node::Cache(i) => i,
+                Node::Dir(i) => 0x80 | i,
+            });
+            out.push(match m.dst {
+                Node::Cache(i) => i,
+                Node::Dir(i) => 0x80 | i,
+            });
+            out.push(m.requestor);
+            out.push(m.ack as u8);
+        };
+        for buf in &self.global_bufs {
+            out.push(0xfe); // buffer separator
+            for m in buf {
+                enc_msg(&mut out, m);
+            }
+        }
+        for fifo in &self.endpoint_fifos {
+            out.push(0xfd);
+            for m in fifo {
+                enc_msg(&mut out, m);
+            }
+        }
+        out
+    }
+
+    /// Total number of in-flight messages.
+    pub fn messages_in_flight(&self) -> usize {
+        self.global_bufs.iter().map(VecDeque::len).sum::<usize>()
+            + self.endpoint_fifos.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    /// Multi-line human dump (used in traces).
+    pub fn dump(&self, spec: &ProtocolSpec, cfg: &McConfig) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (c, row) in self.caches.iter().enumerate() {
+            let states: Vec<String> = row
+                .iter()
+                .enumerate()
+                .map(|(a, l)| {
+                    let name = &spec.cache().state(StateId(l.state as usize)).name;
+                    let addr = (b'X' + a as u8) as char;
+                    let mut s = format!("{addr}:{name}");
+                    if l.needed_acks != 0 {
+                        s.push_str(&format!("(acks {})", l.needed_acks));
+                    }
+                    s
+                })
+                .collect();
+            let _ = writeln!(out, "  C{} {}", c + 1, states.join(" "));
+        }
+        for (a, d) in self.dirs.iter().enumerate() {
+            let name = &spec.directory().state(StateId(d.state as usize)).name;
+            let addr = (b'X' + a as u8) as char;
+            let owner = d.owner.map_or("-".to_string(), |o| format!("C{}", o + 1));
+            let _ = writeln!(
+                out,
+                "  Dir-{addr} (Dir{}) {name} owner={owner} sharers={:#05b}",
+                cfg.home_of(a) + 1,
+                d.sharers
+            );
+        }
+        for (i, buf) in self.global_bufs.iter().enumerate() {
+            if !buf.is_empty() {
+                let msgs: Vec<String> = buf.iter().map(|m| m.display(spec)).collect();
+                let _ = writeln!(out, "  glob[vn{} b{}]: {}", i / 2, i % 2, msgs.join(" | "));
+            }
+        }
+        for (i, fifo) in self.endpoint_fifos.iter().enumerate() {
+            if !fifo.is_empty() {
+                let n_vns = cfg.vns.n_vns();
+                let ep = i / n_vns;
+                let vn = i % n_vns;
+                let node = if ep < cfg.n_caches {
+                    format!("C{}", ep + 1)
+                } else {
+                    format!("Dir{}", ep - cfg.n_caches + 1)
+                };
+                let msgs: Vec<String> = fifo.iter().map(|m| m.display(spec)).collect();
+                let _ = writeln!(out, "  in[{node} vn{vn}]: {}", msgs.join(" | "));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{InjectionBudget, McConfig};
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn initial_state_is_quiescent() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let s = GlobalState::initial(&spec, &cfg);
+        assert!(s.is_quiescent(&spec));
+        assert_eq!(s.messages_in_flight(), 0);
+        assert_eq!(s.budgets, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn explicit_budget_has_no_uniform_budgets() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let s = GlobalState::initial(&spec, &cfg);
+        assert!(s.budgets.is_empty());
+        assert_eq!(s.used_injections, 0);
+    }
+
+    #[test]
+    fn encoding_distinguishes_states() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let s0 = GlobalState::initial(&spec, &cfg);
+        let mut s1 = s0.clone();
+        s1.caches[0][0].state = 5;
+        assert_ne!(s0.encode(), s1.encode());
+        let mut s2 = s0.clone();
+        s2.global_bufs[0].push_back(Msg {
+            msg: 0,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        });
+        assert_ne!(s0.encode(), s2.encode());
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let spec = protocols::chi();
+        let cfg = McConfig::general(&spec);
+        let s = GlobalState::initial(&spec, &cfg);
+        assert_eq!(s.encode(), s.clone().encode());
+    }
+
+    #[test]
+    fn buffer_boundaries_are_unambiguous() {
+        // A message at the tail of buffer 0 must encode differently from
+        // the same message at the head of buffer 1.
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let m = Msg {
+            msg: 1,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        };
+        let mut a = GlobalState::initial(&spec, &cfg);
+        a.global_bufs[0].push_back(m);
+        let mut b = GlobalState::initial(&spec, &cfg);
+        b.global_bufs[1].push_back(m);
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn node_display_and_index() {
+        assert_eq!(Node::Cache(0).to_string(), "C1");
+        assert_eq!(Node::Dir(1).to_string(), "Dir2");
+        assert_eq!(Node::Cache(2).index(3), 2);
+        assert_eq!(Node::Dir(0).index(3), 3);
+    }
+
+    #[test]
+    fn budget_is_part_of_identity() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec)
+            .with_budget(InjectionBudget::PerCache(1));
+        let s0 = GlobalState::initial(&spec, &cfg);
+        let mut s1 = s0.clone();
+        s1.budgets[0] = 0;
+        assert_ne!(s0.encode(), s1.encode());
+    }
+}

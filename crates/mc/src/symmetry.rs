@@ -1,0 +1,243 @@
+//! Cache-symmetry reduction.
+//!
+//! With a uniform injection budget, the caches are interchangeable: any
+//! permutation of cache indices maps reachable states to reachable
+//! states. Canonicalizing each state to the lexicographically smallest
+//! permutation image collapses symmetric orbits and shrinks the explored
+//! space by up to `n_caches!` — the standard scalar-set reduction of
+//! Murphi, specialized to the cache array.
+//!
+//! Not applicable to [`crate::InjectionBudget::Explicit`] scripts (the
+//! script names specific caches, breaking the symmetry); the explorer
+//! enforces that.
+
+use crate::state::{GlobalState, Msg, Node};
+
+/// Applies a cache-index permutation to a state: `perm[i]` is the new
+/// index of old cache `i`.
+pub fn permute(gs: &GlobalState, perm: &[usize]) -> GlobalState {
+    let n = perm.len();
+    debug_assert_eq!(gs.caches.len(), n);
+
+    let remap_mask = |mask: u8| -> u8 {
+        let mut out = 0u8;
+        for (i, &p) in perm.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                out |= 1 << p;
+            }
+        }
+        out
+    };
+    let remap_cache = |c: u8| perm[c as usize] as u8;
+    let remap_node = |nd: Node| match nd {
+        Node::Cache(c) => Node::Cache(remap_cache(c)),
+        Node::Dir(d) => Node::Dir(d),
+    };
+    let remap_msg = |m: &Msg| Msg {
+        src: remap_node(m.src),
+        dst: remap_node(m.dst),
+        requestor: remap_cache(m.requestor),
+        ..*m
+    };
+
+    let mut caches = vec![Vec::new(); n];
+    for (i, row) in gs.caches.iter().enumerate() {
+        let mut new_row = row.clone();
+        for line in &mut new_row {
+            line.readers = remap_mask(line.readers);
+            if let Some((w, a)) = line.writer {
+                line.writer = Some((remap_cache(w), a));
+            }
+        }
+        caches[perm[i]] = new_row;
+    }
+
+    let mut budgets = vec![0u8; gs.budgets.len()];
+    for (i, &b) in gs.budgets.iter().enumerate() {
+        budgets[perm[i]] = b;
+    }
+
+    let dirs = gs
+        .dirs
+        .iter()
+        .map(|d| {
+            let mut d = d.clone();
+            d.sharers = remap_mask(d.sharers);
+            d.owner = d.owner.map(remap_cache);
+            d
+        })
+        .collect();
+
+    // A message's *queue position* is part of the state; only identities
+    // are remapped. The per-endpoint FIFOs, however, move with their
+    // endpoint.
+    let n_vns = gs.endpoint_fifos.len() / (n + gs.dirs.len()).max(1);
+    let mut endpoint_fifos = gs.endpoint_fifos.clone();
+    for (ep, _) in gs.endpoint_fifos.chunks(n_vns.max(1)).enumerate() {
+        let new_ep = if ep < n { perm[ep] } else { ep };
+        for vn in 0..n_vns {
+            endpoint_fifos[new_ep * n_vns + vn] = gs.endpoint_fifos[ep * n_vns + vn]
+                .iter()
+                .map(remap_msg)
+                .collect();
+        }
+    }
+    let global_bufs = gs
+        .global_bufs
+        .iter()
+        .map(|buf| buf.iter().map(remap_msg).collect())
+        .collect();
+
+    GlobalState {
+        caches,
+        dirs,
+        budgets,
+        used_injections: gs.used_injections,
+        global_bufs,
+        endpoint_fifos,
+    }
+}
+
+/// All permutations of `0..n` (n ≤ 8 in practice).
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut items: Vec<usize> = (0..n).collect();
+    heap_permute(&mut items, n, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(items.clone());
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// The canonical representative of `gs`'s symmetry orbit: the
+/// permutation image with the smallest encoding. Returns the canonical
+/// state together with its encoding (so callers don't re-encode).
+pub fn canonicalize(gs: &GlobalState) -> (GlobalState, Vec<u8>) {
+    let n = gs.caches.len();
+    let mut best_state = gs.clone();
+    let mut best_key = gs.encode();
+    for perm in permutations(n) {
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            continue;
+        }
+        let candidate = permute(gs, &perm);
+        let key = candidate.encode();
+        if key < best_key {
+            best_key = key;
+            best_state = candidate;
+        }
+    }
+    (best_state, best_key)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::McConfig;
+    use vnet_protocol::protocols;
+
+    fn setup() -> (vnet_protocol::ProtocolSpec, McConfig, GlobalState) {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let gs = GlobalState::initial(&spec, &cfg);
+        (spec, cfg, gs)
+    }
+
+    #[test]
+    fn identity_permutation_is_identity() {
+        let (_, _, gs) = setup();
+        assert_eq!(permute(&gs, &[0, 1, 2]), gs);
+    }
+
+    #[test]
+    fn permutation_composes_to_identity() {
+        let (spec, _, mut gs) = setup();
+        let m = spec.cache().state_by_name("M").unwrap();
+        gs.caches[0][0].state = m.index() as u8;
+        gs.dirs[0].owner = Some(0);
+        gs.dirs[0].sharers = 0b011;
+        let once = permute(&gs, &[1, 2, 0]);
+        let back = permute(&once, &[2, 0, 1]);
+        assert_eq!(back, gs);
+    }
+
+    #[test]
+    fn symmetric_states_share_a_canonical_form() {
+        let (spec, _, base) = setup();
+        let m = spec.cache().state_by_name("M").unwrap();
+        // Two states that differ only by which cache holds M.
+        let mut a = base.clone();
+        a.caches[0][0].state = m.index() as u8;
+        a.dirs[0].owner = Some(0);
+        let mut b = base.clone();
+        b.caches[2][0].state = m.index() as u8;
+        b.dirs[0].owner = Some(2);
+        assert_eq!(canonicalize(&a).1, canonicalize(&b).1);
+    }
+
+    #[test]
+    fn asymmetric_states_stay_distinct() {
+        let (spec, _, base) = setup();
+        let m = spec.cache().state_by_name("M").unwrap();
+        let s = spec.cache().state_by_name("S").unwrap();
+        let mut a = base.clone();
+        a.caches[0][0].state = m.index() as u8;
+        let mut b = base.clone();
+        b.caches[0][0].state = s.index() as u8;
+        assert_ne!(canonicalize(&a).1, canonicalize(&b).1);
+    }
+
+    #[test]
+    fn messages_are_remapped_with_their_endpoints() {
+        let (spec, cfg, mut gs) = setup();
+        let gets = spec.message_by_name("GetS").unwrap();
+        let n_vns = cfg.vns.n_vns();
+        let msg = Msg {
+            msg: gets.index() as u8,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        };
+        gs.endpoint_fifos[Node::Cache(0).index(3) * n_vns].push_back(msg);
+        let p = permute(&gs, &[2, 0, 1]);
+        // The FIFO moved from endpoint 0 to endpoint 2, and the message's
+        // identity fields were remapped.
+        let moved = &p.endpoint_fifos[Node::Cache(2).index(3) * n_vns];
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].src, Node::Cache(2));
+        assert_eq!(moved[0].requestor, 2);
+        assert!(p.endpoint_fifos[0].is_empty());
+    }
+
+    #[test]
+    fn budgets_permute() {
+        let (_, _, mut gs) = setup();
+        gs.budgets = vec![0, 1, 2];
+        let p = permute(&gs, &[1, 2, 0]);
+        assert_eq!(p.budgets, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn all_permutations_enumerated() {
+        assert_eq!(permutations(3).len(), 6);
+        assert_eq!(permutations(4).len(), 24);
+        let mut ps = permutations(3);
+        ps.sort();
+        ps.dedup();
+        assert_eq!(ps.len(), 6);
+    }
+}

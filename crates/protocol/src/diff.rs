@@ -1,0 +1,172 @@
+//! Structural diff between two protocol specifications.
+//!
+//! Designed for the recurring review question in this repository's
+//! protocol family: *what exactly distinguishes the blocking variant
+//! from the nonblocking one?* The diff reports message-vocabulary
+//! changes, state-set changes, and cell-level changes, keyed by the
+//! human-readable names so it is meaningful even when the two specs
+//! intern ids differently.
+
+use crate::event::{Event, Guard};
+use crate::spec::{ControllerKind, ProtocolSpec};
+use crate::table::Cell;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One controller cell in name-keyed form.
+type CellKey = (String, String); // (state name, trigger name)
+
+fn trigger_name(spec: &ProtocolSpec, t: &crate::event::Trigger) -> String {
+    match t.event {
+        Event::Core(op) => op.to_string(),
+        Event::Msg(m) => {
+            let base = spec.message_name(m).to_string();
+            if t.guard == Guard::Always {
+                base
+            } else {
+                format!("{base}[{}]", t.guard)
+            }
+        }
+    }
+}
+
+fn cell_text(spec: &ProtocolSpec, kind: ControllerKind, cell: &Cell) -> String {
+    match cell {
+        Cell::Stall => "stall".to_string(),
+        Cell::Entry(e) => {
+            let mut parts: Vec<String> = e
+                .sends()
+                .map(|(m, to)| format!("send {} to {to}", spec.message_name(m)))
+                .collect();
+            if let Some(n) = e.next {
+                parts.push(format!("-> {}", spec.controller(kind).state(n).name));
+            }
+            if parts.is_empty() {
+                "hit".into()
+            } else {
+                parts.join("; ")
+            }
+        }
+    }
+}
+
+fn cells_of(spec: &ProtocolSpec, kind: ControllerKind) -> BTreeMap<CellKey, String> {
+    let ctrl = spec.controller(kind);
+    ctrl.iter()
+        .map(|(s, t, c)| {
+            (
+                (ctrl.state(s).name.clone(), trigger_name(spec, t)),
+                cell_text(spec, kind, c),
+            )
+        })
+        .collect()
+}
+
+/// Renders a human-readable diff of `a` vs `b`.
+pub fn diff_specs(a: &ProtocolSpec, b: &ProtocolSpec) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "--- {}\n+++ {}", a.name(), b.name());
+
+    // Messages.
+    let names = |s: &ProtocolSpec| -> Vec<String> {
+        s.messages().iter().map(|m| m.name.clone()).collect()
+    };
+    let (ma, mb) = (names(a), names(b));
+    for m in &ma {
+        if !mb.contains(m) {
+            let _ = writeln!(out, "- message {m}");
+        }
+    }
+    for m in &mb {
+        if !ma.contains(m) {
+            let _ = writeln!(out, "+ message {m}");
+        }
+    }
+
+    for (label, kind) in [
+        ("cache", ControllerKind::Cache),
+        ("dir", ControllerKind::Directory),
+    ] {
+        // States.
+        let states = |s: &ProtocolSpec| -> Vec<String> {
+            s.controller(kind)
+                .states()
+                .iter()
+                .map(|st| st.name.clone())
+                .collect()
+        };
+        let (sa, sb) = (states(a), states(b));
+        for s in &sa {
+            if !sb.contains(s) {
+                let _ = writeln!(out, "- {label} state {s}");
+            }
+        }
+        for s in &sb {
+            if !sa.contains(s) {
+                let _ = writeln!(out, "+ {label} state {s}");
+            }
+        }
+
+        // Cells.
+        let ca = cells_of(a, kind);
+        let cb = cells_of(b, kind);
+        for (key, va) in &ca {
+            match cb.get(key) {
+                None => {
+                    let _ = writeln!(out, "- {label} {} / {}: {va}", key.0, key.1);
+                }
+                Some(vb) if va != vb => {
+                    let _ = writeln!(out, "~ {label} {} / {}: {va}  ->  {vb}", key.0, key.1);
+                }
+                Some(_) => {}
+            }
+        }
+        for (key, vb) in &cb {
+            if !ca.contains_key(key) {
+                let _ = writeln!(out, "+ {label} {} / {}: {vb}", key.0, key.1);
+            }
+        }
+    }
+    // Header is two lines ("--- a" / "+++ b").
+    if out.lines().count() == 2 {
+        let _ = writeln!(out, "(structurally identical)");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols;
+
+    #[test]
+    fn identical_specs_diff_empty() {
+        let a = protocols::chi();
+        let text = diff_specs(&a, &a);
+        assert!(text.contains("structurally identical"));
+    }
+
+    #[test]
+    fn blocking_vs_nonblocking_shows_the_stall_repairs() {
+        let a = protocols::msi_blocking_cache();
+        let b = protocols::msi_nonblocking_cache();
+        let text = diff_specs(&a, &b);
+        // The deferred states are additions…
+        assert!(text.contains("+ cache state IM_AD_FS"));
+        // …and the stall cells become deferral entries.
+        assert!(text.contains("~ cache IM_AD / Fwd-GetM: stall"));
+        // The directory is untouched.
+        assert!(!text.contains("~ dir"));
+        assert!(!text.contains("+ dir"));
+        assert!(!text.contains("- dir"));
+    }
+
+    #[test]
+    fn message_vocabulary_differences_reported() {
+        let a = protocols::msi_blocking_cache();
+        let b = protocols::mesi_blocking_cache();
+        let text = diff_specs(&a, &b);
+        assert!(text.contains("+ message DataE"));
+        assert!(text.contains("+ message PutE"));
+    }
+}

@@ -1,0 +1,64 @@
+//! # vnet-protocol
+//!
+//! Machine-analyzable **coherence protocol specifications** in the tabular
+//! style of Nagarajan et al.'s *Primer on Memory Consistency and Cache
+//! Coherence* (the format reproduced as Figures 1–2 of the paper).
+//!
+//! A [`ProtocolSpec`] consists of:
+//!
+//! * a set of **message names** ([`MessageDef`]), each classified by
+//!   [`MsgType`] (request, forwarded request, data response, control
+//!   response) — §II-C of the paper;
+//! * two **controller tables** ([`ControllerSpec`]): one for caches, one
+//!   for directories. Rows are states (stable or transient), columns are
+//!   triggers (core events or message receptions, possibly refined by a
+//!   [`Guard`] such as `ack=0` vs `ack>0`), and cells are either an
+//!   executable [`Entry`] (actions + next state) or a **stall**.
+//!
+//! The same specification serves two consumers:
+//!
+//! * `vnet-core` *statically* derives the `causes`/`stalls`/`waits`
+//!   relations from the table structure (paper §IV);
+//! * `vnet-mc` *executes* the tables as guarded-command rules inside an
+//!   explicit-state model checker (paper §VII).
+//!
+//! The [`protocols`] module ships the seven protocols evaluated in the
+//! paper's Table I: MSI and MESI (blocking- and nonblocking-cache
+//! variants), MOSI and MOESI (nonblocking directories, both cache
+//! variants), and a CHI-style protocol with an always-blocking directory
+//! and per-transaction completion messages.
+//!
+//! ## Example
+//!
+//! ```
+//! use vnet_protocol::protocols;
+//!
+//! let msi = protocols::msi_blocking_cache();
+//! assert_eq!(msi.name(), "MSI-blocking-cache");
+//! assert!(msi.messages().len() >= 8);
+//! msi.validate().expect("textbook protocol is well-formed");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod builder;
+pub mod diff;
+pub mod dsl;
+pub mod event;
+pub mod message;
+pub mod protocols;
+pub mod spec;
+pub mod state;
+pub mod table;
+pub mod validate;
+
+pub use action::{Action, Payload, Target};
+pub use builder::{acts, ProtocolBuilder};
+pub use event::{CoreOp, Event, Guard, Trigger};
+pub use message::{MessageDef, MsgId, MsgType};
+pub use spec::{ControllerKind, ProtocolSpec};
+pub use state::{StateDef, StateId, StateKind};
+pub use table::{Cell, ControllerSpec, Entry};
+pub use validate::ValidationError;

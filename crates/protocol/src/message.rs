@@ -1,0 +1,128 @@
+//! Message names and their classification.
+//!
+//! Per §II-B/§II-C of the paper, a *message* is a static name (id); every
+//! message name has a *type*: request, forwarded request, data response,
+//! or control response.
+
+use std::fmt;
+
+/// Index of a message name within a [`crate::ProtocolSpec`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct MsgId(pub usize);
+
+impl MsgId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for MsgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// The classification of a message name (paper §II-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum MsgType {
+    /// Cache → directory (GetS, GetM, PutM, ReadShared, …).
+    Request,
+    /// Directory → cache (Fwd-GetS, Fwd-GetM, Inv, snoops).
+    FwdRequest,
+    /// Carries a cache line (Data, CompData).
+    DataResponse,
+    /// Control-only response (Inv-Ack, Put-Ack, Comp, CompAck).
+    CtrlResponse,
+}
+
+impl MsgType {
+    /// Short display label used in reports ("Req", "Fwd", "Data", "Resp").
+    pub fn label(self) -> &'static str {
+        match self {
+            MsgType::Request => "Req",
+            MsgType::FwdRequest => "Fwd",
+            MsgType::DataResponse => "Data",
+            MsgType::CtrlResponse => "Resp",
+        }
+    }
+
+    /// Returns `true` for either response type.
+    pub fn is_response(self) -> bool {
+        matches!(self, MsgType::DataResponse | MsgType::CtrlResponse)
+    }
+
+    /// All four message types, in declaration order.
+    pub fn all() -> [MsgType; 4] {
+        [
+            MsgType::Request,
+            MsgType::FwdRequest,
+            MsgType::DataResponse,
+            MsgType::CtrlResponse,
+        ]
+    }
+}
+
+impl fmt::Display for MsgType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Definition of one message name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MessageDef {
+    /// Human-readable name ("GetS", "Fwd-GetM", …).
+    pub name: String,
+    /// The message's type.
+    pub mtype: MsgType,
+}
+
+impl MessageDef {
+    /// Creates a message definition.
+    pub fn new(name: impl Into<String>, mtype: MsgType) -> Self {
+        MessageDef {
+            name: name.into(),
+            mtype,
+        }
+    }
+}
+
+impl fmt::Display for MessageDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.mtype)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels() {
+        assert_eq!(MsgType::Request.label(), "Req");
+        assert_eq!(MsgType::FwdRequest.label(), "Fwd");
+        assert_eq!(MsgType::DataResponse.label(), "Data");
+        assert_eq!(MsgType::CtrlResponse.label(), "Resp");
+    }
+
+    #[test]
+    fn response_classification() {
+        assert!(MsgType::DataResponse.is_response());
+        assert!(MsgType::CtrlResponse.is_response());
+        assert!(!MsgType::Request.is_response());
+        assert!(!MsgType::FwdRequest.is_response());
+    }
+
+    #[test]
+    fn display_forms() {
+        let d = MessageDef::new("GetS", MsgType::Request);
+        assert_eq!(d.to_string(), "GetS (Req)");
+        assert_eq!(MsgId(3).to_string(), "m3");
+    }
+
+    #[test]
+    fn all_types_enumerated() {
+        assert_eq!(MsgType::all().len(), 4);
+    }
+}

@@ -1,0 +1,347 @@
+//! A CHI-style coherence protocol (paper §VII, Table I experiment (4)).
+//!
+//! Modeled from the paper's own description of Arm's AMBA CHI: a
+//! MOESI-family *intervention-forwarding* protocol in which
+//!
+//! * **every coherence transaction ends with a completion message**
+//!   (`CompAck`) from the requestor to the home directory, and
+//! * the **directory always blocks**: from the moment it starts a
+//!   transaction until it receives the `CompAck`, it stalls every other
+//!   request to the same block (the paper's Figure 5 shows a ReadShared
+//!   blocked behind an in-flight CleanUnique).
+//! * **caches never stall**: snoops and invalidations are answered
+//!   immediately in every state, including transient ones.
+//!
+//! Message-name correspondence with the paper's Figure 5 / Eq. 7 (the
+//! paper itself uses "standard terminology" rather than CHI mnemonics):
+//! their Inv = our `Inv`, their Inv-Ack = our `SnpAck`, their Resp = our
+//! `Comp`, their Comp = our `CompAck`.
+//!
+//! The paper's result for this protocol: the CHI specification prescribes
+//! four VNs (REQ/SNP/RSP/DAT), but **two suffice** — requests on one VN,
+//! everything else on the other.
+
+use crate::builder::{acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// The CHI-style protocol. Table I experiment (4) — 2 VNs.
+pub fn chi() -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("CHI");
+
+    b.msg("ReadShared", MsgType::Request)
+        .msg("ReadUnique", MsgType::Request)
+        .msg("CleanUnique", MsgType::Request)
+        .msg("WriteBack", MsgType::Request)
+        .msg("Evict", MsgType::Request)
+        .msg("SnpShared", MsgType::FwdRequest)
+        .msg("SnpUnique", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("SnpData", MsgType::DataResponse)
+        .msg("CompData", MsgType::DataResponse)
+        .msg("SnpAck", MsgType::CtrlResponse)
+        .msg("Comp", MsgType::CtrlResponse)
+        .msg("CompAck", MsgType::CtrlResponse);
+
+    cache_table(&mut b);
+    directory_table(&mut b);
+    b.build()
+}
+
+const REQUESTS: [&str; 5] = ["ReadShared", "ReadUnique", "CleanUnique", "WriteBack", "Evict"];
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+/// The requesting-node (cache) table. No message is ever stalled.
+fn cache_table(b: &mut ProtocolBuilder) {
+    b.cache_stable(&["I", "S", "M"]);
+    b.cache_transient(&["IS_P", "IM_P", "SM_P", "WB_A", "EV_A"]);
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("ReadShared", Target::Dir).goto("IS_P"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("ReadUnique", Target::Dir).goto("IM_P"));
+
+    // --- IS_P --- (ReadShared pending; the blocking home shields us from
+    // snoops until our CompAck, so only CompData can arrive)
+    stall_core(b, "IS_P");
+    b.cache_on_msg("IS_P", "CompData", acts().send("CompAck", Target::Dir).goto("S"));
+
+    // --- IM_P --- (ReadUnique pending)
+    stall_core(b, "IM_P");
+    b.cache_on_msg("IM_P", "CompData", acts().send("CompAck", Target::Dir).goto("M"));
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("CleanUnique", Target::Dir).goto("SM_P"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("Evict", Target::Dir).goto("EV_A"));
+    b.cache_on_msg("S", "Inv", acts().send("SnpAck", Target::Dir).goto("I"));
+
+    // --- SM_P --- (CleanUnique pending; an Inv may strip our copy first,
+    // in which case the home will answer with CompData instead of Comp)
+    stall_core(b, "SM_P");
+    b.cache_on_msg("SM_P", "Comp", acts().send("CompAck", Target::Dir).goto("M"));
+    b.cache_on_msg("SM_P", "CompData", acts().send("CompAck", Target::Dir).goto("M"));
+    b.cache_on_msg("SM_P", "Inv", acts().send("SnpAck", Target::Dir));
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("WriteBack", Target::Dir).goto("WB_A"));
+    b.cache_on_msg("M", "SnpShared", acts().send_data("SnpData", Target::Dir).goto("S"));
+    b.cache_on_msg("M", "SnpUnique", acts().send_data("SnpData", Target::Dir).goto("I"));
+
+    // --- WB_A --- (WriteBack racing snoops: answer them, await Comp)
+    stall_core(b, "WB_A");
+    b.cache_on_msg("WB_A", "SnpShared", acts().send_data("SnpData", Target::Dir));
+    b.cache_on_msg("WB_A", "SnpUnique", acts().send_data("SnpData", Target::Dir));
+    b.cache_on_msg("WB_A", "Inv", acts().send("SnpAck", Target::Dir));
+    b.cache_on_msg("WB_A", "Comp", acts().goto("I"));
+
+    // --- EV_A --- (clean eviction racing an Inv)
+    stall_core(b, "EV_A");
+    b.cache_on_msg("EV_A", "Inv", acts().send("SnpAck", Target::Dir));
+    b.cache_on_msg("EV_A", "Comp", acts().goto("I"));
+}
+
+/// The home-node (directory) table: every multi-hop transaction passes
+/// through Busy states that stall all five request types until the
+/// requestor's CompAck.
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "M"]);
+    b.dir_transient(&[
+        "BusyShared_Snp",
+        "BusyShared_Ack",
+        "BusyUniq_Snp",
+        "BusyUniq_Inv",
+        "BusyUniq_Ack",
+        "BusyCU_Inv",
+        "BusyCU_Ack",
+    ]);
+    b.dir_initial("I");
+
+    // Every Busy state stalls every request (the "always blocks" column).
+    for busy in [
+        "BusyShared_Snp",
+        "BusyShared_Ack",
+        "BusyUniq_Snp",
+        "BusyUniq_Inv",
+        "BusyUniq_Ack",
+        "BusyCU_Inv",
+        "BusyCU_Ack",
+    ] {
+        for req in REQUESTS {
+            b.dir_stall_msg(busy, req);
+        }
+    }
+
+    // --- ReadShared ---
+    b.dir_on_msg(
+        "I",
+        "ReadShared",
+        acts().add_req_to_sharers().send_data("CompData", Target::Req).goto("BusyShared_Ack"),
+    );
+    b.dir_on_msg(
+        "S",
+        "ReadShared",
+        acts().add_req_to_sharers().send_data("CompData", Target::Req).goto("BusyShared_Ack"),
+    );
+    b.dir_on_msg(
+        "M",
+        "ReadShared",
+        acts().send("SnpShared", Target::Owner).goto("BusyShared_Snp"),
+    );
+    b.dir_on_msg(
+        "BusyShared_Snp",
+        "SnpData",
+        acts()
+            .copy_to_mem()
+            .add_owner_to_sharers()
+            .clear_owner()
+            .add_req_to_sharers()
+            .send_data("CompData", Target::Req)
+            .goto("BusyShared_Ack"),
+    );
+    b.dir_on_msg("BusyShared_Ack", "CompAck", acts().goto("S"));
+
+    // --- ReadUnique ---
+    b.dir_on_msg(
+        "I",
+        "ReadUnique",
+        acts().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "ReadUnique",
+        Guard::HasOtherSharers,
+        acts()
+            .remove_req_from_sharers()
+            .to_sharers("Inv")
+            .set_pending_other_sharers()
+            .goto("BusyUniq_Inv"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "ReadUnique",
+        Guard::NoOtherSharers,
+        acts().clear_sharers().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg(
+        "M",
+        "ReadUnique",
+        acts().send("SnpUnique", Target::Owner).goto("BusyUniq_Snp"),
+    );
+    b.dir_on_msg(
+        "BusyUniq_Snp",
+        "SnpData",
+        acts().copy_to_mem().clear_owner().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if("BusyUniq_Inv", "SnpAck", Guard::NotLastSnpAck, acts().dec_pending());
+    b.dir_on_msg_if(
+        "BusyUniq_Inv",
+        "SnpAck",
+        Guard::LastSnpAck,
+        acts().dec_pending().clear_sharers().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg("BusyUniq_Ack", "CompAck", acts().set_owner_to_req().goto("M"));
+
+    // --- CleanUnique --- (the paper's Figure 5 transaction)
+    b.dir_on_msg(
+        "I",
+        "CleanUnique",
+        acts().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "CleanUnique",
+        Guard::HasOtherSharers,
+        acts().to_sharers("Inv").set_pending_other_sharers().goto("BusyCU_Inv"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "CleanUnique",
+        Guard::NoOtherSharers,
+        acts().clear_sharers().send("Comp", Target::Req).goto("BusyCU_Ack"),
+    );
+    // The requestor lost its copy to a racing transaction: fall back to a
+    // full read-for-ownership.
+    b.dir_on_msg(
+        "M",
+        "CleanUnique",
+        acts().send("SnpUnique", Target::Owner).goto("BusyUniq_Snp"),
+    );
+    b.dir_on_msg_if("BusyCU_Inv", "SnpAck", Guard::NotLastSnpAck, acts().dec_pending());
+    b.dir_on_msg_if(
+        "BusyCU_Inv",
+        "SnpAck",
+        Guard::LastSnpAck,
+        acts().dec_pending().clear_sharers().send("Comp", Target::Req).goto("BusyCU_Ack"),
+    );
+    b.dir_on_msg("BusyCU_Ack", "CompAck", acts().clear_sharers().set_owner_to_req().goto("M"));
+
+    // --- WriteBack ---
+    b.dir_on_msg_if(
+        "M",
+        "WriteBack",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Comp", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "WriteBack", Guard::NotFromOwner, acts().send("Comp", Target::Req));
+    b.dir_on_msg(
+        "S",
+        "WriteBack",
+        acts().remove_req_from_sharers().send("Comp", Target::Req),
+    );
+    b.dir_on_msg("I", "WriteBack", acts().send("Comp", Target::Req));
+
+    // --- Evict ---
+    b.dir_on_msg(
+        "S",
+        "Evict",
+        acts().remove_req_from_sharers().send("Comp", Target::Req),
+    );
+    b.dir_on_msg("I", "Evict", acts().send("Comp", Target::Req));
+    b.dir_on_msg("M", "Evict", acts().send("Comp", Target::Req));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::ControllerKind;
+
+    #[test]
+    fn validates() {
+        chi().validate().unwrap();
+    }
+
+    #[test]
+    fn caches_never_stall_messages() {
+        let p = chi();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+    }
+
+    #[test]
+    fn every_busy_state_stalls_every_request() {
+        let p = chi();
+        // 7 busy states × 5 requests.
+        assert_eq!(p.directory().message_stalls().count(), 35);
+        let stalled: std::collections::BTreeSet<String> = p
+            .directory()
+            .message_stalls()
+            .map(|(_, m)| p.message_name(m).to_string())
+            .collect();
+        for r in REQUESTS {
+            assert!(stalled.contains(r), "{r} not stalled");
+        }
+    }
+
+    #[test]
+    fn only_requests_are_ever_stalled() {
+        let p = chi();
+        for (_, m) in p.directory().message_stalls() {
+            assert_eq!(p.message(m).mtype, MsgType::Request);
+        }
+    }
+
+    #[test]
+    fn compack_closes_every_multi_hop_transaction() {
+        let p = chi();
+        let compack = p.message_by_name("CompAck").unwrap();
+        assert_eq!(
+            p.receivers_of(compack),
+            [ControllerKind::Directory].into_iter().collect()
+        );
+        // Both data-bearing completions trigger a CompAck at the cache.
+        let compdata = p.message_by_name("CompData").unwrap();
+        let mut senders = 0;
+        for (_, t, cell) in p.cache().iter() {
+            if t.message() == Some(compdata) {
+                if let Some(e) = cell.entry() {
+                    senders += e.sends().filter(|(m, _)| *m == compack).count();
+                }
+            }
+        }
+        assert_eq!(senders, 3); // IS_P, IM_P, SM_P
+    }
+
+    #[test]
+    fn figure5_chain_is_representable() {
+        // CleanUnique → Inv → SnpAck → Comp → CompAck (paper Eq. 7 in our
+        // message names): each hop exists in the tables.
+        let p = chi();
+        let s = p.directory().state_by_name("S").unwrap();
+        let cu = p.message_by_name("CleanUnique").unwrap();
+        let inv = p.message_by_name("Inv").unwrap();
+        let cell = p
+            .directory()
+            .cell(s, crate::Trigger::msg_if(cu, Guard::HasOtherSharers))
+            .unwrap();
+        assert!(cell.entry().unwrap().sends().any(|(m, _)| m == inv));
+    }
+}

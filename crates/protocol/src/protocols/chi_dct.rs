@@ -1,0 +1,348 @@
+//! CHI with **direct cache transfer** (DCT) — an extension variant of
+//! [`super::chi`].
+//!
+//! In the base model the snooped owner returns data to the *home*, which
+//! forwards it to the requestor (two hops on the critical path). Real
+//! CHI deployments prefer the forwarding snoops (`SnpSharedFwd`/
+//! `SnpUniqueFwd`): the owner sends `CompData` **directly to the
+//! requestor** and a `SnpFwded` notification (with writeback data) to
+//! the home. The home then needs *two* completions — the owner's
+//! `SnpFwded` and the requestor's `CompAck` — which arrive in either
+//! order, giving the directory a small diamond of busy states.
+//!
+//! The analysis outcome must match base CHI (asserted in tests): the
+//! directory still always blocks, caches still never stall, so the
+//! protocol is Class 3 with **2 VNs** — DCT changes latency, not the VN
+//! requirement.
+
+use crate::builder::{acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// The CHI-DCT protocol (extension; not part of Table I).
+pub fn chi_dct() -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new("CHI-DCT");
+
+    b.msg("ReadShared", MsgType::Request)
+        .msg("ReadUnique", MsgType::Request)
+        .msg("CleanUnique", MsgType::Request)
+        .msg("WriteBack", MsgType::Request)
+        .msg("Evict", MsgType::Request)
+        .msg("SnpSharedFwd", MsgType::FwdRequest)
+        .msg("SnpUniqueFwd", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("SnpFwded", MsgType::DataResponse)
+        .msg("CompData", MsgType::DataResponse)
+        .msg("SnpAck", MsgType::CtrlResponse)
+        .msg("Comp", MsgType::CtrlResponse)
+        .msg("CompAck", MsgType::CtrlResponse);
+
+    cache_table(&mut b);
+    directory_table(&mut b);
+    b.build()
+}
+
+const REQUESTS: [&str; 5] = ["ReadShared", "ReadUnique", "CleanUnique", "WriteBack", "Evict"];
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+fn cache_table(b: &mut ProtocolBuilder) {
+    b.cache_stable(&["I", "S", "M"]);
+    b.cache_transient(&["IS_P", "IM_P", "SM_P", "WB_A", "EV_A"]);
+    b.cache_initial("I");
+
+    b.cache_on_core("I", CoreOp::Load, acts().send("ReadShared", Target::Dir).goto("IS_P"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("ReadUnique", Target::Dir).goto("IM_P"));
+
+    stall_core(b, "IS_P");
+    b.cache_on_msg("IS_P", "CompData", acts().send("CompAck", Target::Dir).goto("S"));
+
+    stall_core(b, "IM_P");
+    b.cache_on_msg("IM_P", "CompData", acts().send("CompAck", Target::Dir).goto("M"));
+
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("CleanUnique", Target::Dir).goto("SM_P"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("Evict", Target::Dir).goto("EV_A"));
+    b.cache_on_msg("S", "Inv", acts().send("SnpAck", Target::Dir).goto("I"));
+
+    stall_core(b, "SM_P");
+    b.cache_on_msg("SM_P", "Comp", acts().send("CompAck", Target::Dir).goto("M"));
+    b.cache_on_msg("SM_P", "CompData", acts().send("CompAck", Target::Dir).goto("M"));
+    b.cache_on_msg("SM_P", "Inv", acts().send("SnpAck", Target::Dir));
+
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("WriteBack", Target::Dir).goto("WB_A"));
+    // DCT: serve the requestor directly, notify the home.
+    b.cache_on_msg(
+        "M",
+        "SnpSharedFwd",
+        acts()
+            .send_data("CompData", Target::Req)
+            .send_data("SnpFwded", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg(
+        "M",
+        "SnpUniqueFwd",
+        acts()
+            .send_data("CompData", Target::Req)
+            .send_data("SnpFwded", Target::Dir)
+            .goto("I"),
+    );
+
+    stall_core(b, "WB_A");
+    b.cache_on_msg(
+        "WB_A",
+        "SnpSharedFwd",
+        acts()
+            .send_data("CompData", Target::Req)
+            .send_data("SnpFwded", Target::Dir),
+    );
+    b.cache_on_msg(
+        "WB_A",
+        "SnpUniqueFwd",
+        acts()
+            .send_data("CompData", Target::Req)
+            .send_data("SnpFwded", Target::Dir),
+    );
+    b.cache_on_msg("WB_A", "Inv", acts().send("SnpAck", Target::Dir));
+    b.cache_on_msg("WB_A", "Comp", acts().goto("I"));
+
+    stall_core(b, "EV_A");
+    b.cache_on_msg("EV_A", "Inv", acts().send("SnpAck", Target::Dir));
+    b.cache_on_msg("EV_A", "Comp", acts().goto("I"));
+}
+
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "M"]);
+    b.dir_transient(&[
+        // Plain two-party completions (home supplied the data).
+        "BusyShared_Ack",
+        "BusyUniq_Ack",
+        "BusyCU_Inv",
+        "BusyCU_Ack",
+        "BusyUniq_Inv",
+        // DCT diamonds: waiting for SnpFwded and CompAck in either order.
+        "BusyRS_Both",
+        "BusyRS_Snp",
+        "BusyRS_Ack",
+        "BusyRU_Both",
+        "BusyRU_Snp",
+        "BusyRU_Ack",
+    ]);
+    b.dir_initial("I");
+
+    for busy in [
+        "BusyShared_Ack",
+        "BusyUniq_Ack",
+        "BusyCU_Inv",
+        "BusyCU_Ack",
+        "BusyUniq_Inv",
+        "BusyRS_Both",
+        "BusyRS_Snp",
+        "BusyRS_Ack",
+        "BusyRU_Both",
+        "BusyRU_Snp",
+        "BusyRU_Ack",
+    ] {
+        for req in REQUESTS {
+            b.dir_stall_msg(busy, req);
+        }
+    }
+
+    // --- ReadShared ---
+    b.dir_on_msg(
+        "I",
+        "ReadShared",
+        acts().add_req_to_sharers().send_data("CompData", Target::Req).goto("BusyShared_Ack"),
+    );
+    b.dir_on_msg(
+        "S",
+        "ReadShared",
+        acts().add_req_to_sharers().send_data("CompData", Target::Req).goto("BusyShared_Ack"),
+    );
+    b.dir_on_msg("BusyShared_Ack", "CompAck", acts().goto("S"));
+    // DCT path: snoop the owner, then wait for BOTH completions.
+    b.dir_on_msg(
+        "M",
+        "ReadShared",
+        acts().add_req_to_sharers().send("SnpSharedFwd", Target::Owner).goto("BusyRS_Both"),
+    );
+    b.dir_on_msg(
+        "BusyRS_Both",
+        "SnpFwded",
+        acts().copy_to_mem().add_owner_to_sharers().clear_owner().goto("BusyRS_Ack"),
+    );
+    b.dir_on_msg("BusyRS_Both", "CompAck", acts().goto("BusyRS_Snp"));
+    b.dir_on_msg(
+        "BusyRS_Snp",
+        "SnpFwded",
+        acts().copy_to_mem().add_owner_to_sharers().clear_owner().goto("S"),
+    );
+    b.dir_on_msg("BusyRS_Ack", "CompAck", acts().goto("S"));
+
+    // --- ReadUnique ---
+    b.dir_on_msg(
+        "I",
+        "ReadUnique",
+        acts().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "ReadUnique",
+        Guard::HasOtherSharers,
+        acts()
+            .remove_req_from_sharers()
+            .to_sharers("Inv")
+            .set_pending_other_sharers()
+            .goto("BusyUniq_Inv"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "ReadUnique",
+        Guard::NoOtherSharers,
+        acts().clear_sharers().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if("BusyUniq_Inv", "SnpAck", Guard::NotLastSnpAck, acts().dec_pending());
+    b.dir_on_msg_if(
+        "BusyUniq_Inv",
+        "SnpAck",
+        Guard::LastSnpAck,
+        acts().dec_pending().clear_sharers().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg("BusyUniq_Ack", "CompAck", acts().set_owner_to_req().goto("M"));
+    // DCT path.
+    b.dir_on_msg(
+        "M",
+        "ReadUnique",
+        acts().send("SnpUniqueFwd", Target::Owner).goto("BusyRU_Both"),
+    );
+    b.dir_on_msg(
+        "BusyRU_Both",
+        "SnpFwded",
+        acts().copy_to_mem().clear_owner().goto("BusyRU_Ack"),
+    );
+    b.dir_on_msg(
+        "BusyRU_Both",
+        "CompAck",
+        acts().set_owner_to_req().goto("BusyRU_Snp"),
+    );
+    // The owner pointer already moved to the requestor; only the memory
+    // update remains.
+    b.dir_on_msg("BusyRU_Snp", "SnpFwded", acts().copy_to_mem().goto("M"));
+    b.dir_on_msg("BusyRU_Ack", "CompAck", acts().set_owner_to_req().goto("M"));
+
+    // --- CleanUnique (dataless: no DCT; identical to base CHI) ---
+    b.dir_on_msg(
+        "I",
+        "CleanUnique",
+        acts().send_data("CompData", Target::Req).goto("BusyUniq_Ack"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "CleanUnique",
+        Guard::HasOtherSharers,
+        acts().to_sharers("Inv").set_pending_other_sharers().goto("BusyCU_Inv"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "CleanUnique",
+        Guard::NoOtherSharers,
+        acts().clear_sharers().send("Comp", Target::Req).goto("BusyCU_Ack"),
+    );
+    b.dir_on_msg(
+        "M",
+        "CleanUnique",
+        acts().send("SnpUniqueFwd", Target::Owner).goto("BusyRU_Both"),
+    );
+    b.dir_on_msg_if("BusyCU_Inv", "SnpAck", Guard::NotLastSnpAck, acts().dec_pending());
+    b.dir_on_msg_if(
+        "BusyCU_Inv",
+        "SnpAck",
+        Guard::LastSnpAck,
+        acts().dec_pending().clear_sharers().send("Comp", Target::Req).goto("BusyCU_Ack"),
+    );
+    b.dir_on_msg("BusyCU_Ack", "CompAck", acts().clear_sharers().set_owner_to_req().goto("M"));
+
+    // --- WriteBack / Evict (as base CHI) ---
+    b.dir_on_msg_if(
+        "M",
+        "WriteBack",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Comp", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "WriteBack", Guard::NotFromOwner, acts().send("Comp", Target::Req));
+    b.dir_on_msg(
+        "S",
+        "WriteBack",
+        acts().remove_req_from_sharers().send("Comp", Target::Req),
+    );
+    b.dir_on_msg("I", "WriteBack", acts().send("Comp", Target::Req));
+    b.dir_on_msg(
+        "S",
+        "Evict",
+        acts().remove_req_from_sharers().send("Comp", Target::Req),
+    );
+    b.dir_on_msg("I", "Evict", acts().send("Comp", Target::Req));
+    b.dir_on_msg("M", "Evict", acts().send("Comp", Target::Req));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validates() {
+        chi_dct().validate().unwrap();
+    }
+
+    #[test]
+    fn caches_never_stall_and_only_requests_stall_at_home() {
+        let p = chi_dct();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+        for (_, m) in p.directory().message_stalls() {
+            assert_eq!(p.message(m).mtype, MsgType::Request);
+        }
+        // 11 busy states × 5 requests.
+        assert_eq!(p.directory().message_stalls().count(), 55);
+    }
+
+    #[test]
+    fn owner_serves_the_requestor_directly() {
+        let p = chi_dct();
+        let m = p.cache().state_by_name("M").unwrap();
+        let snp = p.message_by_name("SnpSharedFwd").unwrap();
+        let compdata = p.message_by_name("CompData").unwrap();
+        let cell = p.cache().cell(m, crate::Trigger::msg(snp)).unwrap();
+        let sends: Vec<_> = cell.entry().unwrap().sends().collect();
+        // CompData goes to the requestor (DCT), not to the home.
+        assert!(sends.contains(&(compdata, Target::Req)));
+    }
+
+    #[test]
+    fn completion_diamond_commutes() {
+        // SnpFwded-then-CompAck and CompAck-then-SnpFwded both land in S
+        // (ReadShared) with the owner demoted to sharer.
+        let p = chi_dct();
+        let d = p.directory();
+        let both = d.state_by_name("BusyRS_Both").unwrap();
+        let s = d.state_by_name("S").unwrap();
+        let snp = p.message_by_name("SnpFwded").unwrap();
+        let ack = p.message_by_name("CompAck").unwrap();
+        let via_snp = d.cell(both, crate::Trigger::msg(snp)).unwrap().entry().unwrap();
+        let mid1 = via_snp.next.unwrap();
+        let end1 = d.cell(mid1, crate::Trigger::msg(ack)).unwrap().entry().unwrap();
+        assert_eq!(end1.next, Some(s));
+        let via_ack = d.cell(both, crate::Trigger::msg(ack)).unwrap().entry().unwrap();
+        let mid2 = via_ack.next.unwrap();
+        let end2 = d.cell(mid2, crate::Trigger::msg(snp)).unwrap().entry().unwrap();
+        assert_eq!(end2.next, Some(s));
+    }
+}

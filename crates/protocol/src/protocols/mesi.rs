@@ -1,0 +1,473 @@
+//! The MESI directory protocol: MSI plus an E(xclusive) state granted on a
+//! GetS that finds the directory in state I.
+//!
+//! Structurally the directory still has the sometimes-blocking `S_D`
+//! state, so the variants land in the same Table-I cells as MSI:
+//! experiment (6) for the blocking cache (Class 2) and experiment (5) for
+//! the nonblocking cache (2 VNs).
+//!
+//! The exclusive grant uses a distinct data message, `DataE`, and clean
+//! eviction from E uses `PutE` (no data). The directory does not
+//! distinguish E from M ownership (the silent E→M upgrade makes that
+//! impossible), so its `M` state means "some cache holds the line
+//! exclusively".
+
+use super::CacheDiscipline;
+use crate::builder::{acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// MESI with the textbook blocking cache. Table I experiment (6) — Class 2.
+pub fn mesi_blocking_cache() -> ProtocolSpec {
+    build("MESI-blocking-cache", CacheDiscipline::Blocking)
+}
+
+/// MESI with a deferring cache. Table I experiment (5) — 2 VNs.
+pub fn mesi_nonblocking_cache() -> ProtocolSpec {
+    build("MESI-nonblocking-cache", CacheDiscipline::NonBlocking)
+}
+
+fn build(name: &str, disc: CacheDiscipline) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new(name);
+
+    b.msg("GetS", MsgType::Request)
+        .msg("GetM", MsgType::Request)
+        .msg("PutS", MsgType::Request)
+        .msg("PutE", MsgType::Request)
+        .msg("PutM", MsgType::Request)
+        .msg("Fwd-GetS", MsgType::FwdRequest)
+        .msg("Fwd-GetM", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("Put-Ack", MsgType::CtrlResponse)
+        .msg("Inv-Ack", MsgType::CtrlResponse)
+        .msg("Data", MsgType::DataResponse)
+        .msg("DataE", MsgType::DataResponse);
+
+    cache_table(&mut b, disc);
+    directory_table(&mut b);
+    b.build()
+}
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+fn cache_table(b: &mut ProtocolBuilder, disc: CacheDiscipline) {
+    b.cache_stable(&["I", "S", "E", "M"]);
+    b.cache_transient(&[
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "MI_A", "EI_A", "SI_A", "II_A",
+    ]);
+    if disc == CacheDiscipline::NonBlocking {
+        b.cache_transient(&[
+            "IS_D_I", "IS_D_FS", "IS_D_FM", "IM_AD_FS", "IM_AD_FM", "IM_A_FS", "IM_A_FM",
+            "SM_AD_FS", "SM_AD_FM", "SM_A_FS", "SM_A_FM",
+        ]);
+    }
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("GetS", Target::Dir).goto("IS_D"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM_AD"));
+    // A stale Inv can reach a cache in I: the cache was invalidated (or
+    // evicted) while the Inv was in flight — e.g. Put-Ack overtaking Inv
+    // on another VN ends the eviction before the Inv lands. Acking from
+    // I is always safe (nothing is held) and the requestor needs the ack.
+    b.cache_on_msg("I", "Inv", acts().send("Inv-Ack", Target::Req));
+
+    // --- IS_D --- (may receive shared Data or the exclusive grant)
+    //
+    // The exclusive grant makes this cache the *owner* before the data
+    // arrives, so forwarded requests can race the grant into IS_D (the
+    // Primer's MESI stalls them there; the nonblocking variant defers
+    // them and serves from the freshly granted line).
+    stall_core(b, "IS_D");
+    b.cache_on_msg_if("IS_D", "Data", Guard::AckZero, acts().goto("S"));
+    b.cache_on_msg_if("IS_D", "DataE", Guard::AckZero, acts().goto("E"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("IS_D", "Inv");
+            b.cache_stall_msg("IS_D", "Fwd-GetS");
+            b.cache_stall_msg("IS_D", "Fwd-GetM");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("IS_D", "Inv", acts().send("Inv-Ack", Target::Req).goto("IS_D_I"));
+            stall_core(b, "IS_D_I");
+            b.cache_on_msg_if("IS_D_I", "Data", Guard::AckZero, acts().goto("I"));
+            // The exclusive grant cannot race an Inv (the directory was in
+            // I when it granted E), so IS_D_I has no DataE column.
+            b.cache_on_msg("IS_D", "Fwd-GetS", acts().record_reader().goto("IS_D_FS"));
+            b.cache_on_msg("IS_D", "Fwd-GetM", acts().record_writer().goto("IS_D_FM"));
+            stall_core(b, "IS_D_FS");
+            stall_core(b, "IS_D_FM");
+            // Only the exclusive grant can be pending here (a forward to
+            // us implies the directory granted us ownership, which only
+            // happens with DataE).
+            b.cache_on_msg_if(
+                "IS_D_FS",
+                "DataE",
+                Guard::AckZero,
+                acts()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S"),
+            );
+            b.cache_on_msg_if(
+                "IS_D_FM",
+                "DataE",
+                Guard::AckZero,
+                acts().send_data_acks_stored("Data", Target::Writer).goto("I"),
+            );
+        }
+    }
+
+    // --- Writes in flight (shared with the MSI shape) ---
+    write_in_flight(b, disc, "IM_AD", "IM_A", true);
+    write_in_flight(b, disc, "SM_AD", "SM_A", false);
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("GetM", Target::Dir).goto("SM_AD"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("PutS", Target::Dir).goto("SI_A"));
+    b.cache_on_msg("S", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- E --- (exclusive clean; silent upgrade on store)
+    b.cache_on_core("E", CoreOp::Load, acts());
+    b.cache_on_core("E", CoreOp::Store, acts().goto("M"));
+    b.cache_on_core("E", CoreOp::Evict, acts().send("PutE", Target::Dir).goto("EI_A"));
+    b.cache_on_msg(
+        "E",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg("E", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("I"));
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg(
+        "M",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg("M", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("I"));
+
+    // --- MI_A ---
+    stall_core(b, "MI_A");
+    b.cache_on_msg(
+        "MI_A",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("SI_A"),
+    );
+    b.cache_on_msg("MI_A", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("II_A"));
+    b.cache_on_msg("MI_A", "Put-Ack", acts().goto("I"));
+
+    // --- EI_A --- (clean eviction; still the owner until Put-Ack)
+    stall_core(b, "EI_A");
+    b.cache_on_msg(
+        "EI_A",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("SI_A"),
+    );
+    b.cache_on_msg("EI_A", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("II_A"));
+    b.cache_on_msg("EI_A", "Put-Ack", acts().goto("I"));
+
+    // --- SI_A ---
+    stall_core(b, "SI_A");
+    b.cache_on_msg("SI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("SI_A", "Put-Ack", acts().goto("I"));
+
+    // --- II_A ---
+    stall_core(b, "II_A");
+    b.cache_on_msg("II_A", "Put-Ack", acts().goto("I"));
+}
+
+fn write_in_flight(b: &mut ProtocolBuilder, disc: CacheDiscipline, ad: &str, a: &str, from_i: bool) {
+    if from_i {
+        b.cache_stall_core(ad, CoreOp::Load);
+        b.cache_stall_core(a, CoreOp::Load);
+    } else {
+        b.cache_on_core(ad, CoreOp::Load, acts());
+        b.cache_on_core(a, CoreOp::Load, acts());
+    }
+    for s in [ad, a] {
+        b.cache_stall_core(s, CoreOp::Store);
+        b.cache_stall_core(s, CoreOp::Evict);
+    }
+
+    b.cache_on_msg_if(ad, "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if(ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(a));
+    b.cache_on_msg(ad, "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if(a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if(a, "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+
+    if !from_i {
+        b.cache_on_msg(ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD"));
+    }
+
+    match disc {
+        CacheDiscipline::Blocking => {
+            for s in [ad, a] {
+                b.cache_stall_msg(s, "Fwd-GetS");
+                b.cache_stall_msg(s, "Fwd-GetM");
+            }
+        }
+        CacheDiscipline::NonBlocking => {
+            let fs_ad = format!("{ad}_FS");
+            let fm_ad = format!("{ad}_FM");
+            let fs_a = format!("{a}_FS");
+            let fm_a = format!("{a}_FM");
+            b.cache_on_msg(ad, "Fwd-GetS", acts().record_reader().goto(&fs_ad));
+            b.cache_on_msg(ad, "Fwd-GetM", acts().record_writer().goto(&fm_ad));
+            b.cache_on_msg(a, "Fwd-GetS", acts().record_reader().goto(&fs_a));
+            b.cache_on_msg(a, "Fwd-GetM", acts().record_writer().goto(&fm_a));
+            for s in [&fs_ad, &fm_ad, &fs_a, &fm_a] {
+                stall_core(b, s);
+            }
+
+            b.cache_on_msg_if(
+                &fs_ad,
+                "Data",
+                Guard::AckZero,
+                acts()
+                    .add_acks_from_msg()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S"),
+            );
+            b.cache_on_msg_if(&fs_ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&fs_a));
+            b.cache_on_msg(&fs_ad, "Inv-Ack", acts().dec_needed_acks());
+            b.cache_on_msg_if(&fs_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                &fs_a,
+                "Inv-Ack",
+                Guard::LastAck,
+                acts()
+                    .dec_needed_acks()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S"),
+            );
+
+            b.cache_on_msg_if(
+                &fm_ad,
+                "Data",
+                Guard::AckZero,
+                acts().add_acks_from_msg().send_data("Data", Target::Writer).goto("I"),
+            );
+            b.cache_on_msg_if(&fm_ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&fm_a));
+            b.cache_on_msg(&fm_ad, "Inv-Ack", acts().dec_needed_acks());
+            b.cache_on_msg_if(&fm_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                &fm_a,
+                "Inv-Ack",
+                Guard::LastAck,
+                acts().dec_needed_acks().send_data("Data", Target::Writer).goto("I"),
+            );
+
+            if !from_i {
+                b.cache_on_msg(&fs_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FS"));
+                b.cache_on_msg(&fm_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FM"));
+            }
+        }
+    }
+}
+
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "M"]);
+    b.dir_transient(&["S_D"]);
+    b.dir_initial("I");
+
+    // --- I --- (exclusive grant on GetS)
+    b.dir_on_msg(
+        "I",
+        "GetS",
+        acts().send_data("DataE", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg(
+        "I",
+        "GetM",
+        acts().send_data_acks("Data", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg("I", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S ---
+    b.dir_on_msg(
+        "S",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers(),
+    );
+    b.dir_on_msg(
+        "S",
+        "GetM",
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::NotLastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::LastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutE",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- M --- ("some cache is exclusive"; it may be E or M there)
+    b.dir_on_msg(
+        "M",
+        "GetS",
+        acts()
+            .send("Fwd-GetS", Target::Owner)
+            .add_req_to_sharers()
+            .add_owner_to_sharers()
+            .clear_owner()
+            .goto("S_D"),
+    );
+    b.dir_on_msg(
+        "M",
+        "GetM",
+        acts().send("Fwd-GetM", Target::Owner).set_owner_to_req(),
+    );
+    b.dir_on_msg("M", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutE",
+        Guard::FromOwner,
+        acts().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S_D ---
+    b.dir_stall_msg("S_D", "GetS");
+    b.dir_stall_msg("S_D", "GetM");
+    b.dir_on_msg(
+        "S_D",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S_D",
+        "PutE",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S_D",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg("S_D", "Data", acts().copy_to_mem().goto("S"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Trigger;
+
+    #[test]
+    fn both_variants_validate() {
+        mesi_blocking_cache().validate().unwrap();
+        mesi_nonblocking_cache().validate().unwrap();
+    }
+
+    #[test]
+    fn exclusive_grant_present() {
+        let p = mesi_blocking_cache();
+        let datae = p.message_by_name("DataE").unwrap();
+        assert_eq!(p.message(datae).mtype, MsgType::DataResponse);
+        let i = p.directory().state_by_name("I").unwrap();
+        let gets = p.message_by_name("GetS").unwrap();
+        let cell = p.directory().cell(i, Trigger::msg(gets)).unwrap();
+        let sends: Vec<_> = cell.entry().unwrap().sends().collect();
+        assert_eq!(sends[0].0, datae);
+    }
+
+    #[test]
+    fn silent_upgrade_from_e() {
+        let p = mesi_blocking_cache();
+        let e = p.cache().state_by_name("E").unwrap();
+        let m = p.cache().state_by_name("M").unwrap();
+        let cell = p.cache().cell(e, Trigger::core(CoreOp::Store)).unwrap();
+        let entry = cell.entry().unwrap();
+        assert!(entry.actions.is_empty());
+        assert_eq!(entry.next, Some(m));
+    }
+
+    #[test]
+    fn nonblocking_cache_has_no_message_stalls() {
+        let p = mesi_nonblocking_cache();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+        assert!(p.directory().message_stalls().count() > 0);
+    }
+
+    #[test]
+    fn blocking_cache_stalls_forwards() {
+        let p = mesi_blocking_cache();
+        let stalled: std::collections::BTreeSet<String> = p
+            .cache()
+            .message_stalls()
+            .map(|(_, m)| p.message_name(m).to_string())
+            .collect();
+        assert!(stalled.contains("Fwd-GetS"));
+        assert!(stalled.contains("Fwd-GetM"));
+    }
+
+    #[test]
+    fn pute_from_owner_clears_ownership() {
+        let p = mesi_blocking_cache();
+        let m = p.directory().state_by_name("M").unwrap();
+        let pute = p.message_by_name("PutE").unwrap();
+        let cell = p
+            .directory()
+            .cell(m, Trigger::msg_if(pute, Guard::FromOwner))
+            .unwrap();
+        let i = p.directory().state_by_name("I").unwrap();
+        assert_eq!(cell.entry().unwrap().next, Some(i));
+    }
+}

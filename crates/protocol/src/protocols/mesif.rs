@@ -1,0 +1,590 @@
+//! The MESIF directory protocol — an **extension beyond the paper's
+//! evaluated set**, completing the MOESIF family the paper's system
+//! model covers (§II).
+//!
+//! F(orward) designates one *clean* sharer as the data supplier: a GetS
+//! that finds a forwarder is served cache-to-cache without touching
+//! memory, and the F role migrates to the newest sharer (the Intel
+//! scheme). Because the forwarded line is clean, the directory needs no
+//! writeback-wait state for F-serving — it only blocks in the MESI-style
+//! `S_D` when a *dirty* owner (E/M) is snooped.
+//!
+//! Classification (verified in tests): with the textbook blocking cache
+//! it is **Class 2** like its siblings; with the deferring cache it
+//! lands with MSI/MESI in the 2-VN cell — the directory still sometimes
+//! blocks.
+
+use super::CacheDiscipline;
+use crate::builder::{acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// MESIF with the textbook blocking cache — Class 2.
+pub fn mesif_blocking_cache() -> ProtocolSpec {
+    build("MESIF-blocking-cache", CacheDiscipline::Blocking)
+}
+
+/// MESIF with a deferring cache — 2 VNs.
+pub fn mesif_nonblocking_cache() -> ProtocolSpec {
+    build("MESIF-nonblocking-cache", CacheDiscipline::NonBlocking)
+}
+
+fn build(name: &str, disc: CacheDiscipline) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new(name);
+
+    b.msg("GetS", MsgType::Request)
+        .msg("GetM", MsgType::Request)
+        .msg("PutS", MsgType::Request)
+        .msg("PutE", MsgType::Request)
+        .msg("PutF", MsgType::Request)
+        .msg("PutM", MsgType::Request)
+        .msg("Fwd-GetS", MsgType::FwdRequest)
+        .msg("Fwd-GetM", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("Put-Ack", MsgType::CtrlResponse)
+        .msg("Inv-Ack", MsgType::CtrlResponse)
+        .msg("Data", MsgType::DataResponse)
+        .msg("DataE", MsgType::DataResponse)
+        .msg("DataF", MsgType::DataResponse);
+
+    cache_table(&mut b, disc);
+    directory_table(&mut b);
+    b.build()
+}
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+fn cache_table(b: &mut ProtocolBuilder, disc: CacheDiscipline) {
+    b.cache_stable(&["I", "S", "F", "E", "M"]);
+    b.cache_transient(&[
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "FM_AD", "FM_A", "MI_A", "EI_A", "FI_A",
+        "SI_A", "II_A",
+    ]);
+    if disc == CacheDiscipline::NonBlocking {
+        b.cache_transient(&[
+            "IS_D_I", "IS_D_FS", "IS_D_FM", "IM_AD_FS", "IM_AD_FM", "IM_A_FS", "IM_A_FM",
+            "SM_AD_FS", "SM_AD_FM", "SM_A_FS", "SM_A_FM", "FM_AD_FM", "FM_A_FM",
+        ]);
+    }
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("GetS", Target::Dir).goto("IS_D"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM_AD"));
+    b.cache_on_msg("I", "Inv", acts().send("Inv-Ack", Target::Req));
+
+    // --- IS_D --- (Data→S, DataE→E, DataF→F; the exclusive grant makes
+    // us an owner before the data arrives, as in MESI)
+    stall_core(b, "IS_D");
+    b.cache_on_msg_if("IS_D", "Data", Guard::AckZero, acts().goto("S"));
+    b.cache_on_msg_if("IS_D", "DataE", Guard::AckZero, acts().goto("E"));
+    b.cache_on_msg_if("IS_D", "DataF", Guard::AckZero, acts().goto("F"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("IS_D", "Inv");
+            b.cache_stall_msg("IS_D", "Fwd-GetS");
+            b.cache_stall_msg("IS_D", "Fwd-GetM");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("IS_D", "Inv", acts().send("Inv-Ack", Target::Req).goto("IS_D_I"));
+            stall_core(b, "IS_D_I");
+            b.cache_on_msg_if("IS_D_I", "Data", Guard::AckZero, acts().goto("I"));
+            // An F-grant can race an Inv exactly like a shared grant: a
+            // later writer invalidates us while DataF is in flight.
+            b.cache_on_msg_if("IS_D_I", "DataF", Guard::AckZero, acts().goto("I"));
+            b.cache_on_msg("IS_D", "Fwd-GetS", acts().record_reader().goto("IS_D_FS"));
+            b.cache_on_msg("IS_D", "Fwd-GetM", acts().record_writer().goto("IS_D_FM"));
+            stall_core(b, "IS_D_FS");
+            stall_core(b, "IS_D_FM");
+            // Only the exclusive grant can be pending when a forward
+            // races us (dirty-owner forwards come from dir state M, which
+            // only we-as-owner reach through DataE).
+            b.cache_on_msg_if(
+                "IS_D_FS",
+                "DataE",
+                Guard::AckZero,
+                acts()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S"),
+            );
+            b.cache_on_msg_if(
+                "IS_D_FM",
+                "DataE",
+                Guard::AckZero,
+                acts().send_data_acks_stored("Data", Target::Writer).goto("I"),
+            );
+        }
+    }
+
+    // --- Writes in flight ---
+    write_in_flight(b, disc, "IM", WriteFrom::I);
+    write_in_flight(b, disc, "SM", WriteFrom::S);
+    write_in_flight(b, disc, "FM", WriteFrom::F);
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("GetM", Target::Dir).goto("SM_AD"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("PutS", Target::Dir).goto("SI_A"));
+    b.cache_on_msg("S", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- F --- (clean forwarder: serves reads, F migrates to the reader)
+    b.cache_on_core("F", CoreOp::Load, acts());
+    b.cache_on_core("F", CoreOp::Store, acts().send("GetM", Target::Dir).goto("FM_AD"));
+    b.cache_on_core("F", CoreOp::Evict, acts().send("PutF", Target::Dir).goto("FI_A"));
+    b.cache_on_msg("F", "Fwd-GetS", acts().send_data("DataF", Target::Req).goto("S"));
+    b.cache_on_msg("F", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- E --- (exclusive clean, silent upgrade; dirty-path snoops)
+    b.cache_on_core("E", CoreOp::Load, acts());
+    b.cache_on_core("E", CoreOp::Store, acts().goto("M"));
+    b.cache_on_core("E", CoreOp::Evict, acts().send("PutE", Target::Dir).goto("EI_A"));
+    b.cache_on_msg(
+        "E",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg("E", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("I"));
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg(
+        "M",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg("M", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("I"));
+
+    // --- Evictions in flight ---
+    stall_core(b, "MI_A");
+    b.cache_on_msg(
+        "MI_A",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("SI_A"),
+    );
+    b.cache_on_msg("MI_A", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("II_A"));
+    b.cache_on_msg("MI_A", "Put-Ack", acts().goto("I"));
+
+    stall_core(b, "EI_A");
+    b.cache_on_msg(
+        "EI_A",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("SI_A"),
+    );
+    b.cache_on_msg("EI_A", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("II_A"));
+    b.cache_on_msg("EI_A", "Put-Ack", acts().goto("I"));
+
+    // FI_A: evicting forwarder still serves one last read (F migrates),
+    // and can be invalidated by a racing write.
+    stall_core(b, "FI_A");
+    b.cache_on_msg("FI_A", "Fwd-GetS", acts().send_data("DataF", Target::Req).goto("SI_A"));
+    b.cache_on_msg("FI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("FI_A", "Put-Ack", acts().goto("I"));
+
+    stall_core(b, "SI_A");
+    b.cache_on_msg("SI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("SI_A", "Put-Ack", acts().goto("I"));
+
+    stall_core(b, "II_A");
+    b.cache_on_msg("II_A", "Put-Ack", acts().goto("I"));
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum WriteFrom {
+    I,
+    S,
+    F,
+}
+
+fn write_in_flight(b: &mut ProtocolBuilder, disc: CacheDiscipline, fam: &str, from: WriteFrom) {
+    let ad = format!("{fam}_AD");
+    let a = format!("{fam}_A");
+
+    if from == WriteFrom::I {
+        b.cache_stall_core(&ad, CoreOp::Load);
+        b.cache_stall_core(&a, CoreOp::Load);
+    } else {
+        b.cache_on_core(&ad, CoreOp::Load, acts());
+        b.cache_on_core(&a, CoreOp::Load, acts());
+    }
+    for s in [&ad, &a] {
+        b.cache_stall_core(s, CoreOp::Store);
+        b.cache_stall_core(s, CoreOp::Evict);
+    }
+
+    b.cache_on_msg_if(&ad, "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if(&ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&a));
+    b.cache_on_msg(&ad, "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+
+    if from != WriteFrom::I {
+        b.cache_on_msg(&ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD"));
+    }
+
+    match disc {
+        CacheDiscipline::Blocking => {
+            for s in [&ad, &a] {
+                b.cache_stall_msg(s, "Fwd-GetM");
+                // Only the F-holder can be asked to forward clean data
+                // mid-upgrade; dirty forwards can't reach S/I-originated
+                // writes.
+                if from == WriteFrom::F {
+                    b.cache_stall_msg(s, "Fwd-GetS");
+                }
+            }
+        }
+        CacheDiscipline::NonBlocking => {
+            if from == WriteFrom::F {
+                // Serve reads from the still-clean copy without stalling;
+                // the directory has already re-pointed F at the reader.
+                b.cache_on_msg(&ad, "Fwd-GetS", acts().send_data("DataF", Target::Req));
+                b.cache_on_msg(&a, "Fwd-GetS", acts().send_data("DataF", Target::Req));
+            }
+            let fm_ad = format!("{ad}_FM");
+            let fm_a = format!("{a}_FM");
+            if from != WriteFrom::F {
+                let fs_ad = format!("{ad}_FS");
+                let fs_a = format!("{a}_FS");
+                b.cache_on_msg(&ad, "Fwd-GetS", acts().record_reader().goto(&fs_ad));
+                b.cache_on_msg(&a, "Fwd-GetS", acts().record_reader().goto(&fs_a));
+                for st in [&fs_ad, &fs_a] {
+                    stall_core(b, st);
+                }
+                b.cache_on_msg_if(
+                    &fs_ad,
+                    "Data",
+                    Guard::AckZero,
+                    acts()
+                        .add_acks_from_msg()
+                        .send_data("Data", Target::Readers)
+                        .send_data("Data", Target::Dir)
+                        .goto("S"),
+                );
+                b.cache_on_msg_if(
+                    &fs_ad,
+                    "Data",
+                    Guard::AckPositive,
+                    acts().add_acks_from_msg().goto(&fs_a),
+                );
+                b.cache_on_msg(&fs_ad, "Inv-Ack", acts().dec_needed_acks());
+                b.cache_on_msg_if(&fs_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+                b.cache_on_msg_if(
+                    &fs_a,
+                    "Inv-Ack",
+                    Guard::LastAck,
+                    acts()
+                        .dec_needed_acks()
+                        .send_data("Data", Target::Readers)
+                        .send_data("Data", Target::Dir)
+                        .goto("S"),
+                );
+                if from == WriteFrom::S {
+                    b.cache_on_msg(&fs_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FS"));
+                }
+            }
+            b.cache_on_msg(&ad, "Fwd-GetM", acts().record_writer().goto(&fm_ad));
+            b.cache_on_msg(&a, "Fwd-GetM", acts().record_writer().goto(&fm_a));
+            for st in [&fm_ad, &fm_a] {
+                stall_core(b, st);
+            }
+            b.cache_on_msg_if(
+                &fm_ad,
+                "Data",
+                Guard::AckZero,
+                acts().add_acks_from_msg().send_data("Data", Target::Writer).goto("I"),
+            );
+            b.cache_on_msg_if(
+                &fm_ad,
+                "Data",
+                Guard::AckPositive,
+                acts().add_acks_from_msg().goto(&fm_a),
+            );
+            b.cache_on_msg(&fm_ad, "Inv-Ack", acts().dec_needed_acks());
+            b.cache_on_msg_if(&fm_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                &fm_a,
+                "Inv-Ack",
+                Guard::LastAck,
+                acts().dec_needed_acks().send_data("Data", Target::Writer).goto("I"),
+            );
+            if from == WriteFrom::S {
+                b.cache_on_msg(&fm_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FM"));
+            }
+        }
+    }
+}
+
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "F", "M"]);
+    b.dir_transient(&["S_D"]);
+    b.dir_initial("I");
+
+    // --- I --- (exclusive grant)
+    b.dir_on_msg(
+        "I",
+        "GetS",
+        acts().send_data("DataE", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg(
+        "I",
+        "GetM",
+        acts().send_data_acks("Data", Target::Req).set_owner_to_req().goto("M"),
+    );
+    for put in ["PutS", "PutF"] {
+        b.dir_on_msg("I", put, acts().send("Put-Ack", Target::Req));
+    }
+    b.dir_on_msg_if("I", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S --- (sharers, no forwarder: memory supplies; the reader
+    // becomes the new forwarder)
+    b.dir_on_msg(
+        "S",
+        "GetS",
+        acts()
+            .send_data("DataF", Target::Req)
+            .add_req_to_sharers()
+            .set_owner_to_req()
+            .goto("F"),
+    );
+    b.dir_on_msg(
+        "S",
+        "GetM",
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::NotLastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::LastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req).goto("I"),
+    );
+    for put in ["PutE", "PutM"] {
+        b.dir_on_msg_if(
+            "S",
+            put,
+            Guard::NotFromOwner,
+            acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+        );
+    }
+    b.dir_on_msg(
+        "S",
+        "PutF",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- F --- (forwarder recorded as owner AND kept in the sharer set,
+    // so ack counts and invalidations include it automatically)
+    b.dir_on_msg(
+        "F",
+        "GetS",
+        acts()
+            .send("Fwd-GetS", Target::Owner)
+            .add_req_to_sharers()
+            .set_owner_to_req(),
+    );
+    b.dir_on_msg_if(
+        "F",
+        "GetM",
+        Guard::ReqIsOwner,
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "F",
+        "GetM",
+        Guard::ReqNotOwner,
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    // The forwarder evicting clean data demotes the line to plain S.
+    b.dir_on_msg_if(
+        "F",
+        "PutF",
+        Guard::FromOwner,
+        acts().remove_req_from_sharers().clear_owner().send("Put-Ack", Target::Req).goto("S"),
+    );
+    b.dir_on_msg_if(
+        "F",
+        "PutF",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg(
+        "F",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    for put in ["PutE", "PutM"] {
+        b.dir_on_msg_if(
+            "F",
+            put,
+            Guard::NotFromOwner,
+            acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+        );
+    }
+
+    // --- M --- (dirty exclusive; MESI shape)
+    b.dir_on_msg(
+        "M",
+        "GetS",
+        acts()
+            .send("Fwd-GetS", Target::Owner)
+            .add_req_to_sharers()
+            .add_owner_to_sharers()
+            .clear_owner()
+            .goto("S_D"),
+    );
+    b.dir_on_msg(
+        "M",
+        "GetM",
+        acts().send("Fwd-GetM", Target::Owner).set_owner_to_req(),
+    );
+    for put in ["PutS", "PutF"] {
+        b.dir_on_msg("M", put, acts().send("Put-Ack", Target::Req));
+    }
+    b.dir_on_msg_if(
+        "M",
+        "PutE",
+        Guard::FromOwner,
+        acts().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S_D --- (dirty-owner read in flight; the blocking state)
+    b.dir_stall_msg("S_D", "GetS");
+    b.dir_stall_msg("S_D", "GetM");
+    b.dir_on_msg(
+        "S_D",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg(
+        "S_D",
+        "PutF",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    for put in ["PutE", "PutM"] {
+        b.dir_on_msg_if(
+            "S_D",
+            put,
+            Guard::NotFromOwner,
+            acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+        );
+    }
+    b.dir_on_msg("S_D", "Data", acts().copy_to_mem().goto("S"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Trigger;
+
+    #[test]
+    fn both_variants_validate() {
+        mesif_blocking_cache().validate().unwrap();
+        mesif_nonblocking_cache().validate().unwrap();
+    }
+
+    #[test]
+    fn forwarder_serves_and_migrates_f() {
+        let p = mesif_blocking_cache();
+        let f = p.cache().state_by_name("F").unwrap();
+        let s = p.cache().state_by_name("S").unwrap();
+        let fwd = p.message_by_name("Fwd-GetS").unwrap();
+        let dataf = p.message_by_name("DataF").unwrap();
+        let cell = p.cache().cell(f, Trigger::msg(fwd)).unwrap();
+        let entry = cell.entry().unwrap();
+        assert_eq!(entry.next, Some(s));
+        assert!(entry.sends().any(|(m, _)| m == dataf));
+    }
+
+    #[test]
+    fn clean_forwarding_never_blocks_the_directory() {
+        // Dir state F has no stall cells — only the dirty path (S_D)
+        // blocks.
+        let p = mesif_blocking_cache();
+        let f = p.directory().state_by_name("F").unwrap();
+        let stalls: Vec<_> = p
+            .directory()
+            .message_stalls()
+            .filter(|(s, _)| *s == f)
+            .collect();
+        assert!(stalls.is_empty());
+        let sd = p.directory().state_by_name("S_D").unwrap();
+        assert_eq!(
+            p.directory().message_stalls().filter(|(s, _)| *s == sd).count(),
+            2
+        );
+    }
+
+    #[test]
+    fn nonblocking_variant_has_no_cache_stalls() {
+        let p = mesif_nonblocking_cache();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+    }
+
+    #[test]
+    fn getm_in_f_is_served_from_memory() {
+        // The F line is clean, so the directory answers writes itself —
+        // no forward to the F-holder, just invalidations.
+        let p = mesif_blocking_cache();
+        let f = p.directory().state_by_name("F").unwrap();
+        let getm = p.message_by_name("GetM").unwrap();
+        let cell = p
+            .directory()
+            .cell(f, Trigger::msg_if(getm, Guard::ReqNotOwner))
+            .unwrap();
+        let data = p.message_by_name("Data").unwrap();
+        let sends: Vec<_> = cell.entry().unwrap().sends().collect();
+        assert!(sends.iter().any(|(m, _)| *m == data));
+        assert!(!sends
+            .iter()
+            .any(|(m, _)| p.message_name(*m).starts_with("Fwd")));
+    }
+}

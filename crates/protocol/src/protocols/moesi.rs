@@ -1,0 +1,553 @@
+//! The MOESI directory protocol: MOSI plus the E(xclusive) state.
+//!
+//! Like MOSI, the directory never blocks (no transient directory states);
+//! the exclusive grant (`DataE` on a GetS that finds the directory in I)
+//! and the clean eviction (`PutE`) are the MESI-style additions. The
+//! Table-I placement matches MOSI: experiment (1) with a nonblocking
+//! cache (1 VN), experiment (2) with the textbook blocking cache
+//! (Class 2).
+//!
+//! See [`super::mosi`] for the modeling notes on owner upgrades and the
+//! nonblocking cache's deferred-forward machinery — the same design is
+//! used here.
+
+use super::CacheDiscipline;
+use crate::builder::{acts, Acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// MOESI with the textbook blocking cache. Table I experiment (2) —
+/// Class 2.
+pub fn moesi_blocking_cache() -> ProtocolSpec {
+    build("MOESI-blocking-cache", CacheDiscipline::Blocking)
+}
+
+/// MOESI with a deferring cache: no stalls anywhere. Table I experiment
+/// (1) — 1 VN.
+pub fn moesi_nonblocking_cache() -> ProtocolSpec {
+    build("MOESI-nonblocking-cache", CacheDiscipline::NonBlocking)
+}
+
+fn build(name: &str, disc: CacheDiscipline) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new(name);
+
+    b.msg("GetS", MsgType::Request)
+        .msg("GetM", MsgType::Request)
+        .msg("PutS", MsgType::Request)
+        .msg("PutE", MsgType::Request)
+        .msg("PutM", MsgType::Request)
+        .msg("Fwd-GetS", MsgType::FwdRequest)
+        .msg("Fwd-GetM", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("Put-Ack", MsgType::CtrlResponse)
+        .msg("Inv-Ack", MsgType::CtrlResponse)
+        .msg("Data", MsgType::DataResponse)
+        .msg("DataE", MsgType::DataResponse);
+
+    cache_table(&mut b, disc);
+    directory_table(&mut b);
+    b.build()
+}
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+fn cache_table(b: &mut ProtocolBuilder, disc: CacheDiscipline) {
+    b.cache_stable(&["I", "S", "E", "O", "M"]);
+    b.cache_transient(&[
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "OM_AD", "OM_A", "MI_A", "EI_A", "SI_A",
+        "II_A",
+    ]);
+    if disc == CacheDiscipline::NonBlocking {
+        b.cache_transient(&["IS_D_I", "IS_D_FS", "IS_D_FM", "IS_D_FSM", "OM_A_FM"]);
+        for fam in ["IM", "SM"] {
+            for stage in ["AD", "A"] {
+                for kind in ["FS", "FM", "FSM"] {
+                    let s = format!("{fam}_{stage}_{kind}");
+                    b.cache_transient(&[&s]);
+                }
+            }
+        }
+    }
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("GetS", Target::Dir).goto("IS_D"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM_AD"));
+    // A stale Inv can reach a cache in I: the cache was invalidated (or
+    // evicted) while the Inv was in flight — e.g. Put-Ack overtaking Inv
+    // on another VN ends the eviction before the Inv lands. Acking from
+    // I is always safe (nothing is held) and the requestor needs the ack.
+    b.cache_on_msg("I", "Inv", acts().send("Inv-Ack", Target::Req));
+
+    // --- IS_D --- (shared data or the exclusive grant)
+    //
+    // As in MESI, the exclusive grant makes this cache an owner before
+    // its data arrives, so forwards can race the grant into IS_D.
+    stall_core(b, "IS_D");
+    b.cache_on_msg_if("IS_D", "Data", Guard::AckZero, acts().goto("S"));
+    b.cache_on_msg_if("IS_D", "DataE", Guard::AckZero, acts().goto("E"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("IS_D", "Inv");
+            b.cache_stall_msg("IS_D", "Fwd-GetS");
+            b.cache_stall_msg("IS_D", "Fwd-GetM");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("IS_D", "Inv", acts().send("Inv-Ack", Target::Req).goto("IS_D_I"));
+            stall_core(b, "IS_D_I");
+            b.cache_on_msg_if("IS_D_I", "Data", Guard::AckZero, acts().goto("I"));
+            b.cache_on_msg("IS_D", "Fwd-GetS", acts().record_reader().goto("IS_D_FS"));
+            b.cache_on_msg("IS_D", "Fwd-GetM", acts().record_writer().goto("IS_D_FM"));
+            stall_core(b, "IS_D_FS");
+            stall_core(b, "IS_D_FM");
+            // MOESI owners keep the line when serving reads (→ O); more
+            // readers can pile up since the directory never blocks.
+            b.cache_on_msg("IS_D_FS", "Fwd-GetS", acts().record_reader());
+            b.cache_on_msg("IS_D_FS", "Fwd-GetM", acts().record_writer().goto("IS_D_FSM"));
+            stall_core(b, "IS_D_FSM");
+            b.cache_on_msg_if(
+                "IS_D_FS",
+                "DataE",
+                Guard::AckZero,
+                acts().send_data("Data", Target::Readers).goto("O"),
+            );
+            b.cache_on_msg_if(
+                "IS_D_FM",
+                "DataE",
+                Guard::AckZero,
+                acts().send_data_acks_stored("Data", Target::Writer).goto("I"),
+            );
+            b.cache_on_msg_if(
+                "IS_D_FSM",
+                "DataE",
+                Guard::AckZero,
+                acts()
+                    .send_data("Data", Target::Readers)
+                    .send_data_acks_stored("Data", Target::Writer)
+                    .goto("I"),
+            );
+        }
+    }
+
+    // --- Writes in flight ---
+    write_in_flight(b, disc, "IM", true);
+    write_in_flight(b, disc, "SM", false);
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("GetM", Target::Dir).goto("SM_AD"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("PutS", Target::Dir).goto("SI_A"));
+    b.cache_on_msg("S", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- E --- (exclusive clean; silent upgrade)
+    b.cache_on_core("E", CoreOp::Load, acts());
+    b.cache_on_core("E", CoreOp::Store, acts().goto("M"));
+    b.cache_on_core("E", CoreOp::Evict, acts().send("PutE", Target::Dir).goto("EI_A"));
+    // Serving a read from E keeps ownership: E → O.
+    b.cache_on_msg("E", "Fwd-GetS", acts().send_data("Data", Target::Req).goto("O"));
+    b.cache_on_msg(
+        "E",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("I"),
+    );
+
+    // --- O ---
+    b.cache_on_core("O", CoreOp::Load, acts());
+    b.cache_on_core("O", CoreOp::Store, acts().send("GetM", Target::Dir).goto("OM_AD"));
+    b.cache_on_core("O", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg("O", "Fwd-GetS", acts().send_data("Data", Target::Req));
+    b.cache_on_msg(
+        "O",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("I"),
+    );
+
+    // --- OM_AD / OM_A ---
+    stall_core(b, "OM_AD");
+    stall_core(b, "OM_A");
+    b.cache_on_msg_if("OM_AD", "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if("OM_AD", "Data", Guard::AckPositive, acts().add_acks_from_msg().goto("OM_A"));
+    b.cache_on_msg("OM_AD", "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if("OM_A", "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if("OM_A", "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("OM_AD", "Fwd-GetS");
+            b.cache_stall_msg("OM_AD", "Fwd-GetM");
+            b.cache_stall_msg("OM_A", "Fwd-GetS");
+            b.cache_stall_msg("OM_A", "Fwd-GetM");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("OM_AD", "Fwd-GetS", acts().send_data("Data", Target::Req));
+            b.cache_on_msg("OM_A", "Fwd-GetS", acts().send_data("Data", Target::Req));
+            b.cache_on_msg(
+                "OM_AD",
+                "Fwd-GetM",
+                acts().send_data_acks_from_msg("Data", Target::Req).goto("IM_AD"),
+            );
+            b.cache_on_msg("OM_A", "Fwd-GetM", acts().record_writer().goto("OM_A_FM"));
+            stall_core(b, "OM_A_FM");
+            b.cache_on_msg_if("OM_A_FM", "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                "OM_A_FM",
+                "Inv-Ack",
+                Guard::LastAck,
+                acts()
+                    .dec_needed_acks()
+                    .send_data_acks_stored("Data", Target::Writer)
+                    .goto("I"),
+            );
+        }
+    }
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg("M", "Fwd-GetS", acts().send_data("Data", Target::Req).goto("O"));
+    b.cache_on_msg(
+        "M",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("I"),
+    );
+
+    // --- MI_A --- (dirty-owner eviction from M or O)
+    stall_core(b, "MI_A");
+    b.cache_on_msg("MI_A", "Fwd-GetS", acts().send_data("Data", Target::Req));
+    b.cache_on_msg(
+        "MI_A",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("II_A"),
+    );
+    b.cache_on_msg("MI_A", "Put-Ack", acts().goto("I"));
+
+    // --- EI_A --- (clean-owner eviction; still serves snoops)
+    stall_core(b, "EI_A");
+    b.cache_on_msg("EI_A", "Fwd-GetS", acts().send_data("Data", Target::Req));
+    b.cache_on_msg(
+        "EI_A",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("II_A"),
+    );
+    b.cache_on_msg("EI_A", "Put-Ack", acts().goto("I"));
+
+    // --- SI_A ---
+    stall_core(b, "SI_A");
+    b.cache_on_msg("SI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("SI_A", "Put-Ack", acts().goto("I"));
+
+    // --- II_A ---
+    stall_core(b, "II_A");
+    b.cache_on_msg("II_A", "Put-Ack", acts().goto("I"));
+}
+
+/// Same write-in-flight machinery as MOSI (see that module for the
+/// deferred reader-set / writer-slot discussion).
+fn write_in_flight(b: &mut ProtocolBuilder, disc: CacheDiscipline, fam: &str, from_i: bool) {
+    let ad = format!("{fam}_AD");
+    let a = format!("{fam}_A");
+
+    if from_i {
+        b.cache_stall_core(&ad, CoreOp::Load);
+        b.cache_stall_core(&a, CoreOp::Load);
+    } else {
+        b.cache_on_core(&ad, CoreOp::Load, acts());
+        b.cache_on_core(&a, CoreOp::Load, acts());
+    }
+    for s in [&ad, &a] {
+        b.cache_stall_core(s, CoreOp::Store);
+        b.cache_stall_core(s, CoreOp::Evict);
+    }
+
+    b.cache_on_msg_if(&ad, "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if(&ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&a));
+    b.cache_on_msg(&ad, "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+
+    if !from_i {
+        b.cache_on_msg(&ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD"));
+    }
+
+    match disc {
+        CacheDiscipline::Blocking => {
+            for s in [&ad, &a] {
+                b.cache_stall_msg(s, "Fwd-GetS");
+                b.cache_stall_msg(s, "Fwd-GetM");
+            }
+        }
+        CacheDiscipline::NonBlocking => {
+            let fs = |st: &str| format!("{st}_FS");
+            let fm = |st: &str| format!("{st}_FM");
+            let fsm = |st: &str| format!("{st}_FSM");
+
+            b.cache_on_msg(&ad, "Fwd-GetS", acts().record_reader().goto(&fs(&ad)));
+            b.cache_on_msg(&ad, "Fwd-GetM", acts().record_writer().goto(&fm(&ad)));
+            b.cache_on_msg(&a, "Fwd-GetS", acts().record_reader().goto(&fs(&a)));
+            b.cache_on_msg(&a, "Fwd-GetM", acts().record_writer().goto(&fm(&a)));
+
+            for st in [&ad, &a] {
+                for k in [fs(st), fm(st), fsm(st)] {
+                    stall_core(b, &k);
+                }
+                b.cache_on_msg(&fs(st), "Fwd-GetS", acts().record_reader());
+                b.cache_on_msg(&fs(st), "Fwd-GetM", acts().record_writer().goto(&fsm(st)));
+            }
+
+            let complete_fs = || acts().send_data("Data", Target::Readers).goto("O");
+            let complete_fm =
+                || acts().send_data_acks_stored("Data", Target::Writer).goto("I");
+            let complete_fsm = || {
+                acts()
+                    .send_data("Data", Target::Readers)
+                    .send_data_acks_stored("Data", Target::Writer)
+                    .goto("I")
+            };
+
+            for (kind, complete) in [
+                ("FS", &complete_fs as &dyn Fn() -> Acts),
+                ("FM", &complete_fm),
+                ("FSM", &complete_fsm),
+            ] {
+                let ad_k = format!("{ad}_{kind}");
+                let a_k = format!("{a}_{kind}");
+                b.cache_on_msg_if(
+                    &ad_k,
+                    "Data",
+                    Guard::AckZero,
+                    acts().add_acks_from_msg().extend(complete()),
+                );
+                b.cache_on_msg_if(
+                    &ad_k,
+                    "Data",
+                    Guard::AckPositive,
+                    acts().add_acks_from_msg().goto(&a_k),
+                );
+                b.cache_on_msg(&ad_k, "Inv-Ack", acts().dec_needed_acks());
+                b.cache_on_msg_if(&a_k, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+                b.cache_on_msg_if(
+                    &a_k,
+                    "Inv-Ack",
+                    Guard::LastAck,
+                    acts().dec_needed_acks().extend(complete()),
+                );
+            }
+
+            if !from_i {
+                for kind in ["FS", "FM", "FSM"] {
+                    let from = format!("{fam}_AD_{kind}");
+                    let to = format!("IM_AD_{kind}");
+                    b.cache_on_msg(&from, "Inv", acts().send("Inv-Ack", Target::Req).goto(&to));
+                }
+            }
+        }
+    }
+}
+
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "O", "M"]);
+    b.dir_initial("I");
+
+    // --- I --- (exclusive grant on GetS)
+    b.dir_on_msg(
+        "I",
+        "GetS",
+        acts().send_data("DataE", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg(
+        "I",
+        "GetM",
+        acts().send_data_acks("Data", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg("I", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S ---
+    b.dir_on_msg(
+        "S",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers(),
+    );
+    b.dir_on_msg(
+        "S",
+        "GetM",
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::NotLastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::LastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutE",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- O ---
+    b.dir_on_msg(
+        "O",
+        "GetS",
+        acts().send("Fwd-GetS", Target::Owner).add_req_to_sharers(),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "GetM",
+        Guard::ReqIsOwner,
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "GetM",
+        Guard::ReqNotOwner,
+        acts()
+            .send_acks_from_sharers("Fwd-GetM", Target::Owner)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg(
+        "O",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    // A clean owner that served a read and then evicted (E → O → PutE in
+    // flight): memory is current, just drop ownership.
+    b.dir_on_msg_if(
+        "O",
+        "PutE",
+        Guard::FromOwner,
+        acts().clear_owner().send("Put-Ack", Target::Req).goto("S"),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "PutE",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("S"),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- M ---
+    b.dir_on_msg(
+        "M",
+        "GetS",
+        acts().send("Fwd-GetS", Target::Owner).add_req_to_sharers().goto("O"),
+    );
+    b.dir_on_msg_if(
+        "M",
+        "GetM",
+        Guard::ReqNotOwner,
+        acts().send_acks_from_sharers("Fwd-GetM", Target::Owner).set_owner_to_req(),
+    );
+    b.dir_on_msg("M", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutE",
+        Guard::FromOwner,
+        acts().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutE", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateKind;
+
+    #[test]
+    fn both_variants_validate() {
+        moesi_blocking_cache().validate().unwrap();
+        moesi_nonblocking_cache().validate().unwrap();
+    }
+
+    #[test]
+    fn directory_never_blocks() {
+        for p in [moesi_blocking_cache(), moesi_nonblocking_cache()] {
+            assert_eq!(p.directory().message_stalls().count(), 0, "{}", p.name());
+            assert!(p
+                .directory()
+                .states()
+                .iter()
+                .all(|s| s.kind == StateKind::Stable));
+        }
+    }
+
+    #[test]
+    fn nonblocking_variant_is_fully_stall_free() {
+        let p = moesi_nonblocking_cache();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+    }
+
+    #[test]
+    fn e_serves_read_and_keeps_ownership() {
+        let p = moesi_blocking_cache();
+        let e = p.cache().state_by_name("E").unwrap();
+        let o = p.cache().state_by_name("O").unwrap();
+        let fwd = p.message_by_name("Fwd-GetS").unwrap();
+        let cell = p.cache().cell(e, crate::Trigger::msg(fwd)).unwrap();
+        assert_eq!(cell.entry().unwrap().next, Some(o));
+    }
+
+    #[test]
+    fn exclusive_grant_only_from_idle_directory() {
+        let p = moesi_blocking_cache();
+        let datae = p.message_by_name("DataE").unwrap();
+        // DataE is sent exactly once: from directory state I on GetS.
+        let mut senders = 0;
+        for (_, _, cell) in p.directory().iter() {
+            if let Some(e) = cell.entry() {
+                senders += e.sends().filter(|(m, _)| *m == datae).count();
+            }
+        }
+        assert_eq!(senders, 1);
+    }
+}

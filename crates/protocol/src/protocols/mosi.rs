@@ -1,0 +1,514 @@
+//! The MOSI directory protocol: a **never-blocking directory** thanks to
+//! the O(wned) state.
+//!
+//! When the directory forwards a GetS to the owner, the owner supplies the
+//! data directly and *retains ownership* (M→O), so the directory never
+//! needs a writeback-wait state like MSI's `S_D` — it has **no transient
+//! states at all**, provided it has enough MSHRs (which our model grants,
+//! per the paper's footnote 2).
+//!
+//! * With a **nonblocking cache**, the protocol has no message stalls
+//!   anywhere: Table I experiment (1), **1 VN**.
+//! * With the textbook **blocking cache** (stalling forwards in
+//!   transients), there is a `waits` cycle through Fwd-GetM: Table I
+//!   experiment (2), **Class 2** — a deadlock exists even with a VN per
+//!   message name.
+//!
+//! Owner upgrades (O→M) are modeled with a directory data response
+//! carrying the invalidation-ack count (rather than a separate AckCount
+//! message), which makes the upgrade path identical in shape to the
+//! I→M / S→M paths.
+//!
+//! Modeling note (nonblocking variant only): a cache in `OM_AD`/`OM_A`
+//! answers Fwd-GetS immediately from its owned copy. In the race where
+//! the read was ordered *after* the upgrade at the directory, this serves
+//! pre-upgrade data — a serialization fuzz that cannot affect deadlock
+//! behavior (no message is ever stalled or lost), which is all this
+//! variant is used for: the paper's experiment (1) is a static-analysis
+//! data point and is not model checked.
+
+use super::CacheDiscipline;
+use crate::builder::{acts, Acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// MOSI with the textbook blocking cache. Table I experiment (2) — Class 2.
+pub fn mosi_blocking_cache() -> ProtocolSpec {
+    build("MOSI-blocking-cache", CacheDiscipline::Blocking)
+}
+
+/// MOSI with a deferring cache: no stalls anywhere. Table I experiment
+/// (1) — 1 VN.
+pub fn mosi_nonblocking_cache() -> ProtocolSpec {
+    build("MOSI-nonblocking-cache", CacheDiscipline::NonBlocking)
+}
+
+fn build(name: &str, disc: CacheDiscipline) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new(name);
+
+    b.msg("GetS", MsgType::Request)
+        .msg("GetM", MsgType::Request)
+        .msg("PutS", MsgType::Request)
+        .msg("PutM", MsgType::Request)
+        .msg("Fwd-GetS", MsgType::FwdRequest)
+        .msg("Fwd-GetM", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("Put-Ack", MsgType::CtrlResponse)
+        .msg("Inv-Ack", MsgType::CtrlResponse)
+        .msg("Data", MsgType::DataResponse);
+
+    cache_table(&mut b, disc);
+    directory_table(&mut b);
+    b.build()
+}
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+fn cache_table(b: &mut ProtocolBuilder, disc: CacheDiscipline) {
+    b.cache_stable(&["I", "S", "O", "M"]);
+    b.cache_transient(&[
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "OM_AD", "OM_A", "MI_A", "SI_A", "II_A",
+    ]);
+    if disc == CacheDiscipline::NonBlocking {
+        b.cache_transient(&["IS_D_I", "OM_A_FM"]);
+        for fam in ["IM", "SM"] {
+            for stage in ["AD", "A"] {
+                for kind in ["FS", "FM", "FSM"] {
+                    let s = format!("{fam}_{stage}_{kind}");
+                    b.cache_transient(&[&s]);
+                }
+            }
+        }
+    }
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("GetS", Target::Dir).goto("IS_D"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM_AD"));
+    // A stale Inv can reach a cache in I: the cache was invalidated (or
+    // evicted) while the Inv was in flight — e.g. Put-Ack overtaking Inv
+    // on another VN ends the eviction before the Inv lands. Acking from
+    // I is always safe (nothing is held) and the requestor needs the ack.
+    b.cache_on_msg("I", "Inv", acts().send("Inv-Ack", Target::Req));
+
+    // --- IS_D ---
+    stall_core(b, "IS_D");
+    b.cache_on_msg_if("IS_D", "Data", Guard::AckZero, acts().goto("S"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("IS_D", "Inv");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("IS_D", "Inv", acts().send("Inv-Ack", Target::Req).goto("IS_D_I"));
+            stall_core(b, "IS_D_I");
+            b.cache_on_msg_if("IS_D_I", "Data", Guard::AckZero, acts().goto("I"));
+        }
+    }
+
+    // --- Writes in flight ---
+    write_in_flight(b, disc, "IM", true);
+    write_in_flight(b, disc, "SM", false);
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("GetM", Target::Dir).goto("SM_AD"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("PutS", Target::Dir).goto("SI_A"));
+    b.cache_on_msg("S", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- O --- (owned: dirty, shared, this cache supplies data)
+    b.cache_on_core("O", CoreOp::Load, acts());
+    b.cache_on_core("O", CoreOp::Store, acts().send("GetM", Target::Dir).goto("OM_AD"));
+    b.cache_on_core("O", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg("O", "Fwd-GetS", acts().send_data("Data", Target::Req));
+    b.cache_on_msg(
+        "O",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("I"),
+    );
+
+    // --- OM_AD / OM_A --- (owner upgrade in flight)
+    stall_core(b, "OM_AD");
+    stall_core(b, "OM_A");
+    b.cache_on_msg_if("OM_AD", "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if("OM_AD", "Data", Guard::AckPositive, acts().add_acks_from_msg().goto("OM_A"));
+    b.cache_on_msg("OM_AD", "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if("OM_A", "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if("OM_A", "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("OM_AD", "Fwd-GetS");
+            b.cache_stall_msg("OM_AD", "Fwd-GetM");
+            b.cache_stall_msg("OM_A", "Fwd-GetS");
+            b.cache_stall_msg("OM_A", "Fwd-GetM");
+        }
+        CacheDiscipline::NonBlocking => {
+            // Serve reads from the owned copy without stalling.
+            b.cache_on_msg("OM_AD", "Fwd-GetS", acts().send_data("Data", Target::Req));
+            b.cache_on_msg("OM_A", "Fwd-GetS", acts().send_data("Data", Target::Req));
+            // A Fwd-GetM before the upgrade's own data response means the
+            // other write was ordered first: hand over the line and fall
+            // back to a plain I→M write.
+            b.cache_on_msg(
+                "OM_AD",
+                "Fwd-GetM",
+                acts().send_data_acks_from_msg("Data", Target::Req).goto("IM_AD"),
+            );
+            // After the upgrade's data response, a Fwd-GetM is ordered
+            // after our write: finish the write, then hand over.
+            b.cache_on_msg("OM_A", "Fwd-GetM", acts().record_writer().goto("OM_A_FM"));
+            stall_core(b, "OM_A_FM");
+            b.cache_on_msg_if("OM_A_FM", "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                "OM_A_FM",
+                "Inv-Ack",
+                Guard::LastAck,
+                acts()
+                    .dec_needed_acks()
+                    .send_data_acks_stored("Data", Target::Writer)
+                    .goto("I"),
+            );
+        }
+    }
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    // Serving a read keeps ownership: M → O (no directory writeback).
+    b.cache_on_msg("M", "Fwd-GetS", acts().send_data("Data", Target::Req).goto("O"));
+    b.cache_on_msg(
+        "M",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("I"),
+    );
+
+    // --- MI_A --- (owner eviction from M or O)
+    stall_core(b, "MI_A");
+    b.cache_on_msg("MI_A", "Fwd-GetS", acts().send_data("Data", Target::Req));
+    b.cache_on_msg(
+        "MI_A",
+        "Fwd-GetM",
+        acts().send_data_acks_from_msg("Data", Target::Req).goto("II_A"),
+    );
+    b.cache_on_msg("MI_A", "Put-Ack", acts().goto("I"));
+
+    // --- SI_A ---
+    stall_core(b, "SI_A");
+    b.cache_on_msg("SI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("SI_A", "Put-Ack", acts().goto("I"));
+
+    // --- II_A ---
+    stall_core(b, "II_A");
+    b.cache_on_msg("II_A", "Put-Ack", acts().goto("I"));
+}
+
+/// The `*_AD` / `*_A` write-in-flight pair for family `fam` ("IM"/"SM"),
+/// including the deferred-forward companions in the nonblocking
+/// discipline. Unlike MSI, the directory never blocks, so multiple
+/// Fwd-GetS may pile up on a cache that is still waiting for data — the
+/// deferred-reader *set* absorbs them, and a trailing Fwd-GetM moves to
+/// the `_FSM` companion.
+fn write_in_flight(b: &mut ProtocolBuilder, disc: CacheDiscipline, fam: &str, from_i: bool) {
+    let ad = format!("{fam}_AD");
+    let a = format!("{fam}_A");
+
+    if from_i {
+        b.cache_stall_core(&ad, CoreOp::Load);
+        b.cache_stall_core(&a, CoreOp::Load);
+    } else {
+        b.cache_on_core(&ad, CoreOp::Load, acts());
+        b.cache_on_core(&a, CoreOp::Load, acts());
+    }
+    for s in [&ad, &a] {
+        b.cache_stall_core(s, CoreOp::Store);
+        b.cache_stall_core(s, CoreOp::Evict);
+    }
+
+    b.cache_on_msg_if(&ad, "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if(&ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&a));
+    b.cache_on_msg(&ad, "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if(&a, "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+
+    if !from_i {
+        b.cache_on_msg(&ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD"));
+    }
+
+    match disc {
+        CacheDiscipline::Blocking => {
+            for s in [&ad, &a] {
+                b.cache_stall_msg(s, "Fwd-GetS");
+                b.cache_stall_msg(s, "Fwd-GetM");
+            }
+        }
+        CacheDiscipline::NonBlocking => {
+            let fs = |st: &str| format!("{st}_FS");
+            let fm = |st: &str| format!("{st}_FM");
+            let fsm = |st: &str| format!("{st}_FSM");
+
+            b.cache_on_msg(&ad, "Fwd-GetS", acts().record_reader().goto(&fs(&ad)));
+            b.cache_on_msg(&ad, "Fwd-GetM", acts().record_writer().goto(&fm(&ad)));
+            b.cache_on_msg(&a, "Fwd-GetS", acts().record_reader().goto(&fs(&a)));
+            b.cache_on_msg(&a, "Fwd-GetM", acts().record_writer().goto(&fm(&a)));
+
+            for st in [&ad, &a] {
+                for k in [fs(st), fm(st), fsm(st)] {
+                    stall_core(b, &k);
+                }
+                // More readers can pile up while deferring; a writer ends
+                // the pile (ownership moves with it at the directory).
+                b.cache_on_msg(&fs(st), "Fwd-GetS", acts().record_reader());
+                b.cache_on_msg(&fs(st), "Fwd-GetM", acts().record_writer().goto(&fsm(st)));
+            }
+
+            // Completion action sets. Serving deferred readers keeps
+            // ownership (→ O); serving a deferred writer surrenders the
+            // line (→ I).
+            let complete_fs = || acts().send_data("Data", Target::Readers).goto("O");
+            let complete_fm =
+                || acts().send_data_acks_stored("Data", Target::Writer).goto("I");
+            let complete_fsm = || {
+                acts()
+                    .send_data("Data", Target::Readers)
+                    .send_data_acks_stored("Data", Target::Writer)
+                    .goto("I")
+            };
+
+            for (kind, complete) in [
+                ("FS", &complete_fs as &dyn Fn() -> Acts),
+                ("FM", &complete_fm),
+                ("FSM", &complete_fsm),
+            ] {
+                let ad_k = format!("{ad}_{kind}");
+                let a_k = format!("{a}_{kind}");
+                let mut done = complete();
+                let mut to_a = acts().add_acks_from_msg().goto(&a_k);
+                // Data while deferring: zero acks completes now, positive
+                // moves to the _A companion.
+                let mut done_now = complete();
+                done_now = prepend_add_acks(done_now);
+                b.cache_on_msg_if(&ad_k, "Data", Guard::AckZero, done_now);
+                b.cache_on_msg_if(&ad_k, "Data", Guard::AckPositive, std::mem::take(&mut to_a));
+                b.cache_on_msg(&ad_k, "Inv-Ack", acts().dec_needed_acks());
+                b.cache_on_msg_if(&a_k, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+                done = prepend_dec_acks(done);
+                b.cache_on_msg_if(&a_k, "Inv-Ack", Guard::LastAck, done);
+            }
+
+            if !from_i {
+                // Inv demotes a sharer-originated write, keeping the
+                // deferred forwards.
+                for kind in ["FS", "FM", "FSM"] {
+                    let from = format!("{fam}_AD_{kind}");
+                    let to = format!("IM_AD_{kind}");
+                    b.cache_on_msg(&from, "Inv", acts().send("Inv-Ack", Target::Req).goto(&to));
+                }
+            }
+        }
+    }
+}
+
+fn prepend_add_acks(a: Acts) -> Acts {
+    // Acts are append-only; rebuild with the bookkeeping step in front by
+    // exploiting that ack arithmetic commutes with the sends.
+    acts().add_acks_from_msg().extend(a)
+}
+
+fn prepend_dec_acks(a: Acts) -> Acts {
+    acts().dec_needed_acks().extend(a)
+}
+
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "O", "M"]);
+    b.dir_initial("I");
+
+    // --- I ---
+    b.dir_on_msg(
+        "I",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers().goto("S"),
+    );
+    b.dir_on_msg(
+        "I",
+        "GetM",
+        acts().send_data_acks("Data", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg("I", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S ---
+    b.dir_on_msg(
+        "S",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers(),
+    );
+    b.dir_on_msg(
+        "S",
+        "GetM",
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::NotLastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::LastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- O --- (an owner cache plus possible sharers; never blocks)
+    b.dir_on_msg(
+        "O",
+        "GetS",
+        acts().send("Fwd-GetS", Target::Owner).add_req_to_sharers(),
+    );
+    // Owner upgrade: the data response carries the ack count; the owner
+    // already has the data.
+    b.dir_on_msg_if(
+        "O",
+        "GetM",
+        Guard::ReqIsOwner,
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "GetM",
+        Guard::ReqNotOwner,
+        acts()
+            .send_acks_from_sharers("Fwd-GetM", Target::Owner)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg(
+        "O",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("S"),
+    );
+    b.dir_on_msg_if(
+        "O",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- M ---
+    b.dir_on_msg(
+        "M",
+        "GetS",
+        acts().send("Fwd-GetS", Target::Owner).add_req_to_sharers().goto("O"),
+    );
+    b.dir_on_msg_if(
+        "M",
+        "GetM",
+        Guard::ReqNotOwner,
+        acts().send_acks_from_sharers("Fwd-GetM", Target::Owner).set_owner_to_req(),
+    );
+    b.dir_on_msg("M", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::StateKind;
+
+    #[test]
+    fn both_variants_validate() {
+        mosi_blocking_cache().validate().unwrap();
+        mosi_nonblocking_cache().validate().unwrap();
+    }
+
+    #[test]
+    fn directory_has_no_transient_states() {
+        let p = mosi_blocking_cache();
+        assert!(p
+            .directory()
+            .states()
+            .iter()
+            .all(|s| s.kind == StateKind::Stable));
+        assert_eq!(p.directory().message_stalls().count(), 0);
+    }
+
+    #[test]
+    fn nonblocking_variant_has_no_stalls_at_all() {
+        let p = mosi_nonblocking_cache();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+        assert_eq!(p.directory().message_stalls().count(), 0);
+    }
+
+    #[test]
+    fn blocking_variant_stalls_forwards_in_om() {
+        let p = mosi_blocking_cache();
+        let om = p.cache().state_by_name("OM_AD").unwrap();
+        let fwd = p.message_by_name("Fwd-GetM").unwrap();
+        assert!(p
+            .cache()
+            .cell(om, crate::Trigger::msg(fwd))
+            .unwrap()
+            .is_stall());
+    }
+
+    #[test]
+    fn m_to_o_on_forwarded_read() {
+        let p = mosi_blocking_cache();
+        let m = p.cache().state_by_name("M").unwrap();
+        let o = p.cache().state_by_name("O").unwrap();
+        let fwd = p.message_by_name("Fwd-GetS").unwrap();
+        let cell = p.cache().cell(m, crate::Trigger::msg(fwd)).unwrap();
+        assert_eq!(cell.entry().unwrap().next, Some(o));
+    }
+
+    #[test]
+    fn deferred_reader_pileup_supported() {
+        let p = mosi_nonblocking_cache();
+        let fs = p.cache().state_by_name("IM_AD_FS").unwrap();
+        let fwd_s = p.message_by_name("Fwd-GetS").unwrap();
+        // More readers can be absorbed without leaving the state.
+        let cell = p.cache().cell(fs, crate::Trigger::msg(fwd_s)).unwrap();
+        assert_eq!(cell.entry().unwrap().next, None);
+        // A writer moves to the FSM companion.
+        let fwd_m = p.message_by_name("Fwd-GetM").unwrap();
+        let fsm = p.cache().state_by_name("IM_AD_FSM").unwrap();
+        let cell = p.cache().cell(fs, crate::Trigger::msg(fwd_m)).unwrap();
+        assert_eq!(cell.entry().unwrap().next, Some(fsm));
+    }
+}

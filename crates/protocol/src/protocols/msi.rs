@@ -1,0 +1,470 @@
+//! The MSI directory protocol of Nagarajan et al. (Figures 1–2 of the
+//! paper), in both cache disciplines.
+//!
+//! The *blocking-cache* variant is the verbatim textbook protocol: caches
+//! stall forwarded requests (Fwd-GetS/Fwd-GetM) and invalidations received
+//! in transient states. As the paper shows (§III-A), with multiple
+//! directories this protocol has a `waits` cycle
+//! `Fwd-GetM —waits→ Fwd-GetM` and is therefore **Class 2**: it deadlocks
+//! no matter how messages are mapped to VNs.
+//!
+//! The *nonblocking-cache* variant defers forwarded requests instead:
+//! each `IM/SM`-family transient state gets `…_FS` / `…_FM` companions
+//! that remember the forward's requestor and serve it when the in-flight
+//! write completes. The directory is unchanged (it still blocks in `S_D`),
+//! so the protocol lands in Table I cell (5): **2 VNs** suffice, with
+//! requests on one VN and everything else on the other.
+
+use super::CacheDiscipline;
+use crate::builder::{acts, ProtocolBuilder};
+use crate::event::{CoreOp, Guard};
+use crate::message::MsgType;
+use crate::spec::ProtocolSpec;
+use crate::Target;
+
+/// Textbook MSI (paper Figures 1–2): blocking cache, sometimes-blocking
+/// directory. Table I experiment (6) — Class 2.
+pub fn msi_blocking_cache() -> ProtocolSpec {
+    build("MSI-blocking-cache", CacheDiscipline::Blocking)
+}
+
+/// MSI with a deferring (never-stalling) cache and the textbook
+/// sometimes-blocking directory. Table I experiment (5) — 2 VNs.
+pub fn msi_nonblocking_cache() -> ProtocolSpec {
+    build("MSI-nonblocking-cache", CacheDiscipline::NonBlocking)
+}
+
+fn build(name: &str, cache: CacheDiscipline) -> ProtocolSpec {
+    let mut b = ProtocolBuilder::new(name);
+
+    // Message vocabulary (Figure 1/2 column headers).
+    b.msg("GetS", MsgType::Request)
+        .msg("GetM", MsgType::Request)
+        .msg("PutS", MsgType::Request)
+        .msg("PutM", MsgType::Request)
+        .msg("Fwd-GetS", MsgType::FwdRequest)
+        .msg("Fwd-GetM", MsgType::FwdRequest)
+        .msg("Inv", MsgType::FwdRequest)
+        .msg("Put-Ack", MsgType::CtrlResponse)
+        .msg("Inv-Ack", MsgType::CtrlResponse)
+        .msg("Data", MsgType::DataResponse);
+
+    cache_table(&mut b, cache);
+    directory_table(&mut b);
+    b.build()
+}
+
+/// The cache controller (Figure 1), with the stall cells replaced by
+/// deferred-forward states in the nonblocking discipline.
+fn cache_table(b: &mut ProtocolBuilder, disc: CacheDiscipline) {
+    b.cache_stable(&["I", "S", "M"]);
+    b.cache_transient(&[
+        "IS_D", "IM_AD", "IM_A", "SM_AD", "SM_A", "MI_A", "SI_A", "II_A",
+    ]);
+    if disc == CacheDiscipline::NonBlocking {
+        // Deferred-forward companions: _FS = pending Fwd-GetS, _FM =
+        // pending Fwd-GetM; IS_D_I = invalidation acknowledged while the
+        // read's data is still in flight.
+        b.cache_transient(&[
+            "IS_D_I", "IM_AD_FS", "IM_AD_FM", "IM_A_FS", "IM_A_FM", "SM_AD_FS", "SM_AD_FM",
+            "SM_A_FS", "SM_A_FM",
+        ]);
+    }
+    b.cache_initial("I");
+
+    // --- I ---
+    b.cache_on_core("I", CoreOp::Load, acts().send("GetS", Target::Dir).goto("IS_D"));
+    b.cache_on_core("I", CoreOp::Store, acts().send("GetM", Target::Dir).goto("IM_AD"));
+    // A stale Inv can reach a cache in I: the cache was invalidated (or
+    // evicted) while the Inv was in flight — e.g. Put-Ack overtaking Inv
+    // on another VN ends the eviction before the Inv lands. Acking from
+    // I is always safe (nothing is held) and the requestor needs the ack.
+    b.cache_on_msg("I", "Inv", acts().send("Inv-Ack", Target::Req));
+
+    // --- IS_D ---
+    stall_core(b, "IS_D");
+    b.cache_on_msg_if("IS_D", "Data", Guard::AckZero, acts().goto("S"));
+    match disc {
+        CacheDiscipline::Blocking => {
+            b.cache_stall_msg("IS_D", "Inv");
+        }
+        CacheDiscipline::NonBlocking => {
+            b.cache_on_msg("IS_D", "Inv", acts().send("Inv-Ack", Target::Req).goto("IS_D_I"));
+            stall_core(b, "IS_D_I");
+            // Use the data once for the pending load, then invalidate.
+            b.cache_on_msg_if("IS_D_I", "Data", Guard::AckZero, acts().goto("I"));
+        }
+    }
+
+    // --- IM_AD / IM_A (write in flight from I) ---
+    write_in_flight(b, disc, "IM_AD", "IM_A", WriteFlavor::FromI);
+
+    // --- S ---
+    b.cache_on_core("S", CoreOp::Load, acts());
+    b.cache_on_core("S", CoreOp::Store, acts().send("GetM", Target::Dir).goto("SM_AD"));
+    b.cache_on_core("S", CoreOp::Evict, acts().send("PutS", Target::Dir).goto("SI_A"));
+    b.cache_on_msg("S", "Inv", acts().send("Inv-Ack", Target::Req).goto("I"));
+
+    // --- SM_AD / SM_A (write in flight from S) ---
+    write_in_flight(b, disc, "SM_AD", "SM_A", WriteFlavor::FromS);
+
+    // --- M ---
+    b.cache_on_core("M", CoreOp::Load, acts());
+    b.cache_on_core("M", CoreOp::Store, acts());
+    b.cache_on_core("M", CoreOp::Evict, acts().send_data("PutM", Target::Dir).goto("MI_A"));
+    b.cache_on_msg(
+        "M",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("S"),
+    );
+    b.cache_on_msg("M", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("I"));
+
+    // --- MI_A ---
+    stall_core(b, "MI_A");
+    b.cache_on_msg(
+        "MI_A",
+        "Fwd-GetS",
+        acts()
+            .send_data("Data", Target::Req)
+            .send_data("Data", Target::Dir)
+            .goto("SI_A"),
+    );
+    b.cache_on_msg("MI_A", "Fwd-GetM", acts().send_data("Data", Target::Req).goto("II_A"));
+    b.cache_on_msg("MI_A", "Put-Ack", acts().goto("I"));
+
+    // --- SI_A ---
+    stall_core(b, "SI_A");
+    b.cache_on_msg("SI_A", "Inv", acts().send("Inv-Ack", Target::Req).goto("II_A"));
+    b.cache_on_msg("SI_A", "Put-Ack", acts().goto("I"));
+
+    // --- II_A ---
+    stall_core(b, "II_A");
+    b.cache_on_msg("II_A", "Put-Ack", acts().goto("I"));
+}
+
+#[derive(PartialEq, Clone, Copy)]
+enum WriteFlavor {
+    /// From I: the cache is not a sharer, so no Inv can target it in the
+    /// AD state... except when demoted from SM_AD (handled there).
+    FromI,
+    /// From S: the cache is still a sharer; an Inv demotes the write to
+    /// the from-I flavor and loads still hit.
+    FromS,
+}
+
+/// Emits the `*_AD` / `*_A` pair (and, for the nonblocking discipline,
+/// their `_FS`/`_FM` companions) for a write in flight.
+fn write_in_flight(b: &mut ProtocolBuilder, disc: CacheDiscipline, ad: &str, a: &str, flavor: WriteFlavor) {
+    // Core-event columns.
+    match flavor {
+        WriteFlavor::FromI => {
+            b.cache_stall_core(ad, CoreOp::Load);
+            b.cache_stall_core(a, CoreOp::Load);
+        }
+        WriteFlavor::FromS => {
+            b.cache_on_core(ad, CoreOp::Load, acts());
+            b.cache_on_core(a, CoreOp::Load, acts());
+        }
+    }
+    for s in [ad, a] {
+        b.cache_stall_core(s, CoreOp::Store);
+        b.cache_stall_core(s, CoreOp::Evict);
+    }
+
+    // Ack bookkeeping (identical in both disciplines).
+    b.cache_on_msg_if(ad, "Data", Guard::AckZero, acts().add_acks_from_msg().goto("M"));
+    b.cache_on_msg_if(ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(a));
+    b.cache_on_msg(ad, "Inv-Ack", acts().dec_needed_acks());
+    b.cache_on_msg_if(a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+    b.cache_on_msg_if(a, "Inv-Ack", Guard::LastAck, acts().dec_needed_acks().goto("M"));
+
+    // Inv (only when the write started from S: the cache is a sharer).
+    if flavor == WriteFlavor::FromS {
+        let demoted_ad = "IM_AD";
+        let demoted_a = "IM_A";
+        b.cache_on_msg(ad, "Inv", acts().send("Inv-Ack", Target::Req).goto(demoted_ad));
+        // Inv cannot reach the A state in MSI: the directory sent our data
+        // with the ack count at the same time it sent the Invs, and it has
+        // recorded us as owner since — nothing re-adds us to sharers.
+        let _ = demoted_a;
+    }
+
+    // Forwarded requests.
+    match disc {
+        CacheDiscipline::Blocking => {
+            for s in [ad, a] {
+                b.cache_stall_msg(s, "Fwd-GetS");
+                b.cache_stall_msg(s, "Fwd-GetM");
+            }
+        }
+        CacheDiscipline::NonBlocking => {
+            let fs_ad = format!("{ad}_FS");
+            let fm_ad = format!("{ad}_FM");
+            let fs_a = format!("{a}_FS");
+            let fm_a = format!("{a}_FM");
+            b.cache_on_msg(ad, "Fwd-GetS", acts().record_reader().goto(&fs_ad));
+            b.cache_on_msg(ad, "Fwd-GetM", acts().record_writer().goto(&fm_ad));
+            b.cache_on_msg(a, "Fwd-GetS", acts().record_reader().goto(&fs_a));
+            b.cache_on_msg(a, "Fwd-GetM", acts().record_writer().goto(&fm_a));
+
+            for s in [&fs_ad, &fm_ad, &fs_a, &fm_a] {
+                stall_core(b, s);
+            }
+
+            // Pending Fwd-GetS: complete the write, then serve the read —
+            // data to the stored requestor and to the directory (which is
+            // blocked in S_D waiting for it), ending in S.
+            let serve_s = || {
+                acts()
+                    .add_acks_from_msg()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S")
+            };
+            b.cache_on_msg_if(&fs_ad, "Data", Guard::AckZero, serve_s());
+            b.cache_on_msg_if(&fs_ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&fs_a));
+            b.cache_on_msg(&fs_ad, "Inv-Ack", acts().dec_needed_acks());
+            b.cache_on_msg_if(&fs_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                &fs_a,
+                "Inv-Ack",
+                Guard::LastAck,
+                acts()
+                    .dec_needed_acks()
+                    .send_data("Data", Target::Readers)
+                    .send_data("Data", Target::Dir)
+                    .goto("S"),
+            );
+
+            // Pending Fwd-GetM: complete the write, then hand the line to
+            // the stored requestor, ending in I.
+            b.cache_on_msg_if(
+                &fm_ad,
+                "Data",
+                Guard::AckZero,
+                acts()
+                    .add_acks_from_msg()
+                    .send_data("Data", Target::Writer)
+                    .goto("I"),
+            );
+            b.cache_on_msg_if(&fm_ad, "Data", Guard::AckPositive, acts().add_acks_from_msg().goto(&fm_a));
+            b.cache_on_msg(&fm_ad, "Inv-Ack", acts().dec_needed_acks());
+            b.cache_on_msg_if(&fm_a, "Inv-Ack", Guard::NotLastAck, acts().dec_needed_acks());
+            b.cache_on_msg_if(
+                &fm_a,
+                "Inv-Ack",
+                Guard::LastAck,
+                acts()
+                    .dec_needed_acks()
+                    .send_data("Data", Target::Writer)
+                    .goto("I"),
+            );
+
+            // A sharer-originated write that was demoted by an Inv while a
+            // forward is pending keeps the pending forward.
+            if flavor == WriteFlavor::FromS {
+                b.cache_on_msg(&fs_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FS"));
+                b.cache_on_msg(&fm_ad, "Inv", acts().send("Inv-Ack", Target::Req).goto("IM_AD_FM"));
+            }
+        }
+    }
+}
+
+fn stall_core(b: &mut ProtocolBuilder, state: &str) {
+    b.cache_stall_core(state, CoreOp::Load);
+    b.cache_stall_core(state, CoreOp::Store);
+    b.cache_stall_core(state, CoreOp::Evict);
+}
+
+/// The directory controller (Figure 2) — identical in both disciplines.
+fn directory_table(b: &mut ProtocolBuilder) {
+    b.dir_stable(&["I", "S", "M"]);
+    b.dir_transient(&["S_D"]);
+    b.dir_initial("I");
+
+    // --- I ---
+    b.dir_on_msg(
+        "I",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers().goto("S"),
+    );
+    b.dir_on_msg(
+        "I",
+        "GetM",
+        acts().send_data_acks("Data", Target::Req).set_owner_to_req().goto("M"),
+    );
+    b.dir_on_msg("I", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if("I", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S ---
+    b.dir_on_msg(
+        "S",
+        "GetS",
+        acts().send_data("Data", Target::Req).add_req_to_sharers(),
+    );
+    b.dir_on_msg(
+        "S",
+        "GetM",
+        acts()
+            .send_data_acks("Data", Target::Req)
+            .to_sharers("Inv")
+            .clear_sharers()
+            .set_owner_to_req()
+            .goto("M"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::NotLastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutS",
+        Guard::LastSharer,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if(
+        "S",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+
+    // --- M ---
+    b.dir_on_msg(
+        "M",
+        "GetS",
+        acts()
+            .send("Fwd-GetS", Target::Owner)
+            .add_req_to_sharers()
+            .add_owner_to_sharers()
+            .clear_owner()
+            .goto("S_D"),
+    );
+    b.dir_on_msg(
+        "M",
+        "GetM",
+        acts().send("Fwd-GetM", Target::Owner).set_owner_to_req(),
+    );
+    b.dir_on_msg("M", "PutS", acts().send("Put-Ack", Target::Req));
+    b.dir_on_msg_if(
+        "M",
+        "PutM",
+        Guard::FromOwner,
+        acts().copy_to_mem().clear_owner().send("Put-Ack", Target::Req).goto("I"),
+    );
+    b.dir_on_msg_if("M", "PutM", Guard::NotFromOwner, acts().send("Put-Ack", Target::Req));
+
+    // --- S_D --- (the sometimes-blocking state)
+    b.dir_stall_msg("S_D", "GetS");
+    b.dir_stall_msg("S_D", "GetM");
+    b.dir_on_msg(
+        "S_D",
+        "PutS",
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg_if(
+        "S_D",
+        "PutM",
+        Guard::NotFromOwner,
+        acts().remove_req_from_sharers().send("Put-Ack", Target::Req),
+    );
+    b.dir_on_msg("S_D", "Data", acts().copy_to_mem().goto("S"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Trigger;
+    use crate::spec::ControllerKind;
+
+    #[test]
+    fn blocking_variant_matches_figure_1_stalls() {
+        let p = msi_blocking_cache();
+        let fwd_getm = p.message_by_name("Fwd-GetM").unwrap();
+        let im_ad = p.cache().state_by_name("IM_AD").unwrap();
+        assert!(p
+            .cache()
+            .cell(im_ad, Trigger::msg(fwd_getm))
+            .unwrap()
+            .is_stall());
+        let is_d = p.cache().state_by_name("IS_D").unwrap();
+        let inv = p.message_by_name("Inv").unwrap();
+        assert!(p.cache().cell(is_d, Trigger::msg(inv)).unwrap().is_stall());
+    }
+
+    #[test]
+    fn nonblocking_variant_never_stalls_cache_messages() {
+        let p = msi_nonblocking_cache();
+        assert_eq!(p.cache().message_stalls().count(), 0);
+        // ... but the directory still blocks in S_D.
+        assert_eq!(p.directory().message_stalls().count(), 2);
+    }
+
+    #[test]
+    fn directory_blocks_gets_and_getm_in_sd() {
+        let p = msi_blocking_cache();
+        let sd = p.directory().state_by_name("S_D").unwrap();
+        let stalled: Vec<String> = p
+            .directory()
+            .message_stalls()
+            .filter(|(s, _)| *s == sd)
+            .map(|(_, m)| p.message_name(m).to_string())
+            .collect();
+        assert_eq!(stalled, vec!["GetS".to_string(), "GetM".to_string()]);
+    }
+
+    #[test]
+    fn both_variants_validate() {
+        msi_blocking_cache().validate().unwrap();
+        msi_nonblocking_cache().validate().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_adds_deferred_states() {
+        let p = msi_nonblocking_cache();
+        for s in ["IM_AD_FS", "IM_AD_FM", "SM_A_FM", "IS_D_I"] {
+            assert!(p.cache().state_by_name(s).is_some(), "missing {s}");
+        }
+        let pb = msi_blocking_cache();
+        assert!(pb.cache().state_by_name("IM_AD_FS").is_none());
+    }
+
+    #[test]
+    fn message_types_match_primer() {
+        let p = msi_blocking_cache();
+        for (name, ty) in [
+            ("GetS", MsgType::Request),
+            ("PutM", MsgType::Request),
+            ("Fwd-GetS", MsgType::FwdRequest),
+            ("Inv", MsgType::FwdRequest),
+            ("Data", MsgType::DataResponse),
+            ("Inv-Ack", MsgType::CtrlResponse),
+        ] {
+            let m = p.message_by_name(name).unwrap();
+            assert_eq!(p.message(m).mtype, ty, "{name}");
+        }
+    }
+
+    #[test]
+    fn data_received_by_both_controller_kinds() {
+        let p = msi_blocking_cache();
+        let data = p.message_by_name("Data").unwrap();
+        let r = p.receivers_of(data);
+        assert!(r.contains(&ControllerKind::Cache));
+        assert!(r.contains(&ControllerKind::Directory));
+    }
+
+    #[test]
+    fn fwd_gets_in_m_sends_data_twice() {
+        let p = msi_blocking_cache();
+        let m = p.cache().state_by_name("M").unwrap();
+        let fwd = p.message_by_name("Fwd-GetS").unwrap();
+        let cell = p.cache().cell(m, Trigger::msg(fwd)).unwrap();
+        assert_eq!(cell.entry().unwrap().sends().count(), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! The top-level protocol specification.
+
+use crate::message::{MessageDef, MsgId, MsgType};
+use crate::table::ControllerSpec;
+use crate::validate::{validate_spec, ValidationError};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which side of the protocol a controller implements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ControllerKind {
+    /// A private cache controller.
+    Cache,
+    /// A directory (home) controller.
+    Directory,
+}
+
+impl fmt::Display for ControllerKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ControllerKind::Cache => f.write_str("cache"),
+            ControllerKind::Directory => f.write_str("directory"),
+        }
+    }
+}
+
+/// A complete protocol: message vocabulary plus the two controller tables.
+#[derive(Debug, Clone)]
+pub struct ProtocolSpec {
+    name: String,
+    messages: Vec<MessageDef>,
+    cache: ControllerSpec,
+    directory: ControllerSpec,
+}
+
+impl ProtocolSpec {
+    /// Assembles a specification. Prefer [`crate::ProtocolBuilder`] for
+    /// hand-written protocols.
+    pub fn new(
+        name: impl Into<String>,
+        messages: Vec<MessageDef>,
+        cache: ControllerSpec,
+        directory: ControllerSpec,
+    ) -> Self {
+        ProtocolSpec {
+            name: name.into(),
+            messages,
+            cache,
+            directory,
+        }
+    }
+
+    /// The protocol's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The message vocabulary, indexable by [`MsgId`].
+    pub fn messages(&self) -> &[MessageDef] {
+        &self.messages
+    }
+
+    /// The definition of `msg`.
+    pub fn message(&self, msg: MsgId) -> &MessageDef {
+        &self.messages[msg.0]
+    }
+
+    /// The name of `msg` (convenience for reports).
+    pub fn message_name(&self, msg: MsgId) -> &str {
+        &self.messages[msg.0].name
+    }
+
+    /// Looks up a message id by name.
+    pub fn message_by_name(&self, name: &str) -> Option<MsgId> {
+        self.messages
+            .iter()
+            .position(|m| m.name == name)
+            .map(MsgId)
+    }
+
+    /// Iterates over all message ids.
+    pub fn message_ids(&self) -> impl Iterator<Item = MsgId> {
+        (0..self.messages.len()).map(MsgId)
+    }
+
+    /// The cache controller table.
+    pub fn cache(&self) -> &ControllerSpec {
+        &self.cache
+    }
+
+    /// The directory controller table.
+    pub fn directory(&self) -> &ControllerSpec {
+        &self.directory
+    }
+
+    /// The controller table for `kind`.
+    pub fn controller(&self, kind: ControllerKind) -> &ControllerSpec {
+        match kind {
+            ControllerKind::Cache => &self.cache,
+            ControllerKind::Directory => &self.directory,
+        }
+    }
+
+    /// The controller kinds at which `msg` has at least one table column
+    /// (i.e. the controllers that can *receive* it).
+    pub fn receivers_of(&self, msg: MsgId) -> BTreeSet<ControllerKind> {
+        let mut kinds = BTreeSet::new();
+        for (kind, ctrl) in [
+            (ControllerKind::Cache, &self.cache),
+            (ControllerKind::Directory, &self.directory),
+        ] {
+            let received = ctrl
+                .iter()
+                .any(|(_, t, _)| t.message() == Some(msg));
+            if received {
+                kinds.insert(kind);
+            }
+        }
+        kinds
+    }
+
+    /// The message names of a given type.
+    pub fn messages_of_type(&self, mtype: MsgType) -> Vec<MsgId> {
+        self.message_ids()
+            .filter(|&m| self.message(m).mtype == mtype)
+            .collect()
+    }
+
+    /// The set of messages that appear *stalled* in some table cell —
+    /// the "stallable" messages of the `queues` relation (paper §IV-E).
+    pub fn stallable_messages(&self) -> BTreeSet<MsgId> {
+        self.cache
+            .message_stalls()
+            .chain(self.directory.message_stalls())
+            .map(|(_, m)| m)
+            .collect()
+    }
+
+    /// Structural validation; see [`crate::validate`] for the checked
+    /// properties.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ValidationError`] found.
+    pub fn validate(&self) -> Result<(), ValidationError> {
+        validate_spec(self)
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "protocol {} ({} messages, {} cache states, {} directory states)",
+            self.name,
+            self.messages.len(),
+            self.cache.states().len(),
+            self.directory.states().len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols;
+
+    #[test]
+    fn msi_lookup_round_trips() {
+        let p = protocols::msi_blocking_cache();
+        let gets = p.message_by_name("GetS").unwrap();
+        assert_eq!(p.message_name(gets), "GetS");
+        assert_eq!(p.message(gets).mtype, MsgType::Request);
+    }
+
+    #[test]
+    fn receivers_derived_from_tables() {
+        let p = protocols::msi_blocking_cache();
+        let gets = p.message_by_name("GetS").unwrap();
+        let data = p.message_by_name("Data").unwrap();
+        let fwd = p.message_by_name("Fwd-GetM").unwrap();
+        assert_eq!(
+            p.receivers_of(gets),
+            [ControllerKind::Directory].into_iter().collect()
+        );
+        // Data is received by both caches (responses) and the directory
+        // (writeback of S^D).
+        assert_eq!(p.receivers_of(data).len(), 2);
+        assert_eq!(
+            p.receivers_of(fwd),
+            [ControllerKind::Cache].into_iter().collect()
+        );
+    }
+
+    #[test]
+    fn stallable_messages_of_textbook_msi() {
+        let p = protocols::msi_blocking_cache();
+        let stallable = p.stallable_messages();
+        let name = |m: &MsgId| p.message_name(*m).to_string();
+        let names: Vec<String> = stallable.iter().map(name).collect();
+        // Cache stalls Fwd-GetS/Fwd-GetM/Inv; directory stalls GetS/GetM.
+        assert!(names.contains(&"GetS".to_string()));
+        assert!(names.contains(&"GetM".to_string()));
+        assert!(names.contains(&"Fwd-GetM".to_string()));
+        assert!(names.contains(&"Fwd-GetS".to_string()));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let p = protocols::msi_blocking_cache();
+        assert!(p.to_string().contains("MSI"));
+    }
+
+    #[test]
+    fn messages_of_type_partition() {
+        let p = protocols::msi_blocking_cache();
+        let total: usize = MsgType::all()
+            .iter()
+            .map(|&t| p.messages_of_type(t).len())
+            .sum();
+        assert_eq!(total, p.messages().len());
+    }
+}

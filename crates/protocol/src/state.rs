@@ -1,0 +1,83 @@
+//! Controller states.
+//!
+//! States are *stable* (I, S, M, O, E, …) or *transient* (IS^D, IM^AD,
+//! S^D, busy states, …). The distinction drives the `stalls`-relation
+//! extraction (paper §IV-D): a stall always happens in a transient state,
+//! and the message that initiated the in-flight transaction is found by
+//! walking back from the transient state to a stable one.
+
+use std::fmt;
+
+/// Index of a state within one controller's table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub usize);
+
+impl StateId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Whether a state is stable or transient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StateKind {
+    /// A quiescent state with no transaction in flight.
+    Stable,
+    /// A state with an in-flight transaction (superscripted in the
+    /// textbook notation: IS^D, IM^AD, S^D, …).
+    Transient,
+}
+
+/// Definition of one controller state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StateDef {
+    /// Human-readable name ("I", "IM_AD", "S_D", …).
+    pub name: String,
+    /// Stable or transient.
+    pub kind: StateKind,
+}
+
+impl StateDef {
+    /// Creates a state definition.
+    pub fn new(name: impl Into<String>, kind: StateKind) -> Self {
+        StateDef {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// Returns `true` if the state is transient.
+    pub fn is_transient(&self) -> bool {
+        self.kind == StateKind::Transient
+    }
+}
+
+impl fmt::Display for StateDef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transient_flag() {
+        assert!(StateDef::new("IM_AD", StateKind::Transient).is_transient());
+        assert!(!StateDef::new("I", StateKind::Stable).is_transient());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(StateDef::new("S_D", StateKind::Transient).to_string(), "S_D");
+        assert_eq!(StateId(2).to_string(), "s2");
+    }
+}

@@ -1,0 +1,83 @@
+//! Robustness: the DSL parser must reject garbage gracefully (error,
+//! never panic), and must never produce a spec that fails validation's
+//! structural guarantees silently.
+
+use proptest::prelude::*;
+use vnet_protocol::dsl;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary text never panics the parser.
+    #[test]
+    fn arbitrary_text_never_panics(s in "\\PC{0,400}") {
+        let _ = dsl::parse(&s);
+    }
+
+    /// Line-shaped garbage built from the grammar's own keywords never
+    /// panics and, when it parses, round-trips.
+    #[test]
+    fn keyword_soup_never_panics(
+        lines in proptest::collection::vec(
+            proptest::sample::select(vec![
+                "protocol p",
+                "message Get req",
+                "message Dat data",
+                "message Fwd fwd",
+                "cache-states stable: I V",
+                "cache-states transient: IV",
+                "dir-states stable: I",
+                "cache-initial I",
+                "dir-initial I",
+                "cache I Load = send Get Dir; -> IV",
+                "cache IV Dat[ack=0] = -> V",
+                "cache IV Get = stall",
+                "dir I Get = send Dat Req data",
+                "dir I Dat = stall",
+                "cache I Load = bogus action",
+                "cache Z Load = send Get Dir",
+                "dir I Nope = stall",
+                "# comment",
+                "",
+            ]),
+            0..20,
+        )
+    ) {
+        let text = lines.join("\n");
+        if let Ok(spec) = dsl::parse(&text) {
+            // Anything that parses must re-serialize and re-parse to the
+            // same structure.
+            let round = dsl::to_text(&spec);
+            let again = dsl::parse(&round).expect("round trip of parsed spec");
+            prop_assert_eq!(dsl::to_text(&again), round);
+        }
+    }
+
+    /// Mutating a valid spec's text (deleting one line) never panics.
+    #[test]
+    fn line_deletion_never_panics(which in 0usize..200) {
+        let base = dsl::to_text(&vnet_protocol::protocols::msi_blocking_cache());
+        let lines: Vec<&str> = base.lines().collect();
+        let idx = which % lines.len();
+        let mutated: Vec<&str> = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != idx)
+            .map(|(_, l)| *l)
+            .collect();
+        let _ = dsl::parse(&mutated.join("\n"));
+    }
+}
+
+#[test]
+fn truncated_specs_error_not_panic() {
+    let base = dsl::to_text(&vnet_protocol::protocols::chi());
+    for cut in (0..base.len()).step_by(97) {
+        // Cut at a char boundary.
+        let mut end = cut;
+        while !base.is_char_boundary(end) {
+            end += 1;
+        }
+        let _ = dsl::parse(&base[..end]);
+    }
+}

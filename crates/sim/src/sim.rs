@@ -1,0 +1,531 @@
+//! The cycle-based simulator.
+
+use crate::stats::{SimReport, StatsAccum};
+use crate::topology::Topology;
+use crate::workload::Workload;
+use std::collections::VecDeque;
+use vnet_mc::exec::{deliver, inject, Firing};
+use vnet_mc::{GlobalState, IcnOrder, InjectionBudget, McConfig, Msg, Node, VnMap};
+use vnet_protocol::{Cell, ProtocolSpec, StateId, Trigger};
+
+/// Simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The router topology. The first `nodes − n_dirs` routers host
+    /// caches; the rest host directories.
+    pub topology: Topology,
+    /// Number of addresses.
+    pub n_addrs: usize,
+    /// Number of directories.
+    pub n_dirs: usize,
+    /// Message → VN mapping.
+    pub vns: VnMap,
+    /// Per-(link, VN) FIFO depth.
+    pub buffer_depth: usize,
+    /// Cycles without any progress (while work is in flight) before the
+    /// run is declared deadlocked.
+    pub watchdog: u64,
+    /// gem5-Ruby-style relaxed FIFOs (paper §VIII): a stalled message at
+    /// the head of an input FIFO is recirculated to its tail, letting
+    /// younger messages bypass it. Avoids many VN deadlocks at the cost
+    /// of breaking per-VN point-to-point ordering.
+    pub recirculate: bool,
+}
+
+impl SimConfig {
+    /// A default configuration with the textbook 3-VN mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless the topology has more than `n_dirs` nodes and the
+    /// cache count fits the checker's 8-cache bitmask limit.
+    pub fn new(spec: &ProtocolSpec, topology: Topology, n_addrs: usize, n_dirs: usize) -> Self {
+        assert!(topology.nodes() > n_dirs, "need at least one cache node");
+        assert!(topology.nodes() - n_dirs <= 8, "at most 8 caches");
+        SimConfig {
+            topology,
+            n_addrs,
+            n_dirs,
+            vns: VnMap::textbook(spec),
+            buffer_depth: 2,
+            watchdog: 1_000,
+            recirculate: false,
+        }
+    }
+
+    /// Overrides the VN mapping.
+    pub fn with_vns(mut self, vns: VnMap) -> Self {
+        self.vns = vns;
+        self
+    }
+
+    /// Overrides the per-(link, VN) buffer depth.
+    pub fn with_buffer_depth(mut self, depth: usize) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Enables Ruby-style head-of-line recirculation (see the field doc).
+    pub fn with_recirculation(mut self) -> Self {
+        self.recirculate = true;
+        self
+    }
+
+    /// Number of cache endpoints.
+    pub fn n_caches(&self) -> usize {
+        self.topology.nodes() - self.n_dirs
+    }
+
+    /// The buffer-cost proxy of §VI-C3: directed links × VNs × depth.
+    pub fn buffer_cost(&self) -> usize {
+        self.topology.links().len() * self.vns.n_vns() * self.buffer_depth
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InFlight {
+    msg: Msg,
+    moved_at: u64,
+}
+
+/// The simulator itself.
+#[derive(Debug)]
+pub struct Simulator {
+    spec: ProtocolSpec,
+    cfg: SimConfig,
+    mc_cfg: McConfig,
+    routing: Vec<Vec<usize>>,
+    links: Vec<(usize, usize)>,
+    /// `link_bufs[l * n_vns + v]`.
+    link_bufs: Vec<VecDeque<InFlight>>,
+    /// `input_fifos[node * n_vns + v]`.
+    input_fifos: Vec<VecDeque<InFlight>>,
+    /// Unbounded per-(node, VN) output (source) queues.
+    output_queues: Vec<VecDeque<InFlight>>,
+    state: GlobalState,
+    /// Per cache: the outstanding transaction `(addr, start_cycle)`.
+    outstanding: Vec<Option<(usize, u64)>>,
+}
+
+impl Simulator {
+    /// Builds a simulator for `spec` under `cfg`.
+    pub fn new(spec: ProtocolSpec, cfg: SimConfig) -> Self {
+        let n_caches = cfg.n_caches();
+        // The checker's executable semantics need an `McConfig` for
+        // endpoint counts and address homing; its ICN fields are unused
+        // here (the simulator provides the network).
+        let mc_cfg = McConfig {
+            n_caches,
+            n_addrs: cfg.n_addrs,
+            n_dirs: cfg.n_dirs,
+            vns: cfg.vns.clone(),
+            order: IcnOrder::Unordered,
+            global_capacity: 0,
+            endpoint_capacity: 0,
+            budget: InjectionBudget::PerCache(0),
+            max_states: 0,
+            max_depth: None,
+            swmr: None,
+            symmetry: false,
+        };
+        let state = GlobalState::initial(&spec, &mc_cfg);
+        let links = cfg.topology.links();
+        let n_vns = cfg.vns.n_vns();
+        let nodes = cfg.topology.nodes();
+        Simulator {
+            routing: cfg.topology.routing_table(),
+            link_bufs: vec![VecDeque::new(); links.len() * n_vns],
+            input_fifos: vec![VecDeque::new(); nodes * n_vns],
+            output_queues: vec![VecDeque::new(); nodes * n_vns],
+            links,
+            spec,
+            cfg,
+            mc_cfg,
+            state,
+            outstanding: vec![None; n_caches],
+        }
+    }
+
+    fn node_of(&self, ep: Node) -> usize {
+        match ep {
+            Node::Cache(c) => c as usize,
+            Node::Dir(d) => self.cfg.n_caches() + d as usize,
+        }
+    }
+
+    fn link_index(&self, from: usize, to: usize) -> usize {
+        self.links
+            .iter()
+            .position(|&l| l == (from, to))
+            .expect("link exists")
+    }
+
+    fn vn_of(&self, m: &Msg) -> usize {
+        self.cfg.vns.vn_of(vnet_protocol::MsgId(m.msg as usize))
+    }
+
+    fn occupancy(&self) -> usize {
+        self.link_bufs.iter().map(VecDeque::len).sum::<usize>()
+            + self.input_fifos.iter().map(VecDeque::len).sum::<usize>()
+            + self.output_queues.iter().map(VecDeque::len).sum::<usize>()
+    }
+
+    fn enqueue_sends(&mut self, src_node: usize, sends: Vec<Msg>, now: u64) {
+        for m in sends {
+            let vn = self.vn_of(&m);
+            self.output_queues[src_node * self.cfg.vns.n_vns() + vn]
+                .push_back(InFlight { msg: m, moved_at: now });
+        }
+    }
+
+    /// Runs `workload` for at most `max_cycles`. Consumes the simulator
+    /// (one run per instance keeps the state accounting simple).
+    pub fn run(mut self, mut workload: Workload, max_cycles: u64) -> SimReport {
+        let n_vns = self.cfg.vns.n_vns();
+        let n_caches = self.cfg.n_caches();
+        let nodes = self.cfg.topology.nodes();
+        let mut acc = StatsAccum::default();
+        let mut idle_cycles = 0u64;
+        let mut now = 0u64;
+        let mut deadlocked = false;
+        let mut model_error: Option<String> = None;
+
+        while now < max_cycles {
+            let mut progress = false;
+
+            // --- 1. injection ---
+            for c in 0..n_caches {
+                if self.outstanding[c].is_some() {
+                    continue;
+                }
+                let Some(&op) = workload.queues[c].first() else {
+                    continue;
+                };
+                if op.at > now {
+                    continue;
+                }
+                let line_state = self.state.caches[c][op.addr].state;
+                let cell = self
+                    .spec
+                    .cache()
+                    .cell(StateId(line_state as usize), Trigger::core(op.op));
+                match cell {
+                    None => {
+                        // Impossible op in this state (e.g. Evict in I):
+                        // drop it.
+                        workload.queues[c].remove(0);
+                        progress = true;
+                    }
+                    Some(Cell::Stall) => {} // retry next cycle
+                    Some(Cell::Entry(e)) if e.actions.is_empty() && e.next.is_none() => {
+                        // Hit: completes instantly.
+                        workload.queues[c].remove(0);
+                        acc.record_latency(0);
+                        progress = true;
+                    }
+                    Some(Cell::Entry(_)) => {
+                        let sends = inject(
+                            &self.spec,
+                            &self.mc_cfg,
+                            &mut self.state,
+                            c as u8,
+                            op.addr as u8,
+                            op.op,
+                        )
+                        .expect("entry verified above");
+                        workload.queues[c].remove(0);
+                        self.outstanding[c] = Some((op.addr, now));
+                        self.enqueue_sends(c, sends, now);
+                        progress = true;
+                    }
+                }
+            }
+
+            // --- 2. consumption (rotating VN priority for fairness) ---
+            for node in 0..nodes {
+                for k in 0..n_vns {
+                    let vn = (k + now as usize) % n_vns;
+                    let idx = node * n_vns + vn;
+                    let Some(&inflight) = self.input_fifos[idx].front() else {
+                        continue;
+                    };
+                    match deliver(&self.spec, &self.mc_cfg, &mut self.state, &inflight.msg) {
+                        Firing::Stalled => {
+                            // Ruby-style bypass: rotate the stalled head to
+                            // the tail so younger messages get a chance.
+                            if self.cfg.recirculate && self.input_fifos[idx].len() > 1 {
+                                let head = self.input_fifos[idx]
+                                    .pop_front()
+                                    .expect("nonempty checked");
+                                self.input_fifos[idx].push_back(head);
+                                // Rotation alone is not forward progress:
+                                // if only rotations happen for the whole
+                                // watchdog window, the run is wedged.
+                            }
+                        }
+                        Firing::Undefined => {
+                            // Specification bug: record and stop.
+                            let st = match inflight.msg.dst {
+                                Node::Cache(cc) => self
+                                    .spec
+                                    .cache()
+                                    .state(StateId(
+                                        self.state.caches[cc as usize]
+                                            [inflight.msg.addr as usize]
+                                            .state as usize,
+                                    ))
+                                    .name
+                                    .clone(),
+                                Node::Dir(_) => self
+                                    .spec
+                                    .directory()
+                                    .state(StateId(
+                                        self.state.dirs[inflight.msg.addr as usize].state
+                                            as usize,
+                                    ))
+                                    .name
+                                    .clone(),
+                            };
+                            model_error = Some(format!(
+                                "{} undefined in state {st}",
+                                inflight.msg.display(&self.spec)
+                            ));
+                        }
+                        Firing::Fired { sends } => {
+                            self.input_fifos[idx].pop_front();
+                            self.enqueue_sends(node, sends, now);
+                            progress = true;
+                        }
+                    }
+                }
+            }
+
+            // --- 3. output queues feed first links / local delivery ---
+            for node in 0..nodes {
+                for vn in 0..n_vns {
+                    let oq = node * n_vns + vn;
+                    let Some(&inflight) = self.output_queues[oq].front() else {
+                        continue;
+                    };
+                    if inflight.moved_at == now {
+                        continue; // entered this cycle; moves next cycle
+                    }
+                    let dst_node = self.node_of(inflight.msg.dst);
+                    if dst_node == node {
+                        self.input_fifos[oq].push_back(InFlight {
+                            moved_at: now,
+                            ..inflight
+                        });
+                        self.output_queues[oq].pop_front();
+                        progress = true;
+                        continue;
+                    }
+                    let hop = self.routing[node][dst_node];
+                    let li = self.link_index(node, hop) * n_vns + vn;
+                    if self.link_bufs[li].len() < self.cfg.buffer_depth {
+                        self.link_bufs[li].push_back(InFlight {
+                            moved_at: now,
+                            ..inflight
+                        });
+                        self.output_queues[oq].pop_front();
+                        progress = true;
+                    }
+                }
+            }
+
+            // --- 4. link advancement (one hop per cycle per flit) ---
+            for l in 0..self.links.len() {
+                let (_, to) = self.links[l];
+                for vn in 0..n_vns {
+                    let li = l * n_vns + vn;
+                    let Some(&inflight) = self.link_bufs[li].front() else {
+                        continue;
+                    };
+                    if inflight.moved_at == now {
+                        continue;
+                    }
+                    let dst_node = self.node_of(inflight.msg.dst);
+                    if to == dst_node {
+                        // Arrive: into the endpoint input FIFO (unbounded
+                        // at the endpoint, like the paper's model).
+                        self.input_fifos[to * n_vns + vn].push_back(InFlight {
+                            moved_at: now,
+                            ..inflight
+                        });
+                        self.link_bufs[li].pop_front();
+                        progress = true;
+                    } else {
+                        let hop = self.routing[to][dst_node];
+                        let next_li = self.link_index(to, hop) * n_vns + vn;
+                        if self.link_bufs[next_li].len() < self.cfg.buffer_depth {
+                            self.link_bufs[next_li].push_back(InFlight {
+                                moved_at: now,
+                                ..inflight
+                            });
+                            self.link_bufs[li].pop_front();
+                            progress = true;
+                        }
+                    }
+                }
+            }
+
+            // --- 5. transaction completion ---
+            for c in 0..n_caches {
+                if let Some((addr, start)) = self.outstanding[c] {
+                    let s = self.state.caches[c][addr].state;
+                    if !self.spec.cache().state(StateId(s as usize)).is_transient() {
+                        acc.record_latency(now - start + 1);
+                        self.outstanding[c] = None;
+                    }
+                }
+            }
+
+            acc.sample_occupancy(self.occupancy());
+            now += 1;
+            if model_error.is_some() {
+                break;
+            }
+
+            // --- 6. termination / watchdog ---
+            let work_left = self.occupancy() > 0
+                || self.outstanding.iter().any(Option::is_some)
+                || workload.queues.iter().any(|q| !q.is_empty());
+            if !work_left {
+                break;
+            }
+            if progress {
+                idle_cycles = 0;
+            } else {
+                idle_cycles += 1;
+                if idle_cycles >= self.cfg.watchdog {
+                    deadlocked = true;
+                    break;
+                }
+            }
+        }
+
+        let unfinished = workload.total_ops()
+            + self.outstanding.iter().filter(|o| o.is_some()).count();
+        acc.finish(
+            now,
+            unfinished,
+            deadlocked,
+            model_error,
+            n_vns,
+            self.cfg.buffer_cost(),
+        )
+    }
+}
+
+/// Convenience: derive the minimal VN mapping for `spec` via `vnet-core`
+/// and return it as a checker/simulator [`VnMap`], or `None` for Class-2
+/// protocols.
+pub fn minimal_vn_map(spec: &ProtocolSpec) -> Option<VnMap> {
+    let outcome = vnet_core::minimize_vns(spec);
+    outcome
+        .assignment()
+        .map(|a| VnMap::from_assignment(a, spec.messages().len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Op;
+    use vnet_protocol::{protocols, CoreOp};
+
+    #[test]
+    fn single_write_completes_on_ring() {
+        let spec = protocols::msi_nonblocking_cache();
+        let cfg = SimConfig::new(&spec, Topology::Ring(4), 1, 1);
+        let w = Workload::script(
+            3,
+            [Op { at: 0, cache: 0, addr: 0, op: CoreOp::Store }],
+        );
+        let r = Simulator::new(spec, cfg).run(w, 10_000);
+        assert!(!r.deadlocked);
+        assert_eq!(r.model_error, None);
+        assert_eq!(r.completed_transactions, 1);
+        assert!(r.avg_latency >= 4.0, "a write crosses the ring twice");
+        assert_eq!(r.unfinished_ops, 0);
+    }
+
+    #[test]
+    fn random_workload_completes_with_minimal_vns() {
+        let spec = protocols::msi_nonblocking_cache();
+        let vns = minimal_vn_map(&spec).expect("class 3");
+        let cfg = SimConfig::new(&spec, Topology::Mesh(2, 3), 2, 2).with_vns(vns);
+        let w = Workload::uniform_random(4, 2, 20, 7);
+        let r = Simulator::new(spec, cfg).run(w, 200_000);
+        assert!(!r.deadlocked, "minimal mapping must not wedge");
+        assert_eq!(r.model_error, None);
+        assert_eq!(r.unfinished_ops, 0);
+        assert!(r.completed_transactions > 0);
+    }
+
+    #[test]
+    fn chi_write_storm_flows_with_two_vns() {
+        let spec = protocols::chi();
+        let vns = minimal_vn_map(&spec).expect("class 3");
+        let cfg = SimConfig::new(&spec, Topology::Ring(5), 2, 2).with_vns(vns);
+        let w = Workload::write_storm(3, 2, 10, 3);
+        let r = Simulator::new(spec, cfg).run(w, 500_000);
+        assert!(!r.deadlocked);
+        assert_eq!(r.model_error, None);
+        assert_eq!(r.unfinished_ops, 0);
+        assert_eq!(r.n_vns, 2);
+    }
+
+    #[test]
+    fn buffer_cost_scales_with_vns() {
+        let spec = protocols::chi();
+        let two = SimConfig::new(&spec, Topology::Ring(5), 2, 2)
+            .with_vns(minimal_vn_map(&spec).unwrap());
+        let four = SimConfig::new(&spec, Topology::Ring(5), 2, 2).with_vns(VnMap::from_vns(
+            spec.messages()
+                .iter()
+                .enumerate()
+                .map(|(i, _)| i % 4)
+                .collect(),
+        ));
+        assert_eq!(four.buffer_cost(), 2 * two.buffer_cost());
+    }
+
+    #[test]
+    fn recirculation_substitutes_for_vns() {
+        // The §VIII observation: Ruby-style relaxed FIFOs let a single
+        // VN survive workloads that deadlock strict FIFOs.
+        let spec = protocols::msi_nonblocking_cache();
+        let single = VnMap::single(spec.messages().len());
+        // Seed 23 wedges the strict single-VN run (see vn_cost_sweep).
+        let strict = SimConfig::new(&spec, Topology::Mesh(3, 2), 2, 2)
+            .with_vns(single.clone());
+        let w = Workload::uniform_random(strict.n_caches(), 2, 40, 23);
+        let r = Simulator::new(spec.clone(), strict).run(w.clone(), 300_000);
+        assert!(r.deadlocked);
+
+        let relaxed = SimConfig::new(&spec, Topology::Mesh(3, 2), 2, 2)
+            .with_vns(single)
+            .with_recirculation();
+        let r = Simulator::new(spec.clone(), relaxed).run(w, 300_000);
+        assert!(!r.deadlocked, "recirculation should bypass the stall");
+        assert_eq!(r.model_error, None);
+        assert_eq!(r.unfinished_ops, 0);
+    }
+
+    #[test]
+    fn hits_complete_instantly() {
+        let spec = protocols::msi_nonblocking_cache();
+        let cfg = SimConfig::new(&spec, Topology::Ring(3), 1, 1);
+        // Load twice: miss then hit.
+        let w = Workload::script(
+            2,
+            [
+                Op { at: 0, cache: 0, addr: 0, op: CoreOp::Load },
+                Op { at: 0, cache: 0, addr: 0, op: CoreOp::Load },
+            ],
+        );
+        let r = Simulator::new(spec, cfg).run(w, 10_000);
+        assert_eq!(r.completed_transactions, 2);
+        assert!(!r.deadlocked);
+    }
+}

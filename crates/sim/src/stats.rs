@@ -1,0 +1,126 @@
+//! Simulation statistics and the final report.
+
+/// Aggregated results of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Transactions that completed (cache returned to a stable state).
+    pub completed_transactions: usize,
+    /// Operations that never issued or never completed.
+    pub unfinished_ops: usize,
+    /// `true` if the run wedged: in-flight work with no progress for the
+    /// watchdog window.
+    pub deadlocked: bool,
+    /// A controller received a message its table does not define — a
+    /// specification/modeling error, reported separately from deadlock.
+    pub model_error: Option<String>,
+    /// Mean transaction latency in cycles (completed transactions only).
+    pub avg_latency: f64,
+    /// 99th-percentile transaction latency.
+    pub p99_latency: u64,
+    /// Maximum observed total buffer occupancy (messages).
+    pub peak_occupancy: usize,
+    /// Mean buffer occupancy, sampled each cycle.
+    pub avg_occupancy: f64,
+    /// Number of VNs in the configuration.
+    pub n_vns: usize,
+    /// The buffer cost proxy: directed links × VNs × buffer depth —
+    /// the quantity the paper's PPA argument (§VI-C3) is about.
+    pub buffer_cost: usize,
+}
+
+/// Running accumulator used by the simulator.
+#[derive(Debug, Default)]
+pub struct StatsAccum {
+    pub(crate) latencies: Vec<u64>,
+    pub(crate) occupancy_sum: u128,
+    pub(crate) occupancy_samples: u64,
+    pub(crate) peak_occupancy: usize,
+}
+
+impl StatsAccum {
+    pub(crate) fn sample_occupancy(&mut self, occupancy: usize) {
+        self.occupancy_sum += occupancy as u128;
+        self.occupancy_samples += 1;
+        self.peak_occupancy = self.peak_occupancy.max(occupancy);
+    }
+
+    pub(crate) fn record_latency(&mut self, cycles: u64) {
+        self.latencies.push(cycles);
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish(
+        mut self,
+        cycles: u64,
+        unfinished_ops: usize,
+        deadlocked: bool,
+        model_error: Option<String>,
+        n_vns: usize,
+        buffer_cost: usize,
+    ) -> SimReport {
+        self.latencies.sort_unstable();
+        let completed = self.latencies.len();
+        let avg = if completed == 0 {
+            0.0
+        } else {
+            self.latencies.iter().sum::<u64>() as f64 / completed as f64
+        };
+        let p99 = if completed == 0 {
+            0
+        } else {
+            self.latencies[(completed - 1).min(completed * 99 / 100)]
+        };
+        SimReport {
+            cycles,
+            completed_transactions: completed,
+            unfinished_ops,
+            deadlocked,
+            model_error,
+            avg_latency: avg,
+            p99_latency: p99,
+            peak_occupancy: self.peak_occupancy,
+            avg_occupancy: if self.occupancy_samples == 0 {
+                0.0
+            } else {
+                self.occupancy_sum as f64 / self.occupancy_samples as f64
+            },
+            n_vns,
+            buffer_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_and_averages() {
+        let mut acc = StatsAccum::default();
+        for l in [10u64, 20, 30, 40] {
+            acc.record_latency(l);
+        }
+        acc.sample_occupancy(3);
+        acc.sample_occupancy(5);
+        let r = acc.finish(100, 0, false, None, 2, 48);
+        assert_eq!(r.completed_transactions, 4);
+        assert!((r.avg_latency - 25.0).abs() < 1e-9);
+        assert_eq!(r.p99_latency, 40);
+        assert_eq!(r.peak_occupancy, 5);
+        assert!((r.avg_occupancy - 4.0).abs() < 1e-9);
+        assert_eq!(r.buffer_cost, 48);
+    }
+
+    #[test]
+    fn empty_run_is_well_defined() {
+        let acc = StatsAccum::default();
+        let r = acc.finish(0, 3, true, None, 1, 8);
+        assert_eq!(r.completed_transactions, 0);
+        assert_eq!(r.avg_latency, 0.0);
+        assert_eq!(r.p99_latency, 0);
+        assert!(r.deadlocked);
+        assert_eq!(r.unfinished_ops, 3);
+    }
+}

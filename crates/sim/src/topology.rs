@@ -1,0 +1,173 @@
+//! NoC topologies and shortest-path routing tables.
+
+use std::collections::VecDeque;
+
+/// A network topology over `n` router nodes (one endpoint per router).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Topology {
+    /// A bidirectional ring of `n` nodes.
+    Ring(usize),
+    /// A `w × h` mesh (row-major node numbering).
+    Mesh(usize, usize),
+    /// A full crossbar: every pair directly connected.
+    Crossbar(usize),
+}
+
+impl Topology {
+    /// Number of router nodes.
+    pub fn nodes(&self) -> usize {
+        match *self {
+            Topology::Ring(n) | Topology::Crossbar(n) => n,
+            Topology::Mesh(w, h) => w * h,
+        }
+    }
+
+    /// All directed links `(from, to)`.
+    pub fn links(&self) -> Vec<(usize, usize)> {
+        let mut links = Vec::new();
+        match *self {
+            Topology::Ring(n) => {
+                for i in 0..n {
+                    links.push((i, (i + 1) % n));
+                    links.push(((i + 1) % n, i));
+                }
+            }
+            Topology::Mesh(w, h) => {
+                for y in 0..h {
+                    for x in 0..w {
+                        let u = y * w + x;
+                        if x + 1 < w {
+                            links.push((u, u + 1));
+                            links.push((u + 1, u));
+                        }
+                        if y + 1 < h {
+                            links.push((u, u + w));
+                            links.push((u + w, u));
+                        }
+                    }
+                }
+            }
+            Topology::Crossbar(n) => {
+                for i in 0..n {
+                    for j in 0..n {
+                        if i != j {
+                            links.push((i, j));
+                        }
+                    }
+                }
+            }
+        }
+        links.sort();
+        links.dedup();
+        links
+    }
+
+    /// `next_hop[from][to]`: the neighbor to take from `from` toward
+    /// `to` (`from` itself when `from == to`). Computed by BFS, so paths
+    /// are shortest; ties break toward the smallest neighbor id, which
+    /// makes routing deterministic.
+    pub fn routing_table(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes();
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (u, v) in self.links() {
+            adj[u].push(v);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        let mut table = vec![vec![usize::MAX; n]; n];
+        for dst in 0..n {
+            // BFS backwards from dst over the reversed graph == forwards
+            // on these symmetric topologies.
+            let mut dist = vec![usize::MAX; n];
+            dist[dst] = 0;
+            table[dst][dst] = dst;
+            let mut q = VecDeque::from([dst]);
+            while let Some(v) = q.pop_front() {
+                for &u in &adj[v] {
+                    if dist[u] == usize::MAX {
+                        dist[u] = dist[v] + 1;
+                        q.push_back(u);
+                    }
+                }
+            }
+            for from in 0..n {
+                if from == dst {
+                    continue;
+                }
+                // Pick the smallest neighbor that decreases distance.
+                let hop = adj[from]
+                    .iter()
+                    .copied()
+                    .filter(|&nb| dist[nb] != usize::MAX && dist[nb] + 1 == dist[from])
+                    .min();
+                if let Some(h) = hop {
+                    table[from][dst] = h;
+                }
+            }
+        }
+        table
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_links_and_routing() {
+        let t = Topology::Ring(4);
+        assert_eq!(t.nodes(), 4);
+        assert_eq!(t.links().len(), 8);
+        let rt = t.routing_table();
+        // 0 -> 2 can go either way (distance 2); next hop is a neighbor.
+        assert!(rt[0][2] == 1 || rt[0][2] == 3);
+        assert_eq!(rt[0][1], 1);
+        assert_eq!(rt[3][3], 3);
+    }
+
+    #[test]
+    fn mesh_routing_reaches_everywhere() {
+        let t = Topology::Mesh(3, 3);
+        let rt = t.routing_table();
+        for (a, row) in rt.iter().enumerate() {
+            for (b, &hop) in row.iter().enumerate() {
+                assert_ne!(hop, usize::MAX, "{a}->{b}");
+            }
+        }
+        // Following next hops terminates at the destination.
+        let mut cur = 0;
+        let mut hops = 0;
+        while cur != 8 {
+            cur = rt[cur][8];
+            hops += 1;
+            assert!(hops <= 4, "path too long");
+        }
+        assert_eq!(hops, 4); // manhattan distance corner to corner
+    }
+
+    #[test]
+    fn crossbar_is_single_hop() {
+        let t = Topology::Crossbar(5);
+        let rt = t.routing_table();
+        for (a, row) in rt.iter().enumerate() {
+            for (b, &hop) in row.iter().enumerate() {
+                if a != b {
+                    assert_eq!(hop, b);
+                }
+            }
+        }
+        assert_eq!(t.links().len(), 20);
+    }
+
+    #[test]
+    fn links_are_unique(){
+        for t in [Topology::Ring(5), Topology::Mesh(2, 3), Topology::Crossbar(4)] {
+            let links = t.links();
+            let mut dedup = links.clone();
+            dedup.dedup();
+            assert_eq!(links, dedup);
+            assert!(links.iter().all(|&(a, b)| a != b));
+        }
+    }
+}

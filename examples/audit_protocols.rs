@@ -1,0 +1,50 @@
+//! Audit every built-in protocol: the static half of the paper's
+//! Table I, as a protocol designer would consume it.
+//!
+//! ```sh
+//! cargo run --example audit_protocols
+//! ```
+
+use vnet::core::report::table1_summary;
+use vnet::core::{analyze, ProtocolClass};
+use vnet::protocol::protocols;
+
+fn main() {
+    println!("{}", table1_summary());
+
+    // Per-protocol guidance, the way a designer would read it.
+    for spec in protocols::all() {
+        let r = analyze(&spec);
+        match r.class() {
+            ProtocolClass::Class2 => {
+                let cycle: Vec<&str> = match r.outcome() {
+                    vnet::core::assignment::VnOutcome::Class2(ev) => ev
+                        .waits_cycle
+                        .iter()
+                        .map(|&m| spec.message_name(m))
+                        .collect(),
+                    _ => unreachable!(),
+                };
+                println!(
+                    "{:<26} REJECT — waits cycle [{}]: redesign the cache to stop \
+                     stalling forwarded requests",
+                    spec.name(),
+                    cycle.join(" -> ")
+                );
+            }
+            ProtocolClass::Class3 { min_vns } => {
+                println!(
+                    "{:<26} OK — provision {min_vns} VN{} {}",
+                    spec.name(),
+                    if min_vns == 1 { "" } else { "s" },
+                    if min_vns == 1 {
+                        "(nothing ever stalls: no separation needed)"
+                    } else {
+                        "(requests isolated from forwards/responses)"
+                    }
+                );
+            }
+            ProtocolClass::Class1 => unreachable!("static analysis never reports Class 1"),
+        }
+    }
+}

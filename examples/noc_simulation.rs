@@ -1,0 +1,60 @@
+//! Run a protocol over a concrete mesh NoC and compare VN
+//! provisioning: the analyzer's minimal mapping vs. an over-provisioned
+//! 4-VN split — same behavior, half the buffer cost (the paper's §VI-C3
+//! PPA argument, measured).
+//!
+//! ```sh
+//! cargo run --release --example noc_simulation
+//! ```
+
+use vnet::mc::VnMap;
+use vnet::protocol::protocols;
+use vnet::sim::sim::minimal_vn_map;
+use vnet::sim::{SimConfig, Simulator, Topology, Workload};
+
+fn main() {
+    let spec = protocols::chi();
+    let topo = Topology::Mesh(3, 2); // 4 caches + 2 directories
+    let n_addrs = 4;
+    let n_dirs = 2;
+
+    let minimal = minimal_vn_map(&spec).expect("CHI is Class 3");
+    // CHI's specified four networks: REQ / SNP / RSP / DAT.
+    let chi_spec_vns = VnMap::from_vns(
+        spec.messages()
+            .iter()
+            .map(|m| match m.mtype {
+                vnet::protocol::MsgType::Request => 0,
+                vnet::protocol::MsgType::FwdRequest => 1,
+                vnet::protocol::MsgType::CtrlResponse => 2,
+                vnet::protocol::MsgType::DataResponse => 3,
+            })
+            .collect(),
+    );
+
+    println!("CHI on a 3x2 mesh, write-heavy workload, 60 ops/cache\n");
+    println!(
+        "{:<22} {:>4} {:>12} {:>10} {:>10} {:>12}",
+        "configuration", "VNs", "buffer cost", "cycles", "avg lat", "deadlocked"
+    );
+    for (name, vns) in [
+        ("derived minimum", minimal),
+        ("CHI-specified (4)", chi_spec_vns),
+    ] {
+        let cfg = SimConfig::new(&spec, topo, n_addrs, n_dirs).with_vns(vns);
+        let cost = cfg.buffer_cost();
+        let w = Workload::write_storm(cfg.n_caches(), n_addrs, 60, 0xC0FFEE);
+        let r = Simulator::new(spec.clone(), cfg).run(w, 2_000_000);
+        println!(
+            "{:<22} {:>4} {:>12} {:>10} {:>10.1} {:>12}",
+            name, r.n_vns, cost, r.cycles, r.avg_latency, r.deadlocked
+        );
+        assert!(!r.deadlocked);
+        assert_eq!(r.unfinished_ops, 0);
+    }
+
+    println!(
+        "\nBoth configurations are deadlock-free and complete the same \
+         workload;\nthe minimal mapping does it with half the VN buffers."
+    );
+}

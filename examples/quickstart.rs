@@ -1,0 +1,25 @@
+//! Quickstart: how many virtual networks does a protocol need?
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use vnet::core::{analyze, report};
+use vnet::protocol::protocols;
+
+fn main() {
+    // Take the textbook MSI protocol (Primer Figures 1–2 / paper
+    // Figures 1–2) with the cache made nonblocking, and ask the
+    // analyzer for its minimum VN count and mapping.
+    let spec = protocols::msi_nonblocking_cache();
+    let result = analyze(&spec);
+
+    println!("{}", report::full_report(&result));
+
+    // The same call on the unmodified textbook protocol detects that it
+    // is Class 2: no per-message-name VN assignment avoids deadlock once
+    // there are multiple directories.
+    let textbook = protocols::msi_blocking_cache();
+    let result = analyze(&textbook);
+    println!("{}", report::full_report(&result));
+}

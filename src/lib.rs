@@ -1,0 +1,11 @@
+//! # vnet — facade crate
+//!
+//! Re-exports the full pipeline. See the subcrate docs for details.
+
+#![forbid(unsafe_code)]
+
+pub use vnet_core as core;
+pub use vnet_graph as graph;
+pub use vnet_mc as mc;
+pub use vnet_protocol as protocol;
+pub use vnet_sim as sim;

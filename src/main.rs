@@ -1,0 +1,266 @@
+//! `vnet` — command-line interface to the VN-minimization pipeline.
+//!
+//! The moral equivalent of the paper artifact's `python3 main.py
+//! <PROTOCOL>`, plus spec tooling:
+//!
+//! ```text
+//! vnet analyze <protocol>       class, minimum VNs, mapping, relations
+//! vnet check <protocol> <map>   certify a hand-written mapping (Eq. 4)
+//! vnet render <protocol>        print the controller tables
+//! vnet export <protocol>        emit the spec in the text DSL
+//! vnet mc <protocol> [--vns N]  model-check the Figure-3 scenario
+//! vnet list                     list built-in protocols
+//! ```
+//!
+//! `<protocol>` is a built-in name (see `vnet list`) or a path to a
+//! `.vnp` file in the text DSL. `<map>` assigns VNs as
+//! `Msg=0,Other=1,...` (unlisted messages default to VN 0).
+
+use std::process::ExitCode;
+use vnet::core::assignment::{certify, VnAssignment};
+use vnet::core::textbook::textbook_vn_count;
+use vnet::core::{analyze, report, VnOutcome};
+use vnet::protocol::{dsl, protocols, ControllerKind, ProtocolSpec};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  vnet list
+  vnet analyze <protocol>
+  vnet check <protocol> <Msg=VN,Msg=VN,...>
+  vnet render <protocol>
+  vnet export <protocol>
+  vnet explain <protocol>
+  vnet export-murphi <protocol>
+  vnet dot <protocol> <union|condition|conflict>
+  vnet diff <protocol-a> <protocol-b>
+  vnet mc <protocol> [--unique-vns | --single-vn]
+
+<protocol> is a built-in name or a path to a .vnp file (text DSL).";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().map(String::as_str).unwrap_or("");
+    match cmd {
+        "list" => {
+            println!("built-in protocols:");
+            for p in protocols::extended() {
+                let exp = protocols::experiment_of(p.name())
+                    .map(|e| format!(" (Table I experiment {e})"))
+                    .unwrap_or_else(|| " (extension)".to_string());
+                println!("  {}{exp}", p.name());
+            }
+            Ok(())
+        }
+        "analyze" => {
+            let spec = load(args.get(1).ok_or("analyze needs a protocol")?)?;
+            let r = analyze(&spec);
+            print!("{}", report::full_report(&r));
+            println!(
+                "\n(for comparison, the textbook rule would provision {} VNs)",
+                textbook_vn_count(&spec)
+            );
+            if matches!(r.outcome(), VnOutcome::Class2(_)) {
+                return Err("protocol is Class 2".into());
+            }
+            Ok(())
+        }
+        "check" => {
+            let spec = load(args.get(1).ok_or("check needs a protocol")?)?;
+            let map = args.get(2).ok_or("check needs a mapping like GetS=0,Data=1")?;
+            let assignment = parse_mapping(&spec, map)?;
+            let r = analyze(&spec);
+            let ok = certify(&spec, r.waits(), &assignment);
+            println!(
+                "mapping uses {} VN(s); Eq. 4 {}",
+                assignment.n_vns(),
+                if ok { "holds: deadlock-free" } else { "FAILS: deadlock possible" }
+            );
+            print!("{}", assignment.display(&spec));
+            if ok {
+                Ok(())
+            } else {
+                Err("mapping not certified".into())
+            }
+        }
+        "render" => {
+            let spec = load(args.get(1).ok_or("render needs a protocol")?)?;
+            println!("=== {} cache controller ===", spec.name());
+            println!(
+                "{}",
+                vnet_bench_render(&spec, ControllerKind::Cache)
+            );
+            println!("=== {} directory controller ===", spec.name());
+            println!(
+                "{}",
+                vnet_bench_render(&spec, ControllerKind::Directory)
+            );
+            Ok(())
+        }
+        "explain" => {
+            let spec = load(args.get(1).ok_or("explain needs a protocol")?)?;
+            let r = analyze(&spec);
+            println!("{}", vnet::core::explain::explain(&r));
+            Ok(())
+        }
+        "dot" => {
+            let spec = load(args.get(1).ok_or("dot needs a protocol")?)?;
+            let which = args.get(2).map(String::as_str).unwrap_or("condition");
+            let r = analyze(&spec);
+            let text = match which {
+                "union" => vnet::core::report::dot_union(&r),
+                "condition" => vnet::core::report::dot_condition(&r),
+                "conflict" => vnet::core::report::dot_conflict(&r)
+                    .ok_or("Class 2 protocol has no conflict graph")?,
+                other => return Err(format!("unknown graph {other}")),
+            };
+            print!("{text}");
+            Ok(())
+        }
+        "diff" => {
+            let a = load(args.get(1).ok_or("diff needs two protocols")?)?;
+            let b = load(args.get(2).ok_or("diff needs two protocols")?)?;
+            print!("{}", vnet::protocol::diff::diff_specs(&a, &b));
+            Ok(())
+        }
+        "export-murphi" => {
+            let spec = load(args.get(1).ok_or("export-murphi needs a protocol")?)?;
+            let cfg = vnet::mc::McConfig::general(&spec);
+            print!("{}", vnet::mc::murphi::export(&spec, &cfg));
+            Ok(())
+        }
+        "export" => {
+            let spec = load(args.get(1).ok_or("export needs a protocol")?)?;
+            print!("{}", dsl::to_text(&spec));
+            Ok(())
+        }
+        "mc" => {
+            let spec = load(args.get(1).ok_or("mc needs a protocol")?)?;
+            use vnet::mc::{explore, McConfig, VnMap};
+            let vns = if args.iter().any(|a| a == "--unique-vns") {
+                VnMap::one_per_message(spec.messages().len())
+            } else if args.iter().any(|a| a == "--single-vn") {
+                VnMap::single(spec.messages().len())
+            } else {
+                match analyze(&spec).outcome() {
+                    VnOutcome::Assigned { assignment, .. } => {
+                        VnMap::from_assignment(assignment, spec.messages().len())
+                    }
+                    VnOutcome::Class2(_) => {
+                        println!("Class 2 protocol: checking with one VN per message");
+                        VnMap::one_per_message(spec.messages().len())
+                    }
+                }
+            };
+            let cfg = McConfig::figure3(&spec).with_vns(vns);
+            let v = explore(&spec, &cfg);
+            println!("{}", v.summary());
+            if let vnet::mc::Verdict::Deadlock { trace, .. } = &v {
+                println!("{}", trace.display(&spec, &cfg));
+                return Err("deadlock found".into());
+            }
+            Ok(())
+        }
+        "" => Err("no command given".into()),
+        other => Err(format!("unknown command {other}")),
+    }
+}
+
+/// Loads a built-in protocol by name or a `.vnp` file by path.
+fn load(name: &str) -> Result<ProtocolSpec, String> {
+    if let Some(p) = protocols::extended().into_iter().find(|p| p.name() == name) {
+        return Ok(p);
+    }
+    if std::path::Path::new(name).exists() {
+        let text = std::fs::read_to_string(name).map_err(|e| format!("{name}: {e}"))?;
+        let spec = dsl::parse(&text).map_err(|e| format!("{name}: {e}"))?;
+        spec.validate().map_err(|e| format!("{name}: {e}"))?;
+        return Ok(spec);
+    }
+    Err(format!(
+        "{name} is neither a built-in protocol nor a readable file (try `vnet list`)"
+    ))
+}
+
+fn parse_mapping(spec: &ProtocolSpec, text: &str) -> Result<VnAssignment, String> {
+    let mut vn_of = vec![0usize; spec.messages().len()];
+    for part in text.split(',') {
+        let (msg, vn) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad mapping entry `{part}` (want Msg=VN)"))?;
+        let id = spec
+            .message_by_name(msg.trim())
+            .ok_or_else(|| format!("unknown message {msg}"))?;
+        vn_of[id.0] = vn
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| format!("bad VN number in `{part}`"))?;
+    }
+    Ok(VnAssignment::from_vns(vn_of))
+}
+
+/// Local copy of the table renderer (the bench crate isn't a dependency
+/// of the facade; the renderer is small enough to duplicate for the CLI).
+fn vnet_bench_render(spec: &ProtocolSpec, kind: ControllerKind) -> String {
+    use std::collections::BTreeSet;
+    use vnet::protocol::{Cell, Event, Guard, StateId, Trigger};
+
+    let ctrl = spec.controller(kind);
+    let mut triggers: BTreeSet<Trigger> = BTreeSet::new();
+    for (_, t, _) in ctrl.iter() {
+        triggers.insert(*t);
+    }
+    let triggers: Vec<_> = triggers.into_iter().collect();
+    let col_name = |t: &Trigger| -> String {
+        match t.event {
+            Event::Core(op) => op.to_string(),
+            Event::Msg(m) => {
+                let base = spec.message_name(m).to_string();
+                if t.guard == Guard::Always {
+                    base
+                } else {
+                    format!("{base}[{}]", t.guard)
+                }
+            }
+        }
+    };
+    let mut out = String::new();
+    use std::fmt::Write as _;
+    for (si, sdef) in ctrl.states().iter().enumerate() {
+        let _ = writeln!(out, "{}:", sdef.name);
+        for t in &triggers {
+            if let Some(cell) = ctrl.cell(StateId(si), *t) {
+                let text = match cell {
+                    Cell::Stall => "stall".to_string(),
+                    Cell::Entry(e) => {
+                        let mut parts: Vec<String> = e
+                            .sends()
+                            .map(|(m, to)| format!("send {} to {to}", spec.message_name(m)))
+                            .collect();
+                        if let Some(n) = e.next {
+                            parts.push(format!("-> {}", ctrl.state(n).name));
+                        }
+                        if parts.is_empty() {
+                            "hit".into()
+                        } else {
+                            parts.join("; ")
+                        }
+                    }
+                };
+                let _ = writeln!(out, "  {:<24} {}", col_name(t), text);
+            }
+        }
+    }
+    out
+}

@@ -1,0 +1,118 @@
+//! Extension coverage beyond the paper's evaluated set: the MESIF pair
+//! completes the MOESIF family and must land in the framework exactly
+//! where the paper's classification predicts.
+
+use vnet::core::textbook::textbook_vn_count;
+use vnet::core::{analyze, ProtocolClass};
+use vnet::protocol::protocols;
+
+#[test]
+fn extended_set_contains_the_extensions() {
+    let ps = protocols::extended();
+    assert_eq!(ps.len(), 12);
+    assert!(ps.iter().any(|p| p.name() == "MESIF-blocking-cache"));
+    assert!(ps.iter().any(|p| p.name() == "MESIF-nonblocking-cache"));
+    assert!(ps.iter().any(|p| p.name() == "CHI-DCT"));
+}
+
+#[test]
+fn chi_dct_matches_base_chi_verdict() {
+    // Direct cache transfer changes latency, not the VN requirement.
+    let dct = protocols::chi_dct();
+    let report = analyze(&dct);
+    assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: 2 });
+    let a = report.outcome().assignment().unwrap();
+    for m in dct.message_ids() {
+        let is_req = dct.message(m).mtype == vnet::protocol::MsgType::Request;
+        let req_vn = a.vn_of(dct.message_by_name("ReadShared").unwrap());
+        assert_eq!(a.vn_of(m) == req_vn, is_req, "{}", dct.message_name(m));
+    }
+    // Same textbook count as base CHI (completion chain of 4).
+    assert_eq!(textbook_vn_count(&dct), 4);
+}
+
+#[test]
+fn chi_dct_model_checks_clean() {
+    use vnet::mc::{explore, McConfig, Verdict, VnMap};
+    let spec = protocols::chi_dct();
+    let report = analyze(&spec);
+    let vns = VnMap::from_assignment(
+        report.outcome().assignment().unwrap(),
+        spec.messages().len(),
+    );
+    let cfg = McConfig::figure3(&spec).with_vns(vns);
+    let v = explore(&spec, &cfg);
+    assert!(matches!(v, Verdict::NoDeadlock(_)), "{}", v.summary());
+}
+
+#[test]
+fn mesif_blocking_is_class2() {
+    let spec = protocols::mesif_blocking_cache();
+    let report = analyze(&spec);
+    assert_eq!(report.class(), ProtocolClass::Class2);
+    // Its waits cycle runs through Fwd-GetM like its siblings.
+    let fwdm = spec.message_by_name("Fwd-GetM").unwrap();
+    assert!(report.waits().contains(fwdm, fwdm));
+}
+
+#[test]
+fn mesif_nonblocking_needs_two_vns_with_requests_isolated() {
+    let spec = protocols::mesif_nonblocking_cache();
+    let report = analyze(&spec);
+    assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: 2 });
+    let a = report.outcome().assignment().unwrap();
+    for m in spec.message_ids() {
+        let is_req = spec.message(m).mtype == vnet::protocol::MsgType::Request;
+        assert_eq!(
+            a.vn_of(m) == a.vn_of(spec.message_by_name("GetS").unwrap()),
+            is_req,
+            "{} misplaced",
+            spec.message_name(m)
+        );
+    }
+    // Certified, as always.
+    assert!(vnet::core::assignment::certify(&spec, report.waits(), a));
+}
+
+#[test]
+fn mesif_textbook_count_is_three() {
+    // MESIF has no completion class; the textbook rule says 3 — still
+    // insufficient (blocking) or wasteful (nonblocking).
+    assert_eq!(textbook_vn_count(&protocols::mesif_blocking_cache()), 3);
+    assert_eq!(textbook_vn_count(&protocols::mesif_nonblocking_cache()), 3);
+}
+
+#[test]
+fn mesif_clean_forwarding_reduces_waits_compared_to_mesi() {
+    // Only the dirty-owner path blocks the MESIF directory, and the
+    // F-read path never enters S_D — its waits relation is no larger
+    // than MESI's in kind: requests on the left only.
+    let spec = protocols::mesif_nonblocking_cache();
+    let report = analyze(&spec);
+    for (m1, _) in report.waits().iter() {
+        assert_eq!(spec.message(m1).mtype, vnet::protocol::MsgType::Request);
+    }
+}
+
+#[test]
+fn mesif_model_checks_clean_on_the_directed_scenario() {
+    use vnet::mc::{explore, McConfig, Verdict, VnMap};
+    let spec = protocols::mesif_nonblocking_cache();
+    let report = analyze(&spec);
+    let vns = VnMap::from_assignment(
+        report.outcome().assignment().unwrap(),
+        spec.messages().len(),
+    );
+    let cfg = McConfig::figure3(&spec).with_vns(vns);
+    let v = explore(&spec, &cfg);
+    assert!(matches!(v, Verdict::NoDeadlock(_)), "{}", v.summary());
+}
+
+#[test]
+fn mesif_blocking_deadlocks_in_the_checker() {
+    use vnet::mc::{explore, McConfig, VnMap};
+    let spec = protocols::mesif_blocking_cache();
+    let cfg = McConfig::figure3(&spec)
+        .with_vns(VnMap::one_per_message(spec.messages().len()));
+    assert!(explore(&spec, &cfg).is_deadlock());
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the algorithm's invariants, using random
+//! relation instances and the striped synthetic protocols.
+
+use proptest::prelude::*;
+use vnet::core::deadlock::{build_condition_graph, find_eq4_cycle_edges};
+use vnet::core::synthetic::{random_waits_queues, striped_protocol};
+use vnet::core::{analyze, minimize_vns, ProtocolClass, Relation};
+use vnet::graph::fas::{is_acyclic_without, minimum_feedback_arc_set};
+use vnet::protocol::MsgId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The exact FAS always leaves the condition graph acyclic, and its
+    /// weight never exceeds the heuristic's.
+    #[test]
+    fn fas_is_sound_and_minimal_vs_heuristic(
+        n in 4usize..14,
+        wd in 20u64..200,
+        qd in 20u64..300,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (waits, queues) = random_waits_queues(n, wd, qd, seed);
+        let cg = build_condition_graph(&waits, &queues);
+        let weight_of = |w: &vnet::core::deadlock::EdgeWitness| -> u128 {
+            if w.qs.is_empty() { (1u128 << n) + 1 } else { 1 }
+        };
+        let exact = minimum_feedback_arc_set(&cg.graph, weight_of);
+        prop_assert!(is_acyclic_without(&cg.graph, &exact.edges));
+        let heur = vnet::graph::fas::heuristic_feedback_arc_set(&cg.graph, weight_of);
+        prop_assert!(is_acyclic_without(&cg.graph, &heur.edges));
+        prop_assert!(exact.weight <= heur.weight);
+    }
+
+    /// Eq. 4 equivalence: the union digraph has a waits-containing cycle
+    /// iff the condition graph (Eq. 5) has any cycle.
+    #[test]
+    fn eq4_and_eq5_agree(
+        n in 3usize..12,
+        wd in 20u64..250,
+        qd in 20u64..350,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (waits, queues) = random_waits_queues(n, wd, qd, seed);
+        let cond = build_condition_graph(&waits, &queues);
+        let eq5_cyclic = vnet::graph::scc::has_cycle(&cond.graph);
+        let eq4_cyclic = find_eq4_cycle_edges(&waits, &queues).is_some();
+        prop_assert_eq!(eq5_cyclic, eq4_cyclic);
+    }
+
+    /// Relation algebra: composition is associative and the closure is
+    /// idempotent.
+    #[test]
+    fn relation_algebra_laws(
+        n in 2usize..10,
+        pairs1 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+        pairs2 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+        pairs3 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
+    ) {
+        let rel = |ps: &[(usize, usize)]| {
+            let mut r = Relation::new(n);
+            for &(a, b) in ps {
+                if a < n && b < n {
+                    r.insert(MsgId(a), MsgId(b));
+                }
+            }
+            r
+        };
+        let (r, s, t) = (rel(&pairs1), rel(&pairs2), rel(&pairs3));
+        prop_assert_eq!(r.compose(&s).compose(&t), r.compose(&s.compose(&t)));
+        let tc = r.transitive_closure();
+        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        // R⁺ contains R; (R⁻¹)⁻¹ = R.
+        for (a, b) in r.iter() {
+            prop_assert!(tc.contains(a, b));
+        }
+        prop_assert_eq!(r.inverse().inverse(), r);
+    }
+
+    /// The striped synthetic protocol is Class 3 with exactly two VNs at
+    /// every width, and its assignment certifies.
+    #[test]
+    fn striped_protocols_always_two_vns(k in 1usize..6) {
+        let spec = striped_protocol(k);
+        spec.validate().unwrap();
+        let report = analyze(&spec);
+        prop_assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: 2 });
+        let a = report.outcome().assignment().unwrap();
+        prop_assert!(vnet::core::assignment::certify(&spec, report.waits(), a));
+    }
+}
+
+/// Monotonicity of certification under refinement, on real protocols:
+/// any merge of the derived VNs into one must fail Eq. 4, and any split
+/// of them must pass.
+#[test]
+fn certification_is_monotone_under_refinement() {
+    use vnet::core::assignment::{certify, VnAssignment};
+    use vnet::protocol::protocols;
+    for spec in [
+        protocols::chi(),
+        protocols::msi_nonblocking_cache(),
+        protocols::mesi_nonblocking_cache(),
+    ] {
+        let report = analyze(&spec);
+        let n = spec.messages().len();
+        let a = report.outcome().assignment().unwrap();
+        // Split: give every message its own VN — must still certify.
+        assert!(certify(&spec, report.waits(), &VnAssignment::one_per_message(n)));
+        // Merge: single VN — must fail.
+        assert!(!certify(&spec, report.waits(), &VnAssignment::single(n)));
+        // A finer-but-derived-compatible split: separate data responses
+        // from control responses within the non-request VN.
+        let finer: Vec<usize> = spec
+            .message_ids()
+            .map(|m| {
+                let base = a.vn_of(m);
+                if spec.message(m).mtype == vnet::protocol::MsgType::DataResponse {
+                    base + 2
+                } else {
+                    base
+                }
+            })
+            .collect();
+        assert!(certify(&spec, report.waits(), &VnAssignment::from_vns(finer)));
+    }
+}
+
+/// Class-2 evidence is a genuine waits cycle: every consecutive pair is
+/// in the waits relation.
+#[test]
+fn class2_evidence_is_a_real_cycle() {
+    use vnet::core::assignment::VnOutcome;
+    use vnet::protocol::protocols;
+    for spec in [
+        protocols::msi_blocking_cache(),
+        protocols::mesi_blocking_cache(),
+        protocols::mosi_blocking_cache(),
+        protocols::moesi_blocking_cache(),
+    ] {
+        let outcome = minimize_vns(&spec);
+        let VnOutcome::Class2(ev) = outcome else {
+            panic!("{} should be Class 2", spec.name());
+        };
+        let waits = vnet::core::waits::compute_waits(&spec);
+        let cyc = &ev.waits_cycle;
+        for i in 0..cyc.len() {
+            let a = cyc[i];
+            let b = cyc[(i + 1) % cyc.len()];
+            assert!(
+                waits.contains(a, b),
+                "{}: {} does not wait for {}",
+                spec.name(),
+                spec.message_name(a),
+                spec.message_name(b)
+            );
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! The shipped `protocols/*.vnp` files (the artifact's "protocol models"
+//! directory) must stay in sync with the builders and analyze to the
+//! same verdicts.
+
+use std::path::Path;
+use vnet::core::analyze;
+use vnet::protocol::{dsl, protocols};
+
+#[test]
+fn every_builtin_has_a_shipped_file_and_they_agree() {
+    for spec in protocols::extended() {
+        let path = format!("protocols/{}.vnp", spec.name());
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with `vnet export`)"));
+        let parsed = dsl::parse(&text).unwrap_or_else(|e| panic!("{path}: {e}"));
+        parsed.validate().unwrap_or_else(|e| panic!("{path}: {e}"));
+        assert_eq!(parsed.name(), spec.name());
+        // Exact sync with the builder.
+        assert_eq!(
+            dsl::to_text(&parsed),
+            dsl::to_text(&spec),
+            "{path} out of date — regenerate with `cargo run -- export {}`",
+            spec.name()
+        );
+        // Identical analysis verdicts.
+        assert_eq!(
+            analyze(&parsed).outcome(),
+            analyze(&spec).outcome(),
+            "{path}"
+        );
+    }
+}
+
+#[test]
+fn shipped_files_are_complete() {
+    let dir = Path::new("protocols");
+    let count = std::fs::read_dir(dir)
+        .expect("protocols/ directory")
+        .filter(|e| {
+            e.as_ref()
+                .map(|e| e.path().extension().is_some_and(|x| x == "vnp"))
+                .unwrap_or(false)
+        })
+        .count();
+    assert_eq!(count, protocols::extended().len());
+}
+
+#[test]
+fn murphi_models_are_shipped_and_in_sync() {
+    use vnet::mc::{murphi, McConfig};
+    for spec in protocols::extended() {
+        let path = format!("protocols/murphi/{}.m", spec.name());
+        let shipped = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{path}: {e} (regenerate with `vnet export-murphi`)"));
+        let cfg = McConfig::general(&spec);
+        assert_eq!(
+            shipped,
+            murphi::export(&spec, &cfg),
+            "{path} out of date — regenerate with `cargo run -- export-murphi {}`",
+            spec.name()
+        );
+    }
+}

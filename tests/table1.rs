@@ -1,0 +1,95 @@
+//! Integration test: the complete static half of the paper's Table I,
+//! exercised through the facade crate exactly as a downstream user
+//! would.
+
+use vnet::core::{analyze, ProtocolClass};
+use vnet::protocol::protocols;
+
+#[test]
+fn table1_static_verdicts() {
+    let expected = [
+        ("MOSI-nonblocking-cache", 1, Some(1)),
+        ("MOESI-nonblocking-cache", 1, Some(1)),
+        ("MOSI-blocking-cache", 2, None),
+        ("MOESI-blocking-cache", 2, None),
+        ("CHI", 4, Some(2)),
+        ("MSI-nonblocking-cache", 5, Some(2)),
+        ("MESI-nonblocking-cache", 5, Some(2)),
+        ("MSI-blocking-cache", 6, None),
+        ("MESI-blocking-cache", 6, None),
+    ];
+    for (name, experiment, min_vns) in expected {
+        let spec = protocols::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .unwrap_or_else(|| panic!("missing protocol {name}"));
+        assert_eq!(protocols::experiment_of(name), Some(experiment));
+        let report = analyze(&spec);
+        assert_eq!(
+            report.outcome().min_vns(),
+            min_vns,
+            "{name}: wrong verdict"
+        );
+        match min_vns {
+            None => assert_eq!(report.class(), ProtocolClass::Class2, "{name}"),
+            Some(n) => {
+                assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: n }, "{name}")
+            }
+        }
+    }
+}
+
+#[test]
+fn class3_mappings_put_all_requests_alone_when_two_vns() {
+    use vnet::protocol::MsgType;
+    for name in ["CHI", "MSI-nonblocking-cache", "MESI-nonblocking-cache"] {
+        let spec = protocols::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .unwrap();
+        let report = analyze(&spec);
+        let a = report.outcome().assignment().unwrap();
+        assert_eq!(a.n_vns(), 2);
+        let req_vn = a.vn_of(spec.messages_of_type(MsgType::Request)[0]);
+        for m in spec.message_ids() {
+            let is_req = spec.message(m).mtype == MsgType::Request;
+            assert_eq!(
+                a.vn_of(m) == req_vn,
+                is_req,
+                "{name}: {} on the wrong side",
+                spec.message_name(m)
+            );
+        }
+    }
+}
+
+#[test]
+fn textbook_three_vn_rule_is_not_necessary() {
+    // The paper's "not necessary" direction (§III-B): fully nonblocking
+    // protocols need one VN although the textbook rule demands three.
+    for name in ["MOSI-nonblocking-cache", "MOESI-nonblocking-cache"] {
+        let spec = protocols::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .unwrap();
+        let report = analyze(&spec);
+        assert_eq!(report.outcome().min_vns(), Some(1), "{name}");
+        assert!(report.waits().is_empty(), "{name}: no stalls, no waits");
+    }
+}
+
+#[test]
+fn textbook_three_vn_rule_is_not_sufficient() {
+    // The "not sufficient" direction (§III-A): the textbook protocols
+    // have a waits cycle, so three VNs (or any number) cannot help.
+    for name in ["MSI-blocking-cache", "MESI-blocking-cache"] {
+        let spec = protocols::all()
+            .into_iter()
+            .find(|p| p.name() == name)
+            .unwrap();
+        let report = analyze(&spec);
+        assert!(report.waits().has_cycle(), "{name}");
+        let fwdm = spec.message_by_name("Fwd-GetM").unwrap();
+        assert!(report.waits().contains(fwdm, fwdm), "{name}");
+    }
+}
