@@ -2,41 +2,27 @@
 //! (the paper's §VI-B tractability claim: instances of ~10¹ message
 //! names are solved instantly despite the NP-hard kernels).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
-use vnet_core::{analyze, minimize_vns};
+use std::hint::black_box;
+use vnet_bench::timing::{bench, group};
 use vnet_core::synthetic::striped_protocol;
+use vnet_core::{analyze, minimize_vns};
 use vnet_protocol::protocols;
 
-fn bench_builtin_protocols(c: &mut Criterion) {
-    let mut g = c.benchmark_group("minimize_vns/builtin");
+fn main() {
+    group("minimize_vns/builtin");
     for spec in protocols::all() {
-        g.bench_function(spec.name(), |b| {
-            b.iter(|| black_box(minimize_vns(black_box(&spec))))
-        });
+        bench(spec.name(), || black_box(minimize_vns(black_box(&spec))));
     }
-    g.finish();
-}
 
-fn bench_full_analysis(c: &mut Criterion) {
+    group("analyze");
     let chi = protocols::chi();
-    c.bench_function("analyze/CHI", |b| b.iter(|| black_box(analyze(&chi))));
-}
+    bench("CHI", || black_box(analyze(&chi)));
 
-fn bench_striped_scaling(c: &mut Criterion) {
-    let mut g = c.benchmark_group("minimize_vns/striped");
+    group("minimize_vns/striped");
     for k in [1usize, 2, 4, 8] {
         let spec = striped_protocol(k);
-        g.bench_function(format!("{}msgs", 4 * k), |b| {
-            b.iter(|| black_box(minimize_vns(black_box(&spec))))
+        bench(&format!("{}msgs", 4 * k), || {
+            black_box(minimize_vns(black_box(&spec)))
         });
     }
-    g.finish();
 }
-
-criterion_group!(
-    benches,
-    bench_builtin_protocols,
-    bench_full_analysis,
-    bench_striped_scaling
-);
-criterion_main!(benches);

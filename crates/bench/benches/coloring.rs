@@ -1,14 +1,13 @@
 //! Scaling of the conflict-graph coloring kernels (exact chromatic
 //! search vs. DSATUR).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vnet_bench::timing::{bench, group};
 use vnet_graph::coloring::{dsatur_coloring, exact_coloring};
-use vnet_graph::{NodeId, UnGraph};
+use vnet_graph::{NodeId, Rng64, UnGraph};
 
 fn random_ungraph(n: usize, density: f64, seed: u64) -> UnGraph<()> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut g = UnGraph::new();
     let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
     for i in 0..n {
@@ -21,25 +20,15 @@ fn random_ungraph(n: usize, density: f64, seed: u64) -> UnGraph<()> {
     g
 }
 
-fn bench_coloring(c: &mut Criterion) {
-    let mut grp = c.benchmark_group("coloring");
+fn main() {
+    group("coloring");
     for n in [8usize, 12, 16, 20] {
         let g = random_ungraph(n, 0.3, 5 + n as u64);
-        grp.bench_with_input(BenchmarkId::new("exact", n), &g, |b, g| {
-            b.iter(|| black_box(exact_coloring(g)))
-        });
-        grp.bench_with_input(BenchmarkId::new("dsatur", n), &g, |b, g| {
-            b.iter(|| black_box(dsatur_coloring(g)))
-        });
+        bench(&format!("exact/{n}"), || black_box(exact_coloring(&g)));
+        bench(&format!("dsatur/{n}"), || black_box(dsatur_coloring(&g)));
     }
     for n in [64usize, 128] {
         let g = random_ungraph(n, 0.2, 11 + n as u64);
-        grp.bench_with_input(BenchmarkId::new("dsatur", n), &g, |b, g| {
-            b.iter(|| black_box(dsatur_coloring(g)))
-        });
+        bench(&format!("dsatur/{n}"), || black_box(dsatur_coloring(&g)));
     }
-    grp.finish();
 }
-
-criterion_group!(benches, bench_coloring);
-criterion_main!(benches);

@@ -3,59 +3,51 @@
 //! digraphs, and the Eq.-5 condition-graph construction on synthetic
 //! `waits`/`queues` relations.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+use vnet_bench::timing::{bench, group};
 use vnet_core::deadlock::build_condition_graph;
 use vnet_core::synthetic::random_waits_queues;
 use vnet_graph::fas::{heuristic_feedback_arc_set, minimum_feedback_arc_set};
-use vnet_graph::{DiGraph, NodeId};
+use vnet_graph::{DiGraph, NodeId, Rng64};
 
 fn random_digraph(n: usize, density: f64, seed: u64) -> DiGraph<(), u128> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng64::seed_from_u64(seed);
     let mut g = DiGraph::new();
     let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
     for i in 0..n {
         for j in 0..n {
             if i != j && rng.gen_bool(density) {
-                g.add_edge(ns[i], ns[j], rng.gen_range(1..8));
+                g.add_edge(ns[i], ns[j], rng.gen_range(1, 8) as u128);
             }
         }
     }
     g
 }
 
-fn bench_exact_vs_heuristic(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fas");
+fn main() {
+    group("fas");
     for n in [6usize, 8, 10, 12] {
         let graph = random_digraph(n, 0.25, 42 + n as u64);
-        g.bench_with_input(BenchmarkId::new("exact", n), &graph, |b, graph| {
-            b.iter(|| black_box(minimum_feedback_arc_set(graph, |&w| w)))
+        bench(&format!("exact/{n}"), || {
+            black_box(minimum_feedback_arc_set(&graph, |&w| w))
         });
-        g.bench_with_input(BenchmarkId::new("heuristic", n), &graph, |b, graph| {
-            b.iter(|| black_box(heuristic_feedback_arc_set(graph, |&w| w)))
+        bench(&format!("heuristic/{n}"), || {
+            black_box(heuristic_feedback_arc_set(&graph, |&w| w))
         });
     }
     // The heuristic keeps going where exact search would blow up.
     for n in [32usize, 64] {
         let graph = random_digraph(n, 0.15, 7 + n as u64);
-        g.bench_with_input(BenchmarkId::new("heuristic", n), &graph, |b, graph| {
-            b.iter(|| black_box(heuristic_feedback_arc_set(graph, |&w| w)))
+        bench(&format!("heuristic/{n}"), || {
+            black_box(heuristic_feedback_arc_set(&graph, |&w| w))
         });
     }
-    g.finish();
-}
 
-fn bench_condition_graph(c: &mut Criterion) {
-    let mut g = c.benchmark_group("condition_graph");
+    group("condition_graph");
     for n in [10usize, 20, 40] {
         let (waits, queues) = random_waits_queues(n, 80, 150, 99);
-        g.bench_function(format!("n{n}"), |b| {
-            b.iter(|| black_box(build_condition_graph(&waits, &queues)))
+        bench(&format!("n{n}"), || {
+            black_box(build_condition_graph(&waits, &queues))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_exact_vs_heuristic, bench_condition_graph);
-criterion_main!(benches);

@@ -1,50 +1,35 @@
 //! Model-checker throughput: states explored per unit time on small
 //! closed configurations, and the directed Figure-3 deadlock search.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vnet_bench::timing::{bench, group};
 use vnet_mc::{explore, InjectionBudget, McConfig, VnMap};
 use vnet_protocol::protocols;
 
-fn bench_small_complete(c: &mut Criterion) {
+fn main() {
+    group("mc");
+
     let spec = protocols::msi_blocking_cache();
     let mut cfg = McConfig::general(&spec);
     cfg.n_caches = 2;
     cfg.n_addrs = 1;
     cfg.n_dirs = 1;
     cfg.budget = InjectionBudget::PerCache(1);
-    c.bench_function("mc/msi_2c_1a_complete", |b| {
-        b.iter(|| black_box(explore(&spec, &cfg)))
+    bench("msi_2c_1a_complete", || black_box(explore(&spec, &cfg)));
+
+    let cfg3 = McConfig::figure3(&spec);
+    bench("figure3_deadlock_search", || {
+        black_box(explore(&spec, &cfg3))
+    });
+
+    let clean = protocols::msi_nonblocking_cache();
+    let outcome = vnet_core::minimize_vns(&clean);
+    let vns = VnMap::from_assignment(
+        outcome.assignment().expect("nonblocking MSI is Class 3"),
+        clean.messages().len(),
+    );
+    let cfg_clean = McConfig::figure3(&clean).with_vns(vns);
+    bench("figure3_clean_complete", || {
+        black_box(explore(&clean, &cfg_clean))
     });
 }
-
-fn bench_figure3_deadlock_search(c: &mut Criterion) {
-    let spec = protocols::msi_blocking_cache();
-    let cfg = McConfig::figure3(&spec);
-    let mut group = c.benchmark_group("mc");
-    group.sample_size(10);
-    group.bench_function("figure3_deadlock_search", |b| {
-        b.iter(|| black_box(explore(&spec, &cfg)))
-    });
-    group.finish();
-}
-
-fn bench_clean_bounded(c: &mut Criterion) {
-    let spec = protocols::msi_nonblocking_cache();
-    let outcome = vnet_core::minimize_vns(&spec);
-    let vns = VnMap::from_assignment(outcome.assignment().unwrap(), spec.messages().len());
-    let cfg = McConfig::figure3(&spec).with_vns(vns);
-    let mut group = c.benchmark_group("mc");
-    group.sample_size(10);
-    group.bench_function("figure3_clean_complete", |b| {
-        b.iter(|| black_box(explore(&spec, &cfg)))
-    });
-    group.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_small_complete,
-    bench_figure3_deadlock_search,
-    bench_clean_bounded
-);
-criterion_main!(benches);

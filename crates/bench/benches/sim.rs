@@ -1,60 +1,46 @@
 //! NoC-simulator throughput across topologies and VN provisioning.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vnet_bench::timing::{bench, group};
 use vnet_mc::VnMap;
 use vnet_protocol::protocols;
 use vnet_sim::sim::minimal_vn_map;
 use vnet_sim::{SimConfig, Simulator, Topology, Workload};
 
-fn bench_topologies(c: &mut Criterion) {
+fn main() {
+    group("sim/topology");
     let spec = protocols::msi_nonblocking_cache();
-    let vns = minimal_vn_map(&spec).unwrap();
-    let mut g = c.benchmark_group("sim/topology");
-    g.sample_size(10);
+    let vns = minimal_vn_map(&spec).expect("nonblocking MSI is Class 3");
     for (name, topo) in [
         ("ring6", Topology::Ring(6)),
         ("mesh3x2", Topology::Mesh(3, 2)),
         ("xbar6", Topology::Crossbar(6)),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let cfg =
-                    SimConfig::new(&spec, topo, 2, 2).with_vns(vns.clone());
-                let w = Workload::uniform_random(cfg.n_caches(), 2, 25, 3);
-                black_box(Simulator::new(spec.clone(), cfg).run(w, 500_000))
-            })
+        bench(name, || {
+            let cfg = SimConfig::new(&spec, topo, 2, 2).with_vns(vns.clone());
+            let w = Workload::uniform_random(cfg.n_caches(), 2, 25, 3);
+            black_box(Simulator::new(spec.clone(), cfg).run(w, 500_000))
         });
     }
-    g.finish();
-}
 
-fn bench_vn_provisioning(c: &mut Criterion) {
-    let spec = protocols::chi();
-    let mut g = c.benchmark_group("sim/vns");
-    g.sample_size(10);
+    group("sim/vns");
+    let chi = protocols::chi();
     for n in [2usize, 4] {
         let vns = if n == 2 {
-            minimal_vn_map(&spec).unwrap()
+            minimal_vn_map(&chi).expect("CHI is Class 3")
         } else {
             VnMap::from_vns(
-                spec.messages()
+                chi.messages()
                     .iter()
                     .enumerate()
                     .map(|(i, _)| i % 4)
                     .collect(),
             )
         };
-        g.bench_function(format!("chi_{n}vns"), |b| {
-            b.iter(|| {
-                let cfg = SimConfig::new(&spec, Topology::Ring(5), 2, 2)
-                    .with_vns(vns.clone());
-                let w = Workload::write_storm(cfg.n_caches(), 2, 15, 9);
-                black_box(Simulator::new(spec.clone(), cfg).run(w, 500_000))
-            })
+        bench(&format!("chi_{n}vns"), || {
+            let cfg = SimConfig::new(&chi, Topology::Ring(5), 2, 2).with_vns(vns.clone());
+            let w = Workload::write_storm(cfg.n_caches(), 2, 15, 9);
+            black_box(Simulator::new(chi.clone(), cfg).run(w, 500_000))
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_topologies, bench_vn_provisioning);
-criterion_main!(benches);

@@ -1,8 +1,8 @@
 //! # vnet-bench
 //!
 //! The reproduction harness: one binary per table/figure of the paper
-//! plus Criterion benches for the algorithm, its graph kernels, the
-//! model checker, and the NoC simulator.
+//! plus timing benches (see [`timing`]) for the algorithm, its graph
+//! kernels, the model checker, and the NoC simulator.
 //!
 //! | target | regenerates |
 //! |---|---|
@@ -17,6 +17,8 @@
 //! | `run_all` | the artifact's run-all script (writes `vn_results.csv`) |
 
 #![forbid(unsafe_code)]
+
+pub mod timing;
 
 use vnet_protocol::ProtocolSpec;
 

@@ -1,0 +1,50 @@
+//! Minimal timing harness for the `[[bench]]` targets.
+//!
+//! The workspace builds hermetically (no crates.io access), so instead
+//! of Criterion each bench target is a plain `fn main()` that calls
+//! [`bench`] per subject. Each subject is warmed up, then run for a
+//! fixed iteration budget scaled so one subject stays under ~250 ms;
+//! median-of-runs is reported to soften scheduler noise.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Times `f` and prints `name: <median per-iter> (<iters> iters)`.
+///
+/// Returns the median per-iteration duration so callers can assert
+/// coarse regressions if they want to.
+pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
+    // Warm-up + calibration: find an iteration count that takes a
+    // measurable slice of time.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = t.elapsed();
+        if elapsed > Duration::from_millis(20) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    // Measurement: several timed batches, take the median batch.
+    let mut samples: Vec<Duration> = (0..5)
+        .map(|_| {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            t.elapsed() / iters as u32
+        })
+        .collect();
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    println!("{name}: {median:?} ({iters} iters)");
+    median
+}
+
+/// Prints a group header, mirroring Criterion's benchmark groups.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

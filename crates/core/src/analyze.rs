@@ -1,6 +1,6 @@
 //! One-call analysis entry point.
 
-use crate::assignment::{minimize_vns_from_relations, VnOutcome};
+use crate::assignment::{minimize_vns_from_relations_budgeted, VnOutcome};
 use crate::causes::compute_causes;
 use crate::classify::ProtocolClass;
 use crate::queues::compute_queues;
@@ -76,10 +76,17 @@ impl AnalysisReport {
 /// assert!(!report.waits().is_empty());
 /// ```
 pub fn analyze(spec: &ProtocolSpec) -> AnalysisReport {
+    analyze_budgeted(spec, &vnet_graph::Budget::unlimited())
+}
+
+/// [`analyze`] with the exact solver kernels running under `budget`; see
+/// [`crate::assignment::minimize_vns_budgeted`] for the degradation
+/// contract.
+pub fn analyze_budgeted(spec: &ProtocolSpec, budget: &vnet_graph::Budget) -> AnalysisReport {
     let causes = compute_causes(spec);
     let (stalls, stall_sites) = compute_stalls(spec);
     let waits = waits_from(&stalls, &causes);
-    let outcome = minimize_vns_from_relations(spec, &waits);
+    let outcome = minimize_vns_from_relations_budgeted(spec, &waits, budget);
     AnalysisReport {
         spec: spec.clone(),
         causes,

@@ -26,9 +26,9 @@ use crate::relation::Relation;
 use crate::stalls::compute_stalls;
 use crate::waits::waits_from;
 use std::collections::BTreeSet;
-use vnet_graph::coloring::exact_coloring;
-use vnet_graph::fas::minimum_feedback_arc_set;
-use vnet_graph::UnGraph;
+use vnet_graph::coloring::exact_coloring_budgeted;
+use vnet_graph::fas::minimum_feedback_arc_set_budgeted;
+use vnet_graph::{Budget, DegradeReason, Provenance, UnGraph};
 use vnet_protocol::{MsgId, MsgType, ProtocolSpec};
 
 /// A mapping from message names to virtual networks.
@@ -124,6 +124,11 @@ pub enum VnOutcome {
         /// How many certify-and-recolor rounds ran (0 = first coloring
         /// was already sound).
         recolor_rounds: usize,
+        /// Whether both solver kernels (FAS, coloring) ran to
+        /// completion. A [`Provenance::Degraded`] assignment still
+        /// certifies against Eq. 4 — deadlock freedom is re-checked, not
+        /// trusted — but its VN count may exceed the true minimum.
+        provenance: Provenance,
     },
 }
 
@@ -141,6 +146,15 @@ impl VnOutcome {
         match self {
             VnOutcome::Class2(_) => None,
             VnOutcome::Assigned { assignment, .. } => Some(assignment),
+        }
+    }
+
+    /// The solver provenance. Class-2 verdicts are always exact (the
+    /// `waits` cycle is found by plain DFS, never budgeted away).
+    pub fn provenance(&self) -> &Provenance {
+        match self {
+            VnOutcome::Class2(_) => &Provenance::Exact,
+            VnOutcome::Assigned { provenance, .. } => provenance,
         }
     }
 }
@@ -168,14 +182,37 @@ pub fn certify(spec: &ProtocolSpec, waits: &Relation, assignment: &VnAssignment)
 /// assert_eq!(outcome.min_vns(), None); // Class 2
 /// ```
 pub fn minimize_vns(spec: &ProtocolSpec) -> VnOutcome {
+    minimize_vns_budgeted(spec, &Budget::unlimited())
+}
+
+/// Like [`minimize_vns`], but every exact kernel (the branch-and-bound
+/// FAS, the backtracking coloring) runs under `budget` and falls back to
+/// its polynomial heuristic on exhaustion. The outcome's
+/// [`provenance`](VnOutcome::provenance) records whether any kernel
+/// degraded; a degraded assignment is still certified deadlock-free
+/// against Eq. 4 — only *minimality* of the VN count is forfeited.
+///
+/// Each kernel invocation gets a fresh allotment of `budget` (the budget
+/// is per-call, not shared across the pipeline).
+pub fn minimize_vns_budgeted(spec: &ProtocolSpec, budget: &Budget) -> VnOutcome {
     let causes = compute_causes(spec);
     let (stalls, _) = compute_stalls(spec);
     let waits = waits_from(&stalls, &causes);
-    minimize_vns_from_relations(spec, &waits)
+    minimize_vns_from_relations_budgeted(spec, &waits, budget)
 }
 
 /// The algorithm proper, given a precomputed `waits` relation.
 pub fn minimize_vns_from_relations(spec: &ProtocolSpec, waits: &Relation) -> VnOutcome {
+    minimize_vns_from_relations_budgeted(spec, waits, &Budget::unlimited())
+}
+
+/// [`minimize_vns_from_relations`] under a [`Budget`]; see
+/// [`minimize_vns_budgeted`] for the degradation contract.
+pub fn minimize_vns_from_relations_budgeted(
+    spec: &ProtocolSpec,
+    waits: &Relation,
+    budget: &Budget,
+) -> VnOutcome {
     let n = spec.messages().len();
 
     // §V-E: a waits cycle means Class 2, full stop.
@@ -188,25 +225,34 @@ pub fn minimize_vns_from_relations(spec: &ProtocolSpec, waits: &Relation) -> VnO
     let cg = build_condition_graph(waits, &queues1);
 
     // §VI-A(b): weighted minimum FAS.
-    let fas = minimum_feedback_arc_set(&cg.graph, |w| {
-        // Recompute Eq. 6 inline (the closure cannot borrow `cg`'s method
-        // with the graph borrowed, so duplicate the two-case weight).
-        if w.qs.is_empty() {
-            if n >= 127 {
-                u128::MAX
+    let (fas, fas_provenance) = minimum_feedback_arc_set_budgeted(
+        &cg.graph,
+        |w| {
+            // Recompute Eq. 6 inline (the closure cannot borrow `cg`'s
+            // method with the graph borrowed, so duplicate the two-case
+            // weight).
+            if w.qs.is_empty() {
+                if n >= 127 {
+                    u128::MAX
+                } else {
+                    (1u128 << n) + 1
+                }
             } else {
-                (1u128 << n) + 1
+                1
             }
-        } else {
-            1
-        }
-    });
+        },
+        budget,
+    );
 
     // A pure-waits FAS edge would contradict the acyclicity of waits
-    // checked above.
+    // checked above — for the *exact* solver. The heuristic fallback
+    // only promises a valid FAS, so an unbreakable edge may slip in; its
+    // empty `qs` contributes no conflict pairs and certification below
+    // still decides soundness.
     debug_assert!(
-        fas.edges.iter().all(|&e| !cg.graph.edge(e).qs.is_empty()),
-        "FAS selected an unbreakable edge although waits is acyclic"
+        !fas_provenance.is_exact()
+            || fas.edges.iter().all(|&e| !cg.graph.edge(e).qs.is_empty()),
+        "exact FAS selected an unbreakable edge although waits is acyclic"
     );
 
     // §VI-A(c): conflict pairs from the selected edges.
@@ -220,16 +266,27 @@ pub fn minimize_vns_from_relations(spec: &ProtocolSpec, waits: &Relation) -> VnO
     // Color, assign, certify; grow the conflict graph if a non-minimal
     // witness path survived (see module docs).
     let mut rounds = 0usize;
+    let mut coloring_degraded: Option<Provenance> = None;
     loop {
-        let assignment = color_and_assign(spec, &conflict_pairs);
+        let (assignment, color_prov) = color_and_assign(spec, &conflict_pairs, budget);
+        if !color_prov.is_exact() && coloring_degraded.is_none() {
+            coloring_degraded = Some(color_prov);
+        }
         let queues = compute_queues(spec, Some(&assignment));
         match find_eq4_cycle_edges(waits, &queues) {
             None => {
+                // First degradation wins the tag: FAS before coloring.
+                let provenance = if !fas_provenance.is_exact() {
+                    fas_provenance
+                } else {
+                    coloring_degraded.unwrap_or(Provenance::Exact)
+                };
                 return VnOutcome::Assigned {
                     assignment,
                     conflict_pairs,
                     fas_weight: fas.weight,
                     recolor_rounds: rounds,
+                    provenance,
                 };
             }
             Some(cycle_edges) => {
@@ -240,11 +297,29 @@ pub fn minimize_vns_from_relations(spec: &ProtocolSpec, waits: &Relation) -> VnO
                         conflict_pairs.insert(normalize(a, b));
                     }
                 }
-                assert!(
-                    conflict_pairs.len() > before,
-                    "certification failed without new separable pairs — \
-                     waits acyclicity should have prevented this"
-                );
+                if conflict_pairs.len() == before {
+                    // No new separable pair, so recoloring cannot make
+                    // progress. With `waits` acyclic this is not
+                    // reachable from the exact path (a surviving Eq.-4
+                    // cycle always crosses a queues step between distinct
+                    // messages), so rather than panic, degrade to the
+                    // one-VN-per-message assignment — the finest
+                    // per-message-name split, which certifies whenever
+                    // `waits` is acyclic (§V-E: only Class 2 defeats it).
+                    return VnOutcome::Assigned {
+                        assignment: VnAssignment::one_per_message(n),
+                        conflict_pairs,
+                        fas_weight: fas.weight,
+                        recolor_rounds: rounds,
+                        provenance: Provenance::Degraded {
+                            reason: DegradeReason::Bound {
+                                what: "certification found no separable pair; \
+                                       fell back to one VN per message"
+                                    .into(),
+                            },
+                        },
+                    };
+                }
             }
         }
     }
@@ -261,10 +336,14 @@ fn normalize(a: MsgId, b: MsgId) -> (MsgId, MsgId) {
 /// Colors the conflict graph exactly and extends the partial mapping to
 /// all messages: unconstrained messages join the VN where messages of
 /// their type (request/forward/response) predominate, defaulting to VN 0.
-fn color_and_assign(spec: &ProtocolSpec, pairs: &BTreeSet<(MsgId, MsgId)>) -> VnAssignment {
+fn color_and_assign(
+    spec: &ProtocolSpec,
+    pairs: &BTreeSet<(MsgId, MsgId)>,
+    budget: &Budget,
+) -> (VnAssignment, Provenance) {
     let n = spec.messages().len();
     if pairs.is_empty() {
-        return VnAssignment::single(n);
+        return (VnAssignment::single(n), Provenance::Exact);
     }
     // Conflict graph over the constrained messages only.
     let mut members: Vec<MsgId> = pairs
@@ -281,7 +360,7 @@ fn color_and_assign(spec: &ProtocolSpec, pairs: &BTreeSet<(MsgId, MsgId)>) -> Vn
     for &(a, b) in pairs {
         g.add_edge(node_of[&a], node_of[&b]);
     }
-    let coloring = exact_coloring(&g);
+    let (coloring, provenance) = exact_coloring_budgeted(&g, budget);
     let n_vns = coloring.num_colors.max(1);
 
     const UNSET: usize = usize::MAX;
@@ -321,7 +400,7 @@ fn color_and_assign(spec: &ProtocolSpec, pairs: &BTreeSet<(MsgId, MsgId)>) -> Vn
             .or_else(|| pick(&side_counts[side_idx(t)]))
             .unwrap_or(0);
     }
-    VnAssignment { vn_of, n_vns }
+    (VnAssignment { vn_of, n_vns }, provenance)
 }
 
 #[cfg(test)]
@@ -450,6 +529,43 @@ mod tests {
         assert!(text.contains("VN0"));
         assert!(text.contains("VN1"));
         assert!(text.contains("ReadShared"));
+    }
+
+    #[test]
+    fn unlimited_budget_outcomes_are_exact() {
+        for p in protocols::all() {
+            let outcome = minimize_vns_budgeted(&p, &Budget::unlimited());
+            assert!(outcome.provenance().is_exact(), "{}", p.name());
+            assert_eq!(outcome, minimize_vns(&p), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn starved_budget_still_certifies_every_class3_builtin() {
+        // One node of search effort: both kernels fall back to their
+        // heuristics. The assignment must still pass Eq.-4 certification
+        // (graceful degradation forfeits minimality, never soundness).
+        let budget = Budget::unlimited().with_node_limit(1);
+        for p in protocols::all() {
+            let waits = crate::waits::compute_waits(&p);
+            match minimize_vns_budgeted(&p, &budget) {
+                VnOutcome::Class2(ev) => {
+                    // Class-2 detection is never budgeted away.
+                    assert!(!ev.waits_cycle.is_empty(), "{}", p.name());
+                }
+                VnOutcome::Assigned { assignment, .. } => {
+                    assert!(certify(&p, &waits, &assignment), "{}", p.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn class2_verdicts_are_exact_under_any_budget() {
+        let p = protocols::msi_blocking_cache();
+        let outcome = minimize_vns_budgeted(&p, &Budget::unlimited().with_node_limit(1));
+        assert!(matches!(outcome, VnOutcome::Class2(_)));
+        assert!(outcome.provenance().is_exact());
     }
 
     #[test]

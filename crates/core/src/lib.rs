@@ -53,7 +53,10 @@ pub mod synthetic;
 pub mod textbook;
 pub mod waits;
 
-pub use analyze::{analyze, AnalysisReport};
-pub use assignment::{minimize_vns, VnAssignment, VnOutcome};
+pub use analyze::{analyze, analyze_budgeted, AnalysisReport};
+pub use assignment::{minimize_vns, minimize_vns_budgeted, VnAssignment, VnOutcome};
 pub use classify::ProtocolClass;
 pub use relation::Relation;
+// Budget/provenance vocabulary, re-exported so downstream crates can
+// budget the analysis without a direct `vnet-graph` dependency.
+pub use vnet_graph::{Budget, DegradeReason, Provenance};

@@ -74,13 +74,19 @@ pub fn full_report(report: &AnalysisReport) -> String {
             conflict_pairs,
             fas_weight,
             recolor_rounds,
+            provenance,
         } => {
             let _ = writeln!(out, "feedback-arc-set weight: {fas_weight}");
             let _ = writeln!(out, "conflict pairs separated: {}", conflict_pairs.len());
             if *recolor_rounds > 0 {
                 let _ = writeln!(out, "recolor rounds: {recolor_rounds}");
             }
-            let _ = writeln!(out, "minimum VNs: {}", assignment.n_vns());
+            let _ = writeln!(
+                out,
+                "minimum VNs: {}{}",
+                assignment.n_vns(),
+                provenance.annotation()
+            );
             out.push_str(&assignment.display(spec));
         }
     }

@@ -1,0 +1,247 @@
+//! Computation budgets and result provenance.
+//!
+//! The exact kernels in this crate (branch-and-bound FAS, exact
+//! coloring) and the explorer in `vnet-mc` are exponential in the worst
+//! case. A [`Budget`] bounds how much work such a solver may do — a
+//! wall-clock deadline and/or an explored-node limit — and a
+//! [`Provenance`] tag records whether the result is exact or was
+//! produced by a degraded path (heuristic fallback, partial
+//! exploration) after the budget ran out. Budgeted solvers never hang
+//! and never panic on exhaustion: they return their best fallback,
+//! tagged.
+
+use std::time::{Duration, Instant};
+
+/// Work limits for a solver call. The default ([`Budget::unlimited`])
+/// imposes no bound, matching the historical behaviour of the exact
+/// solvers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Budget {
+    /// Give up after this much wall-clock time.
+    pub deadline: Option<Duration>,
+    /// Give up after this many explored search nodes (branch-and-bound
+    /// nodes, BFS states, …; each solver documents its unit).
+    pub node_limit: Option<u64>,
+}
+
+impl Budget {
+    /// No limits: solvers run to completion.
+    pub fn unlimited() -> Self {
+        Budget::default()
+    }
+
+    /// Limits wall-clock time.
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Limits explored search nodes.
+    pub fn with_node_limit(mut self, n: u64) -> Self {
+        self.node_limit = Some(n);
+        self
+    }
+
+    /// `true` if neither limit is set.
+    pub fn is_unlimited(&self) -> bool {
+        self.deadline.is_none() && self.node_limit.is_none()
+    }
+
+    /// Starts metering against this budget.
+    pub fn start(&self) -> BudgetMeter {
+        BudgetMeter {
+            started: Instant::now(),
+            deadline: self.deadline,
+            node_limit: self.node_limit,
+            nodes: 0,
+            exhausted: None,
+        }
+    }
+}
+
+/// How often (in ticks) the deadline clock is consulted; `Instant::now`
+/// is too slow to call on every branch-and-bound node.
+const CLOCK_STRIDE: u64 = 1024;
+
+/// Running meter for one solver call.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    started: Instant,
+    deadline: Option<Duration>,
+    node_limit: Option<u64>,
+    nodes: u64,
+    exhausted: Option<DegradeReason>,
+}
+
+impl BudgetMeter {
+    /// Accounts one unit of work. Returns `false` once the budget is
+    /// exhausted (and keeps returning `false` thereafter), so solvers
+    /// can use it directly as a continue-condition.
+    pub fn tick(&mut self) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.nodes += 1;
+        if let Some(limit) = self.node_limit {
+            if self.nodes > limit {
+                self.exhausted = Some(DegradeReason::NodeLimit { limit });
+                return false;
+            }
+        }
+        if let Some(deadline) = self.deadline {
+            if self.nodes.is_multiple_of(CLOCK_STRIDE) && self.started.elapsed() >= deadline {
+                self.exhausted = Some(DegradeReason::DeadlineExpired { deadline });
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The exhaustion reason, if the budget ran out.
+    pub fn exhaustion(&self) -> Option<&DegradeReason> {
+        self.exhausted.as_ref()
+    }
+
+    /// Nodes accounted so far.
+    pub fn nodes(&self) -> u64 {
+        self.nodes
+    }
+
+    /// The provenance tag for a result produced under this meter:
+    /// [`Provenance::Exact`] if the budget never ran out, otherwise
+    /// [`Provenance::Degraded`].
+    pub fn provenance(&self) -> Provenance {
+        match &self.exhausted {
+            None => Provenance::Exact,
+            Some(reason) => Provenance::Degraded {
+                reason: reason.clone(),
+            },
+        }
+    }
+}
+
+/// Why a solver degraded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DegradeReason {
+    /// The wall-clock deadline expired.
+    DeadlineExpired {
+        /// The deadline that expired.
+        deadline: Duration,
+    },
+    /// The explored-node limit was hit.
+    NodeLimit {
+        /// The limit that was hit.
+        limit: u64,
+    },
+    /// A caller-specified bound (e.g. the model checker's state or
+    /// depth cap) truncated the run.
+    Bound {
+        /// Human-readable description of the bound.
+        what: String,
+    },
+}
+
+impl std::fmt::Display for DegradeReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DegradeReason::DeadlineExpired { deadline } => {
+                write!(f, "deadline of {deadline:?} expired")
+            }
+            DegradeReason::NodeLimit { limit } => write!(f, "node limit of {limit} reached"),
+            DegradeReason::Bound { what } => write!(f, "{what}"),
+        }
+    }
+}
+
+/// Whether a result is exact or came from a degraded path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Provenance {
+    /// The solver ran to completion; the result is exact/complete.
+    Exact,
+    /// The budget ran out; the result is a heuristic or partial answer.
+    Degraded {
+        /// Why the exact path was abandoned.
+        reason: DegradeReason,
+    },
+}
+
+impl Provenance {
+    /// `true` for [`Provenance::Exact`].
+    pub fn is_exact(&self) -> bool {
+        matches!(self, Provenance::Exact)
+    }
+
+    /// One-line suffix for reports: empty for exact results, a
+    /// parenthesized explanation for degraded ones.
+    pub fn annotation(&self) -> String {
+        match self {
+            Provenance::Exact => String::new(),
+            Provenance::Degraded { reason } => format!(" (degraded: {reason})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Provenance {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provenance::Exact => write!(f, "exact"),
+            Provenance::Degraded { reason } => write!(f, "degraded ({reason})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_exhausts() {
+        let mut m = Budget::unlimited().start();
+        for _ in 0..100_000 {
+            assert!(m.tick());
+        }
+        assert!(m.exhaustion().is_none());
+        assert!(m.provenance().is_exact());
+    }
+
+    #[test]
+    fn node_limit_trips_and_stays_tripped() {
+        let mut m = Budget::unlimited().with_node_limit(10).start();
+        let ok = (0..20).filter(|_| m.tick()).count();
+        assert_eq!(ok, 10);
+        assert!(!m.tick());
+        assert!(matches!(
+            m.exhaustion(),
+            Some(DegradeReason::NodeLimit { limit: 10 })
+        ));
+        assert!(!m.provenance().is_exact());
+    }
+
+    #[test]
+    fn zero_deadline_trips_at_the_clock_stride() {
+        let mut m = Budget::unlimited()
+            .with_deadline(Duration::ZERO)
+            .start();
+        let mut ticks = 0u64;
+        while m.tick() {
+            ticks += 1;
+            assert!(ticks < 10_000, "deadline never consulted");
+        }
+        assert!(matches!(
+            m.exhaustion(),
+            Some(DegradeReason::DeadlineExpired { .. })
+        ));
+    }
+
+    #[test]
+    fn provenance_annotations() {
+        assert_eq!(Provenance::Exact.annotation(), "");
+        let d = Provenance::Degraded {
+            reason: DegradeReason::Bound {
+                what: "state limit of 5 reached".into(),
+            },
+        };
+        assert!(d.annotation().contains("degraded"));
+        assert!(d.to_string().contains("state limit"));
+    }
+}

@@ -4,6 +4,7 @@
 //! networks (paper §VI-A(c)), so we provide an exact solver for the final
 //! answer plus DSATUR/greedy for cross-checks and scaling studies.
 
+use crate::budget::{Budget, BudgetMeter, Provenance};
 use crate::digraph::NodeId;
 use crate::ungraph::UnGraph;
 
@@ -118,37 +119,78 @@ pub fn dsatur_coloring<N>(graph: &UnGraph<N>) -> Coloring {
 /// assert!(c.is_proper(&g));
 /// ```
 pub fn exact_coloring<N>(graph: &UnGraph<N>) -> Coloring {
+    exact_coloring_budgeted(graph, &Budget::unlimited()).0
+}
+
+/// [`exact_coloring`] under a [`Budget`].
+///
+/// The iterative-deepening backtrack search is metered (one tick per
+/// backtrack node); if the budget exhausts before the chromatic number
+/// is pinned down, the result *degrades gracefully* to the DSATUR
+/// coloring — always proper, possibly more colors than optimal — and
+/// the returned [`Provenance`] says why.
+///
+/// A `Some` answer found before exhaustion is still exact: every
+/// smaller `k` was fully refuted first, and properness is
+/// machine-checkable regardless of where the budget stood.
+pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Coloring, Provenance) {
     let n = graph.node_count();
     if n == 0 {
-        return Coloring {
-            colors: Vec::new(),
-            num_colors: 0,
-            exact: true,
-        };
+        return (
+            Coloring {
+                colors: Vec::new(),
+                num_colors: 0,
+                exact: true,
+            },
+            Provenance::Exact,
+        );
     }
     if graph.edge_count() == 0 {
-        return Coloring {
-            colors: vec![0; n],
-            num_colors: 1,
-            exact: true,
-        };
+        return (
+            Coloring {
+                colors: vec![0; n],
+                num_colors: 1,
+                exact: true,
+            },
+            Provenance::Exact,
+        );
     }
     let upper = dsatur_coloring(graph);
     // A clique lower bound: greedy clique from the max-degree vertex.
     let lower = greedy_clique_size(graph).max(2);
+    let mut meter = budget.start();
     for k in lower..=upper.num_colors {
-        if let Some(colors) = try_k_coloring(graph, k) {
-            return Coloring {
-                colors,
-                num_colors: k,
-                exact: true,
-            };
+        if let Some(colors) = try_k_coloring(graph, k, &mut meter) {
+            // Exact even if the meter just ran dry: a proper k-coloring
+            // in hand plus fully-refuted smaller k's is a proof.
+            return (
+                Coloring {
+                    colors,
+                    num_colors: k,
+                    exact: true,
+                },
+                Provenance::Exact,
+            );
+        }
+        if meter.exhaustion().is_some() {
+            // The refutation of this k was cut short — fall back to the
+            // DSATUR upper bound rather than claim optimality.
+            return (
+                Coloring {
+                    exact: false,
+                    ..upper
+                },
+                meter.provenance(),
+            );
         }
     }
-    Coloring {
-        exact: true,
-        ..upper
-    }
+    (
+        Coloring {
+            exact: true,
+            ..upper
+        },
+        Provenance::Exact,
+    )
 }
 
 fn greedy_clique_size<N>(graph: &UnGraph<N>) -> usize {
@@ -176,7 +218,7 @@ fn greedy_clique_size<N>(graph: &UnGraph<N>) -> usize {
 /// Backtracking k-colorability test. Vertices are processed in DSATUR-ish
 /// static order (descending degree); symmetry is broken by only allowing a
 /// new color index one past the current maximum.
-fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize) -> Option<Vec<usize>> {
+fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize, meter: &mut BudgetMeter) -> Option<Vec<usize>> {
     let n = graph.node_count();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by_key(|&v| std::cmp::Reverse(graph.degree(NodeId(v))));
@@ -190,7 +232,14 @@ fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize) -> Option<Vec<usize>> {
         k: usize,
         max_used: usize,
         colors: &mut Vec<usize>,
+        meter: &mut BudgetMeter,
     ) -> bool {
+        // Budget: one tick per search node; on exhaustion the search
+        // reports "no k-coloring found", which the caller treats as
+        // inconclusive, not as a refutation.
+        if !meter.tick() {
+            return false;
+        }
         if pos == order.len() {
             return true;
         }
@@ -206,7 +255,7 @@ fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize) -> Option<Vec<usize>> {
             }
             colors[v] = c;
             let new_max = max_used.max(c + 1);
-            if backtrack(graph, order, pos + 1, k, new_max, colors) {
+            if backtrack(graph, order, pos + 1, k, new_max, colors, meter) {
                 return true;
             }
             colors[v] = usize::MAX;
@@ -214,7 +263,7 @@ fn try_k_coloring<N>(graph: &UnGraph<N>, k: usize) -> Option<Vec<usize>> {
         false
     }
 
-    backtrack(graph, &order, 0, k, 0, &mut colors).then_some(colors)
+    backtrack(graph, &order, 0, k, 0, &mut colors, meter).then_some(colors)
 }
 
 #[cfg(test)]
@@ -313,11 +362,44 @@ mod tests {
     }
 
     #[test]
+    fn unlimited_budget_is_exact() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (c, prov) = exact_coloring_budgeted(&g, &Budget::unlimited());
+        assert!(prov.is_exact());
+        assert!(c.exact);
+        assert_eq!(c.num_colors, 3);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_dsatur() {
+        // A 1-node budget cannot even finish the first refutation pass
+        // on a dense graph: the result must be the (proper) DSATUR
+        // coloring with a Degraded tag.
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(0xC0103);
+        let mut g: UnGraph<()> = UnGraph::new();
+        let ns: Vec<NodeId> = (0..16).map(|_| g.add_node(())).collect();
+        for i in 0..16 {
+            for j in i + 1..16 {
+                if rng.gen_bool(0.5) {
+                    g.add_edge(ns[i], ns[j]);
+                }
+            }
+        }
+        let budget = Budget::unlimited().with_node_limit(1);
+        let (c, prov) = exact_coloring_budgeted(&g, &budget);
+        assert!(!prov.is_exact());
+        assert!(!c.exact);
+        assert!(c.is_proper(&g), "degraded result must stay proper");
+        assert_eq!(c.num_colors, dsatur_coloring(&g).num_colors);
+    }
+
+    #[test]
     fn exact_matches_on_random_graphs_vs_dsatur_bound() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(7);
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(7);
         for _ in 0..15 {
-            let n = rng.gen_range(2..9);
+            let n = rng.gen_range(2, 9);
             let mut g: UnGraph<()> = UnGraph::new();
             let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
             for i in 0..n {

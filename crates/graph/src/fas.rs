@@ -16,7 +16,12 @@
 //!   arrangement heuristic with a weighted greedy tie-break and a
 //!   sifting local-search pass; used by the synthetic scaling benches and
 //!   as a fallback for very large instances.
+//!
+//! [`minimum_feedback_arc_set_budgeted`] runs the exact solver under a
+//! [`Budget`](crate::budget::Budget) and degrades to the heuristic when
+//! it exhausts, tagging the result's [`Provenance`](crate::budget::Provenance).
 
+use crate::budget::{Budget, BudgetMeter, Provenance};
 use crate::cycles::elementary_cycles;
 use crate::digraph::{DiGraph, EdgeId, NodeId};
 use std::collections::BTreeSet;
@@ -141,11 +146,34 @@ pub fn minimum_feedback_arc_set<N, E>(
     graph: &DiGraph<N, E>,
     weight: impl Fn(&E) -> u128,
 ) -> FeedbackArcSet {
+    minimum_feedback_arc_set_budgeted(graph, weight, &Budget::unlimited()).0
+}
+
+/// [`minimum_feedback_arc_set`] under a [`Budget`].
+///
+/// Runs the exact lazy-cycle branch-and-bound until the budget's
+/// deadline or node limit is hit; on exhaustion it *degrades
+/// gracefully* to the Eades–Lin–Smyth heuristic and says so in the
+/// returned [`Provenance`]. The result is always a valid feedback arc
+/// set; only minimality is forfeited, never soundness.
+///
+/// With [`Budget::unlimited`] this is exactly the exact solver and the
+/// provenance is always [`Provenance::Exact`].
+///
+/// # Panics
+///
+/// Panics if any edge weight is zero, as for the unbudgeted entry point.
+pub fn minimum_feedback_arc_set_budgeted<N, E>(
+    graph: &DiGraph<N, E>,
+    weight: impl Fn(&E) -> u128,
+    budget: &Budget,
+) -> (FeedbackArcSet, Provenance) {
     let weights: Vec<u128> = graph.edge_ids().map(|e| weight(graph.edge(e))).collect();
     assert!(
         weights.iter().all(|&w| w > 0),
         "FAS edge weights must be positive"
     );
+    let mut meter = budget.start();
 
     // Seed with the short cycles found by a bounded Johnson enumeration —
     // a strong starting constraint set that usually makes the lazy loop
@@ -154,6 +182,7 @@ pub fn minimum_feedback_arc_set<N, E>(
     let mut cycle_sets: Vec<Vec<usize>> = elementary_cycles(graph, SEED_LIMIT)
         .into_iter()
         .map(|c| {
+            meter.tick();
             let mut v: Vec<usize> = c.edges.iter().map(|e| e.0).collect();
             v.sort_unstable();
             v.dedup();
@@ -164,16 +193,29 @@ pub fn minimum_feedback_arc_set<N, E>(
     cycle_sets.dedup();
 
     loop {
-        let chosen = min_hitting_set(&cycle_sets, &weights);
+        if meter.exhaustion().is_some() {
+            let fallback = heuristic_feedback_arc_set(graph, &weight);
+            let provenance = meter.provenance();
+            return (fallback, provenance);
+        }
+        let chosen = min_hitting_set(&cycle_sets, &weights, &mut meter);
+        if meter.exhaustion().is_some() {
+            let fallback = heuristic_feedback_arc_set(graph, &weight);
+            let provenance = meter.provenance();
+            return (fallback, provenance);
+        }
         let chosen_edges: Vec<EdgeId> = chosen.iter().map(|&i| EdgeId(i)).collect();
         match remaining_cycle(graph, &chosen_edges) {
             None => {
                 let total = chosen.iter().map(|&i| weights[i]).sum();
-                return FeedbackArcSet {
-                    edges: chosen_edges,
-                    weight: total,
-                    exact: true,
-                };
+                return (
+                    FeedbackArcSet {
+                        edges: chosen_edges,
+                        weight: total,
+                        exact: true,
+                    },
+                    Provenance::Exact,
+                );
             }
             Some(cycle) => {
                 let mut set: Vec<usize> = cycle.iter().map(|e| e.0).collect();
@@ -186,8 +228,10 @@ pub fn minimum_feedback_arc_set<N, E>(
 }
 
 /// Branch-and-bound minimum-weight hitting set over `sets` (indices into
-/// `weights`). Returns the chosen element indices, ascending.
-fn min_hitting_set(sets: &[Vec<usize>], weights: &[u128]) -> Vec<usize> {
+/// `weights`). Returns the chosen element indices, ascending. When the
+/// meter exhausts mid-search the best solution found so far is returned
+/// (always a valid hitting set — the greedy cover at worst).
+fn min_hitting_set(sets: &[Vec<usize>], weights: &[u128], meter: &mut BudgetMeter) -> Vec<usize> {
     if sets.is_empty() {
         return Vec::new();
     }
@@ -207,6 +251,7 @@ fn min_hitting_set(sets: &[Vec<usize>], weights: &[u128]) -> Vec<usize> {
         &mut chosen,
         &mut best,
         &mut best_weight,
+        meter,
     );
     best.sort_unstable();
     best
@@ -272,7 +317,13 @@ fn branch(
     chosen: &mut Vec<usize>,
     best: &mut Vec<usize>,
     best_weight: &mut u128,
+    meter: &mut BudgetMeter,
 ) {
+    // Budget: one tick per search node; cut the subtree on exhaustion
+    // (the incumbent `best` stays a valid hitting set).
+    if !meter.tick() {
+        return;
+    }
     // Find the first uncovered set (choose the smallest for tighter branching).
     let pick = (0..sets.len())
         .filter(|&i| !covered[i])
@@ -310,6 +361,7 @@ fn branch(
             chosen,
             best,
             best_weight,
+            meter,
         );
         chosen.pop();
         for &i in &newly {
@@ -558,16 +610,16 @@ mod tests {
 
     #[test]
     fn exact_beats_or_ties_heuristic_on_random_graphs() {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(42);
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(42);
         for _ in 0..20 {
-            let n = rng.gen_range(3..8);
+            let n = rng.gen_range(3, 8);
             let mut g: DiGraph<(), u128> = DiGraph::new();
             let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
             for i in 0..n {
                 for j in 0..n {
                     if i != j && rng.gen_bool(0.4) {
-                        g.add_edge(ns[i], ns[j], rng.gen_range(1..10));
+                        g.add_edge(ns[i], ns[j], rng.gen_range(1, 10) as u128);
                     }
                 }
             }
@@ -622,5 +674,45 @@ mod tests {
     fn zero_weights_rejected() {
         let g = graph(2, &[(0, 1, 0), (1, 0, 1)]);
         let _ = minimum_feedback_arc_set(&g, |&w| w);
+    }
+
+    #[test]
+    fn unlimited_budget_is_exact() {
+        let g = graph(3, &[(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 0, 1)]);
+        let (fas, prov) =
+            minimum_feedback_arc_set_budgeted(&g, |&w| w, &Budget::unlimited());
+        assert!(prov.is_exact());
+        assert!(fas.exact);
+        assert_eq!(fas.weight, 1);
+    }
+
+    #[test]
+    fn exhausted_budget_degrades_to_valid_heuristic() {
+        // A dense cyclic graph and a 1-node budget: the solver must give
+        // up immediately, fall back to ELS, and say so — while still
+        // returning a *valid* feedback arc set.
+        use crate::rng::Rng64;
+        let mut rng = Rng64::seed_from_u64(0xB4D6E7);
+        let mut g: DiGraph<(), u128> = DiGraph::new();
+        let ns: Vec<NodeId> = (0..12).map(|_| g.add_node(())).collect();
+        for i in 0..12 {
+            for j in 0..12 {
+                if i != j && rng.gen_bool(0.4) {
+                    g.add_edge(ns[i], ns[j], rng.gen_range(1, 10) as u128);
+                }
+            }
+        }
+        let budget = Budget::unlimited().with_node_limit(1);
+        let (fas, prov) = minimum_feedback_arc_set_budgeted(&g, |&w| w, &budget);
+        assert!(!prov.is_exact(), "1-node budget must exhaust");
+        assert!(!fas.exact);
+        assert!(is_acyclic_without(&g, &fas.edges), "fallback must stay sound");
+        // The degradation reason is the node limit.
+        match prov {
+            Provenance::Degraded { ref reason } => {
+                assert!(reason.to_string().contains("node"), "{reason}");
+            }
+            Provenance::Exact => unreachable!(),
+        }
     }
 }

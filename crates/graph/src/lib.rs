@@ -16,6 +16,11 @@
 //!   DSATUR, and greedy).
 //! * [`topo`] — topological sorting (Kahn).
 //! * [`dot`] — Graphviz export for debugging and documentation.
+//! * [`budget`] — wall-clock/node budgets and [`Provenance`] tags that
+//!   let the exponential kernels degrade to heuristics instead of
+//!   hanging.
+//! * [`rng`] — a self-contained SplitMix64 PRNG (no crates.io
+//!   dependency) used by workloads, fault plans, and randomized tests.
 //!
 //! The graphs produced by the coherence-protocol analysis are tiny (the
 //! vertex set is the set of protocol message names, ~10¹ per the paper), so
@@ -40,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub mod bitset;
+pub mod budget;
 pub mod closure;
 pub mod coloring;
 pub mod condensation;
@@ -48,10 +54,13 @@ pub mod digraph;
 pub mod dot;
 pub mod fas;
 pub mod paths;
+pub mod rng;
 pub mod scc;
 pub mod topo;
 pub mod ungraph;
 
 pub use bitset::BitSet;
+pub use budget::{Budget, DegradeReason, Provenance};
 pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use rng::Rng64;
 pub use ungraph::UnGraph;

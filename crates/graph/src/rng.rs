@@ -1,0 +1,125 @@
+//! A tiny deterministic PRNG (SplitMix64).
+//!
+//! The workspace builds in hermetic environments with no access to
+//! crates.io, so workload generation, fault injection, and the
+//! randomized tests use this self-contained generator instead of the
+//! `rand` crate. SplitMix64 passes BigCrush, is seedable from a single
+//! `u64`, and — crucially for the fault-injection layer — produces the
+//! exact same stream on every platform, which keeps `--seed N` runs
+//! bit-reproducible.
+
+/// A seedable deterministic random number generator (SplitMix64).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed. Equal seeds yield equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform `usize` in `[lo, hi)`.
+    ///
+    /// Uses rejection-free multiply-shift (Lemire); the bias for the
+    /// range sizes used here (≪ 2⁶⁴) is far below observability.
+    pub fn gen_range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo < hi, "empty range");
+        let span = (hi - lo) as u64;
+        let r = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + r as usize
+    }
+
+    /// A uniform `u64` in `[lo, hi)`.
+    pub fn gen_range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        debug_assert!(lo < hi, "empty range");
+        let span = hi - lo;
+        let r = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        lo + r
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        // Compare against the top 53 bits for an exact dyadic threshold.
+        let bits = self.next_u64() >> 11;
+        (bits as f64) < p * (1u64 << 53) as f64
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0, i + 1);
+            items.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng64::seed_from_u64(1);
+        let mut b = Rng64::seed_from_u64(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng64::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(3, 9);
+            assert!((3..9).contains(&v));
+            let u = r.gen_range_u64(10, 12);
+            assert!((10..12).contains(&u));
+        }
+    }
+
+    #[test]
+    fn bool_probabilities_are_sane() {
+        let mut r = Rng64::seed_from_u64(9);
+        assert!(!(0..100).any(|_| r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "{hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Rng64::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..20).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+}

@@ -1,13 +1,16 @@
 //! Property-based tests for the graph kernels, checked against naive
 //! oracles.
+//!
+//! Runs seeded random cases from the in-repo [`Rng64`] generator (the
+//! workspace builds without crates.io access, so no `proptest`); each
+//! assertion carries the case index for reproduction.
 
-use proptest::prelude::*;
 use std::collections::BTreeSet;
 use vnet_graph::coloring::{dsatur_coloring, exact_coloring};
 use vnet_graph::cycles::elementary_cycles;
 use vnet_graph::fas::{heuristic_feedback_arc_set, is_acyclic_without, minimum_feedback_arc_set};
 use vnet_graph::scc::tarjan;
-use vnet_graph::{BitSet, DiGraph, NodeId, UnGraph};
+use vnet_graph::{BitSet, DiGraph, NodeId, Rng64, UnGraph};
 
 fn digraph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), u128> {
     let mut g = DiGraph::new();
@@ -16,6 +19,13 @@ fn digraph(n: usize, edges: &[(usize, usize)]) -> DiGraph<(), u128> {
         g.add_edge(ns[a % n], ns[b % n], 1);
     }
     g
+}
+
+fn random_edges(rng: &mut Rng64, max_node: usize, max_edges: usize) -> Vec<(usize, usize)> {
+    let count = rng.gen_range(0, max_edges + 1);
+    (0..count)
+        .map(|_| (rng.gen_range(0, max_node), rng.gen_range(0, max_node)))
+        .collect()
 }
 
 /// Naive reachability for the SCC oracle.
@@ -39,14 +49,12 @@ fn strictly_reaches(g: &DiGraph<(), u128>, from: NodeId, to: NodeId) -> bool {
     g.successors(from).any(|s| s == to || reaches(g, s, to))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn tarjan_matches_mutual_reachability(
-        n in 1usize..8,
-        edges in proptest::collection::vec((0usize..8, 0usize..8), 0..24),
-    ) {
+#[test]
+fn tarjan_matches_mutual_reachability() {
+    let mut rng = Rng64::seed_from_u64(0x7A21);
+    for case in 0..32 {
+        let n = rng.gen_range(1, 8);
+        let edges = random_edges(&mut rng, 8, 24);
         let g = digraph(n, &edges);
         let sccs = tarjan(&g);
         for a in 0..n {
@@ -55,22 +63,24 @@ proptest! {
                 let same = sccs.same_component(na, nb);
                 let oracle = a == b
                     || (strictly_reaches(&g, na, nb) && strictly_reaches(&g, nb, na));
-                prop_assert_eq!(same, oracle, "nodes {} {}", a, b);
+                assert_eq!(same, oracle, "case {case} nodes {a} {b}");
             }
         }
     }
+}
 
-    #[test]
-    fn exact_fas_is_sound_and_never_worse(
-        n in 2usize..7,
-        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..16),
-    ) {
+#[test]
+fn exact_fas_is_sound_and_never_worse() {
+    let mut rng = Rng64::seed_from_u64(0xFA52);
+    for case in 0..32 {
+        let n = rng.gen_range(2, 7);
+        let edges = random_edges(&mut rng, 7, 16);
         let g = digraph(n, &edges);
         let exact = minimum_feedback_arc_set(&g, |&w| w);
         let heur = heuristic_feedback_arc_set(&g, |&w| w);
-        prop_assert!(is_acyclic_without(&g, &exact.edges));
-        prop_assert!(is_acyclic_without(&g, &heur.edges));
-        prop_assert!(exact.weight <= heur.weight);
+        assert!(is_acyclic_without(&g, &exact.edges), "case {case}");
+        assert!(is_acyclic_without(&g, &heur.edges), "case {case}");
+        assert!(exact.weight <= heur.weight, "case {case}");
         // Minimality against brute force for small edge counts.
         if g.edge_count() <= 10 {
             let m = g.edge_count();
@@ -84,15 +94,17 @@ proptest! {
                     best = best.min(removed.len() as u128);
                 }
             }
-            prop_assert_eq!(exact.weight, best, "brute force disagrees");
+            assert_eq!(exact.weight, best, "case {case}: brute force disagrees");
         }
     }
+}
 
-    #[test]
-    fn exact_coloring_is_proper_and_minimal(
-        n in 1usize..7,
-        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..14),
-    ) {
+#[test]
+fn exact_coloring_is_proper_and_minimal() {
+    let mut rng = Rng64::seed_from_u64(0xC0102);
+    for case in 0..32 {
+        let n = rng.gen_range(1, 7);
+        let edges = random_edges(&mut rng, 7, 14);
         let mut g: UnGraph<()> = UnGraph::new();
         let ns: Vec<NodeId> = (0..n).map(|_| g.add_node(())).collect();
         for &(a, b) in &edges {
@@ -102,9 +114,9 @@ proptest! {
         }
         let exact = exact_coloring(&g);
         let ds = dsatur_coloring(&g);
-        prop_assert!(exact.is_proper(&g));
-        prop_assert!(ds.is_proper(&g));
-        prop_assert!(exact.num_colors <= ds.num_colors);
+        assert!(exact.is_proper(&g), "case {case}");
+        assert!(ds.is_proper(&g), "case {case}");
+        assert!(exact.num_colors <= ds.num_colors, "case {case}");
         // Brute-force chromatic number for tiny graphs.
         if n <= 5 {
             let mut best = n;
@@ -135,18 +147,20 @@ proptest! {
                 }
             }
             if g.edge_count() == 0 {
-                prop_assert_eq!(exact.num_colors, usize::from(n > 0));
+                assert_eq!(exact.num_colors, usize::from(n > 0), "case {case}");
             } else {
-                prop_assert_eq!(exact.num_colors, best);
+                assert_eq!(exact.num_colors, best, "case {case}");
             }
         }
     }
+}
 
-    #[test]
-    fn johnson_cycles_are_genuine_and_distinct(
-        n in 1usize..6,
-        edges in proptest::collection::vec((0usize..6, 0usize..6), 0..14),
-    ) {
+#[test]
+fn johnson_cycles_are_genuine_and_distinct() {
+    let mut rng = Rng64::seed_from_u64(0x10cafe);
+    for case in 0..32 {
+        let n = rng.gen_range(1, 6);
+        let edges = random_edges(&mut rng, 6, 14);
         let g = digraph(n, &edges);
         let cycles = elementary_cycles(&g, 10_000);
         let mut seen = BTreeSet::new();
@@ -155,58 +169,71 @@ proptest! {
             let nodes = c.nodes(&g);
             for (i, &e) in c.edges.iter().enumerate() {
                 let (s, d) = g.endpoints(e);
-                prop_assert_eq!(s, nodes[i]);
+                assert_eq!(s, nodes[i], "case {case}");
                 let next = nodes[(i + 1) % nodes.len()];
-                prop_assert_eq!(d, next);
+                assert_eq!(d, next, "case {case}");
             }
             // Elementary: node-distinct.
             let set: BTreeSet<_> = nodes.iter().collect();
-            prop_assert_eq!(set.len(), nodes.len());
-            prop_assert!(seen.insert(c.edges.clone()), "duplicate cycle");
+            assert_eq!(set.len(), nodes.len(), "case {case}");
+            assert!(seen.insert(c.edges.clone()), "case {case}: duplicate cycle");
         }
         // Consistency with cycle detection.
-        prop_assert_eq!(cycles.is_empty(), !vnet_graph::scc::has_cycle(&g));
+        assert_eq!(
+            cycles.is_empty(),
+            !vnet_graph::scc::has_cycle(&g),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn bitset_behaves_like_btreeset(
-        ops in proptest::collection::vec((0usize..3, 0usize..64), 1..60),
-    ) {
+#[test]
+fn bitset_behaves_like_btreeset() {
+    let mut rng = Rng64::seed_from_u64(0xB17);
+    for case in 0..32 {
         let mut bs = BitSet::with_capacity(64);
         let mut model = BTreeSet::new();
-        for (op, v) in ops {
+        for _ in 0..rng.gen_range(1, 60) {
+            let op = rng.gen_range(0, 3);
+            let v = rng.gen_range(0, 64);
             match op {
                 0 => {
-                    prop_assert_eq!(bs.insert(v), model.insert(v));
+                    assert_eq!(bs.insert(v), model.insert(v), "case {case}");
                 }
                 1 => {
-                    prop_assert_eq!(bs.remove(v), model.remove(&v));
+                    assert_eq!(bs.remove(v), model.remove(&v), "case {case}");
                 }
                 _ => {
-                    prop_assert_eq!(bs.contains(v), model.contains(&v));
+                    assert_eq!(bs.contains(v), model.contains(&v), "case {case}");
                 }
             }
         }
-        prop_assert_eq!(bs.iter().collect::<Vec<_>>(), model.into_iter().collect::<Vec<_>>());
+        assert_eq!(
+            bs.iter().collect::<Vec<_>>(),
+            model.into_iter().collect::<Vec<_>>(),
+            "case {case}"
+        );
     }
+}
 
-    #[test]
-    fn closure_is_transitive_and_supports_edges(
-        n in 1usize..7,
-        edges in proptest::collection::vec((0usize..7, 0usize..7), 0..16),
-    ) {
+#[test]
+fn closure_is_transitive_and_supports_edges() {
+    let mut rng = Rng64::seed_from_u64(0xC105);
+    for case in 0..32 {
+        let n = rng.gen_range(1, 7);
+        let edges = random_edges(&mut rng, 7, 16);
         let g = digraph(n, &edges);
         let tc = vnet_graph::closure::transitive_closure(&g);
         // Contains every edge.
         for (_, s, d) in g.edges() {
-            prop_assert!(tc.reachable(s, d));
+            assert!(tc.reachable(s, d), "case {case}");
         }
         // Transitive.
         for a in 0..n {
             for b in 0..n {
                 for c in 0..n {
                     if tc.reachable(NodeId(a), NodeId(b)) && tc.reachable(NodeId(b), NodeId(c)) {
-                        prop_assert!(tc.reachable(NodeId(a), NodeId(c)));
+                        assert!(tc.reachable(NodeId(a), NodeId(c)), "case {case}");
                     }
                 }
             }
@@ -214,9 +241,10 @@ proptest! {
         // Sound: agrees with naive reachability.
         for a in 0..n {
             for b in 0..n {
-                prop_assert_eq!(
+                assert_eq!(
                     tc.reachable(NodeId(a), NodeId(b)),
-                    strictly_reaches(&g, NodeId(a), NodeId(b))
+                    strictly_reaches(&g, NodeId(a), NodeId(b)),
+                    "case {case} {a}->{b}"
                 );
             }
         }

@@ -244,6 +244,9 @@ impl McConfig {
     }
 }
 
+// Test-only panics below (unwrap/expect on known-good fixtures,
+// aborts on impossible verdicts) stop just the failing test; the
+// production paths above are panic-free.
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,6 +8,56 @@ use vnet_protocol::{
     Trigger,
 };
 
+/// A dynamic specification bug surfaced while applying an entry's
+/// actions — a condition the static validator cannot rule out because it
+/// depends on the reachable directory/cache bookkeeping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// A send targeted [`Target::Owner`] while the directory records no
+    /// owner for the block.
+    OwnerUnset {
+        /// The message the entry tried to send.
+        msg: MsgId,
+    },
+    /// A send targeted [`Target::Writer`] while no deferred writer is
+    /// recorded at the cache.
+    WriterUnset {
+        /// The message the entry tried to send.
+        msg: MsgId,
+    },
+}
+
+impl ExecError {
+    /// Renders the error with the protocol's message names.
+    pub fn display(&self, spec: &ProtocolSpec) -> String {
+        match self {
+            ExecError::OwnerUnset { msg } => format!(
+                "send of {} to Owner with no owner recorded",
+                spec.message_name(*msg)
+            ),
+            ExecError::WriterUnset { msg } => format!(
+                "send of {} to Writer with no writer recorded",
+                spec.message_name(*msg)
+            ),
+        }
+    }
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::OwnerUnset { msg } => {
+                write!(f, "send of message #{} to Owner with no owner recorded", msg.0)
+            }
+            ExecError::WriterUnset { msg } => {
+                write!(f, "send of message #{} to Writer with no writer recorded", msg.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
 /// Outcome of attempting to process a trigger at a controller.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Firing {
@@ -21,6 +71,8 @@ pub enum Firing {
     Stalled,
     /// No cell matched: a protocol-specification bug.
     Undefined,
+    /// The entry's actions hit a dynamic specification bug.
+    Error(ExecError),
 }
 
 /// Delivers message `m` to its destination controller, firing the
@@ -46,15 +98,18 @@ pub fn deliver(spec: &ProtocolSpec, cfg: &McConfig, gs: &mut GlobalState, m: &Ms
         None => Firing::Undefined,
         Some(Cell::Stall) => Firing::Stalled,
         Some(Cell::Entry(entry)) => {
-            let sends = apply_entry(spec, cfg, gs, m.dst, m.addr, Some(m), &entry);
-            Firing::Fired { sends }
+            match apply_entry(spec, cfg, gs, m.dst, m.addr, Some(m), &entry) {
+                Ok(sends) => Firing::Fired { sends },
+                Err(e) => Firing::Error(e),
+            }
         }
     }
 }
 
-/// Injects a core operation at a cache. Returns `None` when the op is
-/// not currently processable (stall or no cell) or is a pure hit with no
-/// effect; otherwise fires the entry.
+/// Injects a core operation at a cache. Returns `Ok(None)` when the op
+/// is not currently processable (stall or no cell) or is a pure hit with
+/// no effect; otherwise fires the entry. `Err` reports a dynamic
+/// specification bug hit while applying the entry.
 pub fn inject(
     spec: &ProtocolSpec,
     cfg: &McConfig,
@@ -62,21 +117,21 @@ pub fn inject(
     cache: u8,
     addr: u8,
     op: CoreOp,
-) -> Option<Vec<Msg>> {
+) -> Result<Option<Vec<Msg>>, ExecError> {
     let state = gs.caches[cache as usize][addr as usize].state;
-    let cell = spec
-        .cache()
-        .cell(StateId(state as usize), Trigger::core(op))?;
+    let Some(cell) = spec.cache().cell(StateId(state as usize), Trigger::core(op)) else {
+        return Ok(None);
+    };
     let entry = match cell {
-        Cell::Stall => return None,
+        Cell::Stall => return Ok(None),
         Cell::Entry(e) => e.clone(),
     };
     // Pure hits (no actions, no transition) don't change the state; the
     // explorer skips them to avoid useless self-loops.
     if entry.actions.is_empty() && entry.next.is_none() {
-        return None;
+        return Ok(None);
     }
-    Some(apply_entry(spec, cfg, gs, Node::Cache(cache), addr, None, &entry))
+    apply_entry(spec, cfg, gs, Node::Cache(cache), addr, None, &entry).map(Some)
 }
 
 fn current_state(gs: &GlobalState, node: Node, addr: u8) -> u8 {
@@ -143,7 +198,7 @@ fn apply_entry(
     addr: u8,
     trigger_msg: Option<&Msg>,
     entry: &vnet_protocol::Entry,
-) -> Vec<Msg> {
+) -> Result<Vec<Msg>, ExecError> {
     let requestor = match trigger_msg {
         Some(m) => m.requestor,
         None => match node {
@@ -157,7 +212,7 @@ fn apply_entry(
     for action in &entry.actions {
         match action {
             Action::Send { msg, to, payload } => {
-                emit(spec, cfg, gs, node, addr, requestor, msg_ack, *msg, *to, *payload, &mut sends);
+                emit(spec, cfg, gs, node, addr, requestor, msg_ack, *msg, *to, *payload, &mut sends)?;
             }
             Action::SendToSharersExceptReq { msg } => {
                 let sharers = gs.dirs[addr as usize].sharers & !(1u8 << requestor);
@@ -217,7 +272,7 @@ fn apply_entry(
             Node::Dir(_) => gs.dirs[addr as usize].state = next.index() as u8,
         }
     }
-    sends
+    Ok(sends)
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -233,7 +288,7 @@ fn emit(
     to: Target,
     payload: Payload,
     sends: &mut Vec<Msg>,
-) {
+) -> Result<(), ExecError> {
     let dline = &gs.dirs[addr as usize];
     let others = (dline.sharers & !(1u8 << requestor)).count_ones() as i8;
     let base_ack = |stored: Option<(u8, i8)>| match payload {
@@ -260,9 +315,9 @@ fn emit(
             ack: base_ack(None),
         }),
         Target::Owner => {
-            // A send to a missing owner is a specification bug; encode it
-            // as a send to a sentinel that the explorer reports.
-            let owner = dline.owner.expect("send to Owner with no owner recorded");
+            // A send to a missing owner is a specification bug, reported
+            // as a structured error so the explorer can surface it.
+            let owner = dline.owner.ok_or(ExecError::OwnerUnset { msg })?;
             sends.push(Msg {
                 msg: msg.index() as u8,
                 addr,
@@ -294,7 +349,7 @@ fn emit(
             let Node::Cache(c) = node else { unreachable!() };
             let line = &mut gs.caches[c as usize][addr as usize];
             let writer = line.writer.take();
-            let (w, stored_ack) = writer.expect("send to Writer with none recorded");
+            let (w, stored_ack) = writer.ok_or(ExecError::WriterUnset { msg })?;
             let ack = match payload {
                 Payload::DataAckStored => stored_ack,
                 _ => base_ack(Some((w, stored_ack))),
@@ -309,12 +364,18 @@ fn emit(
             });
         }
     }
+    Ok(())
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use vnet_protocol::protocols;
+
+    // Tests return `Result` and surface failures as `Err` values instead
+    // of unwrap/panic — the crate-wide panic-free discipline extends to
+    // its own test suite.
+    type TestResult = Result<(), String>;
 
     fn setup() -> (ProtocolSpec, McConfig, GlobalState) {
         let spec = protocols::msi_blocking_cache();
@@ -323,91 +384,114 @@ mod tests {
         (spec, cfg, gs)
     }
 
+    fn mid(spec: &ProtocolSpec, name: &str) -> Result<MsgId, String> {
+        spec.message_by_name(name)
+            .ok_or_else(|| format!("no message named {name}"))
+    }
+
+    fn cache_state(spec: &ProtocolSpec, name: &str) -> Result<u8, String> {
+        Ok(spec
+            .cache()
+            .state_by_name(name)
+            .ok_or_else(|| format!("no cache state named {name}"))?
+            .index() as u8)
+    }
+
+    fn dir_state(spec: &ProtocolSpec, name: &str) -> Result<u8, String> {
+        Ok(spec
+            .directory()
+            .state_by_name(name)
+            .ok_or_else(|| format!("no directory state named {name}"))?
+            .index() as u8)
+    }
+
+    fn fired(f: Firing) -> Result<Vec<Msg>, String> {
+        match f {
+            Firing::Fired { sends } => Ok(sends),
+            other => Err(format!("expected the entry to fire, got {other:?}")),
+        }
+    }
+
     #[test]
-    fn store_in_i_sends_getm_and_transitions() {
+    fn store_in_i_sends_getm_and_transitions() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let sends = inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Store).unwrap();
+        let sends = inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Store)
+            .map_err(|e| e.display(&spec))?
+            .ok_or("store in I should be processable")?;
         assert_eq!(sends.len(), 1);
         let m = sends[0];
         assert_eq!(m.dst, Node::Dir(0));
         assert_eq!(m.requestor, 0);
-        assert_eq!(
-            spec.message_name(MsgId(m.msg as usize)),
-            "GetM"
-        );
-        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
-        assert_eq!(gs.caches[0][0].state, im_ad.index() as u8);
+        assert_eq!(spec.message_name(MsgId(m.msg as usize)), "GetM");
+        assert_eq!(gs.caches[0][0].state, cache_state(&spec, "IM_AD")?);
+        Ok(())
     }
 
     #[test]
-    fn load_hit_in_m_is_a_no_op() {
+    fn load_hit_in_m_is_a_no_op() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let m_state = spec.cache().state_by_name("M").unwrap();
-        gs.caches[0][0].state = m_state.index() as u8;
-        assert!(inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Load).is_none());
+        gs.caches[0][0].state = cache_state(&spec, "M")?;
+        let out = inject(&spec, &cfg, &mut gs, 0, 0, CoreOp::Load).map_err(|e| e.display(&spec))?;
+        assert_eq!(out, None);
+        Ok(())
     }
 
     #[test]
-    fn getm_at_idle_directory_grants_ownership() {
+    fn getm_at_idle_directory_grants_ownership() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let getm = spec.message_by_name("GetM").unwrap();
         let msg = Msg {
-            msg: getm.index() as u8,
+            msg: mid(&spec, "GetM")?.index() as u8,
             addr: 0,
             src: Node::Cache(1),
             dst: Node::Dir(0),
             requestor: 1,
             ack: 0,
         };
-        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
-            panic!("GetM in I should fire");
-        };
+        let sends = fired(deliver(&spec, &cfg, &mut gs, &msg))?;
         assert_eq!(gs.dirs[0].owner, Some(1));
-        let m_state = spec.directory().state_by_name("M").unwrap();
-        assert_eq!(gs.dirs[0].state, m_state.index() as u8);
+        assert_eq!(gs.dirs[0].state, dir_state(&spec, "M")?);
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].dst, Node::Cache(1));
         assert_eq!(sends[0].ack, 0); // no sharers
+        Ok(())
     }
 
     #[test]
-    fn getm_in_s_counts_acks_and_invalidates_sharers() {
+    fn getm_in_s_counts_acks_and_invalidates_sharers() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let s_state = spec.directory().state_by_name("S").unwrap();
-        gs.dirs[0].state = s_state.index() as u8;
+        gs.dirs[0].state = dir_state(&spec, "S")?;
         gs.dirs[0].sharers = 0b110; // caches 1 and 2 share
-        let getm = spec.message_by_name("GetM").unwrap();
         let msg = Msg {
-            msg: getm.index() as u8,
+            msg: mid(&spec, "GetM")?.index() as u8,
             addr: 0,
             src: Node::Cache(0),
             dst: Node::Dir(0),
             requestor: 0,
             ack: 0,
         };
-        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
-            panic!()
-        };
+        let sends = fired(deliver(&spec, &cfg, &mut gs, &msg))?;
         // Data to requestor with ack=2, plus two Invs.
-        let data = spec.message_by_name("Data").unwrap();
-        let inv = spec.message_by_name("Inv").unwrap();
-        let data_msg = sends.iter().find(|m| m.msg == data.index() as u8).unwrap();
+        let data = mid(&spec, "Data")?;
+        let inv = mid(&spec, "Inv")?;
+        let data_msg = sends
+            .iter()
+            .find(|m| m.msg == data.index() as u8)
+            .ok_or("no Data message in the directory's sends")?;
         assert_eq!(data_msg.ack, 2);
         let invs: Vec<&Msg> = sends.iter().filter(|m| m.msg == inv.index() as u8).collect();
         assert_eq!(invs.len(), 2);
         assert!(invs.iter().all(|m| m.requestor == 0));
         assert_eq!(gs.dirs[0].sharers, 0);
         assert_eq!(gs.dirs[0].owner, Some(0));
+        Ok(())
     }
 
     #[test]
-    fn stall_reported_in_transient_state() {
+    fn stall_reported_in_transient_state() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let sd = spec.directory().state_by_name("S_D").unwrap();
-        gs.dirs[0].state = sd.index() as u8;
-        let getm = spec.message_by_name("GetM").unwrap();
+        gs.dirs[0].state = dir_state(&spec, "S_D")?;
         let msg = Msg {
-            msg: getm.index() as u8,
+            msg: mid(&spec, "GetM")?.index() as u8,
             addr: 0,
             src: Node::Cache(0),
             dst: Node::Dir(0),
@@ -415,15 +499,15 @@ mod tests {
             ack: 0,
         };
         assert_eq!(deliver(&spec, &cfg, &mut gs, &msg), Firing::Stalled);
+        Ok(())
     }
 
     #[test]
-    fn undefined_reception_reported() {
+    fn undefined_reception_reported() -> TestResult {
         let (spec, cfg, mut gs) = setup();
         // Put-Ack arriving at a cache in I is undefined in the tables.
-        let putack = spec.message_by_name("Put-Ack").unwrap();
         let msg = Msg {
-            msg: putack.index() as u8,
+            msg: mid(&spec, "Put-Ack")?.index() as u8,
             addr: 0,
             src: Node::Dir(0),
             dst: Node::Cache(0),
@@ -431,18 +515,17 @@ mod tests {
             ack: 0,
         };
         assert_eq!(deliver(&spec, &cfg, &mut gs, &msg), Firing::Undefined);
+        Ok(())
     }
 
     #[test]
-    fn ack_guards_combine_message_and_counter() {
+    fn ack_guards_combine_message_and_counter() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
-        gs.caches[0][0].state = im_ad.index() as u8;
+        gs.caches[0][0].state = cache_state(&spec, "IM_AD")?;
         // Two early Inv-Acks already arrived.
         gs.caches[0][0].needed_acks = -2;
-        let data = spec.message_by_name("Data").unwrap();
         let msg = Msg {
-            msg: data.index() as u8,
+            msg: mid(&spec, "Data")?.index() as u8,
             addr: 0,
             src: Node::Dir(0),
             dst: Node::Cache(0),
@@ -450,78 +533,98 @@ mod tests {
             ack: 2,
         };
         // 2 + (-2) == 0: the ack=0 entry fires straight to M.
-        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &msg) else {
-            panic!()
-        };
+        let sends = fired(deliver(&spec, &cfg, &mut gs, &msg))?;
         assert!(sends.is_empty());
-        let m_state = spec.cache().state_by_name("M").unwrap();
-        assert_eq!(gs.caches[0][0].state, m_state.index() as u8);
+        assert_eq!(gs.caches[0][0].state, cache_state(&spec, "M")?);
         assert_eq!(gs.caches[0][0].needed_acks, 0);
+        Ok(())
     }
 
     #[test]
-    fn last_inv_ack_completes_write() {
+    fn last_inv_ack_completes_write() -> TestResult {
         let (spec, cfg, mut gs) = setup();
-        let im_a = spec.cache().state_by_name("IM_A").unwrap();
-        gs.caches[0][0].state = im_a.index() as u8;
+        gs.caches[0][0].state = cache_state(&spec, "IM_A")?;
         gs.caches[0][0].needed_acks = 1;
-        let invack = spec.message_by_name("Inv-Ack").unwrap();
         let msg = Msg {
-            msg: invack.index() as u8,
+            msg: mid(&spec, "Inv-Ack")?.index() as u8,
             addr: 0,
             src: Node::Cache(1),
             dst: Node::Cache(0),
             requestor: 0,
             ack: 0,
         };
-        let Firing::Fired { .. } = deliver(&spec, &cfg, &mut gs, &msg) else {
-            panic!()
-        };
-        let m_state = spec.cache().state_by_name("M").unwrap();
-        assert_eq!(gs.caches[0][0].state, m_state.index() as u8);
+        fired(deliver(&spec, &cfg, &mut gs, &msg))?;
+        assert_eq!(gs.caches[0][0].state, cache_state(&spec, "M")?);
         assert_eq!(gs.caches[0][0].needed_acks, 0);
+        Ok(())
     }
 
     #[test]
-    fn deferred_writer_round_trip_in_nonblocking_msi() {
+    fn deferred_writer_round_trip_in_nonblocking_msi() -> TestResult {
         let spec = protocols::msi_nonblocking_cache();
         let cfg = McConfig::general(&spec);
         let mut gs = GlobalState::initial(&spec, &cfg);
-        let im_ad = spec.cache().state_by_name("IM_AD").unwrap();
-        gs.caches[0][0].state = im_ad.index() as u8;
+        gs.caches[0][0].state = cache_state(&spec, "IM_AD")?;
         // A Fwd-GetM for cache 2 arrives and is deferred.
-        let fwdm = spec.message_by_name("Fwd-GetM").unwrap();
         let fwd = Msg {
-            msg: fwdm.index() as u8,
+            msg: mid(&spec, "Fwd-GetM")?.index() as u8,
             addr: 0,
             src: Node::Dir(0),
             dst: Node::Cache(0),
             requestor: 2,
             ack: 0,
         };
-        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &fwd) else {
-            panic!()
-        };
+        let sends = fired(deliver(&spec, &cfg, &mut gs, &fwd))?;
         assert!(sends.is_empty());
         assert_eq!(gs.caches[0][0].writer, Some((2, 0)));
         // Data (ack=0) completes the write and serves the writer.
-        let data = spec.message_by_name("Data").unwrap();
         let dm = Msg {
-            msg: data.index() as u8,
+            msg: mid(&spec, "Data")?.index() as u8,
             addr: 0,
             src: Node::Dir(0),
             dst: Node::Cache(0),
             requestor: 0,
             ack: 0,
         };
-        let Firing::Fired { sends } = deliver(&spec, &cfg, &mut gs, &dm) else {
-            panic!()
-        };
+        let sends = fired(deliver(&spec, &cfg, &mut gs, &dm))?;
         assert_eq!(sends.len(), 1);
         assert_eq!(sends[0].dst, Node::Cache(2));
         assert_eq!(sends[0].requestor, 2);
         assert_eq!(gs.caches[0][0].writer, None);
-        let i_state = spec.cache().state_by_name("I").unwrap();
-        assert_eq!(gs.caches[0][0].state, i_state.index() as u8);
+        assert_eq!(gs.caches[0][0].state, cache_state(&spec, "I")?);
+        Ok(())
+    }
+
+    /// A hand-built spec that sends to [`Target::Owner`] while the
+    /// directory has never recorded one must surface the structured
+    /// [`ExecError::OwnerUnset`] instead of panicking.
+    #[test]
+    fn missing_owner_is_a_structured_error() -> TestResult {
+        use vnet_protocol::{acts, MsgType, ProtocolBuilder};
+        let mut b = ProtocolBuilder::new("owner-bug");
+        b.msg("Ping", MsgType::Request);
+        b.msg("Poke", MsgType::FwdRequest);
+        b.cache_stable(&["I"]);
+        b.dir_stable(&["I"]);
+        b.cache_on_core("I", CoreOp::Store, acts().send("Ping", Target::Dir));
+        b.dir_on_msg("I", "Ping", acts().send("Poke", Target::Owner));
+        let spec = b.build();
+        let cfg = McConfig::general(&spec);
+        let mut gs = GlobalState::initial(&spec, &cfg);
+        let msg = Msg {
+            msg: mid(&spec, "Ping")?.index() as u8,
+            addr: 0,
+            src: Node::Cache(0),
+            dst: Node::Dir(0),
+            requestor: 0,
+            ack: 0,
+        };
+        match deliver(&spec, &cfg, &mut gs, &msg) {
+            Firing::Error(e @ ExecError::OwnerUnset { .. }) => {
+                assert!(e.display(&spec).contains("Poke"));
+                Ok(())
+            }
+            other => Err(format!("expected OwnerUnset, got {other:?}")),
+        }
     }
 }

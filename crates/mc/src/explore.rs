@@ -6,6 +6,7 @@ use crate::rules::{successors, Expansion};
 use crate::state::GlobalState;
 use crate::trace::Trace;
 use std::collections::{HashMap, VecDeque};
+use vnet_graph::{Budget, DegradeReason, Provenance};
 use vnet_protocol::ProtocolSpec;
 
 /// Exploration statistics.
@@ -17,6 +18,25 @@ pub struct ExploreStats {
     pub levels: usize,
     /// `true` if the whole reachable space was explored (no bound hit).
     pub complete: bool,
+    /// Why the run was truncated, if it was. Counterexample verdicts
+    /// (deadlock, model error, invariant violation) are always
+    /// [`Provenance::Exact`] — a found trace is definitive no matter how
+    /// much of the space was left unexplored. A `NoDeadlock` verdict with
+    /// degraded provenance is only a bounded claim.
+    pub provenance: Provenance,
+}
+
+impl ExploreStats {
+    fn bounded(states: usize, levels: usize) -> Self {
+        // Truncation by a *counterexample*: the search stopped early
+        // because the verdict is already decided, which is exact.
+        ExploreStats {
+            states,
+            levels,
+            complete: false,
+            provenance: Provenance::Exact,
+        }
+    }
 }
 
 /// The outcome of a model-checking run.
@@ -78,8 +98,10 @@ impl Verdict {
                 s.states, s.levels
             ),
             Verdict::NoDeadlock(s) => format!(
-                "no deadlock up to bound ({} states, {} levels)",
-                s.states, s.levels
+                "no deadlock up to bound ({} states, {} levels){}",
+                s.states,
+                s.levels,
+                s.provenance.annotation()
             ),
             Verdict::Deadlock { depth, stats, .. } => format!(
                 "DEADLOCK at depth {depth} ({} states explored)",
@@ -105,6 +127,26 @@ pub fn explore(spec: &ProtocolSpec, cfg: &McConfig) -> Verdict {
 pub fn explore_with(
     spec: &ProtocolSpec,
     cfg: &McConfig,
+    on_level: impl FnMut(usize, usize),
+) -> Verdict {
+    explore_budgeted_with(spec, cfg, &Budget::unlimited(), on_level)
+}
+
+/// [`explore`] under a wall-clock/state [`Budget`] (one meter tick per
+/// distinct state inserted). On exhaustion the BFS stops where it is and
+/// returns the partial-exploration verdict: `NoDeadlock` with
+/// `complete == false` and a degraded [`Provenance`] naming the limit
+/// that tripped. Counterexamples found before exhaustion are returned
+/// exactly as in the unbudgeted explorer — a trace is a trace.
+pub fn explore_budgeted(spec: &ProtocolSpec, cfg: &McConfig, budget: &Budget) -> Verdict {
+    explore_budgeted_with(spec, cfg, budget, |_, _| {})
+}
+
+/// [`explore_budgeted`] with the per-level progress callback.
+pub fn explore_budgeted_with(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    budget: &Budget,
     mut on_level: impl FnMut(usize, usize),
 ) -> Verdict {
     if cfg.symmetry {
@@ -130,10 +172,12 @@ pub fn explore_with(
             return Verdict::InvariantViolation {
                 trace: Trace { steps: Vec::new(), last: initial },
                 detail,
-                stats: ExploreStats { states: 1, levels: 0, complete: false },
+                stats: ExploreStats::bounded(1, 0),
             };
         }
     }
+
+    let mut meter = budget.start();
 
     // parent[key] = (parent key, rule label). The initial state maps to
     // itself with an empty label.
@@ -143,11 +187,15 @@ pub fn explore_with(
     let mut frontier: VecDeque<GlobalState> = VecDeque::from([initial]);
     let mut level = 0usize;
     let mut complete = true;
+    let mut truncated: Option<DegradeReason> = None;
 
     'bfs: while !frontier.is_empty() {
         if let Some(max) = cfg.max_depth {
             if level >= max {
                 complete = false;
+                truncated = Some(DegradeReason::Bound {
+                    what: format!("depth limit of {max} reached"),
+                });
                 break;
             }
         }
@@ -158,11 +206,7 @@ pub fn explore_with(
                 Expansion::Bug { rule, detail } => {
                     let mut trace = rebuild_trace(&parent, &key, gs);
                     trace.steps.push(rule);
-                    let stats = ExploreStats {
-                        states: parent.len(),
-                        levels: level,
-                        complete: false,
-                    };
+                    let stats = ExploreStats::bounded(parent.len(), level);
                     return Verdict::ModelError {
                         trace,
                         detail,
@@ -172,11 +216,7 @@ pub fn explore_with(
                 Expansion::Ok(succs) => {
                     if succs.is_empty() {
                         if !gs.is_quiescent(spec) {
-                            let stats = ExploreStats {
-                                states: parent.len(),
-                                levels: level,
-                                complete: false,
-                            };
+                            let stats = ExploreStats::bounded(parent.len(), level);
                             let trace = rebuild_trace(&parent, &key, gs);
                             return Verdict::Deadlock {
                                 depth: level,
@@ -194,19 +234,23 @@ pub fn explore_with(
                         if let Some(swmr) = &cfg.swmr {
                             if let Some(detail) = swmr.check(&sstate, spec) {
                                 parent.insert(skey.clone(), (key.clone(), s.label));
-                                let stats = ExploreStats {
-                                    states: parent.len(),
-                                    levels: level,
-                                    complete: false,
-                                };
+                                let stats = ExploreStats::bounded(parent.len(), level);
                                 let trace = rebuild_trace(&parent, &skey, sstate);
                                 return Verdict::InvariantViolation { trace, detail, stats };
                             }
                         }
                         parent.insert(skey, (key.clone(), s.label));
                         next_frontier.push_back(sstate);
+                        if !meter.tick() {
+                            complete = false;
+                            truncated = meter.exhaustion().cloned();
+                            break 'bfs;
+                        }
                         if parent.len() >= cfg.max_states {
                             complete = false;
+                            truncated = Some(DegradeReason::Bound {
+                                what: format!("state limit of {} reached", cfg.max_states),
+                            });
                             // Finish nothing further; report bounded.
                             break 'bfs;
                         }
@@ -223,6 +267,10 @@ pub fn explore_with(
         states: parent.len(),
         levels: level,
         complete,
+        provenance: match truncated {
+            None => Provenance::Exact,
+            Some(reason) => Provenance::Degraded { reason },
+        },
     })
 }
 
@@ -245,6 +293,9 @@ fn rebuild_trace(
     Trace { steps, last }
 }
 
+// Test-only panics below (unwrap/expect on known-good fixtures,
+// aborts on impossible verdicts) stop just the failing test; the
+// production paths above are panic-free.
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -388,6 +439,52 @@ mod tests {
             p.states
         );
         assert_eq!(plain.is_deadlock(), reduced.is_deadlock());
+    }
+
+    #[test]
+    fn exhausted_budget_returns_a_degraded_partial_verdict() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        // Five states is far too few to reach the Figure-3 deadlock; the
+        // explorer must stop cleanly and say so.
+        let budget = vnet_graph::Budget::unlimited().with_node_limit(5);
+        match explore_budgeted(&spec, &cfg, &budget) {
+            Verdict::NoDeadlock(stats) => {
+                assert!(!stats.complete);
+                assert!(!stats.provenance.is_exact());
+                assert!(stats.provenance.annotation().contains("node limit"));
+                assert!(stats.states <= 7, "stopped late: {} states", stats.states);
+            }
+            other => panic!("expected a partial verdict, got {}", other.summary()),
+        }
+    }
+
+    #[test]
+    fn unlimited_budget_matches_the_plain_explorer() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let plain = explore(&spec, &cfg);
+        let budgeted = explore_budgeted(&spec, &cfg, &vnet_graph::Budget::unlimited());
+        assert_eq!(plain.stats(), budgeted.stats());
+        assert_eq!(plain.is_deadlock(), budgeted.is_deadlock());
+        assert!(plain.stats().provenance.is_exact());
+    }
+
+    #[test]
+    fn counterexamples_stay_exact_even_under_a_budget() {
+        // Enough budget to reach the deadlock, far too little for the
+        // full space: the trace is still a definitive (exact) verdict.
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let full = explore(&spec, &cfg);
+        let Verdict::Deadlock { stats, .. } = &full else {
+            panic!("figure3 must deadlock");
+        };
+        let budget =
+            vnet_graph::Budget::unlimited().with_node_limit(stats.states as u64 + 64);
+        let v = explore_budgeted(&spec, &cfg, &budget);
+        assert!(v.is_deadlock(), "{}", v.summary());
+        assert!(v.stats().provenance.is_exact());
     }
 
     #[test]

@@ -22,43 +22,58 @@ pub struct Swmr {
     readable: Vec<u8>,
 }
 
+/// A state name passed to [`Swmr::new`] that the cache controller does
+/// not define.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownCacheState(pub String);
+
+impl std::fmt::Display for UnknownCacheState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown cache state {}", self.0)
+    }
+}
+
+impl std::error::Error for UnknownCacheState {}
+
 impl Swmr {
-    /// Builds the invariant from explicit state-name lists.
-    ///
-    /// # Panics
-    ///
-    /// Panics if a name does not exist in the cache controller.
-    pub fn new(spec: &ProtocolSpec, writable: &[&str], readable: &[&str]) -> Self {
-        let resolve = |names: &[&str]| -> Vec<u8> {
+    /// Builds the invariant from explicit state-name lists; errs on a
+    /// name the cache controller does not define.
+    pub fn new(
+        spec: &ProtocolSpec,
+        writable: &[&str],
+        readable: &[&str],
+    ) -> Result<Self, UnknownCacheState> {
+        let resolve = |names: &[&str]| -> Result<Vec<u8>, UnknownCacheState> {
             names
                 .iter()
                 .map(|n| {
                     spec.cache()
                         .state_by_name(n)
-                        .unwrap_or_else(|| panic!("unknown cache state {n}"))
-                        .index() as u8
+                        .map(|s| s.index() as u8)
+                        .ok_or_else(|| UnknownCacheState((*n).to_string()))
                 })
                 .collect()
         };
-        Swmr {
-            writable: resolve(writable),
-            readable: resolve(readable),
-        }
+        Ok(Swmr {
+            writable: resolve(writable)?,
+            readable: resolve(readable)?,
+        })
     }
 
     /// The MOESIF-convention invariant: `M`/`E` writable, `S`/`O`
     /// readable (whichever of those states the protocol has).
     pub fn by_convention(spec: &ProtocolSpec) -> Self {
-        fn pick<'a>(spec: &ProtocolSpec, names: &[&'a str]) -> Vec<&'a str> {
+        let pick = |names: &[&str]| -> Vec<u8> {
             names
                 .iter()
-                .copied()
-                .filter(|n| spec.cache().state_by_name(n).is_some())
+                .filter_map(|n| spec.cache().state_by_name(n))
+                .map(|s| s.index() as u8)
                 .collect()
+        };
+        Swmr {
+            writable: pick(&["M", "E"]),
+            readable: pick(&["S", "O"]),
         }
-        let w = pick(spec, &["M", "E"]);
-        let r = pick(spec, &["S", "O"]);
-        Swmr::new(spec, &w, &r)
     }
 
     /// Checks the invariant on one state; returns a description of the
@@ -101,6 +116,9 @@ impl Swmr {
     }
 }
 
+// Test-only panics below (unwrap/expect on known-good fixtures,
+// aborts on impossible verdicts) stop just the failing test; the
+// production paths above are panic-free.
 #[cfg(test)]
 mod tests {
     use super::*;

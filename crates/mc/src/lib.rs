@@ -54,7 +54,9 @@ pub mod trace;
 
 pub use config::{IcnOrder, InjectionBudget, McConfig, VnMap};
 pub use invariant::Swmr;
-pub use explore::{explore, explore_with, ExploreStats, Verdict};
+pub use explore::{
+    explore, explore_budgeted, explore_budgeted_with, explore_with, ExploreStats, Verdict,
+};
 pub use parallel::explore_parallel;
 pub use state::{GlobalState, Msg, Node};
 pub use trace::Trace;

@@ -20,12 +20,16 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
+use vnet_graph::{DegradeReason, Provenance};
 use vnet_protocol::ProtocolSpec;
 
 const SHARDS: usize = 64;
 
+/// Per-shard map: state key → (parent key, rule label).
+type Shard = HashMap<Vec<u8>, (Vec<u8>, String)>;
+
 struct Visited {
-    shards: Vec<Mutex<HashMap<Vec<u8>, (Vec<u8>, String)>>>,
+    shards: Vec<Mutex<Shard>>,
     count: AtomicUsize,
 }
 
@@ -45,7 +49,7 @@ impl Visited {
 
     /// Inserts if absent; returns `true` when this call claimed the key.
     fn claim(&self, key: Vec<u8>, parent: Vec<u8>, label: String) -> bool {
-        let mut shard = self.shards[Self::shard_of(&key)].lock().expect("poisoned");
+        let mut shard = self.shards[Self::shard_of(&key)].lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         if shard.contains_key(&key) {
             return false;
         }
@@ -61,7 +65,7 @@ impl Visited {
     fn lookup(&self, key: &[u8]) -> Option<(Vec<u8>, String)> {
         self.shards[Self::shard_of(key)]
             .lock()
-            .expect("poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .get(key)
             .cloned()
     }
@@ -115,29 +119,36 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
     let mut frontier = vec![initial];
     let mut level = 0usize;
     let mut complete = true;
+    let mut truncated: Option<DegradeReason> = None;
 
     while !frontier.is_empty() {
         if let Some(max) = cfg.max_depth {
             if level >= max {
                 complete = false;
+                truncated = Some(DegradeReason::Bound {
+                    what: format!("depth limit of {max} reached"),
+                });
                 break;
             }
         }
         if visited.len() >= cfg.max_states {
             complete = false;
+            truncated = Some(DegradeReason::Bound {
+                what: format!("state limit of {} reached", cfg.max_states),
+            });
             break;
         }
 
         let chunk = frontier.len().div_ceil(threads).max(1);
         let next: Mutex<Vec<GlobalState>> = Mutex::new(Vec::new());
 
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             // Shadow the shared structures as references so the `move`
             // closures copy the borrows, not the values.
             let (stop, finding, next, visited, canon) =
                 (&stop, &finding, &next, &visited, &canon);
             for slice in frontier.chunks(chunk) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut local_next = Vec::new();
                     for gs in slice {
                         if stop.load(Ordering::Relaxed) {
@@ -147,7 +158,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                         match successors(spec, cfg, gs) {
                             Expansion::Bug { rule, detail } => {
                                 stop.store(true, Ordering::Relaxed);
-                                let mut f = finding.lock().expect("poisoned");
+                                let mut f = finding.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                                 f.get_or_insert(Finding {
                                     kind: FindingKind::Bug,
                                     state: gs.clone(),
@@ -159,7 +170,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                                 if succs.is_empty() {
                                     if !gs.is_quiescent(spec) {
                                         stop.store(true, Ordering::Relaxed);
-                                        let mut f = finding.lock().expect("poisoned");
+                                        let mut f = finding.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                                         f.get_or_insert(Finding {
                                             kind: FindingKind::Deadlock,
                                             state: gs.clone(),
@@ -177,7 +188,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                                     if let Some(swmr) = &cfg.swmr {
                                         if let Some(detail) = swmr.check(&sstate, spec) {
                                             stop.store(true, Ordering::Relaxed);
-                                            let mut f = finding.lock().expect("poisoned");
+                                            let mut f = finding.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
                                             f.get_or_insert(Finding {
                                                 kind: FindingKind::Invariant,
                                                 state: sstate.clone(),
@@ -192,17 +203,17 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                             }
                         }
                     }
-                    next.lock().expect("poisoned").extend(local_next);
+                    next.lock().unwrap_or_else(std::sync::PoisonError::into_inner).extend(local_next);
                 });
             }
-        })
-        .expect("worker panicked");
+        });
 
-        if let Some(f) = finding.lock().expect("poisoned").take() {
+        if let Some(f) = finding.lock().unwrap_or_else(std::sync::PoisonError::into_inner).take() {
             let stats = ExploreStats {
                 states: visited.len(),
                 levels: level,
                 complete: false,
+                provenance: Provenance::Exact,
             };
             let trace = rebuild(&visited, &f.key, f.state, matches!(f.kind, FindingKind::Bug).then_some(&f.extra));
             return match f.kind {
@@ -224,7 +235,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
             };
         }
 
-        frontier = next.into_inner().expect("poisoned");
+        frontier = next.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
         level += 1;
     }
 
@@ -232,6 +243,10 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
         states: visited.len(),
         levels: level,
         complete,
+        provenance: match truncated {
+            None => Provenance::Exact,
+            Some(reason) => Provenance::Degraded { reason },
+        },
     })
 }
 
@@ -252,6 +267,9 @@ fn rebuild(visited: &Visited, key: &[u8], last: GlobalState, bug_rule: Option<&S
     Trace { steps, last }
 }
 
+// Test-only panics below (unwrap/expect on known-good fixtures,
+// aborts on impossible verdicts) stop just the failing test; the
+// production paths above are panic-free.
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -56,10 +56,17 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                     for op in vnet_protocol::CoreOp::all() {
                         let mut next = gs.clone();
                         next.budgets[c as usize] -= 1;
-                        let Some(sends) = inject(spec, cfg, &mut next, c, a, op) else {
-                            continue;
-                        };
                         let label = format!("inject C{} {op} {}", c + 1, addr_name(a));
+                        let sends = match inject(spec, cfg, &mut next, c, a, op) {
+                            Ok(Some(sends)) => sends,
+                            Ok(None) => continue,
+                            Err(e) => {
+                                return Expansion::Bug {
+                                    rule: label,
+                                    detail: e.display(spec),
+                                }
+                            }
+                        };
                         place_all(spec, cfg, &label, next, sends, &mut out);
                     }
                 }
@@ -73,9 +80,16 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                 let (c, a, op) = list[i];
                 let mut next = gs.clone();
                 next.used_injections |= 1 << i;
-                if let Some(sends) = inject(spec, cfg, &mut next, c as u8, a as u8, op) {
-                    let label = format!("inject C{} {op} {}", c + 1, addr_name(a as u8));
-                    place_all(spec, cfg, &label, next, sends, &mut out);
+                let label = format!("inject C{} {op} {}", c + 1, addr_name(a as u8));
+                match inject(spec, cfg, &mut next, c as u8, a as u8, op) {
+                    Ok(Some(sends)) => place_all(spec, cfg, &label, next, sends, &mut out),
+                    Ok(None) => {}
+                    Err(e) => {
+                        return Expansion::Bug {
+                            rule: label,
+                            detail: e.display(spec),
+                        }
+                    }
                 }
             }
         }
@@ -91,7 +105,9 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
             continue;
         }
         let mut next = gs.clone();
-        let m = next.global_bufs[bi].pop_front().expect("checked nonempty");
+        let Some(m) = next.global_bufs[bi].pop_front() else {
+            continue; // unreachable: front() above was Some
+        };
         next.endpoint_fifos[fifo_idx].push_back(m);
         out.push(Successor {
             label: format!("advance vn{vn}.b{} {}", bi % 2, m.display(spec)),
@@ -127,6 +143,12 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                         spec.message_name(MsgId(m.msg as usize)),
                         m.dst
                     ),
+                };
+            }
+            Firing::Error(e) => {
+                return Expansion::Bug {
+                    rule: format!("consume {}", m.display(spec)),
+                    detail: e.display(spec),
                 };
             }
             Firing::Fired { sends } => {
@@ -219,65 +241,74 @@ mod tests {
     use super::*;
     use vnet_protocol::protocols;
 
+    // Failures surface as `Err` values, not panics — matching the
+    // panic-free discipline of the code under test.
+    type TestResult = Result<(), String>;
+
+    fn expanded(e: Expansion) -> Result<Vec<Successor>, String> {
+        match e {
+            Expansion::Ok(succs) => Ok(succs),
+            Expansion::Bug { rule, detail } => Err(format!("unexpected bug at {rule}: {detail}")),
+        }
+    }
+
     #[test]
-    fn initial_state_offers_injections() {
+    fn initial_state_offers_injections() -> TestResult {
         let spec = protocols::msi_blocking_cache();
         let cfg = McConfig::general(&spec);
         let gs = GlobalState::initial(&spec, &cfg);
-        let Expansion::Ok(succs) = successors(&spec, &cfg, &gs) else {
-            panic!()
-        };
+        let succs = expanded(successors(&spec, &cfg, &gs))?;
         // 3 caches × 2 addrs × {Load, Store} (Evict undefined in I), and
         // each send branches over 2 global buffers.
         assert_eq!(succs.len(), 3 * 2 * 2 * 2);
         assert!(succs.iter().all(|s| s.label.starts_with("inject")));
+        Ok(())
     }
 
     #[test]
-    fn p2p_mode_does_not_branch_on_buffers() {
+    fn p2p_mode_does_not_branch_on_buffers() -> TestResult {
         let spec = protocols::msi_blocking_cache();
         let cfg = McConfig::general(&spec).with_order(IcnOrder::PointToPoint { salt: 0 });
         let gs = GlobalState::initial(&spec, &cfg);
-        let Expansion::Ok(succs) = successors(&spec, &cfg, &gs) else {
-            panic!()
-        };
+        let succs = expanded(successors(&spec, &cfg, &gs))?;
         assert_eq!(succs.len(), 3 * 2 * 2);
+        Ok(())
     }
 
     #[test]
-    fn explicit_budget_restricts_injections() {
+    fn explicit_budget_restricts_injections() -> TestResult {
         let spec = protocols::msi_blocking_cache();
         let cfg = McConfig::figure3(&spec);
         let gs = GlobalState::initial(&spec, &cfg);
-        let Expansion::Ok(succs) = successors(&spec, &cfg, &gs) else {
-            panic!()
-        };
+        let succs = expanded(successors(&spec, &cfg, &gs))?;
         // Only the first scripted store is eligible, × 2 buffer choices.
         assert_eq!(succs.len(), 2);
+        Ok(())
     }
 
     #[test]
-    fn advance_and_consume_chain() {
+    fn advance_and_consume_chain() -> TestResult {
         let spec = protocols::msi_blocking_cache();
         let cfg = McConfig::figure3(&spec);
         let gs = GlobalState::initial(&spec, &cfg);
-        let Expansion::Ok(s1) = successors(&spec, &cfg, &gs) else {
-            panic!()
-        };
+        let s1 = expanded(successors(&spec, &cfg, &gs))?;
         // Take the first injection, then a message sits in a global buffer.
-        let after_inject = &s1[0].state;
+        let after_inject = &s1.first().ok_or("no injection successor")?.state;
         assert_eq!(after_inject.messages_in_flight(), 1);
-        let Expansion::Ok(s2) = successors(&spec, &cfg, after_inject) else {
-            panic!()
-        };
-        let adv = s2.iter().find(|s| s.label.starts_with("advance")).unwrap();
-        let Expansion::Ok(s3) = successors(&spec, &cfg, &adv.state) else {
-            panic!()
-        };
-        let cons = s3.iter().find(|s| s.label.starts_with("consume")).unwrap();
+        let s2 = expanded(successors(&spec, &cfg, after_inject))?;
+        let adv = s2
+            .iter()
+            .find(|s| s.label.starts_with("advance"))
+            .ok_or("no advance successor")?;
+        let s3 = expanded(successors(&spec, &cfg, &adv.state))?;
+        let cons = s3
+            .iter()
+            .find(|s| s.label.starts_with("consume"))
+            .ok_or("no consume successor")?;
         // The GetM was consumed by the directory, which replied with Data.
         assert_eq!(cons.state.messages_in_flight(), 1);
         assert!(cons.state.dirs.iter().any(|d| d.owner.is_some()));
+        Ok(())
     }
 
     #[test]
@@ -296,14 +327,13 @@ mod tests {
     }
 
     #[test]
-    fn backpressure_disables_rules() {
+    fn backpressure_disables_rules() -> TestResult {
         let spec = protocols::msi_blocking_cache();
         let mut cfg = McConfig::figure3(&spec);
         cfg.global_capacity = 0; // nothing can ever be sent
         let gs = GlobalState::initial(&spec, &cfg);
-        let Expansion::Ok(succs) = successors(&spec, &cfg, &gs) else {
-            panic!()
-        };
+        let succs = expanded(successors(&spec, &cfg, &gs))?;
         assert!(succs.is_empty());
+        Ok(())
     }
 }

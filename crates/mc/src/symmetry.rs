@@ -142,6 +142,9 @@ pub fn canonicalize(gs: &GlobalState) -> (GlobalState, Vec<u8>) {
     (best_state, best_key)
 }
 
+// Test-only panics below (unwrap/expect on known-good fixtures,
+// aborts on impossible verdicts) stop just the failing test; the
+// production paths above are panic-free.
 #[cfg(test)]
 mod tests {
     use super::*;

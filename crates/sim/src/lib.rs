@@ -35,11 +35,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod faults;
 pub mod sim;
 pub mod stats;
 pub mod topology;
 pub mod workload;
 
+pub use faults::{DeadlockKind, DeadlockReport, FaultPlan, FaultStats};
 pub use sim::{SimConfig, Simulator};
 pub use stats::SimReport;
 pub use topology::Topology;

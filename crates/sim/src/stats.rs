@@ -1,5 +1,7 @@
 //! Simulation statistics and the final report.
 
+use crate::faults::{DeadlockReport, FaultStats};
+
 /// Aggregated results of one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimReport {
@@ -28,6 +30,11 @@ pub struct SimReport {
     /// The buffer cost proxy: directed links × VNs × buffer depth —
     /// the quantity the paper's PPA argument (§VI-C3) is about.
     pub buffer_cost: usize,
+    /// Counters of injected faults (`None` when the run had no fault
+    /// plan, so fault-free reports stay bit-identical to the baseline).
+    pub faults: Option<FaultStats>,
+    /// The watchdog's post-mortem when the run wedged.
+    pub deadlock: Option<DeadlockReport>,
 }
 
 /// Running accumulator used by the simulator.
@@ -59,6 +66,8 @@ impl StatsAccum {
         model_error: Option<String>,
         n_vns: usize,
         buffer_cost: usize,
+        faults: Option<FaultStats>,
+        deadlock: Option<DeadlockReport>,
     ) -> SimReport {
         self.latencies.sort_unstable();
         let completed = self.latencies.len();
@@ -88,6 +97,8 @@ impl StatsAccum {
             },
             n_vns,
             buffer_cost,
+            faults,
+            deadlock,
         }
     }
 }
@@ -104,7 +115,7 @@ mod tests {
         }
         acc.sample_occupancy(3);
         acc.sample_occupancy(5);
-        let r = acc.finish(100, 0, false, None, 2, 48);
+        let r = acc.finish(100, 0, false, None, 2, 48, None, None);
         assert_eq!(r.completed_transactions, 4);
         assert!((r.avg_latency - 25.0).abs() < 1e-9);
         assert_eq!(r.p99_latency, 40);
@@ -116,7 +127,7 @@ mod tests {
     #[test]
     fn empty_run_is_well_defined() {
         let acc = StatsAccum::default();
-        let r = acc.finish(0, 3, true, None, 1, 8);
+        let r = acc.finish(0, 3, true, None, 1, 8, None, None);
         assert_eq!(r.completed_transactions, 0);
         assert_eq!(r.avg_latency, 0.0);
         assert_eq!(r.p99_latency, 0);

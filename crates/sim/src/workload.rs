@@ -1,7 +1,6 @@
 //! Workload generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use vnet_graph::Rng64;
 use vnet_protocol::CoreOp;
 
 /// One core operation to inject.
@@ -42,11 +41,11 @@ impl Workload {
     /// `n_addrs` addresses — 50% loads, 40% stores, 10% evictions,
     /// issued back-to-back (`at = 0`, pacing left to the protocol).
     pub fn uniform_random(n_caches: usize, n_addrs: usize, ops_per_cache: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut queues = vec![Vec::new(); n_caches];
         for (c, q) in queues.iter_mut().enumerate() {
             for _ in 0..ops_per_cache {
-                let op = match rng.gen_range(0..10) {
+                let op = match rng.gen_range(0, 10) {
                     0..=4 => CoreOp::Load,
                     5..=8 => CoreOp::Store,
                     _ => CoreOp::Evict,
@@ -54,7 +53,7 @@ impl Workload {
                 q.push(Op {
                     at: 0,
                     cache: c,
-                    addr: rng.gen_range(0..n_addrs),
+                    addr: rng.gen_range(0, n_addrs),
                     op,
                 });
             }
@@ -66,14 +65,14 @@ impl Workload {
     /// shape that manifests VN deadlocks fastest (everyone upgrading the
     /// same lines).
     pub fn write_storm(n_caches: usize, n_addrs: usize, ops_per_cache: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let mut queues = vec![Vec::new(); n_caches];
         for (c, q) in queues.iter_mut().enumerate() {
             for _ in 0..ops_per_cache {
                 q.push(Op {
                     at: 0,
                     cache: c,
-                    addr: rng.gen_range(0..n_addrs),
+                    addr: rng.gen_range(0, n_addrs),
                     op: CoreOp::Store,
                 });
             }

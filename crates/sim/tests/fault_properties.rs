@@ -1,0 +1,79 @@
+//! Fault-layer invariants, run over a protocols × topologies × seeds
+//! matrix:
+//!
+//! 1. an **empty** [`FaultPlan`] is a true no-op — the report is
+//!    bit-identical to a run with no plan installed at all;
+//! 2. a non-empty plan is **deterministic** — same plan, same seed,
+//!    same report.
+
+use vnet_mc::VnMap;
+use vnet_protocol::{protocols, ProtocolSpec};
+use vnet_sim::sim::minimal_vn_map;
+use vnet_sim::{FaultPlan, SimConfig, Simulator, Topology, Workload};
+
+fn matrix() -> Vec<(ProtocolSpec, VnMap)> {
+    [
+        protocols::msi_nonblocking_cache(),
+        protocols::mesi_nonblocking_cache(),
+        protocols::chi(),
+    ]
+    .into_iter()
+    .map(|spec| {
+        let vns = minimal_vn_map(&spec).expect("all three are Class 3");
+        (spec, vns)
+    })
+    .collect()
+}
+
+const TOPOLOGIES: [Topology; 3] = [
+    Topology::Ring(5),
+    Topology::Mesh(3, 2),
+    Topology::Crossbar(5),
+];
+
+#[test]
+fn empty_plan_is_bit_identical_to_no_plan() {
+    for (spec, vns) in matrix() {
+        for topo in TOPOLOGIES {
+            for seed in [1u64, 7, 0xBEEF] {
+                let base_cfg = SimConfig::new(&spec, topo, 2, 2).with_vns(vns.clone());
+                let w = Workload::uniform_random(base_cfg.n_caches(), 2, 15, seed);
+                let base = Simulator::new(spec.clone(), base_cfg).run(w.clone(), 300_000);
+
+                // Same run with an explicitly installed empty plan and a
+                // nonzero fault seed: nothing may differ, down to the
+                // absence of fault counters in the report.
+                let faulted_cfg = SimConfig::new(&spec, topo, 2, 2)
+                    .with_vns(vns.clone())
+                    .with_faults(FaultPlan::none(), seed ^ 0xDEAD);
+                let faulted = Simulator::new(spec.clone(), faulted_cfg).run(w, 300_000);
+
+                assert_eq!(
+                    base, faulted,
+                    "{} on {topo:?} seed {seed}: empty plan must be a no-op",
+                    spec.name()
+                );
+                assert_eq!(faulted.faults, None);
+            }
+        }
+    }
+}
+
+#[test]
+fn faulted_runs_replay_exactly() {
+    let plan = FaultPlan::parse("drop=0.01,dup=0.01,delay=0.1:3,reorder=0.1")
+        .expect("valid fault spec");
+    for (spec, vns) in matrix() {
+        for topo in [Topology::Ring(5), Topology::Mesh(3, 2)] {
+            let run = || {
+                let cfg = SimConfig::new(&spec, topo, 2, 2)
+                    .with_vns(vns.clone())
+                    .with_faults(plan.clone(), 99);
+                let w = Workload::uniform_random(cfg.n_caches(), 2, 15, 3);
+                Simulator::new(spec.clone(), cfg).run(w, 300_000)
+            };
+            let (a, b) = (run(), run());
+            assert_eq!(a, b, "{} on {topo:?}: replay must match", spec.name());
+        }
+    }
+}

@@ -9,6 +9,7 @@
 //! vnet render <protocol>        print the controller tables
 //! vnet export <protocol>        emit the spec in the text DSL
 //! vnet mc <protocol> [--vns N]  model-check the Figure-3 scenario
+//! vnet sim <protocol>           run the cycle simulator, with faults
 //! vnet list                     list built-in protocols
 //! ```
 //!
@@ -17,15 +18,31 @@
 //! `Msg=0,Other=1,...` (unlisted messages default to VN 0).
 
 use std::process::ExitCode;
+use std::time::Duration;
 use vnet::core::assignment::{certify, VnAssignment};
 use vnet::core::textbook::textbook_vn_count;
-use vnet::core::{analyze, report, VnOutcome};
+use vnet::core::{analyze, analyze_budgeted, report, Budget, VnOutcome};
 use vnet::protocol::{dsl, protocols, ControllerKind, ProtocolSpec};
+
+/// How a successfully-parsed command ended; each maps to a distinct
+/// process exit code so scripts and CI can branch on the result.
+enum Outcome {
+    /// Everything ran and nothing bad was found — exit 0.
+    Clean,
+    /// A deadlock — or a found deadlock *risk*: an uncertifiable mapping
+    /// or a Class-2 verdict — was detected — exit 2.
+    DeadlockFound,
+    /// A `--budget` was exhausted: the printed result is degraded or
+    /// partial, not exact — exit 3.
+    Degraded,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(Outcome::Clean) => ExitCode::SUCCESS,
+        Ok(Outcome::DeadlockFound) => ExitCode::from(2),
+        Ok(Outcome::Degraded) => ExitCode::from(3),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -38,7 +55,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "\
 usage:
   vnet list
-  vnet analyze <protocol>
+  vnet analyze <protocol> [--budget <budget>]
   vnet check <protocol> <Msg=VN,Msg=VN,...>
   vnet render <protocol>
   vnet export <protocol>
@@ -46,11 +63,19 @@ usage:
   vnet export-murphi <protocol>
   vnet dot <protocol> <union|condition|conflict>
   vnet diff <protocol-a> <protocol-b>
-  vnet mc <protocol> [--unique-vns | --single-vn]
+  vnet mc <protocol> [--unique-vns | --single-vn] [--budget <budget>]
+  vnet sim <protocol> [--faults <plan>] [--seed <n>] [--topology ring:<n>|mesh:<r>x<c>]
+           [--ops <n>] [--max-cycles <n>] [--unique-vns | --single-vn] [--recirculation]
 
-<protocol> is a built-in name or a path to a .vnp file (text DSL).";
+<protocol> is a built-in name or a path to a .vnp file (text DSL).
+<budget>   comma-separated limits: `500ms` / `2s` (deadline), `nodes=100000`;
+           on exhaustion the solvers degrade to heuristics and the exit code is 3.
+<plan>     fault clauses as accepted by FaultPlan::parse, e.g.
+           drop=0.02,dup=0.01,delay=0.05:3,reorder=0.1 (deterministic per --seed)
 
-fn run(args: &[String]) -> Result<(), String> {
+exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result.";
+
+fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
     match cmd {
         "list" => {
@@ -61,20 +86,26 @@ fn run(args: &[String]) -> Result<(), String> {
                     .unwrap_or_else(|| " (extension)".to_string());
                 println!("  {}{exp}", p.name());
             }
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "analyze" => {
             let spec = load(args.get(1).ok_or("analyze needs a protocol")?)?;
-            let r = analyze(&spec);
+            let budget = budget_flag(args)?;
+            let r = analyze_budgeted(&spec, &budget);
             print!("{}", report::full_report(&r));
             println!(
                 "\n(for comparison, the textbook rule would provision {} VNs)",
                 textbook_vn_count(&spec)
             );
             if matches!(r.outcome(), VnOutcome::Class2(_)) {
-                return Err("protocol is Class 2".into());
+                println!("protocol is Class 2: no VN count avoids deadlock on ordered VNs");
+                return Ok(Outcome::DeadlockFound);
             }
-            Ok(())
+            if !r.outcome().provenance().is_exact() {
+                println!("note: result is degraded (budget exhausted); minimality not guaranteed");
+                return Ok(Outcome::Degraded);
+            }
+            Ok(Outcome::Clean)
         }
         "check" => {
             let spec = load(args.get(1).ok_or("check needs a protocol")?)?;
@@ -89,9 +120,9 @@ fn run(args: &[String]) -> Result<(), String> {
             );
             print!("{}", assignment.display(&spec));
             if ok {
-                Ok(())
+                Ok(Outcome::Clean)
             } else {
-                Err("mapping not certified".into())
+                Ok(Outcome::DeadlockFound)
             }
         }
         "render" => {
@@ -106,13 +137,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 "{}",
                 vnet_bench_render(&spec, ControllerKind::Directory)
             );
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "explain" => {
             let spec = load(args.get(1).ok_or("explain needs a protocol")?)?;
             let r = analyze(&spec);
             println!("{}", vnet::core::explain::explain(&r));
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "dot" => {
             let spec = load(args.get(1).ok_or("dot needs a protocol")?)?;
@@ -126,28 +157,28 @@ fn run(args: &[String]) -> Result<(), String> {
                 other => return Err(format!("unknown graph {other}")),
             };
             print!("{text}");
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "diff" => {
             let a = load(args.get(1).ok_or("diff needs two protocols")?)?;
             let b = load(args.get(2).ok_or("diff needs two protocols")?)?;
             print!("{}", vnet::protocol::diff::diff_specs(&a, &b));
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "export-murphi" => {
             let spec = load(args.get(1).ok_or("export-murphi needs a protocol")?)?;
             let cfg = vnet::mc::McConfig::general(&spec);
             print!("{}", vnet::mc::murphi::export(&spec, &cfg));
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "export" => {
             let spec = load(args.get(1).ok_or("export needs a protocol")?)?;
             print!("{}", dsl::to_text(&spec));
-            Ok(())
+            Ok(Outcome::Clean)
         }
         "mc" => {
             let spec = load(args.get(1).ok_or("mc needs a protocol")?)?;
-            use vnet::mc::{explore, McConfig, VnMap};
+            use vnet::mc::{explore_budgeted, McConfig, Verdict, VnMap};
             let vns = if args.iter().any(|a| a == "--unique-vns") {
                 VnMap::one_per_message(spec.messages().len())
             } else if args.iter().any(|a| a == "--single-vn") {
@@ -163,18 +194,184 @@ fn run(args: &[String]) -> Result<(), String> {
                     }
                 }
             };
+            let budget = budget_flag(args)?;
             let cfg = McConfig::figure3(&spec).with_vns(vns);
-            let v = explore(&spec, &cfg);
+            let v = explore_budgeted(&spec, &cfg, &budget);
             println!("{}", v.summary());
-            if let vnet::mc::Verdict::Deadlock { trace, .. } = &v {
-                println!("{}", trace.display(&spec, &cfg));
-                return Err("deadlock found".into());
+            match &v {
+                Verdict::Deadlock { trace, .. } => {
+                    println!("{}", trace.display(&spec, &cfg));
+                    Ok(Outcome::DeadlockFound)
+                }
+                Verdict::ModelError { detail, .. } | Verdict::InvariantViolation { detail, .. } => {
+                    Err(format!("model checking found a specification bug: {detail}"))
+                }
+                Verdict::NoDeadlock(stats) if !stats.provenance.is_exact() => {
+                    println!("note: partial exploration only (budget exhausted)");
+                    Ok(Outcome::Degraded)
+                }
+                Verdict::NoDeadlock(_) => Ok(Outcome::Clean),
             }
-            Ok(())
+        }
+        "sim" => {
+            let spec = load(args.get(1).ok_or("sim needs a protocol")?)?;
+            use vnet::mc::VnMap;
+            use vnet::sim::{FaultPlan, SimConfig, Simulator, Topology, Workload};
+            let plan = match flag_value(args, "--faults")? {
+                Some(text) => FaultPlan::parse(&text).map_err(|e| e.to_string())?,
+                None => FaultPlan::none(),
+            };
+            let seed: u64 = parse_flag(args, "--seed", 1)?;
+            let ops: usize = parse_flag(args, "--ops", 40)?;
+            let max_cycles: u64 = parse_flag(args, "--max-cycles", 300_000)?;
+            let topology = match flag_value(args, "--topology")? {
+                Some(t) => parse_topology(&t)?,
+                None => Topology::Mesh(2, 3),
+            };
+            // SimConfig::new asserts these preconditions; reject bad
+            // user input here so the CLI errs instead of aborting.
+            let n_dirs = 2;
+            if topology.nodes() <= n_dirs {
+                return Err(format!(
+                    "topology has {} node(s) but {n_dirs} are directories; need at least {}",
+                    topology.nodes(),
+                    n_dirs + 1
+                ));
+            }
+            if topology.nodes() - n_dirs > 8 {
+                return Err(format!(
+                    "topology has {} cache nodes; the checker's bitmask supports at most 8",
+                    topology.nodes() - n_dirs
+                ));
+            }
+            let n_msgs = spec.messages().len();
+            let vns = if args.iter().any(|a| a == "--unique-vns") {
+                VnMap::one_per_message(n_msgs)
+            } else if args.iter().any(|a| a == "--single-vn") {
+                VnMap::single(n_msgs)
+            } else {
+                match vnet::sim::sim::minimal_vn_map(&spec) {
+                    Some(m) => m,
+                    None => {
+                        println!("Class 2 protocol: simulating with one VN per message");
+                        VnMap::one_per_message(n_msgs)
+                    }
+                }
+            };
+            let mut cfg = SimConfig::new(&spec, topology, 2, n_dirs).with_vns(vns);
+            if !plan.is_empty() {
+                cfg = cfg.with_faults(plan, seed);
+            }
+            if args.iter().any(|a| a == "--recirculation") {
+                cfg = cfg.with_recirculation();
+            }
+            let workload = Workload::uniform_random(cfg.n_caches(), 2, ops, seed);
+            let r = Simulator::new(spec, cfg).run(workload, max_cycles);
+            println!(
+                "{} VN(s), buffer cost {}; {} cycles",
+                r.n_vns, r.buffer_cost, r.cycles
+            );
+            println!(
+                "transactions completed: {} (unfinished ops: {})",
+                r.completed_transactions, r.unfinished_ops
+            );
+            if r.completed_transactions > 0 {
+                println!(
+                    "latency: avg {:.1}, p99 {} cycles; peak buffer occupancy {}",
+                    r.avg_latency, r.p99_latency, r.peak_occupancy
+                );
+            }
+            if let Some(f) = &r.faults {
+                println!(
+                    "faults fired: dropped {}, duplicated {}, delayed {}, reordered {}, blocked-by-outage {}",
+                    f.dropped, f.duplicated, f.delayed, f.reordered, f.down_blocked
+                );
+            }
+            if let Some(detail) = &r.model_error {
+                return Err(format!("specification bug under simulation: {detail}"));
+            }
+            if r.deadlocked {
+                if let Some(rep) = &r.deadlock {
+                    println!("{rep}");
+                }
+                return Ok(Outcome::DeadlockFound);
+            }
+            Ok(Outcome::Clean)
         }
         "" => Err("no command given".into()),
         other => Err(format!("unknown command {other}")),
     }
+}
+
+/// The value following `name` in `args`, if the flag is present.
+fn flag_value(args: &[String], name: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == name) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) => Ok(Some(v.clone())),
+            None => Err(format!("{name} needs a value")),
+        },
+    }
+}
+
+/// Parses the value of a numeric flag, or returns `default` when absent.
+fn parse_flag<T: std::str::FromStr>(args: &[String], name: &str, default: T) -> Result<T, String> {
+    match flag_value(args, name)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("bad value for {name}: `{v}`")),
+    }
+}
+
+/// Parses `--budget` clauses: `500ms` / `2s` deadlines and `nodes=N`
+/// work limits, comma-separated. Absent flag means unlimited.
+fn budget_flag(args: &[String]) -> Result<Budget, String> {
+    let Some(text) = flag_value(args, "--budget")? else {
+        return Ok(Budget::unlimited());
+    };
+    let mut budget = Budget::unlimited();
+    for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        if let Some(n) = clause.strip_prefix("nodes=") {
+            let n: u64 = n
+                .parse()
+                .map_err(|_| format!("bad node limit `{clause}`"))?;
+            budget = budget.with_node_limit(n);
+        } else if let Some(ms) = clause.strip_suffix("ms") {
+            let ms: u64 = ms
+                .parse()
+                .map_err(|_| format!("bad deadline `{clause}`"))?;
+            budget = budget.with_deadline(Duration::from_millis(ms));
+        } else if let Some(s) = clause.strip_suffix('s') {
+            let s: u64 = s.parse().map_err(|_| format!("bad deadline `{clause}`"))?;
+            budget = budget.with_deadline(Duration::from_secs(s));
+        } else {
+            return Err(format!(
+                "bad budget clause `{clause}` (want `500ms`, `2s`, or `nodes=100000`)"
+            ));
+        }
+    }
+    Ok(budget)
+}
+
+/// Parses `--topology`: `ring:<n>` or `mesh:<rows>x<cols>`.
+fn parse_topology(text: &str) -> Result<vnet::sim::Topology, String> {
+    use vnet::sim::Topology;
+    if let Some(n) = text.strip_prefix("ring:") {
+        let n: usize = n
+            .parse()
+            .map_err(|_| format!("bad ring size in `{text}`"))?;
+        return Ok(Topology::Ring(n));
+    }
+    if let Some(rc) = text.strip_prefix("mesh:") {
+        let (r, c) = rc
+            .split_once('x')
+            .ok_or_else(|| format!("bad mesh shape in `{text}` (want mesh:<r>x<c>)"))?;
+        let r: usize = r.parse().map_err(|_| format!("bad mesh rows in `{text}`"))?;
+        let c: usize = c.parse().map_err(|_| format!("bad mesh cols in `{text}`"))?;
+        return Ok(Topology::Mesh(r, c));
+    }
+    Err(format!(
+        "unknown topology `{text}` (want ring:<n> or mesh:<r>x<c>)"
+    ))
 }
 
 /// Loads a built-in protocol by name or a `.vnp` file by path.

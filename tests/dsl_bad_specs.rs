@@ -1,0 +1,104 @@
+//! The `.vnp` bad-spec corpus: every file under `tests/bad_specs/` is
+//! malformed on purpose and must be rejected by [`dsl::parse`] with the
+//! positioned error its `# expect:` header names — never accepted, never
+//! a panic. CI runs this as the fail-closed parser fuzz gate.
+//!
+//! Header convention (line 1 of each corpus file):
+//!
+//! ```text
+//! # expect: <line>: <message substring>
+//! ```
+
+use std::path::PathBuf;
+use vnet::protocol::dsl;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("bad_specs")
+}
+
+struct Expectation {
+    line: usize,
+    needle: String,
+}
+
+fn expectation(text: &str) -> Result<Expectation, String> {
+    let header = text.lines().next().ok_or("empty corpus file")?;
+    let spec = header
+        .strip_prefix("# expect: ")
+        .ok_or("first line must be `# expect: <line>: <substring>`")?;
+    let (line, needle) = spec
+        .split_once(": ")
+        .ok_or("expectation must be `<line>: <substring>`")?;
+    Ok(Expectation {
+        line: line
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad expected line number {line:?}: {e}"))?,
+        needle: needle.trim().to_string(),
+    })
+}
+
+/// Every corpus file must fail to parse, at the expected line, with the
+/// expected message. A corpus file that *parses* is itself a test bug —
+/// the gate fails closed.
+#[test]
+fn every_bad_spec_is_rejected_with_a_positioned_error() -> Result<(), String> {
+    let dir = corpus_dir();
+    let mut checked = 0usize;
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "vnp"))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("{name}: read failed: {e}"))?;
+        let want = expectation(&text).map_err(|e| format!("{name}: {e}"))?;
+        let got = match dsl::parse(&text) {
+            Err(e) => e,
+            Ok(spec) => {
+                return Err(format!(
+                    "{name}: parsed successfully as protocol `{}` — corpus must fail closed",
+                    spec.name()
+                ))
+            }
+        };
+        if got.line != want.line {
+            return Err(format!(
+                "{name}: error at line {}, expected line {} ({got})",
+                got.line, want.line
+            ));
+        }
+        if !got.message.contains(&want.needle) {
+            return Err(format!(
+                "{name}: error `{}` does not mention `{}`",
+                got.message, want.needle
+            ));
+        }
+        checked += 1;
+    }
+    // Guard against the corpus silently vanishing (e.g. a bad glob):
+    // there is one file per distinct parser error production.
+    if checked < 20 {
+        return Err(format!("only {checked} corpus files found — corpus missing?"));
+    }
+    Ok(())
+}
+
+/// The parse error type renders its position; downstream tools print it
+/// verbatim to users.
+#[test]
+fn parse_errors_display_the_line_number() {
+    let Err(e) = dsl::parse("protocol") else {
+        unreachable!("bare `protocol` must not parse");
+    };
+    assert_eq!(e.line, 1);
+    assert!(e.to_string().starts_with("line 1:"));
+}

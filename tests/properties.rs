@@ -1,92 +1,108 @@
 //! Property-based tests over the algorithm's invariants, using random
 //! relation instances and the striped synthetic protocols.
+//!
+//! Hermetic builds have no crates.io access, so instead of `proptest`
+//! these run a fixed number of seeded cases from the in-repo
+//! [`Rng64`](vnet::graph::Rng64) generator. Failures print the case
+//! seed so a run can be reproduced exactly.
 
-use proptest::prelude::*;
 use vnet::core::deadlock::{build_condition_graph, find_eq4_cycle_edges};
 use vnet::core::synthetic::{random_waits_queues, striped_protocol};
 use vnet::core::{analyze, minimize_vns, ProtocolClass, Relation};
 use vnet::graph::fas::{is_acyclic_without, minimum_feedback_arc_set};
+use vnet::graph::Rng64;
 use vnet::protocol::MsgId;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The exact FAS always leaves the condition graph acyclic, and its
-    /// weight never exceeds the heuristic's.
-    #[test]
-    fn fas_is_sound_and_minimal_vs_heuristic(
-        n in 4usize..14,
-        wd in 20u64..200,
-        qd in 20u64..300,
-        seed in 0u64..u64::MAX,
-    ) {
+/// The exact FAS always leaves the condition graph acyclic, and its
+/// weight never exceeds the heuristic's.
+#[test]
+fn fas_is_sound_and_minimal_vs_heuristic() {
+    let mut rng = Rng64::seed_from_u64(0xFA5);
+    for case in 0..24 {
+        let n = rng.gen_range(4, 14);
+        let wd = rng.gen_range_u64(20, 200);
+        let qd = rng.gen_range_u64(20, 300);
+        let seed = rng.next_u64();
         let (waits, queues) = random_waits_queues(n, wd, qd, seed);
         let cg = build_condition_graph(&waits, &queues);
         let weight_of = |w: &vnet::core::deadlock::EdgeWitness| -> u128 {
-            if w.qs.is_empty() { (1u128 << n) + 1 } else { 1 }
+            if w.qs.is_empty() {
+                (1u128 << n) + 1
+            } else {
+                1
+            }
         };
         let exact = minimum_feedback_arc_set(&cg.graph, weight_of);
-        prop_assert!(is_acyclic_without(&cg.graph, &exact.edges));
+        assert!(is_acyclic_without(&cg.graph, &exact.edges), "case {case}");
         let heur = vnet::graph::fas::heuristic_feedback_arc_set(&cg.graph, weight_of);
-        prop_assert!(is_acyclic_without(&cg.graph, &heur.edges));
-        prop_assert!(exact.weight <= heur.weight);
+        assert!(is_acyclic_without(&cg.graph, &heur.edges), "case {case}");
+        assert!(exact.weight <= heur.weight, "case {case} seed {seed}");
     }
+}
 
-    /// Eq. 4 equivalence: the union digraph has a waits-containing cycle
-    /// iff the condition graph (Eq. 5) has any cycle.
-    #[test]
-    fn eq4_and_eq5_agree(
-        n in 3usize..12,
-        wd in 20u64..250,
-        qd in 20u64..350,
-        seed in 0u64..u64::MAX,
-    ) {
+/// Eq. 4 equivalence: the union digraph has a waits-containing cycle
+/// iff the condition graph (Eq. 5) has any cycle.
+#[test]
+fn eq4_and_eq5_agree() {
+    let mut rng = Rng64::seed_from_u64(0xE44);
+    for case in 0..24 {
+        let n = rng.gen_range(3, 12);
+        let wd = rng.gen_range_u64(20, 250);
+        let qd = rng.gen_range_u64(20, 350);
+        let seed = rng.next_u64();
         let (waits, queues) = random_waits_queues(n, wd, qd, seed);
         let cond = build_condition_graph(&waits, &queues);
         let eq5_cyclic = vnet::graph::scc::has_cycle(&cond.graph);
         let eq4_cyclic = find_eq4_cycle_edges(&waits, &queues).is_some();
-        prop_assert_eq!(eq5_cyclic, eq4_cyclic);
+        assert_eq!(eq5_cyclic, eq4_cyclic, "case {case} seed {seed}");
     }
+}
 
-    /// Relation algebra: composition is associative and the closure is
-    /// idempotent.
-    #[test]
-    fn relation_algebra_laws(
-        n in 2usize..10,
-        pairs1 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
-        pairs2 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
-        pairs3 in proptest::collection::vec((0usize..10, 0usize..10), 0..20),
-    ) {
-        let rel = |ps: &[(usize, usize)]| {
+/// Relation algebra: composition is associative and the closure is
+/// idempotent.
+#[test]
+fn relation_algebra_laws() {
+    let mut rng = Rng64::seed_from_u64(0xA16_EB2A);
+    for case in 0..24 {
+        let n = rng.gen_range(2, 10);
+        let random_rel = |rng: &mut Rng64| {
             let mut r = Relation::new(n);
-            for &(a, b) in ps {
+            for _ in 0..rng.gen_range(0, 20) {
+                let a = rng.gen_range(0, 10);
+                let b = rng.gen_range(0, 10);
                 if a < n && b < n {
                     r.insert(MsgId(a), MsgId(b));
                 }
             }
             r
         };
-        let (r, s, t) = (rel(&pairs1), rel(&pairs2), rel(&pairs3));
-        prop_assert_eq!(r.compose(&s).compose(&t), r.compose(&s.compose(&t)));
+        let (r, s, t) = (random_rel(&mut rng), random_rel(&mut rng), random_rel(&mut rng));
+        assert_eq!(
+            r.compose(&s).compose(&t),
+            r.compose(&s.compose(&t)),
+            "case {case}"
+        );
         let tc = r.transitive_closure();
-        prop_assert_eq!(tc.transitive_closure(), tc.clone());
+        assert_eq!(tc.transitive_closure(), tc.clone(), "case {case}");
         // R⁺ contains R; (R⁻¹)⁻¹ = R.
         for (a, b) in r.iter() {
-            prop_assert!(tc.contains(a, b));
+            assert!(tc.contains(a, b), "case {case}");
         }
-        prop_assert_eq!(r.inverse().inverse(), r);
+        assert_eq!(r.inverse().inverse(), r, "case {case}");
     }
+}
 
-    /// The striped synthetic protocol is Class 3 with exactly two VNs at
-    /// every width, and its assignment certifies.
-    #[test]
-    fn striped_protocols_always_two_vns(k in 1usize..6) {
+/// The striped synthetic protocol is Class 3 with exactly two VNs at
+/// every width, and its assignment certifies.
+#[test]
+fn striped_protocols_always_two_vns() {
+    for k in 1usize..6 {
         let spec = striped_protocol(k);
         spec.validate().unwrap();
         let report = analyze(&spec);
-        prop_assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: 2 });
+        assert_eq!(report.class(), ProtocolClass::Class3 { min_vns: 2 }, "k={k}");
         let a = report.outcome().assignment().unwrap();
-        prop_assert!(vnet::core::assignment::certify(&spec, report.waits(), a));
+        assert!(vnet::core::assignment::certify(&spec, report.waits(), a));
     }
 }
 
