@@ -49,13 +49,27 @@ impl Budget {
 
     /// Starts metering against this budget.
     pub fn start(&self) -> BudgetMeter {
-        BudgetMeter {
+        self.start_from(0)
+    }
+
+    /// Starts metering with `nodes` units already spent — the resume
+    /// path for checkpointed solvers. The node limit is cumulative
+    /// across resumes (a checkpoint records the spent count); the
+    /// wall-clock deadline is per-process and restarts here.
+    pub fn start_from(&self, nodes: u64) -> BudgetMeter {
+        let mut meter = BudgetMeter {
             started: Instant::now(),
             deadline: self.deadline,
             node_limit: self.node_limit,
-            nodes: 0,
+            nodes,
             exhausted: None,
+        };
+        if let Some(limit) = meter.node_limit {
+            if nodes > limit {
+                meter.exhausted = Some(DegradeReason::NodeLimit { limit });
+            }
         }
+        meter
     }
 }
 
@@ -102,6 +116,22 @@ impl BudgetMeter {
         self.exhausted.as_ref()
     }
 
+    /// Wall-clock time spent under this meter so far.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// `true` once less than `window` remains before the deadline (and
+    /// always `false` for deadline-free budgets). Long-running solvers
+    /// use this as the flush-now trigger: emit a checkpoint *before*
+    /// the deadline kills the run, so the work survives.
+    pub fn deadline_imminent(&self, window: Duration) -> bool {
+        match self.deadline {
+            None => false,
+            Some(d) => d.saturating_sub(self.started.elapsed()) < window,
+        }
+    }
+
     /// Nodes accounted so far.
     pub fn nodes(&self) -> u64 {
         self.nodes
@@ -139,6 +169,16 @@ pub enum DegradeReason {
         /// Human-readable description of the bound.
         what: String,
     },
+    /// Parallel worker threads were lost (panicked) and the bounded
+    /// restart budget ran out, so part of the search space was
+    /// abandoned. The result covers everything the surviving workers
+    /// explored, but is no longer a complete claim.
+    WorkerLoss {
+        /// How many frontier states were abandoned with the workers.
+        lost_states: usize,
+        /// How many restarts were attempted before giving up.
+        restarts: u32,
+    },
 }
 
 impl std::fmt::Display for DegradeReason {
@@ -149,6 +189,13 @@ impl std::fmt::Display for DegradeReason {
             }
             DegradeReason::NodeLimit { limit } => write!(f, "node limit of {limit} reached"),
             DegradeReason::Bound { what } => write!(f, "{what}"),
+            DegradeReason::WorkerLoss {
+                lost_states,
+                restarts,
+            } => write!(
+                f,
+                "worker loss: {lost_states} frontier state(s) abandoned after {restarts} restart(s)"
+            ),
         }
     }
 }
@@ -231,6 +278,46 @@ mod tests {
             m.exhaustion(),
             Some(DegradeReason::DeadlineExpired { .. })
         ));
+    }
+
+    #[test]
+    fn start_from_is_cumulative_across_resumes() {
+        let budget = Budget::unlimited().with_node_limit(10);
+        let mut first = budget.start();
+        let spent = (0..6).filter(|_| first.tick()).count();
+        assert_eq!(spent, 6);
+        // Resume: only 4 of the 10 remain.
+        let mut resumed = budget.start_from(first.nodes());
+        let more = (0..20).filter(|_| resumed.tick()).count();
+        assert_eq!(more, 4);
+        assert!(matches!(
+            resumed.exhaustion(),
+            Some(DegradeReason::NodeLimit { limit: 10 })
+        ));
+        // Resuming past the limit is exhausted from the first tick.
+        let mut over = budget.start_from(11);
+        assert!(!over.tick());
+    }
+
+    #[test]
+    fn deadline_imminent_tracks_the_window() {
+        let m = Budget::unlimited().start();
+        assert!(!m.deadline_imminent(Duration::from_secs(3600)));
+        let m = Budget::unlimited()
+            .with_deadline(Duration::from_millis(1))
+            .start();
+        assert!(m.deadline_imminent(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn worker_loss_reason_displays() {
+        let r = DegradeReason::WorkerLoss {
+            lost_states: 7,
+            restarts: 3,
+        };
+        let s = r.to_string();
+        assert!(s.contains("worker loss"), "{s}");
+        assert!(s.contains('7') && s.contains('3'), "{s}");
     }
 
     #[test]

@@ -71,6 +71,11 @@ impl VnMap {
     pub fn n_vns(&self) -> usize {
         self.n_vns
     }
+
+    /// The full per-message VN vector (indexed by `MsgId`).
+    pub fn vn_vector(&self) -> &[usize] {
+        &self.vn_of
+    }
 }
 
 /// ICN ordering discipline (paper Figure 4).
@@ -241,6 +246,68 @@ impl McConfig {
     /// The home directory index of an address.
     pub fn home_of(&self, addr: usize) -> usize {
         addr % self.n_dirs
+    }
+
+    /// A canonical byte encoding of every field that shapes the
+    /// reachable state space and the verdict, hashed into checkpoint
+    /// fingerprints: resuming is only sound when this matches the run
+    /// that wrote the checkpoint (see `checkpoint::fingerprint`).
+    pub fn fingerprint_bytes(&self) -> Vec<u8> {
+        fn num(out: &mut Vec<u8>, v: u64) {
+            out.extend(v.to_le_bytes());
+        }
+        let mut out = Vec::with_capacity(96);
+        num(&mut out, self.n_caches as u64);
+        num(&mut out, self.n_addrs as u64);
+        num(&mut out, self.n_dirs as u64);
+        num(&mut out, self.vns.n_vns() as u64);
+        for &vn in self.vns.vn_vector() {
+            num(&mut out, vn as u64);
+        }
+        match self.order {
+            IcnOrder::Unordered => num(&mut out, u64::MAX),
+            IcnOrder::PointToPoint { salt } => {
+                num(&mut out, 1);
+                num(&mut out, salt);
+            }
+        }
+        num(&mut out, self.global_capacity as u64);
+        num(&mut out, self.endpoint_capacity as u64);
+        match &self.budget {
+            InjectionBudget::PerCache(b) => {
+                num(&mut out, 0);
+                num(&mut out, *b as u64);
+            }
+            InjectionBudget::Explicit(script) => {
+                num(&mut out, 1);
+                num(&mut out, script.len() as u64);
+                for (cache, addr, op) in script {
+                    num(&mut out, *cache as u64);
+                    num(&mut out, *addr as u64);
+                    num(
+                        &mut out,
+                        match op {
+                            CoreOp::Load => 0,
+                            CoreOp::Store => 1,
+                            CoreOp::Evict => 2,
+                        },
+                    );
+                }
+            }
+        }
+        // `max_states`/`max_depth` are deliberately excluded: like the
+        // wall-clock budget they only truncate the run, so resuming a
+        // checkpoint under different bounds is sound (and is exactly how
+        // a bounded sweep gets extended).
+        match &self.swmr {
+            None => num(&mut out, u64::MAX),
+            Some(swmr) => {
+                num(&mut out, 2);
+                out.extend(swmr.fingerprint_bytes());
+            }
+        }
+        out.push(self.symmetry as u8);
+        out
     }
 }
 

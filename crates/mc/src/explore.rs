@@ -1,13 +1,18 @@
-//! Breadth-first exploration with deadlock detection and bounded-run
-//! reporting.
+//! Breadth-first exploration with deadlock detection, bounded-run
+//! reporting, and crash-tolerant checkpoint/resume.
 
+use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, VisitedEntry};
 use crate::config::McConfig;
 use crate::rules::{successors, Expansion};
 use crate::state::GlobalState;
 use crate::trace::Trace;
 use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
 use vnet_graph::{Budget, DegradeReason, Provenance};
 use vnet_protocol::ProtocolSpec;
+
+/// Visited/parent map: state key → (parent key, rule label, claim level).
+type ParentMap = HashMap<Vec<u8>, (Vec<u8>, String, u32)>;
 
 /// Exploration statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -147,8 +152,132 @@ pub fn explore_budgeted_with(
     spec: &ProtocolSpec,
     cfg: &McConfig,
     budget: &Budget,
-    mut on_level: impl FnMut(usize, usize),
+    on_level: impl FnMut(usize, usize),
 ) -> Verdict {
+    match run_serial(spec, cfg, budget, None, None, on_level) {
+        Ok(CheckpointedRun::Finished(v)) => v,
+        // Without a checkpoint policy there is no file IO and no stop
+        // file, so these arms are unreachable; fail soft, never panic.
+        Ok(CheckpointedRun::Interrupted { states, level, .. }) => {
+            Verdict::NoDeadlock(ExploreStats {
+                states,
+                levels: level,
+                complete: false,
+                provenance: Provenance::Degraded {
+                    reason: DegradeReason::Bound {
+                        what: "run interrupted".into(),
+                    },
+                },
+            })
+        }
+        Err(e) => Verdict::NoDeadlock(ExploreStats {
+            states: 0,
+            levels: 0,
+            complete: false,
+            provenance: Provenance::Degraded {
+                reason: DegradeReason::Bound {
+                    what: format!("checkpoint error: {e}"),
+                },
+            },
+        }),
+    }
+}
+
+/// The outcome of a checkpoint-enabled run.
+#[derive(Debug)]
+pub enum CheckpointedRun {
+    /// The run ended with a verdict (possibly bounded/degraded).
+    Finished(Verdict),
+    /// The stop file appeared at a level boundary: progress was flushed
+    /// to `checkpoint` and the run stepped aside without a verdict.
+    Interrupted {
+        /// The checkpoint holding the flushed progress.
+        checkpoint: PathBuf,
+        /// Distinct states claimed so far.
+        states: usize,
+        /// Completed BFS levels.
+        level: usize,
+    },
+}
+
+/// [`explore_budgeted_with`] plus crash tolerance: explorer progress is
+/// flushed to `policy.path` per the policy's cadence, on an imminent
+/// budget deadline, and on budget exhaustion, so a killed or starved
+/// run can be continued with [`resume`]. Checkpoint IO failures are
+/// returned, never ignored — a run that cannot persist its progress
+/// should not pretend it can.
+pub fn explore_checkpointed(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    budget: &Budget,
+    policy: &CheckpointPolicy,
+    on_level: impl FnMut(usize, usize),
+) -> Result<CheckpointedRun, CheckpointError> {
+    run_serial(spec, cfg, budget, None, Some(policy), on_level)
+}
+
+/// Continues a run from the checkpoint at `path`, after verifying its
+/// checksum and its (spec, config) fingerprint — a checkpoint from a
+/// different protocol, VN mapping, or system size is refused with
+/// [`CheckpointError::SpecMismatch`]. The budget's node accounting is
+/// cumulative: the checkpoint records nodes already spent.
+pub fn resume(
+    path: &Path,
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    budget: &Budget,
+    policy: Option<&CheckpointPolicy>,
+    on_level: impl FnMut(usize, usize),
+) -> Result<CheckpointedRun, CheckpointError> {
+    let ckpt = Checkpoint::load(path, spec, cfg)?;
+    run_serial(spec, cfg, budget, Some(ckpt), policy, on_level)
+}
+
+/// Snapshot the explorer at a level boundary and write it out.
+fn flush(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    parent: &ParentMap,
+    frontier: &VecDeque<GlobalState>,
+    level: usize,
+    claims: u64,
+    path: &Path,
+) -> Result<(), CheckpointError> {
+    let ckpt = Checkpoint {
+        fingerprint: crate::checkpoint::fingerprint(spec, cfg),
+        level,
+        nodes_spent: claims,
+        entries: parent
+            .iter()
+            .map(|(k, (p, l, lv))| VisitedEntry {
+                key: k.clone(),
+                parent: p.clone(),
+                label: l.clone(),
+                level: *lv,
+            })
+            .collect(),
+        frontier: frontier.iter().cloned().collect(),
+    };
+    ckpt.write_to(path)
+}
+
+/// The BFS core shared by the fresh, checkpointed, and resumed entry
+/// points. `start` seeds the visited map/frontier/level from a loaded
+/// checkpoint; `policy` enables flushing.
+///
+/// Budget granularity: without a policy, exhaustion stops the search at
+/// the very next claim (the historical behaviour). With a policy, the
+/// current level is finished first — a flushable snapshot must sit at a
+/// level boundary — so the overrun is bounded by one BFS level and the
+/// checkpoint is always consistent.
+fn run_serial(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    budget: &Budget,
+    start: Option<Checkpoint>,
+    policy: Option<&CheckpointPolicy>,
+    mut on_level: impl FnMut(usize, usize),
+) -> Result<CheckpointedRun, CheckpointError> {
     if cfg.symmetry {
         assert!(
             matches!(cfg.budget, crate::config::InjectionBudget::PerCache(_)),
@@ -163,33 +292,69 @@ pub fn explore_budgeted_with(
             (gs, key)
         }
     };
-    let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
 
-    // Invariant check on the initial state (vacuous for sane specs, but
-    // uniform).
-    if let Some(swmr) = &cfg.swmr {
-        if let Some(detail) = swmr.check(&initial, spec) {
-            return Verdict::InvariantViolation {
-                trace: Trace { steps: Vec::new(), last: initial },
-                detail,
-                stats: ExploreStats::bounded(1, 0),
-            };
+    let mut parent: ParentMap = HashMap::new();
+    let mut frontier: VecDeque<GlobalState>;
+    let mut level: usize;
+    // Claimed-state work counter; cumulative across resumes (unlike the
+    // meter's wall clock, which is per-process).
+    let mut claims: u64;
+
+    match start {
+        Some(ckpt) => {
+            parent.reserve(ckpt.entries.len());
+            for e in ckpt.entries {
+                parent.insert(e.key, (e.parent, e.label, e.level));
+            }
+            frontier = ckpt.frontier.into();
+            level = ckpt.level;
+            claims = ckpt.nodes_spent;
+        }
+        None => {
+            let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
+            // Invariant check on the initial state (vacuous for sane
+            // specs, but uniform).
+            if let Some(swmr) = &cfg.swmr {
+                if let Some(detail) = swmr.check(&initial, spec) {
+                    return Ok(CheckpointedRun::Finished(Verdict::InvariantViolation {
+                        trace: Trace {
+                            steps: Vec::new(),
+                            last: initial,
+                        },
+                        detail,
+                        stats: ExploreStats::bounded(1, 0),
+                    }));
+                }
+            }
+            parent.insert(init_key.clone(), (init_key, String::new(), 0));
+            frontier = VecDeque::from([initial]);
+            level = 0;
+            claims = 0;
         }
     }
 
-    let mut meter = budget.start();
-
-    // parent[key] = (parent key, rule label). The initial state maps to
-    // itself with an empty label.
-    let mut parent: HashMap<Vec<u8>, (Vec<u8>, String)> = HashMap::new();
-    parent.insert(init_key.clone(), (init_key.clone(), String::new()));
-
-    let mut frontier: VecDeque<GlobalState> = VecDeque::from([initial]);
-    let mut level = 0usize;
+    let mut meter = budget.start_from(claims);
     let mut complete = true;
     let mut truncated: Option<DegradeReason> = None;
+    let mut since_flush = 0usize;
 
     'bfs: while !frontier.is_empty() {
+        // Level-boundary housekeeping: cooperative interrupt, then the
+        // periodic / deadline-imminent flush.
+        if let Some(pol) = policy {
+            if pol.stop_file.as_ref().is_some_and(|p| p.exists()) {
+                flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+                return Ok(CheckpointedRun::Interrupted {
+                    checkpoint: pol.path.clone(),
+                    states: parent.len(),
+                    level,
+                });
+            }
+            if since_flush > pol.every_states || meter.deadline_imminent(pol.deadline_window) {
+                flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+                since_flush = 0;
+            }
+        }
         if let Some(max) = cfg.max_depth {
             if level >= max {
                 complete = false;
@@ -207,22 +372,22 @@ pub fn explore_budgeted_with(
                     let mut trace = rebuild_trace(&parent, &key, gs);
                     trace.steps.push(rule);
                     let stats = ExploreStats::bounded(parent.len(), level);
-                    return Verdict::ModelError {
+                    return Ok(CheckpointedRun::Finished(Verdict::ModelError {
                         trace,
                         detail,
                         stats,
-                    };
+                    }));
                 }
                 Expansion::Ok(succs) => {
                     if succs.is_empty() {
                         if !gs.is_quiescent(spec) {
                             let stats = ExploreStats::bounded(parent.len(), level);
                             let trace = rebuild_trace(&parent, &key, gs);
-                            return Verdict::Deadlock {
+                            return Ok(CheckpointedRun::Finished(Verdict::Deadlock {
                                 depth: level,
                                 trace,
                                 stats,
-                            };
+                            }));
                         }
                         continue;
                     }
@@ -233,26 +398,40 @@ pub fn explore_budgeted_with(
                         }
                         if let Some(swmr) = &cfg.swmr {
                             if let Some(detail) = swmr.check(&sstate, spec) {
-                                parent.insert(skey.clone(), (key.clone(), s.label));
+                                parent.insert(
+                                    skey.clone(),
+                                    (key.clone(), s.label, (level + 1) as u32),
+                                );
                                 let stats = ExploreStats::bounded(parent.len(), level);
                                 let trace = rebuild_trace(&parent, &skey, sstate);
-                                return Verdict::InvariantViolation { trace, detail, stats };
+                                return Ok(CheckpointedRun::Finished(
+                                    Verdict::InvariantViolation {
+                                        trace,
+                                        detail,
+                                        stats,
+                                    },
+                                ));
                             }
                         }
-                        parent.insert(skey, (key.clone(), s.label));
+                        parent.insert(skey, (key.clone(), s.label, (level + 1) as u32));
+                        claims += 1;
+                        since_flush += 1;
                         next_frontier.push_back(sstate);
-                        if !meter.tick() {
+                        if truncated.is_none() && !meter.tick() {
                             complete = false;
                             truncated = meter.exhaustion().cloned();
-                            break 'bfs;
+                            if policy.is_none() {
+                                break 'bfs;
+                            }
                         }
-                        if parent.len() >= cfg.max_states {
+                        if truncated.is_none() && parent.len() >= cfg.max_states {
                             complete = false;
                             truncated = Some(DegradeReason::Bound {
                                 what: format!("state limit of {} reached", cfg.max_states),
                             });
-                            // Finish nothing further; report bounded.
-                            break 'bfs;
+                            if policy.is_none() {
+                                break 'bfs;
+                            }
                         }
                     }
                 }
@@ -261,9 +440,21 @@ pub fn explore_budgeted_with(
         level += 1;
         on_level(level, parent.len());
         frontier = next_frontier;
+        if truncated.is_some() {
+            // Bounded run, level finished: snapshot then stop.
+            break;
+        }
     }
 
-    Verdict::NoDeadlock(ExploreStats {
+    // A truncated run is resumable — flush a final checkpoint so the
+    // remaining work survives. A complete verdict needs no snapshot.
+    if let Some(pol) = policy {
+        if truncated.is_some() {
+            flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+        }
+    }
+
+    Ok(CheckpointedRun::Finished(Verdict::NoDeadlock(ExploreStats {
         states: parent.len(),
         levels: level,
         complete,
@@ -271,18 +462,13 @@ pub fn explore_budgeted_with(
             None => Provenance::Exact,
             Some(reason) => Provenance::Degraded { reason },
         },
-    })
+    })))
 }
 
-fn rebuild_trace(
-    parent: &HashMap<Vec<u8>, (Vec<u8>, String)>,
-    key: &[u8],
-    last: GlobalState,
-) -> Trace {
+fn rebuild_trace(parent: &ParentMap, key: &[u8], last: GlobalState) -> Trace {
     let mut steps = Vec::new();
     let mut cur = key.to_vec();
-    loop {
-        let (p, label) = &parent[&cur];
+    while let Some((p, label, _)) = parent.get(&cur) {
         if label.is_empty() {
             break;
         }

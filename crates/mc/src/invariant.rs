@@ -76,6 +76,16 @@ impl Swmr {
         }
     }
 
+    /// Canonical bytes for checkpoint fingerprints: which states count
+    /// as writable/readable fully determines the invariant's behaviour.
+    pub fn fingerprint_bytes(&self) -> Vec<u8> {
+        let mut out = vec![self.writable.len() as u8];
+        out.extend(&self.writable);
+        out.push(self.readable.len() as u8);
+        out.extend(&self.readable);
+        out
+    }
+
     /// Checks the invariant on one state; returns a description of the
     /// violation if any address breaks it.
     pub fn check(&self, gs: &GlobalState, spec: &ProtocolSpec) -> Option<String> {

@@ -41,6 +41,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
+pub mod checkpoint;
 pub mod config;
 pub mod exec;
 pub mod explore;
@@ -52,11 +54,19 @@ pub mod state;
 pub mod symmetry;
 pub mod trace;
 
+pub use campaign::{
+    run_campaign, table1_config, CampaignConfig, CampaignEntry, CampaignReport, Isolation,
+    RunReport,
+};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use config::{IcnOrder, InjectionBudget, McConfig, VnMap};
 pub use invariant::Swmr;
 pub use explore::{
-    explore, explore_budgeted, explore_budgeted_with, explore_with, ExploreStats, Verdict,
+    explore, explore_budgeted, explore_budgeted_with, explore_checkpointed, explore_with, resume,
+    CheckpointedRun, ExploreStats, Verdict,
 };
-pub use parallel::explore_parallel;
+pub use parallel::{
+    explore_parallel, explore_parallel_supervised, resume_parallel, PanicInjection, ParallelOpts,
+};
 pub use state::{GlobalState, Msg, Node};
 pub use trace::Trace;

@@ -35,6 +35,12 @@ enum Outcome {
     /// A `--budget` was exhausted: the printed result is degraded or
     /// partial, not exact — exit 3.
     Degraded,
+    /// The run was stopped cooperatively (stop file) and a resumable
+    /// checkpoint was written — exit 4.
+    Interrupted,
+    /// A campaign finished but some protocol produced no verdict at
+    /// all (every attempt crashed or timed out) — exit 5.
+    Incomplete,
 }
 
 fn main() -> ExitCode {
@@ -43,6 +49,8 @@ fn main() -> ExitCode {
         Ok(Outcome::Clean) => ExitCode::SUCCESS,
         Ok(Outcome::DeadlockFound) => ExitCode::from(2),
         Ok(Outcome::Degraded) => ExitCode::from(3),
+        Ok(Outcome::Interrupted) => ExitCode::from(4),
+        Ok(Outcome::Incomplete) => ExitCode::from(5),
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
@@ -63,7 +71,13 @@ usage:
   vnet export-murphi <protocol>
   vnet dot <protocol> <union|condition|conflict>
   vnet diff <protocol-a> <protocol-b>
-  vnet mc <protocol> [--unique-vns | --single-vn] [--budget <budget>]
+  vnet mc <protocol> [--unique-vns | --single-vn] [--budget <budget>] [--machine]
+          [--parallel <threads>] [--checkpoint <file>] [--resume <file>]
+          [--checkpoint-interval <states>] [--stop-file <file>]
+          [--inject-worker-panic <level>:<times>]
+  vnet campaign [<dir>] [--isolation thread|process] [--timeout <dur>] [--retries <n>]
+          [--threads <n>] [--budget <budget>] [--checkpoint-dir <dir>]
+          [--stop-file <file>] [--report <file>] [--inject-worker-panic <level>:<times>]
   vnet sim <protocol> [--faults <plan>] [--seed <n>] [--topology ring:<n>|mesh:<r>x<c>]
            [--ops <n>] [--max-cycles <n>] [--unique-vns | --single-vn] [--recirculation]
 
@@ -72,8 +86,14 @@ usage:
            on exhaustion the solvers degrade to heuristics and the exit code is 3.
 <plan>     fault clauses as accepted by FaultPlan::parse, e.g.
            drop=0.02,dup=0.01,delay=0.05:3,reorder=0.1 (deterministic per --seed)
+<dur>      `90s` or `1500ms`
 
-exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result.";
+`vnet campaign` sweeps every .vnp spec in <dir> (default `protocols/`, the
+Table I set) with per-protocol isolation, timeout, retry-with-backoff, and
+checkpoint resume, and emits a machine-readable JSON report.
+
+exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result,
+            4 interrupted (resumable checkpoint written), 5 campaign incomplete.";
 
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -178,7 +198,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         }
         "mc" => {
             let spec = load(args.get(1).ok_or("mc needs a protocol")?)?;
-            use vnet::mc::{explore_budgeted, McConfig, Verdict, VnMap};
+            use std::path::PathBuf;
+            use vnet::mc::{
+                campaign, checkpoint::CheckpointPolicy, explore_budgeted,
+                explore_checkpointed, explore_parallel_supervised, resume, resume_parallel,
+                CheckpointedRun, McConfig, ParallelOpts, Verdict, VnMap,
+            };
             let vns = if args.iter().any(|a| a == "--unique-vns") {
                 VnMap::one_per_message(spec.messages().len())
             } else if args.iter().any(|a| a == "--single-vn") {
@@ -196,11 +221,85 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             };
             let budget = budget_flag(args)?;
             let cfg = McConfig::figure3(&spec).with_vns(vns);
-            let v = explore_budgeted(&spec, &cfg, &budget);
+
+            let machine = args.iter().any(|a| a == "--machine");
+            let threads = flag_value(args, "--parallel")?
+                .map(|v| {
+                    v.parse::<usize>()
+                        .map_err(|_| format!("bad value for --parallel: `{v}`"))
+                })
+                .transpose()?;
+            let resume_path = flag_value(args, "--resume")?.map(PathBuf::from);
+            let ckpt_path = flag_value(args, "--checkpoint")?.map(PathBuf::from);
+            let interval: usize = parse_flag(args, "--checkpoint-interval", 50_000)?;
+            let stop_file = flag_value(args, "--stop-file")?.map(PathBuf::from);
+            let inject = inject_flag(args)?;
+            if inject.is_some() && threads.is_none() {
+                return Err("--inject-worker-panic needs --parallel".into());
+            }
+
+            // A resumed run keeps checkpointing to the file it resumed
+            // from unless --checkpoint redirects it.
+            let policy_path = ckpt_path.or_else(|| resume_path.clone());
+            let policy = policy_path.map(|p| {
+                let mut pol = CheckpointPolicy::new(p).every_states(interval);
+                if let Some(s) = &stop_file {
+                    pol = pol.with_stop_file(s.clone());
+                }
+                pol
+            });
+
+            let run = if let Some(n) = threads {
+                let mut opts = ParallelOpts::new().with_threads(n).with_budget(budget);
+                if let Some(p) = policy {
+                    opts = opts.with_policy(p);
+                }
+                if let Some(i) = inject {
+                    opts = opts.with_injection(i);
+                }
+                match &resume_path {
+                    Some(p) => resume_parallel(p, &spec, &cfg, &opts),
+                    None => explore_parallel_supervised(&spec, &cfg, &opts),
+                }
+            } else {
+                match (&resume_path, policy) {
+                    (Some(p), pol) => resume(p, &spec, &cfg, &budget, pol.as_ref(), |_, _| {}),
+                    (None, Some(pol)) => {
+                        explore_checkpointed(&spec, &cfg, &budget, &pol, |_, _| {})
+                    }
+                    (None, None) => Ok(CheckpointedRun::Finished(explore_budgeted(
+                        &spec, &cfg, &budget,
+                    ))),
+                }
+            };
+
+            let v = match run.map_err(|e| format!("checkpoint error: {e}"))? {
+                CheckpointedRun::Finished(v) => v,
+                CheckpointedRun::Interrupted {
+                    checkpoint,
+                    states,
+                    level,
+                } => {
+                    println!(
+                        "interrupted at level {level} ({states} states); resumable checkpoint \
+                         written to {}",
+                        checkpoint.display()
+                    );
+                    return Ok(Outcome::Interrupted);
+                }
+            };
+
             println!("{}", v.summary());
+            if machine {
+                println!("{}", campaign::machine_line(&v));
+            }
             match &v {
                 Verdict::Deadlock { trace, .. } => {
-                    println!("{}", trace.display(&spec, &cfg));
+                    // --machine keeps output small and parseable for
+                    // the campaign supervisor; skip the trace dump.
+                    if !machine {
+                        println!("{}", trace.display(&spec, &cfg));
+                    }
                     Ok(Outcome::DeadlockFound)
                 }
                 Verdict::ModelError { detail, .. } | Verdict::InvariantViolation { detail, .. } => {
@@ -211,6 +310,83 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     Ok(Outcome::Degraded)
                 }
                 Verdict::NoDeadlock(_) => Ok(Outcome::Clean),
+            }
+        }
+        "campaign" => {
+            use std::path::Path;
+            use vnet::mc::campaign::{self, CampaignConfig, Isolation};
+            let dir = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("protocols");
+            let entries = campaign::discover(Path::new(dir))?;
+            let mut cc = CampaignConfig::new()
+                .with_retries(parse_flag(args, "--retries", 2)?)
+                .with_threads(parse_flag(args, "--threads", 0)?)
+                .with_budget(budget_flag(args)?);
+            if let Some(t) = flag_value(args, "--timeout")? {
+                cc = cc.with_timeout(parse_duration(&t)?);
+            }
+            cc = match flag_value(args, "--isolation")?.as_deref() {
+                None | Some("thread") => cc.with_isolation(Isolation::Thread),
+                Some("process") => cc.with_isolation(Isolation::Process),
+                Some(other) => {
+                    return Err(format!(
+                        "unknown isolation `{other}` (want thread or process)"
+                    ))
+                }
+            };
+            if let Some(d) = flag_value(args, "--checkpoint-dir")? {
+                cc = cc.with_checkpoint_dir(d);
+            }
+            if let Some(s) = flag_value(args, "--stop-file")? {
+                cc = cc.with_stop_file(s);
+            }
+            if let Some(i) = inject_flag(args)? {
+                cc = cc.with_injection(i);
+            }
+            println!(
+                "campaign: {} protocol(s) from {dir}, {:?} isolation",
+                entries.len(),
+                cc.isolation
+            );
+            let rep = campaign::run_campaign(&entries, &cc, campaign::table1_config, |r| {
+                match (&r.kind, &r.error) {
+                    (Some(kind), _) => println!(
+                        "  {}: {kind} at depth {} ({} states) [{}]{}",
+                        r.protocol,
+                        r.depth,
+                        r.states,
+                        r.provenance,
+                        if r.retries > 0 {
+                            format!(" after {} retry(ies), {} resume(s)", r.retries, r.resumes)
+                        } else {
+                            String::new()
+                        }
+                    ),
+                    (None, Some(e)) => println!("  {}: FAILED: {e}", r.protocol),
+                    (None, None) => println!("  {}: FAILED", r.protocol),
+                }
+            });
+            let json = rep.to_json();
+            match flag_value(args, "--report")? {
+                Some(f) => {
+                    std::fs::write(&f, &json).map_err(|e| format!("{f}: {e}"))?;
+                    println!("report written to {f}");
+                }
+                None => print!("{json}"),
+            }
+            if rep.interrupted {
+                Ok(Outcome::Interrupted)
+            } else if !rep.all_completed() {
+                Ok(Outcome::Incomplete)
+            } else if rep.any_degraded() {
+                Ok(Outcome::Degraded)
+            } else {
+                // Deadlock verdicts are Table I's expected findings,
+                // not campaign failures: a full sweep is a clean exit.
+                Ok(Outcome::Clean)
             }
         }
         "sim" => {
@@ -350,6 +526,37 @@ fn budget_flag(args: &[String]) -> Result<Budget, String> {
         }
     }
     Ok(budget)
+}
+
+/// Parses a `90s` / `1500ms` duration value.
+fn parse_duration(text: &str) -> Result<Duration, String> {
+    if let Some(ms) = text.strip_suffix("ms") {
+        let ms: u64 = ms.parse().map_err(|_| format!("bad duration `{text}`"))?;
+        return Ok(Duration::from_millis(ms));
+    }
+    if let Some(s) = text.strip_suffix('s') {
+        let s: u64 = s.parse().map_err(|_| format!("bad duration `{text}`"))?;
+        return Ok(Duration::from_secs(s));
+    }
+    Err(format!("bad duration `{text}` (want `90s` or `1500ms`)"))
+}
+
+/// Parses `--inject-worker-panic <level>:<times>` (fault injection for
+/// the supervisor tests and the CI smoke job).
+fn inject_flag(args: &[String]) -> Result<Option<vnet::mc::PanicInjection>, String> {
+    let Some(text) = flag_value(args, "--inject-worker-panic")? else {
+        return Ok(None);
+    };
+    let (level, times) = text
+        .split_once(':')
+        .ok_or_else(|| format!("bad injection `{text}` (want <level>:<times>)"))?;
+    let level: usize = level
+        .parse()
+        .map_err(|_| format!("bad injection level in `{text}`"))?;
+    let times: u32 = times
+        .parse()
+        .map_err(|_| format!("bad injection count in `{text}`"))?;
+    Ok(Some(vnet::mc::PanicInjection { level, times }))
 }
 
 /// Parses `--topology`: `ring:<n>` or `mesh:<rows>x<cols>`.

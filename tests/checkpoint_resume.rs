@@ -1,0 +1,210 @@
+//! Kill-and-resume equivalence: checkpointing every `k` states,
+//! dropping the explorer (only the on-disk checkpoint survives — the
+//! same thing a SIGKILL leaves behind), and resuming must reproduce the
+//! verdict of an uninterrupted run exactly: same kind, same depth/level
+//! count, same distinct-state count, and — for counterexamples — the
+//! same witness trace. Exercised across a protocol × k matrix, with
+//! chained multi-segment resumes, for both the serial and the parallel
+//! explorer.
+
+use std::path::PathBuf;
+use vnet::core::Budget;
+use vnet::mc::{
+    explore_budgeted, explore_checkpointed, explore_parallel_supervised, resume, resume_parallel,
+    CheckpointPolicy, CheckpointedRun, McConfig, ParallelOpts, Verdict, VnMap,
+};
+use vnet::protocol::{protocols, ProtocolSpec};
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-resume-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&d);
+    d.join(format!("{tag}.ckpt"))
+}
+
+/// The observable identity of a verdict for equivalence checks.
+fn signature(v: &Verdict) -> (String, usize, usize, Vec<String>) {
+    let stats = v.stats();
+    let (kind, depth, steps) = match v {
+        Verdict::NoDeadlock(s) => ("no-deadlock".to_string(), s.levels, Vec::new()),
+        Verdict::Deadlock { depth, trace, .. } => {
+            ("deadlock".to_string(), *depth, trace.steps.clone())
+        }
+        Verdict::ModelError { trace, .. } => {
+            ("model-error".to_string(), stats.levels, trace.steps.clone())
+        }
+        Verdict::InvariantViolation { trace, .. } => (
+            "invariant-violation".to_string(),
+            stats.levels,
+            trace.steps.clone(),
+        ),
+    };
+    (kind, depth, stats.states, steps)
+}
+
+/// Runs serial exploration in budgeted segments of `seg` nodes,
+/// checkpointing every `k` states and abandoning the explorer between
+/// segments; returns the final verdict and how many resumes it took.
+fn run_in_segments(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    path: &PathBuf,
+    k: usize,
+    seg: u64,
+) -> (Verdict, usize) {
+    let _ = std::fs::remove_file(path);
+    let policy = CheckpointPolicy::new(path).every_states(k);
+    let mut segments = 0;
+    loop {
+        segments += 1;
+        assert!(segments <= 200, "resume chain did not converge");
+        // Node limits are cumulative across resumes: the checkpoint
+        // records nodes already spent, so each segment grants `seg`
+        // more.
+        let budget = Budget::unlimited().with_node_limit(seg * segments as u64);
+        let run = if segments == 1 {
+            explore_checkpointed(spec, cfg, &budget, &policy, |_, _| {})
+        } else {
+            resume(path, spec, cfg, &budget, Some(&policy), |_, _| {})
+        };
+        let run = match run {
+            Ok(r) => r,
+            Err(e) => panic!("segment {segments} failed: {e}"),
+        };
+        match run {
+            CheckpointedRun::Finished(v) => {
+                let exhausted = !v.stats().provenance.is_exact()
+                    && v.stats().provenance.annotation().contains("node limit");
+                if !exhausted {
+                    return (v, segments - 1);
+                }
+                // Budget ran out with a final flush; resume from it.
+            }
+            CheckpointedRun::Interrupted { .. } => {
+                panic!("no stop file configured; run cannot be interrupted")
+            }
+        }
+    }
+}
+
+#[test]
+fn serial_kill_and_resume_matrix_reproduces_verdicts() {
+    // Bounded spaces keep the matrix cheap; the property (resume ≡
+    // uninterrupted) is independent of why exploration stops.
+    let subjects: [(&str, ProtocolSpec); 3] = [
+        ("msi-b", protocols::msi_blocking_cache()),
+        ("mesi-nb", protocols::mesi_nonblocking_cache()),
+        ("mosi-nb", protocols::mosi_nonblocking_cache()),
+    ];
+    for (name, spec) in subjects {
+        let cfg = McConfig::figure3(&spec)
+            .with_vns(VnMap::one_per_message(spec.messages().len()))
+            .with_limits(3_000, Some(7));
+        // The uninterrupted reference runs in checkpointed mode too:
+        // when a configured bound fires, that mode finishes the BFS
+        // level before stopping (a flushable snapshot must sit at a
+        // level boundary), so a plain `explore_budgeted` run can stop
+        // mid-level with a smaller state count. Counterexample verdicts
+        // are unaffected — the deadlock test below compares against the
+        // plain explorer directly.
+        let base_path = tmp(&format!("{name}-base"));
+        let _ = std::fs::remove_file(&base_path);
+        let base_policy = CheckpointPolicy::new(&base_path).every_states(1_000_000);
+        let baseline = match explore_checkpointed(
+            &spec,
+            &cfg,
+            &Budget::unlimited(),
+            &base_policy,
+            |_, _| {},
+        ) {
+            Ok(CheckpointedRun::Finished(v)) => signature(&v),
+            other => panic!("{name}: uninterrupted reference did not finish: {other:?}"),
+        };
+        let _ = std::fs::remove_file(&base_path);
+        for k in [1usize, 17, 400] {
+            let path = tmp(&format!("{name}-k{k}"));
+            let (v, resumes) = run_in_segments(&spec, &cfg, &path, k, 700);
+            assert_eq!(
+                signature(&v),
+                baseline,
+                "{name} with checkpoint-every-{k} diverged after {resumes} resume(s)"
+            );
+            assert!(
+                resumes >= 1,
+                "{name} k={k}: segment budget never interrupted the run; \
+                 the equivalence was not actually exercised"
+            );
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+}
+
+#[test]
+fn serial_resume_reproduces_a_real_deadlock_and_its_witness() {
+    // CHI under a single VN deadlocks at depth 20 (Table I): the
+    // resumed run must find the same deadlock, at the same depth, after
+    // the same number of states, with the identical witness trace.
+    let spec = protocols::chi();
+    let cfg = McConfig::figure3(&spec).with_vns(VnMap::single(spec.messages().len()));
+    let baseline = signature(&explore_budgeted(&spec, &cfg, &Budget::unlimited()));
+    assert_eq!(baseline.0, "deadlock", "CHI/single-VN must deadlock");
+
+    let path = tmp("chi-deadlock");
+    let (v, resumes) = run_in_segments(&spec, &cfg, &path, 10_000, 40_000);
+    assert!(resumes >= 1, "deadlock run was never interrupted");
+    assert_eq!(signature(&v), baseline, "witness diverged across resume");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn parallel_kill_and_resume_matches_a_clean_parallel_run() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = McConfig::figure3(&spec)
+        .with_vns(VnMap::one_per_message(spec.messages().len()))
+        .with_limits(4_000, Some(7));
+
+    let clean = match explore_parallel_supervised(
+        &spec,
+        &cfg,
+        &ParallelOpts::new().with_threads(3),
+    ) {
+        Ok(CheckpointedRun::Finished(v)) => signature(&v),
+        other => panic!("clean parallel run did not finish: {other:?}"),
+    };
+
+    let path = tmp("parallel-msi");
+    let _ = std::fs::remove_file(&path);
+    let policy = CheckpointPolicy::new(&path).every_states(200);
+    let mut segments = 0;
+    let resumed = loop {
+        segments += 1;
+        assert!(segments <= 200, "parallel resume chain did not converge");
+        let opts = ParallelOpts::new()
+            .with_threads(3)
+            .with_budget(Budget::unlimited().with_node_limit(250 * segments as u64))
+            .with_policy(policy.clone());
+        let run = if segments == 1 {
+            explore_parallel_supervised(&spec, &cfg, &opts)
+        } else {
+            resume_parallel(&path, &spec, &cfg, &opts)
+        };
+        match run {
+            Ok(CheckpointedRun::Finished(v)) => {
+                if v.stats().provenance.is_exact()
+                    || !v.stats().provenance.annotation().contains("node limit")
+                {
+                    break signature(&v);
+                }
+            }
+            Ok(CheckpointedRun::Interrupted { .. }) => {
+                panic!("no stop file configured; run cannot be interrupted")
+            }
+            Err(e) => panic!("parallel segment {segments} failed: {e}"),
+        }
+    };
+    assert!(segments > 1, "parallel run was never interrupted");
+    assert_eq!(
+        resumed, clean,
+        "parallel kill-and-resume diverged from the clean run"
+    );
+    let _ = std::fs::remove_file(&path);
+}
