@@ -59,4 +59,4 @@ pub use classify::ProtocolClass;
 pub use relation::Relation;
 // Budget/provenance vocabulary, re-exported so downstream crates can
 // budget the analysis without a direct `vnet-graph` dependency.
-pub use vnet_graph::{Budget, DegradeReason, Provenance};
+pub use vnet_graph::{Budget, CancelReason, CancelToken, DegradeReason, Provenance};

@@ -10,18 +10,95 @@
 //! and never panic on exhaustion: they return their best fallback,
 //! tagged.
 
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Why a [`CancelToken`] was fired. The service layer maps each reason
+/// to a distinct structured response; the kernels only need to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CancelReason {
+    /// The per-request deadline imposed by admission control expired.
+    Deadline,
+    /// The requesting client disconnected; nobody will read the result.
+    ClientGone,
+    /// The process is draining for shutdown.
+    Shutdown,
+}
+
+impl std::fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CancelReason::Deadline => write!(f, "deadline"),
+            CancelReason::ClientGone => write!(f, "client gone"),
+            CancelReason::Shutdown => write!(f, "shutdown"),
+        }
+    }
+}
+
+/// Cooperative cancellation handle, checked by every budgeted kernel at
+/// its meter poll points (one check per [`BudgetMeter::tick`], i.e. per
+/// search node / claimed state). Cancelling is one-way and idempotent:
+/// the first reason wins, later calls are no-ops.
+///
+/// Cloning is cheap (an `Arc`); the canceller keeps one clone, the
+/// kernel's [`Budget`] carries another.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicU8>);
+
+const CANCEL_LIVE: u8 = 0;
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Fires the token. The first reason sticks; later calls lose.
+    pub fn cancel(&self, reason: CancelReason) {
+        let code = match reason {
+            CancelReason::Deadline => 1,
+            CancelReason::ClientGone => 2,
+            CancelReason::Shutdown => 3,
+        };
+        let _ = self
+            .0
+            .compare_exchange(CANCEL_LIVE, code, Ordering::AcqRel, Ordering::Acquire);
+    }
+
+    /// `true` once [`CancelToken::cancel`] has been called.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Acquire) != CANCEL_LIVE
+    }
+
+    /// The reason the token was fired, if it was.
+    pub fn reason(&self) -> Option<CancelReason> {
+        match self.0.load(Ordering::Acquire) {
+            1 => Some(CancelReason::Deadline),
+            2 => Some(CancelReason::ClientGone),
+            3 => Some(CancelReason::Shutdown),
+            _ => None,
+        }
+    }
+}
 
 /// Work limits for a solver call. The default ([`Budget::unlimited`])
 /// imposes no bound, matching the historical behaviour of the exact
 /// solvers.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct Budget {
     /// Give up after this much wall-clock time.
     pub deadline: Option<Duration>,
     /// Give up after this many explored search nodes (branch-and-bound
     /// nodes, BFS states, …; each solver documents its unit).
     pub node_limit: Option<u64>,
+    /// Give up once the solver's accounted allocations exceed this many
+    /// bytes. The accounting is an estimate (each kernel charges its
+    /// dominant structures — visited maps, frontiers, constraint sets —
+    /// not every allocation), so treat it as a guardrail, not `ulimit`.
+    pub mem_limit: Option<u64>,
+    /// Cooperative cancellation: checked at every meter poll point.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Budget {
@@ -42,9 +119,22 @@ impl Budget {
         self
     }
 
-    /// `true` if neither limit is set.
+    /// Limits accounted peak memory (bytes).
+    pub fn with_mem_limit(mut self, bytes: u64) -> Self {
+        self.mem_limit = Some(bytes);
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// `true` if no limit is set (a cancel token does not count: an
+    /// unfired token imposes no bound).
     pub fn is_unlimited(&self) -> bool {
-        self.deadline.is_none() && self.node_limit.is_none()
+        self.deadline.is_none() && self.node_limit.is_none() && self.mem_limit.is_none()
     }
 
     /// Starts metering against this budget.
@@ -61,7 +151,11 @@ impl Budget {
             started: Instant::now(),
             deadline: self.deadline,
             node_limit: self.node_limit,
+            mem_limit: self.mem_limit,
+            cancel: self.cancel.clone(),
             nodes,
+            mem_bytes: 0,
+            mem_peak: 0,
             exhausted: None,
         };
         if let Some(limit) = meter.node_limit {
@@ -83,7 +177,11 @@ pub struct BudgetMeter {
     started: Instant,
     deadline: Option<Duration>,
     node_limit: Option<u64>,
+    mem_limit: Option<u64>,
+    cancel: Option<CancelToken>,
     nodes: u64,
+    mem_bytes: u64,
+    mem_peak: u64,
     exhausted: Option<DegradeReason>,
 }
 
@@ -91,9 +189,19 @@ impl BudgetMeter {
     /// Accounts one unit of work. Returns `false` once the budget is
     /// exhausted (and keeps returning `false` thereafter), so solvers
     /// can use it directly as a continue-condition.
+    ///
+    /// The cancel token is polled on every tick, so a cancelled kernel
+    /// stops within one node expansion of the poll point — the bound
+    /// the service layer documents.
     pub fn tick(&mut self) -> bool {
         if self.exhausted.is_some() {
             return false;
+        }
+        if let Some(token) = &self.cancel {
+            if let Some(reason) = token.reason() {
+                self.exhausted = Some(DegradeReason::Cancelled { reason });
+                return false;
+            }
         }
         self.nodes += 1;
         if let Some(limit) = self.node_limit {
@@ -109,6 +217,59 @@ impl BudgetMeter {
             }
         }
         true
+    }
+
+    /// Accounts `bytes` of solver-owned allocation against the memory
+    /// limit. Returns `false` once the budget is exhausted (memory or
+    /// otherwise), mirroring [`BudgetMeter::tick`]. Charges are
+    /// estimates of the dominant structures, not a malloc hook; see
+    /// [`Budget::mem_limit`].
+    pub fn charge_bytes(&mut self, bytes: u64) -> bool {
+        if self.exhausted.is_some() {
+            return false;
+        }
+        self.mem_bytes = self.mem_bytes.saturating_add(bytes);
+        self.mem_peak = self.mem_peak.max(self.mem_bytes);
+        if let Some(limit) = self.mem_limit {
+            if self.mem_bytes > limit {
+                self.exhausted = Some(DegradeReason::MemLimit {
+                    limit,
+                    peak: self.mem_peak,
+                });
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Returns previously charged bytes to the budget (a freed frontier
+    /// level, a dropped constraint set). Peak accounting is unaffected.
+    pub fn release_bytes(&mut self, bytes: u64) {
+        self.mem_bytes = self.mem_bytes.saturating_sub(bytes);
+    }
+
+    /// Currently charged bytes.
+    pub fn current_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// High-water mark of charged bytes.
+    pub fn peak_bytes(&self) -> u64 {
+        self.mem_peak
+    }
+
+    /// The cancellation reason, if the attached token has fired. Also
+    /// latches the exhaustion state, so callers that only consult this
+    /// between kernel calls still get a cancelled provenance.
+    pub fn cancelled(&mut self) -> Option<CancelReason> {
+        if let Some(DegradeReason::Cancelled { reason }) = &self.exhausted {
+            return Some(*reason);
+        }
+        let reason = self.cancel.as_ref().and_then(CancelToken::reason)?;
+        if self.exhausted.is_none() {
+            self.exhausted = Some(DegradeReason::Cancelled { reason });
+        }
+        Some(reason)
     }
 
     /// The exhaustion reason, if the budget ran out.
@@ -163,6 +324,19 @@ pub enum DegradeReason {
         /// The limit that was hit.
         limit: u64,
     },
+    /// The accounted-memory limit was hit.
+    MemLimit {
+        /// The byte limit that was hit.
+        limit: u64,
+        /// The accounted high-water mark when it tripped.
+        peak: u64,
+    },
+    /// The attached [`CancelToken`] fired; the partial result (if any)
+    /// covers the work done up to the poll point that observed it.
+    Cancelled {
+        /// Why the token was fired.
+        reason: CancelReason,
+    },
     /// A caller-specified bound (e.g. the model checker's state or
     /// depth cap) truncated the run.
     Bound {
@@ -188,6 +362,10 @@ impl std::fmt::Display for DegradeReason {
                 write!(f, "deadline of {deadline:?} expired")
             }
             DegradeReason::NodeLimit { limit } => write!(f, "node limit of {limit} reached"),
+            DegradeReason::MemLimit { limit, peak } => {
+                write!(f, "memory budget of {limit} bytes exceeded (peak {peak})")
+            }
+            DegradeReason::Cancelled { reason } => write!(f, "cancelled: {reason}"),
             DegradeReason::Bound { what } => write!(f, "{what}"),
             DegradeReason::WorkerLoss {
                 lost_states,
@@ -307,6 +485,59 @@ mod tests {
             .with_deadline(Duration::from_millis(1))
             .start();
         assert!(m.deadline_imminent(Duration::from_secs(3600)));
+    }
+
+    #[test]
+    fn mem_limit_trips_at_the_boundary_and_tracks_peak() {
+        let mut m = Budget::unlimited().with_mem_limit(1000).start();
+        assert!(m.charge_bytes(600));
+        m.release_bytes(200);
+        assert_eq!(m.current_bytes(), 400);
+        assert_eq!(m.peak_bytes(), 600);
+        assert!(m.charge_bytes(600)); // back to 1000 exactly: within budget
+        assert!(!m.charge_bytes(1)); // 1001: over
+        assert!(!m.tick(), "memory exhaustion must stop tick too");
+        assert!(matches!(
+            m.exhaustion(),
+            Some(DegradeReason::MemLimit { limit: 1000, .. })
+        ));
+    }
+
+    #[test]
+    fn cancel_token_stops_tick_within_one_poll() {
+        let token = CancelToken::new();
+        let mut m = Budget::unlimited().with_cancel(token.clone()).start();
+        assert!(m.tick());
+        token.cancel(CancelReason::ClientGone);
+        assert!(!m.tick());
+        assert_eq!(m.cancelled(), Some(CancelReason::ClientGone));
+        assert!(matches!(
+            m.exhaustion(),
+            Some(DegradeReason::Cancelled {
+                reason: CancelReason::ClientGone
+            })
+        ));
+    }
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Deadline);
+        token.cancel(CancelReason::Shutdown);
+        assert_eq!(token.reason(), Some(CancelReason::Deadline));
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn cancelled_latches_between_kernel_calls() {
+        // A meter that never ticks after the cancel must still report a
+        // cancelled provenance once consulted.
+        let token = CancelToken::new();
+        let mut m = Budget::unlimited().with_cancel(token.clone()).start();
+        assert!(m.tick());
+        token.cancel(CancelReason::Shutdown);
+        assert_eq!(m.cancelled(), Some(CancelReason::Shutdown));
+        assert!(!m.provenance().is_exact());
     }
 
     #[test]

@@ -159,6 +159,10 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
     // A clique lower bound: greedy clique from the max-degree vertex.
     let lower = greedy_clique_size(graph).max(2);
     let mut meter = budget.start();
+    // The search's working set is a handful of O(n) arrays per k; charge
+    // them once so a memory budget covers this kernel too. Exhaustion
+    // here falls through to the DSATUR fallback below.
+    meter.charge_bytes((4 * n * std::mem::size_of::<usize>()) as u64);
     for k in lower..=upper.num_colors {
         if let Some(colors) = try_k_coloring(graph, k, &mut meter) {
             // Exact even if the meter just ran dry: a proper k-coloring

@@ -186,6 +186,9 @@ pub fn minimum_feedback_arc_set_budgeted<N, E>(
             let mut v: Vec<usize> = c.edges.iter().map(|e| e.0).collect();
             v.sort_unstable();
             v.dedup();
+            // The constraint sets are the solver's dominant allocation;
+            // charge them against the memory budget.
+            meter.charge_bytes(set_bytes(&v));
             v
         })
         .collect();
@@ -221,10 +224,17 @@ pub fn minimum_feedback_arc_set_budgeted<N, E>(
                 let mut set: Vec<usize> = cycle.iter().map(|e| e.0).collect();
                 set.sort_unstable();
                 set.dedup();
+                meter.charge_bytes(set_bytes(&set));
                 cycle_sets.push(set);
             }
         }
     }
+}
+
+/// Approximate heap bytes of one constraint set (the memory meter's
+/// accounting unit for the FAS solver).
+fn set_bytes(set: &[usize]) -> u64 {
+    (std::mem::size_of_val(set) + 48) as u64
 }
 
 /// Branch-and-bound minimum-weight hitting set over `sets` (indices into

@@ -60,7 +60,7 @@ pub mod topo;
 pub mod ungraph;
 
 pub use bitset::BitSet;
-pub use budget::{Budget, DegradeReason, Provenance};
+pub use budget::{Budget, BudgetMeter, CancelReason, CancelToken, DegradeReason, Provenance};
 pub use digraph::{DiGraph, EdgeId, NodeId};
 pub use rng::Rng64;
 pub use ungraph::UnGraph;

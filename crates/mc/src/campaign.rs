@@ -482,29 +482,52 @@ fn run_one(
         Isolation::Process => None,
     };
 
-    let ckpt = cc
-        .checkpoint_dir
-        .as_ref()
-        .map(|d| d.join(format!("{}.ckpt", entry.name)));
+    // Per-attempt checkpoint generations. A timed-out attempt whose
+    // stop-file ack never arrived may still be running (threads cannot
+    // be killed) and may flush to its checkpoint path at any later
+    // level boundary. Rather than poisoning resume for the rest of the
+    // run, later attempts move to a fresh generation path, leaving the
+    // stale writer its own file — and its own stop file, which stays in
+    // place so the stale run still terminates at its next boundary.
+    // Resume loads the newest generation on disk: flushes are atomic
+    // (tmp + rename), so even a file a stale writer is about to replace
+    // is always complete, and a torn one is rejected by checksum.
+    let dir = cc.checkpoint_dir.as_deref();
+    let path_for =
+        |g: u32| dir.map(|d| d.join(format!("{}.g{g}.ckpt", entry.name)));
+    let mut gen: u32 = 0;
     let mut retries = 0;
     let mut resumes = 0;
-    let mut can_resume = true;
     let mut last_err = String::new();
     for attempt in 0..=cc.max_retries {
         if attempt > 0 {
             let wave = (attempt - 1).min(8);
             std::thread::sleep(cc.backoff.saturating_mul(1 << wave));
         }
-        let resume_now =
-            can_resume && attempt > 0 && ckpt.as_ref().is_some_and(|p| p.exists());
-        if resume_now {
+        let write = path_for(gen);
+        // Resume from the largest generation on disk, not the newest:
+        // a stale writer's late flush can leave the deepest exploration
+        // in an abandoned generation, and serialized size grows with
+        // the visited set. (Any valid checkpoint resumes correctly —
+        // this only picks the one that wastes the least work.)
+        let resume_from = if attempt > 0 {
+            (0..=gen)
+                .filter_map(path_for)
+                .filter(|p| p.exists())
+                .max_by_key(|p| std::fs::metadata(p).map_or(0, |m| m.len()))
+        } else {
+            None
+        };
+        if resume_from.is_some() {
             resumes += 1;
         }
         let outcome = match (&cc.isolation, &loaded) {
             (Isolation::Thread, Some((spec, cfg))) => {
-                attempt_thread(spec, cfg, cc, ckpt.as_deref(), resume_now)
+                attempt_thread(spec, cfg, cc, write.as_deref(), resume_from.as_deref())
             }
-            (Isolation::Process, _) => attempt_process(entry, cc, ckpt.as_deref(), resume_now),
+            (Isolation::Process, _) => {
+                attempt_process(entry, cc, write.as_deref(), resume_from.as_deref())
+            }
             // Thread isolation always has a loaded spec (early return
             // above); fail soft rather than loud if that ever changes.
             (Isolation::Thread, None) => Attempt::Crashed("spec not loaded".into()),
@@ -529,10 +552,10 @@ fn run_one(
                 last_err = format!("attempt timed out after {:?}", cc.timeout);
                 retries += 1;
                 if !checkpointed {
-                    // The abandoned run may still be holding the
-                    // checkpoint path; a fresh attempt must not race
-                    // it on the same file.
-                    can_resume = false;
+                    // The attempt never acked the stop file, so it may
+                    // still hold this generation's path; abandon the
+                    // path to it and move on.
+                    gen += 1;
                 }
             }
         }
@@ -569,15 +592,19 @@ fn attempt_thread(
     cfg: &McConfig,
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
-    resume_now: bool,
+    resume_from: Option<&Path>,
 ) -> Attempt {
+    // The stop file is per generation path. Clearing it here is safe:
+    // a previous attempt on this same path acked the stop (or there was
+    // none) and has exited — an un-acked writer got the path abandoned
+    // to it, stop file and all.
     let stop = ckpt.map(|p| p.with_extension("stop"));
     if let Some(s) = &stop {
         let _ = std::fs::remove_file(s);
     }
     let mut opts = ParallelOpts::new()
         .with_threads(cc.threads)
-        .with_budget(cc.budget);
+        .with_budget(cc.budget.clone());
     if let Some(p) = ckpt {
         let mut policy = CheckpointPolicy::new(p);
         if let Some(s) = &stop {
@@ -592,12 +619,12 @@ fn attempt_thread(
     let (tx, rx) = mpsc::channel();
     let spec = spec.clone();
     let cfg = cfg.clone();
-    let ckpt_owned = ckpt.map(Path::to_path_buf);
+    let resume_owned = resume_from.map(Path::to_path_buf);
     std::thread::spawn(move || {
         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            match (&ckpt_owned, resume_now) {
-                (Some(p), true) => resume_parallel(p, &spec, &cfg, &opts),
-                _ => explore_parallel_supervised(&spec, &cfg, &opts),
+            match &resume_owned {
+                Some(p) => resume_parallel(p, &spec, &cfg, &opts),
+                None => explore_parallel_supervised(&spec, &cfg, &opts),
             }
         }));
         let _ = tx.send(run.map_err(|p| panic_text(p.as_ref())));
@@ -625,10 +652,14 @@ fn attempt_thread(
             // The run can only flush at its next level boundary, and
             // level time scales with the workload the timeout was
             // sized for — so the grace window scales with it, with a
-            // floor that covers one large BFS level on a loaded
-            // machine. A missed ack poisons resume for the rest of the
-            // run's attempts (`can_resume` below), so err generous.
-            let grace = cc.timeout.max(Duration::from_millis(2_000));
+            // floor that covers one large BFS level on a heavily
+            // loaded machine: an ack saves this attempt's progress to
+            // the current generation, so patience here is cheaper than
+            // abandoning the work. A missed ack makes the supervisor
+            // abandon this generation's checkpoint path to the
+            // still-running attempt; the stop file stays, so it exits
+            // at its next boundary.
+            let grace = cc.timeout.max(Duration::from_millis(5_000));
             match rx.recv_timeout(grace) {
                 Ok(Ok(Ok(CheckpointedRun::Interrupted { .. }))) => {
                     Attempt::TimedOut { checkpointed: true }
@@ -636,8 +667,7 @@ fn attempt_thread(
                 // Finished just past the wire — take the verdict.
                 Ok(Ok(Ok(CheckpointedRun::Finished(v)))) => Attempt::Done(measure(&v)),
                 // Still running (stuck inside a level), or died during
-                // the flush: the checkpoint path may still be in use,
-                // so the retry must start fresh.
+                // the flush: the checkpoint path may still be in use.
                 _ => Attempt::TimedOut { checkpointed: false },
             }
         }
@@ -650,7 +680,7 @@ fn attempt_process(
     entry: &CampaignEntry,
     cc: &CampaignConfig,
     ckpt: Option<&Path>,
-    resume_now: bool,
+    resume_from: Option<&Path>,
 ) -> Attempt {
     use std::process::{Command, Stdio};
 
@@ -674,12 +704,18 @@ fn attempt_process(
     if !budget_clauses.is_empty() {
         cmd.arg("--budget").arg(budget_clauses.join(","));
     }
-    if let Some(p) = ckpt {
-        if resume_now {
+    // A resumed child flushes onward checkpoints to the file it
+    // resumed from; a fresh one writes the attempt's generation path.
+    // (In process isolation the two only diverge after a kill that
+    // beat the first flush.)
+    match (resume_from, ckpt) {
+        (Some(p), _) => {
             cmd.arg("--resume").arg(p);
-        } else {
+        }
+        (None, Some(p)) => {
             cmd.arg("--checkpoint").arg(p);
         }
+        (None, None) => {}
     }
     cmd.stdin(Stdio::null())
         .stdout(Stdio::piped())
@@ -700,7 +736,8 @@ fn attempt_process(
                     // The child flushes checkpoints atomically (tmp +
                     // rename), so an existing file is complete and
                     // safe to resume from — the child is dead.
-                    let checkpointed = ckpt.is_some_and(|p| p.exists());
+                    let checkpointed =
+                        resume_from.or(ckpt).is_some_and(|p| p.exists());
                     return Attempt::TimedOut { checkpointed };
                 }
                 std::thread::sleep(Duration::from_millis(20));

@@ -233,6 +233,14 @@ pub fn resume(
     run_serial(spec, cfg, budget, Some(ckpt), policy, on_level)
 }
 
+/// Approximate heap bytes one visited-map entry (key + parent-key
+/// copies, rule label, map/queue overhead) plus its frontier slot costs
+/// the explorer — the unit the memory budget meters. An estimate of the
+/// dominant structures, not a malloc hook.
+fn entry_bytes(key_len: usize, label_len: usize) -> u64 {
+    (2 * key_len + label_len + 96) as u64
+}
+
 /// Snapshot the explorer at a level boundary and write it out.
 fn flush(
     spec: &ProtocolSpec,
@@ -338,7 +346,21 @@ fn run_serial(
     let mut truncated: Option<DegradeReason> = None;
     let mut since_flush = 0usize;
 
-    'bfs: while !frontier.is_empty() {
+    // A resumed run starts with a populated visited map; charge it so
+    // the memory budget covers the whole footprint, not just growth.
+    if budget.mem_limit.is_some() {
+        for (k, (_, l, _)) in parent.iter() {
+            if !meter.charge_bytes(entry_bytes(k.len(), l.len())) {
+                break;
+            }
+        }
+        if let Some(reason) = meter.exhaustion() {
+            complete = false;
+            truncated = Some(reason.clone());
+        }
+    }
+
+    'bfs: while !frontier.is_empty() && truncated.is_none() {
         // Level-boundary housekeeping: cooperative interrupt, then the
         // periodic / deadline-imminent flush.
         if let Some(pol) = policy {
@@ -365,7 +387,22 @@ fn run_serial(
             }
         }
         let mut next_frontier = VecDeque::new();
-        for gs in frontier.drain(..) {
+        while let Some(gs) = frontier.pop_front() {
+            // Cancellation (drain, client gone, admission deadline) must
+            // not wait for the level to finish — a late level can take
+            // minutes. Stop at the next state boundary and flush a
+            // mid-level checkpoint: the unexpanded remainder plus the
+            // states already promoted to the next level. Resume counts
+            // the promoted states' depth from `level`, so level stats
+            // after a cancelled resume are approximate; the verdict and
+            // traces are not affected (parents record exact depths).
+            // Budget truncations (node/deadline/memory) keep the
+            // level-end snapshot so kill-resume equivalence stays exact.
+            if matches!(&truncated, Some(DegradeReason::Cancelled { .. })) {
+                frontier.push_front(gs);
+                frontier.append(&mut next_frontier);
+                break 'bfs;
+            }
             let key = gs.encode();
             match successors(spec, cfg, &gs) {
                 Expansion::Bug { rule, detail } => {
@@ -413,10 +450,18 @@ fn run_serial(
                                 ));
                             }
                         }
+                        let ebytes = entry_bytes(skey.len(), s.label.len());
                         parent.insert(skey, (key.clone(), s.label, (level + 1) as u32));
                         claims += 1;
                         since_flush += 1;
                         next_frontier.push_back(sstate);
+                        if truncated.is_none() && !meter.charge_bytes(ebytes) {
+                            complete = false;
+                            truncated = meter.exhaustion().cloned();
+                            if policy.is_none() {
+                                break 'bfs;
+                            }
+                        }
                         if truncated.is_none() && !meter.tick() {
                             complete = false;
                             truncated = meter.exhaustion().cloned();

@@ -39,7 +39,7 @@ use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 use vnet_graph::{Budget, DegradeReason, Provenance};
@@ -53,6 +53,11 @@ type Shard = HashMap<Vec<u8>, (Vec<u8>, String, u32)>;
 struct Visited {
     shards: Vec<Mutex<Shard>>,
     count: AtomicUsize,
+    /// Approximate heap bytes held by the map (same estimate as the
+    /// serial explorer's `entry_bytes`), kept racily-but-monotonically
+    /// so the supervisor can enforce a memory budget at level
+    /// boundaries without walking the shards.
+    bytes: AtomicU64,
 }
 
 impl Visited {
@@ -60,6 +65,7 @@ impl Visited {
         Visited {
             shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
             count: AtomicUsize::new(0),
+            bytes: AtomicU64::new(0),
         }
     }
 
@@ -79,6 +85,7 @@ impl Visited {
     /// levels never replace an earlier link (which would lengthen the
     /// trace or create a cycle).
     fn claim(&self, key: Vec<u8>, parent: Vec<u8>, label: String, level: u32) -> bool {
+        let entry_bytes = (2 * key.len() + label.len() + 96) as u64;
         let mut shard = self.shards[Self::shard_of(&key)]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
@@ -86,6 +93,7 @@ impl Visited {
             Entry::Vacant(e) => {
                 e.insert((parent, label, level));
                 self.count.fetch_add(1, Ordering::Relaxed);
+                self.bytes.fetch_add(entry_bytes, Ordering::Relaxed);
                 true
             }
             Entry::Occupied(mut e) => {
@@ -102,6 +110,10 @@ impl Visited {
 
     fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed)
+    }
+
+    fn approx_bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
     }
 
     fn lookup(&self, key: &[u8]) -> Option<(Vec<u8>, String)> {
@@ -133,14 +145,18 @@ impl Visited {
 
     fn seed(&self, entries: Vec<VisitedEntry>) {
         let mut n = 0usize;
+        let mut b = 0u64;
         for e in entries {
+            let entry_bytes = (2 * e.key.len() + e.label.len() + 96) as u64;
             let mut shard = self.shards[Self::shard_of(&e.key)]
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             if shard.insert(e.key, (e.parent, e.label, e.level)).is_none() {
                 n += 1;
+                b += entry_bytes;
             }
         }
+        self.bytes.fetch_add(b, Ordering::Relaxed);
         self.count.fetch_add(n, Ordering::Relaxed);
     }
 }
@@ -376,8 +392,26 @@ fn run_parallel(
                 since_flush = 0;
             }
         }
+        // Cooperative cancellation and the memory budget are enforced
+        // at level boundaries, like every other bound here: the overrun
+        // after a cancel or a memory trip is at most one BFS level.
+        if let Some(token) = &opts.budget.cancel {
+            if let Some(reason) = token.reason() {
+                complete = false;
+                truncated = Some(DegradeReason::Cancelled { reason });
+            }
+        }
+        if let Some(limit) = opts.budget.mem_limit {
+            if truncated.is_none() && visited.approx_bytes() > limit {
+                complete = false;
+                truncated = Some(DegradeReason::MemLimit {
+                    limit,
+                    peak: visited.approx_bytes(),
+                });
+            }
+        }
         if let Some(limit) = opts.budget.node_limit {
-            if visited.len() as u64 > limit {
+            if truncated.is_none() && visited.len() as u64 > limit {
                 complete = false;
                 truncated = Some(DegradeReason::NodeLimit { limit });
             }

@@ -1,0 +1,297 @@
+//! Runs one admitted request under its merged budget.
+//!
+//! Everything here is deterministic given the request: protocol
+//! resolution is by built-in name or inline DSL only (the daemon never
+//! opens files named by a client), and each workload is the same kernel
+//! the CLI runs, handed the request's [`Budget`] — which carries the
+//! admission deadline's [`CancelToken`](vnet_graph::CancelToken) and
+//! the per-request memory cap.
+
+use crate::json::Json;
+use crate::proto::{Command, ProtocolRef, Request, VnChoice};
+use std::path::{Path, PathBuf};
+use vnet_core::{analyze, analyze_budgeted, VnOutcome};
+use vnet_graph::{Budget, Provenance};
+use vnet_protocol::{dsl, protocols, ProtocolSpec};
+
+/// The payload of a finished request: result fields plus the kernel's
+/// provenance (the worker turns a cancelled provenance into a
+/// `cancelled` response, everything else into `ok`).
+pub struct ExecResult {
+    /// Response fields to merge into the JSON object.
+    pub fields: Vec<(&'static str, Json)>,
+    /// Exact, degraded, or cancelled.
+    pub provenance: Provenance,
+}
+
+impl ExecResult {
+    fn new(fields: Vec<(&'static str, Json)>, provenance: Provenance) -> Self {
+        ExecResult { fields, provenance }
+    }
+}
+
+/// Resolves the request's protocol. Built-in lookup is exact; inline
+/// DSL is parsed and validated fail-closed.
+pub fn resolve_protocol(proto: &ProtocolRef) -> Result<ProtocolSpec, String> {
+    match proto {
+        ProtocolRef::None => Err("request needs a protocol".into()),
+        ProtocolRef::Builtin(name) => protocols::extended()
+            .into_iter()
+            .find(|p| p.name() == name.as_str())
+            .ok_or_else(|| format!("unknown protocol `{name}` (see `vnet list`)")),
+        ProtocolRef::Inline(text) => {
+            let spec = dsl::parse(text).map_err(|e| format!("bad spec: {e}"))?;
+            spec.validate().map_err(|e| format!("bad spec: {e}"))?;
+            Ok(spec)
+        }
+    }
+}
+
+/// Executes `req` under `budget`. `Err` means the request could not run
+/// at all (client error); `Ok` carries the result and its provenance.
+/// `ckpt_path` is where an `mc` request with `checkpoint: true` flushes.
+pub fn execute(
+    req: &Request,
+    budget: &Budget,
+    ckpt_path: Option<&Path>,
+) -> Result<ExecResult, String> {
+    match &req.cmd {
+        Command::Ping => Ok(ExecResult::new(vec![], Provenance::Exact)),
+        Command::Panic => panic!("injected test fault (cmd=panic)"),
+        Command::Analyze => run_analyze(req, budget),
+        Command::Mc { vns, checkpoint } => run_mc(req, budget, *vns, *checkpoint, ckpt_path),
+        Command::Sim {
+            ops,
+            seed,
+            max_cycles,
+            faults,
+        } => run_sim(req, budget, *ops, *seed, *max_cycles, faults.as_deref()),
+    }
+}
+
+fn run_analyze(req: &Request, budget: &Budget) -> Result<ExecResult, String> {
+    let spec = resolve_protocol(&req.protocol)?;
+    let report = analyze_budgeted(&spec, budget);
+    let provenance = report.outcome().provenance().clone();
+    let mut fields = vec![("protocol", Json::str(spec.name()))];
+    match report.outcome() {
+        VnOutcome::Class2(_) => {
+            fields.push(("class", Json::num(2)));
+            fields.push(("min_vns", Json::Null));
+        }
+        VnOutcome::Assigned { assignment, .. } => {
+            fields.push(("min_vns", Json::num(assignment.n_vns() as u64)));
+            let map: Vec<Json> = (0..assignment.n_vns())
+                .map(|vn| {
+                    Json::Arr(
+                        assignment
+                            .messages_in(vn)
+                            .map(|m| Json::str(spec.message_name(m)))
+                            .collect(),
+                    )
+                })
+                .collect();
+            fields.push(("vns", Json::Arr(map)));
+        }
+    }
+    fields.push((
+        "textbook_vns",
+        Json::num(vnet_core::textbook::textbook_vn_count(&spec) as u64),
+    ));
+    Ok(ExecResult::new(fields, provenance))
+}
+
+fn run_mc(
+    req: &Request,
+    budget: &Budget,
+    vns: VnChoice,
+    checkpoint: bool,
+    ckpt_path: Option<&Path>,
+) -> Result<ExecResult, String> {
+    use vnet_mc::{
+        checkpoint::CheckpointPolicy, explore_budgeted, explore_checkpointed, CheckpointedRun,
+        McConfig, Verdict, VnMap,
+    };
+    let spec = resolve_protocol(&req.protocol)?;
+    let n_msgs = spec.messages().len();
+    let vn_map = match vns {
+        VnChoice::Single => VnMap::single(n_msgs),
+        VnChoice::Unique => VnMap::one_per_message(n_msgs),
+        VnChoice::Minimal => match analyze(&spec).outcome() {
+            VnOutcome::Assigned { assignment, .. } => VnMap::from_assignment(assignment, n_msgs),
+            VnOutcome::Class2(_) => VnMap::one_per_message(n_msgs),
+        },
+    };
+    let cfg = McConfig::figure3(&spec).with_vns(vn_map);
+
+    let mut ckpt_field: Option<PathBuf> = None;
+    let run = match (checkpoint, ckpt_path) {
+        (true, Some(path)) => {
+            ckpt_field = Some(path.to_path_buf());
+            let policy = CheckpointPolicy::new(path.to_path_buf());
+            explore_checkpointed(&spec, &cfg, budget, &policy, |_, _| {})
+                .map_err(|e| format!("checkpoint error: {e}"))?
+        }
+        _ => CheckpointedRun::Finished(explore_budgeted(&spec, &cfg, budget)),
+    };
+
+    let verdict = match run {
+        CheckpointedRun::Finished(v) => v,
+        // No stop file is configured on service policies, so this arm
+        // is unreachable; answer truthfully anyway.
+        CheckpointedRun::Interrupted { states, level, .. } => {
+            return Ok(ExecResult::new(
+                vec![
+                    ("verdict", Json::str("interrupted")),
+                    ("states", Json::num(states as u64)),
+                    ("levels", Json::num(level as u64)),
+                ],
+                Provenance::Exact,
+            ));
+        }
+    };
+
+    let stats = verdict.stats().clone();
+    let mut fields = vec![("protocol", Json::str(spec.name()))];
+    match &verdict {
+        Verdict::NoDeadlock(_) => fields.push(("verdict", Json::str("no_deadlock"))),
+        Verdict::Deadlock { depth, .. } => {
+            fields.push(("verdict", Json::str("deadlock")));
+            fields.push(("depth", Json::num(*depth as u64)));
+        }
+        Verdict::ModelError { detail, .. } => {
+            fields.push(("verdict", Json::str("model_error")));
+            fields.push(("detail", Json::str(detail.clone())));
+        }
+        Verdict::InvariantViolation { detail, .. } => {
+            fields.push(("verdict", Json::str("invariant_violation")));
+            fields.push(("detail", Json::str(detail.clone())));
+        }
+    }
+    fields.push(("states", Json::num(stats.states as u64)));
+    fields.push(("levels", Json::num(stats.levels as u64)));
+    fields.push(("complete", Json::Bool(stats.complete)));
+    if let Some(p) = ckpt_field {
+        fields.push(("checkpoint", Json::str(p.display().to_string())));
+    }
+    Ok(ExecResult::new(fields, stats.provenance))
+}
+
+fn run_sim(
+    req: &Request,
+    budget: &Budget,
+    ops: usize,
+    seed: u64,
+    max_cycles: u64,
+    faults: Option<&str>,
+) -> Result<ExecResult, String> {
+    use vnet_mc::VnMap;
+    use vnet_sim::{FaultPlan, SimConfig, Simulator, Topology, Workload};
+    let spec = resolve_protocol(&req.protocol)?;
+    let plan = match faults {
+        Some(text) => FaultPlan::parse(text).map_err(|e| e.to_string())?,
+        None => FaultPlan::none(),
+    };
+    let topology = Topology::Mesh(2, 3);
+    let n_dirs = 2;
+    let n_msgs = spec.messages().len();
+    let vns = match vnet_sim::sim::minimal_vn_map(&spec) {
+        Some(m) => m,
+        None => VnMap::one_per_message(n_msgs),
+    };
+    let mut cfg = SimConfig::new(&spec, topology, 2, n_dirs).with_vns(vns);
+    if !plan.is_empty() {
+        cfg = cfg.with_faults(plan, seed);
+    }
+    let workload = Workload::uniform_random(cfg.n_caches(), 2, ops, seed);
+    let (r, provenance) = Simulator::new(spec, cfg).run_budgeted(workload, max_cycles, budget);
+    if let Some(detail) = &r.model_error {
+        return Err(format!("specification bug under simulation: {detail}"));
+    }
+    let fields = vec![
+        ("cycles", Json::num(r.cycles)),
+        ("n_vns", Json::num(r.n_vns as u64)),
+        ("completed", Json::num(r.completed_transactions as u64)),
+        ("unfinished", Json::num(r.unfinished_ops as u64)),
+        ("deadlocked", Json::Bool(r.deadlocked)),
+    ];
+    Ok(ExecResult::new(fields, provenance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(cmd: Command, protocol: &str) -> Request {
+        Request {
+            id: Some("t".into()),
+            cmd,
+            protocol: ProtocolRef::Builtin(protocol.into()),
+            budget: Budget::unlimited(),
+        }
+    }
+
+    #[test]
+    fn analyze_chi_says_two_vns() {
+        let r = req(Command::Analyze, "CHI");
+        let out = execute(&r, &Budget::unlimited(), None).unwrap();
+        assert!(out.provenance.is_exact());
+        assert!(out
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "min_vns" && v.as_u64() == Some(2)));
+    }
+
+    #[test]
+    fn unknown_protocol_is_a_client_error() {
+        let r = req(Command::Analyze, "NOPE");
+        match execute(&r, &Budget::unlimited(), None) {
+            Err(e) => assert!(e.contains("unknown protocol"), "{e}"),
+            Ok(_) => panic!("unknown protocol should not resolve"),
+        }
+    }
+
+    #[test]
+    fn cancelled_budget_reports_cancelled_provenance() {
+        use vnet_graph::{CancelReason, CancelToken, DegradeReason};
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Shutdown);
+        let budget = Budget::unlimited().with_cancel(token);
+        let r = req(
+            Command::Mc {
+                vns: VnChoice::Single,
+                checkpoint: false,
+            },
+            "MESI-nonblocking-cache",
+        );
+        let out = execute(&r, &budget, None).unwrap();
+        assert!(matches!(
+            out.provenance,
+            Provenance::Degraded {
+                reason: DegradeReason::Cancelled {
+                    reason: CancelReason::Shutdown
+                }
+            }
+        ));
+    }
+
+    #[test]
+    fn mem_budget_degrades_the_explorer() {
+        use vnet_graph::DegradeReason;
+        let budget = Budget::unlimited().with_mem_limit(10_000);
+        let r = req(
+            Command::Mc {
+                vns: VnChoice::Unique,
+                checkpoint: false,
+            },
+            "MESI-nonblocking-cache",
+        );
+        let out = execute(&r, &budget, None).unwrap();
+        assert!(matches!(
+            out.provenance,
+            Provenance::Degraded {
+                reason: DegradeReason::MemLimit { .. }
+            }
+        ));
+    }
+}

@@ -1,0 +1,33 @@
+//! `vnet-serve`: a robust analysis daemon over the vnet kernels.
+//!
+//! The crate turns the CLI's one-shot commands (`analyze`, `mc`, `sim`)
+//! into a long-lived, multi-threaded service speaking newline-delimited
+//! JSON over TCP or stdin — engineered so that **no request, however
+//! adversarial, takes the daemon down**:
+//!
+//! * [`queue`] — bounded admission queue with deterministic load
+//!   shedding (`rejected` + `retry_after_ms`, never unbounded latency).
+//! * [`proto`] — the wire protocol and its closed response taxonomy
+//!   (`ok` / `error` / `rejected` / `cancelled` / `panicked`).
+//! * [`exec`] — runs one request on the same budgeted kernels the CLI
+//!   uses, under a merged [`Budget`](vnet_graph::Budget) carrying the
+//!   per-request memory cap and cancellation token.
+//! * [`server`] — worker pool (`catch_unwind`-isolated), deadline
+//!   watchdog, TCP/stdin frontends, graceful drain on SIGTERM or
+//!   stop-file (finish in-flight, reject new, flush mc checkpoints).
+//! * [`json`] — the minimal JSON layer (the workspace takes no
+//!   external dependencies).
+//! * [`signal`] — SIGTERM/SIGINT → drain flag; the only unsafe code.
+//!
+//! See DESIGN.md "Service & admission-control semantics" for the
+//! guarantees and their caveats.
+
+pub mod exec;
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod signal;
+
+pub use proto::{parse_request, Command, ProtocolRef, RejectReason, Request, VnChoice};
+pub use server::{serve_stdio, serve_tcp, ServeOpts, Server};

@@ -1,0 +1,160 @@
+//! Bounded MPMC job queue — the admission-control choke point.
+//!
+//! `try_push` never blocks: a full queue is an immediate, deterministic
+//! [`Full`](PushError::Full) so the frontend can shed load with a
+//! structured rejection instead of stacking latency. `pop` blocks until
+//! work arrives or the queue is closed; close-with-drain lets shutdown
+//! finish queued work before the workers exit.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// At capacity; shed the request.
+    Full,
+    /// Closed for shutdown; no new work.
+    Closed,
+}
+
+struct Inner<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// The bounded queue.
+pub struct BoundedQueue<T> {
+    inner: Mutex<Inner<T>>,
+    cv: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue admitting at most `cap` waiting items. `cap` must be
+    /// positive; admission control with a zero queue is a typo.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "queue capacity must be positive");
+        BoundedQueue {
+            inner: Mutex::new(Inner {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            cap,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Inner<T>> {
+        // A worker that panicked while holding the lock poisons it; the
+        // queue state itself is still consistent (pushes/pops are
+        // single operations), so recover rather than cascade.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Non-blocking admission. `Err(Full)` is the shed signal.
+    pub fn try_push(&self, item: T) -> Result<(), (T, PushError)> {
+        let mut g = self.lock();
+        if g.closed {
+            return Err((item, PushError::Closed));
+        }
+        if g.items.len() >= self.cap {
+            return Err((item, PushError::Full));
+        }
+        g.items.push_back(item);
+        drop(g);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocking pop. Returns `None` once the queue is closed *and*
+    /// drained — workers exit by running out of work, not mid-item.
+    pub fn pop(&self) -> Option<T> {
+        let mut g = self.lock();
+        loop {
+            if let Some(item) = g.items.pop_front() {
+                return Some(item);
+            }
+            if g.closed {
+                return None;
+            }
+            // A timeout guards against a missed notify under poisoned
+            // shutdown interleavings; correctness never depends on it.
+            let (g2, _) = self
+                .cv
+                .wait_timeout(g, Duration::from_millis(100))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            g = g2;
+        }
+    }
+
+    /// Items currently waiting (racy snapshot, for retry hints/metrics).
+    pub fn len(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    /// `true` when nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Closes admission. Queued items still drain via [`pop`]; call
+    /// [`drain_remaining`](Self::drain_remaining) instead to reject them.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.cv.notify_all();
+    }
+
+    /// Closes admission and takes everything still queued (so shutdown
+    /// can reject waiting requests explicitly rather than drop them).
+    pub fn drain_remaining(&self) -> Vec<T> {
+        let mut g = self.lock();
+        g.closed = true;
+        let items = g.items.drain(..).collect();
+        drop(g);
+        self.cv.notify_all();
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sheds_at_capacity_and_drains_in_order() {
+        let q = BoundedQueue::new(2);
+        assert!(q.try_push(1).is_ok());
+        assert!(q.try_push(2).is_ok());
+        let (item, e) = q.try_push(3).unwrap_err();
+        assert_eq!((item, e), (3, PushError::Full));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.try_push(3).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+    }
+
+    #[test]
+    fn close_wakes_blocked_workers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q2 = q.clone();
+        let h = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+        assert_eq!(q.try_push(1).unwrap_err().1, PushError::Closed);
+    }
+
+    #[test]
+    fn drain_remaining_hands_back_the_queue() {
+        let q = BoundedQueue::new(4);
+        q.try_push("a").unwrap();
+        q.try_push("b").unwrap();
+        assert_eq!(q.drain_remaining(), vec!["a", "b"]);
+        assert_eq!(q.pop(), None);
+    }
+}

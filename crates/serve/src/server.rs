@@ -1,0 +1,888 @@
+//! The daemon: admission control in front of a worker pool.
+//!
+//! ```text
+//!  TCP / stdin ──lines──▶ admission ──try_push──▶ bounded queue
+//!                            │ shed: queue_full / too_large /        │
+//!                            │       shutting_down                   ▼
+//!                            ▼                                 worker pool
+//!                      structured rejection                (catch_unwind each)
+//! ```
+//!
+//! Guarantees (see DESIGN.md "Service & admission-control semantics"):
+//!
+//! * **Bounded queueing.** Admission is `try_push` on a bounded queue;
+//!   a full queue rejects immediately with a `retry_after_ms` hint.
+//! * **Per-request deadline.** The watchdog fires each request's
+//!   [`CancelToken`] when `deadline` elapses (measured from admission,
+//!   so queue wait counts). Kernels observe it within one poll point.
+//! * **Memory budget.** Every request's [`Budget`] carries
+//!   `min(client mem_bytes, server --mem-budget)`.
+//! * **Worker isolation.** Each request runs under `catch_unwind`; a
+//!   panicking request yields a `panicked` response and the worker
+//!   lives on.
+//! * **Graceful drain.** SIGTERM, SIGINT, or the stop file close
+//!   admission, finish in-flight work (a grace period, then a
+//!   `Shutdown` cancel that checkpointing `mc` runs turn into a final
+//!   flush), and never tear a response mid-line.
+
+use crate::exec::{self, ExecResult};
+use crate::proto::{self, Command, RejectReason, Request};
+use crate::queue::{BoundedQueue, PushError};
+use crate::signal;
+use std::io::Write;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use vnet_graph::{CancelReason, CancelToken, DegradeReason, Provenance};
+
+/// Shared line-oriented output sink. Workers take the lock, write the
+/// whole line plus `\n`, and flush — responses are never torn.
+pub type LineOut = Arc<Mutex<Box<dyn Write + Send>>>;
+
+/// Writes one response line atomically. Write errors are swallowed:
+/// the client is gone and the cancellation path already covers it.
+pub fn write_line(out: &LineOut, line: &str) {
+    let mut g = out.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let _ = g.write_all(line.as_bytes());
+    let _ = g.write_all(b"\n");
+    let _ = g.flush();
+}
+
+/// Daemon tuning knobs. [`ServeOpts::default`] is sized for tests and
+/// small hosts; `vnet serve` flags override each field.
+#[derive(Debug, Clone)]
+pub struct ServeOpts {
+    /// Worker threads (0 = available parallelism).
+    pub workers: usize,
+    /// Bounded-queue capacity.
+    pub queue_cap: usize,
+    /// Per-request deadline, admission to finish.
+    pub deadline: Duration,
+    /// Per-request accounted-memory cap (bytes).
+    pub mem_budget: u64,
+    /// Request-line byte cap; longer lines are shed as `too_large`.
+    pub max_request_bytes: usize,
+    /// `sim` ops cap (admission-time `too_large` check).
+    pub max_sim_ops: usize,
+    /// `sim` cycle cap.
+    pub max_sim_cycles: u64,
+    /// How long drain waits for in-flight work before cancelling it —
+    /// and then again for the cancelled work to stop.
+    pub drain_grace: Duration,
+    /// Touching this file triggers graceful drain (the same cooperative
+    /// interrupt the checkpointed explorers honor).
+    pub stop_file: Option<PathBuf>,
+    /// Where checkpointing `mc` requests flush. `None` disables
+    /// checkpointing fail-closed.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Honor the `panic` test command (worker-isolation drills).
+    pub test_faults: bool,
+}
+
+impl Default for ServeOpts {
+    fn default() -> Self {
+        ServeOpts {
+            workers: 0,
+            queue_cap: 32,
+            deadline: Duration::from_secs(10),
+            mem_budget: 256 * 1024 * 1024,
+            max_request_bytes: 64 * 1024,
+            max_sim_ops: 10_000,
+            max_sim_cycles: 10_000_000,
+            drain_grace: Duration::from_secs(5),
+            stop_file: None,
+            checkpoint_dir: None,
+            test_faults: false,
+        }
+    }
+}
+
+/// One admitted unit of work.
+struct Job {
+    req: Request,
+    cancel: CancelToken,
+    out: LineOut,
+    admitted: Instant,
+    seq: u64,
+}
+
+/// Monotonic counters, reported at drain and polled by tests.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Requests admitted to the queue.
+    pub admitted: AtomicU64,
+    /// Requests shed by admission control.
+    pub rejected: AtomicU64,
+    /// Requests answered with a client error.
+    pub errors: AtomicU64,
+    /// Requests whose worker panicked.
+    pub panicked: AtomicU64,
+    /// Requests cancelled (deadline, client gone, shutdown).
+    pub cancelled: AtomicU64,
+    /// Requests completed `ok`.
+    pub completed: AtomicU64,
+}
+
+struct Shared {
+    opts: ServeOpts,
+    queue: BoundedQueue<Job>,
+    draining: AtomicBool,
+    active: AtomicUsize,
+    /// Deadline registry: (deadline, token) per in-flight request,
+    /// scanned by the watchdog, drained by shutdown.
+    inflight: Mutex<Vec<(u64, Instant, CancelToken)>>,
+    seq: AtomicU64,
+    counters: Counters,
+}
+
+impl Shared {
+    fn register(&self, seq: u64, deadline: Instant, token: CancelToken) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .push((seq, deadline, token));
+    }
+
+    fn deregister(&self, seq: u64) {
+        self.inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .retain(|(s, _, _)| *s != seq);
+    }
+}
+
+/// A running daemon (worker pool + deadline watchdog). Frontends feed
+/// it lines via [`Server::submit_line`]; [`Server::drain`] shuts it
+/// down gracefully.
+pub struct Server {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Spawns the worker pool and watchdog.
+    pub fn start(opts: ServeOpts) -> Server {
+        let n_workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            opts.workers
+        };
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(opts.queue_cap),
+            opts,
+            draining: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            inflight: Mutex::new(Vec::new()),
+            seq: AtomicU64::new(0),
+            counters: Counters::default(),
+        });
+
+        let workers = (0..n_workers)
+            .map(|i| {
+                let sh = shared.clone();
+                std::thread::Builder::new()
+                    .name(format!("vnet-worker-{i}"))
+                    .spawn(move || worker_loop(&sh))
+                    .expect("spawning a worker thread")
+            })
+            .collect();
+
+        let watchdog = {
+            let sh = shared.clone();
+            std::thread::Builder::new()
+                .name("vnet-watchdog".into())
+                .spawn(move || watchdog_loop(&sh))
+                .expect("spawning the watchdog thread")
+        };
+
+        Server {
+            shared,
+            workers,
+            watchdog: Some(watchdog),
+        }
+    }
+
+    /// The counters (for drain summaries and tests).
+    pub fn counters(&self) -> &Counters {
+        &self.shared.counters
+    }
+
+    /// `true` once drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Admission control for one request line. Always answers: a line
+    /// in yields exactly one line out (ok, error, rejected, cancelled,
+    /// or panicked). `conn_tokens`, when given, collects the cancel
+    /// tokens of this connection's requests so a disconnect can fire
+    /// `ClientGone` on all of them.
+    pub fn submit_line(
+        &self,
+        line: &str,
+        out: &LineOut,
+        conn_tokens: Option<&Mutex<Vec<CancelToken>>>,
+    ) {
+        let sh = &self.shared;
+        let req = match proto::parse_request(line) {
+            Ok(r) => r,
+            Err(detail) => {
+                sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(out, &proto::error_response(&None, &detail));
+                return;
+            }
+        };
+
+        // Answered inline: liveness must not depend on queue headroom.
+        if matches!(req.cmd, Command::Ping) {
+            write_line(out, &proto::ok_response(&req.id, "ping", vec![]));
+            return;
+        }
+        if matches!(req.cmd, Command::Panic) && !sh.opts.test_faults {
+            sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                out,
+                &proto::error_response(&req.id, "unknown cmd `panic` (test faults disabled)"),
+            );
+            return;
+        }
+
+        if self.draining() {
+            sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                out,
+                &proto::rejected_response(&req.id, &RejectReason::ShuttingDown, None),
+            );
+            return;
+        }
+
+        if let Some(what) = oversized(&req, &sh.opts) {
+            sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            write_line(
+                out,
+                &proto::rejected_response(&req.id, &RejectReason::TooLarge { what }, None),
+            );
+            return;
+        }
+
+        let cancel = CancelToken::new();
+        if let Some(tokens) = conn_tokens {
+            let mut g = tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+            g.push(cancel.clone());
+        }
+        let job = Job {
+            req,
+            cancel,
+            out: out.clone(),
+            admitted: Instant::now(),
+            seq: sh.seq.fetch_add(1, Ordering::Relaxed),
+        };
+        match sh.queue.try_push(job) {
+            Ok(()) => {
+                sh.counters.admitted.fetch_add(1, Ordering::Relaxed);
+            }
+            Err((job, PushError::Full)) => {
+                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                // Deterministic hint: one queue-slot service estimate per
+                // waiting request. Clients treat it as a floor, not a lease.
+                let hint = 25 * (sh.queue.len() as u64 + 1);
+                write_line(
+                    out,
+                    &proto::rejected_response(&job.req.id, &RejectReason::QueueFull, Some(hint)),
+                );
+            }
+            Err((job, PushError::Closed)) => {
+                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    out,
+                    &proto::rejected_response(&job.req.id, &RejectReason::ShuttingDown, None),
+                );
+            }
+        }
+    }
+
+    /// Graceful drain: close admission, finish in-flight requests,
+    /// then cancel whatever outlives the grace period with `Shutdown`
+    /// (checkpointing `mc` runs flush on that cancel) and wait again.
+    /// Returns when the pool is idle; every admitted request has been
+    /// answered.
+    pub fn drain(mut self) {
+        drain_shared(&self.shared);
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+/// The drain sequence itself, callable through any handle on the shared
+/// state (the TCP frontend drains via the `Arc` because connection
+/// reader threads may still hold `Server` clones).
+fn drain_shared(sh: &Shared) {
+    sh.draining.store(true, Ordering::SeqCst);
+    sh.queue.close();
+
+    // Phase 1: let queued + running work finish within the grace.
+    let patience = Instant::now() + sh.opts.drain_grace;
+    while (sh.active.load(Ordering::SeqCst) > 0 || !sh.queue.is_empty())
+        && Instant::now() < patience
+    {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Phase 2: grace expired — reject what never started, cancel what
+    // did. The Shutdown cancel is what turns an in-flight checkpointing
+    // mc run into a final flush.
+    for job in sh.queue.drain_remaining() {
+        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        write_line(
+            &job.out,
+            &proto::cancelled_response(&job.req.id, CancelReason::Shutdown, vec![]),
+        );
+    }
+    {
+        let g = sh
+            .inflight
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        for (_, _, token) in g.iter() {
+            token.cancel(CancelReason::Shutdown);
+        }
+    }
+    // Cancelled work terminates on its own (poll-point bound plus one
+    // checkpoint flush), so this wait is a backstop against kernel
+    // bugs, not a tunable — it must outlast a worst-case flush, which
+    // the configured grace need not.
+    let patience = Instant::now() + sh.opts.drain_grace.max(Duration::from_secs(30));
+    while sh.active.load(Ordering::SeqCst) > 0 && Instant::now() < patience {
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Admission-time size caps: requests that would obviously exceed their
+/// budget are shed before they occupy a queue slot.
+fn oversized(req: &Request, opts: &ServeOpts) -> Option<String> {
+    if let Command::Sim { ops, max_cycles, .. } = &req.cmd {
+        if *ops > opts.max_sim_ops {
+            return Some(format!("ops {} exceeds cap {}", ops, opts.max_sim_ops));
+        }
+        if *max_cycles > opts.max_sim_cycles {
+            return Some(format!(
+                "max_cycles {} exceeds cap {}",
+                max_cycles, opts.max_sim_cycles
+            ));
+        }
+    }
+    None
+}
+
+fn watchdog_loop(sh: &Shared) {
+    // Runs until drain closes the queue and the pool goes idle; fires
+    // Deadline cancels and prunes completed entries.
+    loop {
+        {
+            let mut g = sh
+                .inflight
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let now = Instant::now();
+            for (_, deadline, token) in g.iter() {
+                if now >= *deadline {
+                    token.cancel(CancelReason::Deadline);
+                }
+            }
+            g.retain(|(_, _, t)| !t.is_cancelled());
+        }
+        if sh.draining.load(Ordering::SeqCst)
+            && sh.queue.is_empty()
+            && sh.active.load(Ordering::SeqCst) == 0
+        {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+fn worker_loop(sh: &Shared) {
+    while let Some(job) = sh.queue.pop() {
+        sh.active.fetch_add(1, Ordering::SeqCst);
+        handle(sh, job);
+        sh.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn handle(sh: &Shared, job: Job) {
+    let started = Instant::now();
+    // Cancelled while queued (client hung up, or drain raced us).
+    if let Some(reason) = job.cancel.reason() {
+        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        write_line(&job.out, &proto::cancelled_response(&job.req.id, reason, vec![]));
+        return;
+    }
+
+    // The admission deadline runs from admission, so queue wait counts.
+    let deadline = job.admitted + sh.opts.deadline;
+    sh.register(job.seq, deadline, job.cancel.clone());
+
+    let mut budget = job.req.budget.clone().with_cancel(job.cancel.clone());
+    budget.mem_limit = Some(match budget.mem_limit {
+        Some(client) => client.min(sh.opts.mem_budget),
+        None => sh.opts.mem_budget,
+    });
+
+    let ckpt_path = match &job.req.cmd {
+        Command::Mc { checkpoint: true, .. } => match &sh.opts.checkpoint_dir {
+            Some(dir) => Some(dir.join(format!("req-{}.ckpt", job.seq))),
+            None => {
+                sh.deregister(job.seq);
+                sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &job.out,
+                    &proto::error_response(
+                        &job.req.id,
+                        "checkpointing disabled (start the daemon with --checkpoint-dir)",
+                    ),
+                );
+                return;
+            }
+        },
+        _ => None,
+    };
+
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        exec::execute(&job.req, &budget, ckpt_path.as_deref())
+    }));
+    sh.deregister(job.seq);
+
+    let wall_ms = started.elapsed().as_millis() as u64;
+    let line = match outcome {
+        Err(payload) => {
+            sh.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            proto::panicked_response(&job.req.id, &detail)
+        }
+        Ok(Err(detail)) => {
+            sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+            proto::error_response(&job.req.id, &detail)
+        }
+        Ok(Ok(ExecResult { mut fields, provenance })) => {
+            use crate::json::Json;
+            fields.push(("wall_ms", Json::num(wall_ms)));
+            if let Provenance::Degraded {
+                reason: DegradeReason::Cancelled { reason },
+            } = provenance
+            {
+                sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                proto::cancelled_response(&job.req.id, reason, fields)
+            } else {
+                sh.counters.completed.fetch_add(1, Ordering::Relaxed);
+                fields.push(("provenance", Json::str(provenance.to_string())));
+                let cmd = match &job.req.cmd {
+                    Command::Analyze => "analyze",
+                    Command::Mc { .. } => "mc",
+                    Command::Sim { .. } => "sim",
+                    Command::Ping => "ping",
+                    Command::Panic => "panic",
+                };
+                proto::ok_response(&job.req.id, cmd, fields)
+            }
+        }
+    };
+    write_line(&job.out, &line);
+}
+
+/// Reads one `\n`-terminated line of at most `max` bytes. Overlong
+/// lines are consumed to the newline and reported as [`ReadLine::TooLong`]
+/// without ever buffering more than `max` bytes.
+pub enum ReadLine {
+    /// A complete line (newline stripped).
+    Line(String),
+    /// The line exceeded the byte cap and was discarded.
+    TooLong,
+    /// End of stream.
+    Eof,
+}
+
+/// Bounded line reader for the newline-delimited protocol.
+pub fn read_line_bounded(r: &mut impl std::io::BufRead, max: usize) -> std::io::Result<ReadLine> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut discarding = false;
+    loop {
+        let chunk = match r.fill_buf() {
+            Ok(c) => c,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if chunk.is_empty() {
+            // EOF: a non-terminated trailing line still counts.
+            if discarding {
+                return Ok(ReadLine::TooLong);
+            }
+            if buf.is_empty() {
+                return Ok(ReadLine::Eof);
+            }
+            return Ok(ReadLine::Line(String::from_utf8_lossy(&buf).into_owned()));
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(i) => {
+                let over = discarding || buf.len() + i > max;
+                if !over {
+                    buf.extend_from_slice(&chunk[..i]);
+                }
+                r.consume(i + 1);
+                if over {
+                    return Ok(ReadLine::TooLong);
+                }
+                return Ok(ReadLine::Line(String::from_utf8_lossy(&buf).into_owned()));
+            }
+            None => {
+                let len = chunk.len();
+                if !discarding {
+                    if buf.len() + len > max {
+                        discarding = true;
+                        buf.clear();
+                    } else {
+                        buf.extend_from_slice(chunk);
+                    }
+                }
+                r.consume(len);
+            }
+        }
+    }
+}
+
+/// Serves connections on `listener` until SIGTERM/SIGINT or the stop
+/// file appears, then drains. Prints one `listening on <addr>` line to
+/// stdout first so scripted clients can find an ephemeral port.
+pub fn serve_tcp(listener: std::net::TcpListener, opts: ServeOpts) -> std::io::Result<()> {
+    signal::install_handlers();
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    println!("vnet-serve listening on {addr}");
+    let _ = std::io::stdout().flush();
+
+    let server = Arc::new(Server::start(opts.clone()));
+    let stop_file = opts.stop_file.clone();
+    let max_line = opts.max_request_bytes;
+
+    loop {
+        if signal::termination_requested() || stop_file.as_ref().is_some_and(|p| p.exists()) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let server = server.clone();
+                let _ = std::thread::Builder::new()
+                    .name("vnet-conn".into())
+                    .spawn(move || serve_conn(stream, &server, max_line));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+
+    eprintln!("vnet-serve: drain requested, finishing in-flight work");
+    // Connection reader threads may still hold `Server` clones (they
+    // block on client reads), so drain through the shared state rather
+    // than by consuming the `Server`.
+    drain_shared(&server.shared);
+    let c = server.counters();
+    eprintln!(
+        "vnet-serve: drained (completed {}, cancelled {}, rejected {}, errors {}, panicked {})",
+        c.completed.load(Ordering::Relaxed),
+        c.cancelled.load(Ordering::Relaxed),
+        c.rejected.load(Ordering::Relaxed),
+        c.errors.load(Ordering::Relaxed),
+        c.panicked.load(Ordering::Relaxed),
+    );
+    Ok(())
+}
+
+fn serve_conn(stream: std::net::TcpStream, server: &Server, max_line: usize) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let out: LineOut = Arc::new(Mutex::new(Box::new(write_half)));
+    let tokens: Mutex<Vec<CancelToken>> = Mutex::new(Vec::new());
+    let mut reader = std::io::BufReader::new(stream);
+    loop {
+        match read_line_bounded(&mut reader, max_line) {
+            Ok(ReadLine::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                server.submit_line(&line, &out, Some(&tokens));
+                // Prune tokens for finished requests (only the kernel's
+                // meter still holds a clone while one runs).
+                let mut g = tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                g.retain(|t| !t.is_cancelled());
+            }
+            Ok(ReadLine::TooLong) => {
+                server.counters().rejected.fetch_add(1, Ordering::Relaxed);
+                write_line(
+                    &out,
+                    &proto::rejected_response(
+                        &None,
+                        &RejectReason::TooLarge {
+                            what: format!("request line exceeds {max_line} bytes"),
+                        },
+                        None,
+                    ),
+                );
+            }
+            Ok(ReadLine::Eof) | Err(_) => break,
+        }
+    }
+    // Disconnect: nobody will read these results — stop burning CPU.
+    let g = tokens.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    for t in g.iter() {
+        t.cancel(CancelReason::ClientGone);
+    }
+}
+
+/// Serves newline-delimited requests from stdin, answering on stdout,
+/// until EOF, SIGTERM/SIGINT, or the stop file; then drains. The
+/// scripted-client mode: `printf '...' | vnet serve --stdin`.
+pub fn serve_stdio(opts: ServeOpts) -> std::io::Result<()> {
+    signal::install_handlers();
+    let server = Server::start(opts.clone());
+    let out: LineOut = Arc::new(Mutex::new(Box::new(std::io::stdout())));
+    let mut reader = std::io::BufReader::new(std::io::stdin());
+    loop {
+        if signal::termination_requested()
+            || opts.stop_file.as_ref().is_some_and(|p| p.exists())
+        {
+            break;
+        }
+        match read_line_bounded(&mut reader, opts.max_request_bytes) {
+            Ok(ReadLine::Line(line)) => {
+                if !line.trim().is_empty() {
+                    server.submit_line(&line, &out, None);
+                }
+            }
+            Ok(ReadLine::TooLong) => {
+                write_line(
+                    &out,
+                    &proto::rejected_response(
+                        &None,
+                        &RejectReason::TooLarge {
+                            what: format!(
+                                "request line exceeds {} bytes",
+                                opts.max_request_bytes
+                            ),
+                        },
+                        None,
+                    ),
+                );
+            }
+            Ok(ReadLine::Eof) => break,
+            Err(_) => break,
+        }
+    }
+    server.drain();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    fn capture() -> (LineOut, Arc<Mutex<Vec<u8>>>) {
+        #[derive(Clone)]
+        struct Sink(Arc<Mutex<Vec<u8>>>);
+        impl Write for Sink {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let store = Arc::new(Mutex::new(Vec::new()));
+        let out: LineOut = Arc::new(Mutex::new(Box::new(Sink(store.clone()))));
+        (out, store)
+    }
+
+    fn lines(store: &Arc<Mutex<Vec<u8>>>) -> Vec<json::Json> {
+        String::from_utf8(store.lock().unwrap().clone())
+            .unwrap()
+            .lines()
+            .map(|l| json::parse(l).expect("every response line is valid JSON"))
+            .collect()
+    }
+
+    fn status_of(v: &json::Json) -> String {
+        v.get("status").and_then(json::Json::as_str).unwrap().to_string()
+    }
+
+    fn small_opts() -> ServeOpts {
+        ServeOpts {
+            workers: 2,
+            queue_cap: 4,
+            deadline: Duration::from_secs(30),
+            drain_grace: Duration::from_secs(2),
+            test_faults: true,
+            ..ServeOpts::default()
+        }
+    }
+
+    fn wait_for_responses(store: &Arc<Mutex<Vec<u8>>>, n: usize) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while lines(store).len() < n {
+            assert!(Instant::now() < deadline, "timed out waiting for {n} responses");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn answers_ping_inline_and_analyze_via_the_pool() {
+        let server = Server::start(small_opts());
+        let (out, store) = capture();
+        server.submit_line(r#"{"id":"p","cmd":"ping"}"#, &out, None);
+        server.submit_line(r#"{"id":"a","cmd":"analyze","protocol":"MESI-nonblocking-cache"}"#, &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        assert!(all.iter().all(|v| status_of(v) == "ok"), "{all:?}");
+    }
+
+    #[test]
+    fn malformed_and_unknown_requests_get_structured_errors() {
+        let server = Server::start(small_opts());
+        let (out, store) = capture();
+        server.submit_line("{not json", &out, None);
+        server.submit_line(r#"{"cmd":"analyze","protocol":"NOPE"}"#, &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        for v in lines(&store) {
+            assert_eq!(status_of(&v), "error", "{v:?}");
+        }
+    }
+
+    #[test]
+    fn a_panicking_request_kills_neither_daemon_nor_worker() {
+        let server = Server::start(small_opts());
+        let (out, store) = capture();
+        server.submit_line(r#"{"id":"boom","cmd":"panic"}"#, &out, None);
+        wait_for_responses(&store, 1);
+        // The pool still serves afterwards.
+        server.submit_line(r#"{"id":"ok","cmd":"analyze","protocol":"MSI-nonblocking-cache"}"#, &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        let statuses: Vec<String> = all.iter().map(status_of).collect();
+        assert!(statuses.contains(&"panicked".to_string()), "{statuses:?}");
+        assert!(statuses.contains(&"ok".to_string()), "{statuses:?}");
+    }
+
+    #[test]
+    fn queue_full_sheds_with_a_retry_hint() {
+        // One worker, capacity-1 queue, slow-ish jobs: the third and
+        // later submissions must shed deterministically.
+        let opts = ServeOpts {
+            workers: 1,
+            queue_cap: 1,
+            test_faults: true,
+            ..small_opts()
+        };
+        let server = Server::start(opts);
+        let (out, store) = capture();
+        for i in 0..6 {
+            server.submit_line(
+                &format!(r#"{{"id":"q{i}","cmd":"mc","protocol":"MESI-nonblocking-cache","vns":"unique","budget":{{"nodes":200000}}}}"#),
+                &out,
+                None,
+            );
+        }
+        wait_for_responses(&store, 6);
+        server.drain();
+        let all = lines(&store);
+        let shed: Vec<_> = all.iter().filter(|v| status_of(v) == "rejected").collect();
+        assert!(
+            shed.len() >= 3,
+            "expected most of the burst shed, got {} of {}",
+            shed.len(),
+            all.len()
+        );
+        for v in &shed {
+            assert_eq!(
+                v.get("reason").and_then(json::Json::as_str),
+                Some("queue_full")
+            );
+            assert!(v.get("retry_after_ms").and_then(json::Json::as_u64).is_some());
+        }
+    }
+
+    #[test]
+    fn deadline_cancellation_is_structured_and_prompt() {
+        let opts = ServeOpts {
+            workers: 1,
+            deadline: Duration::from_millis(150),
+            ..small_opts()
+        };
+        let server = Server::start(opts);
+        let (out, store) = capture();
+        // CHI single-VN is far too big to finish in 150ms.
+        server.submit_line(
+            r#"{"id":"slow","cmd":"mc","protocol":"CHI","vns":"single"}"#,
+            &out,
+            None,
+        );
+        wait_for_responses(&store, 1);
+        server.drain();
+        let v = &lines(&store)[0];
+        assert_eq!(status_of(v), "cancelled", "{v:?}");
+        assert_eq!(v.get("reason").and_then(json::Json::as_str), Some("deadline"));
+    }
+
+    #[test]
+    fn drain_rejects_new_work_but_finishes_old() {
+        let server = Server::start(small_opts());
+        let (out, store) = capture();
+        server.submit_line(r#"{"id":"w","cmd":"analyze","protocol":"MOESI-nonblocking-cache"}"#, &out, None);
+        server.shared.draining.store(true, Ordering::SeqCst);
+        server.submit_line(r#"{"id":"late","cmd":"analyze","protocol":"MSI-nonblocking-cache"}"#, &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        let mut by_id: std::collections::BTreeMap<String, String> = Default::default();
+        for v in &all {
+            by_id.insert(
+                v.get("id").and_then(json::Json::as_str).unwrap().into(),
+                status_of(v),
+            );
+        }
+        assert_eq!(by_id["w"], "ok");
+        assert_eq!(by_id["late"], "rejected");
+    }
+
+    #[test]
+    fn bounded_reader_sheds_overlong_lines_without_buffering_them() {
+        let long = format!("{}\nshort\n", "x".repeat(1_000_000));
+        let mut r = std::io::BufReader::new(long.as_bytes());
+        match read_line_bounded(&mut r, 1024).unwrap() {
+            ReadLine::TooLong => {}
+            _ => panic!("expected TooLong"),
+        }
+        match read_line_bounded(&mut r, 1024).unwrap() {
+            ReadLine::Line(l) => assert_eq!(l, "short"),
+            _ => panic!("expected the next line to survive"),
+        }
+        assert!(matches!(read_line_bounded(&mut r, 1024).unwrap(), ReadLine::Eof));
+    }
+}

@@ -1,0 +1,55 @@
+//! Process-signal plumbing for graceful drain.
+//!
+//! SIGTERM and SIGINT set a flag the accept loop polls; nothing else
+//! happens in signal context (the handler is a single atomic store,
+//! which is async-signal-safe). The workspace is dependency-free, so
+//! the one `signal(2)` binding is declared here directly — it is the
+//! only unsafe code in the crate.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM_REQUESTED;
+    use std::sync::atomic::Ordering;
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_sig: i32) {
+        TERM_REQUESTED.store(true, Ordering::SeqCst);
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_term as *const () as usize);
+            signal(SIGINT, on_term as *const () as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGTERM/SIGINT drain handler (idempotent).
+pub fn install_handlers() {
+    imp::install();
+}
+
+/// `true` once SIGTERM or SIGINT has been received.
+pub fn termination_requested() -> bool {
+    TERM_REQUESTED.load(Ordering::SeqCst)
+}
+
+/// Test hook: simulate a received signal in-process.
+pub fn request_termination() {
+    TERM_REQUESTED.store(true, Ordering::SeqCst);
+}

@@ -6,7 +6,7 @@ use crate::topology::Topology;
 use crate::workload::Workload;
 use std::collections::VecDeque;
 use vnet_graph::cycles::elementary_cycles;
-use vnet_graph::{DiGraph, NodeId, Rng64};
+use vnet_graph::{Budget, DiGraph, NodeId, Provenance, Rng64};
 use vnet_mc::exec::{deliver, inject, Firing};
 use vnet_mc::{GlobalState, IcnOrder, InjectionBudget, McConfig, Msg, Node, VnMap};
 use vnet_protocol::{Cell, ProtocolSpec, StateId, Trigger};
@@ -239,7 +239,22 @@ impl Simulator {
 
     /// Runs `workload` for at most `max_cycles`. Consumes the simulator
     /// (one run per instance keeps the state accounting simple).
-    pub fn run(mut self, mut workload: Workload, max_cycles: u64) -> SimReport {
+    pub fn run(self, workload: Workload, max_cycles: u64) -> SimReport {
+        self.run_budgeted(workload, max_cycles, &Budget::unlimited()).0
+    }
+
+    /// [`Simulator::run`] under a [`Budget`]: the meter ticks once per
+    /// simulated cycle, so a deadline, node limit, or fired
+    /// [`CancelToken`](vnet_graph::CancelToken) stops the run within
+    /// one cycle of its poll point. The report covers the cycles that
+    /// did run; the provenance says whether the run was cut short.
+    pub fn run_budgeted(
+        mut self,
+        mut workload: Workload,
+        max_cycles: u64,
+        budget: &Budget,
+    ) -> (SimReport, Provenance) {
+        let mut meter = budget.start();
         let n_vns = self.cfg.vns.n_vns();
         let n_caches = self.cfg.n_caches();
         let nodes = self.cfg.topology.nodes();
@@ -251,6 +266,9 @@ impl Simulator {
         let mut model_error: Option<String> = None;
 
         while now < max_cycles {
+            if !meter.tick() {
+                break;
+            }
             let mut progress = false;
 
             // --- 1. injection ---
@@ -522,7 +540,7 @@ impl Simulator {
         let unfinished = workload.total_ops()
             + self.outstanding.iter().filter(|o| o.is_some()).count();
         let faults = (!self.cfg.faults.is_empty()).then(|| self.fault_stats.clone());
-        acc.finish(
+        let report = acc.finish(
             now,
             unfinished,
             deadlocked,
@@ -531,7 +549,8 @@ impl Simulator {
             self.cfg.buffer_cost(),
             faults,
             deadlock,
-        )
+        );
+        (report, meter.provenance())
     }
 
     /// Post-mortem for a wedged run: builds the *wait-for graph* over

@@ -8,4 +8,5 @@ pub use vnet_core as core;
 pub use vnet_graph as graph;
 pub use vnet_mc as mc;
 pub use vnet_protocol as protocol;
+pub use vnet_serve as serve;
 pub use vnet_sim as sim;

@@ -24,40 +24,61 @@ use vnet::core::textbook::textbook_vn_count;
 use vnet::core::{analyze, analyze_budgeted, report, Budget, VnOutcome};
 use vnet::protocol::{dsl, protocols, ControllerKind, ProtocolSpec};
 
-/// How a successfully-parsed command ended; each maps to a distinct
-/// process exit code so scripts and CI can branch on the result.
+/// Every way a `vnet` invocation can end, unified in one place. Each
+/// variant maps to a distinct process exit code (see the README table)
+/// so scripts and CI can branch on the result without scraping output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Outcome {
-    /// Everything ran and nothing bad was found — exit 0.
+    /// Everything ran and nothing bad was found.
     Clean,
+    /// The command line or its input was malformed; nothing ran.
+    UsageError,
     /// A deadlock — or a found deadlock *risk*: an uncertifiable mapping
-    /// or a Class-2 verdict — was detected — exit 2.
+    /// or a Class-2 verdict — was detected.
     DeadlockFound,
     /// A `--budget` was exhausted: the printed result is degraded or
-    /// partial, not exact — exit 3.
+    /// partial, not exact.
     Degraded,
     /// The run was stopped cooperatively (stop file) and a resumable
-    /// checkpoint was written — exit 4.
+    /// checkpoint was written.
     Interrupted,
     /// A campaign finished but some protocol produced no verdict at
-    /// all (every attempt crashed or timed out) — exit 5.
+    /// all (every attempt crashed or timed out).
     Incomplete,
+    /// `vnet serve` could not start (bind failure, bad checkpoint dir).
+    /// Distinct from `UsageError` so supervisors can tell "fix the
+    /// flags" from "the port is taken, restart me elsewhere".
+    ServeStartupFailure,
+}
+
+impl Outcome {
+    /// The process exit code for this outcome — the single source of
+    /// truth the README table documents.
+    fn code(self) -> u8 {
+        match self {
+            Outcome::Clean => 0,
+            Outcome::UsageError => 1,
+            Outcome::DeadlockFound => 2,
+            Outcome::Degraded => 3,
+            Outcome::Interrupted => 4,
+            Outcome::Incomplete => 5,
+            Outcome::ServeStartupFailure => 6,
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    match run(&args) {
-        Ok(Outcome::Clean) => ExitCode::SUCCESS,
-        Ok(Outcome::DeadlockFound) => ExitCode::from(2),
-        Ok(Outcome::Degraded) => ExitCode::from(3),
-        Ok(Outcome::Interrupted) => ExitCode::from(4),
-        Ok(Outcome::Incomplete) => ExitCode::from(5),
+    let outcome = match run(&args) {
+        Ok(outcome) => outcome,
         Err(e) => {
             eprintln!("error: {e}");
             eprintln!();
             eprintln!("{USAGE}");
-            ExitCode::FAILURE
+            Outcome::UsageError
         }
-    }
+    };
+    ExitCode::from(outcome.code())
 }
 
 const USAGE: &str = "\
@@ -80,6 +101,10 @@ usage:
           [--stop-file <file>] [--report <file>] [--inject-worker-panic <level>:<times>]
   vnet sim <protocol> [--faults <plan>] [--seed <n>] [--topology ring:<n>|mesh:<r>x<c>]
            [--ops <n>] [--max-cycles <n>] [--unique-vns | --single-vn] [--recirculation]
+  vnet serve [--listen <addr> | --stdin] [--workers <n>] [--queue <n>]
+           [--deadline <dur>] [--mem-budget <bytes>] [--max-request-bytes <n>]
+           [--stop-file <file>] [--drain-grace <dur>] [--checkpoint-dir <dir>]
+           [--enable-test-faults]
 
 <protocol> is a built-in name or a path to a .vnp file (text DSL).
 <budget>   comma-separated limits: `500ms` / `2s` (deadline), `nodes=100000`;
@@ -92,8 +117,13 @@ usage:
 Table I set) with per-protocol isolation, timeout, retry-with-backoff, and
 checkpoint resume, and emits a machine-readable JSON report.
 
+`vnet serve` runs the analysis daemon: newline-delimited JSON requests over
+TCP (default 127.0.0.1:7700) or stdin, with bounded queueing, per-request
+deadlines and memory budgets, and graceful drain on SIGTERM / stop-file.
+
 exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result,
-            4 interrupted (resumable checkpoint written), 5 campaign incomplete.";
+            4 interrupted (resumable checkpoint written), 5 campaign incomplete,
+            6 serve startup failure.";
 
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -232,6 +262,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             let resume_path = flag_value(args, "--resume")?.map(PathBuf::from);
             let ckpt_path = flag_value(args, "--checkpoint")?.map(PathBuf::from);
             let interval: usize = parse_flag(args, "--checkpoint-interval", 50_000)?;
+            if interval == 0 {
+                return Err("--checkpoint-interval must be positive".into());
+            }
             let stop_file = flag_value(args, "--stop-file")?.map(PathBuf::from);
             let inject = inject_flag(args)?;
             if inject.is_some() && threads.is_none() {
@@ -474,6 +507,73 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             Ok(Outcome::Clean)
         }
+        "serve" => {
+            use vnet_serve::ServeOpts;
+            // Fail-closed sizing: zero workers or a zero queue is a
+            // typo, not a request for "unlimited" or "none".
+            let mut opts = ServeOpts {
+                workers: parse_flag(args, "--workers", 0usize)?,
+                ..ServeOpts::default()
+            };
+            if flag_value(args, "--workers")?.is_some() && opts.workers == 0 {
+                return Err("--workers must be positive".into());
+            }
+            opts.queue_cap = parse_flag(args, "--queue", opts.queue_cap)?;
+            if opts.queue_cap == 0 {
+                return Err("--queue must be positive".into());
+            }
+            if let Some(d) = flag_value(args, "--deadline")? {
+                let d = parse_duration(&d)?;
+                if d.is_zero() {
+                    return Err("--deadline must be positive".into());
+                }
+                opts.deadline = d;
+            }
+            opts.mem_budget = parse_flag(args, "--mem-budget", opts.mem_budget)?;
+            if opts.mem_budget == 0 {
+                return Err("--mem-budget must be positive".into());
+            }
+            opts.max_request_bytes =
+                parse_flag(args, "--max-request-bytes", opts.max_request_bytes)?;
+            if opts.max_request_bytes == 0 {
+                return Err("--max-request-bytes must be positive".into());
+            }
+            if let Some(g) = flag_value(args, "--drain-grace")? {
+                opts.drain_grace = parse_duration(&g)?;
+            }
+            opts.stop_file = flag_value(args, "--stop-file")?.map(std::path::PathBuf::from);
+            opts.checkpoint_dir =
+                flag_value(args, "--checkpoint-dir")?.map(std::path::PathBuf::from);
+            opts.test_faults = args.iter().any(|a| a == "--enable-test-faults");
+
+            if let Some(dir) = &opts.checkpoint_dir {
+                if let Err(e) = std::fs::create_dir_all(dir) {
+                    eprintln!("serve: cannot create checkpoint dir {}: {e}", dir.display());
+                    return Ok(Outcome::ServeStartupFailure);
+                }
+            }
+
+            if args.iter().any(|a| a == "--stdin") {
+                vnet_serve::serve_stdio(opts).map_err(|e| format!("serve: {e}"))?;
+                return Ok(Outcome::Clean);
+            }
+            let addr = flag_value(args, "--listen")?
+                .unwrap_or_else(|| "127.0.0.1:7700".to_string());
+            let listener = match std::net::TcpListener::bind(&addr) {
+                Ok(l) => l,
+                Err(e) => {
+                    eprintln!("serve: cannot listen on {addr}: {e}");
+                    return Ok(Outcome::ServeStartupFailure);
+                }
+            };
+            match vnet_serve::serve_tcp(listener, opts) {
+                Ok(()) => Ok(Outcome::Clean),
+                Err(e) => {
+                    eprintln!("serve: {e}");
+                    Ok(Outcome::ServeStartupFailure)
+                }
+            }
+        }
         "" => Err("no command given".into()),
         other => Err(format!("unknown command {other}")),
     }
@@ -506,18 +606,30 @@ fn budget_flag(args: &[String]) -> Result<Budget, String> {
     };
     let mut budget = Budget::unlimited();
     for clause in text.split(',').map(str::trim).filter(|c| !c.is_empty()) {
+        // Zero limits are rejected fail-closed: a zero budget is always
+        // a typo, and silently treating it as "unlimited" (or as
+        // "instantly exhausted") would invert the intent either way.
         if let Some(n) = clause.strip_prefix("nodes=") {
             let n: u64 = n
                 .parse()
                 .map_err(|_| format!("bad node limit `{clause}`"))?;
+            if n == 0 {
+                return Err(format!("node limit must be positive in `{clause}`"));
+            }
             budget = budget.with_node_limit(n);
         } else if let Some(ms) = clause.strip_suffix("ms") {
             let ms: u64 = ms
                 .parse()
                 .map_err(|_| format!("bad deadline `{clause}`"))?;
+            if ms == 0 {
+                return Err(format!("deadline must be positive in `{clause}`"));
+            }
             budget = budget.with_deadline(Duration::from_millis(ms));
         } else if let Some(s) = clause.strip_suffix('s') {
             let s: u64 = s.parse().map_err(|_| format!("bad deadline `{clause}`"))?;
+            if s == 0 {
+                return Err(format!("deadline must be positive in `{clause}`"));
+            }
             budget = budget.with_deadline(Duration::from_secs(s));
         } else {
             return Err(format!(

@@ -128,7 +128,7 @@ fn thread_isolation_timeout_then_resume_lineage() {
     // profile, so the first attempt *always* times out and the lineage
     // is exercised; each retry resumes from the flushed checkpoint and
     // the remainder eventually fits in one slice. The supervisor's
-    // grace window (>= 2 s) covers finishing a BFS level even when the
+    // grace window (>= 5 s) covers finishing a BFS level even when the
     // harness runs every other test and their subprocesses
     // concurrently, and the retry budget covers a loaded machine.
     let mut cc = CampaignConfig::new()
