@@ -1,0 +1,300 @@
+//! Reproducible explorer timing harness: measures states/second, peak
+//! accounted bytes, and wall time for the `table1_mc` and
+//! `mc_depth_series` workloads, and emits `BENCH_vnet.json` so every PR
+//! leaves a perf trajectory behind.
+//!
+//! ```text
+//! bench_explorer [--out FILE] [--only SUBSTR] [--repeat N]
+//!                [--check BASELINE.json] [--max-regress PCT]
+//! ```
+//!
+//! * `--out` — where to write the JSON report (default `BENCH_vnet.json`).
+//! * `--only` — run only workloads whose name contains SUBSTR (the CI
+//!   smoke job uses `--only MSI-blocking` to stay fast).
+//! * `--repeat` — timed repetitions per workload; the median is
+//!   reported (default 3).
+//! * `--check` — compare states/sec against a previously committed
+//!   report and exit non-zero if any shared workload regressed by more
+//!   than `--max-regress` percent (default 30).
+//!
+//! The workloads are the paper's §VII verification subjects: the
+//! Table I deadlock confirmations (Figure-3 scenario) and the bounded
+//! depth-series sweeps. All runs are serial and deterministic, so
+//! states and levels are bit-stable; only wall time varies.
+
+use std::time::Instant;
+use vnet_core::minimize_vns;
+use vnet_mc::{explore_budgeted, InjectionBudget, McConfig, Verdict, VnMap};
+use vnet_protocol::{protocols, ProtocolSpec};
+
+/// One named (spec, config) pair to measure.
+struct Workload {
+    name: String,
+    group: &'static str,
+    spec: ProtocolSpec,
+    cfg: McConfig,
+}
+
+/// One measured result.
+struct Measurement {
+    name: String,
+    group: &'static str,
+    verdict: &'static str,
+    states: usize,
+    levels: usize,
+    wall_ms: f64,
+    states_per_sec: f64,
+    peak_bytes: u64,
+}
+
+fn derived_vns(spec: &ProtocolSpec) -> VnMap {
+    let outcome = minimize_vns(spec);
+    match outcome.assignment() {
+        Some(a) => VnMap::from_assignment(a, spec.messages().len()),
+        None => VnMap::one_per_message(spec.messages().len()),
+    }
+}
+
+fn workloads() -> Vec<Workload> {
+    let mut out = Vec::new();
+    // table1_mc: the Figure-3 directed scenario per Table I protocol.
+    for spec in [
+        protocols::msi_blocking_cache(),
+        protocols::mesi_blocking_cache(),
+        protocols::mosi_blocking_cache(),
+        protocols::moesi_blocking_cache(),
+    ] {
+        let cfg =
+            McConfig::figure3(&spec).with_vns(VnMap::one_per_message(spec.messages().len()));
+        out.push(Workload {
+            name: format!("{}@unique-fig3", spec.name()),
+            group: "table1_mc",
+            spec,
+            cfg,
+        });
+    }
+    for spec in [
+        protocols::msi_nonblocking_cache(),
+        protocols::mesi_nonblocking_cache(),
+        protocols::chi(),
+    ] {
+        let vns = derived_vns(&spec);
+        let cfg = McConfig::figure3(&spec).with_vns(vns);
+        out.push(Workload {
+            name: format!("{}@derived-fig3", spec.name()),
+            group: "table1_mc",
+            spec,
+            cfg,
+        });
+    }
+    // mc_depth_series: the bounded general sweeps (the big ones).
+    for spec in [
+        protocols::msi_nonblocking_cache(),
+        protocols::mesi_nonblocking_cache(),
+        protocols::chi(),
+    ] {
+        let vns = derived_vns(&spec);
+        let cfg = McConfig::general(&spec)
+            .with_vns(vns)
+            .with_budget(InjectionBudget::PerCache(1))
+            .with_limits(120_000, Some(40));
+        out.push(Workload {
+            name: format!("{}@derived-general", spec.name()),
+            group: "mc_depth_series",
+            spec,
+            cfg,
+        });
+    }
+    out
+}
+
+fn measure(w: &Workload, repeat: usize) -> Measurement {
+    let budget = vnet_graph::Budget::unlimited();
+    let mut walls: Vec<f64> = Vec::with_capacity(repeat);
+    let mut verdict = "unknown";
+    let mut states = 0usize;
+    let mut levels = 0usize;
+    let mut peak_bytes = 0u64;
+    for _ in 0..repeat.max(1) {
+        let t = Instant::now();
+        let v = explore_budgeted(&w.spec, &w.cfg, &budget);
+        walls.push(t.elapsed().as_secs_f64() * 1e3);
+        let stats = v.stats();
+        states = stats.states;
+        levels = stats.levels;
+        peak_bytes = stats.peak_bytes;
+        verdict = match v {
+            Verdict::Deadlock { .. } => "deadlock",
+            Verdict::NoDeadlock(_) => "no_deadlock",
+            Verdict::ModelError { .. } => "model_error",
+            Verdict::InvariantViolation { .. } => "invariant_violation",
+        };
+    }
+    walls.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let wall_ms = walls[walls.len() / 2];
+    Measurement {
+        name: w.name.clone(),
+        group: w.group,
+        verdict,
+        states,
+        levels,
+        wall_ms,
+        states_per_sec: if wall_ms > 0.0 {
+            states as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+        peak_bytes,
+    }
+}
+
+fn to_json(results: &[Measurement]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n  \"schema\": 1,\n  \"bench\": \"bench_explorer\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{}\", \"group\": \"{}\", \"verdict\": \"{}\", \
+             \"states\": {}, \"levels\": {}, \"wall_ms\": {:.2}, \
+             \"states_per_sec\": {:.0}, \"peak_bytes\": {}}}{}",
+            m.name,
+            m.group,
+            m.verdict,
+            m.states,
+            m.levels,
+            m.wall_ms,
+            m.states_per_sec,
+            m.peak_bytes,
+            if i + 1 == results.len() { "" } else { "," }
+        );
+    }
+    out.push_str("  ],\n");
+    let total: f64 = results.iter().map(|m| m.states as f64).sum();
+    let wall: f64 = results.iter().map(|m| m.wall_ms).sum();
+    let _ = writeln!(
+        out,
+        "  \"aggregate\": {{\"states\": {:.0}, \"wall_ms\": {:.2}, \"states_per_sec\": {:.0}}}",
+        total,
+        wall,
+        if wall > 0.0 { total / (wall / 1e3) } else { 0.0 }
+    );
+    out.push_str("}\n");
+    out
+}
+
+/// Pulls `"name": "<w>" ... "states_per_sec": <num>` pairs out of a
+/// previously committed report. Deliberately minimal: it parses only
+/// the format `to_json` writes.
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let Some(name_at) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[name_at + 9..];
+        let Some(name_end) = rest.find('"') else {
+            continue;
+        };
+        let name = rest[..name_end].to_string();
+        let Some(sps_at) = line.find("\"states_per_sec\": ") else {
+            continue;
+        };
+        let tail = &line[sps_at + 18..];
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.')
+            .collect();
+        if let Ok(v) = num.parse::<f64>() {
+            out.push((name, v));
+        }
+    }
+    out
+}
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_vnet.json".to_string());
+    let only = flag(&args, "--only");
+    let repeat: usize = flag(&args, "--repeat")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let check = flag(&args, "--check");
+    let max_regress: f64 = flag(&args, "--max-regress")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(30.0);
+
+    let selected: Vec<Workload> = workloads()
+        .into_iter()
+        .filter(|w| only.as_ref().is_none_or(|o| w.name.contains(o.as_str())))
+        .collect();
+    if selected.is_empty() {
+        eprintln!("bench_explorer: no workload matches the --only filter");
+        std::process::exit(1);
+    }
+
+    println!("bench_explorer: {} workload(s), repeat={repeat}", selected.len());
+    let mut results = Vec::with_capacity(selected.len());
+    for w in &selected {
+        let m = measure(w, repeat);
+        println!(
+            "  {:<44} {:>9} states  {:>8.1} ms  {:>10.0} states/s  peak {} B  [{}]",
+            m.name, m.states, m.wall_ms, m.states_per_sec, m.peak_bytes, m.verdict
+        );
+        results.push(m);
+    }
+
+    let json = to_json(&results);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_explorer: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("report written to {out_path}");
+
+    if let Some(baseline_path) = check {
+        let text = match std::fs::read_to_string(&baseline_path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("bench_explorer: cannot read baseline {baseline_path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        let mut failed = false;
+        let mut compared = 0;
+        for m in &results {
+            let Some((_, base_sps)) = baseline.iter().find(|(n, _)| *n == m.name) else {
+                continue;
+            };
+            compared += 1;
+            let floor = base_sps * (1.0 - max_regress / 100.0);
+            let status = if m.states_per_sec < floor { "REGRESSED" } else { "ok" };
+            println!(
+                "  check {:<40} {:>10.0} vs baseline {:>10.0} (floor {:>10.0}) {status}",
+                m.name, m.states_per_sec, base_sps, floor
+            );
+            if m.states_per_sec < floor {
+                failed = true;
+            }
+        }
+        if compared == 0 {
+            eprintln!("bench_explorer: baseline shares no workload with this run");
+            std::process::exit(1);
+        }
+        if failed {
+            eprintln!(
+                "bench_explorer: states/sec regressed more than {max_regress}% on at least \
+                 one workload"
+            );
+            std::process::exit(2);
+        }
+        println!("no regression beyond {max_regress}% on {compared} shared workload(s)");
+    }
+}

@@ -1,0 +1,155 @@
+//! A fast, non-cryptographic hasher for hot-path hash tables.
+//!
+//! The standard library's default hasher (SipHash-1-3) is keyed and
+//! DoS-resistant, which none of our internal tables need: keys are
+//! canonical state encodings and small integers produced by our own
+//! code, never attacker-controlled. This is the Fx/FNV-style
+//! multiply-rotate hash used by rustc's `FxHashMap` — a few cycles per
+//! word, quality adequate for power-of-two open addressing.
+//!
+//! Use [`FxBuildHasher`] as the `S` parameter of `HashMap`/`HashSet`,
+//! or [`fx_hash_bytes`] to hash a byte slice directly (the model
+//! checker's intern tables index with it).
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One round of the Fx mix: xor, rotate, multiply.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+#[inline]
+fn mix(hash: u64, word: u64) -> u64 {
+    (hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED)
+}
+
+/// Hashes a byte slice in 8-byte chunks with the Fx mix. Deterministic
+/// across processes and runs (unlike SipHash with its random key), so
+/// anything derived from it — shard assignment, table layout — is
+/// reproducible.
+#[inline]
+pub fn fx_hash_bytes(bytes: &[u8]) -> u64 {
+    let mut hash = 0u64;
+    let mut chunks = bytes.chunks_exact(8);
+    for c in &mut chunks {
+        let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        hash = mix(hash, w);
+    }
+    let rest = chunks.remainder();
+    if !rest.is_empty() {
+        let mut w = [0u8; 8];
+        w[..rest.len()].copy_from_slice(rest);
+        hash = mix(hash, u64::from_le_bytes(w));
+        // Fold the length in so "ab" and "ab\0" differ.
+        hash = mix(hash, rest.len() as u64);
+    }
+    hash
+}
+
+/// A [`Hasher`] over the Fx mix. Not keyed, not DoS-resistant — for
+/// internal tables with trusted keys only.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            let w = u64::from_le_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+            self.hash = mix(self.hash, w);
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut w = [0u8; 8];
+            w[..rest.len()].copy_from_slice(rest);
+            self.hash = mix(self.hash, u64::from_le_bytes(w));
+            self.hash = mix(self.hash, rest.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.hash = mix(self.hash, v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.hash = mix(self.hash, v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.hash = mix(self.hash, v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.hash = mix(self.hash, v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`], usable as
+/// `HashMap<K, V, FxBuildHasher>`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::BuildHasher;
+
+    #[test]
+    fn byte_hash_is_deterministic_and_discriminating() {
+        let a = fx_hash_bytes(b"hello world, this is a state key");
+        let b = fx_hash_bytes(b"hello world, this is a state key");
+        assert_eq!(a, b);
+        assert_ne!(a, fx_hash_bytes(b"hello world, this is a state keY"));
+        assert_ne!(fx_hash_bytes(b""), fx_hash_bytes(b"\0"));
+        assert_ne!(fx_hash_bytes(b"ab"), fx_hash_bytes(b"ab\0"));
+    }
+
+    #[test]
+    fn hasher_trait_matches_nothing_stateful() {
+        let build = FxBuildHasher::default();
+        let h1 = build.hash_one(42u64);
+        let h2 = build.hash_one(42u64);
+        assert_eq!(h1, h2);
+        assert_ne!(build.hash_one(42u64), build.hash_one(43u64));
+    }
+
+    #[test]
+    fn works_as_a_map_hasher() {
+        let mut m: std::collections::HashMap<Vec<u8>, usize, FxBuildHasher> =
+            std::collections::HashMap::default();
+        for i in 0..1000usize {
+            m.insert(i.to_le_bytes().to_vec(), i);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m.get(7usize.to_le_bytes().as_slice()), Some(&7));
+    }
+
+    #[test]
+    fn low_collision_rate_on_state_like_keys() {
+        // Keys shaped like state encodings (mostly-zero bytes with a few
+        // varying positions) must spread: no more than a trivial number
+        // of collisions among 10k keys.
+        let mut seen = std::collections::HashSet::new();
+        let mut collisions = 0;
+        for i in 0..10_000u32 {
+            let mut key = vec![0u8; 40];
+            key[3] = (i & 0xff) as u8;
+            key[17] = ((i >> 8) & 0xff) as u8;
+            key[31] = ((i >> 16) & 0xff) as u8;
+            if !seen.insert(fx_hash_bytes(&key)) {
+                collisions += 1;
+            }
+        }
+        assert!(collisions <= 2, "{collisions} collisions in 10k keys");
+    }
+}

@@ -53,6 +53,7 @@ pub mod cycles;
 pub mod digraph;
 pub mod dot;
 pub mod fas;
+pub mod hash;
 pub mod paths;
 pub mod rng;
 pub mod scc;
@@ -62,5 +63,6 @@ pub mod ungraph;
 pub use bitset::BitSet;
 pub use budget::{Budget, BudgetMeter, CancelReason, CancelToken, DegradeReason, Provenance};
 pub use digraph::{DiGraph, EdgeId, NodeId};
+pub use hash::{fx_hash_bytes, FxBuildHasher, FxHasher};
 pub use rng::Rng64;
 pub use ungraph::UnGraph;

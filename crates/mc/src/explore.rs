@@ -1,18 +1,22 @@
 //! Breadth-first exploration with deadlock detection, bounded-run
 //! reporting, and crash-tolerant checkpoint/resume.
+//!
+//! State storage is interned (see [`crate::intern`]): each canonical
+//! encoding lives once in a bump arena under a dense `u32` id, and the
+//! visited/parent structure is three flat `Vec`s indexed by id. Memory
+//! accounting against the [`Budget`] is exact — computed from the
+//! capacities of the owned structures, not estimated per entry.
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, VisitedEntry};
 use crate::config::McConfig;
-use crate::rules::{successors, Expansion};
+use crate::intern::{LabelTable, StateArena, StateId};
+use crate::rules::{expand, ExpandOutcome, Scratch};
 use crate::state::GlobalState;
 use crate::trace::Trace;
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::path::{Path, PathBuf};
-use vnet_graph::{Budget, DegradeReason, Provenance};
+use vnet_graph::{BitSet, Budget, BudgetMeter, DegradeReason, Provenance};
 use vnet_protocol::ProtocolSpec;
-
-/// Visited/parent map: state key → (parent key, rule label, claim level).
-type ParentMap = HashMap<Vec<u8>, (Vec<u8>, String, u32)>;
 
 /// Exploration statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -29,10 +33,14 @@ pub struct ExploreStats {
     /// much of the space was left unexplored. A `NoDeadlock` verdict with
     /// degraded provenance is only a bounded claim.
     pub provenance: Provenance,
+    /// High-water mark of the explorer's accounted heap bytes (visited
+    /// arena + parent links + frontiers), exact from capacities. Zero
+    /// for error paths that never ran the explorer.
+    pub peak_bytes: u64,
 }
 
 impl ExploreStats {
-    fn bounded(states: usize, levels: usize) -> Self {
+    fn bounded(states: usize, levels: usize, peak_bytes: u64) -> Self {
         // Truncation by a *counterexample*: the search stopped early
         // because the verdict is already decided, which is exact.
         ExploreStats {
@@ -40,6 +48,7 @@ impl ExploreStats {
             levels,
             complete: false,
             provenance: Provenance::Exact,
+            peak_bytes,
         }
     }
 }
@@ -137,12 +146,8 @@ pub fn explore_with(
     explore_budgeted_with(spec, cfg, &Budget::unlimited(), on_level)
 }
 
-/// [`explore`] under a wall-clock/state [`Budget`] (one meter tick per
-/// distinct state inserted). On exhaustion the BFS stops where it is and
-/// returns the partial-exploration verdict: `NoDeadlock` with
-/// `complete == false` and a degraded [`Provenance`] naming the limit
-/// that tripped. Counterexamples found before exhaustion are returned
-/// exactly as in the unbudgeted explorer — a trace is a trace.
+/// [`explore`] under a work/memory [`Budget`]. On exhaustion the partial
+/// result is returned with a degraded provenance instead of hanging.
 pub fn explore_budgeted(spec: &ProtocolSpec, cfg: &McConfig, budget: &Budget) -> Verdict {
     explore_budgeted_with(spec, cfg, budget, |_, _| {})
 }
@@ -168,6 +173,7 @@ pub fn explore_budgeted_with(
                         what: "run interrupted".into(),
                     },
                 },
+                peak_bytes: 0,
             })
         }
         Err(e) => Verdict::NoDeadlock(ExploreStats {
@@ -179,6 +185,7 @@ pub fn explore_budgeted_with(
                     what: format!("checkpoint error: {e}"),
                 },
             },
+            peak_bytes: 0,
         }),
     }
 }
@@ -233,44 +240,183 @@ pub fn resume(
     run_serial(spec, cfg, budget, Some(ckpt), policy, on_level)
 }
 
-/// Approximate heap bytes one visited-map entry (key + parent-key
-/// copies, rule label, map/queue overhead) plus its frontier slot costs
-/// the explorer — the unit the memory budget meters. An estimate of the
-/// dominant structures, not a malloc hook.
-fn entry_bytes(key_len: usize, label_len: usize) -> u64 {
-    (2 * key_len + label_len + 96) as u64
+/// The interned visited/parent structure: the key arena plus three flat
+/// vectors indexed by [`StateId`] (ids are dense in claim order).
+struct Store {
+    /// Canonical state encodings, one copy each.
+    keys: StateArena,
+    /// Rule labels, shared across states.
+    labels: LabelTable,
+    /// `parents[id]` — the id the state was first reached from (the
+    /// initial state points at itself).
+    parents: Vec<StateId>,
+    /// `label_ids[id]` — the rule label taken from the parent (label 0
+    /// is the empty string, reserved for the initial state).
+    label_ids: Vec<u32>,
+    /// `levels[id]` — the BFS level at which the state was claimed.
+    levels: Vec<u32>,
 }
 
-/// Snapshot the explorer at a level boundary and write it out.
+impl Store {
+    fn new() -> Self {
+        let mut labels = LabelTable::new();
+        // Reserve label id 0 for the empty (initial-state) label.
+        let empty = labels.intern("");
+        debug_assert_eq!(empty, 0);
+        Store {
+            keys: StateArena::new(),
+            labels,
+            parents: Vec::new(),
+            label_ids: Vec::new(),
+            levels: Vec::new(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.parents.len()
+    }
+
+    fn push_link(&mut self, parent: StateId, label_id: u32, level: u32) {
+        self.parents.push(parent);
+        self.label_ids.push(label_id);
+        self.levels.push(level);
+    }
+
+    /// Exact heap bytes owned by the store, from capacities.
+    fn heap_bytes(&self) -> u64 {
+        self.keys.heap_bytes()
+            + self.labels.heap_bytes()
+            + ((self.parents.capacity() + self.label_ids.capacity() + self.levels.capacity())
+                * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// Exact bytes of the whole explorer footprint: store plus both
+/// id frontiers.
+fn footprint(store: &Store, frontier: &VecDeque<StateId>, next: &VecDeque<StateId>) -> u64 {
+    store.heap_bytes()
+        + ((frontier.capacity() + next.capacity()) * std::mem::size_of::<u32>()) as u64
+}
+
+/// Delta-charges the meter so its current-bytes figure tracks `now`
+/// exactly. Returns `false` once the memory budget is exhausted.
+fn account(meter: &mut BudgetMeter, accounted: &mut u64, now: u64) -> bool {
+    let ok = if now > *accounted {
+        meter.charge_bytes(now - *accounted)
+    } else {
+        meter.release_bytes(*accounted - now);
+        true
+    };
+    *accounted = now;
+    ok
+}
+
+/// Rebuilds the id-interned visited structure from checkpoint entries.
+/// Every entry's parent must itself be an entry; anything else is a
+/// structurally inconsistent checkpoint and is refused (fail closed,
+/// like every other checkpoint defect) rather than silently yielding
+/// truncated witness traces.
+fn seed_store(store: &mut Store, entries: &[VisitedEntry]) -> Result<(), CheckpointError> {
+    for e in entries {
+        let Some((_, fresh)) = store.keys.intern(&e.key) else {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: "checkpoint exceeds the intern arena address space".into(),
+            });
+        };
+        if !fresh {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: "duplicate visited key in checkpoint".into(),
+            });
+        }
+        let lid = store.labels.intern(&e.label);
+        // Parent ids are patched in the second pass, once all keys
+        // (and therefore all potential parents) are interned.
+        store.push_link(StateId::MAX, lid, e.level);
+    }
+    for (i, e) in entries.iter().enumerate() {
+        let Some(pid) = store.keys.lookup(&e.parent) else {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: format!(
+                    "visited entry {i} references a parent key absent from the checkpoint"
+                ),
+            });
+        };
+        store.parents[i] = pid;
+    }
+    Ok(())
+}
+
+/// Maps checkpointed frontier states back to their interned ids. A
+/// frontier state that was never claimed cannot come from a consistent
+/// snapshot; refuse it.
+fn resolve_frontier(
+    store: &Store,
+    states: &[GlobalState],
+) -> Result<VecDeque<StateId>, CheckpointError> {
+    let mut out = VecDeque::with_capacity(states.len());
+    let mut scratch = Vec::with_capacity(128);
+    for (i, gs) in states.iter().enumerate() {
+        gs.encode_into(&mut scratch);
+        let Some(id) = store.keys.lookup(&scratch) else {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: format!("frontier state {i} is not in the checkpoint's visited set"),
+            });
+        };
+        out.push_back(id);
+    }
+    Ok(out)
+}
+
+/// Snapshot the explorer at a level boundary and write it out. The
+/// on-disk format is unchanged (byte blobs, version 1): ids are
+/// expanded back to key bytes on flush and re-interned on load, so
+/// checkpoints taken before the interning rewrite resume cleanly.
 fn flush(
     spec: &ProtocolSpec,
     cfg: &McConfig,
-    parent: &ParentMap,
-    frontier: &VecDeque<GlobalState>,
+    store: &Store,
+    frontier: &VecDeque<StateId>,
     level: usize,
     claims: u64,
     path: &Path,
 ) -> Result<(), CheckpointError> {
+    let mut entries = Vec::with_capacity(store.len());
+    for i in 0..store.len() {
+        entries.push(VisitedEntry {
+            key: store.keys.get(i as StateId).to_vec(),
+            parent: store.keys.get(store.parents[i]).to_vec(),
+            label: store.labels.get(store.label_ids[i]).to_string(),
+            level: store.levels[i],
+        });
+    }
+    let mut states = Vec::with_capacity(frontier.len());
+    for &id in frontier {
+        match GlobalState::decode(store.keys.get(id), cfg) {
+            Some(gs) => states.push(gs),
+            None => {
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: "interned frontier state failed to decode".into(),
+                })
+            }
+        }
+    }
     let ckpt = Checkpoint {
         fingerprint: crate::checkpoint::fingerprint(spec, cfg),
         level,
         nodes_spent: claims,
-        entries: parent
-            .iter()
-            .map(|(k, (p, l, lv))| VisitedEntry {
-                key: k.clone(),
-                parent: p.clone(),
-                label: l.clone(),
-                level: *lv,
-            })
-            .collect(),
-        frontier: frontier.iter().cloned().collect(),
+        entries,
+        frontier: states,
     };
     ckpt.write_to(path)
 }
 
 /// The BFS core shared by the fresh, checkpointed, and resumed entry
-/// points. `start` seeds the visited map/frontier/level from a loaded
+/// points. `start` seeds the visited store/frontier/level from a loaded
 /// checkpoint; `policy` enables flushing.
 ///
 /// Budget granularity: without a policy, exhaustion stops the search at
@@ -292,17 +438,9 @@ fn run_serial(
             "symmetry reduction requires a uniform per-cache budget"
         );
     }
-    let canon = |gs: GlobalState| -> (GlobalState, Vec<u8>) {
-        if cfg.symmetry {
-            crate::symmetry::canonicalize(&gs)
-        } else {
-            let key = gs.encode();
-            (gs, key)
-        }
-    };
 
-    let mut parent: ParentMap = HashMap::new();
-    let mut frontier: VecDeque<GlobalState>;
+    let mut store = Store::new();
+    let mut frontier: VecDeque<StateId>;
     let mut level: usize;
     // Claimed-state work counter; cumulative across resumes (unlike the
     // meter's wall clock, which is per-process).
@@ -310,16 +448,19 @@ fn run_serial(
 
     match start {
         Some(ckpt) => {
-            parent.reserve(ckpt.entries.len());
-            for e in ckpt.entries {
-                parent.insert(e.key, (e.parent, e.label, e.level));
-            }
-            frontier = ckpt.frontier.into();
+            seed_store(&mut store, &ckpt.entries)?;
+            frontier = resolve_frontier(&store, &ckpt.frontier)?;
             level = ckpt.level;
             claims = ckpt.nodes_spent;
         }
         None => {
-            let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
+            let initial = GlobalState::initial(spec, cfg);
+            let (initial, init_key) = if cfg.symmetry {
+                crate::symmetry::canonicalize(&initial)
+            } else {
+                let k = initial.encode();
+                (initial, k)
+            };
             // Invariant check on the initial state (vacuous for sane
             // specs, but uniform).
             if let Some(swmr) = &cfg.swmr {
@@ -330,12 +471,19 @@ fn run_serial(
                             last: initial,
                         },
                         detail,
-                        stats: ExploreStats::bounded(1, 0),
+                        stats: ExploreStats::bounded(1, 0, 0),
                     }));
                 }
             }
-            parent.insert(init_key.clone(), (init_key, String::new(), 0));
-            frontier = VecDeque::from([initial]);
+            let Some((init_id, _)) = store.keys.intern(&init_key) else {
+                // A single state cannot overflow the arena; fail soft.
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: "intern arena rejected the initial state".into(),
+                });
+            };
+            store.push_link(init_id, 0, 0);
+            frontier = VecDeque::from([init_id]);
             level = 0;
             claims = 0;
         }
@@ -345,18 +493,21 @@ fn run_serial(
     let mut complete = true;
     let mut truncated: Option<DegradeReason> = None;
     let mut since_flush = 0usize;
+    let mut accounted = 0u64;
+    // Run-lifetime scratch: successor state, key encoding, label text.
+    let mut expand_scratch = Scratch::new(spec, cfg);
+    let mut key_buf: Vec<u8> = Vec::with_capacity(128);
+    let mut label_buf = String::new();
 
-    // A resumed run starts with a populated visited map; charge it so
-    // the memory budget covers the whole footprint, not just growth.
-    if budget.mem_limit.is_some() {
-        for (k, (_, l, _)) in parent.iter() {
-            if !meter.charge_bytes(entry_bytes(k.len(), l.len())) {
-                break;
-            }
-        }
-        if let Some(reason) = meter.exhaustion() {
+    // Charge the starting footprint exactly. For a fresh run that is
+    // the initial state; for a resumed run the rebuilt store — the same
+    // capacity-based figure a fresh run reaching this point would
+    // carry, so fresh and resumed runs meter identically.
+    {
+        let now = footprint(&store, &frontier, &VecDeque::new());
+        if !account(&mut meter, &mut accounted, now) {
             complete = false;
-            truncated = Some(reason.clone());
+            truncated = meter.exhaustion().cloned();
         }
     }
 
@@ -365,15 +516,15 @@ fn run_serial(
         // periodic / deadline-imminent flush.
         if let Some(pol) = policy {
             if pol.stop_file.as_ref().is_some_and(|p| p.exists()) {
-                flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+                flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
                 return Ok(CheckpointedRun::Interrupted {
                     checkpoint: pol.path.clone(),
-                    states: parent.len(),
+                    states: store.len(),
                     level,
                 });
             }
             if since_flush > pol.every_states || meter.deadline_imminent(pol.deadline_window) {
-                flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+                flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
                 since_flush = 0;
             }
         }
@@ -386,8 +537,8 @@ fn run_serial(
                 break;
             }
         }
-        let mut next_frontier = VecDeque::new();
-        while let Some(gs) = frontier.pop_front() {
+        let mut next_frontier: VecDeque<StateId> = VecDeque::new();
+        while let Some(id) = frontier.pop_front() {
             // Cancellation (drain, client gone, admission deadline) must
             // not wait for the level to finish — a late level can take
             // minutes. Stop at the next state boundary and flush a
@@ -399,92 +550,162 @@ fn run_serial(
             // Budget truncations (node/deadline/memory) keep the
             // level-end snapshot so kill-resume equivalence stays exact.
             if matches!(&truncated, Some(DegradeReason::Cancelled { .. })) {
-                frontier.push_front(gs);
+                frontier.push_front(id);
                 frontier.append(&mut next_frontier);
                 break 'bfs;
             }
-            let key = gs.encode();
-            match successors(spec, cfg, &gs) {
-                Expansion::Bug { rule, detail } => {
-                    let mut trace = rebuild_trace(&parent, &key, gs);
+            let Some(gs) = GlobalState::decode(store.keys.get(id), cfg) else {
+                // Unreachable for states we interned ourselves; treat
+                // as corruption, keep the run resumable, never panic.
+                complete = false;
+                truncated = Some(DegradeReason::Bound {
+                    what: "interned state failed to decode".into(),
+                });
+                frontier.push_front(id);
+                frontier.append(&mut next_frontier);
+                break 'bfs;
+            };
+            // Early stops requested from inside the expansion callback
+            // (which cannot `break 'bfs` or `return` across the closure
+            // boundary itself).
+            enum Stop {
+                /// Arena out of u32 address space: degrade + requeue.
+                Overflow,
+                /// SWMR violated by a fresh successor.
+                Invariant {
+                    sid: StateId,
+                    state: GlobalState,
+                    detail: String,
+                },
+                /// Budget/bound trip on a policy-less run.
+                Budget,
+            }
+            let mut stop: Option<Stop> = None;
+            let outcome = expand(spec, cfg, &gs, &mut expand_scratch, |sstate, label| {
+                let canon_state = if cfg.symmetry {
+                    let (c, k) = crate::symmetry::canonicalize(sstate);
+                    key_buf.clear();
+                    key_buf.extend_from_slice(&k);
+                    Some(c)
+                } else {
+                    sstate.encode_into(&mut key_buf);
+                    None
+                };
+                let Some((sid, inserted)) = store.keys.intern(&key_buf) else {
+                    // 4 GiB of distinct key bytes: out of arena address
+                    // space. Degrade like any other resource exhaustion.
+                    stop = Some(Stop::Overflow);
+                    return false;
+                };
+                if !inserted {
+                    return true;
+                }
+                label.render_into(spec, &mut label_buf);
+                let lid = store.labels.intern(&label_buf);
+                store.push_link(id, lid, (level + 1) as u32);
+                if let Some(swmr) = &cfg.swmr {
+                    let check = canon_state.as_ref().unwrap_or(sstate);
+                    if let Some(detail) = swmr.check(check, spec) {
+                        stop = Some(Stop::Invariant {
+                            sid,
+                            state: canon_state.unwrap_or_else(|| sstate.clone()),
+                            detail,
+                        });
+                        return false;
+                    }
+                }
+                claims += 1;
+                since_flush += 1;
+                next_frontier.push_back(sid);
+                if truncated.is_none() {
+                    let now = footprint(&store, &frontier, &next_frontier);
+                    if !account(&mut meter, &mut accounted, now) {
+                        complete = false;
+                        truncated = meter.exhaustion().cloned();
+                        if policy.is_none() {
+                            stop = Some(Stop::Budget);
+                            return false;
+                        }
+                    }
+                }
+                if truncated.is_none() && !meter.tick() {
+                    complete = false;
+                    truncated = meter.exhaustion().cloned();
+                    if policy.is_none() {
+                        stop = Some(Stop::Budget);
+                        return false;
+                    }
+                }
+                if truncated.is_none() && store.len() >= cfg.max_states {
+                    complete = false;
+                    truncated = Some(DegradeReason::Bound {
+                        what: format!("state limit of {} reached", cfg.max_states),
+                    });
+                    if policy.is_none() {
+                        stop = Some(Stop::Budget);
+                        return false;
+                    }
+                }
+                true
+            });
+            match outcome {
+                ExpandOutcome::Bug { rule, detail } => {
+                    let mut trace = rebuild_trace(&store, id, gs);
                     trace.steps.push(rule);
-                    let stats = ExploreStats::bounded(parent.len(), level);
+                    let stats =
+                        ExploreStats::bounded(store.len(), level, meter.peak_bytes());
                     return Ok(CheckpointedRun::Finished(Verdict::ModelError {
                         trace,
                         detail,
                         stats,
                     }));
                 }
-                Expansion::Ok(succs) => {
-                    if succs.is_empty() {
-                        if !gs.is_quiescent(spec) {
-                            let stats = ExploreStats::bounded(parent.len(), level);
-                            let trace = rebuild_trace(&parent, &key, gs);
-                            return Ok(CheckpointedRun::Finished(Verdict::Deadlock {
-                                depth: level,
-                                trace,
-                                stats,
-                            }));
-                        }
-                        continue;
-                    }
-                    for s in succs {
-                        let (sstate, skey) = canon(s.state);
-                        if parent.contains_key(&skey) {
-                            continue;
-                        }
-                        if let Some(swmr) = &cfg.swmr {
-                            if let Some(detail) = swmr.check(&sstate, spec) {
-                                parent.insert(
-                                    skey.clone(),
-                                    (key.clone(), s.label, (level + 1) as u32),
-                                );
-                                let stats = ExploreStats::bounded(parent.len(), level);
-                                let trace = rebuild_trace(&parent, &skey, sstate);
-                                return Ok(CheckpointedRun::Finished(
-                                    Verdict::InvariantViolation {
-                                        trace,
-                                        detail,
-                                        stats,
-                                    },
-                                ));
-                            }
-                        }
-                        let ebytes = entry_bytes(skey.len(), s.label.len());
-                        parent.insert(skey, (key.clone(), s.label, (level + 1) as u32));
-                        claims += 1;
-                        since_flush += 1;
-                        next_frontier.push_back(sstate);
-                        if truncated.is_none() && !meter.charge_bytes(ebytes) {
-                            complete = false;
-                            truncated = meter.exhaustion().cloned();
-                            if policy.is_none() {
-                                break 'bfs;
-                            }
-                        }
-                        if truncated.is_none() && !meter.tick() {
-                            complete = false;
-                            truncated = meter.exhaustion().cloned();
-                            if policy.is_none() {
-                                break 'bfs;
-                            }
-                        }
-                        if truncated.is_none() && parent.len() >= cfg.max_states {
-                            complete = false;
-                            truncated = Some(DegradeReason::Bound {
-                                what: format!("state limit of {} reached", cfg.max_states),
-                            });
-                            if policy.is_none() {
-                                break 'bfs;
-                            }
-                        }
+                ExpandOutcome::Done(0) => {
+                    if !gs.is_quiescent(spec) {
+                        let stats =
+                            ExploreStats::bounded(store.len(), level, meter.peak_bytes());
+                        let trace = rebuild_trace(&store, id, gs);
+                        return Ok(CheckpointedRun::Finished(Verdict::Deadlock {
+                            depth: level,
+                            trace,
+                            stats,
+                        }));
                     }
                 }
+                ExpandOutcome::Done(_) => {}
+                ExpandOutcome::Stopped => match stop {
+                    Some(Stop::Overflow) => {
+                        complete = false;
+                        truncated = Some(DegradeReason::Bound {
+                            what: "intern arena address space exhausted".into(),
+                        });
+                        frontier.push_front(id);
+                        frontier.append(&mut next_frontier);
+                        break 'bfs;
+                    }
+                    Some(Stop::Invariant { sid, state, detail }) => {
+                        let stats =
+                            ExploreStats::bounded(store.len(), level, meter.peak_bytes());
+                        let trace = rebuild_trace(&store, sid, state);
+                        return Ok(CheckpointedRun::Finished(Verdict::InvariantViolation {
+                            trace,
+                            detail,
+                            stats,
+                        }));
+                    }
+                    // Budget trip without a policy stops at the state
+                    // boundary, exactly like the historical explorer.
+                    Some(Stop::Budget) | None => break 'bfs,
+                },
             }
         }
         level += 1;
-        on_level(level, parent.len());
+        on_level(level, store.len());
         frontier = next_frontier;
+        // The old frontier was dropped and the new one took its place;
+        // re-sync the exact accounting (peak tracking is unaffected).
+        let now = footprint(&store, &frontier, &VecDeque::new());
+        let _ = account(&mut meter, &mut accounted, now);
         if truncated.is_some() {
             // Bounded run, level finished: snapshot then stop.
             break;
@@ -495,30 +716,37 @@ fn run_serial(
     // remaining work survives. A complete verdict needs no snapshot.
     if let Some(pol) = policy {
         if truncated.is_some() {
-            flush(spec, cfg, &parent, &frontier, level, claims, &pol.path)?;
+            flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
         }
     }
 
     Ok(CheckpointedRun::Finished(Verdict::NoDeadlock(ExploreStats {
-        states: parent.len(),
+        states: store.len(),
         levels: level,
         complete,
         provenance: match truncated {
             None => Provenance::Exact,
             Some(reason) => Provenance::Degraded { reason },
         },
+        peak_bytes: meter.peak_bytes(),
     })))
 }
 
-fn rebuild_trace(parent: &ParentMap, key: &[u8], last: GlobalState) -> Trace {
+/// Walks the parent links from `id` back to the initial state. The
+/// visited bitset guards against parent cycles — impossible for links
+/// built by this explorer, but a checkpoint that passed checksum
+/// validation with a crafted payload must terminate too, not spin.
+fn rebuild_trace(store: &Store, id: StateId, last: GlobalState) -> Trace {
     let mut steps = Vec::new();
-    let mut cur = key.to_vec();
-    while let Some((p, label, _)) = parent.get(&cur) {
+    let mut seen = BitSet::with_capacity(store.len());
+    let mut cur = id;
+    while (cur as usize) < store.len() && seen.insert(cur as usize) {
+        let label = store.labels.get(store.label_ids[cur as usize]);
         if label.is_empty() {
             break;
         }
-        steps.push(label.clone());
-        cur = p.clone();
+        steps.push(label.to_string());
+        cur = store.parents[cur as usize];
     }
     steps.reverse();
     Trace { steps, last }
@@ -723,5 +951,24 @@ mod tests {
         let spec = protocols::msi_blocking_cache();
         let cfg = McConfig::figure3(&spec).with_order(IcnOrder::PointToPoint { salt: 1 });
         assert!(explore(&spec, &cfg).is_deadlock());
+    }
+
+    #[test]
+    fn peak_bytes_is_reported_and_plausible() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let v = explore(&spec, &cfg);
+        let stats = v.stats();
+        // The visited arena alone holds ~62 bytes of key per state, so
+        // the exact peak must be at least that and at most a generous
+        // constant factor above it.
+        let floor = (stats.states * 32) as u64;
+        let ceiling = (stats.states as u64) * 4096 + (1 << 20);
+        assert!(
+            stats.peak_bytes > floor && stats.peak_bytes < ceiling,
+            "peak {} outside [{floor}, {ceiling}] for {} states",
+            stats.peak_bytes,
+            stats.states
+        );
     }
 }

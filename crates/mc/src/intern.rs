@@ -1,0 +1,289 @@
+//! State interning: canonical encodings stored once, addressed by id.
+//!
+//! The explorers used to key their visited/parent maps by full
+//! `Vec<u8>` state encodings, with a second copy of the parent's key in
+//! every entry — two heap allocations and ~2× the key bytes per state,
+//! plus `HashMap` bucket overhead that the memory budget could only
+//! estimate. [`StateArena`] replaces that: each distinct encoding is
+//! appended once to a bump arena and assigned a dense [`StateId`];
+//! everything downstream (parent links, frontiers, witness rebuild,
+//! checkpoint flush) carries 4-byte ids instead of byte blobs.
+//!
+//! The index is a hand-rolled open-addressing table over
+//! [`vnet_graph::fx_hash_bytes`] — no per-entry allocation, no
+//! SipHash, and `heap_bytes` is computable exactly from capacities, so
+//! the [`vnet_graph::BudgetMeter`] charge is no longer an estimate.
+
+use vnet_graph::fx_hash_bytes;
+
+/// Dense handle for an interned state encoding. Ids are assigned in
+/// insertion order starting at 0, so parallel `Vec`s indexed by id hold
+/// per-state metadata without a map.
+pub type StateId = u32;
+
+const EMPTY: u32 = u32::MAX;
+/// Initial slot count of the open-addressing table (power of two).
+const INITIAL_SLOTS: usize = 64;
+
+/// An append-only interning arena for state encodings.
+#[derive(Debug, Clone)]
+pub struct StateArena {
+    /// All encodings, concatenated.
+    data: Vec<u8>,
+    /// `offsets[i]..offsets[i+1]` is the span of id `i`; length is
+    /// `len() + 1`.
+    offsets: Vec<u32>,
+    /// Open-addressing slots holding ids ([`EMPTY`] = vacant). Length
+    /// is a power of two; resized at ¾ load.
+    table: Vec<u32>,
+}
+
+impl Default for StateArena {
+    fn default() -> Self {
+        StateArena::new()
+    }
+}
+
+impl StateArena {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StateArena {
+            data: Vec::new(),
+            offsets: vec![0],
+            table: vec![EMPTY; INITIAL_SLOTS],
+        }
+    }
+
+    /// Number of distinct encodings interned.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// `true` if nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The bytes of id `id`. An out-of-range id returns the empty
+    /// slice rather than panicking (callers treat it as corruption).
+    pub fn get(&self, id: StateId) -> &[u8] {
+        let i = id as usize;
+        if i + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// The id of `bytes`, if already interned.
+    pub fn lookup(&self, bytes: &[u8]) -> Option<StateId> {
+        let mask = self.table.len() - 1;
+        let mut slot = (fx_hash_bytes(bytes) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => return None,
+                id => {
+                    if self.get(id) == bytes {
+                        return Some(id);
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+    }
+
+    /// Interns `bytes`, returning `(id, true)` on first sight and
+    /// `(id, false)` when already present. Returns `None` only when the
+    /// arena would exceed the `u32` address space (≈4 GiB of key bytes
+    /// or 4 billion states) — callers treat that as budget exhaustion,
+    /// never a panic.
+    pub fn intern(&mut self, bytes: &[u8]) -> Option<(StateId, bool)> {
+        let mask = self.table.len() - 1;
+        let mut slot = (fx_hash_bytes(bytes) as usize) & mask;
+        loop {
+            match self.table[slot] {
+                EMPTY => break,
+                id => {
+                    if self.get(id) == bytes {
+                        return Some((id, false));
+                    }
+                }
+            }
+            slot = (slot + 1) & mask;
+        }
+        let id = self.len();
+        if id >= EMPTY as usize || self.data.len() + bytes.len() > u32::MAX as usize {
+            return None;
+        }
+        self.data.extend_from_slice(bytes);
+        self.offsets.push(self.data.len() as u32);
+        self.table[slot] = id as u32;
+        // Resize at ¾ load, re-probing every id into the doubled table.
+        if (self.len() + 1) * 4 > self.table.len() * 3 {
+            self.grow_table();
+        }
+        Some((id as u32, true))
+    }
+
+    fn grow_table(&mut self) {
+        let new_len = self.table.len() * 2;
+        let mask = new_len - 1;
+        let mut table = vec![EMPTY; new_len];
+        for id in 0..self.len() as u32 {
+            let mut slot = (fx_hash_bytes(self.get(id)) as usize) & mask;
+            while table[slot] != EMPTY {
+                slot = (slot + 1) & mask;
+            }
+            table[slot] = id;
+        }
+        self.table = table;
+    }
+
+    /// Exact heap bytes held: arena data, offset vector, and the slot
+    /// table, all from capacities.
+    pub fn heap_bytes(&self) -> u64 {
+        self.data.capacity() as u64
+            + (self.offsets.capacity() * std::mem::size_of::<u32>()) as u64
+            + (self.table.capacity() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// Interner for rule labels. A run sees at most a few hundred distinct
+/// labels, each shared by thousands of states, so storing a `u32` per
+/// state instead of an owned `String` removes one allocation per
+/// claimed state.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    /// One arena of label text, like [`StateArena`] but keyed by str.
+    arena: StateArena,
+}
+
+impl LabelTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        LabelTable::default()
+    }
+
+    /// Interns `label`, returning its id. Falls back to id 0 (the first
+    /// interned label) on arena overflow, which cannot happen before
+    /// the state arena overflows — labels are a tiny subset of key
+    /// bytes.
+    pub fn intern(&mut self, label: &str) -> u32 {
+        match self.arena.intern(label.as_bytes()) {
+            Some((id, _)) => id,
+            None => 0,
+        }
+    }
+
+    /// The label text of `id` (empty for out-of-range ids).
+    pub fn get(&self, id: u32) -> &str {
+        std::str::from_utf8(self.arena.get(id)).unwrap_or("")
+    }
+
+    /// Number of distinct labels.
+    pub fn len(&self) -> usize {
+        self.arena.len()
+    }
+
+    /// `true` when no label has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.arena.is_empty()
+    }
+
+    /// Exact heap bytes held.
+    pub fn heap_bytes(&self) -> u64 {
+        self.arena.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_dedupes_and_round_trips() {
+        let mut a = StateArena::new();
+        let (x, fresh) = a.intern(b"alpha").unwrap();
+        assert!(fresh);
+        let (y, fresh2) = a.intern(b"beta").unwrap();
+        assert!(fresh2);
+        assert_ne!(x, y);
+        let (x2, fresh3) = a.intern(b"alpha").unwrap();
+        assert!(!fresh3);
+        assert_eq!(x, x2);
+        assert_eq!(a.get(x), b"alpha");
+        assert_eq!(a.get(y), b"beta");
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.lookup(b"alpha"), Some(x));
+        assert_eq!(a.lookup(b"gamma"), None);
+    }
+
+    #[test]
+    fn ids_are_dense_in_insertion_order() {
+        let mut a = StateArena::new();
+        for i in 0..1000u32 {
+            let (id, fresh) = a.intern(&i.to_le_bytes()).unwrap();
+            assert!(fresh);
+            assert_eq!(id, i);
+        }
+        for i in 0..1000u32 {
+            assert_eq!(a.lookup(&i.to_le_bytes()), Some(i));
+            assert_eq!(a.get(i), i.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut a = StateArena::new();
+        // Far past several resize boundaries, with variable-length keys.
+        for i in 0..10_000u32 {
+            let key = vec![(i & 0xff) as u8; 3 + (i as usize % 29)];
+            let full: Vec<u8> = key.iter().chain(i.to_le_bytes().iter()).copied().collect();
+            a.intern(&full).unwrap();
+        }
+        assert_eq!(a.len(), 10_000);
+        let probe: Vec<u8> = [77u8; 3 + (77 % 29)]
+            .iter()
+            .chain(77u32.to_le_bytes().iter())
+            .copied()
+            .collect();
+        assert!(a.lookup(&probe).is_some());
+    }
+
+    #[test]
+    fn empty_key_and_out_of_range_ids_are_safe() {
+        let mut a = StateArena::new();
+        let (e, fresh) = a.intern(b"").unwrap();
+        assert!(fresh);
+        assert_eq!(a.get(e), b"");
+        assert_eq!(a.get(999), b"");
+        assert_eq!(a.lookup(b""), Some(e));
+    }
+
+    #[test]
+    fn heap_bytes_tracks_growth() {
+        let mut a = StateArena::new();
+        let before = a.heap_bytes();
+        for i in 0..500u32 {
+            a.intern(&i.to_le_bytes()).unwrap();
+        }
+        assert!(a.heap_bytes() > before);
+        // Exactness: recomputable from capacities alone.
+        let expect = a.data.capacity() as u64
+            + (a.offsets.capacity() * 4) as u64
+            + (a.table.capacity() * 4) as u64;
+        assert_eq!(a.heap_bytes(), expect);
+    }
+
+    #[test]
+    fn label_table_round_trips() {
+        let mut t = LabelTable::new();
+        let empty = t.intern("");
+        let a = t.intern("C1 sends GetM(X)");
+        let b = t.intern("Dir1 handles GetS(X)");
+        assert_eq!(t.intern("C1 sends GetM(X)"), a);
+        assert_eq!(t.get(empty), "");
+        assert_eq!(t.get(a), "C1 sends GetM(X)");
+        assert_eq!(t.get(b), "Dir1 handles GetS(X)");
+        assert_eq!(t.len(), 3);
+    }
+}

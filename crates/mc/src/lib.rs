@@ -46,6 +46,7 @@ pub mod checkpoint;
 pub mod config;
 pub mod exec;
 pub mod explore;
+pub mod intern;
 pub mod invariant;
 pub mod murphi;
 pub mod parallel;
@@ -60,6 +61,7 @@ pub use campaign::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use config::{IcnOrder, InjectionBudget, McConfig, VnMap};
+pub use intern::{LabelTable, StateArena, StateId};
 pub use invariant::Swmr;
 pub use explore::{
     explore, explore_budgeted, explore_budgeted_with, explore_checkpointed, explore_with, resume,

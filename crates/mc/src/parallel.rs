@@ -30,49 +30,73 @@
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, VisitedEntry};
 use crate::config::McConfig;
 use crate::explore::CheckpointedRun;
-use crate::rules::{successors, Expansion};
+use crate::intern::{LabelTable, StateArena};
+use crate::rules::{expand, ExpandOutcome, Scratch};
 use crate::state::GlobalState;
 use crate::explore::{ExploreStats, Verdict};
 use crate::trace::Trace;
-use std::collections::hash_map::{DefaultHasher, Entry};
-use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
-use vnet_graph::{Budget, DegradeReason, Provenance};
+use vnet_graph::{fx_hash_bytes, Budget, DegradeReason, Provenance};
 use vnet_protocol::ProtocolSpec;
 
 const SHARDS: usize = 64;
 
-/// Per-shard map: state key → (parent key, rule label, claim level).
-type Shard = HashMap<Vec<u8>, (Vec<u8>, String, u32)>;
+/// One interned shard of the visited structure. State keys live once in
+/// `keys` (dense shard-local ids); `meta[id]` holds the parent link as
+/// an id into `pkeys` — a *second*, shard-local arena of parent keys.
+/// Interning parents locally keeps the deterministic min-resolve
+/// tie-break (it compares parent bytes) free of cross-shard locking:
+/// a parent's canonical id lives in whatever shard owns it, but the
+/// few dozen bytes of its encoding are cheap to duplicate per shard
+/// that references it, and duplicates within a shard still intern to
+/// one copy.
+#[derive(Default)]
+struct Shard {
+    keys: StateArena,
+    pkeys: StateArena,
+    labels: LabelTable,
+    /// `(parent id in pkeys, label id, claim level)` per key id.
+    meta: Vec<(u32, u32, u32)>,
+}
+
+impl Shard {
+    fn heap_bytes(&self) -> u64 {
+        self.keys.heap_bytes()
+            + self.pkeys.heap_bytes()
+            + self.labels.heap_bytes()
+            + (self.meta.capacity() * std::mem::size_of::<(u32, u32, u32)>()) as u64
+    }
+}
 
 struct Visited {
     shards: Vec<Mutex<Shard>>,
     count: AtomicUsize,
-    /// Approximate heap bytes held by the map (same estimate as the
-    /// serial explorer's `entry_bytes`), kept racily-but-monotonically
-    /// so the supervisor can enforce a memory budget at level
-    /// boundaries without walking the shards.
+    /// Exact heap bytes held by the shard stores, maintained as a sum
+    /// of per-claim capacity deltas so the supervisor can enforce a
+    /// memory budget at level boundaries without walking the shards.
+    /// Entries are never removed, so this is also the peak.
     bytes: AtomicU64,
+    /// Set if any shard's arena ran out of `u32` address space; checked
+    /// at level boundaries and degraded like any other resource bound.
+    overflowed: AtomicBool,
 }
 
 impl Visited {
     fn new() -> Self {
         Visited {
-            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
             count: AtomicUsize::new(0),
             bytes: AtomicU64::new(0),
+            overflowed: AtomicBool::new(false),
         }
     }
 
     fn shard_of(key: &[u8]) -> usize {
-        let mut h = DefaultHasher::new();
-        key.hash(&mut h);
-        (h.finish() as usize) % SHARDS
+        (fx_hash_bytes(key) as usize) % SHARDS
     }
 
     /// Inserts if absent; returns `true` when this call claimed the key.
@@ -84,44 +108,57 @@ impl Visited {
     /// deterministic function of the level sets. Claims from later
     /// levels never replace an earlier link (which would lengthen the
     /// trace or create a cycle).
-    fn claim(&self, key: Vec<u8>, parent: Vec<u8>, label: String, level: u32) -> bool {
-        let entry_bytes = (2 * key.len() + label.len() + 96) as u64;
-        let mut shard = self.shards[Self::shard_of(&key)]
+    fn claim(&self, key: &[u8], parent: &[u8], label: &str, level: u32) -> bool {
+        let mut shard = self.shards[Self::shard_of(key)]
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        match shard.entry(key) {
-            Entry::Vacant(e) => {
-                e.insert((parent, label, level));
-                self.count.fetch_add(1, Ordering::Relaxed);
-                self.bytes.fetch_add(entry_bytes, Ordering::Relaxed);
-                true
+        let before = shard.heap_bytes();
+        let Some((kid, fresh)) = shard.keys.intern(key) else {
+            self.overflowed.store(true, Ordering::Relaxed);
+            return false;
+        };
+        let claimed = if fresh {
+            let pid = shard.pkeys.intern(parent).map_or(0, |(id, _)| id);
+            let lid = shard.labels.intern(label);
+            shard.meta.push((pid, lid, level));
+            self.count.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            let (pid, lid, lv) = shard.meta[kid as usize];
+            if lv == level
+                && (parent, label) < (shard.pkeys.get(pid), shard.labels.get(lid))
+            {
+                let pid = shard.pkeys.intern(parent).map_or(0, |(id, _)| id);
+                let lid = shard.labels.intern(label);
+                shard.meta[kid as usize] = (pid, lid, level);
             }
-            Entry::Occupied(mut e) => {
-                let cur = e.get();
-                if cur.2 == level
-                    && (parent.as_slice(), label.as_str()) < (cur.0.as_slice(), cur.1.as_str())
-                {
-                    e.insert((parent, label, level));
-                }
-                false
-            }
+            false
+        };
+        let after = shard.heap_bytes();
+        if after > before {
+            self.bytes.fetch_add(after - before, Ordering::Relaxed);
         }
+        claimed
     }
 
     fn len(&self) -> usize {
         self.count.load(Ordering::Relaxed)
     }
 
-    fn approx_bytes(&self) -> u64 {
+    fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
     }
 
     fn lookup(&self, key: &[u8]) -> Option<(Vec<u8>, String)> {
-        self.shards[Self::shard_of(key)]
+        let shard = self.shards[Self::shard_of(key)]
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner)
-            .get(key)
-            .map(|(p, l, _)| (p.clone(), l.clone()))
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let kid = shard.keys.lookup(key)?;
+        let (pid, lid, _) = shard.meta[kid as usize];
+        Some((
+            shard.pkeys.get(pid).to_vec(),
+            shard.labels.get(lid).to_string(),
+        ))
     }
 
     /// Snapshot every entry (for checkpointing).
@@ -131,12 +168,13 @@ impl Visited {
             let shard = shard
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            for (k, (p, l, lv)) in shard.iter() {
+            for kid in 0..shard.keys.len() as u32 {
+                let (pid, lid, lv) = shard.meta[kid as usize];
                 out.push(VisitedEntry {
-                    key: k.clone(),
-                    parent: p.clone(),
-                    label: l.clone(),
-                    level: *lv,
+                    key: shard.keys.get(kid).to_vec(),
+                    parent: shard.pkeys.get(pid).to_vec(),
+                    label: shard.labels.get(lid).to_string(),
+                    level: lv,
                 });
             }
         }
@@ -144,20 +182,26 @@ impl Visited {
     }
 
     fn seed(&self, entries: Vec<VisitedEntry>) {
-        let mut n = 0usize;
-        let mut b = 0u64;
         for e in entries {
-            let entry_bytes = (2 * e.key.len() + e.label.len() + 96) as u64;
             let mut shard = self.shards[Self::shard_of(&e.key)]
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
-            if shard.insert(e.key, (e.parent, e.label, e.level)).is_none() {
-                n += 1;
-                b += entry_bytes;
+            let before = shard.heap_bytes();
+            let Some((_, fresh)) = shard.keys.intern(&e.key) else {
+                self.overflowed.store(true, Ordering::Relaxed);
+                continue;
+            };
+            if fresh {
+                let pid = shard.pkeys.intern(&e.parent).map_or(0, |(id, _)| id);
+                let lid = shard.labels.intern(&e.label);
+                shard.meta.push((pid, lid, e.level));
+                self.count.fetch_add(1, Ordering::Relaxed);
+            }
+            let after = shard.heap_bytes();
+            if after > before {
+                self.bytes.fetch_add(after - before, Ordering::Relaxed);
             }
         }
-        self.bytes.fetch_add(b, Ordering::Relaxed);
-        self.count.fetch_add(n, Ordering::Relaxed);
     }
 }
 
@@ -269,6 +313,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                         what: "run interrupted".into(),
                     },
                 },
+                peak_bytes: 0,
             })
         }
         Err(e) => Verdict::NoDeadlock(ExploreStats {
@@ -280,6 +325,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                     what: format!("checkpoint error: {e}"),
                 },
             },
+            peak_bytes: 0,
         }),
     }
 }
@@ -340,6 +386,14 @@ fn run_parallel(
     let visited = Visited::new();
     let mut frontier: Vec<GlobalState>;
     let mut level: usize;
+    // A resumed run must expand at least one level before honoring the
+    // stop file: loading and re-seeding a large checkpoint can outlast
+    // a short supervision timeout, and stopping at the first boundary
+    // would flush exactly the snapshot just loaded — the supervisor's
+    // timeout/resume loop would re-read an ever-larger checkpoint and
+    // never converge. One level keeps the stop overrun bounded exactly
+    // as a mid-level stop request does.
+    let mut may_stop = start.is_none();
     match start {
         Some(ckpt) => {
             visited.seed(ckpt.entries);
@@ -348,7 +402,7 @@ fn run_parallel(
         }
         None => {
             let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
-            visited.claim(init_key.clone(), init_key, String::new(), 0);
+            visited.claim(&init_key, &init_key, "", 0);
             frontier = vec![initial];
             level = 0;
         }
@@ -375,7 +429,7 @@ fn run_parallel(
     while !frontier.is_empty() {
         // ---- Level boundary: interrupts, flushes, budget, bounds. ----
         if let Some(pol) = &opts.policy {
-            if pol.stop_file.as_ref().is_some_and(|p| p.exists()) {
+            if may_stop && pol.stop_file.as_ref().is_some_and(|p| p.exists()) {
                 flush(&frontier, level, &pol.path)?;
                 return Ok(CheckpointedRun::Interrupted {
                     checkpoint: pol.path.clone(),
@@ -401,12 +455,18 @@ fn run_parallel(
                 truncated = Some(DegradeReason::Cancelled { reason });
             }
         }
+        if visited.overflowed.load(Ordering::Relaxed) && truncated.is_none() {
+            complete = false;
+            truncated = Some(DegradeReason::Bound {
+                what: "intern arena address space exhausted".into(),
+            });
+        }
         if let Some(limit) = opts.budget.mem_limit {
-            if truncated.is_none() && visited.approx_bytes() > limit {
+            if truncated.is_none() && visited.bytes() > limit {
                 complete = false;
                 truncated = Some(DegradeReason::MemLimit {
                     limit,
-                    peak: visited.approx_bytes(),
+                    peak: visited.bytes(),
                 });
             }
         }
@@ -460,12 +520,11 @@ fn run_parallel(
             let losses: Mutex<Vec<(usize, usize, usize, String)>> = Mutex::new(Vec::new());
 
             std::thread::scope(|scope| {
-                let (next, findings, losses, visited, canon, frontier, items, inject_left) = (
+                let (next, findings, losses, visited, frontier, items, inject_left) = (
                     &next,
                     &findings,
                     &losses,
                     &visited,
-                    &canon,
                     &frontier,
                     &items,
                     &inject_left,
@@ -475,6 +534,7 @@ fn run_parallel(
                     scope.spawn(move || {
                         let progress = AtomicUsize::new(0);
                         let result = catch_unwind(AssertUnwindSafe(|| {
+                            let mut scratch = WorkScratch::new(spec, cfg);
                             for (done, &(idx, force)) in items[start..end].iter().enumerate() {
                                 if let Some(inj) = opts.inject {
                                     if inj.level == level
@@ -493,7 +553,15 @@ fn run_parallel(
                                 }
                                 let gs = &frontier[idx];
                                 expand_one(
-                                    spec, cfg, canon, visited, next, findings, gs, level, force,
+                                    spec,
+                                    cfg,
+                                    visited,
+                                    next,
+                                    findings,
+                                    gs,
+                                    level,
+                                    force,
+                                    &mut scratch,
                                 );
                                 progress.store(done + 1, Ordering::Relaxed);
                             }
@@ -557,6 +625,7 @@ fn run_parallel(
                 levels: level,
                 complete: false,
                 provenance: Provenance::Exact,
+                peak_bytes: visited.bytes(),
             };
             let trace = rebuild(
                 &visited,
@@ -595,6 +664,7 @@ fn run_parallel(
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         since_flush += frontier.len();
         level += 1;
+        may_stop = true;
     }
 
     if let Some(pol) = &opts.policy {
@@ -612,7 +682,32 @@ fn run_parallel(
             None => Provenance::Exact,
             Some(reason) => Provenance::Degraded { reason },
         },
+        peak_bytes: visited.bytes(),
     })))
+}
+
+/// Per-worker reusable buffers: the rule-expansion scratch plus key and
+/// label encodings. Everything here is reused across the worker's whole
+/// chunk, so expansion allocates only for freshly claimed states.
+struct WorkScratch {
+    rules: Scratch,
+    /// Successor key encoding.
+    key: Vec<u8>,
+    /// Parent (source state) key encoding.
+    pkey: Vec<u8>,
+    /// Rendered rule label.
+    label: String,
+}
+
+impl WorkScratch {
+    fn new(spec: &ProtocolSpec, cfg: &McConfig) -> Self {
+        WorkScratch {
+            rules: Scratch::new(spec, cfg),
+            key: Vec::with_capacity(128),
+            pkey: Vec::with_capacity(128),
+            label: String::new(),
+        }
+    }
 }
 
 /// Expands one frontier state: claims successors into the visited map,
@@ -623,67 +718,88 @@ fn run_parallel(
 fn expand_one(
     spec: &ProtocolSpec,
     cfg: &McConfig,
-    canon: &impl Fn(GlobalState) -> (GlobalState, Vec<u8>),
     visited: &Visited,
     next: &Mutex<Vec<GlobalState>>,
     findings: &Mutex<Vec<Finding>>,
     gs: &GlobalState,
     level: usize,
     force: bool,
+    scratch: &mut WorkScratch,
 ) {
-    let key = gs.encode();
-    match successors(spec, cfg, gs) {
-        Expansion::Bug { rule, detail } => {
+    let WorkScratch {
+        rules,
+        key,
+        pkey,
+        label,
+    } = scratch;
+    // Frontier states are already canonical in symmetry mode, so the
+    // plain encoding is the parent's interned key in both modes.
+    gs.encode_into(pkey);
+    let mut batch: Vec<GlobalState> = Vec::new();
+    let outcome = expand(spec, cfg, gs, rules, |sstate, lab| {
+        let canon_state = if cfg.symmetry {
+            let (c, k) = crate::symmetry::canonicalize(sstate);
+            key.clear();
+            key.extend_from_slice(&k);
+            Some(c)
+        } else {
+            sstate.encode_into(key);
+            None
+        };
+        // The label is rendered for every claim attempt (not only fresh
+        // ones) because the same-level min-resolve tie-break compares
+        // label text; the buffer is reused so no allocation per call.
+        lab.render_into(spec, label);
+        let claimed = visited.claim(key, pkey, label, (level + 1) as u32);
+        if !claimed && !force {
+            return true;
+        }
+        if claimed {
+            if let Some(swmr) = &cfg.swmr {
+                let check = canon_state.as_ref().unwrap_or(sstate);
+                if let Some(detail) = swmr.check(check, spec) {
+                    findings
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .push(Finding {
+                            kind: FindingKind::Invariant,
+                            state: check.clone(),
+                            key: key.clone(),
+                            extra: detail,
+                        });
+                    return true;
+                }
+            }
+        }
+        batch.push(canon_state.unwrap_or_else(|| sstate.clone()));
+        true
+    });
+    match outcome {
+        ExpandOutcome::Bug { rule, detail } => {
             findings
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .push(Finding {
                     kind: FindingKind::Bug,
                     state: gs.clone(),
-                    key,
+                    key: pkey.clone(),
                     extra: format!("{rule}: {detail}"),
                 });
         }
-        Expansion::Ok(succs) => {
-            if succs.is_empty() {
-                if !gs.is_quiescent(spec) {
-                    findings
-                        .lock()
-                        .unwrap_or_else(std::sync::PoisonError::into_inner)
-                        .push(Finding {
-                            kind: FindingKind::Deadlock,
-                            state: gs.clone(),
-                            key,
-                            extra: String::new(),
-                        });
-                }
-                return;
+        ExpandOutcome::Done(0) => {
+            if !gs.is_quiescent(spec) {
+                findings
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .push(Finding {
+                        kind: FindingKind::Deadlock,
+                        state: gs.clone(),
+                        key: pkey.clone(),
+                        extra: String::new(),
+                    });
             }
-            let mut batch = Vec::with_capacity(succs.len());
-            for s in succs {
-                let (sstate, skey) = canon(s.state);
-                let claimed = visited.claim(skey.clone(), key.clone(), s.label, (level + 1) as u32);
-                if !claimed && !force {
-                    continue;
-                }
-                if claimed {
-                    if let Some(swmr) = &cfg.swmr {
-                        if let Some(detail) = swmr.check(&sstate, spec) {
-                            findings
-                                .lock()
-                                .unwrap_or_else(std::sync::PoisonError::into_inner)
-                                .push(Finding {
-                                    kind: FindingKind::Invariant,
-                                    state: sstate.clone(),
-                                    key: skey.clone(),
-                                    extra: detail,
-                                });
-                            continue;
-                        }
-                    }
-                }
-                batch.push(sstate);
-            }
+        }
+        ExpandOutcome::Done(_) | ExpandOutcome::Stopped => {
             next.lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner)
                 .extend(batch);
@@ -694,8 +810,10 @@ fn expand_one(
 fn rebuild(visited: &Visited, key: &[u8], last: GlobalState, bug_rule: Option<&String>) -> Trace {
     let mut steps = Vec::new();
     let mut cur = key.to_vec();
+    // The step cap guards against parent cycles, which cannot arise
+    // from this explorer's claims but could from a crafted checkpoint.
     while let Some((parent, label)) = visited.lookup(&cur) {
-        if label.is_empty() {
+        if label.is_empty() || steps.len() > visited.len() {
             break;
         }
         steps.push(label);

@@ -41,9 +41,137 @@ pub enum Expansion {
     },
 }
 
-/// Expands `gs` into its successors under `spec`/`cfg`.
-pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expansion {
-    let mut out = Vec::new();
+/// A successor's rule identity, renderable to the human label on
+/// demand. Rules fire orders of magnitude more often than fresh states
+/// are claimed, so the explorers defer the string work to the claim
+/// site and the hot path stays allocation-free.
+#[derive(Debug, Clone, Copy)]
+pub enum RuleKind {
+    /// A cache performed a core operation.
+    Inject {
+        /// Cache index.
+        cache: u8,
+        /// Address index.
+        addr: u8,
+        /// The operation.
+        op: vnet_protocol::CoreOp,
+    },
+    /// A global-buffer head moved to its destination's input FIFO.
+    Advance {
+        /// Virtual network.
+        vn: usize,
+        /// Buffer within the VN (0 or 1).
+        b: usize,
+        /// The message that moved.
+        msg: Msg,
+    },
+    /// A controller processed an input-FIFO head.
+    Consume {
+        /// The message consumed.
+        msg: Msg,
+    },
+}
+
+/// A borrowed rule label: the rule plus the buffer placements chosen
+/// for its sends. Render with [`Label::render_into`] only when the
+/// label text is actually needed (fresh claim, tie-break, trace).
+#[derive(Debug, Clone, Copy)]
+pub struct Label<'a> {
+    kind: &'a RuleKind,
+    /// `(message id, vn, buffer)` per send, in send order.
+    choices: &'a [(u8, u16, u8)],
+}
+
+impl Label<'_> {
+    /// Renders the label text (exactly the historical trace format).
+    pub fn render(&self, spec: &ProtocolSpec) -> String {
+        let mut out = String::new();
+        self.render_into(spec, &mut out);
+        out
+    }
+
+    /// [`Label::render`] into a caller-owned buffer (cleared first).
+    pub fn render_into(&self, spec: &ProtocolSpec, out: &mut String) {
+        use std::fmt::Write;
+        out.clear();
+        match self.kind {
+            RuleKind::Inject { cache, addr, op } => {
+                let _ = write!(out, "inject C{} {op} {}", cache + 1, addr_name(*addr));
+            }
+            RuleKind::Advance { vn, b, msg } => {
+                let _ = write!(out, "advance vn{vn}.b{b} ");
+                msg.display_into(spec, out);
+            }
+            RuleKind::Consume { msg } => {
+                out.push_str("consume ");
+                msg.display_into(spec, out);
+                let _ = write!(out, " at {}", msg.dst);
+            }
+        }
+        if !self.choices.is_empty() {
+            out.push_str(" [");
+            for (i, (m, vn, b)) in self.choices.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{}\u{2192}vn{vn}b{b}", spec.message_name(MsgId(*m as usize)));
+            }
+            out.push(']');
+        }
+    }
+}
+
+/// Reusable buffers for [`expand`]: one successor scratch state plus
+/// the placement log. Create once per run (or per worker thread); after
+/// warm-up the expansion hot path performs no state-clone allocations.
+pub struct Scratch {
+    next: GlobalState,
+    choices: Vec<(u8, u16, u8)>,
+}
+
+impl Scratch {
+    /// A scratch shaped for `spec`/`cfg`.
+    pub fn new(spec: &ProtocolSpec, cfg: &McConfig) -> Self {
+        Scratch {
+            next: GlobalState::initial(spec, cfg),
+            choices: Vec::new(),
+        }
+    }
+}
+
+/// The result of a callback-driven expansion.
+#[derive(Debug)]
+pub enum ExpandOutcome {
+    /// Expansion ran to completion; the count is the number of
+    /// successors produced (0 means no rule was enabled).
+    Done(usize),
+    /// The callback returned `false`; remaining rules were skipped.
+    Stopped,
+    /// A controller received a message its table does not define.
+    Bug {
+        /// The rule that exposed the bug.
+        rule: String,
+        /// Details (message and state).
+        detail: String,
+    },
+}
+
+/// Expands `gs`, invoking `f(successor, label)` for each enabled
+/// transition in the same order [`successors`] produces them. The
+/// successor reference points into `scratch` and is only valid for the
+/// duration of the call — encode or clone it before returning. Return
+/// `false` from `f` to stop the expansion early.
+pub fn expand<F>(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    gs: &GlobalState,
+    scratch: &mut Scratch,
+    mut f: F,
+) -> ExpandOutcome
+where
+    F: FnMut(&GlobalState, Label<'_>) -> bool,
+{
+    let mut count = 0usize;
 
     // --- inject ---
     match &cfg.budget {
@@ -54,20 +182,33 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                 }
                 for a in 0..cfg.n_addrs as u8 {
                     for op in vnet_protocol::CoreOp::all() {
-                        let mut next = gs.clone();
-                        next.budgets[c as usize] -= 1;
-                        let label = format!("inject C{} {op} {}", c + 1, addr_name(a));
-                        let sends = match inject(spec, cfg, &mut next, c, a, op) {
-                            Ok(Some(sends)) => sends,
-                            Ok(None) => continue,
+                        let kind = RuleKind::Inject { cache: c, addr: a, op };
+                        scratch.next.copy_from(gs);
+                        scratch.next.budgets[c as usize] -= 1;
+                        match inject(spec, cfg, &mut scratch.next, c, a, op) {
+                            Ok(Some(sends)) => {
+                                scratch.choices.clear();
+                                if !place(
+                                    cfg,
+                                    &kind,
+                                    &mut scratch.next,
+                                    &sends,
+                                    0,
+                                    &mut scratch.choices,
+                                    &mut count,
+                                    &mut f,
+                                ) {
+                                    return ExpandOutcome::Stopped;
+                                }
+                            }
+                            Ok(None) => {}
                             Err(e) => {
-                                return Expansion::Bug {
-                                    rule: label,
+                                return ExpandOutcome::Bug {
+                                    rule: Label { kind: &kind, choices: &[] }.render(spec),
                                     detail: e.display(spec),
                                 }
                             }
-                        };
-                        place_all(spec, cfg, &label, next, sends, &mut out);
+                        }
                     }
                 }
             }
@@ -78,15 +219,33 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
             let i = gs.used_injections.trailing_ones() as usize;
             if i < list.len() {
                 let (c, a, op) = list[i];
-                let mut next = gs.clone();
-                next.used_injections |= 1 << i;
-                let label = format!("inject C{} {op} {}", c + 1, addr_name(a as u8));
-                match inject(spec, cfg, &mut next, c as u8, a as u8, op) {
-                    Ok(Some(sends)) => place_all(spec, cfg, &label, next, sends, &mut out),
+                let kind = RuleKind::Inject {
+                    cache: c as u8,
+                    addr: a as u8,
+                    op,
+                };
+                scratch.next.copy_from(gs);
+                scratch.next.used_injections |= 1 << i;
+                match inject(spec, cfg, &mut scratch.next, c as u8, a as u8, op) {
+                    Ok(Some(sends)) => {
+                        scratch.choices.clear();
+                        if !place(
+                            cfg,
+                            &kind,
+                            &mut scratch.next,
+                            &sends,
+                            0,
+                            &mut scratch.choices,
+                            &mut count,
+                            &mut f,
+                        ) {
+                            return ExpandOutcome::Stopped;
+                        }
+                    }
                     Ok(None) => {}
                     Err(e) => {
-                        return Expansion::Bug {
-                            rule: label,
+                        return ExpandOutcome::Bug {
+                            rule: Label { kind: &kind, choices: &[] }.render(spec),
                             detail: e.display(spec),
                         }
                     }
@@ -104,23 +263,24 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
         if gs.endpoint_fifos[fifo_idx].len() >= cfg.endpoint_capacity {
             continue;
         }
-        let mut next = gs.clone();
-        let Some(m) = next.global_bufs[bi].pop_front() else {
+        scratch.next.copy_from(gs);
+        let Some(m) = scratch.next.global_bufs[bi].pop_front() else {
             continue; // unreachable: front() above was Some
         };
-        next.endpoint_fifos[fifo_idx].push_back(m);
-        out.push(Successor {
-            label: format!("advance vn{vn}.b{} {}", bi % 2, m.display(spec)),
-            state: next,
-        });
+        scratch.next.endpoint_fifos[fifo_idx].push_back(m);
+        count += 1;
+        let kind = RuleKind::Advance { vn, b: bi % 2, msg: m };
+        if !f(&scratch.next, Label { kind: &kind, choices: &[] }) {
+            return ExpandOutcome::Stopped;
+        }
     }
 
     // --- consume ---
     for (fi, fifo) in gs.endpoint_fifos.iter().enumerate() {
         let Some(&m) = fifo.front() else { continue };
-        let mut next = gs.clone();
-        next.endpoint_fifos[fi].pop_front();
-        match deliver(spec, cfg, &mut next, &m) {
+        scratch.next.copy_from(gs);
+        scratch.next.endpoint_fifos[fi].pop_front();
+        match deliver(spec, cfg, &mut scratch.next, &m) {
             Firing::Stalled => continue,
             Firing::Undefined => {
                 let state_name = match m.dst {
@@ -136,7 +296,7 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                             .clone()
                     }
                 };
-                return Expansion::Bug {
+                return ExpandOutcome::Bug {
                     rule: format!("consume {}", m.display(spec)),
                     detail: format!(
                         "no table entry for {} in state {state_name} at {}",
@@ -146,75 +306,110 @@ pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expa
                 };
             }
             Firing::Error(e) => {
-                return Expansion::Bug {
+                return ExpandOutcome::Bug {
                     rule: format!("consume {}", m.display(spec)),
                     detail: e.display(spec),
                 };
             }
             Firing::Fired { sends } => {
-                let label = format!("consume {} at {}", m.display(spec), m.dst);
-                place_all(spec, cfg, &label, next, sends, &mut out);
+                let kind = RuleKind::Consume { msg: m };
+                scratch.choices.clear();
+                if !place(
+                    cfg,
+                    &kind,
+                    &mut scratch.next,
+                    &sends,
+                    0,
+                    &mut scratch.choices,
+                    &mut count,
+                    &mut f,
+                ) {
+                    return ExpandOutcome::Stopped;
+                }
             }
         }
     }
 
-    Expansion::Ok(out)
+    ExpandOutcome::Done(count)
+}
+
+/// Expands `gs` into its successors under `spec`/`cfg`, materialized
+/// with owned states and rendered labels. Compatibility wrapper over
+/// [`expand`] — the explorers use `expand` directly to avoid the
+/// per-successor clone and label allocation.
+pub fn successors(spec: &ProtocolSpec, cfg: &McConfig, gs: &GlobalState) -> Expansion {
+    let mut scratch = Scratch::new(spec, cfg);
+    let mut out = Vec::new();
+    match expand(spec, cfg, gs, &mut scratch, |state, label| {
+        out.push(Successor {
+            label: label.render(spec),
+            state: state.clone(),
+        });
+        true
+    }) {
+        ExpandOutcome::Bug { rule, detail } => Expansion::Bug { rule, detail },
+        ExpandOutcome::Done(_) | ExpandOutcome::Stopped => Expansion::Ok(out),
+    }
 }
 
 fn addr_name(a: u8) -> char {
     (b'X' + a) as char
 }
 
-/// Places `sends` into global buffers, pushing every valid placement
-/// combination as a successor. If no placement fits (backpressure), the
-/// rule is disabled and contributes nothing.
-fn place_all(
-    spec: &ProtocolSpec,
+/// Places `sends[i..]` into global buffers by backtracking on the one
+/// scratch state, invoking `f` once per complete valid placement. If no
+/// placement fits (backpressure), the rule is disabled and contributes
+/// nothing. Children iterate buffer 1 before buffer 0, mirroring the
+/// LIFO order of the historical explicit-stack implementation so
+/// successor order (and therefore serial first-claim parent links) is
+/// unchanged.
+#[allow(clippy::too_many_arguments)]
+fn place<F>(
     cfg: &McConfig,
-    label: &str,
-    base: GlobalState,
-    sends: Vec<Msg>,
-    out: &mut Vec<Successor>,
-) {
-    if sends.is_empty() {
-        out.push(Successor {
-            label: label.to_string(),
-            state: base,
-        });
-        return;
+    kind: &RuleKind,
+    state: &mut GlobalState,
+    sends: &[Msg],
+    i: usize,
+    choices: &mut Vec<(u8, u16, u8)>,
+    count: &mut usize,
+    f: &mut F,
+) -> bool
+where
+    F: FnMut(&GlobalState, Label<'_>) -> bool,
+{
+    if i == sends.len() {
+        *count += 1;
+        return f(state, Label { kind, choices });
     }
-    let mut stack: Vec<(GlobalState, usize, String)> = vec![(base, 0, String::new())];
-    while let Some((state, i, choice_log)) = stack.pop() {
-        if i == sends.len() {
-            let full_label = if choice_log.is_empty() {
-                label.to_string()
-            } else {
-                format!("{label} [{}]", choice_log.trim_end_matches(','))
-            };
-            out.push(Successor {
-                label: full_label,
-                state,
-            });
+    let m = sends[i];
+    let vn = cfg.vns.vn_of(MsgId(m.msg as usize));
+    let both;
+    let one;
+    let bufs: &[usize] = match cfg.order {
+        IcnOrder::Unordered => {
+            both = [1usize, 0usize];
+            &both
+        }
+        IcnOrder::PointToPoint { salt } => {
+            one = [p2p_buffer(m.src, m.dst, salt)];
+            &one
+        }
+    };
+    for &b in bufs {
+        let bi = vn * 2 + b;
+        if state.global_bufs[bi].len() >= cfg.global_capacity {
             continue;
         }
-        let m = sends[i];
-        let vn = cfg.vns.vn_of(MsgId(m.msg as usize));
-        let choices: Vec<usize> = match cfg.order {
-            IcnOrder::Unordered => vec![0, 1],
-            IcnOrder::PointToPoint { salt } => vec![p2p_buffer(m.src, m.dst, salt)],
-        };
-        for b in choices {
-            let bi = vn * 2 + b;
-            if state.global_bufs[bi].len() >= cfg.global_capacity {
-                continue;
-            }
-            let mut next = state.clone();
-            next.global_bufs[bi].push_back(m);
-            let mut log = choice_log.clone();
-            log.push_str(&format!("{}→vn{vn}b{b},", spec.message_name(MsgId(m.msg as usize))));
-            stack.push((next, i + 1, log));
+        state.global_bufs[bi].push_back(m);
+        choices.push((m.msg, vn as u16, b as u8));
+        let ok = place(cfg, kind, state, sends, i + 1, choices, count, f);
+        choices.pop();
+        state.global_bufs[bi].pop_back();
+        if !ok {
+            return false;
         }
     }
+    true
 }
 
 /// The static (source, destination) → buffer mapping for point-to-point

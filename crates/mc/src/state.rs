@@ -52,8 +52,18 @@ pub struct Msg {
 impl Msg {
     /// Pretty form, e.g. `Fwd-GetM(X) C1→C2 req=C3 ack=1`.
     pub fn display(&self, spec: &ProtocolSpec) -> String {
+        let mut s = String::new();
+        self.display_into(spec, &mut s);
+        s
+    }
+
+    /// [`Msg::display`] into a caller-provided buffer (appends), for
+    /// label rendering without a fresh allocation per message.
+    pub fn display_into(&self, spec: &ProtocolSpec, out: &mut String) {
+        use std::fmt::Write;
         let addr = (b'X' + self.addr) as char;
-        let mut s = format!(
+        let _ = write!(
+            out,
             "{}({}) {}\u{2192}{} req=C{}",
             spec.message_name(vnet_protocol::MsgId(self.msg as usize)),
             addr,
@@ -62,9 +72,8 @@ impl Msg {
             self.requestor + 1
         );
         if self.ack != 0 {
-            s.push_str(&format!(" ack={}", self.ack));
+            let _ = write!(out, " ack={}", self.ack);
         }
-        s
     }
 }
 
@@ -165,9 +174,47 @@ impl GlobalState {
         cache_stable && dir_stable
     }
 
+    /// Deep-copies `other` into `self`, reusing every existing
+    /// allocation. All container shapes are fixed by the `McConfig`, so
+    /// after the first copy into a scratch state the successor hot path
+    /// performs no allocator traffic for state cloning at all.
+    pub fn copy_from(&mut self, other: &GlobalState) {
+        fn copy_fifos(dst: &mut Vec<VecDeque<Msg>>, src: &[VecDeque<Msg>]) {
+            dst.truncate(src.len());
+            while dst.len() < src.len() {
+                dst.push(VecDeque::new());
+            }
+            for (d, s) in dst.iter_mut().zip(src) {
+                d.clear();
+                d.extend(s.iter().copied());
+            }
+        }
+        self.caches.truncate(other.caches.len());
+        while self.caches.len() < other.caches.len() {
+            self.caches.push(Vec::new());
+        }
+        for (d, s) in self.caches.iter_mut().zip(&other.caches) {
+            d.clone_from(s);
+        }
+        self.dirs.clone_from(&other.dirs);
+        self.budgets.clone_from(&other.budgets);
+        self.used_injections = other.used_injections;
+        copy_fifos(&mut self.global_bufs, &other.global_bufs);
+        copy_fifos(&mut self.endpoint_fifos, &other.endpoint_fifos);
+    }
+
     /// Canonical byte encoding for hashing/deduplication.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(128);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// [`GlobalState::encode`] into a caller-owned buffer (cleared
+    /// first). The explorers reuse one scratch buffer across millions
+    /// of successor checks, so the dedup path allocates nothing.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
         for row in &self.caches {
             for l in row {
                 out.push(l.state);
@@ -188,6 +235,7 @@ impl GlobalState {
         out.extend(&self.budgets);
         out.extend(self.used_injections.to_le_bytes());
         let enc_msg = |out: &mut Vec<u8>, m: &Msg| {
+            debug_assert!(m.msg < 0xfd, "message ids must stay below the separators");
             out.push(m.msg);
             out.push(m.addr);
             out.push(match m.src {
@@ -204,16 +252,117 @@ impl GlobalState {
         for buf in &self.global_bufs {
             out.push(0xfe); // buffer separator
             for m in buf {
-                enc_msg(&mut out, m);
+                enc_msg(out, m);
             }
         }
         for fifo in &self.endpoint_fifos {
             out.push(0xfd);
             for m in fifo {
-                enc_msg(&mut out, m);
+                enc_msg(out, m);
             }
         }
-        out
+    }
+
+    /// Inverse of [`GlobalState::encode`]: reconstructs the state from
+    /// its canonical bytes, given the config that fixes the shapes
+    /// (cache/directory counts, budget mode, VN count). The encoding is
+    /// self-delimiting under a fixed config — message ids stay below
+    /// the `0xfe`/`0xfd` buffer separators and messages are exactly 6
+    /// bytes, so a separator at a message boundary is unambiguous.
+    /// Returns `None` on any structural mismatch instead of panicking;
+    /// the explorers treat that as corruption.
+    pub fn decode(bytes: &[u8], cfg: &McConfig) -> Option<GlobalState> {
+        let mut pos = 0usize;
+        let mut take = |n: usize| -> Option<&[u8]> {
+            let s = bytes.get(pos..pos + n)?;
+            pos += n;
+            Some(s)
+        };
+        let mut caches = Vec::with_capacity(cfg.n_caches);
+        for _ in 0..cfg.n_caches {
+            let mut row = Vec::with_capacity(cfg.n_addrs);
+            for _ in 0..cfg.n_addrs {
+                let b = take(5)?;
+                row.push(CacheLine {
+                    state: b[0],
+                    needed_acks: b[1] as i8,
+                    readers: b[2],
+                    writer: match (b[3], b[4]) {
+                        (0xff, 0) => None,
+                        (w, a) => Some((w, a as i8)),
+                    },
+                });
+            }
+            caches.push(row);
+        }
+        let mut dirs = Vec::with_capacity(cfg.n_addrs);
+        for _ in 0..cfg.n_addrs {
+            let b = take(4)?;
+            dirs.push(DirLine {
+                state: b[0],
+                owner: if b[1] == 0xff { None } else { Some(b[1]) },
+                sharers: b[2],
+                pending: b[3] as i8,
+            });
+        }
+        let n_budgets = match &cfg.budget {
+            crate::config::InjectionBudget::PerCache(_) => cfg.n_caches,
+            crate::config::InjectionBudget::Explicit(_) => 0,
+        };
+        let budgets = take(n_budgets)?.to_vec();
+        let ui = take(4)?;
+        let used_injections = u32::from_le_bytes([ui[0], ui[1], ui[2], ui[3]]);
+
+        let dec_msg = |b: &[u8]| -> Msg {
+            let node = |v: u8| {
+                if v & 0x80 != 0 {
+                    Node::Dir(v & 0x7f)
+                } else {
+                    Node::Cache(v)
+                }
+            };
+            Msg {
+                msg: b[0],
+                addr: b[1],
+                src: node(b[2]),
+                dst: node(b[3]),
+                requestor: b[4],
+                ack: b[5] as i8,
+            }
+        };
+        let n_vns = cfg.vns.n_vns();
+        let mut dec_buf = |sep: u8| -> Option<VecDeque<Msg>> {
+            if *bytes.get(pos)? != sep {
+                return None;
+            }
+            pos += 1;
+            let mut buf = VecDeque::new();
+            while pos < bytes.len() && bytes[pos] < 0xfd {
+                let b = bytes.get(pos..pos + 6)?;
+                buf.push_back(dec_msg(b));
+                pos += 6;
+            }
+            Some(buf)
+        };
+        let mut global_bufs = Vec::with_capacity(n_vns * 2);
+        for _ in 0..n_vns * 2 {
+            global_bufs.push(dec_buf(0xfe)?);
+        }
+        let mut endpoint_fifos = Vec::with_capacity(cfg.n_endpoints() * n_vns);
+        for _ in 0..cfg.n_endpoints() * n_vns {
+            endpoint_fifos.push(dec_buf(0xfd)?);
+        }
+        if pos != bytes.len() {
+            return None;
+        }
+        Some(GlobalState {
+            caches,
+            dirs,
+            budgets,
+            used_injections,
+            global_bufs,
+            endpoint_fifos,
+        })
     }
 
     /// Total number of in-flight messages.
@@ -349,6 +498,82 @@ mod tests {
         let mut b = GlobalState::initial(&spec, &cfg);
         b.global_bufs[1].push_back(m);
         assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        // Shapes from several protocols and both budget modes; states
+        // mutated with in-flight messages in global and endpoint
+        // buffers, deferred writers, and spent budgets.
+        for (spec, cfg) in [
+            (
+                protocols::msi_blocking_cache(),
+                McConfig::figure3(&protocols::msi_blocking_cache()),
+            ),
+            (
+                protocols::msi_blocking_cache(),
+                McConfig::general(&protocols::msi_blocking_cache()),
+            ),
+            (protocols::chi(), McConfig::general(&protocols::chi())),
+        ] {
+            let mut s = GlobalState::initial(&spec, &cfg);
+            let round = |s: &GlobalState, cfg: &McConfig| {
+                let enc = s.encode();
+                let back = GlobalState::decode(&enc, cfg).expect("decode failed");
+                assert_eq!(&back, s);
+                assert_eq!(back.encode(), enc);
+            };
+            round(&s, &cfg);
+            s.caches[0][0].state = 2;
+            s.caches[0][0].writer = Some((1, -1));
+            s.dirs[0].owner = Some(0);
+            s.dirs[0].pending = -2;
+            if !s.budgets.is_empty() {
+                s.budgets[0] = 0;
+            }
+            s.used_injections = 0x01020304;
+            let m = Msg {
+                msg: 1,
+                addr: 0,
+                src: Node::Cache(1),
+                dst: Node::Dir(0),
+                requestor: 1,
+                ack: -1,
+            };
+            s.global_bufs[0].push_back(m);
+            s.global_bufs[0].push_back(m);
+            let last = s.endpoint_fifos.len() - 1;
+            s.endpoint_fifos[last].push_back(m);
+            round(&s, &cfg);
+        }
+    }
+
+    #[test]
+    fn decode_rejects_malformed_bytes() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let enc = GlobalState::initial(&spec, &cfg).encode();
+        // Truncation, trailing garbage, and a corrupted separator must
+        // all come back None, never panic.
+        assert!(GlobalState::decode(&enc[..enc.len() - 1], &cfg).is_none());
+        let mut long = enc.clone();
+        long.push(0);
+        assert!(GlobalState::decode(&long, &cfg).is_none());
+        let mut bad_sep = enc.clone();
+        let sep_at = bad_sep.iter().position(|&b| b == 0xfe).unwrap();
+        bad_sep[sep_at] = 0xfd;
+        assert!(GlobalState::decode(&bad_sep, &cfg).is_none());
+        assert!(GlobalState::decode(&[], &cfg).is_none());
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::general(&spec);
+        let s = GlobalState::initial(&spec, &cfg);
+        let mut buf = vec![0xAA; 512];
+        s.encode_into(&mut buf);
+        assert_eq!(buf, s.encode());
     }
 
     #[test]

@@ -51,6 +51,23 @@ pub fn write_line(out: &LineOut, line: &str) {
     let _ = g.flush();
 }
 
+/// Longest retry hint a `rejected{queue_full}` response will carry.
+/// Past this, a longer queue carries no extra information for the
+/// client — "come back in a few seconds" is the honest ceiling.
+const MAX_RETRY_HINT_MS: u64 = 5_000;
+
+/// Deterministic backoff hint for a full queue: one 25 ms queue-slot
+/// service estimate per waiting request, saturating at
+/// [`MAX_RETRY_HINT_MS`]. Clients treat it as a floor, not a lease.
+/// Saturating arithmetic plus the cap keeps the hint meaningful (and
+/// overflow-free) no matter how large the queue length is.
+fn retry_hint_ms(queue_len: usize) -> u64 {
+    (queue_len as u64)
+        .saturating_add(1)
+        .saturating_mul(25)
+        .min(MAX_RETRY_HINT_MS)
+}
+
 /// Daemon tuning knobs. [`ServeOpts::default`] is sized for tests and
 /// small hosts; `vnet serve` flags override each field.
 #[derive(Debug, Clone)]
@@ -287,9 +304,7 @@ impl Server {
             }
             Err((job, PushError::Full)) => {
                 sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
-                // Deterministic hint: one queue-slot service estimate per
-                // waiting request. Clients treat it as a floor, not a lease.
-                let hint = 25 * (sh.queue.len() as u64 + 1);
+                let hint = retry_hint_ms(sh.queue.len());
                 write_line(
                     out,
                     &proto::rejected_response(&job.req.id, &RejectReason::QueueFull, Some(hint)),
@@ -728,6 +743,21 @@ mod tests {
 
     fn status_of(v: &json::Json) -> String {
         v.get("status").and_then(json::Json::as_str).unwrap().to_string()
+    }
+
+    #[test]
+    fn retry_hint_scales_then_saturates_at_the_cap() {
+        // Linear region: one 25 ms slot per waiting request, plus one.
+        assert_eq!(retry_hint_ms(0), 25);
+        assert_eq!(retry_hint_ms(3), 100);
+        // Last length below the cap and the first at it.
+        assert_eq!(retry_hint_ms(198), 4_975);
+        assert_eq!(retry_hint_ms(199), MAX_RETRY_HINT_MS);
+        // Beyond the boundary the hint is pinned, never larger.
+        assert_eq!(retry_hint_ms(200), MAX_RETRY_HINT_MS);
+        assert_eq!(retry_hint_ms(1_000_000), MAX_RETRY_HINT_MS);
+        // Pathological lengths must not overflow the multiply.
+        assert_eq!(retry_hint_ms(usize::MAX), MAX_RETRY_HINT_MS);
     }
 
     fn small_opts() -> ServeOpts {

@@ -259,6 +259,16 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         .map_err(|_| format!("bad value for --parallel: `{v}`"))
                 })
                 .transpose()?;
+            // Fail closed on an explicit zero: silently promoting it to
+            // "auto" would hide a typo in a script that meant a real
+            // thread count.
+            if threads == Some(0) {
+                return Err(
+                    "--parallel needs a positive thread count (omit the flag for the serial \
+                     explorer)"
+                        .into(),
+                );
+            }
             let resume_path = flag_value(args, "--resume")?.map(PathBuf::from);
             let ckpt_path = flag_value(args, "--checkpoint")?.map(PathBuf::from);
             let interval: usize = parse_flag(args, "--checkpoint-interval", 50_000)?;
@@ -354,9 +364,18 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 .map(String::as_str)
                 .unwrap_or("protocols");
             let entries = campaign::discover(Path::new(dir))?;
+            let threads = parse_flag(args, "--threads", 0)?;
+            // 0 is the *implicit* auto default; written out explicitly
+            // it is more likely a script bug, so fail closed.
+            if threads == 0 && flag_value(args, "--threads")?.is_some() {
+                return Err(
+                    "--threads needs a positive worker count (omit the flag for auto parallelism)"
+                        .into(),
+                );
+            }
             let mut cc = CampaignConfig::new()
                 .with_retries(parse_flag(args, "--retries", 2)?)
-                .with_threads(parse_flag(args, "--threads", 0)?)
+                .with_threads(threads)
                 .with_budget(budget_flag(args)?);
             if let Some(t) = flag_value(args, "--timeout")? {
                 cc = cc.with_timeout(parse_duration(&t)?);

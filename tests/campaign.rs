@@ -228,3 +228,36 @@ fn mc_cli_rejects_a_corrupt_checkpoint() {
     assert!(stderr.contains("checkpoint error"), "{stderr}");
     assert!(!stderr.contains("panicked"), "{stderr}");
 }
+
+/// `--parallel 0` cannot mean anything sensible — zero workers would
+/// either hang or silently fall back to a mode the user didn't ask
+/// for. Fail closed with a usage message instead.
+#[test]
+fn mc_cli_rejects_zero_parallel_threads() {
+    let out = Command::new(vnet_bin())
+        .args(["mc", "MSI-blocking-cache", "--unique-vns", "--parallel", "0"])
+        .output()
+        .unwrap_or_else(|e| panic!("spawn vnet: {e}"));
+    assert_eq!(out.status.code(), Some(1), "--parallel 0 must be a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("positive thread count"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+}
+
+/// Same contract for the campaign runner: an explicit `--threads 0` is
+/// rejected up front rather than being reinterpreted as "auto".
+#[test]
+fn campaign_cli_rejects_zero_threads() {
+    let dir = small_sweep_dir("cli-zero-threads", 1);
+    let out = Command::new(vnet_bin())
+        .arg("campaign")
+        .arg(&dir)
+        .args(["--threads", "0"])
+        .output()
+        .unwrap_or_else(|e| panic!("spawn vnet: {e}"));
+    assert_eq!(out.status.code(), Some(1), "--threads 0 must be a usage error");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("positive worker count"), "{stderr}");
+    assert!(!stderr.contains("panicked"), "{stderr}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -208,3 +208,39 @@ fn parallel_kill_and_resume_matches_a_clean_parallel_run() {
     );
     let _ = std::fs::remove_file(&path);
 }
+
+/// Regression test for the memory-accounting bug: a resumed run used
+/// to start with an empty meter (the seeded visited set was never
+/// charged), so its reported peak was a fraction of the truth. Fresh
+/// and kill-and-resume runs of the same space must now report the same
+/// high-water mark, because the final segment re-charges the full
+/// seeded store before exploring.
+#[test]
+fn resumed_run_reports_the_same_peak_bytes_as_a_fresh_run() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = McConfig::figure3(&spec)
+        .with_vns(VnMap::one_per_message(spec.messages().len()))
+        .with_limits(3_000, Some(7));
+    let base_path = tmp("peak-fresh");
+    let _ = std::fs::remove_file(&base_path);
+    let policy = CheckpointPolicy::new(&base_path).every_states(1_000_000);
+    let fresh = match explore_checkpointed(&spec, &cfg, &Budget::unlimited(), &policy, |_, _| {}) {
+        Ok(CheckpointedRun::Finished(v)) => v,
+        other => panic!("fresh run did not finish: {other:?}"),
+    };
+    let _ = std::fs::remove_file(&base_path);
+    let path = tmp("peak-resumed");
+    let (resumed, resumes) = run_in_segments(&spec, &cfg, &path, 200, 700);
+    assert!(resumes >= 1, "segment budget never interrupted the run");
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(signature(&fresh), signature(&resumed));
+    let (pf, pr) = (fresh.stats().peak_bytes, resumed.stats().peak_bytes);
+    assert!(pf > 0, "fresh run must report a nonzero peak");
+    // Identical visited sets at the end; only transient frontier sizes
+    // may differ, so the peaks must agree within a few percent.
+    let spread = pf.abs_diff(pr);
+    assert!(
+        spread * 20 < pf,
+        "fresh peak {pf} B vs resumed peak {pr} B: accounting diverged"
+    );
+}
