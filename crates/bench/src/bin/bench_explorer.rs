@@ -115,7 +115,7 @@ fn measure(w: &Workload, repeat: usize) -> Measurement {
     let mut states = 0usize;
     let mut levels = 0usize;
     let mut peak_bytes = 0u64;
-    for _ in 0..repeat.max(1) {
+    for _ in 0..repeat {
         let t = Instant::now();
         let v = explore_budgeted(&w.spec, &w.cfg, &budget);
         walls.push(t.elapsed().as_secs_f64() * 1e3);
@@ -223,9 +223,19 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let out_path = flag(&args, "--out").unwrap_or_else(|| "BENCH_vnet.json".to_string());
     let only = flag(&args, "--only");
-    let repeat: usize = flag(&args, "--repeat")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(3);
+    // Fail closed on `--repeat 0` (an empty sample has no median) and
+    // on unparseable values — silently falling back to the default
+    // would hide the typo from the caller.
+    let repeat: usize = match flag(&args, "--repeat") {
+        None => 3,
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                eprintln!("bench_explorer: --repeat needs a positive repetition count, got `{v}`");
+                std::process::exit(1);
+            }
+        },
+    };
     let check = flag(&args, "--check");
     let max_regress: f64 = flag(&args, "--max-regress")
         .and_then(|v| v.parse().ok())

@@ -1,0 +1,49 @@
+//! CLI boundary tests for `bench_explorer`: flag values that would
+//! produce a meaningless run must fail closed with a usage error
+//! instead of being silently patched up or defaulted.
+
+use std::process::Command;
+
+fn bench(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_bench_explorer"))
+        .args(args)
+        .output()
+        .expect("bench_explorer should spawn")
+}
+
+#[test]
+fn repeat_zero_is_a_usage_error() {
+    // `--repeat 0` has no median to report; it used to be silently
+    // clamped to 1, which hid the typo from scripted callers.
+    let out = bench(&["--repeat", "0", "--only", "MSI-blocking"]);
+    assert_eq!(out.status.code(), Some(1), "must exit 1, not run");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--repeat") && err.contains("positive"),
+        "stderr should name the flag and the constraint: {err}"
+    );
+    assert!(
+        out.stdout.is_empty(),
+        "no workload may run on a usage error"
+    );
+}
+
+#[test]
+fn repeat_garbage_is_a_usage_error() {
+    for bad in ["three", "-1", "2.5", ""] {
+        let out = bench(&["--repeat", bad, "--only", "MSI-blocking"]);
+        assert_eq!(out.status.code(), Some(1), "--repeat {bad:?} must exit 1");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("--repeat"), "--repeat {bad:?}: {err}");
+    }
+}
+
+#[test]
+fn unmatched_only_filter_is_a_usage_error() {
+    // Pre-existing fail-closed behavior, pinned here alongside the
+    // --repeat boundary so the whole argument surface stays covered.
+    let out = bench(&["--only", "no-such-workload"]);
+    assert_eq!(out.status.code(), Some(1));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("--only"), "{err}");
+}

@@ -83,10 +83,14 @@ pub fn analyze(spec: &ProtocolSpec) -> AnalysisReport {
 /// [`crate::assignment::minimize_vns_budgeted`] for the degradation
 /// contract.
 pub fn analyze_budgeted(spec: &ProtocolSpec, budget: &vnet_graph::Budget) -> AnalysisReport {
-    let causes = compute_causes(spec);
-    let (stalls, stall_sites) = compute_stalls(spec);
-    let waits = waits_from(&stalls, &causes);
-    let outcome = minimize_vns_from_relations_budgeted(spec, &waits, budget);
+    // Each pipeline phase is timed into its own histogram and span;
+    // the clock is never read while metrics and tracing are both off.
+    let causes = phase("analyze.causes_us", || compute_causes(spec));
+    let (stalls, stall_sites) = phase("analyze.stalls_us", || compute_stalls(spec));
+    let waits = phase("analyze.waits_us", || waits_from(&stalls, &causes));
+    let outcome = phase("analyze.minimize_us", || {
+        minimize_vns_from_relations_budgeted(spec, &waits, budget)
+    });
     AnalysisReport {
         spec: spec.clone(),
         causes,
@@ -95,6 +99,20 @@ pub fn analyze_budgeted(spec: &ProtocolSpec, budget: &vnet_graph::Budget) -> Ana
         waits,
         outcome,
     }
+}
+
+/// Runs `body` under a span named `name`, recording its wall time into
+/// the histogram of the same name. When metrics are disabled this
+/// reduces to two relaxed loads around the call.
+fn phase<T>(name: &'static str, body: impl FnOnce() -> T) -> T {
+    let _span = vnet_obs::span(name);
+    let clock = vnet_obs::metrics_enabled().then(std::time::Instant::now);
+    let out = body();
+    if let Some(clock) = clock {
+        vnet_obs::histogram(name, vnet_obs::DURATION_US_BOUNDS)
+            .record(clock.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    }
+    out
 }
 
 #[cfg(test)]

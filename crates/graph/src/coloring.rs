@@ -158,6 +158,7 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
     let upper = dsatur_coloring(graph);
     // A clique lower bound: greedy clique from the max-degree vertex.
     let lower = greedy_clique_size(graph).max(2);
+    let mut span = vnet_obs::span("coloring.solve");
     let mut meter = budget.start();
     // The search's working set is a handful of O(n) arrays per k; charge
     // them once so a memory budget covers this kernel too. Exhaustion
@@ -167,6 +168,7 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
         if let Some(colors) = try_k_coloring(graph, k, &mut meter) {
             // Exact even if the meter just ran dry: a proper k-coloring
             // in hand plus fully-refuted smaller k's is a proof.
+            finish_coloring(&mut span, &meter, false);
             return (
                 Coloring {
                     colors,
@@ -179,6 +181,7 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
         if meter.exhaustion().is_some() {
             // The refutation of this k was cut short — fall back to the
             // DSATUR upper bound rather than claim optimality.
+            finish_coloring(&mut span, &meter, true);
             return (
                 Coloring {
                     exact: false,
@@ -188,6 +191,7 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
             );
         }
     }
+    finish_coloring(&mut span, &meter, false);
     (
         Coloring {
             exact: true,
@@ -195,6 +199,21 @@ pub fn exact_coloring_budgeted<N>(graph: &UnGraph<N>, budget: &Budget) -> (Color
         },
         Provenance::Exact,
     )
+}
+
+/// Records exit telemetry for one budgeted coloring solve: backtrack
+/// nodes visited (the meter ticks once per search node), budget
+/// exhaustions, and the solve span's byte peak.
+fn finish_coloring(span: &mut vnet_obs::SpanGuard, meter: &BudgetMeter, degraded: bool) {
+    span.set_bytes(meter.peak_bytes() as i64);
+    if !vnet_obs::metrics_enabled() {
+        return;
+    }
+    vnet_obs::counter("coloring.solves_total").inc();
+    vnet_obs::counter("coloring.backtracks_total").add(meter.nodes());
+    if degraded {
+        vnet_obs::counter("coloring.budget_exhausted_total").inc();
+    }
 }
 
 fn greedy_clique_size<N>(graph: &UnGraph<N>) -> usize {

@@ -168,6 +168,7 @@ pub fn minimum_feedback_arc_set_budgeted<N, E>(
     weight: impl Fn(&E) -> u128,
     budget: &Budget,
 ) -> (FeedbackArcSet, Provenance) {
+    let mut span = vnet_obs::span("fas.solve");
     let weights: Vec<u128> = graph.edge_ids().map(|e| weight(graph.edge(e))).collect();
     assert!(
         weights.iter().all(|&w| w > 0),
@@ -199,18 +200,21 @@ pub fn minimum_feedback_arc_set_budgeted<N, E>(
         if meter.exhaustion().is_some() {
             let fallback = heuristic_feedback_arc_set(graph, &weight);
             let provenance = meter.provenance();
+            finish_fas(&mut span, &meter, true);
             return (fallback, provenance);
         }
         let chosen = min_hitting_set(&cycle_sets, &weights, &mut meter);
         if meter.exhaustion().is_some() {
             let fallback = heuristic_feedback_arc_set(graph, &weight);
             let provenance = meter.provenance();
+            finish_fas(&mut span, &meter, true);
             return (fallback, provenance);
         }
         let chosen_edges: Vec<EdgeId> = chosen.iter().map(|&i| EdgeId(i)).collect();
         match remaining_cycle(graph, &chosen_edges) {
             None => {
                 let total = chosen.iter().map(|&i| weights[i]).sum();
+                finish_fas(&mut span, &meter, false);
                 return (
                     FeedbackArcSet {
                         edges: chosen_edges,
@@ -228,6 +232,21 @@ pub fn minimum_feedback_arc_set_budgeted<N, E>(
                 cycle_sets.push(set);
             }
         }
+    }
+}
+
+/// Records exit telemetry for one budgeted FAS solve: branch-and-bound
+/// nodes visited, budget exhaustions, and the solve span's byte peak.
+/// One relaxed load while metrics are disabled.
+fn finish_fas(span: &mut vnet_obs::SpanGuard, meter: &BudgetMeter, degraded: bool) {
+    span.set_bytes(meter.peak_bytes() as i64);
+    if !vnet_obs::metrics_enabled() {
+        return;
+    }
+    vnet_obs::counter("fas.solves_total").inc();
+    vnet_obs::counter("fas.nodes_total").add(meter.nodes());
+    if degraded {
+        vnet_obs::counter("fas.budget_exhausted_total").inc();
     }
 }
 

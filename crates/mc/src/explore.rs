@@ -384,6 +384,9 @@ fn flush(
     claims: u64,
     path: &Path,
 ) -> Result<(), CheckpointError> {
+    // Flush duration feeds the `explore.checkpoint_flush_us` histogram;
+    // the clock is only read while metrics are on.
+    let clock = vnet_obs::metrics_enabled().then(std::time::Instant::now);
     let mut entries = Vec::with_capacity(store.len());
     for i in 0..store.len() {
         entries.push(VisitedEntry {
@@ -412,7 +415,13 @@ fn flush(
         entries,
         frontier: states,
     };
-    ckpt.write_to(path)
+    let res = ckpt.write_to(path);
+    if let Some(clock) = clock {
+        vnet_obs::counter("explore.checkpoint_flushes_total").inc();
+        vnet_obs::histogram("explore.checkpoint_flush_us", vnet_obs::DURATION_US_BOUNDS)
+            .record(clock.elapsed().as_micros().min(u64::MAX as u128) as u64);
+    }
+    res
 }
 
 /// The BFS core shared by the fresh, checkpointed, and resumed entry
@@ -425,6 +434,42 @@ fn flush(
 /// level boundary — so the overrun is bounded by one BFS level and the
 /// checkpoint is always consistent.
 fn run_serial(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    budget: &Budget,
+    start: Option<Checkpoint>,
+    policy: Option<&CheckpointPolicy>,
+    on_level: impl FnMut(usize, usize),
+) -> Result<CheckpointedRun, CheckpointError> {
+    // The observability shim around the BFS core. Counting at this
+    // single choke point (rather than per-claim inside the hot loop)
+    // keeps `explore.states_total` exactly equal to the verdict's
+    // `ExploreStats.states` on every exit path — complete, degraded,
+    // cancelled, or interrupted — at zero per-state cost.
+    let mut span = vnet_obs::span("explore.serial");
+    let result = run_serial_inner(spec, cfg, budget, start, policy, on_level);
+    match &result {
+        Ok(CheckpointedRun::Finished(v)) => {
+            let stats = v.stats();
+            span.set_bytes(stats.peak_bytes as i64);
+            if vnet_obs::metrics_enabled() {
+                vnet_obs::counter("explore.runs_total").inc();
+                vnet_obs::counter("explore.states_total").add(stats.states as u64);
+            }
+        }
+        Ok(CheckpointedRun::Interrupted { states, .. }) => {
+            if vnet_obs::metrics_enabled() {
+                vnet_obs::counter("explore.runs_total").inc();
+                vnet_obs::counter("explore.states_total").add(*states as u64);
+            }
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+/// The uninstrumented BFS core; see [`run_serial`].
+fn run_serial_inner(
     spec: &ProtocolSpec,
     cfg: &McConfig,
     budget: &Budget,
@@ -490,6 +535,9 @@ fn run_serial(
     }
 
     let mut meter = budget.start_from(claims);
+    // Per-level wall clock for the states/sec histograms; only read
+    // while metrics are on so the disabled path never touches a clock.
+    let mut level_clock = vnet_obs::metrics_enabled().then(std::time::Instant::now);
     let mut complete = true;
     let mut truncated: Option<DegradeReason> = None;
     let mut since_flush = 0usize;
@@ -701,6 +749,14 @@ fn run_serial(
         }
         level += 1;
         on_level(level, store.len());
+        if let Some(clock) = level_clock.as_mut() {
+            vnet_obs::histogram("explore.level_wall_us", vnet_obs::DURATION_US_BOUNDS)
+                .record(clock.elapsed().as_micros().min(u64::MAX as u128) as u64);
+            vnet_obs::histogram("explore.level_states", vnet_obs::SMALL_COUNT_BOUNDS)
+                .record(next_frontier.len() as u64);
+            vnet_obs::gauge("explore.intern_load_pct").set(store.keys.load_factor_pct() as i64);
+            *clock = std::time::Instant::now();
+        }
         frontier = next_frontier;
         // The old frontier was dropped and the new one took its place;
         // re-sync the exact accounting (peak tracking is unaffected).

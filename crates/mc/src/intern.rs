@@ -138,6 +138,13 @@ impl StateArena {
         self.table = table;
     }
 
+    /// Open-addressing table load factor in percent. Bounded by 75 by
+    /// construction (the ¾-load resize rule); surfaced as the
+    /// `explore.intern_load_pct` gauge.
+    pub fn load_factor_pct(&self) -> u64 {
+        (self.len() as u64 * 100) / (self.table.len() as u64)
+    }
+
     /// Exact heap bytes held: arena data, offset vector, and the slot
     /// table, all from capacities.
     pub fn heap_bytes(&self) -> u64 {

@@ -360,6 +360,38 @@ fn run_parallel(
     opts: &ParallelOpts,
     start: Option<Checkpoint>,
 ) -> Result<CheckpointedRun, CheckpointError> {
+    // Observability shim mirroring the serial explorer's: counting at
+    // this choke point keeps `explore.states_total` exactly equal to
+    // the verdict's `ExploreStats.states` on every exit path.
+    let mut span = vnet_obs::span("explore.parallel");
+    let result = run_parallel_inner(spec, cfg, opts, start);
+    match &result {
+        Ok(CheckpointedRun::Finished(v)) => {
+            let stats = v.stats();
+            span.set_bytes(stats.peak_bytes as i64);
+            if vnet_obs::metrics_enabled() {
+                vnet_obs::counter("explore.runs_total").inc();
+                vnet_obs::counter("explore.states_total").add(stats.states as u64);
+            }
+        }
+        Ok(CheckpointedRun::Interrupted { states, .. }) => {
+            if vnet_obs::metrics_enabled() {
+                vnet_obs::counter("explore.runs_total").inc();
+                vnet_obs::counter("explore.states_total").add(*states as u64);
+            }
+        }
+        Err(_) => {}
+    }
+    result
+}
+
+/// The uninstrumented level-synchronous core; see [`run_parallel`].
+fn run_parallel_inner(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    opts: &ParallelOpts,
+    start: Option<Checkpoint>,
+) -> Result<CheckpointedRun, CheckpointError> {
     let threads = if opts.threads == 0 {
         std::thread::available_parallelism()
             .map(|n| n.get())
@@ -609,6 +641,7 @@ fn run_parallel(
                 break;
             }
             restarts_used += 1;
+            vnet_obs::counter("explore.worker_restarts_total").inc();
             std::thread::sleep(opts.backoff.saturating_mul(1 << (wave.min(8))));
             wave += 1;
             items = retry;

@@ -25,6 +25,38 @@ impl Trace {
         self.steps.is_empty()
     }
 
+    /// Replays the trace from `GlobalState::initial`, matching each
+    /// step label against the enabled successors of the current state.
+    /// Returns the terminal state, or a description of the first step
+    /// whose label is not enabled — which would mean the trace does not
+    /// describe a real execution (the check the differential tests
+    /// lean on to validate parallel-explorer witnesses).
+    pub fn replay(&self, spec: &ProtocolSpec, cfg: &McConfig) -> Result<GlobalState, String> {
+        let mut cur = GlobalState::initial(spec, cfg);
+        for (i, step) in self.steps.iter().enumerate() {
+            match crate::rules::successors(spec, cfg, &cur) {
+                crate::rules::Expansion::Bug { rule, detail } => {
+                    return Err(format!(
+                        "step {}: expansion hit a spec bug in `{rule}`: {detail}",
+                        i + 1
+                    ));
+                }
+                crate::rules::Expansion::Ok(succs) => {
+                    match succs.into_iter().find(|s| s.label == *step) {
+                        Some(s) => cur = s.state,
+                        None => {
+                            return Err(format!(
+                                "step {}: label `{step}` is not enabled in the replayed state",
+                                i + 1
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(cur)
+    }
+
     /// Renders the trace with the final state dump.
     pub fn display(&self, spec: &ProtocolSpec, cfg: &McConfig) -> String {
         use std::fmt::Write as _;
@@ -259,6 +291,30 @@ mod tests {
         } else {
             panic!("expected deadlock");
         }
+    }
+
+    #[test]
+    fn fig3_deadlock_trace_replays_to_its_witness() -> Result<(), String> {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let crate::Verdict::Deadlock { trace, .. } = crate::explore(&spec, &cfg) else {
+            return Err("expected deadlock".into());
+        };
+        let end = trace.replay(&spec, &cfg)?;
+        assert_eq!(end, trace.last, "replay must land on the recorded witness");
+        Ok(())
+    }
+
+    #[test]
+    fn replay_rejects_a_corrupted_trace() {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig::figure3(&spec);
+        let t = Trace {
+            steps: vec!["inject C9 Flurp Z".into()],
+            last: GlobalState::initial(&spec, &cfg),
+        };
+        let err = t.replay(&spec, &cfg).unwrap_err();
+        assert!(err.contains("not enabled"), "{err}");
     }
 
     #[test]

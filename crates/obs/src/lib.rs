@@ -1,0 +1,81 @@
+//! # vnet-obs
+//!
+//! Process-wide observability for the vnet pipeline: a metrics registry
+//! (monotonic counters, gauges, and fixed-bucket histograms with exact
+//! count/sum, all lock-free via atomics on the hot path) plus a
+//! lightweight span tracer (enter/exit records with wall time and byte
+//! deltas, kept in a bounded ring, addressed by deterministic sequence
+//! ids). Pure std, zero dependencies — it sits below `vnet-graph` in
+//! the workspace DAG so every layer can instrument itself.
+//!
+//! ## Overhead contract
+//!
+//! Instrumentation is **off by default** and every mutating operation
+//! ([`Counter::add`], [`Gauge::set`], [`Histogram::record`], span
+//! recording) first performs a single relaxed load of a process-global
+//! flag and returns immediately when disabled. Call sites that would
+//! pay for an `Instant::now()` or a formatting pass gate on
+//! [`metrics_enabled`] / [`tracing_enabled`] themselves. Nothing in
+//! this crate ever writes to stdout/stderr, so enabling metrics cannot
+//! perturb CLI output or witness traces.
+//!
+//! ## Determinism contract
+//!
+//! [`snapshot`] renders metrics in lexicographic name order (the
+//! registry is a `BTreeMap`), histograms carry their bucket bounds, and
+//! span logs are ordered by span id — never by wall time — so two runs
+//! of the same workload produce snapshots with identical *shape* (keys,
+//! ordering, bucket layout) even though timing-valued samples differ.
+//!
+//! ## Example
+//!
+//! ```
+//! vnet_obs::set_metrics_enabled(true);
+//! let states = vnet_obs::counter("example.states_total");
+//! states.add(42);
+//! assert_eq!(states.get(), 42);
+//! let snap = vnet_obs::snapshot();
+//! assert!(snap.to_json().contains("example.states_total"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod span;
+
+pub use metrics::{
+    counter, gauge, histogram, reset, snapshot, Counter, Gauge, HistSnapshot, Histogram, Snapshot,
+    DURATION_US_BOUNDS, SIZE_BOUNDS, SMALL_COUNT_BOUNDS,
+};
+pub use span::{span, trace_log, SpanGuard, SpanRecord};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// Process-global metrics switch. Off by default.
+static METRICS_ENABLED: AtomicBool = AtomicBool::new(false);
+/// Process-global span-tracing switch. Off by default.
+static TRACING_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turns metric recording on or off for the whole process.
+pub fn set_metrics_enabled(on: bool) {
+    METRICS_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when metric recording is on. A single relaxed load — this is
+/// the entire disabled-path cost of every counter/gauge/histogram op.
+#[inline]
+pub fn metrics_enabled() -> bool {
+    METRICS_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span tracing on or off for the whole process.
+pub fn set_tracing_enabled(on: bool) {
+    TRACING_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// `true` when span tracing is on.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING_ENABLED.load(Ordering::Relaxed)
+}

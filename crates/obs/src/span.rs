@@ -1,0 +1,178 @@
+//! Span tracing: enter/exit records with wall time and byte deltas.
+//!
+//! A span is opened with [`span`] and closed when its [`SpanGuard`]
+//! drops. Closing appends a [`SpanRecord`] to a bounded process-wide
+//! ring (oldest records are overwritten once the ring is full). Span
+//! ids are allocated from a deterministic sequence counter — given the
+//! same call sequence, the same ids — and the rendered log is ordered
+//! by id, never by wall time, so timing jitter cannot reorder output.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Capacity of the span ring. Old records are overwritten beyond this.
+const RING_CAP: usize = 4096;
+
+/// One closed span.
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Deterministic sequence id, starting at 1.
+    pub id: u64,
+    /// The static name passed to [`span`].
+    pub name: &'static str,
+    /// Wall-clock duration between enter and exit, microseconds.
+    pub wall_us: u64,
+    /// Caller-supplied byte delta (e.g. a `BudgetMeter` peak), or 0.
+    pub bytes: i64,
+}
+
+#[derive(Default)]
+struct Ring {
+    records: Vec<SpanRecord>,
+    /// Next write position once `records` has reached [`RING_CAP`].
+    head: usize,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| Mutex::new(Ring::default()))
+}
+
+fn next_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+fn lock(m: &Mutex<Ring>) -> std::sync::MutexGuard<'_, Ring> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+/// An open span; records itself into the ring when dropped. While
+/// tracing is disabled the guard is inert (no id, no clock read).
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    /// `None` when tracing was disabled at enter time.
+    opened: Option<(u64, Instant)>,
+    bytes: i64,
+}
+
+impl SpanGuard {
+    /// Attaches a byte delta (typically a `BudgetMeter` reading) to be
+    /// emitted with the exit record.
+    pub fn set_bytes(&mut self, bytes: i64) {
+        self.bytes = bytes;
+    }
+
+    /// The span's id, or 0 when tracing was disabled at enter time.
+    pub fn id(&self) -> u64 {
+        self.opened.as_ref().map(|(id, _)| *id).unwrap_or(0)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some((id, start)) = self.opened.take() else {
+            return;
+        };
+        let rec = SpanRecord {
+            id,
+            name: self.name,
+            wall_us: start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            bytes: self.bytes,
+        };
+        let mut ring = lock(ring());
+        if ring.records.len() < RING_CAP {
+            ring.records.push(rec);
+        } else {
+            let head = ring.head;
+            ring.records[head] = rec;
+            ring.head = (head + 1) % RING_CAP;
+        }
+    }
+}
+
+/// Opens a span named `name`. Cheap no-op (one relaxed load) while
+/// tracing is disabled.
+pub fn span(name: &'static str) -> SpanGuard {
+    let opened = if crate::tracing_enabled() {
+        Some((next_id(), Instant::now()))
+    } else {
+        None
+    };
+    SpanGuard {
+        name,
+        opened,
+        bytes: 0,
+    }
+}
+
+/// All retained span records, ordered by span id (ascending).
+pub fn records() -> Vec<SpanRecord> {
+    let ring = lock(ring());
+    let mut out = ring.records.clone();
+    out.sort_by_key(|r| r.id);
+    out
+}
+
+/// Renders the retained spans as a text log, one line per span,
+/// ordered by id: `#<id> <name> wall_us=<n> bytes=<n>`.
+pub fn trace_log() -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in records() {
+        let _ = writeln!(out, "#{} {} wall_us={} bytes={}", r.id, r.name, r.wall_us, r.bytes);
+    }
+    out
+}
+
+/// Drops every retained record (the id sequence keeps counting).
+pub(crate) fn clear() {
+    let mut ring = lock(ring());
+    ring.records.clear();
+    ring.head = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_in_id_order_with_bytes() {
+        crate::set_tracing_enabled(true);
+        let first_id;
+        {
+            let mut a = span("test.span.outer");
+            a.set_bytes(1234);
+            first_id = a.id();
+            assert!(first_id > 0);
+            let b = span("test.span.inner");
+            assert!(b.id() > first_id);
+            // Inner drops before outer, but the log is ordered by id,
+            // so the outer span still prints first.
+        }
+        let log = trace_log();
+        let outer_at = log.find("test.span.outer").unwrap_or(usize::MAX);
+        let inner_at = log.find("test.span.inner").unwrap_or(0);
+        assert!(outer_at < inner_at, "log must be id-ordered:\n{log}");
+        assert!(log.contains("bytes=1234"));
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_beyond_capacity() {
+        crate::set_tracing_enabled(true);
+        for _ in 0..(RING_CAP + 10) {
+            let _ = span("test.span.flood");
+        }
+        let recs = records();
+        assert!(recs.len() <= RING_CAP);
+        // Retained ids are the newest ones and strictly ascending.
+        for w in recs.windows(2) {
+            assert!(w[0].id < w[1].id);
+        }
+    }
+}

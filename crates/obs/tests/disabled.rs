@@ -1,0 +1,39 @@
+//! The disabled-path contract: with both switches off (the process
+//! default), every mutating operation is a no-op and spans are inert.
+//!
+//! This lives in its own integration-test binary (its own process) so
+//! no other test's `set_metrics_enabled(true)` can race with it.
+
+#[test]
+fn disabled_instrumentation_is_a_no_op() {
+    assert!(!vnet_obs::metrics_enabled());
+    assert!(!vnet_obs::tracing_enabled());
+
+    let c = vnet_obs::counter("disabled.counter");
+    c.inc();
+    c.add(100);
+    assert_eq!(c.get(), 0);
+
+    let g = vnet_obs::gauge("disabled.gauge");
+    g.set(5);
+    g.add(5);
+    assert_eq!(g.get(), 0);
+
+    let h = vnet_obs::histogram("disabled.hist", &[10]);
+    h.record(3);
+    assert_eq!(h.count(), 0);
+    assert_eq!(h.sum(), 0);
+    assert_eq!(h.bucket_counts(), vec![0, 0]);
+
+    let mut s = vnet_obs::span("disabled.span");
+    s.set_bytes(99);
+    assert_eq!(s.id(), 0, "disabled spans allocate no id");
+    drop(s);
+    assert!(vnet_obs::trace_log().is_empty());
+
+    // The registry still snapshots (all zeros) while disabled.
+    let snap = vnet_obs::snapshot();
+    assert!(snap.counters.iter().any(|(n, v)| n == "disabled.counter" && *v == 0));
+    let json = snap.to_json();
+    assert!(json.contains("\"disabled.counter\": 0"));
+}

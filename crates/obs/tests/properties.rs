@@ -1,0 +1,127 @@
+//! Property tests for the histogram primitive. Hermetic builds have no
+//! crates.io access, so instead of `proptest` these run a fixed number
+//! of seeded cases from an inline SplitMix64 (the same generator as
+//! `vnet_graph::Rng64`, re-stated here because `vnet-obs` sits *below*
+//! `vnet-graph` in the dependency DAG). Each case prints its seed on
+//! failure so it can be replayed.
+
+use vnet_obs::Histogram;
+
+/// SplitMix64 — mirrors `vnet_graph::rng::Rng64`.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+}
+
+/// Scalar model of a histogram: just the recorded values.
+#[derive(Default)]
+struct Model {
+    values: Vec<u64>,
+}
+
+impl Model {
+    fn buckets(&self, bounds: &[u64]) -> Vec<u64> {
+        let mut out = vec![0u64; bounds.len() + 1];
+        for &v in &self.values {
+            let idx = bounds.partition_point(|&b| b < v);
+            out[idx] += 1;
+        }
+        out
+    }
+
+    fn sum(&self) -> u64 {
+        self.values.iter().sum()
+    }
+}
+
+fn random_bounds(rng: &mut Rng) -> Vec<u64> {
+    let n = 1 + rng.below(8) as usize;
+    let mut b: Vec<u64> = (0..n).map(|_| rng.below(10_000)).collect();
+    b.sort_unstable();
+    b.dedup();
+    b
+}
+
+#[test]
+fn record_matches_scalar_model() {
+    vnet_obs::set_metrics_enabled(true);
+    for case in 0..200u64 {
+        let seed = 0xc0ffee ^ case;
+        let mut rng = Rng(seed);
+        let bounds = random_bounds(&mut rng);
+        let h = Histogram::with_bounds(&bounds);
+        let mut model = Model::default();
+        for _ in 0..rng.below(400) {
+            let v = rng.below(20_000);
+            h.record(v);
+            model.values.push(v);
+        }
+        assert_eq!(h.count() as usize, model.values.len(), "count, seed={seed}");
+        assert_eq!(h.sum(), model.sum(), "sum, seed={seed}");
+        assert_eq!(h.bucket_counts(), model.buckets(&bounds), "buckets, seed={seed}");
+        assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            h.count(),
+            "bucket totals must equal count, seed={seed}"
+        );
+    }
+}
+
+#[test]
+fn merge_never_loses_counts() {
+    vnet_obs::set_metrics_enabled(true);
+    for case in 0..200u64 {
+        let seed = 0xdead_beef ^ (case << 1);
+        let mut rng = Rng(seed);
+        let bounds = random_bounds(&mut rng);
+        let target = Histogram::with_bounds(&bounds);
+        let mut model = Model::default();
+        // Merge several independently-recorded shards into one target
+        // and check against the scalar model of the union.
+        let shards = 1 + rng.below(5);
+        for _ in 0..shards {
+            let shard = Histogram::with_bounds(&bounds);
+            for _ in 0..rng.below(200) {
+                let v = rng.below(30_000);
+                shard.record(v);
+                model.values.push(v);
+            }
+            assert!(target.merge_from(&shard), "same-bounds merge, seed={seed}");
+        }
+        assert_eq!(target.count() as usize, model.values.len(), "count, seed={seed}");
+        assert_eq!(target.sum(), model.sum(), "sum, seed={seed}");
+        assert_eq!(target.bucket_counts(), model.buckets(&bounds), "buckets, seed={seed}");
+    }
+}
+
+#[test]
+fn mismatched_merge_changes_nothing() {
+    vnet_obs::set_metrics_enabled(true);
+    for case in 0..50u64 {
+        let seed = 0xfeed ^ case;
+        let mut rng = Rng(seed);
+        let mut a_bounds = random_bounds(&mut rng);
+        let b_bounds = random_bounds(&mut rng);
+        if a_bounds == b_bounds {
+            a_bounds.push(1_000_000);
+        }
+        let a = Histogram::with_bounds(&a_bounds);
+        let b = Histogram::with_bounds(&b_bounds);
+        a.record(rng.below(100));
+        b.record(rng.below(100));
+        let before = (a.count(), a.sum(), a.bucket_counts());
+        assert!(!a.merge_from(&b), "seed={seed}");
+        assert_eq!(before, (a.count(), a.sum(), a.bucket_counts()), "seed={seed}");
+    }
+}

@@ -57,6 +57,8 @@ pub fn execute(
 ) -> Result<ExecResult, String> {
     match &req.cmd {
         Command::Ping => Ok(ExecResult::new(vec![], Provenance::Exact)),
+        // Answered inline by the server; a queued one is a no-op.
+        Command::Metrics => Ok(ExecResult::new(vec![], Provenance::Exact)),
         Command::Panic => panic!("injected test fault (cmd=panic)"),
         Command::Analyze => run_analyze(req, budget),
         Command::Mc { vns, checkpoint } => run_mc(req, budget, *vns, *checkpoint, ckpt_path),

@@ -45,6 +45,10 @@ pub enum Command {
     /// started with test faults enabled; the soak test uses it to prove
     /// worker isolation.
     Panic,
+    /// Observability snapshot: queue depth, request counters, and the
+    /// process metrics registry. Answered inline, never queued, so it
+    /// stays responsive even when the pool is saturated.
+    Metrics,
 }
 
 /// VN-mapping selection for `mc` requests.
@@ -128,6 +132,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let cmd = match cmd_name {
         "ping" => Command::Ping,
         "panic" => Command::Panic,
+        "metrics" => Command::Metrics,
         "analyze" => Command::Analyze,
         "mc" => Command::Mc {
             vns: match v.get("vns").and_then(Json::as_str) {

@@ -143,6 +143,19 @@ pub struct Counters {
     pub completed: AtomicU64,
 }
 
+/// Bucket edges (milliseconds) for the per-request latency histogram:
+/// sub-ms inline work up through deadline-scale model checks.
+const REQUEST_WALL_MS_BOUNDS: &[u64] = &[1, 5, 25, 100, 500, 2_000, 10_000, 60_000];
+
+/// Bumps one serve counter and its mirror in the process metrics
+/// registry. The daemon's own `Counters` stay authoritative for drain
+/// summaries; the mirrors make serve traffic visible in `metrics`
+/// snapshots alongside solver and explorer telemetry.
+fn bump(cell: &AtomicU64, mirror: &'static str) {
+    cell.fetch_add(1, Ordering::Relaxed);
+    vnet_obs::counter(mirror).inc();
+}
+
 struct Shared {
     opts: ServeOpts,
     queue: BoundedQueue<Job>,
@@ -183,6 +196,10 @@ pub struct Server {
 impl Server {
     /// Spawns the worker pool and watchdog.
     pub fn start(opts: ServeOpts) -> Server {
+        // A daemon always records metrics: the `metrics` request is part
+        // of its protocol, and the per-request overhead is a handful of
+        // relaxed atomic ops.
+        vnet_obs::set_metrics_enabled(true);
         let n_workers = if opts.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
         } else {
@@ -248,7 +265,7 @@ impl Server {
         let req = match proto::parse_request(line) {
             Ok(r) => r,
             Err(detail) => {
-                sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.errors, "serve.errors_total");
                 write_line(out, &proto::error_response(&None, &detail));
                 return;
             }
@@ -259,8 +276,14 @@ impl Server {
             write_line(out, &proto::ok_response(&req.id, "ping", vec![]));
             return;
         }
+        // Also inline: an observability probe must stay answerable while
+        // the pool is saturated — that is exactly when it matters.
+        if matches!(req.cmd, Command::Metrics) {
+            write_line(out, &metrics_response(&req.id, sh));
+            return;
+        }
         if matches!(req.cmd, Command::Panic) && !sh.opts.test_faults {
-            sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+            bump(&sh.counters.errors, "serve.errors_total");
             write_line(
                 out,
                 &proto::error_response(&req.id, "unknown cmd `panic` (test faults disabled)"),
@@ -269,7 +292,7 @@ impl Server {
         }
 
         if self.draining() {
-            sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            bump(&sh.counters.rejected, "serve.rejected_total");
             write_line(
                 out,
                 &proto::rejected_response(&req.id, &RejectReason::ShuttingDown, None),
@@ -278,7 +301,7 @@ impl Server {
         }
 
         if let Some(what) = oversized(&req, &sh.opts) {
-            sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            bump(&sh.counters.rejected, "serve.rejected_total");
             write_line(
                 out,
                 &proto::rejected_response(&req.id, &RejectReason::TooLarge { what }, None),
@@ -300,10 +323,11 @@ impl Server {
         };
         match sh.queue.try_push(job) {
             Ok(()) => {
-                sh.counters.admitted.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.admitted, "serve.admitted_total");
+                vnet_obs::gauge("serve.queue_depth").set(sh.queue.len() as i64);
             }
             Err((job, PushError::Full)) => {
-                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.rejected, "serve.rejected_total");
                 let hint = retry_hint_ms(sh.queue.len());
                 write_line(
                     out,
@@ -311,7 +335,7 @@ impl Server {
                 );
             }
             Err((job, PushError::Closed)) => {
-                sh.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.rejected, "serve.rejected_total");
                 write_line(
                     out,
                     &proto::rejected_response(&job.req.id, &RejectReason::ShuttingDown, None),
@@ -355,7 +379,7 @@ fn drain_shared(sh: &Shared) {
     // did. The Shutdown cancel is what turns an in-flight checkpointing
     // mc run into a final flush.
     for job in sh.queue.drain_remaining() {
-        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        bump(&sh.counters.cancelled, "serve.cancelled_total");
         write_line(
             &job.out,
             &proto::cancelled_response(&job.req.id, CancelReason::Shutdown, vec![]),
@@ -378,6 +402,89 @@ fn drain_shared(sh: &Shared) {
     while sh.active.load(Ordering::SeqCst) > 0 && Instant::now() < patience {
         std::thread::sleep(Duration::from_millis(10));
     }
+}
+
+/// Builds the inline `metrics` response: live queue depth, the
+/// daemon's request counters (with the derived `submitted` total the
+/// soak test reconciles against), and the full process metrics
+/// registry. Shape is deterministic — every map is a `BTreeMap` and
+/// the registry snapshot is name-sorted.
+fn metrics_response(id: &Option<String>, sh: &Shared) -> String {
+    use crate::json::Json;
+    let c = &sh.counters;
+    let load = |cell: &AtomicU64| cell.load(Ordering::Relaxed);
+    // Every answered request carries exactly one status from the closed
+    // taxonomy, so the statuses sum to the number of answered requests.
+    let submitted = load(&c.completed)
+        + load(&c.errors)
+        + load(&c.rejected)
+        + load(&c.cancelled)
+        + load(&c.panicked);
+    let counters = Json::obj(vec![
+        ("admitted", Json::num(load(&c.admitted))),
+        ("completed", Json::num(load(&c.completed))),
+        ("errors", Json::num(load(&c.errors))),
+        ("rejected", Json::num(load(&c.rejected))),
+        ("cancelled", Json::num(load(&c.cancelled))),
+        ("panicked", Json::num(load(&c.panicked))),
+        ("submitted", Json::num(submitted)),
+    ]);
+    let fields = vec![
+        ("queue_depth", Json::num(sh.queue.len() as u64)),
+        ("counters", counters),
+        ("registry", registry_json()),
+    ];
+    proto::ok_response(id, "metrics", fields)
+}
+
+/// The process metrics registry as a JSON value (same content as
+/// `vnet_obs::Snapshot::to_json`, rebuilt on the daemon's own
+/// serializer so it nests inside a response line).
+fn registry_json() -> crate::json::Json {
+    use crate::json::Json;
+    let snap = vnet_obs::snapshot();
+    let counters = Json::Obj(
+        snap.counters
+            .into_iter()
+            .map(|(k, v)| (k, Json::num(v)))
+            .collect(),
+    );
+    let gauges = Json::Obj(
+        snap.gauges
+            .into_iter()
+            .map(|(k, v)| (k, Json::Num(v as f64)))
+            .collect(),
+    );
+    let histograms = Json::Obj(
+        snap.histograms
+            .into_iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .map(|(i, n)| {
+                        let le = match h.bounds.get(i) {
+                            Some(b) => Json::num(*b),
+                            None => Json::str("inf"),
+                        };
+                        Json::obj(vec![("le", le), ("n", Json::num(*n))])
+                    })
+                    .collect();
+                let body = Json::obj(vec![
+                    ("count", Json::num(h.count)),
+                    ("sum", Json::num(h.sum)),
+                    ("buckets", Json::Arr(buckets)),
+                ]);
+                (k, body)
+            })
+            .collect(),
+    );
+    Json::obj(vec![
+        ("counters", counters),
+        ("gauges", gauges),
+        ("histograms", histograms),
+    ])
 }
 
 /// Admission-time size caps: requests that would obviously exceed their
@@ -426,6 +533,7 @@ fn watchdog_loop(sh: &Shared) {
 
 fn worker_loop(sh: &Shared) {
     while let Some(job) = sh.queue.pop() {
+        vnet_obs::gauge("serve.queue_depth").set(sh.queue.len() as i64);
         sh.active.fetch_add(1, Ordering::SeqCst);
         handle(sh, job);
         sh.active.fetch_sub(1, Ordering::SeqCst);
@@ -436,7 +544,7 @@ fn handle(sh: &Shared, job: Job) {
     let started = Instant::now();
     // Cancelled while queued (client hung up, or drain raced us).
     if let Some(reason) = job.cancel.reason() {
-        sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+        bump(&sh.counters.cancelled, "serve.cancelled_total");
         write_line(&job.out, &proto::cancelled_response(&job.req.id, reason, vec![]));
         return;
     }
@@ -456,7 +564,7 @@ fn handle(sh: &Shared, job: Job) {
             Some(dir) => Some(dir.join(format!("req-{}.ckpt", job.seq))),
             None => {
                 sh.deregister(job.seq);
-                sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.errors, "serve.errors_total");
                 write_line(
                     &job.out,
                     &proto::error_response(
@@ -476,9 +584,10 @@ fn handle(sh: &Shared, job: Job) {
     sh.deregister(job.seq);
 
     let wall_ms = started.elapsed().as_millis() as u64;
+    vnet_obs::histogram("serve.request_wall_ms", REQUEST_WALL_MS_BOUNDS).record(wall_ms);
     let line = match outcome {
         Err(payload) => {
-            sh.counters.panicked.fetch_add(1, Ordering::Relaxed);
+            bump(&sh.counters.panicked, "serve.panicked_total");
             let detail = payload
                 .downcast_ref::<&str>()
                 .map(|s| s.to_string())
@@ -487,7 +596,7 @@ fn handle(sh: &Shared, job: Job) {
             proto::panicked_response(&job.req.id, &detail)
         }
         Ok(Err(detail)) => {
-            sh.counters.errors.fetch_add(1, Ordering::Relaxed);
+            bump(&sh.counters.errors, "serve.errors_total");
             proto::error_response(&job.req.id, &detail)
         }
         Ok(Ok(ExecResult { mut fields, provenance })) => {
@@ -497,10 +606,10 @@ fn handle(sh: &Shared, job: Job) {
                 reason: DegradeReason::Cancelled { reason },
             } = provenance
             {
-                sh.counters.cancelled.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.cancelled, "serve.cancelled_total");
                 proto::cancelled_response(&job.req.id, reason, fields)
             } else {
-                sh.counters.completed.fetch_add(1, Ordering::Relaxed);
+                bump(&sh.counters.completed, "serve.completed_total");
                 fields.push(("provenance", Json::str(provenance.to_string())));
                 let cmd = match &job.req.cmd {
                     Command::Analyze => "analyze",
@@ -508,6 +617,7 @@ fn handle(sh: &Shared, job: Job) {
                     Command::Sim { .. } => "sim",
                     Command::Ping => "ping",
                     Command::Panic => "panic",
+                    Command::Metrics => "metrics",
                 };
                 proto::ok_response(&job.req.id, cmd, fields)
             }
@@ -646,7 +756,7 @@ fn serve_conn(stream: std::net::TcpStream, server: &Server, max_line: usize) {
                 g.retain(|t| !t.is_cancelled());
             }
             Ok(ReadLine::TooLong) => {
-                server.counters().rejected.fetch_add(1, Ordering::Relaxed);
+                bump(&server.counters().rejected, "serve.rejected_total");
                 write_line(
                     &out,
                     &proto::rejected_response(
@@ -818,6 +928,55 @@ mod tests {
         let statuses: Vec<String> = all.iter().map(status_of).collect();
         assert!(statuses.contains(&"panicked".to_string()), "{statuses:?}");
         assert!(statuses.contains(&"ok".to_string()), "{statuses:?}");
+    }
+
+    #[test]
+    fn metrics_is_answered_inline_with_consistent_counters() -> Result<(), String> {
+        let server = Server::start(small_opts());
+        let (out, store) = capture();
+        server.submit_line(r#"{"id":"e","cmd":"frobnicate"}"#, &out, None);
+        server.submit_line(
+            r#"{"id":"a","cmd":"analyze","protocol":"MESI-nonblocking-cache"}"#,
+            &out,
+            None,
+        );
+        wait_for_responses(&store, 2);
+        server.submit_line(r#"{"id":"m","cmd":"metrics"}"#, &out, None);
+        wait_for_responses(&store, 3);
+        server.drain();
+        let all = lines(&store);
+        let m = all
+            .iter()
+            .find(|v| v.get("cmd").and_then(json::Json::as_str) == Some("metrics"))
+            .ok_or("metrics response missing")?;
+        assert_eq!(status_of(m), "ok");
+        assert_eq!(m.get("queue_depth").and_then(json::Json::as_u64), Some(0));
+        let c = m.get("counters").ok_or("counters object missing")?;
+        // A missing counter reads as MAX so the equality asserts below
+        // fail loudly instead of silently passing on 0 == 0.
+        let n = |key: &str| c.get(key).and_then(json::Json::as_u64).unwrap_or(u64::MAX);
+        // One status per answered request: the parts sum to the total,
+        // and the probe itself is never counted.
+        assert_eq!(n("errors"), 1);
+        assert_eq!(n("completed"), 1);
+        assert_eq!(n("admitted"), 1);
+        assert_eq!(
+            n("submitted"),
+            n("completed") + n("errors") + n("rejected") + n("cancelled") + n("panicked")
+        );
+        // The registry rides along with the standard snapshot shape.
+        let reg = m.get("registry").ok_or("registry object missing")?;
+        assert!(reg.get("counters").is_some(), "{m:?}");
+        assert!(reg.get("gauges").is_some(), "{m:?}");
+        assert!(reg.get("histograms").is_some(), "{m:?}");
+        assert!(
+            reg.get("counters")
+                .and_then(|r| r.get("serve.completed_total"))
+                .and_then(json::Json::as_u64)
+                .is_some_and(|v| v >= 1),
+            "mirror counter missing from the registry: {m:?}"
+        );
+        Ok(())
     }
 
     #[test]

@@ -7,6 +7,7 @@
 pub use vnet_core as core;
 pub use vnet_graph as graph;
 pub use vnet_mc as mc;
+pub use vnet_obs as obs;
 pub use vnet_protocol as protocol;
 pub use vnet_serve as serve;
 pub use vnet_sim as sim;

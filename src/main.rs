@@ -17,6 +17,7 @@
 //! `.vnp` file in the text DSL. `<map>` assigns VNs as
 //! `Msg=0,Other=1,...` (unlisted messages default to VN 0).
 
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::time::Duration;
 use vnet::core::assignment::{certify, VnAssignment};
@@ -68,7 +69,16 @@ impl Outcome {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let obs = match ObsFlags::extract(&mut args) {
+        Ok(obs) => obs,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            return ExitCode::from(Outcome::UsageError.code());
+        }
+    };
     let outcome = match run(&args) {
         Ok(outcome) => outcome,
         Err(e) => {
@@ -78,7 +88,74 @@ fn main() -> ExitCode {
             Outcome::UsageError
         }
     };
+    // Snapshots are written on *every* run exit — clean, deadlock,
+    // degraded, or interrupted — so a budget-exhausted campaign still
+    // leaves its telemetry behind. A usage error never ran anything,
+    // so there is nothing worth writing.
+    if outcome != Outcome::UsageError {
+        obs.write_outputs();
+    }
     ExitCode::from(outcome.code())
+}
+
+/// The global observability flags, stripped from the argument list
+/// before command dispatch so every command accepts them uniformly.
+struct ObsFlags {
+    /// `--metrics <file>`: write a metrics snapshot (JSON) on exit.
+    metrics: Option<PathBuf>,
+    /// `--trace <file>`: write the span log on exit.
+    trace: Option<PathBuf>,
+}
+
+impl ObsFlags {
+    /// Pulls `--metrics`/`--trace` (and their values) out of `args` and
+    /// turns the corresponding recording on. Instrumentation stays
+    /// disabled — and costs one relaxed load per site — when the flags
+    /// are absent.
+    fn extract(args: &mut Vec<String>) -> Result<ObsFlags, String> {
+        let mut take = |flag: &str| -> Result<Option<PathBuf>, String> {
+            match args.iter().position(|a| a == flag) {
+                None => Ok(None),
+                Some(i) => {
+                    if args.iter().skip(i + 1).any(|a| a == flag) {
+                        return Err(format!("{flag} given more than once"));
+                    }
+                    if i + 1 >= args.len() {
+                        return Err(format!("{flag} needs a file path"));
+                    }
+                    let path = args.remove(i + 1);
+                    args.remove(i);
+                    Ok(Some(PathBuf::from(path)))
+                }
+            }
+        };
+        let metrics = take("--metrics")?;
+        let trace = take("--trace")?;
+        if metrics.is_some() {
+            vnet::obs::set_metrics_enabled(true);
+        }
+        if trace.is_some() {
+            vnet::obs::set_tracing_enabled(true);
+        }
+        Ok(ObsFlags { metrics, trace })
+    }
+
+    /// Writes the requested snapshot/log files. Failures are warnings:
+    /// lost telemetry must not change the run's verdict exit code.
+    fn write_outputs(&self) {
+        if let Some(path) = &self.metrics {
+            let json = vnet::obs::snapshot().to_json();
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("warning: cannot write metrics snapshot {}: {e}", path.display());
+            }
+        }
+        if let Some(path) = &self.trace {
+            let log = vnet::obs::trace_log();
+            if let Err(e) = std::fs::write(path, log) {
+                eprintln!("warning: cannot write trace log {}: {e}", path.display());
+            }
+        }
+    }
 }
 
 const USAGE: &str = "\
@@ -112,6 +189,10 @@ usage:
 <plan>     fault clauses as accepted by FaultPlan::parse, e.g.
            drop=0.02,dup=0.01,delay=0.05:3,reorder=0.1 (deterministic per --seed)
 <dur>      `90s` or `1500ms`
+
+Every command also accepts `--metrics <file>` (write a JSON metrics snapshot
+on exit, even degraded/cancelled ones) and `--trace <file>` (write a span
+log). Instrumentation is off — and costs nothing — without these flags.
 
 `vnet campaign` sweeps every .vnp spec in <dir> (default `protocols/`, the
 Table I set) with per-protocol isolation, timeout, retry-with-backoff, and

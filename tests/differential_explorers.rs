@@ -1,0 +1,118 @@
+//! Differential test: the serial and parallel explorers must be
+//! observationally identical on every Table I protocol — same
+//! reachable-state count, same diameter (deepest completed BFS level),
+//! same verdict kind — and every parallel witness trace must replay
+//! step-by-step to the terminal state it claims.
+//!
+//! The full Figure-3 spaces run to ~0.5M states, so the all-protocol
+//! sweeps here use a complete small configuration and a depth-bounded
+//! Figure-3 configuration; one full Figure-3 deadlock run validates
+//! witness replay end to end.
+
+use vnet::mc::{explore, explore_parallel, InjectionBudget, McConfig, Verdict, VnMap};
+use vnet::protocol::protocols;
+
+fn kind(v: &Verdict) -> &'static str {
+    match v {
+        Verdict::NoDeadlock(_) => "no_deadlock",
+        Verdict::Deadlock { .. } => "deadlock",
+        Verdict::ModelError { .. } => "model_error",
+        Verdict::InvariantViolation { .. } => "invariant_violation",
+    }
+}
+
+/// Asserts the observable agreement contract between a serial verdict
+/// and a parallel one.
+fn assert_agree(name: &str, threads: usize, serial: &Verdict, parallel: &Verdict) {
+    assert_eq!(
+        kind(serial),
+        kind(parallel),
+        "{name} ({threads} threads): verdict kind diverged"
+    );
+    let (s, p) = (serial.stats(), parallel.stats());
+    assert_eq!(
+        s.states, p.states,
+        "{name} ({threads} threads): reachable-state count diverged"
+    );
+    assert_eq!(
+        s.levels, p.levels,
+        "{name} ({threads} threads): diameter diverged"
+    );
+    assert_eq!(
+        s.complete, p.complete,
+        "{name} ({threads} threads): completeness diverged"
+    );
+}
+
+#[test]
+fn complete_small_spaces_agree_for_every_table1_protocol() {
+    for spec in protocols::all() {
+        let mut cfg = McConfig::general(&spec)
+            .with_vns(VnMap::one_per_message(spec.messages().len()))
+            .with_budget(InjectionBudget::PerCache(1));
+        cfg.n_caches = 2;
+        cfg.n_addrs = 1;
+        cfg.n_dirs = 1;
+        let serial = explore(&spec, &cfg);
+        assert!(
+            serial.stats().complete,
+            "{}: small space should be fully explored",
+            spec.name()
+        );
+        for threads in [2, 4] {
+            let parallel = explore_parallel(&spec, &cfg, threads);
+            assert_agree(spec.name(), threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn bounded_figure3_sweeps_agree_for_every_table1_protocol() {
+    for spec in protocols::all() {
+        let cfg = McConfig::figure3(&spec)
+            .with_vns(VnMap::one_per_message(spec.messages().len()))
+            .with_limits(usize::MAX, Some(10));
+        let serial = explore(&spec, &cfg);
+        for threads in [2, 4] {
+            let parallel = explore_parallel(&spec, &cfg, threads);
+            assert_agree(spec.name(), threads, &serial, &parallel);
+        }
+    }
+}
+
+#[test]
+fn parallel_figure3_witness_replays_to_its_terminal_state() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = McConfig::figure3(&spec).with_vns(VnMap::one_per_message(spec.messages().len()));
+    let Verdict::Deadlock {
+        trace: serial_trace,
+        depth: serial_depth,
+        ..
+    } = explore(&spec, &cfg)
+    else {
+        panic!("figure3 MSI-blocking must deadlock serially");
+    };
+    let serial_end = serial_trace
+        .replay(&spec, &cfg)
+        .expect("serial witness must replay");
+    assert_eq!(serial_end, serial_trace.last);
+
+    for threads in [2, 4] {
+        let Verdict::Deadlock { trace, depth, .. } = explore_parallel(&spec, &cfg, threads)
+        else {
+            panic!("figure3 MSI-blocking must deadlock with {threads} threads");
+        };
+        assert_eq!(depth, serial_depth, "{threads} threads: deadlock depth diverged");
+        let end = trace
+            .replay(&spec, &cfg)
+            .unwrap_or_else(|e| panic!("{threads} threads: witness does not replay: {e}"));
+        assert_eq!(
+            end, trace.last,
+            "{threads} threads: replay must land on the recorded witness"
+        );
+        // Different explorers may pick different (equally shallow)
+        // witness states, but both must be genuinely deadlocked at the
+        // same BFS depth — trace length is the depth for both.
+        assert_eq!(trace.len(), serial_trace.len());
+    }
+}

@@ -1,0 +1,84 @@
+//! Regression test for the observability overhead contract: enabling
+//! `--metrics` must not perturb the model checker's output in any way
+//! (bit-identical stdout, same exit code), and the snapshot's
+//! `explore.states_total` must equal the `ExploreStats` the run
+//! reported — even on a degraded (budget-exhausted) exit.
+
+use std::process::Command;
+
+/// A budgeted workload: the node budget degrades the run at a
+/// deterministic state count, so stdout is bit-stable across runs and
+/// the metrics snapshot is exercised on the degraded exit path.
+const ARGS: &[&str] = &[
+    "mc",
+    "MSI-blocking-cache",
+    "--unique-vns",
+    "--budget",
+    "nodes=50000",
+];
+
+fn vnet(extra: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_vnet"))
+        .args(ARGS)
+        .args(extra)
+        .output()
+        .expect("vnet should spawn")
+}
+
+/// Pulls `"key": <number>` out of the snapshot JSON. Deliberately
+/// minimal: it parses only the format `Snapshot::to_json` writes.
+fn json_u64(text: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let at = text.find(&pat)?;
+    let tail = &text[at + pat.len()..];
+    let num: String = tail.chars().take_while(char::is_ascii_digit).collect();
+    num.parse().ok()
+}
+
+/// Pulls the state count out of the CLI's `(<n> states, <m> levels)`
+/// verdict line.
+fn stdout_states(stdout: &str) -> Option<u64> {
+    let at = stdout.find(" states")?;
+    let head = &stdout[..at];
+    let start = head.rfind('(')? + 1;
+    head[start..].trim().parse().ok()
+}
+
+#[test]
+fn metrics_flag_is_invisible_in_output_and_exact_in_counts() {
+    let snap_path = std::env::temp_dir().join(format!(
+        "vnet-metrics-accuracy-{}.json",
+        std::process::id()
+    ));
+
+    let plain = vnet(&[]);
+    let snap_str = snap_path.to_string_lossy().into_owned();
+    let metered = vnet(&["--metrics", &snap_str]);
+
+    // Overhead contract: instrumentation never changes what the tool
+    // says or how it exits.
+    assert_eq!(
+        plain.status.code(),
+        metered.status.code(),
+        "exit code changed under --metrics"
+    );
+    assert_eq!(
+        plain.stdout, metered.stdout,
+        "stdout must be bit-identical under --metrics"
+    );
+
+    // Accuracy contract: the counter equals the ExploreStats exactly.
+    let snapshot = std::fs::read_to_string(&snap_path)
+        .expect("--metrics must write the snapshot even on a degraded exit");
+    let _ = std::fs::remove_file(&snap_path);
+    let stdout = String::from_utf8_lossy(&plain.stdout);
+    let reported = stdout_states(&stdout)
+        .unwrap_or_else(|| panic!("no state count in stdout: {stdout}"));
+    assert_eq!(
+        json_u64(&snapshot, "explore.states_total"),
+        Some(reported),
+        "explore.states_total must equal the reported ExploreStats"
+    );
+    assert_eq!(json_u64(&snapshot, "explore.runs_total"), Some(1));
+    assert_eq!(json_u64(&snapshot, "schema"), Some(1));
+}

@@ -173,3 +173,75 @@ fn class2_evidence_is_a_real_cycle() {
         }
     }
 }
+
+/// Model-based property for the explorer's interning arena: over
+/// arbitrary byte keys (with deliberate duplicates and hash-collision
+/// pressure), insert→lookup→grow round-trips preserve ids, distinct
+/// keys never alias, and ids stay dense in insertion order.
+#[test]
+fn state_arena_roundtrip_matches_a_model_map() {
+    use std::collections::HashMap;
+    use vnet::mc::StateArena;
+    let mut rng = Rng64::seed_from_u64(0x1D_7AB1E);
+    for case in 0..40 {
+        let seed = rng.next_u64();
+        let mut case_rng = Rng64::seed_from_u64(seed);
+        let mut arena = StateArena::new();
+        let mut model: HashMap<Vec<u8>, u32> = HashMap::new();
+        let n_ops = case_rng.gen_range(1, 4000);
+        for op in 0..n_ops {
+            // Short keys from a small alphabet force duplicates and
+            // open-addressing collisions; occasional long keys exercise
+            // variable-length spans across resizes.
+            let len = if case_rng.gen_range(0, 10) == 0 {
+                case_rng.gen_range(0, 200)
+            } else {
+                case_rng.gen_range(0, 6)
+            };
+            let key: Vec<u8> = (0..len)
+                .map(|_| case_rng.gen_range(0, 4) as u8)
+                .collect();
+            let (id, fresh) = arena
+                .intern(&key)
+                .unwrap_or_else(|| panic!("case {case} seed {seed:#x}: arena overflow"));
+            match model.get(&key) {
+                Some(&expect) => {
+                    assert!(!fresh, "case {case} seed {seed:#x} op {op}: duplicate marked fresh");
+                    assert_eq!(
+                        id, expect,
+                        "case {case} seed {seed:#x} op {op}: id changed on re-insert"
+                    );
+                }
+                None => {
+                    assert!(fresh, "case {case} seed {seed:#x} op {op}: new key not fresh");
+                    assert_eq!(
+                        id as usize,
+                        model.len(),
+                        "case {case} seed {seed:#x} op {op}: ids must be dense"
+                    );
+                    model.insert(key.clone(), id);
+                }
+            }
+        }
+        // Post-hoc audit against the model: every key resolves to its
+        // original id, every id decodes to its original bytes, and the
+        // arena holds exactly the distinct keys — no aliasing possible.
+        assert_eq!(arena.len(), model.len(), "case {case} seed {seed:#x}");
+        for (key, &id) in &model {
+            assert_eq!(
+                arena.lookup(key),
+                Some(id),
+                "case {case} seed {seed:#x}: lookup lost a key"
+            );
+            assert_eq!(
+                arena.get(id),
+                &key[..],
+                "case {case} seed {seed:#x}: id decoded to different bytes"
+            );
+        }
+        assert!(
+            arena.load_factor_pct() <= 75,
+            "case {case} seed {seed:#x}: resize rule violated"
+        );
+    }
+}

@@ -142,6 +142,30 @@ fn client_worker(addr: String, client: usize) -> Vec<String> {
     statuses
 }
 
+/// Sends one `metrics` request on a fresh connection and returns the
+/// parsed response. The probe is answered inline, so it works even
+/// while the pool is busy.
+fn query_metrics(addr: &str) -> json::Json {
+    let stream = TcpStream::connect(addr).expect("connecting for metrics");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("setting a read timeout");
+    let mut w = stream.try_clone().expect("cloning the stream");
+    let mut r = BufReader::new(stream);
+    writeln!(w, r#"{{"id":"metrics-probe","cmd":"metrics"}}"#).expect("sending metrics");
+    w.flush().expect("flushing metrics");
+    let mut resp = String::new();
+    r.read_line(&mut resp).expect("reading the metrics response");
+    json::parse(resp.trim()).expect("metrics response is valid JSON")
+}
+
+fn counter_of(m: &json::Json, key: &str) -> u64 {
+    m.get("counters")
+        .and_then(|c| c.get(key))
+        .and_then(json::Json::as_u64)
+        .unwrap_or_else(|| panic!("metrics response without counters.{key}: {m:?}"))
+}
+
 fn rss_kb(pid: u32) -> Option<u64> {
     let text = std::fs::read_to_string(format!("/proc/{pid}/status")).ok()?;
     let line = text.lines().find(|l| l.starts_with("VmRSS:"))?;
@@ -196,6 +220,73 @@ fn soak_500_mixed_requests_without_a_crash() {
     assert!(
         peak_rss < RSS_CEILING_KB,
         "daemon RSS grew to {peak_rss} kB under soak"
+    );
+
+    // Reconcile the server-side metrics counters with the tally the
+    // clients observed. Pings are answered inline and deliberately
+    // uncounted; the abandoned (mid-flight disconnect) requests are
+    // counted server-side but never observed client-side, so the
+    // abandoned total must close the gap exactly.
+    let pings = CLIENTS * (0..REQUESTS_PER_CLIENT).filter(|i| i % 12 == 0).count();
+    let abandoned = CLIENTS * (0..REQUESTS_PER_CLIENT).filter(|i| i % 20 == 19).count();
+    let expected_submitted = (statuses.len() - pings + abandoned) as u64;
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let metrics = loop {
+        let m = query_metrics(&addr);
+        let submitted = counter_of(&m, "submitted");
+        assert!(
+            submitted <= expected_submitted,
+            "server counted more requests than were sent: {submitted} > {expected_submitted}"
+        );
+        if submitted == expected_submitted {
+            break m;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "abandoned requests never settled: submitted {submitted} of {expected_submitted}"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    // Every answered request lands in exactly one status counter.
+    assert_eq!(
+        counter_of(&metrics, "submitted"),
+        counter_of(&metrics, "completed")
+            + counter_of(&metrics, "errors")
+            + counter_of(&metrics, "rejected")
+            + counter_of(&metrics, "cancelled")
+            + counter_of(&metrics, "panicked"),
+        "status taxonomy does not partition the submitted total: {metrics:?}"
+    );
+    // Error and panic verdicts come only from lockstep requests (the
+    // abandoned ones are valid mc jobs), so those counters must match
+    // the client tally exactly; shed/cancel/complete can also hit the
+    // abandoned requests, so they only carry lower bounds.
+    assert_eq!(counter_of(&metrics, "errors"), count("error") as u64);
+    assert_eq!(counter_of(&metrics, "panicked"), count("panicked") as u64);
+    assert!(counter_of(&metrics, "rejected") >= count("rejected") as u64);
+    assert_eq!(
+        counter_of(&metrics, "completed")
+            + counter_of(&metrics, "cancelled")
+            + counter_of(&metrics, "rejected"),
+        (count("ok") - pings + count("cancelled") + count("rejected") + abandoned) as u64,
+        "abandoned requests must settle as completed, cancelled, or shed"
+    );
+    // Idle daemon: nothing left queued, and the registry mirrors ride
+    // along with the standard snapshot shape.
+    assert_eq!(
+        metrics.get("queue_depth").and_then(json::Json::as_u64),
+        Some(0)
+    );
+    let registry = metrics.get("registry").expect("registry in the response");
+    for section in ["counters", "gauges", "histograms"] {
+        assert!(registry.get(section).is_some(), "registry.{section} missing");
+    }
+    assert!(
+        registry
+            .get("histograms")
+            .and_then(|h| h.get("serve.request_wall_ms"))
+            .is_some(),
+        "per-request latency histogram missing: {registry:?}"
     );
 
     // The daemon survived everything; it must still drain cleanly.
