@@ -6,6 +6,7 @@
 //! ```text
 //! bench_explorer [--out FILE] [--only SUBSTR] [--repeat N]
 //!                [--check BASELINE.json] [--max-regress PCT]
+//!                [--mem-budget BYTES]
 //! ```
 //!
 //! * `--out` — where to write the JSON report (default `BENCH_vnet.json`).
@@ -16,15 +17,25 @@
 //! * `--check` — compare states/sec against a previously committed
 //!   report and exit non-zero if any shared workload regressed by more
 //!   than `--max-regress` percent (default 30).
+//! * `--mem-budget` — run every selected workload out-of-core under the
+//!   given byte budget (spill threshold at 4/5 of it, mirroring
+//!   `vnet mc --mem-budget`); the report then measures spill-tier
+//!   throughput instead of in-RAM throughput.
+//!
+//! Independent of `--mem-budget`, the suite always includes one
+//! spill-path workload (`CHI@derived-fig3+spill`, group
+//! `table1_mc_spill`) so the committed report tracks out-of-core
+//! throughput alongside the in-RAM entries.
 //!
 //! The workloads are the paper's §VII verification subjects: the
 //! Table I deadlock confirmations (Figure-3 scenario) and the bounded
 //! depth-series sweeps. All runs are serial and deterministic, so
 //! states and levels are bit-stable; only wall time varies.
 
+use std::path::PathBuf;
 use std::time::Instant;
 use vnet_core::minimize_vns;
-use vnet_mc::{explore_budgeted, InjectionBudget, McConfig, Verdict, VnMap};
+use vnet_mc::{explore_budgeted, InjectionBudget, McConfig, SpillConfig, Verdict, VnMap};
 use vnet_protocol::{protocols, ProtocolSpec};
 
 /// One named (spec, config) pair to measure.
@@ -45,6 +56,12 @@ struct Measurement {
     wall_ms: f64,
     states_per_sec: f64,
     peak_bytes: u64,
+    spill_bytes: u64,
+}
+
+/// Scratch root for spill shards; removed at the end of the run.
+fn spill_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("vnet-bench-spill-{}", std::process::id()))
 }
 
 fn derived_vns(spec: &ProtocolSpec) -> VnMap {
@@ -87,6 +104,22 @@ fn workloads() -> Vec<Workload> {
             cfg,
         });
     }
+    // table1_mc_spill: one Figure-3 subject forced out-of-core, so the
+    // committed report tracks spill-tier throughput over time. The
+    // threshold sits well under the workload's ~37 MB in-RAM peak.
+    {
+        let spec = protocols::chi();
+        let vns = derived_vns(&spec);
+        let cfg = McConfig::figure3(&spec)
+            .with_vns(vns)
+            .with_spill(SpillConfig::new(spill_dir().join("chi-fig3"), 16 << 20));
+        out.push(Workload {
+            name: format!("{}@derived-fig3+spill", spec.name()),
+            group: "table1_mc_spill",
+            spec,
+            cfg,
+        });
+    }
     // mc_depth_series: the bounded general sweeps (the big ones).
     for spec in [
         protocols::msi_nonblocking_cache(),
@@ -108,21 +141,22 @@ fn workloads() -> Vec<Workload> {
     out
 }
 
-fn measure(w: &Workload, repeat: usize) -> Measurement {
-    let budget = vnet_graph::Budget::unlimited();
+fn measure(w: &Workload, repeat: usize, budget: &vnet_graph::Budget) -> Measurement {
     let mut walls: Vec<f64> = Vec::with_capacity(repeat);
     let mut verdict = "unknown";
     let mut states = 0usize;
     let mut levels = 0usize;
     let mut peak_bytes = 0u64;
+    let mut spill_bytes = 0u64;
     for _ in 0..repeat {
         let t = Instant::now();
-        let v = explore_budgeted(&w.spec, &w.cfg, &budget);
+        let v = explore_budgeted(&w.spec, &w.cfg, budget);
         walls.push(t.elapsed().as_secs_f64() * 1e3);
         let stats = v.stats();
         states = stats.states;
         levels = stats.levels;
         peak_bytes = stats.peak_bytes;
+        spill_bytes = stats.spill_bytes;
         verdict = match v {
             Verdict::Deadlock { .. } => "deadlock",
             Verdict::NoDeadlock(_) => "no_deadlock",
@@ -145,6 +179,7 @@ fn measure(w: &Workload, repeat: usize) -> Measurement {
             0.0
         },
         peak_bytes,
+        spill_bytes,
     }
 }
 
@@ -158,7 +193,7 @@ fn to_json(results: &[Measurement]) -> String {
             out,
             "    {{\"name\": \"{}\", \"group\": \"{}\", \"verdict\": \"{}\", \
              \"states\": {}, \"levels\": {}, \"wall_ms\": {:.2}, \
-             \"states_per_sec\": {:.0}, \"peak_bytes\": {}}}{}",
+             \"states_per_sec\": {:.0}, \"peak_bytes\": {}, \"spill_bytes\": {}}}{}",
             m.name,
             m.group,
             m.verdict,
@@ -167,6 +202,7 @@ fn to_json(results: &[Measurement]) -> String {
             m.wall_ms,
             m.states_per_sec,
             m.peak_bytes,
+            m.spill_bytes,
             if i + 1 == results.len() { "" } else { "," }
         );
     }
@@ -240,8 +276,18 @@ fn main() {
     let max_regress: f64 = flag(&args, "--max-regress")
         .and_then(|v| v.parse().ok())
         .unwrap_or(30.0);
+    let mem_budget: Option<u64> = match flag(&args, "--mem-budget") {
+        None => None,
+        Some(v) => match v.parse() {
+            Ok(n) if n > 0 => Some(n),
+            _ => {
+                eprintln!("bench_explorer: --mem-budget needs a positive byte count, got `{v}`");
+                std::process::exit(1);
+            }
+        },
+    };
 
-    let selected: Vec<Workload> = workloads()
+    let mut selected: Vec<Workload> = workloads()
         .into_iter()
         .filter(|w| only.as_ref().is_none_or(|o| w.name.contains(o.as_str())))
         .collect();
@@ -249,17 +295,28 @@ fn main() {
         eprintln!("bench_explorer: no workload matches the --only filter");
         std::process::exit(1);
     }
+    // Out-of-core mode: same budget → spill-threshold split the CLI
+    // uses, so bench numbers transfer to `vnet mc --mem-budget` runs.
+    let mut budget = vnet_graph::Budget::unlimited();
+    if let Some(b) = mem_budget {
+        budget = budget.with_mem_limit(b);
+        for (i, w) in selected.iter_mut().enumerate() {
+            let dir = spill_dir().join(format!("w{i}"));
+            w.cfg = w.cfg.clone().with_spill(SpillConfig::new(dir, b.saturating_mul(4) / 5));
+        }
+    }
 
     println!("bench_explorer: {} workload(s), repeat={repeat}", selected.len());
     let mut results = Vec::with_capacity(selected.len());
     for w in &selected {
-        let m = measure(w, repeat);
+        let m = measure(w, repeat, &budget);
         println!(
-            "  {:<44} {:>9} states  {:>8.1} ms  {:>10.0} states/s  peak {} B  [{}]",
-            m.name, m.states, m.wall_ms, m.states_per_sec, m.peak_bytes, m.verdict
+            "  {:<44} {:>9} states  {:>8.1} ms  {:>10.0} states/s  peak {} B  spilled {} B  [{}]",
+            m.name, m.states, m.wall_ms, m.states_per_sec, m.peak_bytes, m.spill_bytes, m.verdict
         );
         results.push(m);
     }
+    let _ = std::fs::remove_dir_all(spill_dir());
 
     let json = to_json(&results);
     if let Err(e) = std::fs::write(&out_path, &json) {

@@ -353,6 +353,15 @@ pub enum DegradeReason {
         /// How many restarts were attempted before giving up.
         restarts: u32,
     },
+    /// The process allocator itself refused memory (`try_reserve`
+    /// failed) before any configured byte budget tripped. Distinct from
+    /// [`DegradeReason::MemLimit`]: this is the machine saying no, not
+    /// the caller's budget — the run degrades to a bounded claim
+    /// instead of aborting.
+    MemoryPressure {
+        /// Which allocation was refused.
+        what: String,
+    },
 }
 
 impl std::fmt::Display for DegradeReason {
@@ -374,6 +383,9 @@ impl std::fmt::Display for DegradeReason {
                 f,
                 "worker loss: {lost_states} frontier state(s) abandoned after {restarts} restart(s)"
             ),
+            DegradeReason::MemoryPressure { what } => {
+                write!(f, "memory pressure: allocation refused for {what}")
+            }
         }
     }
 }

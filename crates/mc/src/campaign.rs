@@ -115,6 +115,17 @@ pub struct CampaignConfig {
     /// Deterministic worker-fault injection, forwarded to
     /// thread-isolated runs (tests and the CI smoke job).
     pub inject: Option<PanicInjection>,
+    /// Per-run memory budget in bytes. Thread-isolated runs take it as
+    /// a budget limit; process-isolated children get `--mem-budget`.
+    pub mem_budget: Option<u64>,
+    /// Out-of-core spill root (process isolation only): each child runs
+    /// the serial spilling explorer with its own `<dir>/<protocol>`
+    /// segment directory instead of the thread-parallel one.
+    pub spill_dir: Option<PathBuf>,
+    /// Process-shard fan-out (process isolation only): each child runs
+    /// `--shard-procs <n>` with a `<checkpoint_dir>/<protocol>.shards`
+    /// working directory, so retries resume shard-by-shard.
+    pub shard_procs: Option<u32>,
 }
 
 impl CampaignConfig {
@@ -132,6 +143,9 @@ impl CampaignConfig {
             checkpoint_dir: None,
             stop_file: None,
             inject: None,
+            mem_budget: None,
+            spill_dir: None,
+            shard_procs: None,
         }
     }
 
@@ -180,6 +194,24 @@ impl CampaignConfig {
     /// Enables worker-fault injection (thread isolation only).
     pub fn with_injection(mut self, i: PanicInjection) -> Self {
         self.inject = Some(i);
+        self
+    }
+
+    /// Caps each run's accounted memory footprint.
+    pub fn with_mem_budget(mut self, bytes: u64) -> Self {
+        self.mem_budget = Some(bytes);
+        self
+    }
+
+    /// Sends process-isolated children out-of-core under `dir`.
+    pub fn with_spill_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.spill_dir = Some(dir.into());
+        self
+    }
+
+    /// Runs process-isolated children with `n` shard processes each.
+    pub fn with_shard_procs(mut self, n: u32) -> Self {
+        self.shard_procs = Some(n);
         self
     }
 }
@@ -602,9 +634,13 @@ fn attempt_thread(
     if let Some(s) = &stop {
         let _ = std::fs::remove_file(s);
     }
+    let budget = match cc.mem_budget {
+        Some(b) => cc.budget.clone().with_mem_limit(b),
+        None => cc.budget.clone(),
+    };
     let mut opts = ParallelOpts::new()
         .with_threads(cc.threads)
-        .with_budget(cc.budget.clone());
+        .with_budget(budget);
     if let Some(p) = ckpt {
         let mut policy = CheckpointPolicy::new(p);
         if let Some(s) = &stop {
@@ -689,11 +725,28 @@ fn attempt_process(
         Err(e) => return Attempt::Crashed(format!("cannot find own executable: {e}")),
     };
     let mut cmd = Command::new(exe);
-    cmd.arg("mc")
-        .arg(&entry.arg)
-        .arg("--machine")
-        .arg("--parallel")
-        .arg(cc.threads.to_string());
+    cmd.arg("mc").arg(&entry.arg).arg("--machine");
+    // Explorer selection, one per child: process shards when fanned
+    // out, the serial out-of-core explorer when spilling, otherwise
+    // the thread-parallel explorer.
+    if let Some(n) = cc.shard_procs {
+        let shard_dir = cc
+            .checkpoint_dir
+            .clone()
+            .unwrap_or_else(std::env::temp_dir)
+            .join(format!("{}.shards", entry.name));
+        cmd.arg("--shard-procs")
+            .arg(n.to_string())
+            .arg("--shard-dir")
+            .arg(shard_dir);
+    } else if let Some(d) = &cc.spill_dir {
+        cmd.arg("--spill-dir").arg(d.join(&entry.name));
+    } else {
+        cmd.arg("--parallel").arg(cc.threads.to_string());
+    }
+    if let Some(b) = cc.mem_budget {
+        cmd.arg("--mem-budget").arg(b.to_string());
+    }
     let mut budget_clauses = Vec::new();
     if let Some(d) = cc.budget.deadline {
         budget_clauses.push(format!("{}ms", d.as_millis()));
@@ -707,15 +760,16 @@ fn attempt_process(
     // A resumed child flushes onward checkpoints to the file it
     // resumed from; a fresh one writes the attempt's generation path.
     // (In process isolation the two only diverge after a kill that
-    // beat the first flush.)
-    match (resume_from, ckpt) {
-        (Some(p), _) => {
-            cmd.arg("--resume").arg(p);
-        }
-        (None, Some(p)) => {
+    // beat the first flush.) Shard children carry their resume state
+    // in the shard directory itself — `--resume` never applies.
+    match (cc.shard_procs, resume_from, ckpt) {
+        (Some(_), _, Some(p)) | (None, None, Some(p)) => {
             cmd.arg("--checkpoint").arg(p);
         }
-        (None, None) => {}
+        (None, Some(p), _) => {
+            cmd.arg("--resume").arg(p);
+        }
+        _ => {}
     }
     cmd.stdin(Stdio::null())
         .stdout(Stdio::piped())

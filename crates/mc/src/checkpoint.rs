@@ -24,6 +24,31 @@
 //! order so equal progress produces byte-identical checkpoints), and the
 //! frontier states in BFS order.
 //!
+//! ## Format (version 2)
+//!
+//! Version 2 keeps the envelope above byte-for-byte (only the version
+//! field differs) and replaces the payload with a sharded,
+//! delta-compressed layout sized for out-of-core runs:
+//!
+//! ```text
+//! level        u64 LE
+//! nodes_spent  u64 LE
+//! n_shards     u32 LE
+//! manifest     n_shards × (section_len u64 LE, section FNV-1a u64 LE)
+//! sections     the shard sections, concatenated
+//! frontier     u64 LE count, then count × (shard u32 LE, index u32 LE)
+//! ```
+//!
+//! Each shard section is self-contained — a label table followed by its
+//! entries in sorted-key order, each key delta-compressed against its
+//! predecessor ([`crate::codec`]) with a full restart every 16 entries,
+//! and each parent named by `(shard, index)` instead of a second key
+//! copy. The per-section checksums let the process-sharded explorer
+//! validate a single shard's artifact without reading its siblings; the
+//! frontier references entries rather than re-serializing states.
+//! Version-1 files load transparently (and are rewritten as version 2
+//! at the next flush), so pre-existing checkpoints keep resuming.
+//!
 //! ## Fail-closed loading
 //!
 //! [`Checkpoint::load`] never panics and never returns a best-effort
@@ -45,8 +70,16 @@ use vnet_protocol::ProtocolSpec;
 /// The on-disk magic that starts every checkpoint file.
 pub const MAGIC: &[u8; 8] = b"VNETCKPT";
 
-/// The single format version this build reads and writes.
-pub const VERSION: u32 = 1;
+/// The flat, uncompressed version-1 format (still read, still written
+/// by the thread-parallel explorer — which keeps the conversion path
+/// continuously exercised).
+pub const V1: u32 = 1;
+
+/// The sharded, delta-compressed version-2 format.
+pub const V2: u32 = 2;
+
+/// The newest format version this build reads and writes.
+pub const VERSION: u32 = V2;
 
 /// Why a checkpoint could not be written or loaded. Every variant that
 /// stems from file *content* carries the byte offset at which the
@@ -206,10 +239,16 @@ pub struct Checkpoint {
     pub entries: Vec<VisitedEntry>,
     /// The next frontier, in BFS order.
     pub frontier: Vec<GlobalState>,
+    /// `parent_ids[i]` is the index within `entries` of entry `i`'s
+    /// parent. The version-2 decoder fills this (parents are stored as
+    /// indices on disk), letting resume skip the O(n) parent-key lookup
+    /// pass; version-1 files leave it `None` and resume falls back to
+    /// the lookup. Never serialized.
+    pub parent_ids: Option<Vec<u32>>,
 }
 
 /// FNV-1a 64-bit, the repo's dependency-free checksum/fingerprint hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for &b in bytes {
         h ^= b as u64;
@@ -233,15 +272,29 @@ pub fn fingerprint(spec: &ProtocolSpec, cfg: &McConfig) -> u64 {
 // Primitive little-endian writers/readers.
 // ---------------------------------------------------------------------
 
+/// Wraps a payload in the (version-independent) checkpoint envelope:
+/// magic, version, fingerprint, length, payload, trailing checksum.
+pub(crate) fn seal(fingerprint: u64, version: u32, payload: Vec<u8>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 36);
+    out.extend(MAGIC);
+    put_u32(&mut out, version);
+    put_u64(&mut out, fingerprint);
+    put_u64(&mut out, payload.len() as u64);
+    out.extend(&payload);
+    let checksum = fnv1a(&out);
+    put_u64(&mut out, checksum);
+    out
+}
+
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend(v.to_le_bytes());
 }
 
-fn put_u32(out: &mut Vec<u8>, v: u32) {
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
     out.extend(v.to_le_bytes());
 }
 
-fn put_u64(out: &mut Vec<u8>, v: u64) {
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend(v.to_le_bytes());
 }
 
@@ -319,6 +372,19 @@ impl<'a> Reader<'a> {
             });
         }
         self.take(len, what)
+    }
+
+    /// A LEB128 varint ([`crate::codec`]); used only by version-2
+    /// shard sections.
+    fn varint(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        let at = self.offset();
+        match crate::codec::read_varint(self.buf, &mut self.pos) {
+            Some(v) => Ok(v),
+            None => Err(CheckpointError::Truncated {
+                offset: at,
+                detail: format!("{what}: bad or truncated varint"),
+            }),
+        }
     }
 
     /// An element count that must leave at least `min_elem` bytes per
@@ -567,6 +633,166 @@ fn read_state(
 }
 
 // ---------------------------------------------------------------------
+// Version-2 shard sections.
+// ---------------------------------------------------------------------
+
+/// Keys restart the delta chain this often within a shard section, so a
+/// corrupt delta cannot poison more than one block and decoding never
+/// needs more than one chain in memory.
+const SHARD_RESTART: u64 = 16;
+
+/// Streaming encoder for one version-2 shard section: a label table in
+/// first-use order, then entries whose keys are delta-compressed against
+/// their predecessor and whose parents are `(shard, index)` references.
+/// Also used stand-alone by the process-sharded explorer, whose per-
+/// shard artifacts are single sections behind the same envelope.
+pub(crate) struct ShardEncoder {
+    labels: Vec<u8>,
+    label_idx: std::collections::HashMap<String, u32>,
+    n_labels: u32,
+    entries: Vec<u8>,
+    count: u64,
+    prev_key: Vec<u8>,
+}
+
+impl ShardEncoder {
+    pub(crate) fn new() -> Self {
+        ShardEncoder {
+            labels: Vec::new(),
+            label_idx: std::collections::HashMap::new(),
+            n_labels: 0,
+            entries: Vec::new(),
+            count: 0,
+            prev_key: Vec::new(),
+        }
+    }
+
+    /// Appends one entry. Keys must arrive in the section's final order
+    /// (the delta reference is simply the previous key).
+    pub(crate) fn push(&mut self, key: &[u8], parent_shard: u32, parent_idx: u32, label: &str, level: u32) {
+        let label_id = match self.label_idx.get(label) {
+            Some(&id) => id,
+            None => {
+                let id = self.n_labels;
+                self.n_labels += 1;
+                put_bytes(&mut self.labels, label.as_bytes());
+                self.label_idx.insert(label.to_string(), id);
+                id
+            }
+        };
+        let reference: &[u8] = if self.count.is_multiple_of(SHARD_RESTART) {
+            &[]
+        } else {
+            &self.prev_key
+        };
+        crate::codec::encode_delta(reference, key, &mut self.entries);
+        crate::codec::put_varint(&mut self.entries, parent_shard as u64);
+        crate::codec::put_varint(&mut self.entries, parent_idx as u64);
+        crate::codec::put_varint(&mut self.entries, label_id as u64);
+        crate::codec::put_varint(&mut self.entries, level as u64);
+        self.prev_key.clear();
+        self.prev_key.extend_from_slice(key);
+        self.count += 1;
+    }
+
+    /// Serializes the section.
+    pub(crate) fn finish(self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(16 + self.labels.len() + self.entries.len());
+        put_u32(&mut out, self.n_labels);
+        out.extend(&self.labels);
+        put_u64(&mut out, self.count);
+        out.extend(&self.entries);
+        out
+    }
+}
+
+/// One decoded version-2 shard entry; the parent is still a
+/// `(shard, index)` reference (globalized by the caller).
+pub(crate) struct ShardEntry {
+    pub(crate) key: Vec<u8>,
+    pub(crate) parent_shard: u32,
+    pub(crate) parent_idx: u32,
+    pub(crate) label: u32,
+    pub(crate) level: u32,
+}
+
+/// Decodes one shard section. `base` is the section's byte offset in
+/// the surrounding file, for error positions.
+pub(crate) fn decode_shard_section(
+    bytes: &[u8],
+    base: usize,
+) -> Result<(Vec<String>, Vec<ShardEntry>), CheckpointError> {
+    let mut r = Reader::new(bytes, base);
+    let n_labels = r.u32("shard label count")? as usize;
+    if n_labels > bytes.len() {
+        return Err(CheckpointError::Corrupt {
+            offset: base,
+            detail: format!("shard label count {n_labels} impossible"),
+        });
+    }
+    let mut labels = Vec::with_capacity(n_labels);
+    for _ in 0..n_labels {
+        let at = r.offset();
+        match std::str::from_utf8(r.bytes("shard label")?) {
+            Ok(s) => labels.push(s.to_string()),
+            Err(e) => {
+                return Err(CheckpointError::Corrupt {
+                    offset: at,
+                    detail: format!("shard label is not UTF-8: {e}"),
+                })
+            }
+        }
+    }
+    let n_entries = r.count("shard entries", 5)?;
+    let mut entries = Vec::with_capacity(n_entries);
+    let mut prev_key: Vec<u8> = Vec::new();
+    let mut key = Vec::new();
+    for i in 0..n_entries {
+        let at = r.offset();
+        let reference: &[u8] = if (i as u64).is_multiple_of(SHARD_RESTART) {
+            &[]
+        } else {
+            &prev_key
+        };
+        if crate::codec::decode_delta(reference, r.buf, &mut r.pos, &mut key).is_none() {
+            return Err(CheckpointError::Corrupt {
+                offset: at,
+                detail: format!("shard entry {i}: malformed key delta"),
+            });
+        }
+        let parent_shard = r.varint("entry parent shard")?;
+        let parent_idx = r.varint("entry parent index")?;
+        let label = r.varint("entry label id")?;
+        let level = r.varint("entry level")?;
+        if parent_shard > u32::MAX as u64
+            || parent_idx > u32::MAX as u64
+            || level > u32::MAX as u64
+            || label as usize >= labels.len()
+        {
+            return Err(CheckpointError::Corrupt {
+                offset: at,
+                detail: format!("shard entry {i}: field out of range"),
+            });
+        }
+        entries.push(ShardEntry {
+            key: key.clone(),
+            parent_shard: parent_shard as u32,
+            parent_idx: parent_idx as u32,
+            label: label as u32,
+            level: level as u32,
+        });
+        std::mem::swap(&mut prev_key, &mut key);
+    }
+    if r.pos != r.buf.len() {
+        return Err(CheckpointError::Corrupt {
+            offset: r.offset(),
+            detail: format!("{} unread byte(s) in shard section", r.buf.len() - r.pos),
+        });
+    }
+    Ok((labels, entries))
+}
+
+// ---------------------------------------------------------------------
 // Checkpoint encode/decode and file IO.
 // ---------------------------------------------------------------------
 
@@ -592,15 +818,54 @@ impl Checkpoint {
             put_state(&mut payload, gs);
         }
 
-        let mut out = Vec::with_capacity(payload.len() + 36);
-        out.extend(MAGIC);
-        put_u32(&mut out, VERSION);
-        put_u64(&mut out, self.fingerprint);
-        put_u64(&mut out, payload.len() as u64);
-        out.extend(&payload);
-        let checksum = fnv1a(&out);
-        put_u64(&mut out, checksum);
-        out
+        seal(self.fingerprint, V1, payload)
+    }
+
+    /// Serializes the snapshot to the version-2 wire format (single
+    /// shard section, sorted key order — equal progress still produces
+    /// byte-identical files). Fails if a frontier state or a parent key
+    /// is absent from `entries`: that is not a consistent snapshot.
+    pub fn to_bytes_v2(&self) -> Result<Vec<u8>, CheckpointError> {
+        let mut order: Vec<u32> = (0..self.entries.len() as u32).collect();
+        order.sort_by(|&a, &b| self.entries[a as usize].key.cmp(&self.entries[b as usize].key));
+        let mut pos = std::collections::HashMap::with_capacity(order.len());
+        for (i, &e) in order.iter().enumerate() {
+            pos.insert(self.entries[e as usize].key.as_slice(), i as u32);
+        }
+        let mut enc = ShardEncoder::new();
+        for &ei in &order {
+            let e = &self.entries[ei as usize];
+            let Some(&p) = pos.get(e.parent.as_slice()) else {
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: format!("entry {ei} has a parent outside the visited set"),
+                });
+            };
+            enc.push(&e.key, 0, p, &e.label, e.level);
+        }
+        let section = enc.finish();
+
+        let mut payload = Vec::with_capacity(44 + section.len() + self.frontier.len() * 8);
+        put_u64(&mut payload, self.level as u64);
+        put_u64(&mut payload, self.nodes_spent);
+        put_u32(&mut payload, 1); // n_shards
+        put_u64(&mut payload, section.len() as u64);
+        put_u64(&mut payload, fnv1a(&section));
+        payload.extend(&section);
+        put_u64(&mut payload, self.frontier.len() as u64);
+        let mut scratch = Vec::with_capacity(128);
+        for (i, gs) in self.frontier.iter().enumerate() {
+            gs.encode_into(&mut scratch);
+            let Some(&idx) = pos.get(scratch.as_slice()) else {
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: format!("frontier state {i} is not in the visited set"),
+                });
+            };
+            put_u32(&mut payload, 0); // shard
+            put_u32(&mut payload, idx);
+        }
+        Ok(seal(self.fingerprint, V2, payload))
     }
 
     /// Decodes and fully validates a version-1 checkpoint against the
@@ -617,7 +882,7 @@ impl Checkpoint {
         }
         let mut r = Reader::new(&bytes[MAGIC.len()..], MAGIC.len());
         let version = r.u32("version")?;
-        if version != VERSION {
+        if version != V1 && version != V2 {
             return Err(CheckpointError::UnsupportedVersion {
                 found: version,
                 supported: VERSION,
@@ -661,6 +926,9 @@ impl Checkpoint {
         }
 
         let mut r = Reader::new(&bytes[header_end..want - 8], header_end);
+        if version == V2 {
+            return Checkpoint::payload_v2(r, stored_fp, spec, cfg);
+        }
         let level = r.u64("level")? as usize;
         let nodes_spent = r.u64("nodes spent")?;
         let n_entries = r.count("visited entries", 16)?;
@@ -703,6 +971,129 @@ impl Checkpoint {
             nodes_spent,
             entries,
             frontier,
+            parent_ids: None,
+        })
+    }
+
+    /// Parses a version-2 payload (the envelope — checksum, fingerprint,
+    /// exact length — has already been validated).
+    fn payload_v2(
+        mut r: Reader<'_>,
+        stored_fp: u64,
+        _spec: &ProtocolSpec,
+        cfg: &McConfig,
+    ) -> Result<Checkpoint, CheckpointError> {
+        let level = r.u64("level")? as usize;
+        let nodes_spent = r.u64("nodes spent")?;
+        let at = r.offset();
+        let n_shards = r.u32("shard count")? as usize;
+        if n_shards == 0 || n_shards > (1 << 16) {
+            return Err(CheckpointError::Corrupt {
+                offset: at,
+                detail: format!("shard count {n_shards} out of range"),
+            });
+        }
+        let mut manifest = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let len = r.u64("shard section length")? as usize;
+            let sum = r.u64("shard section checksum")?;
+            manifest.push((len, sum));
+        }
+        // Decode every section, tracking per-shard entry offsets so
+        // parent references can be globalized.
+        let mut sections = Vec::with_capacity(n_shards);
+        let mut offsets = Vec::with_capacity(n_shards + 1);
+        let mut total = 0u64;
+        for (i, &(len, sum)) in manifest.iter().enumerate() {
+            let at = r.offset();
+            let bytes = r.take(len, "shard section")?;
+            let computed = fnv1a(bytes);
+            if computed != sum {
+                return Err(CheckpointError::Corrupt {
+                    offset: at,
+                    detail: format!(
+                        "shard {i} checksum {sum:#018x} != computed {computed:#018x}"
+                    ),
+                });
+            }
+            let (labels, entries) = decode_shard_section(bytes, at)?;
+            offsets.push(total);
+            total += entries.len() as u64;
+            sections.push((labels, entries));
+        }
+        offsets.push(total);
+        if total > u32::MAX as u64 {
+            return Err(CheckpointError::Corrupt {
+                offset: at,
+                detail: format!("{total} entries exceed the id space"),
+            });
+        }
+        // Globalize: flatten shard order, resolve parents to indices,
+        // and materialize parent keys so version-1 consumers are none
+        // the wiser.
+        let mut entries = Vec::with_capacity(total as usize);
+        let mut parent_ids = Vec::with_capacity(total as usize);
+        for (si, (labels, shard)) in sections.iter().enumerate() {
+            for (ei, e) in shard.iter().enumerate() {
+                let ps = e.parent_shard as usize;
+                if ps >= n_shards || e.parent_idx as u64 >= offsets[ps + 1] - offsets[ps] {
+                    return Err(CheckpointError::Corrupt {
+                        offset: 0,
+                        detail: format!(
+                            "shard {si} entry {ei} parent ({ps}, {}) out of range",
+                            e.parent_idx
+                        ),
+                    });
+                }
+                parent_ids.push((offsets[ps] + e.parent_idx as u64) as u32);
+                entries.push(VisitedEntry {
+                    key: e.key.clone(),
+                    parent: Vec::new(), // patched below, once all keys exist
+                    label: labels[e.label as usize].clone(),
+                    level: e.level,
+                });
+            }
+        }
+        for i in 0..entries.len() {
+            let parent_key = entries[parent_ids[i] as usize].key.clone();
+            entries[i].parent = parent_key;
+        }
+        let n_frontier = r.count("frontier references", 8)?;
+        let mut frontier = Vec::with_capacity(n_frontier);
+        for i in 0..n_frontier {
+            let at = r.offset();
+            let shard = r.u32("frontier shard")? as usize;
+            let idx = r.u32("frontier index")? as u64;
+            if shard >= n_shards || idx >= offsets[shard + 1] - offsets[shard] {
+                return Err(CheckpointError::Corrupt {
+                    offset: at,
+                    detail: format!("frontier reference {i} ({shard}, {idx}) out of range"),
+                });
+            }
+            let key = &entries[(offsets[shard] + idx) as usize].key;
+            match GlobalState::decode(key, cfg) {
+                Some(gs) => frontier.push(gs),
+                None => {
+                    return Err(CheckpointError::Corrupt {
+                        offset: at,
+                        detail: format!("frontier reference {i}: key does not decode"),
+                    })
+                }
+            }
+        }
+        if r.pos != r.buf.len() {
+            return Err(CheckpointError::Corrupt {
+                offset: r.offset(),
+                detail: format!("{} unread byte(s) in payload", r.buf.len() - r.pos),
+            });
+        }
+        Ok(Checkpoint {
+            fingerprint: stored_fp,
+            level,
+            nodes_spent,
+            entries,
+            frontier,
+            parent_ids: Some(parent_ids),
         })
     }
 
@@ -723,6 +1114,23 @@ impl Checkpoint {
         std::fs::rename(&tmp, path).map_err(io)
     }
 
+    /// Like [`Checkpoint::write_to`], in the version-2 format.
+    pub fn write_to_v2(&self, path: &Path) -> Result<(), CheckpointError> {
+        let bytes = self.to_bytes_v2()?;
+        let io = |e: std::io::Error| CheckpointError::Io {
+            path: path.to_path_buf(),
+            detail: e.to_string(),
+        };
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        std::fs::write(&tmp, bytes).map_err(|e| CheckpointError::Io {
+            path: tmp.clone(),
+            detail: e.to_string(),
+        })?;
+        std::fs::rename(&tmp, path).map_err(io)
+    }
+
     /// Reads, validates, and decodes the checkpoint at `path` for the
     /// given (spec, config) pair.
     pub fn load(
@@ -730,6 +1138,12 @@ impl Checkpoint {
         spec: &ProtocolSpec,
         cfg: &McConfig,
     ) -> Result<Checkpoint, CheckpointError> {
+        // A crash mid-flush can strand `<path>.tmp`; the rename is the
+        // commit point, so such a file is garbage by construction and
+        // is cleared on resume rather than left to accumulate.
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(PathBuf::from(tmp));
         let bytes = std::fs::read(path).map_err(|e| CheckpointError::Io {
             path: path.to_path_buf(),
             detail: e.to_string(),
@@ -771,6 +1185,7 @@ mod tests {
             nodes_spent: level_states as u64,
             entries,
             frontier: vec![initial],
+            parent_ids: None,
         };
         (spec, cfg, ckpt)
     }

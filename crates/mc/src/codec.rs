@@ -1,0 +1,194 @@
+//! Delta + varint compression for interned state blobs.
+//!
+//! Consecutive states in BFS claim order differ in a handful of bytes —
+//! one cache line, one queue slot — while sharing a long common prefix
+//! and suffix. The spill tier and the version-2 checkpoint format
+//! therefore store each blob as a delta against a *reference* blob
+//! (usually the previous blob in the stream):
+//!
+//! ```text
+//! varint(prefix)  bytes shared with the reference's head
+//! varint(suffix)  bytes shared with the reference's tail
+//! varint(mid_len) length of the literal middle
+//! mid_len bytes   the literal middle
+//! ```
+//!
+//! so `decoded = ref[..prefix] ++ mid ++ ref[ref.len()-suffix..]`. A
+//! blob identical to its reference encodes to `(len, 0, 0)` and an
+//! empty blob to `(0, 0, 0)` — both exercised by the property tests.
+//! Every `decode` is bounds-checked and fails
+//! soft (`None`) on malformed input; it never panics, because deltas
+//! are read back from disk files and untrusted checkpoint payloads.
+//!
+//! Varints are LEB128 (7 bits per byte, little-endian, high bit =
+//! continuation), capped at 10 bytes for a `u64`.
+
+/// Appends `v` to `out` as a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint from `buf` at `*pos`, advancing `*pos`.
+/// Returns `None` on truncation or a varint longer than 10 bytes
+/// (which cannot encode a minimal `u64`).
+pub fn read_varint(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let b = *buf.get(*pos)?;
+        *pos += 1;
+        if shift == 63 && b > 1 {
+            return None; // Overflows u64.
+        }
+        v |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(v);
+        }
+        shift += 7;
+        if shift > 63 {
+            return None;
+        }
+    }
+}
+
+/// Appends the delta encoding of `cur` against `reference` to `out`.
+/// Encoding against an empty reference degenerates to a literal copy
+/// (`prefix = suffix = 0`), which is how restart points store full
+/// blobs.
+pub fn encode_delta(reference: &[u8], cur: &[u8], out: &mut Vec<u8>) {
+    let max_p = reference.len().min(cur.len());
+    let mut p = 0;
+    while p < max_p && reference[p] == cur[p] {
+        p += 1;
+    }
+    let max_s = max_p - p;
+    let mut s = 0;
+    while s < max_s && reference[reference.len() - 1 - s] == cur[cur.len() - 1 - s] {
+        s += 1;
+    }
+    let mid = &cur[p..cur.len() - s];
+    put_varint(out, p as u64);
+    put_varint(out, s as u64);
+    put_varint(out, mid.len() as u64);
+    out.extend_from_slice(mid);
+}
+
+/// Decodes one delta from `buf` at `*pos` (advancing it past the delta)
+/// against `reference`, replacing `out`'s contents with the decoded
+/// blob. Returns `None` — with `out` cleared and `*pos` unspecified —
+/// on any structural defect: truncation, a prefix/suffix reaching
+/// outside the reference, or overlapping prefix and suffix.
+pub fn decode_delta(reference: &[u8], buf: &[u8], pos: &mut usize, out: &mut Vec<u8>) -> Option<()> {
+    out.clear();
+    let p = read_varint(buf, pos)? as usize;
+    let s = read_varint(buf, pos)? as usize;
+    let mid_len = read_varint(buf, pos)? as usize;
+    if p.checked_add(s)? > reference.len() || mid_len > buf.len().saturating_sub(*pos) {
+        return None;
+    }
+    let mid = &buf[*pos..*pos + mid_len];
+    *pos += mid_len;
+    out.reserve(p + mid_len + s);
+    out.extend_from_slice(&reference[..p]);
+    out.extend_from_slice(mid);
+    out.extend_from_slice(&reference[reference.len() - s..]);
+    Some(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(reference: &[u8], cur: &[u8]) {
+        let mut enc = Vec::new();
+        encode_delta(reference, cur, &mut enc);
+        let mut back = Vec::new();
+        let mut pos = 0;
+        assert!(decode_delta(reference, &enc, &mut pos, &mut back).is_some());
+        assert_eq!(pos, enc.len(), "decode must consume exactly the delta");
+        assert_eq!(back, cur);
+    }
+
+    #[test]
+    fn varint_round_trips_boundary_values() {
+        for v in [0u64, 1, 127, 128, 129, 16_383, 16_384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            put_varint(&mut buf, v);
+            let mut pos = 0;
+            assert_eq!(read_varint(&buf, &mut pos), Some(v));
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn varint_rejects_truncation_and_overflow() {
+        assert_eq!(read_varint(&[], &mut 0), None);
+        assert_eq!(read_varint(&[0x80], &mut 0), None);
+        // 11 continuation bytes can never be a minimal u64.
+        assert_eq!(read_varint(&[0x80; 11], &mut 0), None);
+        // A 10th byte contributing bits 63.. must be 0 or 1.
+        let mut buf = vec![0xff; 9];
+        buf.push(0x02);
+        assert_eq!(read_varint(&buf, &mut 0), None);
+    }
+
+    #[test]
+    fn delta_zero_length_and_identical_blobs() {
+        roundtrip(b"", b"");
+        roundtrip(b"reference", b"");
+        roundtrip(b"", b"fresh blob");
+        roundtrip(b"same bytes", b"same bytes");
+    }
+
+    #[test]
+    fn delta_prefix_suffix_and_middle_edits() {
+        roundtrip(b"aaaaXXXXbbbb", b"aaaaYYbbbb");
+        roundtrip(b"head|tail", b"head|longer-middle|tail");
+        roundtrip(b"abc", b"xbc");
+        roundtrip(b"abc", b"abx");
+        roundtrip(b"short", b"a-much-longer-unrelated-blob");
+    }
+
+    #[test]
+    fn identical_blob_encodes_compactly() {
+        let blob = vec![7u8; 200];
+        let mut enc = Vec::new();
+        encode_delta(&blob, &blob, &mut enc);
+        assert!(enc.len() <= 5, "identical blob took {} bytes", enc.len());
+    }
+
+    #[test]
+    fn malformed_deltas_fail_soft() {
+        let reference = b"0123456789";
+        // Prefix past the reference.
+        let mut enc = Vec::new();
+        put_varint(&mut enc, 11);
+        put_varint(&mut enc, 0);
+        put_varint(&mut enc, 0);
+        let mut out = Vec::new();
+        assert!(decode_delta(reference, &enc, &mut 0, &mut out).is_none());
+        // Prefix + suffix overlap.
+        let mut enc = Vec::new();
+        put_varint(&mut enc, 6);
+        put_varint(&mut enc, 6);
+        put_varint(&mut enc, 0);
+        assert!(decode_delta(reference, &enc, &mut 0, &mut out).is_none());
+        // Mid length past the buffer.
+        let mut enc = Vec::new();
+        put_varint(&mut enc, 0);
+        put_varint(&mut enc, 0);
+        put_varint(&mut enc, 50);
+        enc.push(b'x');
+        assert!(decode_delta(reference, &enc, &mut 0, &mut out).is_none());
+        // Truncated header.
+        assert!(decode_delta(reference, &[0x80], &mut 0, &mut out).is_none());
+    }
+}

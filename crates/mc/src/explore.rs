@@ -9,8 +9,9 @@
 
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, VisitedEntry};
 use crate::config::McConfig;
-use crate::intern::{LabelTable, StateArena, StateId};
+use crate::intern::{InternError, LabelTable, StateId};
 use crate::rules::{expand, ExpandOutcome, Scratch};
+use crate::spill::{SpillArena, SpillConfig, SpillStats};
 use crate::state::GlobalState;
 use crate::trace::Trace;
 use std::collections::VecDeque;
@@ -37,10 +38,14 @@ pub struct ExploreStats {
     /// arena + parent links + frontiers), exact from capacities. Zero
     /// for error paths that never ran the explorer.
     pub peak_bytes: u64,
+    /// Cumulative compressed bytes of visited keys pushed to the spill
+    /// tier's disk segments. Zero unless a memory budget forced cold
+    /// state encodings out of RAM (see [`crate::spill`]).
+    pub spill_bytes: u64,
 }
 
 impl ExploreStats {
-    fn bounded(states: usize, levels: usize, peak_bytes: u64) -> Self {
+    fn bounded(states: usize, levels: usize, peak_bytes: u64, spill_bytes: u64) -> Self {
         // Truncation by a *counterexample*: the search stopped early
         // because the verdict is already decided, which is exact.
         ExploreStats {
@@ -49,6 +54,7 @@ impl ExploreStats {
             complete: false,
             provenance: Provenance::Exact,
             peak_bytes,
+            spill_bytes,
         }
     }
 }
@@ -174,6 +180,7 @@ pub fn explore_budgeted_with(
                     },
                 },
                 peak_bytes: 0,
+                spill_bytes: 0,
             })
         }
         Err(e) => Verdict::NoDeadlock(ExploreStats {
@@ -186,11 +193,16 @@ pub fn explore_budgeted_with(
                 },
             },
             peak_bytes: 0,
+            spill_bytes: 0,
         }),
     }
 }
 
 /// The outcome of a checkpoint-enabled run.
+// A `Verdict` is bigger than the `Interrupted` payload, but one value
+// exists per run (not per state) and every caller matches on it
+// immediately — boxing would only add indirection.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub enum CheckpointedRun {
     /// The run ended with a verdict (possibly bounded/degraded).
@@ -243,8 +255,9 @@ pub fn resume(
 /// The interned visited/parent structure: the key arena plus three flat
 /// vectors indexed by [`StateId`] (ids are dense in claim order).
 struct Store {
-    /// Canonical state encodings, one copy each.
-    keys: StateArena,
+    /// Canonical state encodings, one copy each — hot in a bump arena,
+    /// cold on disk once a spill config's threshold is crossed.
+    keys: SpillArena,
     /// Rule labels, shared across states.
     labels: LabelTable,
     /// `parents[id]` — the id the state was first reached from (the
@@ -258,13 +271,13 @@ struct Store {
 }
 
 impl Store {
-    fn new() -> Self {
+    fn new(spill: Option<SpillConfig>) -> Self {
         let mut labels = LabelTable::new();
         // Reserve label id 0 for the empty (initial-state) label.
         let empty = labels.intern("");
         debug_assert_eq!(empty, 0);
         Store {
-            keys: StateArena::new(),
+            keys: SpillArena::new(spill),
             labels,
             parents: Vec::new(),
             label_ids: Vec::new(),
@@ -316,13 +329,20 @@ fn account(meter: &mut BudgetMeter, accounted: &mut u64, now: u64) -> bool {
 /// structurally inconsistent checkpoint and is refused (fail closed,
 /// like every other checkpoint defect) rather than silently yielding
 /// truncated witness traces.
-fn seed_store(store: &mut Store, entries: &[VisitedEntry]) -> Result<(), CheckpointError> {
-    for e in entries {
-        let Some((_, fresh)) = store.keys.intern(&e.key) else {
-            return Err(CheckpointError::Corrupt {
-                offset: 0,
-                detail: "checkpoint exceeds the intern arena address space".into(),
-            });
+fn seed_store(
+    store: &mut Store,
+    entries: &[VisitedEntry],
+    parent_ids: Option<&[u32]>,
+) -> Result<(), CheckpointError> {
+    for (i, e) in entries.iter().enumerate() {
+        let (_, fresh) = match store.keys.intern(&e.key) {
+            Ok(v) => v,
+            Err(why) => {
+                return Err(CheckpointError::Corrupt {
+                    offset: 0,
+                    detail: format!("checkpoint exceeds the intern arena: {why}"),
+                });
+            }
         };
         if !fresh {
             return Err(CheckpointError::Corrupt {
@@ -334,6 +354,27 @@ fn seed_store(store: &mut Store, entries: &[VisitedEntry]) -> Result<(), Checkpo
         // Parent ids are patched in the second pass, once all keys
         // (and therefore all potential parents) are interned.
         store.push_link(StateId::MAX, lid, e.level);
+        // Spill while seeding, not after: a resumed run's peak must
+        // match what a fresh run reaching this point would carry, and a
+        // fresh run would have spilled on the way. A refused spill
+        // (IO error) keeps everything in RAM — the budget decides.
+        if i % 4096 == 4095 {
+            let _ = store.keys.maybe_spill(store.heap_bytes());
+        }
+    }
+    // The version-2 decoder already globalized parent indices — and
+    // interning above assigned ids in entry order, so those indices ARE
+    // the parent ids. Version-1 checkpoints fall back to the per-entry
+    // key lookup.
+    if let Some(pids) = parent_ids {
+        if pids.len() != entries.len() {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: "parent id table does not match the entry count".into(),
+            });
+        }
+        store.parents[..pids.len()].copy_from_slice(pids);
+        return Ok(());
     }
     for (i, e) in entries.iter().enumerate() {
         let Some(pid) = store.keys.lookup(&e.parent) else {
@@ -353,7 +394,7 @@ fn seed_store(store: &mut Store, entries: &[VisitedEntry]) -> Result<(), Checkpo
 /// frontier state that was never claimed cannot come from a consistent
 /// snapshot; refuse it.
 fn resolve_frontier(
-    store: &Store,
+    store: &mut Store,
     states: &[GlobalState],
 ) -> Result<VecDeque<StateId>, CheckpointError> {
     let mut out = VecDeque::with_capacity(states.len());
@@ -378,7 +419,7 @@ fn resolve_frontier(
 fn flush(
     spec: &ProtocolSpec,
     cfg: &McConfig,
-    store: &Store,
+    store: &mut Store,
     frontier: &VecDeque<StateId>,
     level: usize,
     claims: u64,
@@ -388,17 +429,35 @@ fn flush(
     // the clock is only read while metrics are on.
     let clock = vnet_obs::metrics_enabled().then(std::time::Instant::now);
     let mut entries = Vec::with_capacity(store.len());
+    let mut key_scratch: Vec<u8> = Vec::with_capacity(128);
+    let mut parent_scratch: Vec<u8> = Vec::with_capacity(128);
     for i in 0..store.len() {
+        // A false here means a spilled segment became unreadable under
+        // the run; surfacing it beats flushing a checkpoint with holes.
+        if !store.keys.get_into(i as StateId, &mut key_scratch)
+            || !store.keys.get_into(store.parents[i], &mut parent_scratch)
+        {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: format!("visited state {i} unreadable at flush"),
+            });
+        }
         entries.push(VisitedEntry {
-            key: store.keys.get(i as StateId).to_vec(),
-            parent: store.keys.get(store.parents[i]).to_vec(),
+            key: key_scratch.clone(),
+            parent: parent_scratch.clone(),
             label: store.labels.get(store.label_ids[i]).to_string(),
             level: store.levels[i],
         });
     }
     let mut states = Vec::with_capacity(frontier.len());
     for &id in frontier {
-        match GlobalState::decode(store.keys.get(id), cfg) {
+        if !store.keys.get_into(id, &mut key_scratch) {
+            return Err(CheckpointError::Corrupt {
+                offset: 0,
+                detail: "interned frontier state unreadable at flush".into(),
+            });
+        }
+        match GlobalState::decode(&key_scratch, cfg) {
             Some(gs) => states.push(gs),
             None => {
                 return Err(CheckpointError::Corrupt {
@@ -414,8 +473,12 @@ fn flush(
         nodes_spent: claims,
         entries,
         frontier: states,
+        parent_ids: None,
     };
-    let res = ckpt.write_to(path);
+    // The serial explorer writes the version-2 (delta-compressed,
+    // sharded) format; version-1 files are still read and rewritten as
+    // version 2 at the first flush after a resume.
+    let res = ckpt.write_to_v2(path);
     if let Some(clock) = clock {
         vnet_obs::counter("explore.checkpoint_flushes_total").inc();
         vnet_obs::histogram("explore.checkpoint_flush_us", vnet_obs::DURATION_US_BOUNDS)
@@ -484,7 +547,7 @@ fn run_serial_inner(
         );
     }
 
-    let mut store = Store::new();
+    let mut store = Store::new(cfg.spill.clone());
     let mut frontier: VecDeque<StateId>;
     let mut level: usize;
     // Claimed-state work counter; cumulative across resumes (unlike the
@@ -493,8 +556,8 @@ fn run_serial_inner(
 
     match start {
         Some(ckpt) => {
-            seed_store(&mut store, &ckpt.entries)?;
-            frontier = resolve_frontier(&store, &ckpt.frontier)?;
+            seed_store(&mut store, &ckpt.entries, ckpt.parent_ids.as_deref())?;
+            frontier = resolve_frontier(&mut store, &ckpt.frontier)?;
             level = ckpt.level;
             claims = ckpt.nodes_spent;
         }
@@ -516,16 +579,19 @@ fn run_serial_inner(
                             last: initial,
                         },
                         detail,
-                        stats: ExploreStats::bounded(1, 0, 0),
+                        stats: ExploreStats::bounded(1, 0, 0, 0),
                     }));
                 }
             }
-            let Some((init_id, _)) = store.keys.intern(&init_key) else {
+            let (init_id, _) = match store.keys.intern(&init_key) {
+                Ok(v) => v,
                 // A single state cannot overflow the arena; fail soft.
-                return Err(CheckpointError::Corrupt {
-                    offset: 0,
-                    detail: "intern arena rejected the initial state".into(),
-                });
+                Err(why) => {
+                    return Err(CheckpointError::Corrupt {
+                        offset: 0,
+                        detail: format!("intern arena rejected the initial state: {why}"),
+                    });
+                }
             };
             store.push_link(init_id, 0, 0);
             frontier = VecDeque::from([init_id]);
@@ -538,6 +604,9 @@ fn run_serial_inner(
     // Per-level wall clock for the states/sec histograms; only read
     // while metrics are on so the disabled path never touches a clock.
     let mut level_clock = vnet_obs::metrics_enabled().then(std::time::Instant::now);
+    // Spill counters already pushed to the metrics registry, so level
+    // boundaries emit deltas of the monotonic totals.
+    let mut spill_seen = SpillStats::default();
     let mut complete = true;
     let mut truncated: Option<DegradeReason> = None;
     let mut since_flush = 0usize;
@@ -564,15 +633,16 @@ fn run_serial_inner(
         // periodic / deadline-imminent flush.
         if let Some(pol) = policy {
             if pol.stop_file.as_ref().is_some_and(|p| p.exists()) {
-                flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
+                flush(spec, cfg, &mut store, &frontier, level, claims, &pol.path)?;
+                let states = store.len();
                 return Ok(CheckpointedRun::Interrupted {
                     checkpoint: pol.path.clone(),
-                    states: store.len(),
+                    states,
                     level,
                 });
             }
             if since_flush > pol.every_states || meter.deadline_imminent(pol.deadline_window) {
-                flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
+                flush(spec, cfg, &mut store, &frontier, level, claims, &pol.path)?;
                 since_flush = 0;
             }
         }
@@ -602,9 +672,15 @@ fn run_serial_inner(
                 frontier.append(&mut next_frontier);
                 break 'bfs;
             }
-            let Some(gs) = GlobalState::decode(store.keys.get(id), cfg) else {
+            let gs = if store.keys.get_into(id, &mut key_buf) {
+                GlobalState::decode(&key_buf, cfg)
+            } else {
+                None
+            };
+            let Some(gs) = gs else {
                 // Unreachable for states we interned ourselves; treat
-                // as corruption, keep the run resumable, never panic.
+                // as corruption (or a vanished spill segment), keep the
+                // run resumable, never panic.
                 complete = false;
                 truncated = Some(DegradeReason::Bound {
                     what: "interned state failed to decode".into(),
@@ -617,8 +693,9 @@ fn run_serial_inner(
             // (which cannot `break 'bfs` or `return` across the closure
             // boundary itself).
             enum Stop {
-                /// Arena out of u32 address space: degrade + requeue.
-                Overflow,
+                /// Arena exhaustion — of address space or of the
+                /// allocator itself: degrade + requeue.
+                Overflow(InternError),
                 /// SWMR violated by a fresh successor.
                 Invariant {
                     sid: StateId,
@@ -639,11 +716,15 @@ fn run_serial_inner(
                     sstate.encode_into(&mut key_buf);
                     None
                 };
-                let Some((sid, inserted)) = store.keys.intern(&key_buf) else {
-                    // 4 GiB of distinct key bytes: out of arena address
-                    // space. Degrade like any other resource exhaustion.
-                    stop = Some(Stop::Overflow);
-                    return false;
+                let (sid, inserted) = match store.keys.intern(&key_buf) {
+                    Ok(v) => v,
+                    Err(why) => {
+                        // Out of arena address space, or the allocator
+                        // refused to grow it. Degrade like any other
+                        // resource exhaustion.
+                        stop = Some(Stop::Overflow(why));
+                        return false;
+                    }
                 };
                 if !inserted {
                     return true;
@@ -666,7 +747,14 @@ fn run_serial_inner(
                 since_flush += 1;
                 next_frontier.push_back(sid);
                 if truncated.is_none() {
-                    let now = footprint(&store, &frontier, &next_frontier);
+                    let mut now = footprint(&store, &frontier, &next_frontier);
+                    // Spill *before* the meter sees the new figure: the
+                    // budget's memory exhaustion latches, so cold bytes
+                    // must leave RAM first. A refused or failed spill
+                    // falls through to honest accounting.
+                    if matches!(store.keys.maybe_spill(now), Ok(true)) {
+                        now = footprint(&store, &frontier, &next_frontier);
+                    }
                     if !account(&mut meter, &mut accounted, now) {
                         complete = false;
                         truncated = meter.exhaustion().cloned();
@@ -700,8 +788,12 @@ fn run_serial_inner(
                 ExpandOutcome::Bug { rule, detail } => {
                     let mut trace = rebuild_trace(&store, id, gs);
                     trace.steps.push(rule);
-                    let stats =
-                        ExploreStats::bounded(store.len(), level, meter.peak_bytes());
+                    let stats = ExploreStats::bounded(
+                        store.len(),
+                        level,
+                        meter.peak_bytes(),
+                        store.keys.spill_stats().spilled_bytes,
+                    );
                     return Ok(CheckpointedRun::Finished(Verdict::ModelError {
                         trace,
                         detail,
@@ -710,8 +802,12 @@ fn run_serial_inner(
                 }
                 ExpandOutcome::Done(0) => {
                     if !gs.is_quiescent(spec) {
-                        let stats =
-                            ExploreStats::bounded(store.len(), level, meter.peak_bytes());
+                        let stats = ExploreStats::bounded(
+                            store.len(),
+                            level,
+                            meter.peak_bytes(),
+                            store.keys.spill_stats().spilled_bytes,
+                        );
                         let trace = rebuild_trace(&store, id, gs);
                         return Ok(CheckpointedRun::Finished(Verdict::Deadlock {
                             depth: level,
@@ -722,18 +818,27 @@ fn run_serial_inner(
                 }
                 ExpandOutcome::Done(_) => {}
                 ExpandOutcome::Stopped => match stop {
-                    Some(Stop::Overflow) => {
+                    Some(Stop::Overflow(why)) => {
                         complete = false;
-                        truncated = Some(DegradeReason::Bound {
-                            what: "intern arena address space exhausted".into(),
+                        truncated = Some(match why {
+                            InternError::AllocFailed => DegradeReason::MemoryPressure {
+                                what: "state intern arena".into(),
+                            },
+                            InternError::AddressSpace => DegradeReason::Bound {
+                                what: "intern arena address space exhausted".into(),
+                            },
                         });
                         frontier.push_front(id);
                         frontier.append(&mut next_frontier);
                         break 'bfs;
                     }
                     Some(Stop::Invariant { sid, state, detail }) => {
-                        let stats =
-                            ExploreStats::bounded(store.len(), level, meter.peak_bytes());
+                        let stats = ExploreStats::bounded(
+                            store.len(),
+                            level,
+                            meter.peak_bytes(),
+                            store.keys.spill_stats().spilled_bytes,
+                        );
                         let trace = rebuild_trace(&store, sid, state);
                         return Ok(CheckpointedRun::Finished(Verdict::InvariantViolation {
                             trace,
@@ -755,12 +860,16 @@ fn run_serial_inner(
             vnet_obs::histogram("explore.level_states", vnet_obs::SMALL_COUNT_BOUNDS)
                 .record(next_frontier.len() as u64);
             vnet_obs::gauge("explore.intern_load_pct").set(store.keys.load_factor_pct() as i64);
+            emit_spill_metrics(store.keys.spill_stats(), &mut spill_seen);
             *clock = std::time::Instant::now();
         }
         frontier = next_frontier;
         // The old frontier was dropped and the new one took its place;
         // re-sync the exact accounting (peak tracking is unaffected).
-        let now = footprint(&store, &frontier, &VecDeque::new());
+        let mut now = footprint(&store, &frontier, &VecDeque::new());
+        if matches!(store.keys.maybe_spill(now), Ok(true)) {
+            now = footprint(&store, &frontier, &VecDeque::new());
+        }
         let _ = account(&mut meter, &mut accounted, now);
         if truncated.is_some() {
             // Bounded run, level finished: snapshot then stop.
@@ -772,10 +881,13 @@ fn run_serial_inner(
     // remaining work survives. A complete verdict needs no snapshot.
     if let Some(pol) = policy {
         if truncated.is_some() {
-            flush(spec, cfg, &store, &frontier, level, claims, &pol.path)?;
+            flush(spec, cfg, &mut store, &frontier, level, claims, &pol.path)?;
         }
     }
 
+    if level_clock.is_some() {
+        emit_spill_metrics(store.keys.spill_stats(), &mut spill_seen);
+    }
     Ok(CheckpointedRun::Finished(Verdict::NoDeadlock(ExploreStats {
         states: store.len(),
         levels: level,
@@ -785,7 +897,21 @@ fn run_serial_inner(
             Some(reason) => Provenance::Degraded { reason },
         },
         peak_bytes: meter.peak_bytes(),
+        spill_bytes: store.keys.spill_stats().spilled_bytes,
     })))
+}
+
+/// Pushes the delta between the arena's monotonic spill totals and the
+/// last-emitted snapshot into the metrics registry. No-op until the
+/// first spill so unspilled runs register no spill series at all.
+fn emit_spill_metrics(now: SpillStats, seen: &mut SpillStats) {
+    if now.spills == 0 {
+        return;
+    }
+    vnet_obs::counter("explore.spill_bytes").add(now.spilled_bytes.saturating_sub(seen.spilled_bytes));
+    vnet_obs::counter("explore.spill_reads_total").add(now.reads.saturating_sub(seen.reads));
+    vnet_obs::gauge("explore.compress_ratio").set(now.compress_ratio_pct() as i64);
+    *seen = now;
 }
 
 /// Walks the parent links from `id` back to the initial state. The

@@ -25,6 +25,28 @@ const EMPTY: u32 = u32::MAX;
 /// Initial slot count of the open-addressing table (power of two).
 const INITIAL_SLOTS: usize = 64;
 
+/// Why an intern could not be completed. Both variants are resource
+/// exhaustion, not corruption: callers degrade the run (a bounded
+/// verdict) instead of aborting the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InternError {
+    /// The arena would exceed the `u32` address space (≈4 GiB of key
+    /// bytes or 4 billion states).
+    AddressSpace,
+    /// The allocator refused to grow the arena or its index
+    /// (`try_reserve` failed): the machine is out of memory.
+    AllocFailed,
+}
+
+impl std::fmt::Display for InternError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InternError::AddressSpace => write!(f, "intern arena address space exhausted"),
+            InternError::AllocFailed => write!(f, "allocator refused intern arena growth"),
+        }
+    }
+}
+
 /// An append-only interning arena for state encodings.
 #[derive(Debug, Clone)]
 pub struct StateArena {
@@ -92,11 +114,11 @@ impl StateArena {
     }
 
     /// Interns `bytes`, returning `(id, true)` on first sight and
-    /// `(id, false)` when already present. Returns `None` only when the
-    /// arena would exceed the `u32` address space (≈4 GiB of key bytes
-    /// or 4 billion states) — callers treat that as budget exhaustion,
-    /// never a panic.
-    pub fn intern(&mut self, bytes: &[u8]) -> Option<(StateId, bool)> {
+    /// `(id, false)` when already present. Exhaustion — of the `u32`
+    /// address space or of the machine's memory itself — comes back as
+    /// a structured [`InternError`], never a panic or an abort: every
+    /// growth path reserves via `try_reserve` first.
+    pub fn intern(&mut self, bytes: &[u8]) -> Result<(StateId, bool), InternError> {
         let mask = self.table.len() - 1;
         let mut slot = (fx_hash_bytes(bytes) as usize) & mask;
         loop {
@@ -104,7 +126,7 @@ impl StateArena {
                 EMPTY => break,
                 id => {
                     if self.get(id) == bytes {
-                        return Some((id, false));
+                        return Ok((id, false));
                     }
                 }
             }
@@ -112,22 +134,38 @@ impl StateArena {
         }
         let id = self.len();
         if id >= EMPTY as usize || self.data.len() + bytes.len() > u32::MAX as usize {
-            return None;
+            return Err(InternError::AddressSpace);
+        }
+        // The probe loop above requires at least one EMPTY slot; if an
+        // earlier resize was refused by the allocator, stop before the
+        // table can fill up completely.
+        if id + 1 >= self.table.len() {
+            return Err(InternError::AllocFailed);
+        }
+        if self.data.try_reserve(bytes.len()).is_err() || self.offsets.try_reserve(1).is_err() {
+            return Err(InternError::AllocFailed);
         }
         self.data.extend_from_slice(bytes);
         self.offsets.push(self.data.len() as u32);
         self.table[slot] = id as u32;
         // Resize at ¾ load, re-probing every id into the doubled table.
+        // A refused resize is not yet fatal: inserts continue into the
+        // existing table (at degraded probe lengths) until the one-
+        // EMPTY-slot invariant above would break.
         if (self.len() + 1) * 4 > self.table.len() * 3 {
             self.grow_table();
         }
-        Some((id as u32, true))
+        Ok((id as u32, true))
     }
 
     fn grow_table(&mut self) {
         let new_len = self.table.len() * 2;
         let mask = new_len - 1;
-        let mut table = vec![EMPTY; new_len];
+        let mut table = Vec::new();
+        if table.try_reserve_exact(new_len).is_err() {
+            return; // Keep the old table; intern() degrades gracefully.
+        }
+        table.resize(new_len, EMPTY);
         for id in 0..self.len() as u32 {
             let mut slot = (fx_hash_bytes(self.get(id)) as usize) & mask;
             while table[slot] != EMPTY {
@@ -136,6 +174,12 @@ impl StateArena {
             table[slot] = id;
         }
         self.table = table;
+    }
+
+    /// Bytes of interned encodings (excluding index overhead) — the
+    /// figure the spill tier compares against its minimum-hot guard.
+    pub fn data_len(&self) -> usize {
+        self.data.len()
     }
 
     /// Open-addressing table load factor in percent. Bounded by 75 by
@@ -176,8 +220,8 @@ impl LabelTable {
     /// bytes.
     pub fn intern(&mut self, label: &str) -> u32 {
         match self.arena.intern(label.as_bytes()) {
-            Some((id, _)) => id,
-            None => 0,
+            Ok((id, _)) => id,
+            Err(_) => 0,
         }
     }
 

@@ -43,6 +43,7 @@
 
 pub mod campaign;
 pub mod checkpoint;
+pub mod codec;
 pub mod config;
 pub mod exec;
 pub mod explore;
@@ -50,7 +51,9 @@ pub mod intern;
 pub mod invariant;
 pub mod murphi;
 pub mod parallel;
+pub mod procshard;
 pub mod rules;
+pub mod spill;
 pub mod state;
 pub mod symmetry;
 pub mod trace;
@@ -61,7 +64,7 @@ pub use campaign::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use config::{IcnOrder, InjectionBudget, McConfig, VnMap};
-pub use intern::{LabelTable, StateArena, StateId};
+pub use intern::{InternError, LabelTable, StateArena, StateId};
 pub use invariant::Swmr;
 pub use explore::{
     explore, explore_budgeted, explore_budgeted_with, explore_checkpointed, explore_with, resume,
@@ -70,5 +73,7 @@ pub use explore::{
 pub use parallel::{
     explore_parallel, explore_parallel_supervised, resume_parallel, PanicInjection, ParallelOpts,
 };
+pub use procshard::{explore_procshard, run_worker, ProcOpts, WorkerOpts};
+pub use spill::{SpillArena, SpillConfig, SpillStats};
 pub use state::{GlobalState, Msg, Node};
 pub use trace::Trace;

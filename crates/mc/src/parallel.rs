@@ -30,7 +30,7 @@
 use crate::checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy, VisitedEntry};
 use crate::config::McConfig;
 use crate::explore::CheckpointedRun;
-use crate::intern::{LabelTable, StateArena};
+use crate::intern::{InternError, LabelTable, StateArena};
 use crate::rules::{expand, ExpandOutcome, Scratch};
 use crate::state::GlobalState;
 use crate::explore::{ExploreStats, Verdict};
@@ -83,6 +83,9 @@ struct Visited {
     /// Set if any shard's arena ran out of `u32` address space; checked
     /// at level boundaries and degraded like any other resource bound.
     overflowed: AtomicBool,
+    /// Set if the allocator itself refused arena growth (`try_reserve`
+    /// failed) — surfaced as memory pressure rather than a size bound.
+    alloc_failed: AtomicBool,
 }
 
 impl Visited {
@@ -92,6 +95,15 @@ impl Visited {
             count: AtomicUsize::new(0),
             bytes: AtomicU64::new(0),
             overflowed: AtomicBool::new(false),
+            alloc_failed: AtomicBool::new(false),
+        }
+    }
+
+    /// Records an intern failure under the matching degrade flag.
+    fn note_exhaustion(&self, why: InternError) {
+        match why {
+            InternError::AllocFailed => self.alloc_failed.store(true, Ordering::Relaxed),
+            InternError::AddressSpace => self.overflowed.store(true, Ordering::Relaxed),
         }
     }
 
@@ -113,9 +125,12 @@ impl Visited {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         let before = shard.heap_bytes();
-        let Some((kid, fresh)) = shard.keys.intern(key) else {
-            self.overflowed.store(true, Ordering::Relaxed);
-            return false;
+        let (kid, fresh) = match shard.keys.intern(key) {
+            Ok(v) => v,
+            Err(why) => {
+                self.note_exhaustion(why);
+                return false;
+            }
         };
         let claimed = if fresh {
             let pid = shard.pkeys.intern(parent).map_or(0, |(id, _)| id);
@@ -187,9 +202,12 @@ impl Visited {
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
             let before = shard.heap_bytes();
-            let Some((_, fresh)) = shard.keys.intern(&e.key) else {
-                self.overflowed.store(true, Ordering::Relaxed);
-                continue;
+            let (_, fresh) = match shard.keys.intern(&e.key) {
+                Ok(v) => v,
+                Err(why) => {
+                    self.note_exhaustion(why);
+                    continue;
+                }
             };
             if fresh {
                 let pid = shard.pkeys.intern(&e.parent).map_or(0, |(id, _)| id);
@@ -314,6 +332,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                     },
                 },
                 peak_bytes: 0,
+                spill_bytes: 0,
             })
         }
         Err(e) => Verdict::NoDeadlock(ExploreStats {
@@ -326,6 +345,7 @@ pub fn explore_parallel(spec: &ProtocolSpec, cfg: &McConfig, threads: usize) -> 
                 },
             },
             peak_bytes: 0,
+            spill_bytes: 0,
         }),
     }
 }
@@ -448,12 +468,16 @@ fn run_parallel_inner(
     let mut restarts_used = 0u32;
 
     let flush = |frontier: &[GlobalState], level: usize, path: &Path| -> Result<(), CheckpointError> {
+        // Deliberately still the version-1 format: the thread-parallel
+        // explorer is the writer that keeps the v1 → v2 conversion path
+        // (load v1, flush v2) continuously exercised.
         Checkpoint {
             fingerprint: crate::checkpoint::fingerprint(spec, cfg),
             level,
             nodes_spent: visited.len() as u64,
             entries: visited.entries(),
             frontier: frontier.to_vec(),
+            parent_ids: None,
         }
         .write_to(path)
     };
@@ -486,6 +510,12 @@ fn run_parallel_inner(
                 complete = false;
                 truncated = Some(DegradeReason::Cancelled { reason });
             }
+        }
+        if visited.alloc_failed.load(Ordering::Relaxed) && truncated.is_none() {
+            complete = false;
+            truncated = Some(DegradeReason::MemoryPressure {
+                what: "visited-set shard arena".into(),
+            });
         }
         if visited.overflowed.load(Ordering::Relaxed) && truncated.is_none() {
             complete = false;
@@ -659,6 +689,7 @@ fn run_parallel_inner(
                 complete: false,
                 provenance: Provenance::Exact,
                 peak_bytes: visited.bytes(),
+                spill_bytes: 0,
             };
             let trace = rebuild(
                 &visited,
@@ -716,6 +747,10 @@ fn run_parallel_inner(
             Some(reason) => Provenance::Degraded { reason },
         },
         peak_bytes: visited.bytes(),
+        // The thread-parallel explorer keeps its shards entirely in
+        // RAM; out-of-core runs go through the serial or process-shard
+        // explorers.
+        spill_bytes: 0,
     })))
 }
 

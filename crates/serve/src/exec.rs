@@ -61,7 +61,17 @@ pub fn execute(
         Command::Metrics => Ok(ExecResult::new(vec![], Provenance::Exact)),
         Command::Panic => panic!("injected test fault (cmd=panic)"),
         Command::Analyze => run_analyze(req, budget),
-        Command::Mc { vns, checkpoint } => run_mc(req, budget, *vns, *checkpoint, ckpt_path),
+        Command::Mc {
+            vns,
+            checkpoint,
+            process,
+        } => {
+            if *process {
+                run_mc_process(req, budget, *vns, *checkpoint, ckpt_path)
+            } else {
+                run_mc(req, budget, *vns, *checkpoint, ckpt_path)
+            }
+        }
         Command::Sim {
             ops,
             seed,
@@ -179,6 +189,187 @@ fn run_mc(
     Ok(ExecResult::new(fields, stats.provenance))
 }
 
+/// Serial numbers for inline-spec scratch files: process id plus a
+/// counter keeps concurrent workers (and respawned daemons) apart.
+static SPEC_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Runs an `mc` request in a dedicated child process (`vnet mc
+/// <protocol> --machine`), so memory blowups, OOM kills, and panics in
+/// the explorer cost one child instead of the daemon. The child result
+/// arrives on the same machine line the campaign supervisor parses.
+fn run_mc_process(
+    req: &Request,
+    budget: &Budget,
+    vns: VnChoice,
+    checkpoint: bool,
+    ckpt_path: Option<&Path>,
+) -> Result<ExecResult, String> {
+    use std::process::{Command as Proc, Stdio};
+    use vnet_graph::DegradeReason;
+    use vnet_mc::campaign::parse_machine_line;
+
+    // The child re-resolves the protocol: built-ins by name, inline
+    // DSL via a scratch file (validated here first, so a client error
+    // never burns a process spawn).
+    let spec = resolve_protocol(&req.protocol)?;
+    let mut scratch: Option<PathBuf> = None;
+    let arg = match &req.protocol {
+        ProtocolRef::Builtin(name) => name.clone(),
+        ProtocolRef::Inline(text) => {
+            let seq = SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("vnet-serve-spec-{}-{seq}.vnp", std::process::id()));
+            std::fs::write(&path, text).map_err(|e| format!("cannot stage spec: {e}"))?;
+            let arg = path.display().to_string();
+            scratch = Some(path);
+            arg
+        }
+        ProtocolRef::None => return Err("request needs a protocol".into()),
+    };
+    // Tidy the scratch file on every exit path below.
+    let cleanup = |r: Result<ExecResult, String>| {
+        if let Some(p) = &scratch {
+            let _ = std::fs::remove_file(p);
+        }
+        r
+    };
+
+    let exe = match std::env::current_exe() {
+        Ok(p) => p,
+        Err(e) => return cleanup(Err(format!("cannot find own executable: {e}"))),
+    };
+    let mut cmd = Proc::new(exe);
+    cmd.arg("mc").arg(&arg).arg("--machine");
+    match vns {
+        VnChoice::Single => {
+            cmd.arg("--single-vn");
+        }
+        VnChoice::Unique => {
+            cmd.arg("--unique-vns");
+        }
+        VnChoice::Minimal => {}
+    }
+    let mut clauses = Vec::new();
+    if let Some(d) = budget.deadline {
+        clauses.push(format!("{}ms", d.as_millis().max(1)));
+    }
+    if let Some(n) = budget.node_limit {
+        clauses.push(format!("nodes={n}"));
+    }
+    if !clauses.is_empty() {
+        cmd.arg("--budget").arg(clauses.join(","));
+    }
+    if let Some(b) = budget.mem_limit {
+        cmd.arg("--mem-budget").arg(b.to_string());
+    }
+    if checkpoint {
+        if let Some(p) = ckpt_path {
+            cmd.arg("--checkpoint").arg(p);
+        }
+    }
+    cmd.stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null());
+    let mut child = match cmd.spawn() {
+        Ok(c) => c,
+        Err(e) => return cleanup(Err(format!("worker spawn failed: {e}"))),
+    };
+
+    // The child self-limits via the forwarded budget; the supervisor
+    // only steps in for cooperative cancellation (drain/shutdown) and
+    // for a child that overruns its own deadline by a wide margin.
+    let hard_deadline = budget
+        .deadline
+        .map(|d| std::time::Instant::now() + d + std::time::Duration::from_secs(30));
+    let status = loop {
+        match child.try_wait() {
+            Ok(Some(status)) => break status,
+            Ok(None) => {
+                let cancelled = budget.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+                let overrun = hard_deadline.is_some_and(|d| std::time::Instant::now() >= d);
+                if cancelled || overrun {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    if cancelled {
+                        // Mirror the inline path: the worker maps a
+                        // cancelled provenance onto the response.
+                        let reason = budget
+                            .cancel
+                            .as_ref()
+                            .and_then(|t| t.reason())
+                            .unwrap_or(vnet_graph::CancelReason::Shutdown);
+                        return cleanup(Ok(ExecResult::new(
+                            vec![("protocol", Json::str(spec.name()))],
+                            Provenance::Degraded {
+                                reason: DegradeReason::Cancelled { reason },
+                            },
+                        )));
+                    }
+                    return cleanup(Err("worker process overran its deadline".into()));
+                }
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return cleanup(Err(format!("worker wait failed: {e}")));
+            }
+        }
+    };
+
+    let mut output = String::new();
+    if let Some(mut out) = child.stdout.take() {
+        use std::io::Read as _;
+        let _ = out.read_to_string(&mut output);
+    }
+    let Some(m) = parse_machine_line(&output) else {
+        let detail = match status.code() {
+            Some(code) => format!("worker exited with code {code} and no mc-result line"),
+            None => "worker killed without a result (OOM killer or signal)".to_string(),
+        };
+        return cleanup(Err(detail));
+    };
+
+    // The machine line flattens provenance to a string; rebuild the
+    // two cases the response schema distinguishes.
+    let provenance = if m.provenance == "exact" {
+        Provenance::Exact
+    } else {
+        Provenance::Degraded {
+            reason: DegradeReason::Bound {
+                what: m
+                    .provenance
+                    .strip_prefix("degraded: ")
+                    .unwrap_or(&m.provenance)
+                    .to_string(),
+            },
+        }
+    };
+    let mut fields = vec![
+        ("protocol", Json::str(spec.name())),
+        (
+            "verdict",
+            Json::str(match m.kind.as_str() {
+                "no-deadlock" => "no_deadlock".to_string(),
+                "deadlock" => "deadlock".to_string(),
+                "model-error" => "model_error".to_string(),
+                other => other.replace('-', "_"),
+            }),
+        ),
+        ("states", Json::num(m.states as u64)),
+        ("levels", Json::num(m.depth as u64)),
+    ];
+    if m.kind == "deadlock" {
+        fields.push(("depth", Json::num(m.depth as u64)));
+    }
+    if checkpoint {
+        if let Some(p) = ckpt_path {
+            fields.push(("checkpoint", Json::str(p.display().to_string())));
+        }
+    }
+    cleanup(Ok(ExecResult::new(fields, provenance)))
+}
+
 fn run_sim(
     req: &Request,
     budget: &Budget,
@@ -263,6 +454,7 @@ mod tests {
             Command::Mc {
                 vns: VnChoice::Single,
                 checkpoint: false,
+                process: false,
             },
             "MESI-nonblocking-cache",
         );
@@ -285,6 +477,7 @@ mod tests {
             Command::Mc {
                 vns: VnChoice::Unique,
                 checkpoint: false,
+                process: false,
             },
             "MESI-nonblocking-cache",
         );

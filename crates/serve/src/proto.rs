@@ -29,6 +29,11 @@ pub enum Command {
         vns: VnChoice,
         /// Whether to checkpoint (and flush on drain).
         checkpoint: bool,
+        /// Run in a dedicated worker *process* instead of on the
+        /// daemon's thread pool: a run the OOM killer takes out — or
+        /// one that trips a kernel bug — costs one child, not the
+        /// daemon. `dispatch: "process"` in the request.
+        process: bool,
     },
     /// NoC simulation (`vnet sim`).
     Sim {
@@ -146,6 +151,15 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
             },
             checkpoint: v.get("checkpoint").and_then(Json::as_bool).unwrap_or(false),
+            process: match v.get("dispatch").and_then(Json::as_str) {
+                None | Some("inline") => false,
+                Some("process") => true,
+                Some(other) => {
+                    return Err(format!(
+                        "unknown dispatch `{other}` (want inline or process)"
+                    ))
+                }
+            },
         },
         "sim" => Command::Sim {
             ops: u64_field(&v, "ops")?.unwrap_or(40) as usize,

@@ -173,9 +173,12 @@ usage:
           [--parallel <threads>] [--checkpoint <file>] [--resume <file>]
           [--checkpoint-interval <states>] [--stop-file <file>]
           [--inject-worker-panic <level>:<times>]
+          [--mem-budget <bytes>] [--spill-dir <dir>]
+          [--shard-procs <n> --shard-dir <dir>] [--inject-shard-kill <round>:<shard>]
   vnet campaign [<dir>] [--isolation thread|process] [--timeout <dur>] [--retries <n>]
           [--threads <n>] [--budget <budget>] [--checkpoint-dir <dir>]
           [--stop-file <file>] [--report <file>] [--inject-worker-panic <level>:<times>]
+          [--mem-budget <bytes>] [--spill-dir <dir>] [--shard-procs <n>]
   vnet sim <protocol> [--faults <plan>] [--seed <n>] [--topology ring:<n>|mesh:<r>x<c>]
            [--ops <n>] [--max-cycles <n>] [--unique-vns | --single-vn] [--recirculation]
   vnet serve [--listen <addr> | --stdin] [--workers <n>] [--queue <n>]
@@ -193,6 +196,13 @@ usage:
 Every command also accepts `--metrics <file>` (write a JSON metrics snapshot
 on exit, even degraded/cancelled ones) and `--trace <file>` (write a span
 log). Instrumentation is off — and costs nothing — without these flags.
+
+`vnet mc --mem-budget <bytes>` bounds the explorer's accounted footprint;
+adding `--spill-dir <dir>` sheds cold visited keys to checksummed disk
+segments at 4/5 of the budget instead of degrading. `--shard-procs <n>
+--shard-dir <dir>` partitions the state space across n worker *processes*
+coordinating through <dir>: a SIGKILLed worker is respawned and replays only
+its own round, and re-running the same command resumes a killed supervisor.
 
 `vnet campaign` sweeps every .vnp spec in <dir> (default `protocols/`, the
 Table I set) with per-protocol isolation, timeout, retry-with-backoff, and
@@ -312,26 +322,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             use std::path::PathBuf;
             use vnet::mc::{
                 campaign, checkpoint::CheckpointPolicy, explore_budgeted,
-                explore_checkpointed, explore_parallel_supervised, resume, resume_parallel,
-                CheckpointedRun, McConfig, ParallelOpts, Verdict, VnMap,
+                explore_checkpointed, explore_parallel_supervised, explore_procshard, resume,
+                resume_parallel, CheckpointedRun, McConfig, ParallelOpts, ProcOpts, SpillConfig,
+                Verdict,
             };
-            let vns = if args.iter().any(|a| a == "--unique-vns") {
-                VnMap::one_per_message(spec.messages().len())
-            } else if args.iter().any(|a| a == "--single-vn") {
-                VnMap::single(spec.messages().len())
-            } else {
-                match analyze(&spec).outcome() {
-                    VnOutcome::Assigned { assignment, .. } => {
-                        VnMap::from_assignment(assignment, spec.messages().len())
-                    }
-                    VnOutcome::Class2(_) => {
-                        println!("Class 2 protocol: checking with one VN per message");
-                        VnMap::one_per_message(spec.messages().len())
-                    }
-                }
-            };
-            let budget = budget_flag(args)?;
-            let cfg = McConfig::figure3(&spec).with_vns(vns);
+            let vns = resolve_vn_map(&spec, args);
+            let mut budget = budget_flag(args)?;
+            let mut cfg = McConfig::figure3(&spec).with_vns(vns);
 
             let machine = args.iter().any(|a| a == "--machine");
             let threads = flag_value(args, "--parallel")?
@@ -362,6 +359,77 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 return Err("--inject-worker-panic needs --parallel".into());
             }
 
+            // Out-of-core and process-shard flags. --mem-budget alone
+            // just bounds the serial explorer; adding --spill-dir lets
+            // it shed cold visited keys to disk instead of degrading;
+            // --shard-procs/--shard-dir hand the run to per-shard
+            // worker processes that survive individual SIGKILLs.
+            let mem_budget: Option<u64> = flag_value(args, "--mem-budget")?
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad value for --mem-budget: `{v}`"))
+                })
+                .transpose()?;
+            if mem_budget == Some(0) {
+                return Err("--mem-budget must be positive".into());
+            }
+            let spill_dir = flag_value(args, "--spill-dir")?.map(PathBuf::from);
+            let shard_procs: Option<u32> = flag_value(args, "--shard-procs")?
+                .map(|v| {
+                    v.parse::<u32>()
+                        .map_err(|_| format!("bad value for --shard-procs: `{v}`"))
+                })
+                .transpose()?;
+            if shard_procs == Some(0) {
+                return Err("--shard-procs needs a positive process count".into());
+            }
+            let shard_dir = flag_value(args, "--shard-dir")?.map(PathBuf::from);
+            let shard_kill = shard_kill_flag(args)?;
+            if shard_procs.is_some() != shard_dir.is_some() {
+                return Err("--shard-procs and --shard-dir go together".into());
+            }
+            if shard_procs.is_some() {
+                if threads.is_some() {
+                    return Err("--shard-procs and --parallel are mutually exclusive".into());
+                }
+                if resume_path.is_some() {
+                    return Err(
+                        "--shard-procs resumes from its --shard-dir; --resume is for the \
+                         serial and thread-parallel explorers"
+                            .into(),
+                    );
+                }
+                if spill_dir.is_some() {
+                    return Err(
+                        "--shard-procs workers spill inside --shard-dir; drop --spill-dir".into(),
+                    );
+                }
+            } else if shard_kill.is_some() {
+                return Err("--inject-shard-kill needs --shard-procs".into());
+            }
+            if let Some(dir) = &spill_dir {
+                if mem_budget.is_none() {
+                    return Err("--spill-dir needs --mem-budget (the spill trigger)".into());
+                }
+                if threads.is_some() {
+                    return Err(
+                        "--spill-dir applies to the serial explorer; the thread-parallel \
+                         explorer keeps its shards in RAM"
+                            .into(),
+                    );
+                }
+                if let Some(b) = mem_budget {
+                    // Spill at 4/5 of the budget: cold keys leave RAM
+                    // before the budget meter would latch exhaustion.
+                    cfg = cfg.with_spill(SpillConfig::new(dir, b.saturating_mul(4) / 5));
+                }
+            }
+            if shard_procs.is_none() {
+                if let Some(b) = mem_budget {
+                    budget = budget.with_mem_limit(b);
+                }
+            }
+
             // A resumed run keeps checkpointing to the file it resumed
             // from unless --checkpoint redirects it.
             let policy_path = ckpt_path.or_else(|| resume_path.clone());
@@ -373,7 +441,19 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 pol
             });
 
-            let run = if let Some(n) = threads {
+            let run = if let (Some(n), Some(dir)) = (shard_procs, shard_dir) {
+                let mut opts = ProcOpts::new(n, dir, args[1].clone());
+                if args.iter().any(|a| a == "--unique-vns") {
+                    opts.vn_flag = Some("--unique-vns".into());
+                } else if args.iter().any(|a| a == "--single-vn") {
+                    opts.vn_flag = Some("--single-vn".into());
+                }
+                opts.budget = budget;
+                opts.mem_budget = mem_budget;
+                opts.policy = policy;
+                opts.inject_kill = shard_kill;
+                explore_procshard(&spec, &cfg, &opts)
+            } else if let Some(n) = threads {
                 let mut opts = ParallelOpts::new().with_threads(n).with_budget(budget);
                 if let Some(p) = policy {
                     opts = opts.with_policy(p);
@@ -478,6 +558,42 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             if let Some(i) = inject_flag(args)? {
                 cc = cc.with_injection(i);
+            }
+            if let Some(b) = flag_value(args, "--mem-budget")? {
+                let b: u64 = b
+                    .parse()
+                    .map_err(|_| format!("bad value for --mem-budget: `{b}`"))?;
+                if b == 0 {
+                    return Err("--mem-budget must be positive".into());
+                }
+                cc = cc.with_mem_budget(b);
+            }
+            if let Some(d) = flag_value(args, "--spill-dir")? {
+                if cc.mem_budget.is_none() {
+                    return Err("--spill-dir needs --mem-budget (the spill trigger)".into());
+                }
+                if cc.isolation != Isolation::Process {
+                    return Err("--spill-dir needs --isolation process".into());
+                }
+                cc = cc.with_spill_dir(d);
+            }
+            if let Some(n) = flag_value(args, "--shard-procs")? {
+                let n: u32 = n
+                    .parse()
+                    .map_err(|_| format!("bad value for --shard-procs: `{n}`"))?;
+                if n == 0 {
+                    return Err("--shard-procs needs a positive process count".into());
+                }
+                if cc.isolation != Isolation::Process {
+                    return Err("--shard-procs needs --isolation process".into());
+                }
+                if cc.spill_dir.is_some() {
+                    return Err(
+                        "--shard-procs workers spill inside their shard dirs; drop --spill-dir"
+                            .into(),
+                    );
+                }
+                cc = cc.with_shard_procs(n);
             }
             println!(
                 "campaign: {} protocol(s) from {dir}, {:?} isolation",
@@ -674,6 +790,38 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 }
             }
         }
+        // Hidden: one shard-process round of `vnet mc --shard-procs`.
+        // Spawned by the supervisor, never typed by hand; errors land
+        // on a nonzero exit that the supervisor treats as a casualty.
+        "__shard-worker" => {
+            use vnet::mc::{run_worker, McConfig, WorkerOpts};
+            let need = |name: &str| -> Result<String, String> {
+                flag_value(args, name)?.ok_or_else(|| format!("__shard-worker needs {name}"))
+            };
+            let spec = load(&need("--spec")?)?;
+            let vns = resolve_vn_map(&spec, args);
+            let cfg = McConfig::figure3(&spec).with_vns(vns);
+            let parse_u32 = |name: &str| -> Result<u32, String> {
+                need(name)?
+                    .parse::<u32>()
+                    .map_err(|_| format!("bad value for {name}"))
+            };
+            let w = WorkerOpts {
+                dir: PathBuf::from(need("--dir")?),
+                shard: parse_u32("--shard")?,
+                of: parse_u32("--of")?,
+                round: parse_u32("--round")?,
+                mem_budget: flag_value(args, "--mem-budget")?
+                    .map(|v| {
+                        v.parse::<u64>()
+                            .map_err(|_| "bad value for --mem-budget".to_string())
+                    })
+                    .transpose()?,
+                crash: args.iter().any(|a| a == "--crash"),
+            };
+            run_worker(&spec, &cfg, &w).map_err(|e| format!("shard worker: {e}"))?;
+            Ok(Outcome::Clean)
+        }
         "" => Err("no command given".into()),
         other => Err(format!("unknown command {other}")),
     }
@@ -751,6 +899,50 @@ fn parse_duration(text: &str) -> Result<Duration, String> {
         return Ok(Duration::from_secs(s));
     }
     Err(format!("bad duration `{text}` (want `90s` or `1500ms`)"))
+}
+
+/// Resolves the VN mapping the `mc` family checks under: an explicit
+/// `--unique-vns`/`--single-vn` flag wins, otherwise the analyzer's
+/// minimal assignment (Class 2 protocols fall back to one VN per
+/// message). Shard worker processes run the same resolution so their
+/// configuration — and hence the checkpoint fingerprint — matches the
+/// supervisor's exactly.
+fn resolve_vn_map(spec: &ProtocolSpec, args: &[String]) -> vnet::mc::VnMap {
+    use vnet::mc::VnMap;
+    if args.iter().any(|a| a == "--unique-vns") {
+        VnMap::one_per_message(spec.messages().len())
+    } else if args.iter().any(|a| a == "--single-vn") {
+        VnMap::single(spec.messages().len())
+    } else {
+        match analyze(spec).outcome() {
+            VnOutcome::Assigned { assignment, .. } => {
+                VnMap::from_assignment(assignment, spec.messages().len())
+            }
+            VnOutcome::Class2(_) => {
+                println!("Class 2 protocol: checking with one VN per message");
+                VnMap::one_per_message(spec.messages().len())
+            }
+        }
+    }
+}
+
+/// Parses `--inject-shard-kill <round>:<shard>` (crash injection for
+/// the process-shard supervisor tests and the CI smoke job: the named
+/// worker aborts mid-round on its first spawn).
+fn shard_kill_flag(args: &[String]) -> Result<Option<(u32, u32)>, String> {
+    let Some(text) = flag_value(args, "--inject-shard-kill")? else {
+        return Ok(None);
+    };
+    let (round, shard) = text
+        .split_once(':')
+        .ok_or_else(|| format!("bad injection `{text}` (want <round>:<shard>)"))?;
+    let round: u32 = round
+        .parse()
+        .map_err(|_| format!("bad round in `{text}`"))?;
+    let shard: u32 = shard
+        .parse()
+        .map_err(|_| format!("bad shard in `{text}`"))?;
+    Ok(Some((round, shard)))
 }
 
 /// Parses `--inject-worker-panic <level>:<times>` (fault injection for

@@ -11,7 +11,7 @@ use std::path::PathBuf;
 use vnet::core::Budget;
 use vnet::mc::{
     explore_budgeted, explore_checkpointed, explore_parallel_supervised, resume, resume_parallel,
-    CheckpointPolicy, CheckpointedRun, McConfig, ParallelOpts, Verdict, VnMap,
+    CheckpointPolicy, CheckpointedRun, McConfig, ParallelOpts, SpillConfig, Verdict, VnMap,
 };
 use vnet::protocol::{protocols, ProtocolSpec};
 
@@ -207,6 +207,118 @@ fn parallel_kill_and_resume_matches_a_clean_parallel_run() {
         "parallel kill-and-resume diverged from the clean run"
     );
     let _ = std::fs::remove_file(&path);
+}
+
+/// Out-of-core row of the matrix: the same kill-and-resume chains with
+/// the spill tier forced on (a threshold small enough that cold blobs
+/// hit disk almost immediately). Spilling is a storage detail — the
+/// verdict signature must match the in-RAM baseline bit for bit, and
+/// the run must actually have spilled or the row proved nothing.
+#[test]
+fn spill_enabled_kill_and_resume_matches_the_in_ram_run() {
+    let spec = protocols::msi_blocking_cache();
+    let base_cfg = McConfig::figure3(&spec)
+        .with_vns(VnMap::one_per_message(spec.messages().len()))
+        .with_limits(3_000, Some(7));
+
+    // In-RAM baseline, uninterrupted.
+    let base_path = tmp("spill-base");
+    let _ = std::fs::remove_file(&base_path);
+    let base_policy = CheckpointPolicy::new(&base_path).every_states(1_000_000);
+    let baseline = match explore_checkpointed(
+        &spec,
+        &base_cfg,
+        &Budget::unlimited(),
+        &base_policy,
+        |_, _| {},
+    ) {
+        Ok(CheckpointedRun::Finished(v)) => signature(&v),
+        other => panic!("in-RAM reference did not finish: {other:?}"),
+    };
+    let _ = std::fs::remove_file(&base_path);
+
+    let spill_root = std::env::temp_dir().join(format!("vnet-resume-spill-{}", std::process::id()));
+
+    // Fresh spilled run: same signature, and it genuinely spilled.
+    let fresh_dir = spill_root.join("fresh");
+    let cfg = base_cfg.clone().with_spill(SpillConfig::new(&fresh_dir, 4_096));
+    let fresh_path = tmp("spill-fresh");
+    let _ = std::fs::remove_file(&fresh_path);
+    let policy = CheckpointPolicy::new(&fresh_path).every_states(1_000_000);
+    let fresh = match explore_checkpointed(&spec, &cfg, &Budget::unlimited(), &policy, |_, _| {}) {
+        Ok(CheckpointedRun::Finished(v)) => v,
+        other => panic!("spilled run did not finish: {other:?}"),
+    };
+    let _ = std::fs::remove_file(&fresh_path);
+    assert_eq!(signature(&fresh), baseline, "spilling changed the verdict");
+    assert!(
+        fresh.stats().spill_bytes > 0,
+        "threshold of 4 KiB never spilled; the out-of-core path was not exercised"
+    );
+
+    // Kill-and-resume chains with the spill tier on, across two
+    // checkpoint cadences.
+    for k in [1usize, 17] {
+        let seg_dir = spill_root.join(format!("k{k}"));
+        let cfg = base_cfg.clone().with_spill(SpillConfig::new(&seg_dir, 4_096));
+        let path = tmp(&format!("spill-k{k}"));
+        let (v, resumes) = run_in_segments(&spec, &cfg, &path, k, 700);
+        assert_eq!(
+            signature(&v),
+            baseline,
+            "spill-enabled checkpoint-every-{k} diverged after {resumes} resume(s)"
+        );
+        assert!(resumes >= 1, "spill k={k}: run was never interrupted");
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir_all(&spill_root);
+}
+
+/// Multi-process row of the matrix: the process-shard supervisor is
+/// interrupted by a node budget and flushes a merged v2 checkpoint;
+/// the in-process serial `resume` must finish it and land on the plain
+/// explorer's exact deadlock witness. (The supervisor re-invokes the
+/// `vnet` binary per shard, so this leg drives the real CLI.)
+#[test]
+fn procshard_checkpoint_resumes_in_process_to_the_plain_verdict() {
+    // A complete (no-deadlock) space: exhaustive verdicts are
+    // insensitive to the order the merged frontier is re-expanded in,
+    // unlike counterexample state counts.
+    let spec = protocols::chi();
+    let cfg = McConfig::figure3(&spec).with_vns(VnMap::one_per_message(spec.messages().len()));
+    let baseline = signature(&explore_budgeted(&spec, &cfg, &Budget::unlimited()));
+    assert_eq!(baseline.0, "no-deadlock", "CHI/unique-VNs must complete");
+
+    let dir = std::env::temp_dir().join(format!("vnet-resume-proc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::create_dir_all(&dir);
+    let ckpt = dir.join("merged.ckpt");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_vnet"))
+        .args(["mc", "CHI", "--unique-vns", "--machine"])
+        .args(["--shard-procs", "2", "--shard-dir"])
+        .arg(&dir)
+        .args(["--budget", "nodes=60000", "--checkpoint"])
+        .arg(&ckpt)
+        .output()
+        .expect("vnet mc should spawn");
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "budgeted procshard leg should degrade:\n{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    assert!(ckpt.exists(), "degraded supervisor must flush a merged checkpoint");
+
+    let v = match resume(&ckpt, &spec, &cfg, &Budget::unlimited(), None, |_, _| {}) {
+        Ok(CheckpointedRun::Finished(v)) => v,
+        other => panic!("in-process resume did not finish: {other:?}"),
+    };
+    assert_eq!(
+        signature(&v),
+        baseline,
+        "resuming the merged procshard checkpoint diverged from the plain run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Regression test for the memory-accounting bug: a resumed run used

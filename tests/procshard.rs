@@ -1,0 +1,243 @@
+//! End-to-end tests for the process-sharded explorer (`vnet mc
+//! --shard-procs`), driven through the CLI: the supervisor re-invokes
+//! the `vnet` binary for each shard worker, so these tests exercise the
+//! same spawn path production uses. The properties under test are the
+//! module's contract: verdict parity with the serial explorer,
+//! shard-count invariance, bit-identical recovery from a worker killed
+//! mid-round, directory-level supervisor resume, and a merged v2
+//! checkpoint that the plain serial explorer can resume.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn vnet_bin() -> &'static str {
+    env!("CARGO_BIN_EXE_vnet")
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-procshard-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    let _ = std::fs::create_dir_all(&d);
+    d
+}
+
+/// Runs `vnet mc` with `args`, returning (exit code, stdout).
+fn run_mc(args: &[&str]) -> (i32, String) {
+    let out = Command::new(vnet_bin())
+        .arg("mc")
+        .args(args)
+        .output()
+        .expect("vnet mc should spawn");
+    let code = out.status.code().unwrap_or(-1);
+    (code, String::from_utf8_lossy(&out.stdout).into_owned())
+}
+
+/// The `mc-result` machine line of an output, or a panic with context.
+fn machine_line(stdout: &str) -> String {
+    stdout
+        .lines()
+        .find(|l| l.starts_with("mc-result "))
+        .unwrap_or_else(|| panic!("no mc-result line in:\n{stdout}"))
+        .to_string()
+}
+
+/// A complete (exhaustive) run must agree with the serial explorer on
+/// everything the machine line carries: verdict kind, depth, distinct
+/// state count, and exact provenance.
+#[test]
+fn complete_run_matches_the_serial_explorer() {
+    let (serial_code, serial_out) = run_mc(&["CHI", "--machine"]);
+    assert_eq!(serial_code, 0, "serial run failed:\n{serial_out}");
+
+    let dir = tmpdir("complete");
+    let dir_s = dir.display().to_string();
+    let (code, out) = run_mc(&[
+        "CHI",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+    ]);
+    assert_eq!(code, 0, "procshard run failed:\n{out}");
+    assert_eq!(
+        machine_line(&out),
+        machine_line(&serial_out),
+        "procshard diverged from serial"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The shard count is a performance knob, not a semantic one: the same
+/// workload under different fan-outs produces identical machine lines
+/// — including the deadlock witness depth and the state count.
+#[test]
+fn deadlock_verdict_is_shard_count_invariant() {
+    let mut lines = Vec::new();
+    for n in ["2", "3"] {
+        let dir = tmpdir(&format!("inv{n}"));
+        let dir_s = dir.display().to_string();
+        let (code, out) = run_mc(&[
+            "CHI",
+            "--single-vn",
+            "--machine",
+            "--shard-procs",
+            n,
+            "--shard-dir",
+            &dir_s,
+        ]);
+        assert_eq!(code, 2, "single-VN CHI must exit 2 (deadlock):\n{out}");
+        lines.push(machine_line(&out));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    assert_eq!(lines[0], lines[1], "verdict depends on shard count");
+}
+
+/// The acceptance scenario: a worker process dies mid-round — after
+/// committing its section, before its outboxes and result record — and
+/// the supervisor respawns it. The CLI output must be bit-identical to
+/// an undisturbed run, stdout bytes included.
+#[test]
+fn killed_shard_mid_round_reproduces_bit_identical_output() {
+    let dir = tmpdir("clean");
+    let dir_s = dir.display().to_string();
+    let (code, clean) = run_mc(&[
+        "CHI",
+        "--single-vn",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+    ]);
+    assert_eq!(code, 2, "clean run failed:\n{clean}");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let dir = tmpdir("killed");
+    let dir_s = dir.display().to_string();
+    let (code, killed) = run_mc(&[
+        "CHI",
+        "--single-vn",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+        "--inject-shard-kill",
+        "7:1",
+    ]);
+    assert_eq!(code, 2, "kill-injected run failed:\n{killed}");
+    assert_eq!(
+        clean, killed,
+        "a killed-and-respawned shard changed the output"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A dead *supervisor* is recovered by re-running the same command on
+/// the same directory: the interrupted leg leaves committed rounds
+/// behind (exactly what a SIGKILL leaves), and the second leg finishes
+/// the search with the same machine line a fresh run produces.
+#[test]
+fn supervisor_resumes_a_partially_explored_directory() {
+    let (_, fresh) = run_mc(&["CHI", "--single-vn", "--machine"]);
+    let fresh_line = machine_line(&fresh);
+
+    let dir = tmpdir("resume");
+    let dir_s = dir.display().to_string();
+    // Leg 1: a node budget stops the supervisor at a round boundary
+    // (exit 3, degraded) — the directory now holds committed rounds.
+    let (code, leg1) = run_mc(&[
+        "CHI",
+        "--single-vn",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+        "--budget",
+        "nodes=40000",
+    ]);
+    assert_eq!(code, 3, "budgeted leg should degrade:\n{leg1}");
+    assert!(
+        machine_line(&leg1).contains("degraded"),
+        "leg 1 should be degraded:\n{leg1}"
+    );
+
+    // Leg 2: same command, no budget — picks up from the committed
+    // round and must land on the fresh run's exact verdict.
+    let (code, leg2) = run_mc(&[
+        "CHI",
+        "--single-vn",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+    ]);
+    assert_eq!(code, 2, "resumed leg should find the deadlock:\n{leg2}");
+    assert_eq!(
+        machine_line(&leg2),
+        fresh_line,
+        "resumed directory diverged from a fresh run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// An interrupted procshard run with `--checkpoint` merges its shard
+/// sections into one standard v2 checkpoint; the *serial* explorer must
+/// be able to resume it and finish with its own exact verdict.
+#[test]
+fn merged_checkpoint_resumes_under_the_serial_explorer() {
+    let (_, fresh) = run_mc(&["CHI", "--machine"]);
+    let fresh_line = machine_line(&fresh);
+
+    let dir = tmpdir("merge");
+    let dir_s = dir.display().to_string();
+    let ckpt = dir.join("merged.ckpt");
+    let ckpt_s = ckpt.display().to_string();
+    let (code, leg1) = run_mc(&[
+        "CHI",
+        "--machine",
+        "--shard-procs",
+        "2",
+        "--shard-dir",
+        &dir_s,
+        "--budget",
+        "nodes=60000",
+        "--checkpoint",
+        &ckpt_s,
+    ]);
+    assert_eq!(code, 3, "budgeted leg should degrade:\n{leg1}");
+    assert!(ckpt.exists(), "degraded leg must flush a merged checkpoint");
+
+    let (code, resumed) = run_mc(&["CHI", "--machine", "--resume", &ckpt_s]);
+    assert_eq!(code, 0, "serial resume failed:\n{resumed}");
+    assert_eq!(
+        machine_line(&resumed),
+        fresh_line,
+        "serial resume of the merged checkpoint diverged"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flag validation: the process-shard and out-of-core flags fail closed
+/// on the combinations the explorers cannot honor.
+#[test]
+fn conflicting_flags_are_rejected_before_anything_runs() {
+    let cases: &[&[&str]] = &[
+        &["CHI", "--shard-procs", "2"],                      // no --shard-dir
+        &["CHI", "--shard-dir", "/tmp/x"],                   // no --shard-procs
+        &["CHI", "--shard-procs", "0", "--shard-dir", "/tmp/x"], // zero shards
+        &["CHI", "--shard-procs", "2", "--shard-dir", "/tmp/x", "--parallel", "2"],
+        &["CHI", "--shard-procs", "2", "--shard-dir", "/tmp/x", "--resume", "/tmp/y"],
+        &["CHI", "--spill-dir", "/tmp/x"],                   // no --mem-budget
+        &["CHI", "--mem-budget", "0"],                       // zero budget
+        &["CHI", "--mem-budget", "1000000", "--spill-dir", "/tmp/x", "--parallel", "2"],
+        &["CHI", "--inject-shard-kill", "1:0"],              // no --shard-procs
+    ];
+    for args in cases {
+        let (code, out) = run_mc(args);
+        assert_eq!(code, 1, "{args:?} should be a usage error, got:\n{out}");
+    }
+}

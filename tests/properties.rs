@@ -203,7 +203,7 @@ fn state_arena_roundtrip_matches_a_model_map() {
                 .collect();
             let (id, fresh) = arena
                 .intern(&key)
-                .unwrap_or_else(|| panic!("case {case} seed {seed:#x}: arena overflow"));
+                .unwrap_or_else(|why| panic!("case {case} seed {seed:#x}: {why}"));
             match model.get(&key) {
                 Some(&expect) => {
                     assert!(!fresh, "case {case} seed {seed:#x} op {op}: duplicate marked fresh");

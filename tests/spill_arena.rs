@@ -1,0 +1,167 @@
+//! The spillable arena's out-of-core contract: spilling moves bytes to
+//! disk without renumbering ids, dedup stays exact across tiers (every
+//! fingerprint hit is disk-verified), id-order streaming survives
+//! segment boundaries, and accounted bytes actually drop — the
+//! properties the serial explorer's memory-budget parity rests on.
+
+use std::path::PathBuf;
+use vnet::mc::{SpillArena, SpillConfig};
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-spill-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    d
+}
+
+/// Deterministic blob for key `i` — constant head and tail with a
+/// varying middle window, sharing structure with neighbours the way
+/// real state encodings do (one cache line changed, the rest stable).
+fn blob(i: u32) -> Vec<u8> {
+    let mut v = vec![0x5au8; 48];
+    v[16..20].copy_from_slice(&i.to_le_bytes());
+    let mut x = i as u64 ^ 0x9e37_79b9_7f4a_7c15;
+    for b in v.iter_mut().skip(20).take(6) {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (x >> 56) as u8;
+    }
+    v
+}
+
+#[test]
+fn behaves_like_a_plain_arena_without_a_config() {
+    let mut a = SpillArena::new(None);
+    let (x, fresh) = a.intern(b"alpha").unwrap();
+    assert!(fresh);
+    let (x2, fresh2) = a.intern(b"alpha").unwrap();
+    assert!(!fresh2);
+    assert_eq!(x, x2);
+    let mut out = Vec::new();
+    assert!(a.get_into(x, &mut out));
+    assert_eq!(out, b"alpha");
+    assert!(!a.has_spilled());
+    assert!(!a.maybe_spill(u64::MAX).unwrap());
+}
+
+#[test]
+fn spill_preserves_ids_lookup_and_exact_dedup() {
+    let dir = tmp_dir("dedup");
+    let mut cfg = SpillConfig::new(&dir, 0);
+    cfg.min_hot_bytes = 1;
+    let mut a = SpillArena::new(Some(cfg));
+    let n = 1000u32;
+    for i in 0..n {
+        let (id, fresh) = a.intern(&blob(i)).unwrap();
+        assert!(fresh);
+        assert_eq!(id, i);
+        if i % 137 == 0 {
+            assert!(a.maybe_spill(u64::MAX).unwrap());
+        }
+    }
+    assert!(a.has_spilled());
+    assert!(a.spill_stats().spilled_bytes > 0);
+    // Compression must actually compress these structured blobs.
+    assert!(
+        a.spill_stats().compress_ratio_pct() < 80,
+        "ratio {}",
+        a.spill_stats().compress_ratio_pct()
+    );
+    // Every id resolves to its original bytes, hot or cold.
+    let mut out = Vec::new();
+    for i in 0..n {
+        assert!(a.get_into(i, &mut out), "id {i} unreadable");
+        assert_eq!(out, blob(i), "id {i} corrupted");
+    }
+    // Re-interning anything is a dup with the original id.
+    for i in (0..n).step_by(7) {
+        let (id, fresh) = a.intern(&blob(i)).unwrap();
+        assert!(!fresh, "key {i} claimed twice");
+        assert_eq!(id, i);
+    }
+    assert!(a.spill_stats().reads > 0);
+    // Fresh keys still intern above the cold tier.
+    let (id, fresh) = a.intern(&blob(n + 1)).unwrap();
+    assert!(fresh);
+    assert_eq!(id, n);
+    assert_eq!(a.lookup(&blob(3)), Some(3));
+    assert_eq!(a.lookup(&blob(n + 7)), None);
+    // Dropping the arena removes its segment files.
+    drop(a);
+    let leftover = std::fs::read_dir(&dir)
+        .map(|d| d.flatten().count())
+        .unwrap_or(0);
+    assert_eq!(leftover, 0, "segment files survived drop");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn for_each_streams_in_id_order() {
+    let dir = tmp_dir("foreach");
+    let mut cfg = SpillConfig::new(&dir, 0);
+    cfg.min_hot_bytes = 1;
+    let mut a = SpillArena::new(Some(cfg));
+    for i in 0..300u32 {
+        a.intern(&blob(i)).unwrap();
+        if i == 99 || i == 222 {
+            a.maybe_spill(u64::MAX).unwrap();
+        }
+    }
+    let mut seen = 0u32;
+    let r: Result<(), ()> = a
+        .for_each(|id, bytes| {
+            assert_eq!(id, seen);
+            assert_eq!(bytes, blob(id), "id {id} diverged in stream");
+            seen += 1;
+            Ok(())
+        })
+        .unwrap();
+    assert!(r.is_ok());
+    assert_eq!(seen, 300);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn heap_bytes_drops_after_a_spill() {
+    let dir = tmp_dir("shrink");
+    let mut cfg = SpillConfig::new(&dir, 0);
+    cfg.min_hot_bytes = 1;
+    let mut a = SpillArena::new(Some(cfg));
+    for i in 0..2000u32 {
+        a.intern(&blob(i)).unwrap();
+    }
+    let before = a.heap_bytes();
+    assert!(a.maybe_spill(u64::MAX).unwrap());
+    let after = a.heap_bytes();
+    assert!(
+        after * 2 < before,
+        "spill must at least halve accounted bytes: {before} -> {after}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn min_hot_bytes_guards_tiny_spills() {
+    let dir = tmp_dir("guard");
+    let mut a = SpillArena::new(Some(SpillConfig::new(&dir, 0)));
+    a.intern(b"one small key").unwrap();
+    assert!(!a.maybe_spill(u64::MAX).unwrap());
+    assert!(!a.has_spilled());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn stale_tmp_files_are_swept_on_first_spill() {
+    let dir = tmp_dir("sweep");
+    let _ = std::fs::create_dir_all(&dir);
+    let stale = dir.join("seg-999-0.spill.tmp");
+    std::fs::write(&stale, b"torn").unwrap();
+    let mut cfg = SpillConfig::new(&dir, 0);
+    cfg.min_hot_bytes = 1;
+    let mut a = SpillArena::new(Some(cfg));
+    for i in 0..64u32 {
+        a.intern(&blob(i)).unwrap();
+    }
+    assert!(a.maybe_spill(u64::MAX).unwrap());
+    assert!(!stale.exists(), "stale tmp survived the sweep");
+    drop(a);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,228 @@
+//! Version-interchange corpus for the checkpoint format: the
+//! thread-parallel explorer still writes version-1 files, the serial
+//! explorer flushes version-2 (the shard-section format the
+//! process-shard explorer shares), and every reader accepts both. For
+//! a corpus of interrupted runs across protocols this suite checks
+//! that a checkpoint round-trips v1 → v2 → v1 without losing a state,
+//! and that resuming from any encoding of the same snapshot produces
+//! the identical verdict.
+
+use std::path::PathBuf;
+use vnet::core::Budget;
+use vnet::mc::{
+    explore_checkpointed, explore_parallel_supervised, resume, Checkpoint, CheckpointPolicy,
+    CheckpointedRun, McConfig, ParallelOpts, Verdict, VnMap,
+};
+use vnet::protocol::{protocols, ProtocolSpec};
+
+fn tmp(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-v1v2-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&d);
+    d.join(format!("{tag}.ckpt"))
+}
+
+/// The observable identity of a verdict for equivalence checks.
+fn signature(v: &Verdict) -> (String, usize, usize, Vec<String>) {
+    let stats = v.stats();
+    let (kind, depth, steps) = match v {
+        Verdict::NoDeadlock(s) => ("no-deadlock".to_string(), s.levels, Vec::new()),
+        Verdict::Deadlock { depth, trace, .. } => {
+            ("deadlock".to_string(), *depth, trace.steps.clone())
+        }
+        Verdict::ModelError { trace, .. } => {
+            ("model-error".to_string(), stats.levels, trace.steps.clone())
+        }
+        Verdict::InvariantViolation { trace, .. } => (
+            "invariant-violation".to_string(),
+            stats.levels,
+            trace.steps.clone(),
+        ),
+    };
+    (kind, depth, stats.states, steps)
+}
+
+/// The corpus: a protocol, its config, and a node budget that
+/// interrupts exploration partway so the flushed checkpoint carries a
+/// non-trivial visited set and frontier.
+fn corpus() -> Vec<(&'static str, ProtocolSpec, usize, u64)> {
+    vec![
+        ("msi-b", protocols::msi_blocking_cache(), 3_000, 900),
+        ("mesi-nb", protocols::mesi_nonblocking_cache(), 4_000, 1_500),
+        ("chi", protocols::chi(), 5_000, 2_000),
+    ]
+}
+
+fn config_for(spec: &ProtocolSpec, max_states: usize) -> McConfig {
+    McConfig::figure3(spec)
+        .with_vns(VnMap::one_per_message(spec.messages().len()))
+        .with_limits(max_states, Some(7))
+}
+
+/// Serial resume must reach the same verdict from the same snapshot no
+/// matter which version encodes it — including after a v1 → v2 → v1
+/// round-trip through the conversion path.
+#[test]
+fn every_encoding_of_a_snapshot_resumes_identically() {
+    for (name, spec, max_states, seg) in corpus() {
+        let cfg = config_for(&spec, max_states);
+
+        // Reference: the uninterrupted checkpointed run.
+        let ref_path = tmp(&format!("{name}-ref"));
+        let _ = std::fs::remove_file(&ref_path);
+        let ref_policy = CheckpointPolicy::new(&ref_path).every_states(1_000_000);
+        let baseline = match explore_checkpointed(
+            &spec,
+            &cfg,
+            &Budget::unlimited(),
+            &ref_policy,
+            |_, _| {},
+        ) {
+            Ok(CheckpointedRun::Finished(v)) => signature(&v),
+            other => panic!("{name}: reference run did not finish: {other:?}"),
+        };
+        let _ = std::fs::remove_file(&ref_path);
+
+        // Interrupted snapshot, flushed by the *serial* explorer (v2).
+        let v2_path = tmp(&format!("{name}-v2"));
+        let _ = std::fs::remove_file(&v2_path);
+        let policy = CheckpointPolicy::new(&v2_path).every_states(1);
+        match explore_checkpointed(
+            &spec,
+            &cfg,
+            &Budget::unlimited().with_node_limit(seg),
+            &policy,
+            |_, _| {},
+        ) {
+            Ok(CheckpointedRun::Finished(v)) => assert!(
+                !v.stats().provenance.is_exact(),
+                "{name}: node budget too generous; snapshot is not mid-run"
+            ),
+            other => panic!("{name}: snapshot leg failed: {other:?}"),
+        }
+
+        // Re-encode the same snapshot in every supported version.
+        let loaded = Checkpoint::load(&v2_path, &spec, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: cannot load v2 snapshot: {e}"));
+        let v1_path = tmp(&format!("{name}-v1"));
+        loaded
+            .write_to(&v1_path)
+            .unwrap_or_else(|e| panic!("{name}: cannot write v1: {e}"));
+        let rt_path = tmp(&format!("{name}-v1v2"));
+        let reloaded = Checkpoint::load(&v1_path, &spec, &cfg)
+            .unwrap_or_else(|e| panic!("{name}: cannot reload v1: {e}"));
+        reloaded
+            .write_to_v2(&rt_path)
+            .unwrap_or_else(|e| panic!("{name}: cannot rewrite v2: {e}"));
+
+        for (enc, path) in [("v2", &v2_path), ("v1", &v1_path), ("v1->v2", &rt_path)] {
+            let run = resume(path, &spec, &cfg, &Budget::unlimited(), None, |_, _| {})
+                .unwrap_or_else(|e| panic!("{name}/{enc}: resume failed: {e}"));
+            let v = match run {
+                CheckpointedRun::Finished(v) => v,
+                other => panic!("{name}/{enc}: resume did not finish: {other:?}"),
+            };
+            assert_eq!(
+                signature(&v),
+                baseline,
+                "{name}: resuming the {enc} encoding diverged"
+            );
+        }
+        for p in [&v2_path, &v1_path, &rt_path] {
+            let _ = std::fs::remove_file(p);
+        }
+    }
+}
+
+/// Cross-explorer interchange: a v1 checkpoint flushed by the
+/// *thread-parallel* explorer resumes under the serial explorer (the
+/// v1 → v2 conversion production actually exercises), and its verdict
+/// matches the uninterrupted serial run.
+#[test]
+fn parallel_v1_checkpoint_resumes_under_the_serial_explorer() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = config_for(&spec, 3_000);
+
+    let ref_path = tmp("cross-ref");
+    let _ = std::fs::remove_file(&ref_path);
+    let ref_policy = CheckpointPolicy::new(&ref_path).every_states(1_000_000);
+    let baseline = match explore_checkpointed(
+        &spec,
+        &cfg,
+        &Budget::unlimited(),
+        &ref_policy,
+        |_, _| {},
+    ) {
+        Ok(CheckpointedRun::Finished(v)) => signature(&v),
+        other => panic!("reference run did not finish: {other:?}"),
+    };
+    let _ = std::fs::remove_file(&ref_path);
+
+    let path = tmp("cross-v1");
+    let _ = std::fs::remove_file(&path);
+    let opts = ParallelOpts::new()
+        .with_threads(2)
+        .with_budget(Budget::unlimited().with_node_limit(900))
+        .with_policy(CheckpointPolicy::new(&path).every_states(1));
+    match explore_parallel_supervised(&spec, &cfg, &opts) {
+        Ok(CheckpointedRun::Finished(v)) => assert!(
+            !v.stats().provenance.is_exact(),
+            "node budget too generous; checkpoint is not mid-run"
+        ),
+        other => panic!("parallel snapshot leg failed: {other:?}"),
+    }
+    assert!(path.exists(), "parallel leg never flushed");
+
+    let run = resume(&path, &spec, &cfg, &Budget::unlimited(), None, |_, _| {})
+        .unwrap_or_else(|e| panic!("serial resume of parallel v1 failed: {e}"));
+    let v = match run {
+        CheckpointedRun::Finished(v) => v,
+        other => panic!("resume did not finish: {other:?}"),
+    };
+    assert_eq!(
+        signature(&v),
+        baseline,
+        "serial resume of a parallel v1 checkpoint diverged"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Damaged v2 files fail closed with a structured error — bit flips in
+/// the manifest, the section bytes, and the envelope checksum must all
+/// be caught, never panic or resume silently wrong.
+#[test]
+fn corrupted_v2_checkpoints_are_rejected() {
+    let spec = protocols::msi_blocking_cache();
+    let cfg = config_for(&spec, 3_000);
+    let path = tmp("corrupt-src");
+    let _ = std::fs::remove_file(&path);
+    let policy = CheckpointPolicy::new(&path).every_states(1);
+    let _ = explore_checkpointed(
+        &spec,
+        &cfg,
+        &Budget::unlimited().with_node_limit(900),
+        &policy,
+        |_, _| {},
+    );
+    let bytes = std::fs::read(&path).expect("snapshot must exist");
+    assert!(bytes.len() > 100, "snapshot suspiciously small");
+
+    // Flip one byte at a spread of offsets covering header, payload,
+    // and trailing checksum.
+    for frac in [13usize, 40, 60, 85, 99] {
+        let at = bytes.len() * frac / 100;
+        let mut bad = bytes.clone();
+        bad[at] ^= 0x40;
+        let victim = tmp(&format!("corrupt-{frac}"));
+        std::fs::write(&victim, &bad).expect("write corrupted copy");
+        match Checkpoint::load(&victim, &spec, &cfg) {
+            Err(_) => {}
+            Ok(_) => {
+                // A flip that lands in slack the checksum still covers
+                // cannot be Ok: the envelope checksum spans everything.
+                panic!("byte flip at {at}/{} was accepted", bytes.len());
+            }
+        }
+        let _ = std::fs::remove_file(&victim);
+    }
+    let _ = std::fs::remove_file(&path);
+}
