@@ -235,6 +235,10 @@ pub struct RunReport {
     pub depth: usize,
     /// Distinct states visited.
     pub states: usize,
+    /// BFS levels completed.
+    pub levels: usize,
+    /// `true` when the state space was exhausted (no budget cut).
+    pub complete: bool,
     /// `exact`, or `degraded: <reason>` (e.g. worker loss).
     pub provenance: String,
     /// Attempts beyond the first.
@@ -293,6 +297,7 @@ impl CampaignReport {
             let _ = write!(
                 out,
                 "{}\n    {{\"protocol\": \"{}\", \"kind\": {}, \"depth\": {}, \"states\": {}, \
+                 \"levels\": {}, \"complete\": {}, \
                  \"provenance\": \"{}\", \"retries\": {}, \"resumes\": {}, \"wall_ms\": {}, \
                  \"error\": {}}}",
                 if i == 0 { "" } else { "," },
@@ -303,6 +308,8 @@ impl CampaignReport {
                 },
                 r.depth,
                 r.states,
+                r.levels,
+                r.complete,
                 json_escape(&r.provenance),
                 r.retries,
                 r.resumes,
@@ -372,6 +379,10 @@ pub struct MachineResult {
     pub depth: usize,
     /// Distinct states visited.
     pub states: usize,
+    /// BFS levels completed.
+    pub levels: usize,
+    /// `true` when the state space was exhausted (no budget cut).
+    pub complete: bool,
     /// `exact`, or `degraded: <reason>`.
     pub provenance: String,
 }
@@ -393,6 +404,8 @@ pub fn measure(v: &Verdict) -> MachineResult {
         kind: kind.to_string(),
         depth,
         states: stats.states,
+        levels: stats.levels,
+        complete: stats.complete,
         provenance,
     }
 }
@@ -404,8 +417,8 @@ pub fn measure(v: &Verdict) -> MachineResult {
 pub fn machine_line(v: &Verdict) -> String {
     let m = measure(v);
     format!(
-        "mc-result kind={} depth={} states={} provenance={}",
-        m.kind, m.depth, m.states, m.provenance
+        "mc-result kind={} depth={} states={} levels={} complete={} provenance={}",
+        m.kind, m.depth, m.states, m.levels, m.complete, m.provenance
     )
 }
 
@@ -418,19 +431,31 @@ pub fn parse_machine_line(output: &str) -> Option<MachineResult> {
     let mut kind = None;
     let mut depth = None;
     let mut states = None;
+    let mut levels = None;
+    let mut complete = None;
     for tok in fields.split_whitespace() {
         let (k, v) = tok.split_once('=')?;
         match k {
             "kind" => kind = Some(v.to_string()),
             "depth" => depth = v.parse().ok(),
             "states" => states = v.parse().ok(),
+            "levels" => levels = v.parse().ok(),
+            "complete" => complete = v.parse().ok(),
             _ => {}
         }
     }
+    let kind = kind?;
+    let depth = depth?;
+    // Pre-levels producers omit the two newer fields; fall back to the
+    // best implied values so old lines keep parsing.
+    let levels = levels.unwrap_or(depth);
+    let complete = complete.unwrap_or(kind == "no-deadlock");
     Some(MachineResult {
-        kind: kind?,
-        depth: depth?,
+        kind,
+        depth,
         states: states?,
+        levels,
+        complete,
         provenance: provenance.trim().to_string(),
     })
 }
@@ -486,16 +511,20 @@ fn run_one(
     cfg_of: &impl Fn(&ProtocolSpec) -> McConfig,
 ) -> RunReport {
     let started = Instant::now();
-    let report = |kind, depth, states, provenance, retries, resumes, error| RunReport {
-        protocol: entry.name.clone(),
-        kind,
-        depth,
-        states,
-        provenance,
-        retries,
-        resumes,
-        wall_ms: started.elapsed().as_millis() as u64,
-        error,
+    let report = |kind, depth, states, levels, complete, provenance, retries, resumes, error| {
+        RunReport {
+            protocol: entry.name.clone(),
+            kind,
+            depth,
+            states,
+            levels,
+            complete,
+            provenance,
+            retries,
+            resumes,
+            wall_ms: started.elapsed().as_millis() as u64,
+            error,
+        }
     };
 
     // Thread isolation needs the spec in-process; load it once. A spec
@@ -508,7 +537,7 @@ fn run_one(
                 Some((spec, cfg))
             }
             Err(e) => {
-                return report(None, 0, 0, String::new(), 0, 0, Some(e));
+                return report(None, 0, 0, 0, false, String::new(), 0, 0, Some(e));
             }
         },
         Isolation::Process => None,
@@ -570,6 +599,8 @@ fn run_one(
                     Some(m.kind),
                     m.depth,
                     m.states,
+                    m.levels,
+                    m.complete,
                     m.provenance,
                     retries,
                     resumes,
@@ -598,6 +629,8 @@ fn run_one(
         None,
         0,
         0,
+        0,
+        false,
         String::new(),
         retries.saturating_sub(1),
         resumes,

@@ -860,6 +860,7 @@ fn run_serial_inner(
             vnet_obs::histogram("explore.level_states", vnet_obs::SMALL_COUNT_BOUNDS)
                 .record(next_frontier.len() as u64);
             vnet_obs::gauge("explore.intern_load_pct").set(store.keys.load_factor_pct() as i64);
+            vnet_obs::gauge("explore.peak_bytes").set(meter.peak_bytes() as i64);
             emit_spill_metrics(store.keys.spill_stats(), &mut spill_seen);
             *clock = std::time::Instant::now();
         }

@@ -614,6 +614,21 @@ pub fn explore_procshard(
     }
     std::fs::create_dir_all(&opts.dir).map_err(|e| io_err(&opts.dir, e))?;
     sweep_stale_tmp(&opts.dir);
+    // Fail closed on a non-empty directory that carries no meta
+    // marker: it is not a shard directory this run may claim, and
+    // initializing into it would clobber whatever lives there.
+    if !meta_path(&opts.dir).exists() {
+        let occupied = std::fs::read_dir(&opts.dir)
+            .map_err(|e| io_err(&opts.dir, e))?
+            .next()
+            .is_some();
+        if occupied {
+            return Err(corrupt(format!(
+                "{} is non-empty but has no shard meta marker; refusing to initialize into it",
+                opts.dir.display()
+            )));
+        }
+    }
     if done_path(&opts.dir).exists() {
         reset_dir(&opts.dir, n);
     }
@@ -638,6 +653,11 @@ pub fn explore_procshard(
             }
         }
         Some(_) => return Err(corrupt("shard directory meta record malformed")),
+        // `read_checked` returns `None` for a missing file and for a
+        // checksum-failing one alike; only the former may initialize.
+        None if meta_path(&opts.dir).exists() => {
+            return Err(corrupt("shard directory meta record unreadable"));
+        }
         None => {
             let mut meta = Vec::with_capacity(12);
             meta.extend(fp.to_le_bytes());

@@ -6,13 +6,54 @@
 //! the CLI runs, handed the request's [`Budget`] — which carries the
 //! admission deadline's [`CancelToken`](vnet_graph::CancelToken) and
 //! the per-request memory cap.
+//!
+//! Determinism is also what makes results cacheable: [`store_key`]
+//! derives the content address of an `analyze`/`mc` request from the
+//! normalized DSL text of its spec (and, for `mc`, the resolved
+//! [`McConfig`](vnet_mc::McConfig) fingerprint), and exact-provenance
+//! results carry a [`StoreEntry`] the server writes through to the
+//! durable result store. Only `provenance: "exact"` results are ever
+//! stored — a degraded or cancelled result depends on the budget that
+//! cut it, which is not part of the key.
 
 use crate::json::Json;
 use crate::proto::{Command, ProtocolRef, Request, VnChoice};
 use std::path::{Path, PathBuf};
 use vnet_core::{analyze, analyze_budgeted, VnOutcome};
 use vnet_graph::{Budget, Provenance};
+use vnet_mc::McConfig;
 use vnet_protocol::{dsl, protocols, ProtocolSpec};
+use vnet_store::{Key, RecordKind};
+
+/// Why a request could not run, with a machine-readable `reason` for
+/// the structured `error` response (`bad_request`, `spawn_failed`,
+/// `worker_overrun`, ...).
+#[derive(Debug)]
+pub struct ExecError {
+    pub reason: &'static str,
+    pub detail: String,
+}
+
+impl ExecError {
+    fn new(reason: &'static str, detail: impl Into<String>) -> Self {
+        ExecError { reason, detail: detail.into() }
+    }
+}
+
+impl From<String> for ExecError {
+    fn from(detail: String) -> Self {
+        ExecError::new("bad_request", detail)
+    }
+}
+
+/// A result the server should write through to the durable store.
+pub struct StoreEntry {
+    pub key: Key,
+    pub kind: RecordKind,
+    /// The response fields as one rendered JSON object; replayed on a
+    /// cache hit with `provenance: "cached"` substituted.
+    pub body: String,
+}
 
 /// The payload of a finished request: result fields plus the kernel's
 /// provenance (the worker turns a cancelled provenance into a
@@ -22,12 +63,27 @@ pub struct ExecResult {
     pub fields: Vec<(&'static str, Json)>,
     /// Exact, degraded, or cancelled.
     pub provenance: Provenance,
+    /// Write-through payload, present only for exact results.
+    pub store: Option<StoreEntry>,
 }
 
 impl ExecResult {
     fn new(fields: Vec<(&'static str, Json)>, provenance: Provenance) -> Self {
-        ExecResult { fields, provenance }
+        ExecResult { fields, provenance, store: None }
     }
+
+    fn with_store(mut self, key: Key, kind: RecordKind) -> Self {
+        if self.provenance.is_exact() {
+            self.store = Some(StoreEntry { key, kind, body: body_of(&self.fields) });
+        }
+        self
+    }
+}
+
+/// Renders result fields as the canonical store body (a JSON object;
+/// `Json::Obj` is a `BTreeMap`, so the rendering is deterministic).
+fn body_of(fields: &[(&'static str, Json)]) -> String {
+    Json::Obj(fields.iter().map(|(k, v)| (k.to_string(), v.clone())).collect()).render()
 }
 
 /// Resolves the request's protocol. Built-in lookup is exact; inline
@@ -47,29 +103,92 @@ pub fn resolve_protocol(proto: &ProtocolRef) -> Result<ProtocolSpec, String> {
     }
 }
 
+/// The model-checking configuration an `mc` request resolves to: the
+/// Figure-3 scenario under the requested VN mapping. Shared by the
+/// runner and the cache-key derivation so they can never disagree.
+pub fn mc_config(spec: &ProtocolSpec, vns: VnChoice) -> McConfig {
+    use vnet_mc::VnMap;
+    let n_msgs = spec.messages().len();
+    let vn_map = match vns {
+        VnChoice::Single => VnMap::single(n_msgs),
+        VnChoice::Unique => VnMap::one_per_message(n_msgs),
+        VnChoice::Minimal => match analyze(spec).outcome() {
+            VnOutcome::Assigned { assignment, .. } => VnMap::from_assignment(assignment, n_msgs),
+            VnOutcome::Class2(_) => VnMap::one_per_message(n_msgs),
+        },
+    };
+    McConfig::figure3(spec).with_vns(vn_map)
+}
+
+/// Content address of an `analyze` result: the normalized DSL export
+/// of the spec, nothing else (the analyzer has no other inputs).
+pub fn analyze_store_key(spec: &ProtocolSpec) -> Key {
+    Key::derive(&[b"analyze/1", dsl::to_text(spec).as_bytes()])
+}
+
+/// Content address of an `mc` result: normalized spec text plus every
+/// [`McConfig`] field that shapes the reachable state space (the same
+/// fingerprint bytes checkpoints are keyed by — the VN map is in
+/// there, so each `vns` choice gets its own key).
+pub fn mc_store_key(spec: &ProtocolSpec, cfg: &McConfig) -> Key {
+    Key::derive(&[b"mc/1", dsl::to_text(spec).as_bytes(), &cfg.fingerprint_bytes()])
+}
+
+/// The store key a request would be cached under, or `None` when the
+/// request is not cacheable (sim, ping, batch, checkpointing mc, a
+/// protocol that fails to resolve). Used by admission for inline
+/// cache-hit answers, and kept in exact lockstep with the keys the
+/// runners attach to their results.
+pub fn store_key(req: &Request) -> Option<Key> {
+    match &req.cmd {
+        Command::Analyze => {
+            let spec = resolve_protocol(&req.protocol).ok()?;
+            Some(analyze_store_key(&spec))
+        }
+        // A checkpointing run's response names a server-side
+        // checkpoint path; replaying that from cache would be a lie.
+        Command::Mc { checkpoint: false, vns, .. } => {
+            let spec = resolve_protocol(&req.protocol).ok()?;
+            let cfg = mc_config(&spec, *vns);
+            Some(mc_store_key(&spec, &cfg))
+        }
+        _ => None,
+    }
+}
+
 /// Executes `req` under `budget`. `Err` means the request could not run
 /// at all (client error); `Ok` carries the result and its provenance.
 /// `ckpt_path` is where an `mc` request with `checkpoint: true` flushes.
+/// `on_level` observes BFS level boundaries of inline `mc` runs
+/// (`(level, states so far)` — the server turns it into streaming
+/// progress events).
 pub fn execute(
     req: &Request,
     budget: &Budget,
     ckpt_path: Option<&Path>,
-) -> Result<ExecResult, String> {
+    on_level: &mut dyn FnMut(usize, usize),
+) -> Result<ExecResult, ExecError> {
     match &req.cmd {
         Command::Ping => Ok(ExecResult::new(vec![], Provenance::Exact)),
         // Answered inline by the server; a queued one is a no-op.
         Command::Metrics => Ok(ExecResult::new(vec![], Provenance::Exact)),
+        // Batches are unpacked by the server's worker, never executed
+        // whole; a stray one is a client error.
+        Command::Batch { .. } => {
+            Err(ExecError::new("bad_request", "batch cannot nest inside batch"))
+        }
         Command::Panic => panic!("injected test fault (cmd=panic)"),
         Command::Analyze => run_analyze(req, budget),
         Command::Mc {
             vns,
             checkpoint,
             process,
+            ..
         } => {
             if *process {
                 run_mc_process(req, budget, *vns, *checkpoint, ckpt_path)
             } else {
-                run_mc(req, budget, *vns, *checkpoint, ckpt_path)
+                run_mc(req, budget, *vns, *checkpoint, ckpt_path, on_level)
             }
         }
         Command::Sim {
@@ -81,7 +200,7 @@ pub fn execute(
     }
 }
 
-fn run_analyze(req: &Request, budget: &Budget) -> Result<ExecResult, String> {
+fn run_analyze(req: &Request, budget: &Budget) -> Result<ExecResult, ExecError> {
     let spec = resolve_protocol(&req.protocol)?;
     let report = analyze_budgeted(&spec, budget);
     let provenance = report.outcome().provenance().clone();
@@ -110,7 +229,8 @@ fn run_analyze(req: &Request, budget: &Budget) -> Result<ExecResult, String> {
         "textbook_vns",
         Json::num(vnet_core::textbook::textbook_vn_count(&spec) as u64),
     ));
-    Ok(ExecResult::new(fields, provenance))
+    let key = analyze_store_key(&spec);
+    Ok(ExecResult::new(fields, provenance).with_store(key, RecordKind::Analyze))
 }
 
 fn run_mc(
@@ -119,32 +239,24 @@ fn run_mc(
     vns: VnChoice,
     checkpoint: bool,
     ckpt_path: Option<&Path>,
-) -> Result<ExecResult, String> {
+    on_level: &mut dyn FnMut(usize, usize),
+) -> Result<ExecResult, ExecError> {
     use vnet_mc::{
-        checkpoint::CheckpointPolicy, explore_budgeted, explore_checkpointed, CheckpointedRun,
-        McConfig, Verdict, VnMap,
+        checkpoint::CheckpointPolicy, explore_budgeted_with, explore_checkpointed,
+        CheckpointedRun, Verdict,
     };
     let spec = resolve_protocol(&req.protocol)?;
-    let n_msgs = spec.messages().len();
-    let vn_map = match vns {
-        VnChoice::Single => VnMap::single(n_msgs),
-        VnChoice::Unique => VnMap::one_per_message(n_msgs),
-        VnChoice::Minimal => match analyze(&spec).outcome() {
-            VnOutcome::Assigned { assignment, .. } => VnMap::from_assignment(assignment, n_msgs),
-            VnOutcome::Class2(_) => VnMap::one_per_message(n_msgs),
-        },
-    };
-    let cfg = McConfig::figure3(&spec).with_vns(vn_map);
+    let cfg = mc_config(&spec, vns);
 
     let mut ckpt_field: Option<PathBuf> = None;
     let run = match (checkpoint, ckpt_path) {
         (true, Some(path)) => {
             ckpt_field = Some(path.to_path_buf());
             let policy = CheckpointPolicy::new(path.to_path_buf());
-            explore_checkpointed(&spec, &cfg, budget, &policy, |_, _| {})
+            explore_checkpointed(&spec, &cfg, budget, &policy, on_level)
                 .map_err(|e| format!("checkpoint error: {e}"))?
         }
-        _ => CheckpointedRun::Finished(explore_budgeted(&spec, &cfg, budget)),
+        _ => CheckpointedRun::Finished(explore_budgeted_with(&spec, &cfg, budget, on_level)),
     };
 
     let verdict = match run {
@@ -183,27 +295,136 @@ fn run_mc(
     fields.push(("states", Json::num(stats.states as u64)));
     fields.push(("levels", Json::num(stats.levels as u64)));
     fields.push(("complete", Json::Bool(stats.complete)));
-    if let Some(p) = ckpt_field {
-        fields.push(("checkpoint", Json::str(p.display().to_string())));
+    let mut result = ExecResult::new(fields, stats.provenance);
+    match ckpt_field {
+        Some(p) => {
+            // A checkpointing response names a server-side path —
+            // never cached (the path is not content).
+            result.fields.push(("checkpoint", Json::str(p.display().to_string())));
+        }
+        None => {
+            result = result.with_store(mc_store_key(&spec, &cfg), RecordKind::Mc);
+        }
     }
-    Ok(ExecResult::new(fields, stats.provenance))
+    Ok(result)
 }
 
 /// Serial numbers for inline-spec scratch files: process id plus a
 /// counter keeps concurrent workers (and respawned daemons) apart.
 static SPEC_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
+/// Bounded attempts for a process-dispatched mc child that dies by
+/// signal (OOM killer, crash): the first run plus two respawns.
+const MAX_WORKER_ATTEMPTS: u32 = 3;
+/// Base backoff between respawns; doubles per attempt (25, 50 ms).
+const WORKER_BACKOFF_MS: u64 = 25;
+
+/// The executable spawned for `dispatch: "process"` children. The env
+/// override exists for tests (the test binary is not `vnet`) and for
+/// the spawn-failure drill; production use never sets it.
+fn worker_exe() -> Result<PathBuf, ExecError> {
+    if let Ok(p) = std::env::var("VNET_SERVE_WORKER_EXE") {
+        return Ok(PathBuf::from(p));
+    }
+    std::env::current_exe()
+        .map_err(|e| ExecError::new("spawn_failed", format!("cannot find own executable: {e}")))
+}
+
+/// How long past its own deadline a child may run before the
+/// supervisor's grace kill fires. Env-tunable so the unit test does
+/// not wait 30 s.
+fn worker_grace() -> std::time::Duration {
+    let ms = std::env::var("VNET_SERVE_WORKER_GRACE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(30_000);
+    std::time::Duration::from_millis(ms)
+}
+
+/// How one supervised child ended.
+enum ChildEnd {
+    Exited(std::process::ExitStatus),
+    Cancelled(vnet_graph::CancelReason),
+    /// The grace kill fired: the child overran its deadline plus grace.
+    Overrun,
+}
+
+/// Polls a child to completion, killing it on cooperative cancellation
+/// or when `hard_deadline` (deadline + grace) passes.
+fn supervise_child(
+    child: &mut std::process::Child,
+    budget: &Budget,
+    hard_deadline: Option<std::time::Instant>,
+) -> Result<ChildEnd, ExecError> {
+    loop {
+        match child.try_wait() {
+            Ok(Some(status)) => return Ok(ChildEnd::Exited(status)),
+            Ok(None) => {
+                let cancelled = budget.cancel.as_ref().is_some_and(|t| t.is_cancelled());
+                let overrun =
+                    hard_deadline.is_some_and(|d| std::time::Instant::now() >= d);
+                if cancelled || overrun {
+                    let _ = child.kill();
+                    let _ = child.wait();
+                    if cancelled {
+                        let reason = budget
+                            .cancel
+                            .as_ref()
+                            .and_then(|t| t.reason())
+                            .unwrap_or(vnet_graph::CancelReason::Shutdown);
+                        return Ok(ChildEnd::Cancelled(reason));
+                    }
+                    return Ok(ChildEnd::Overrun);
+                }
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            Err(e) => {
+                let _ = child.kill();
+                let _ = child.wait();
+                return Err(ExecError::new("worker_failed", format!("worker wait failed: {e}")));
+            }
+        }
+    }
+}
+
+/// Cancel-aware backoff sleep between worker respawns. Returns the
+/// cancel reason if cancellation fired mid-sleep.
+fn backoff_sleep(budget: &Budget, dur: std::time::Duration) -> Option<vnet_graph::CancelReason> {
+    let until = std::time::Instant::now() + dur;
+    while std::time::Instant::now() < until {
+        if let Some(t) = budget.cancel.as_ref() {
+            if let Some(reason) = t.reason() {
+                return Some(reason);
+            }
+        }
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    None
+}
+
 /// Runs an `mc` request in a dedicated child process (`vnet mc
 /// <protocol> --machine`), so memory blowups, OOM kills, and panics in
 /// the explorer cost one child instead of the daemon. The child result
 /// arrives on the same machine line the campaign supervisor parses.
+///
+/// Supervision policy, fail-closed at every step:
+/// * the binary cannot be spawned → `error{spawn_failed}`, no retry
+///   (a missing binary does not heal);
+/// * the child is killed by a signal (OOM killer, crash) → respawn
+///   with doubling backoff, at most [`MAX_WORKER_ATTEMPTS`] attempts,
+///   then degrade as `Provenance::Degraded(WorkerLoss)` — an honest
+///   "the work was lost", never a fabricated verdict;
+/// * the child exits cleanly but prints no `mc-result` line → error,
+///   no retry (the child is deterministic; it would fail identically);
+/// * the child overruns its deadline plus grace → grace kill,
+///   `error{worker_overrun}`.
 fn run_mc_process(
     req: &Request,
     budget: &Budget,
     vns: VnChoice,
     checkpoint: bool,
     ckpt_path: Option<&Path>,
-) -> Result<ExecResult, String> {
+) -> Result<ExecResult, ExecError> {
     use std::process::{Command as Proc, Stdio};
     use vnet_graph::DegradeReason;
     use vnet_mc::campaign::parse_machine_line;
@@ -212,6 +433,7 @@ fn run_mc_process(
     // DSL via a scratch file (validated here first, so a client error
     // never burns a process spawn).
     let spec = resolve_protocol(&req.protocol)?;
+    let cfg = mc_config(&spec, vns);
     let mut scratch: Option<PathBuf> = None;
     let arg = match &req.protocol {
         ProtocolRef::Builtin(name) => name.clone(),
@@ -219,155 +441,229 @@ fn run_mc_process(
             let seq = SPEC_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             let path = std::env::temp_dir()
                 .join(format!("vnet-serve-spec-{}-{seq}.vnp", std::process::id()));
-            std::fs::write(&path, text).map_err(|e| format!("cannot stage spec: {e}"))?;
+            std::fs::write(&path, text)
+                .map_err(|e| ExecError::from(format!("cannot stage spec: {e}")))?;
             let arg = path.display().to_string();
             scratch = Some(path);
             arg
         }
-        ProtocolRef::None => return Err("request needs a protocol".into()),
+        ProtocolRef::None => return Err(ExecError::from("request needs a protocol".to_string())),
     };
     // Tidy the scratch file on every exit path below.
-    let cleanup = |r: Result<ExecResult, String>| {
+    let cleanup = |r: Result<ExecResult, ExecError>| {
         if let Some(p) = &scratch {
             let _ = std::fs::remove_file(p);
         }
         r
     };
 
-    let exe = match std::env::current_exe() {
+    let exe = match worker_exe() {
         Ok(p) => p,
-        Err(e) => return cleanup(Err(format!("cannot find own executable: {e}"))),
-    };
-    let mut cmd = Proc::new(exe);
-    cmd.arg("mc").arg(&arg).arg("--machine");
-    match vns {
-        VnChoice::Single => {
-            cmd.arg("--single-vn");
-        }
-        VnChoice::Unique => {
-            cmd.arg("--unique-vns");
-        }
-        VnChoice::Minimal => {}
-    }
-    let mut clauses = Vec::new();
-    if let Some(d) = budget.deadline {
-        clauses.push(format!("{}ms", d.as_millis().max(1)));
-    }
-    if let Some(n) = budget.node_limit {
-        clauses.push(format!("nodes={n}"));
-    }
-    if !clauses.is_empty() {
-        cmd.arg("--budget").arg(clauses.join(","));
-    }
-    if let Some(b) = budget.mem_limit {
-        cmd.arg("--mem-budget").arg(b.to_string());
-    }
-    if checkpoint {
-        if let Some(p) = ckpt_path {
-            cmd.arg("--checkpoint").arg(p);
-        }
-    }
-    cmd.stdin(Stdio::null())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::null());
-    let mut child = match cmd.spawn() {
-        Ok(c) => c,
-        Err(e) => return cleanup(Err(format!("worker spawn failed: {e}"))),
+        Err(e) => return cleanup(Err(e)),
     };
 
-    // The child self-limits via the forwarded budget; the supervisor
-    // only steps in for cooperative cancellation (drain/shutdown) and
-    // for a child that overruns its own deadline by a wide margin.
-    let hard_deadline = budget
-        .deadline
-        .map(|d| std::time::Instant::now() + d + std::time::Duration::from_secs(30));
-    let status = loop {
-        match child.try_wait() {
-            Ok(Some(status)) => break status,
-            Ok(None) => {
-                let cancelled = budget.cancel.as_ref().is_some_and(|t| t.is_cancelled());
-                let overrun = hard_deadline.is_some_and(|d| std::time::Instant::now() >= d);
-                if cancelled || overrun {
-                    let _ = child.kill();
-                    let _ = child.wait();
-                    if cancelled {
-                        // Mirror the inline path: the worker maps a
-                        // cancelled provenance onto the response.
-                        let reason = budget
-                            .cancel
-                            .as_ref()
-                            .and_then(|t| t.reason())
-                            .unwrap_or(vnet_graph::CancelReason::Shutdown);
+    let cancelled_result = |reason| {
+        ExecResult::new(
+            vec![("protocol", Json::str(spec.name()))],
+            Provenance::Degraded {
+                reason: DegradeReason::Cancelled { reason },
+            },
+        )
+    };
+
+    const LOSS_DETAIL: &str = "worker killed without a result (OOM killer or signal)";
+    let mut restarts: u32 = 0;
+    loop {
+        let mut cmd = Proc::new(&exe);
+        cmd.arg("mc").arg(&arg).arg("--machine");
+        match vns {
+            VnChoice::Single => {
+                cmd.arg("--single-vn");
+            }
+            VnChoice::Unique => {
+                cmd.arg("--unique-vns");
+            }
+            VnChoice::Minimal => {}
+        }
+        let mut clauses = Vec::new();
+        if let Some(d) = budget.deadline {
+            clauses.push(format!("{}ms", d.as_millis().max(1)));
+        }
+        if let Some(n) = budget.node_limit {
+            clauses.push(format!("nodes={n}"));
+        }
+        if !clauses.is_empty() {
+            cmd.arg("--budget").arg(clauses.join(","));
+        }
+        if let Some(b) = budget.mem_limit {
+            cmd.arg("--mem-budget").arg(b.to_string());
+        }
+        if checkpoint {
+            if let Some(p) = ckpt_path {
+                cmd.arg("--checkpoint").arg(p);
+            }
+        }
+        cmd.stdin(Stdio::null())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null());
+        let mut child = match cmd.spawn() {
+            Ok(c) => c,
+            Err(e) => {
+                // A binary that cannot be spawned is an operator
+                // problem, not a crashed worker: structured error, no
+                // retry, no `panicked` masquerade.
+                return cleanup(Err(ExecError::new(
+                    "spawn_failed",
+                    format!("cannot spawn worker `{}`: {e}", exe.display()),
+                )));
+            }
+        };
+
+        // The child self-limits via the forwarded budget; the
+        // supervisor only steps in for cooperative cancellation
+        // (drain/shutdown) and for a child that overruns its own
+        // deadline by the grace window.
+        let hard_deadline = budget
+            .deadline
+            .map(|d| std::time::Instant::now() + d + worker_grace());
+        let status = match supervise_child(&mut child, budget, hard_deadline) {
+            Ok(ChildEnd::Exited(status)) => status,
+            Ok(ChildEnd::Cancelled(reason)) => {
+                return cleanup(Ok(cancelled_result(reason)));
+            }
+            Ok(ChildEnd::Overrun) => {
+                return cleanup(Err(ExecError::new(
+                    "worker_overrun",
+                    "worker process overran its deadline and was grace-killed",
+                )));
+            }
+            Err(e) => return cleanup(Err(e)),
+        };
+
+        let mut output = String::new();
+        if let Some(mut out) = child.stdout.take() {
+            use std::io::Read as _;
+            let _ = out.read_to_string(&mut output);
+        }
+
+        let m = match parse_machine_line(&output) {
+            Some(m) => m,
+            None => match status.code() {
+                // A clean exit without a result is deterministic
+                // (bad flags, usage error): retrying reruns the same
+                // failure, so report it straight away.
+                Some(code) => {
+                    return cleanup(Err(ExecError::new(
+                        "worker_failed",
+                        format!("worker exited with code {code} and no mc-result line"),
+                    )));
+                }
+                // Killed by a signal (OOM killer, crash): this is the
+                // retryable worker-loss case.
+                None => {
+                    restarts += 1;
+                    vnet_obs::counter("serve.worker_retries_total").inc();
+                    if restarts >= MAX_WORKER_ATTEMPTS {
+                        vnet_obs::counter("serve.worker_loss_total").inc();
                         return cleanup(Ok(ExecResult::new(
-                            vec![("protocol", Json::str(spec.name()))],
+                            vec![
+                                ("protocol", Json::str(spec.name())),
+                                ("worker_error", Json::str(LOSS_DETAIL)),
+                            ],
                             Provenance::Degraded {
-                                reason: DegradeReason::Cancelled { reason },
+                                reason: DegradeReason::WorkerLoss {
+                                    lost_states: 0,
+                                    restarts,
+                                },
                             },
                         )));
                     }
-                    return cleanup(Err("worker process overran its deadline".into()));
+                    let backoff = std::time::Duration::from_millis(
+                        WORKER_BACKOFF_MS << (restarts - 1).min(8),
+                    );
+                    if let Some(reason) = backoff_sleep(budget, backoff) {
+                        return cleanup(Ok(cancelled_result(reason)));
+                    }
+                    continue;
                 }
-                std::thread::sleep(std::time::Duration::from_millis(20));
-            }
-            Err(e) => {
-                let _ = child.kill();
-                let _ = child.wait();
-                return cleanup(Err(format!("worker wait failed: {e}")));
-            }
-        }
-    };
-
-    let mut output = String::new();
-    if let Some(mut out) = child.stdout.take() {
-        use std::io::Read as _;
-        let _ = out.read_to_string(&mut output);
-    }
-    let Some(m) = parse_machine_line(&output) else {
-        let detail = match status.code() {
-            Some(code) => format!("worker exited with code {code} and no mc-result line"),
-            None => "worker killed without a result (OOM killer or signal)".to_string(),
-        };
-        return cleanup(Err(detail));
-    };
-
-    // The machine line flattens provenance to a string; rebuild the
-    // two cases the response schema distinguishes.
-    let provenance = if m.provenance == "exact" {
-        Provenance::Exact
-    } else {
-        Provenance::Degraded {
-            reason: DegradeReason::Bound {
-                what: m
-                    .provenance
-                    .strip_prefix("degraded: ")
-                    .unwrap_or(&m.provenance)
-                    .to_string(),
             },
+        };
+
+        // The machine line flattens provenance to a string; rebuild
+        // the two cases the response schema distinguishes.
+        let provenance = if m.provenance == "exact" {
+            Provenance::Exact
+        } else {
+            Provenance::Degraded {
+                reason: DegradeReason::Bound {
+                    what: m
+                        .provenance
+                        .strip_prefix("degraded: ")
+                        .unwrap_or(&m.provenance)
+                        .to_string(),
+                },
+            }
+        };
+        let fields =
+            mc_result_fields(spec.name(), &m.kind, m.depth, m.states, m.levels, m.complete);
+        let mut result = ExecResult::new(fields, provenance);
+        if checkpoint {
+            if let Some(p) = ckpt_path {
+                result.fields.push(("checkpoint", Json::str(p.display().to_string())));
+            }
+        } else {
+            // Same key derivation as the inline path: a process-run
+            // result and an inline result of the same request are the
+            // same record.
+            result = result.with_store(mc_store_key(&spec, &cfg), RecordKind::Mc);
         }
-    };
+        return cleanup(Ok(result));
+    }
+}
+
+/// Result fields for an mc verdict reported on a machine line. Shared
+/// by the process-dispatch path and the campaign write-through, so a
+/// campaign-written store record is byte-identical to a daemon-written
+/// one and either replays as the same cache hit.
+pub fn mc_result_fields(
+    protocol: &str,
+    kind: &str,
+    depth: usize,
+    states: usize,
+    levels: usize,
+    complete: bool,
+) -> Vec<(&'static str, Json)> {
     let mut fields = vec![
-        ("protocol", Json::str(spec.name())),
+        ("protocol", Json::str(protocol)),
         (
             "verdict",
-            Json::str(match m.kind.as_str() {
+            Json::str(match kind {
                 "no-deadlock" => "no_deadlock".to_string(),
                 "deadlock" => "deadlock".to_string(),
                 "model-error" => "model_error".to_string(),
                 other => other.replace('-', "_"),
             }),
         ),
-        ("states", Json::num(m.states as u64)),
-        ("levels", Json::num(m.depth as u64)),
     ];
-    if m.kind == "deadlock" {
-        fields.push(("depth", Json::num(m.depth as u64)));
+    if kind == "deadlock" {
+        fields.push(("depth", Json::num(depth as u64)));
     }
-    if checkpoint {
-        if let Some(p) = ckpt_path {
-            fields.push(("checkpoint", Json::str(p.display().to_string())));
-        }
-    }
-    cleanup(Ok(ExecResult::new(fields, provenance)))
+    fields.push(("states", Json::num(states as u64)));
+    fields.push(("levels", Json::num(levels as u64)));
+    fields.push(("complete", Json::Bool(complete)));
+    fields
+}
+
+/// The canonical store body for an mc machine-line verdict.
+pub fn mc_result_body(
+    protocol: &str,
+    kind: &str,
+    depth: usize,
+    states: usize,
+    levels: usize,
+    complete: bool,
+) -> String {
+    body_of(&mc_result_fields(protocol, kind, depth, states, levels, complete))
 }
 
 fn run_sim(
@@ -377,12 +673,12 @@ fn run_sim(
     seed: u64,
     max_cycles: u64,
     faults: Option<&str>,
-) -> Result<ExecResult, String> {
+) -> Result<ExecResult, ExecError> {
     use vnet_mc::VnMap;
     use vnet_sim::{FaultPlan, SimConfig, Simulator, Topology, Workload};
     let spec = resolve_protocol(&req.protocol)?;
     let plan = match faults {
-        Some(text) => FaultPlan::parse(text).map_err(|e| e.to_string())?,
+        Some(text) => FaultPlan::parse(text).map_err(|e| ExecError::from(e.to_string()))?,
         None => FaultPlan::none(),
     };
     let topology = Topology::Mesh(2, 3);
@@ -399,7 +695,9 @@ fn run_sim(
     let workload = Workload::uniform_random(cfg.n_caches(), 2, ops, seed);
     let (r, provenance) = Simulator::new(spec, cfg).run_budgeted(workload, max_cycles, budget);
     if let Some(detail) = &r.model_error {
-        return Err(format!("specification bug under simulation: {detail}"));
+        return Err(ExecError::from(format!(
+            "specification bug under simulation: {detail}"
+        )));
     }
     let fields = vec![
         ("cycles", Json::num(r.cycles)),
@@ -424,22 +722,47 @@ mod tests {
         }
     }
 
+    fn run(r: &Request, budget: &Budget) -> Result<ExecResult, ExecError> {
+        execute(r, budget, None, &mut |_, _| {})
+    }
+
+    fn mc_cmd(vns: VnChoice, process: bool) -> Command {
+        Command::Mc {
+            vns,
+            checkpoint: false,
+            process,
+            progress: false,
+        }
+    }
+
     #[test]
-    fn analyze_chi_says_two_vns() {
+    fn analyze_chi_says_two_vns_and_carries_a_store_entry() {
         let r = req(Command::Analyze, "CHI");
-        let out = execute(&r, &Budget::unlimited(), None).unwrap();
+        let out = run(&r, &Budget::unlimited()).unwrap();
         assert!(out.provenance.is_exact());
         assert!(out
             .fields
             .iter()
             .any(|(k, v)| *k == "min_vns" && v.as_u64() == Some(2)));
+        let entry = out.store.expect("exact analyze results are cacheable");
+        assert_eq!(entry.kind, RecordKind::Analyze);
+        assert_eq!(entry.key, store_key(&r).expect("analyze requests have keys"));
+        let body = crate::json::parse(&entry.body).expect("store body is valid JSON");
+        assert_eq!(
+            body.get("min_vns").and_then(Json::as_u64),
+            Some(2),
+            "{body:?}"
+        );
     }
 
     #[test]
     fn unknown_protocol_is_a_client_error() {
         let r = req(Command::Analyze, "NOPE");
-        match execute(&r, &Budget::unlimited(), None) {
-            Err(e) => assert!(e.contains("unknown protocol"), "{e}"),
+        match run(&r, &Budget::unlimited()) {
+            Err(e) => {
+                assert_eq!(e.reason, "bad_request");
+                assert!(e.detail.contains("unknown protocol"), "{}", e.detail);
+            }
             Ok(_) => panic!("unknown protocol should not resolve"),
         }
     }
@@ -450,15 +773,8 @@ mod tests {
         let token = CancelToken::new();
         token.cancel(CancelReason::Shutdown);
         let budget = Budget::unlimited().with_cancel(token);
-        let r = req(
-            Command::Mc {
-                vns: VnChoice::Single,
-                checkpoint: false,
-                process: false,
-            },
-            "MESI-nonblocking-cache",
-        );
-        let out = execute(&r, &budget, None).unwrap();
+        let r = req(mc_cmd(VnChoice::Single, false), "MESI-nonblocking-cache");
+        let out = run(&r, &budget).unwrap();
         assert!(matches!(
             out.provenance,
             Provenance::Degraded {
@@ -467,26 +783,161 @@ mod tests {
                 }
             }
         ));
+        assert!(out.store.is_none(), "non-exact results must not be stored");
     }
 
     #[test]
     fn mem_budget_degrades_the_explorer() {
         use vnet_graph::DegradeReason;
         let budget = Budget::unlimited().with_mem_limit(10_000);
-        let r = req(
-            Command::Mc {
-                vns: VnChoice::Unique,
-                checkpoint: false,
-                process: false,
-            },
-            "MESI-nonblocking-cache",
-        );
-        let out = execute(&r, &budget, None).unwrap();
+        let r = req(mc_cmd(VnChoice::Unique, false), "MESI-nonblocking-cache");
+        let out = run(&r, &budget).unwrap();
         assert!(matches!(
             out.provenance,
             Provenance::Degraded {
                 reason: DegradeReason::MemLimit { .. }
             }
         ));
+        assert!(out.store.is_none(), "non-exact results must not be stored");
+    }
+
+    #[test]
+    fn exact_mc_attaches_the_same_key_the_admission_lookup_derives() {
+        let r = req(mc_cmd(VnChoice::Unique, false), "MSI-nonblocking-cache");
+        let out = run(&r, &Budget::unlimited()).unwrap();
+        assert!(out.provenance.is_exact());
+        let entry = out.store.expect("exact mc results are cacheable");
+        assert_eq!(entry.kind, RecordKind::Mc);
+        assert_eq!(entry.key, store_key(&r).expect("mc requests have keys"));
+        // Different VN choices address different records.
+        let other = req(mc_cmd(VnChoice::Single, false), "MSI-nonblocking-cache");
+        assert_ne!(store_key(&other).unwrap(), entry.key);
+    }
+
+    #[test]
+    fn progress_callback_observes_level_boundaries() {
+        let mut levels = Vec::new();
+        let r = req(mc_cmd(VnChoice::Unique, false), "MSI-nonblocking-cache");
+        let mut hook = |level: usize, states: usize| levels.push((level, states));
+        let out = execute(&r, &Budget::unlimited(), None, &mut hook).unwrap();
+        assert!(out.provenance.is_exact());
+        assert!(!levels.is_empty(), "inline mc must report level boundaries");
+        assert!(
+            levels.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1),
+            "levels and states must be monotone: {levels:?}"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn spawn_failure_is_a_structured_error_not_a_panic() {
+        let r = req(mc_cmd(VnChoice::Unique, true), "MSI-nonblocking-cache");
+        // Serialized env mutation: worker-exe tests share the process.
+        let _guard = env_lock().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("VNET_SERVE_WORKER_EXE", "/nonexistent/vnet-binary");
+        let out = run(&r, &Budget::unlimited());
+        std::env::remove_var("VNET_SERVE_WORKER_EXE");
+        match out {
+            Err(e) => {
+                assert_eq!(e.reason, "spawn_failed", "{}", e.detail);
+                assert!(e.detail.contains("/nonexistent/vnet-binary"), "{}", e.detail);
+            }
+            Ok(_) => panic!("spawning a nonexistent binary must fail"),
+        }
+    }
+
+    #[cfg(unix)]
+    fn env_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: std::sync::OnceLock<std::sync::Mutex<()>> = std::sync::OnceLock::new();
+        LOCK.get_or_init(|| std::sync::Mutex::new(()))
+    }
+
+    #[cfg(unix)]
+    fn fake_worker(tag: &str, script_body: &str) -> PathBuf {
+        use std::os::unix::fs::PermissionsExt as _;
+        let path = std::env::temp_dir().join(format!(
+            "vnet-serve-fake-worker-{tag}-{}.sh",
+            std::process::id()
+        ));
+        std::fs::write(&path, format!("#!/bin/sh\n{script_body}\n")).unwrap();
+        let mut perms = std::fs::metadata(&path).unwrap().permissions();
+        perms.set_mode(0o755);
+        std::fs::set_permissions(&path, perms).unwrap();
+        path
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn grace_kill_fires_on_a_child_that_overruns_its_deadline() {
+        // A worker that ignores its budget and sleeps forever: the
+        // supervisor must grace-kill it at deadline + grace, not hang.
+        let script = fake_worker("overrun", "sleep 30");
+        let _guard = env_lock().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("VNET_SERVE_WORKER_EXE", &script);
+        std::env::set_var("VNET_SERVE_WORKER_GRACE_MS", "100");
+        let budget = Budget::unlimited().with_deadline(std::time::Duration::from_millis(50));
+        let r = req(mc_cmd(VnChoice::Unique, true), "MSI-nonblocking-cache");
+        let started = std::time::Instant::now();
+        let out = run(&r, &budget);
+        let elapsed = started.elapsed();
+        std::env::remove_var("VNET_SERVE_WORKER_EXE");
+        std::env::remove_var("VNET_SERVE_WORKER_GRACE_MS");
+        let _ = std::fs::remove_file(&script);
+        match out {
+            Err(e) => {
+                assert_eq!(e.reason, "worker_overrun", "{}", e.detail);
+                assert!(e.detail.contains("grace-killed"), "{}", e.detail);
+            }
+            Ok(_) => panic!("an overrunning child must not produce a result"),
+        }
+        assert!(
+            elapsed < std::time::Duration::from_secs(10),
+            "grace kill must fire promptly, took {elapsed:?}"
+        );
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn signal_killed_children_retry_then_degrade_as_worker_loss() {
+        use vnet_graph::DegradeReason;
+        // A worker that SIGKILLs itself on every attempt: bounded
+        // respawns, then an honest WorkerLoss degradation.
+        let script = fake_worker("selfkill", "kill -9 $$");
+        let _guard = env_lock().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("VNET_SERVE_WORKER_EXE", &script);
+        let r = req(mc_cmd(VnChoice::Unique, true), "MSI-nonblocking-cache");
+        let out = run(&r, &Budget::unlimited());
+        std::env::remove_var("VNET_SERVE_WORKER_EXE");
+        let _ = std::fs::remove_file(&script);
+        let out = out.expect("worker loss degrades, it does not error");
+        match out.provenance {
+            Provenance::Degraded {
+                reason: DegradeReason::WorkerLoss { restarts, .. },
+            } => assert_eq!(restarts, MAX_WORKER_ATTEMPTS),
+            other => panic!("expected WorkerLoss, got {other:?}"),
+        }
+        assert!(out.store.is_none(), "degraded results must not be stored");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn clean_exit_without_result_is_an_error_not_a_retry() {
+        let script = fake_worker("usage", "exit 3");
+        let _guard = env_lock().lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        std::env::set_var("VNET_SERVE_WORKER_EXE", &script);
+        let started = std::time::Instant::now();
+        let r = req(mc_cmd(VnChoice::Unique, true), "MSI-nonblocking-cache");
+        let out = run(&r, &Budget::unlimited());
+        std::env::remove_var("VNET_SERVE_WORKER_EXE");
+        let _ = std::fs::remove_file(&script);
+        match out {
+            Err(e) => {
+                assert_eq!(e.reason, "worker_failed", "{}", e.detail);
+                assert!(e.detail.contains("code 3"), "{}", e.detail);
+            }
+            Ok(_) => panic!("a clean exit without a result is an error"),
+        }
+        // No backoff loop for deterministic failures.
+        assert!(started.elapsed() < std::time::Duration::from_secs(5));
     }
 }

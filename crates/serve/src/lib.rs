@@ -11,10 +11,16 @@
 //!   (`ok` / `error` / `rejected` / `cancelled` / `panicked`).
 //! * [`exec`] — runs one request on the same budgeted kernels the CLI
 //!   uses, under a merged [`Budget`](vnet_graph::Budget) carrying the
-//!   per-request memory cap and cancellation token.
+//!   per-request memory cap and cancellation token; derives the
+//!   content-address each cacheable result is stored under.
 //! * [`server`] — worker pool (`catch_unwind`-isolated), deadline
 //!   watchdog, TCP/stdin frontends, graceful drain on SIGTERM or
 //!   stop-file (finish in-flight, reject new, flush mc checkpoints).
+//!   With `--store-dir`, exact results write through to the durable
+//!   [`vnet_store`] log and repeats answer inline as
+//!   `provenance: "cached"`; `batch` requests stream one line per item
+//!   with per-item isolation, and `mc` requests with `progress: true`
+//!   stream level-boundary progress events.
 //! * [`json`] — the minimal JSON layer (the workspace takes no
 //!   external dependencies).
 //! * [`signal`] — SIGTERM/SIGINT → drain flag; the only unsafe code.

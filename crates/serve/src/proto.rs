@@ -34,6 +34,10 @@ pub enum Command {
         /// one that trips a kernel bug — costs one child, not the
         /// daemon. `dispatch: "process"` in the request.
         process: bool,
+        /// Stream `event: "progress"` lines (level, states, peak
+        /// bytes) while the explorer runs. Inline dispatch only;
+        /// progress lines carry no `status` and are not responses.
+        progress: bool,
     },
     /// NoC simulation (`vnet sim`).
     Sim {
@@ -54,6 +58,17 @@ pub enum Command {
     /// process metrics registry. Answered inline, never queued, so it
     /// stays responsive even when the pool is saturated.
     Metrics,
+    /// Many requests, one queue slot, one NDJSON response stream: one
+    /// response line per item (each with its own `status`, counted in
+    /// the taxonomy individually) followed by a `cmd: "batch"` summary
+    /// line. Items are re-parsed and panic-isolated individually — one
+    /// poisoned spec cannot kill the batch. Items are stored as
+    /// re-rendered JSON lines so a malformed item surfaces as that
+    /// item's `error` response, not the batch's.
+    Batch {
+        /// One rendered JSON object per item, in request order.
+        items: Vec<String>,
+    },
 }
 
 /// VN-mapping selection for `mc` requests.
@@ -160,7 +175,24 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                     ))
                 }
             },
+            progress: v.get("progress").and_then(Json::as_bool).unwrap_or(false),
         },
+        "batch" => {
+            let Some(Json::Arr(items)) = v.get("items") else {
+                return Err("`batch` needs an `items` array".into());
+            };
+            if items.is_empty() {
+                return Err("`batch` items must not be empty".into());
+            }
+            let mut rendered = Vec::with_capacity(items.len());
+            for (i, item) in items.iter().enumerate() {
+                if !matches!(item, Json::Obj(_)) {
+                    return Err(format!("batch item {i} must be an object"));
+                }
+                rendered.push(item.render());
+            }
+            Command::Batch { items: rendered }
+        }
         "sim" => Command::Sim {
             ops: u64_field(&v, "ops")?.unwrap_or(40) as usize,
             seed: u64_field(&v, "seed")?.unwrap_or(1),
@@ -243,10 +275,16 @@ pub fn ok_response(id: &Option<String>, cmd: &str, fields: Vec<(&str, Json)>) ->
 
 /// Renders a structured `error` response (the request never ran).
 pub fn error_response(id: &Option<String>, detail: &str) -> String {
+    error_response_with_reason(id, "bad_request", detail)
+}
+
+/// Renders an `error` response with an explicit machine-readable
+/// reason (`bad_request`, `spawn_failed`, `store_unavailable`, ...).
+pub fn error_response_with_reason(id: &Option<String>, reason: &str, detail: &str) -> String {
     Json::obj(vec![
         ("id", id_json(id)),
         ("status", Json::str("error")),
-        ("reason", Json::str("bad_request")),
+        ("reason", Json::str(reason)),
         ("detail", Json::str(detail)),
     ])
     .render()

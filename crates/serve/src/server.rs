@@ -25,7 +25,7 @@
 //!   `Shutdown` cancel that checkpointing `mc` runs turn into a final
 //!   flush), and never tear a response mid-line.
 
-use crate::exec::{self, ExecResult};
+use crate::exec::{self, ExecError, ExecResult};
 use crate::proto::{self, Command, RejectReason, Request};
 use crate::queue::{BoundedQueue, PushError};
 use crate::signal;
@@ -45,9 +45,15 @@ pub type LineOut = Arc<Mutex<Box<dyn Write + Send>>>;
 /// Writes one response line atomically. Write errors are swallowed:
 /// the client is gone and the cancellation path already covers it.
 pub fn write_line(out: &LineOut, line: &str) {
+    // One write_all for line-plus-newline, not two: a separate 1-byte
+    // `\n` write becomes its own TCP segment, and Nagle holds it for
+    // the peer's delayed ACK (~40ms) — which would put a hard floor
+    // under every response, cache hits included.
+    let mut buf = Vec::with_capacity(line.len() + 1);
+    buf.extend_from_slice(line.as_bytes());
+    buf.push(b'\n');
     let mut g = out.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
-    let _ = g.write_all(line.as_bytes());
-    let _ = g.write_all(b"\n");
+    let _ = g.write_all(&buf);
     let _ = g.flush();
 }
 
@@ -95,6 +101,16 @@ pub struct ServeOpts {
     /// Where checkpointing `mc` requests flush. `None` disables
     /// checkpointing fail-closed.
     pub checkpoint_dir: Option<PathBuf>,
+    /// Durable result store directory. `None` disables caching and
+    /// write-through; the daemon then recomputes every request.
+    pub store_dir: Option<PathBuf>,
+    /// Soft cap on the store log; when a write-through pushes the log
+    /// past it, GC compacts to the newest record per key and evicts
+    /// oldest-first back under the cap.
+    pub store_max_bytes: Option<u64>,
+    /// Most items one `batch` request may carry; larger batches are
+    /// shed as `too_large` before occupying a queue slot.
+    pub max_batch_items: usize,
     /// Honor the `panic` test command (worker-isolation drills).
     pub test_faults: bool,
 }
@@ -112,6 +128,9 @@ impl Default for ServeOpts {
             drain_grace: Duration::from_secs(5),
             stop_file: None,
             checkpoint_dir: None,
+            store_dir: None,
+            store_max_bytes: None,
+            max_batch_items: 256,
             test_faults: false,
         }
     }
@@ -147,6 +166,11 @@ pub struct Counters {
 /// sub-ms inline work up through deadline-scale model checks.
 const REQUEST_WALL_MS_BOUNDS: &[u64] = &[1, 5, 25, 100, 500, 2_000, 10_000, 60_000];
 
+/// Bucket edges (microseconds) for the cache-hit latency histogram:
+/// a warm-store answer is lock + map lookup + body clone + one line
+/// write, so the interesting range is tens of µs to a few ms.
+const CACHE_HIT_US_BOUNDS: &[u64] = &[16, 64, 256, 1_024, 4_096, 16_384, 65_536, 262_144];
+
 /// Bumps one serve counter and its mirror in the process metrics
 /// registry. The daemon's own `Counters` stay authoritative for drain
 /// summaries; the mirrors make serve traffic visible in `metrics`
@@ -166,6 +190,10 @@ struct Shared {
     inflight: Mutex<Vec<(u64, Instant, CancelToken)>>,
     seq: AtomicU64,
     counters: Counters,
+    /// The durable result store, when the daemon was started with one.
+    /// One mutex is enough: lookups clone a body out in microseconds
+    /// and write-through is one buffered append + two syncs.
+    store: Option<Mutex<vnet_store::Store>>,
 }
 
 impl Shared {
@@ -194,12 +222,35 @@ pub struct Server {
 }
 
 impl Server {
-    /// Spawns the worker pool and watchdog.
-    pub fn start(opts: ServeOpts) -> Server {
+    /// Spawns the worker pool and watchdog. Fails only when a result
+    /// store was requested and cannot be opened — fail-closed: the
+    /// daemon never starts half-configured and silently recomputes
+    /// what the operator asked it to persist.
+    pub fn start(opts: ServeOpts) -> Result<Server, String> {
         // A daemon always records metrics: the `metrics` request is part
         // of its protocol, and the per-request overhead is a handful of
         // relaxed atomic ops.
         vnet_obs::set_metrics_enabled(true);
+        let store = match &opts.store_dir {
+            Some(dir) => {
+                let mut s = vnet_store::Store::open(dir)
+                    .map_err(|e| format!("cannot open result store: {e}"))?;
+                let r = s.open_report().clone();
+                if r.quarantined > 0 || r.rolled_back_bytes > 0 {
+                    eprintln!(
+                        "vnet-serve: store recovery: {} record(s) quarantined, {} torn byte(s) rolled back",
+                        r.quarantined, r.rolled_back_bytes
+                    );
+                }
+                if let Some(max) = opts.store_max_bytes {
+                    if s.log_bytes() > max {
+                        let _ = s.gc(Some(max));
+                    }
+                }
+                Some(Mutex::new(s))
+            }
+            None => None,
+        };
         let n_workers = if opts.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
         } else {
@@ -213,6 +264,7 @@ impl Server {
             inflight: Mutex::new(Vec::new()),
             seq: AtomicU64::new(0),
             counters: Counters::default(),
+            store,
         });
 
         let workers = (0..n_workers)
@@ -233,11 +285,11 @@ impl Server {
                 .expect("spawning the watchdog thread")
         };
 
-        Server {
+        Ok(Server {
             shared,
             workers,
             watchdog: Some(watchdog),
-        }
+        })
     }
 
     /// The counters (for drain summaries and tests).
@@ -306,6 +358,15 @@ impl Server {
                 out,
                 &proto::rejected_response(&req.id, &RejectReason::TooLarge { what }, None),
             );
+            return;
+        }
+
+        // A warm store answers repeat analyze/mc requests inline: no
+        // queue slot, no worker, no re-exploration — one map lookup and
+        // one line write, with `provenance: "cached"` saying so.
+        if let Some(line) = cache_lookup(sh, &req) {
+            bump(&sh.counters.completed, "serve.completed_total");
+            write_line(out, &line);
             return;
         }
 
@@ -501,7 +562,199 @@ fn oversized(req: &Request, opts: &ServeOpts) -> Option<String> {
             ));
         }
     }
+    if let Command::Batch { items } = &req.cmd {
+        if items.len() > opts.max_batch_items {
+            return Some(format!(
+                "batch of {} items exceeds cap {}",
+                items.len(),
+                opts.max_batch_items
+            ));
+        }
+    }
     None
+}
+
+/// Inline cache lookup against the durable result store. Returns the
+/// complete response line on a hit. Both the admission path and batch
+/// items go through here, so hit semantics are identical everywhere.
+fn cache_lookup(sh: &Shared, req: &Request) -> Option<String> {
+    use crate::json::Json;
+    let store = sh.store.as_ref()?;
+    // Key derivation resolves the protocol; an unresolvable request is
+    // not cacheable and falls through to the worker for its real error.
+    let key = exec::store_key(req)?;
+    let started = Instant::now();
+    let body = {
+        let g = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        g.get(&key).map(|r| r.body.clone())
+    };
+    let body = match body {
+        Some(b) => b,
+        None => {
+            vnet_obs::counter("serve.cache_misses_total").inc();
+            return None;
+        }
+    };
+    // A committed, checksummed body that fails to parse would mean the
+    // store's own verification missed something; recompute rather than
+    // serve garbage, and make the event visible.
+    let Ok(Json::Obj(map)) = crate::json::parse(&body) else {
+        vnet_obs::counter("serve.cache_unparseable_total").inc();
+        vnet_obs::counter("serve.cache_misses_total").inc();
+        return None;
+    };
+    let mut fields: Vec<(&str, Json)> =
+        map.iter().map(|(k, v)| (k.as_str(), v.clone())).collect();
+    fields.push(("provenance", Json::str("cached")));
+    let line = proto::ok_response(&req.id, cmd_name(&req.cmd), fields);
+    vnet_obs::counter("serve.cache_hits_total").inc();
+    let us = started.elapsed().as_micros() as u64;
+    vnet_obs::histogram("serve.cache_hit_wall_us", CACHE_HIT_US_BOUNDS).record(us);
+    vnet_obs::histogram("serve.request_wall_ms", REQUEST_WALL_MS_BOUNDS)
+        .record(us.div_ceil(1_000));
+    Some(line)
+}
+
+/// Write-through of an exact result. A store failure never fails the
+/// request — the computed answer is still correct — but it is counted
+/// and logged: a dying disk should be loud, not silent.
+fn store_write_through(sh: &Shared, entry: &exec::StoreEntry) {
+    let Some(store) = &sh.store else { return };
+    let mut g = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    match g.put(entry.key, entry.kind, &entry.body) {
+        Ok(_) => {
+            if let Some(max) = sh.opts.store_max_bytes {
+                if g.log_bytes() > max {
+                    if let Err(e) = g.gc(Some(max)) {
+                        eprintln!("vnet-serve: store gc failed: {e}");
+                    }
+                }
+            }
+        }
+        Err(e) => {
+            vnet_obs::counter("serve.store_write_errors_total").inc();
+            eprintln!("vnet-serve: store write-through failed: {e}");
+        }
+    }
+}
+
+/// The `cmd` echo for a response line.
+fn cmd_name(cmd: &Command) -> &'static str {
+    match cmd {
+        Command::Analyze => "analyze",
+        Command::Mc { .. } => "mc",
+        Command::Sim { .. } => "sim",
+        Command::Ping => "ping",
+        Command::Panic => "panic",
+        Command::Metrics => "metrics",
+        Command::Batch { .. } => "batch",
+    }
+}
+
+/// Progress-event emitter for an inline `mc` run that asked for one:
+/// one NDJSON line per BFS level boundary, distinguishable from
+/// responses by its `event` field (and the absence of `status`). The
+/// peak-bytes figure rides the explorer's own gauge, refreshed at the
+/// same level boundary that fires this hook.
+fn progress_hook(req: &Request, out: &LineOut) -> Box<dyn FnMut(usize, usize)> {
+    let wants = matches!(
+        req.cmd,
+        Command::Mc {
+            progress: true,
+            process: false,
+            ..
+        }
+    );
+    if !wants {
+        return Box::new(|_, _| {});
+    }
+    let id = req.id.clone();
+    let out = out.clone();
+    Box::new(move |level, states| {
+        use crate::json::Json;
+        vnet_obs::counter("serve.progress_events_total").inc();
+        let peak = vnet_obs::gauge("explore.peak_bytes").get().max(0) as u64;
+        let line = Json::obj(vec![
+            (
+                "id",
+                match &id {
+                    Some(s) => Json::str(s.clone()),
+                    None => Json::Null,
+                },
+            ),
+            ("event", Json::str("progress")),
+            ("level", Json::num(level as u64)),
+            ("states", Json::num(states as u64)),
+            ("peak_bytes", Json::num(peak)),
+        ])
+        .render();
+        write_line(&out, &line);
+    })
+}
+
+/// How one executed request ended (the closed status taxonomy, minus
+/// `rejected`, which never reaches a worker).
+enum Done {
+    Ok,
+    Error,
+    Cancelled,
+    Panicked,
+}
+
+/// Maps one execution outcome onto its response line, bumping exactly
+/// one status counter — the invariant the metrics reconciliation
+/// (`submitted` = sum of statuses) rests on. Shared by the single
+/// request path and every batch item; exact results are written
+/// through to the store here.
+fn finish(
+    sh: &Shared,
+    req: &Request,
+    outcome: std::thread::Result<Result<ExecResult, ExecError>>,
+    wall_ms: u64,
+) -> (String, Done) {
+    use crate::json::Json;
+    match outcome {
+        Err(payload) => {
+            bump(&sh.counters.panicked, "serve.panicked_total");
+            let detail = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "worker panicked".into());
+            (proto::panicked_response(&req.id, &detail), Done::Panicked)
+        }
+        Ok(Err(e)) => {
+            bump(&sh.counters.errors, "serve.errors_total");
+            (
+                proto::error_response_with_reason(&req.id, e.reason, &e.detail),
+                Done::Error,
+            )
+        }
+        Ok(Ok(ExecResult {
+            mut fields,
+            provenance,
+            store,
+        })) => {
+            fields.push(("wall_ms", Json::num(wall_ms)));
+            if let Provenance::Degraded {
+                reason: DegradeReason::Cancelled { reason },
+            } = provenance
+            {
+                bump(&sh.counters.cancelled, "serve.cancelled_total");
+                (proto::cancelled_response(&req.id, reason, fields), Done::Cancelled)
+            } else {
+                if let Some(entry) = &store {
+                    store_write_through(sh, entry);
+                }
+                bump(&sh.counters.completed, "serve.completed_total");
+                fields.push(("provenance", Json::str(provenance.to_string())));
+                (
+                    proto::ok_response(&req.id, cmd_name(&req.cmd), fields),
+                    Done::Ok,
+                )
+            }
+        }
+    }
 }
 
 fn watchdog_loop(sh: &Shared) {
@@ -578,52 +831,133 @@ fn handle(sh: &Shared, job: Job) {
         _ => None,
     };
 
+    // A batch unpacks on this worker: one line per item, then a
+    // summary line for the batch itself.
+    if let Command::Batch { items } = &job.req.cmd {
+        run_batch(sh, &job, items, started);
+        sh.deregister(job.seq);
+        return;
+    }
+
+    let mut on_level = progress_hook(&job.req, &job.out);
     let outcome = catch_unwind(AssertUnwindSafe(|| {
-        exec::execute(&job.req, &budget, ckpt_path.as_deref())
+        exec::execute(&job.req, &budget, ckpt_path.as_deref(), &mut *on_level)
     }));
+    drop(on_level);
     sh.deregister(job.seq);
 
     let wall_ms = started.elapsed().as_millis() as u64;
     vnet_obs::histogram("serve.request_wall_ms", REQUEST_WALL_MS_BOUNDS).record(wall_ms);
-    let line = match outcome {
-        Err(payload) => {
-            bump(&sh.counters.panicked, "serve.panicked_total");
-            let detail = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "worker panicked".into());
-            proto::panicked_response(&job.req.id, &detail)
-        }
-        Ok(Err(detail)) => {
-            bump(&sh.counters.errors, "serve.errors_total");
-            proto::error_response(&job.req.id, &detail)
-        }
-        Ok(Ok(ExecResult { mut fields, provenance })) => {
-            use crate::json::Json;
-            fields.push(("wall_ms", Json::num(wall_ms)));
-            if let Provenance::Degraded {
-                reason: DegradeReason::Cancelled { reason },
-            } = provenance
-            {
-                bump(&sh.counters.cancelled, "serve.cancelled_total");
-                proto::cancelled_response(&job.req.id, reason, fields)
-            } else {
-                bump(&sh.counters.completed, "serve.completed_total");
-                fields.push(("provenance", Json::str(provenance.to_string())));
-                let cmd = match &job.req.cmd {
-                    Command::Analyze => "analyze",
-                    Command::Mc { .. } => "mc",
-                    Command::Sim { .. } => "sim",
-                    Command::Ping => "ping",
-                    Command::Panic => "panic",
-                    Command::Metrics => "metrics",
-                };
-                proto::ok_response(&job.req.id, cmd, fields)
-            }
-        }
-    };
+    let (line, _) = finish(sh, &job.req, outcome, wall_ms);
     write_line(&job.out, &line);
+}
+
+/// Executes a `batch` request item by item, in order, on the calling
+/// worker. Isolation is per item: a malformed, oversized, panicking,
+/// or failing item answers for itself and the rest of the batch keeps
+/// going. Cancellation (deadline, drain, disconnect) is observed
+/// between items — the item that was running answers through its own
+/// budget, every remaining item answers `cancelled` — so the batch
+/// still produces exactly one line per item plus its summary.
+fn run_batch(sh: &Shared, job: &Job, items: &[String], started: Instant) {
+    use crate::json::Json;
+    let (mut ok, mut errs, mut rejected, mut cancelled, mut panicked) =
+        (0u64, 0u64, 0u64, 0u64, 0u64);
+    for (idx, item) in items.iter().enumerate() {
+        let req = match proto::parse_request(item) {
+            Ok(r) => r,
+            Err(detail) => {
+                bump(&sh.counters.errors, "serve.errors_total");
+                errs += 1;
+                write_line(&job.out, &proto::error_response(&None, &detail));
+                continue;
+            }
+        };
+        if let Some(reason) = job.cancel.reason() {
+            bump(&sh.counters.cancelled, "serve.cancelled_total");
+            cancelled += 1;
+            write_line(&job.out, &proto::cancelled_response(&req.id, reason, vec![]));
+            continue;
+        }
+        if matches!(req.cmd, Command::Panic) && !sh.opts.test_faults {
+            bump(&sh.counters.errors, "serve.errors_total");
+            errs += 1;
+            write_line(
+                &job.out,
+                &proto::error_response(&req.id, "unknown cmd `panic` (test faults disabled)"),
+            );
+            continue;
+        }
+        if let Some(what) = oversized(&req, &sh.opts) {
+            bump(&sh.counters.rejected, "serve.rejected_total");
+            rejected += 1;
+            write_line(
+                &job.out,
+                &proto::rejected_response(&req.id, &RejectReason::TooLarge { what }, None),
+            );
+            continue;
+        }
+        if let Some(line) = cache_lookup(sh, &req) {
+            bump(&sh.counters.completed, "serve.completed_total");
+            ok += 1;
+            write_line(&job.out, &line);
+            continue;
+        }
+
+        let item_started = Instant::now();
+        let mut budget = req.budget.clone().with_cancel(job.cancel.clone());
+        budget.mem_limit = Some(match budget.mem_limit {
+            Some(client) => client.min(sh.opts.mem_budget),
+            None => sh.opts.mem_budget,
+        });
+        let ckpt_path = match &req.cmd {
+            Command::Mc { checkpoint: true, .. } => match &sh.opts.checkpoint_dir {
+                Some(dir) => Some(dir.join(format!("req-{}-{idx}.ckpt", job.seq))),
+                None => {
+                    bump(&sh.counters.errors, "serve.errors_total");
+                    errs += 1;
+                    write_line(
+                        &job.out,
+                        &proto::error_response(
+                            &req.id,
+                            "checkpointing disabled (start the daemon with --checkpoint-dir)",
+                        ),
+                    );
+                    continue;
+                }
+            },
+            _ => None,
+        };
+        let mut on_level = progress_hook(&req, &job.out);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            exec::execute(&req, &budget, ckpt_path.as_deref(), &mut *on_level)
+        }));
+        drop(on_level);
+        let wall_ms = item_started.elapsed().as_millis() as u64;
+        vnet_obs::histogram("serve.request_wall_ms", REQUEST_WALL_MS_BOUNDS).record(wall_ms);
+        let (line, done) = finish(sh, &req, outcome, wall_ms);
+        match done {
+            Done::Ok => ok += 1,
+            Done::Error => errs += 1,
+            Done::Cancelled => cancelled += 1,
+            Done::Panicked => panicked += 1,
+        }
+        write_line(&job.out, &line);
+    }
+
+    let wall_ms = started.elapsed().as_millis() as u64;
+    vnet_obs::histogram("serve.request_wall_ms", REQUEST_WALL_MS_BOUNDS).record(wall_ms);
+    bump(&sh.counters.completed, "serve.completed_total");
+    let fields = vec![
+        ("items", Json::num(items.len() as u64)),
+        ("ok", Json::num(ok)),
+        ("errors", Json::num(errs)),
+        ("rejected", Json::num(rejected)),
+        ("cancelled", Json::num(cancelled)),
+        ("panicked", Json::num(panicked)),
+        ("wall_ms", Json::num(wall_ms)),
+    ];
+    write_line(&job.out, &proto::ok_response(&job.req.id, "batch", fields));
 }
 
 /// Reads one `\n`-terminated line of at most `max` bytes. Overlong
@@ -696,7 +1030,7 @@ pub fn serve_tcp(listener: std::net::TcpListener, opts: ServeOpts) -> std::io::R
     println!("vnet-serve listening on {addr}");
     let _ = std::io::stdout().flush();
 
-    let server = Arc::new(Server::start(opts.clone()));
+    let server = Arc::new(Server::start(opts.clone()).map_err(std::io::Error::other)?);
     let stop_file = opts.stop_file.clone();
     let max_line = opts.max_request_bytes;
 
@@ -737,6 +1071,11 @@ pub fn serve_tcp(listener: std::net::TcpListener, opts: ServeOpts) -> std::io::R
 }
 
 fn serve_conn(stream: std::net::TcpStream, server: &Server, max_line: usize) {
+    // Responses are written whole, so batching them behind Nagle buys
+    // nothing and costs a delayed-ACK stall between back-to-back lines
+    // (batch items, progress events). Best-effort: latency tuning must
+    // not kill an otherwise healthy connection.
+    let _ = stream.set_nodelay(true);
     let Ok(write_half) = stream.try_clone() else {
         return;
     };
@@ -783,7 +1122,7 @@ fn serve_conn(stream: std::net::TcpStream, server: &Server, max_line: usize) {
 /// scripted-client mode: `printf '...' | vnet serve --stdin`.
 pub fn serve_stdio(opts: ServeOpts) -> std::io::Result<()> {
     signal::install_handlers();
-    let server = Server::start(opts.clone());
+    let server = Server::start(opts.clone()).map_err(std::io::Error::other)?;
     let out: LineOut = Arc::new(Mutex::new(Box::new(std::io::stdout())));
     let mut reader = std::io::BufReader::new(std::io::stdin());
     loop {
@@ -891,7 +1230,7 @@ mod tests {
 
     #[test]
     fn answers_ping_inline_and_analyze_via_the_pool() {
-        let server = Server::start(small_opts());
+        let server = Server::start(small_opts()).expect("server starts");
         let (out, store) = capture();
         server.submit_line(r#"{"id":"p","cmd":"ping"}"#, &out, None);
         server.submit_line(r#"{"id":"a","cmd":"analyze","protocol":"MESI-nonblocking-cache"}"#, &out, None);
@@ -903,7 +1242,7 @@ mod tests {
 
     #[test]
     fn malformed_and_unknown_requests_get_structured_errors() {
-        let server = Server::start(small_opts());
+        let server = Server::start(small_opts()).expect("server starts");
         let (out, store) = capture();
         server.submit_line("{not json", &out, None);
         server.submit_line(r#"{"cmd":"analyze","protocol":"NOPE"}"#, &out, None);
@@ -916,7 +1255,7 @@ mod tests {
 
     #[test]
     fn a_panicking_request_kills_neither_daemon_nor_worker() {
-        let server = Server::start(small_opts());
+        let server = Server::start(small_opts()).expect("server starts");
         let (out, store) = capture();
         server.submit_line(r#"{"id":"boom","cmd":"panic"}"#, &out, None);
         wait_for_responses(&store, 1);
@@ -932,7 +1271,7 @@ mod tests {
 
     #[test]
     fn metrics_is_answered_inline_with_consistent_counters() -> Result<(), String> {
-        let server = Server::start(small_opts());
+        let server = Server::start(small_opts()).expect("server starts");
         let (out, store) = capture();
         server.submit_line(r#"{"id":"e","cmd":"frobnicate"}"#, &out, None);
         server.submit_line(
@@ -989,7 +1328,7 @@ mod tests {
             test_faults: true,
             ..small_opts()
         };
-        let server = Server::start(opts);
+        let server = Server::start(opts).expect("server starts");
         let (out, store) = capture();
         for i in 0..6 {
             server.submit_line(
@@ -1024,7 +1363,7 @@ mod tests {
             deadline: Duration::from_millis(150),
             ..small_opts()
         };
-        let server = Server::start(opts);
+        let server = Server::start(opts).expect("server starts");
         let (out, store) = capture();
         // CHI single-VN is far too big to finish in 150ms.
         server.submit_line(
@@ -1041,7 +1380,7 @@ mod tests {
 
     #[test]
     fn drain_rejects_new_work_but_finishes_old() {
-        let server = Server::start(small_opts());
+        let server = Server::start(small_opts()).expect("server starts");
         let (out, store) = capture();
         server.submit_line(r#"{"id":"w","cmd":"analyze","protocol":"MOESI-nonblocking-cache"}"#, &out, None);
         server.shared.draining.store(true, Ordering::SeqCst);
@@ -1058,6 +1397,215 @@ mod tests {
         }
         assert_eq!(by_id["w"], "ok");
         assert_eq!(by_id["late"], "rejected");
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "vnet-serve-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn repeat_requests_are_served_from_the_store_as_cached() {
+        let dir = tmp_dir("cache");
+        let opts = ServeOpts {
+            store_dir: Some(dir.clone()),
+            ..small_opts()
+        };
+        let server = Server::start(opts).expect("server starts");
+        let (out, store) = capture();
+        let line = r#"{"id":"a1","cmd":"analyze","protocol":"MESI-nonblocking-cache"}"#;
+        server.submit_line(line, &out, None);
+        wait_for_responses(&store, 1);
+        // The repeat must answer inline from the store: identical
+        // result fields, provenance rewritten to `cached`.
+        server.submit_line(&line.replace("a1", "a2"), &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        let by_id = |id: &str| {
+            all.iter()
+                .find(|v| v.get("id").and_then(json::Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no response with id {id}: {all:?}"))
+        };
+        let first = by_id("a1");
+        let second = by_id("a2");
+        assert_eq!(status_of(first), "ok");
+        assert_eq!(status_of(second), "ok");
+        assert_eq!(
+            first.get("provenance").and_then(json::Json::as_str),
+            Some("exact")
+        );
+        assert_eq!(
+            second.get("provenance").and_then(json::Json::as_str),
+            Some("cached")
+        );
+        assert_eq!(second.get("min_vns"), first.get("min_vns"));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn warm_store_survives_a_daemon_restart() {
+        let dir = tmp_dir("restart");
+        let opts = ServeOpts {
+            store_dir: Some(dir.clone()),
+            ..small_opts()
+        };
+        {
+            let server = Server::start(opts.clone()).expect("server starts");
+            let (out, store) = capture();
+            server.submit_line(
+                r#"{"id":"m1","cmd":"mc","protocol":"MSI-nonblocking-cache","vns":"unique"}"#,
+                &out,
+                None,
+            );
+            wait_for_responses(&store, 1);
+            server.drain();
+        }
+        // "Restart": a fresh Server over the same directory. The mc
+        // repeat must come back cached without re-exploring.
+        let server = Server::start(opts).expect("server reopens the store");
+        let states_before = vnet_obs::counter("explore.states_total").get();
+        let (out, store) = capture();
+        server.submit_line(
+            r#"{"id":"m2","cmd":"mc","protocol":"MSI-nonblocking-cache","vns":"unique"}"#,
+            &out,
+            None,
+        );
+        wait_for_responses(&store, 1);
+        server.drain();
+        let v = &lines(&store)[0];
+        assert_eq!(status_of(v), "ok", "{v:?}");
+        assert_eq!(
+            v.get("provenance").and_then(json::Json::as_str),
+            Some("cached"),
+            "{v:?}"
+        );
+        assert_eq!(
+            vnet_obs::counter("explore.states_total").get(),
+            states_before,
+            "a cached answer must not re-explore"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_answers_every_item_plus_a_summary_with_per_item_isolation() {
+        let server = Server::start(small_opts()).expect("server starts");
+        let (out, store) = capture();
+        server.submit_line(
+            concat!(
+                r#"{"id":"b","cmd":"batch","items":["#,
+                r#"{"id":"i0","cmd":"analyze","protocol":"MSI-nonblocking-cache"},"#,
+                r#"{"id":"i1","cmd":"panic"},"#,
+                r#"{"id":"i2","cmd":"analyze","protocol":"NOPE"},"#,
+                r#"{"id":"i3","cmd":"analyze","protocol":"MESI-nonblocking-cache"}"#,
+                r#"]}"#
+            ),
+            &out,
+            None,
+        );
+        // 4 item lines + 1 summary.
+        wait_for_responses(&store, 5);
+        // Reconciliation: the batch counts one completed for itself
+        // plus one status per item (counters bump before lines write).
+        let c = server.counters();
+        assert_eq!(c.completed.load(Ordering::Relaxed), 3);
+        assert_eq!(c.errors.load(Ordering::Relaxed), 1);
+        assert_eq!(c.panicked.load(Ordering::Relaxed), 1);
+        server.drain();
+        let all = lines(&store);
+        let by_id = |id: &str| {
+            all.iter()
+                .find(|v| v.get("id").and_then(json::Json::as_str) == Some(id))
+                .unwrap_or_else(|| panic!("no response with id {id}: {all:?}"))
+        };
+        assert_eq!(status_of(by_id("i0")), "ok");
+        assert_eq!(status_of(by_id("i1")), "panicked");
+        assert_eq!(status_of(by_id("i2")), "error");
+        assert_eq!(status_of(by_id("i3")), "ok", "items after a panic still run");
+        let summary = by_id("b");
+        assert_eq!(status_of(summary), "ok");
+        assert_eq!(summary.get("cmd").and_then(json::Json::as_str), Some("batch"));
+        let n = |k: &str| summary.get(k).and_then(json::Json::as_u64).unwrap_or(u64::MAX);
+        assert_eq!(n("items"), 4);
+        assert_eq!(n("ok"), 2);
+        assert_eq!(n("errors"), 1);
+        assert_eq!(n("panicked"), 1);
+    }
+
+    #[test]
+    fn nested_batches_are_refused_per_item() {
+        let server = Server::start(small_opts()).expect("server starts");
+        let (out, store) = capture();
+        server.submit_line(
+            r#"{"id":"b","cmd":"batch","items":[{"id":"inner","cmd":"batch","items":[{"cmd":"ping"}]}]}"#,
+            &out,
+            None,
+        );
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        let inner = all
+            .iter()
+            .find(|v| v.get("id").and_then(json::Json::as_str) == Some("inner"))
+            .expect("inner item answered");
+        assert_eq!(status_of(inner), "error", "{inner:?}");
+        assert!(
+            inner
+                .get("detail")
+                .and_then(json::Json::as_str)
+                .is_some_and(|d| d.contains("nest")),
+            "{inner:?}"
+        );
+    }
+
+    #[test]
+    fn inline_mc_streams_progress_events_before_its_response() {
+        let server = Server::start(small_opts()).expect("server starts");
+        let (out, store) = capture();
+        server.submit_line(
+            r#"{"id":"p","cmd":"mc","protocol":"MSI-nonblocking-cache","vns":"unique","progress":true}"#,
+            &out,
+            None,
+        );
+        // The response line arrives last; progress lines precede it.
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !lines(&store)
+            .iter()
+            .any(|v| v.get("status").is_some())
+        {
+            assert!(Instant::now() < deadline, "timed out waiting for the response");
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        server.drain();
+        let all = lines(&store);
+        let progress: Vec<_> = all
+            .iter()
+            .filter(|v| v.get("event").and_then(json::Json::as_str) == Some("progress"))
+            .collect();
+        assert!(!progress.is_empty(), "expected progress events: {all:?}");
+        for (i, p) in progress.iter().enumerate() {
+            assert_eq!(p.get("id").and_then(json::Json::as_str), Some("p"));
+            assert!(p.get("status").is_none(), "progress lines are not responses");
+            assert_eq!(
+                p.get("level").and_then(json::Json::as_u64),
+                Some(i as u64 + 1),
+                "levels arrive in order: {p:?}"
+            );
+            assert!(p.get("states").and_then(json::Json::as_u64).is_some());
+            assert!(p.get("peak_bytes").is_some());
+        }
+        let resp = all.last().expect("a final response line");
+        assert_eq!(status_of(resp), "ok", "{resp:?}");
+        // Exactly one line carries a status: one request, one response.
+        assert_eq!(
+            all.iter().filter(|v| v.get("status").is_some()).count(),
+            1
+        );
     }
 
     #[test]

@@ -11,3 +11,4 @@ pub use vnet_obs as obs;
 pub use vnet_protocol as protocol;
 pub use vnet_serve as serve;
 pub use vnet_sim as sim;
+pub use vnet_store as store;

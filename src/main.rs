@@ -50,6 +50,12 @@ enum Outcome {
     /// Distinct from `UsageError` so supervisors can tell "fix the
     /// flags" from "the port is taken, restart me elsewhere".
     ServeStartupFailure,
+    /// `vnet store verify` found quarantined (committed but
+    /// checksum-failing) records: previously acknowledged results were
+    /// lost to corruption. Distinct from `Clean` — a torn tail rolled
+    /// back to the last commit marker is normal crash recovery, this
+    /// is not.
+    StoreCorrupt,
 }
 
 impl Outcome {
@@ -64,6 +70,7 @@ impl Outcome {
             Outcome::Interrupted => 4,
             Outcome::Incomplete => 5,
             Outcome::ServeStartupFailure => 6,
+            Outcome::StoreCorrupt => 7,
         }
     }
 }
@@ -184,7 +191,9 @@ usage:
   vnet serve [--listen <addr> | --stdin] [--workers <n>] [--queue <n>]
            [--deadline <dur>] [--mem-budget <bytes>] [--max-request-bytes <n>]
            [--stop-file <file>] [--drain-grace <dur>] [--checkpoint-dir <dir>]
-           [--enable-test-faults]
+           [--store-dir <dir>] [--store-max-bytes <n>] [--enable-test-faults]
+  vnet store verify <dir>
+  vnet store gc <dir> [--max-bytes <n>]
 
 <protocol> is a built-in name or a path to a .vnp file (text DSL).
 <budget>   comma-separated limits: `500ms` / `2s` (deadline), `nodes=100000`;
@@ -211,10 +220,21 @@ checkpoint resume, and emits a machine-readable JSON report.
 `vnet serve` runs the analysis daemon: newline-delimited JSON requests over
 TCP (default 127.0.0.1:7700) or stdin, with bounded queueing, per-request
 deadlines and memory budgets, and graceful drain on SIGTERM / stop-file.
+`--store-dir <dir>` adds the durable result store: exact analyze/mc results
+write through to an append-only content-addressed log and repeat requests
+answer from it in microseconds with provenance \"cached\" — across restarts
+and crashes. `vnet campaign --store-dir <dir>` pre-warms the same store with
+Table I verdicts.
+
+`vnet store verify <dir>` replays the store's crash recovery and reports it:
+exit 0 when every committed record is intact (a rolled-back torn tail is
+normal recovery), exit 7 when committed records had to be quarantined.
+`vnet store gc <dir>` compacts to the newest record per key, evicting
+oldest-first under `--max-bytes`.
 
 exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result,
             4 interrupted (resumable checkpoint written), 5 campaign incomplete,
-            6 serve startup failure.";
+            6 serve startup failure, 7 store corruption (quarantined records).";
 
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -525,6 +545,18 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 .map(String::as_str)
                 .unwrap_or("protocols");
             let entries = campaign::discover(Path::new(dir))?;
+            // Resolved up front so a bad --store-dir fails before any
+            // model checking runs, not after the whole sweep.
+            let store_dir = flag_value(args, "--store-dir")?.map(std::path::PathBuf::from);
+            if let Some(sd) = &store_dir {
+                if matches!(vnet::store::dir_state(sd), Ok(vnet::store::DirState::Foreign)) {
+                    return Err(format!(
+                        "--store-dir {} is non-empty but not a result store; \
+                         refusing to initialize into it",
+                        sd.display()
+                    ));
+                }
+            }
             let threads = parse_flag(args, "--threads", 0)?;
             // 0 is the *implicit* auto default; written out explicitly
             // it is more likely a script bug, so fail closed.
@@ -618,6 +650,49 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     (None, None) => println!("  {}: FAILED", r.protocol),
                 }
             });
+            if let Some(sd) = &store_dir {
+                // Write exact verdicts through to the durable store
+                // under the same keys the serve daemon derives, so a
+                // sweep pre-warms the cache for later `mc` requests.
+                // Degraded rows are skipped: partial explorations are
+                // not facts worth caching.
+                let mut store = vnet::store::Store::open(sd).map_err(|e| e.to_string())?;
+                let mut written = 0usize;
+                for r in &rep.runs {
+                    let kind = match r.kind.as_deref() {
+                        Some(k @ ("deadlock" | "no-deadlock")) => k,
+                        _ => continue,
+                    };
+                    if r.provenance != "exact" {
+                        continue;
+                    }
+                    let entry = match entries.iter().find(|e| e.name == r.protocol) {
+                        Some(e) => e,
+                        None => continue,
+                    };
+                    let spec = campaign::load_spec(&entry.arg)?;
+                    let cfg = campaign::table1_config(&spec);
+                    let key = vnet::serve::exec::mc_store_key(&spec, &cfg);
+                    let body = vnet::serve::exec::mc_result_body(
+                        &r.protocol,
+                        kind,
+                        r.depth,
+                        r.states,
+                        r.levels,
+                        r.complete,
+                    );
+                    match store.put(key, vnet::store::RecordKind::Mc, &body) {
+                        Ok(true) => written += 1,
+                        Ok(false) => {}
+                        Err(e) => eprintln!("campaign: store write failed for {}: {e}", r.protocol),
+                    }
+                }
+                println!(
+                    "store: {written} exact result(s) written to {} ({} total)",
+                    sd.display(),
+                    store.len()
+                );
+            }
             let json = rep.to_json();
             match flag_value(args, "--report")? {
                 Some(f) => {
@@ -760,12 +835,46 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             opts.stop_file = flag_value(args, "--stop-file")?.map(std::path::PathBuf::from);
             opts.checkpoint_dir =
                 flag_value(args, "--checkpoint-dir")?.map(std::path::PathBuf::from);
+            opts.store_dir = flag_value(args, "--store-dir")?.map(std::path::PathBuf::from);
+            opts.store_max_bytes = flag_value(args, "--store-max-bytes")?
+                .map(|v| {
+                    v.parse::<u64>()
+                        .map_err(|_| format!("bad value for --store-max-bytes: `{v}`"))
+                })
+                .transpose()?;
+            if opts.store_max_bytes == Some(0) {
+                return Err("--store-max-bytes must be positive".into());
+            }
+            if opts.store_max_bytes.is_some() && opts.store_dir.is_none() {
+                return Err("--store-max-bytes needs --store-dir".into());
+            }
             opts.test_faults = args.iter().any(|a| a == "--enable-test-faults");
 
             if let Some(dir) = &opts.checkpoint_dir {
                 if let Err(e) = std::fs::create_dir_all(dir) {
                     eprintln!("serve: cannot create checkpoint dir {}: {e}", dir.display());
                     return Ok(Outcome::ServeStartupFailure);
+                }
+            }
+            // Fail-closed usage check before anything starts: a
+            // non-empty directory that is not a store is someone
+            // else's data — refuse to initialize into it (exit 1).
+            // Genuine open failures later (permissions, bad disk) are
+            // startup failures (exit 6), not usage errors.
+            if let Some(dir) = &opts.store_dir {
+                match vnet::store::dir_state(dir) {
+                    Ok(vnet::store::DirState::Foreign) => {
+                        return Err(format!(
+                            "--store-dir {} is non-empty but not a result store; \
+                             refusing to initialize into it",
+                            dir.display()
+                        ));
+                    }
+                    Ok(_) => {}
+                    Err(e) => {
+                        eprintln!("serve: cannot inspect store dir: {e}");
+                        return Ok(Outcome::ServeStartupFailure);
+                    }
                 }
             }
 
@@ -788,6 +897,113 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     eprintln!("serve: {e}");
                     Ok(Outcome::ServeStartupFailure)
                 }
+            }
+        }
+        "store" => {
+            let sub = args.get(1).map(String::as_str).ok_or(
+                "store needs a subcommand: verify <dir> | gc <dir> [--max-bytes <n>]",
+            )?;
+            let dir = args
+                .get(2)
+                .filter(|a| !a.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .ok_or_else(|| format!("store {sub} needs a store directory"))?;
+            match sub {
+                "verify" => {
+                    // open_existing never initializes, so a typo'd
+                    // path is a usage error, not a fresh empty store
+                    // that vacuously verifies.
+                    let store = vnet::store::Store::open_existing(&dir)
+                        .map_err(|e| e.to_string())?;
+                    let rep = store.open_report();
+                    println!(
+                        "store {}: {} record(s), {} key(s), {} log byte(s)",
+                        dir.display(),
+                        rep.records,
+                        store.len(),
+                        store.log_bytes()
+                    );
+                    if rep.rolled_back_bytes > 0 {
+                        println!(
+                            "  rolled back {} uncommitted tail byte(s) (torn write; no data loss)",
+                            rep.rolled_back_bytes
+                        );
+                    }
+                    if rep.skipped_unreadable > 0 {
+                        println!(
+                            "  {} record(s) kept but unreadable by this build (newer schema)",
+                            rep.skipped_unreadable
+                        );
+                    }
+                    if rep.quarantined > 0 {
+                        for f in vnet::store::quarantine_files(&dir) {
+                            println!("  quarantined: {f}");
+                        }
+                        eprintln!(
+                            "store: {} corrupt record(s) quarantined — committed data was lost",
+                            rep.quarantined
+                        );
+                        Ok(Outcome::StoreCorrupt)
+                    } else {
+                        println!("  intact: every committed record verified");
+                        Ok(Outcome::Clean)
+                    }
+                }
+                "gc" => {
+                    let max_bytes = flag_value(args, "--max-bytes")?
+                        .map(|v| {
+                            v.parse::<u64>()
+                                .map_err(|_| format!("bad value for --max-bytes: `{v}`"))
+                        })
+                        .transpose()?;
+                    if max_bytes == Some(0) {
+                        return Err("--max-bytes must be positive".into());
+                    }
+                    let mut store = vnet::store::Store::open_existing(&dir)
+                        .map_err(|e| e.to_string())?;
+                    let rep = store.gc(max_bytes).map_err(|e| e.to_string())?;
+                    println!(
+                        "store gc {}: kept {}, evicted {}, {} -> {} byte(s)",
+                        dir.display(),
+                        rep.kept,
+                        rep.evicted,
+                        rep.bytes_before,
+                        rep.bytes_after
+                    );
+                    Ok(Outcome::Clean)
+                }
+                // Hidden: seed a store with synthetic records. Exists
+                // for the crash harness (tests/store_crash.rs), which
+                // SIGKILLs this process mid-append under
+                // VNET_STORE_SLOW_APPEND_US to land torn writes at
+                // arbitrary byte offsets.
+                "fill" => {
+                    let count: usize = parse_flag(args, "--count", 0)?;
+                    if count == 0 {
+                        return Err("store fill needs --count <n>".into());
+                    }
+                    let body_bytes: usize = parse_flag(args, "--body-bytes", 64)?;
+                    let mut store =
+                        vnet::store::Store::open(&dir).map_err(|e| e.to_string())?;
+                    for i in 0..count {
+                        let key = vnet::store::Key::derive(&[
+                            b"fill/1".as_slice(),
+                            i.to_le_bytes().as_slice(),
+                        ]);
+                        let body = format!(
+                            "{{\"fill\":{i},\"pad\":\"{}\"}}",
+                            "x".repeat(body_bytes)
+                        );
+                        store
+                            .put(key, vnet::store::RecordKind::Mc, &body)
+                            .map_err(|e| e.to_string())?;
+                    }
+                    println!("store fill: {count} record(s) in {}", dir.display());
+                    Ok(Outcome::Clean)
+                }
+                other => Err(format!(
+                    "unknown store subcommand `{other}` (want verify or gc)"
+                )),
             }
         }
         // Hidden: one shard-process round of `vnet mc --shard-procs`.

@@ -1,0 +1,314 @@
+//! The durable result store through the real binary: a warm-store soak
+//! (hit ratio and hit latency under sustained load, with counter
+//! reconciliation at the end), cache survival across a daemon restart,
+//! and the batch/progress streaming surfaces.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+use vnet::serve::json;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-servestore-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("creating the test scratch dir");
+    d
+}
+
+fn spawn_serve(extra: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_vnet"))
+        .args(["serve", "--listen", "127.0.0.1:0", "--drain-grace", "1s"])
+        .args(extra)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning vnet serve");
+    let stdout = child.stdout.take().expect("child stdout is piped");
+    let mut banner = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut banner)
+        .expect("reading the listening banner");
+    assert!(banner.contains("listening on"), "bad banner: {banner}");
+    let addr = banner
+        .trim()
+        .rsplit(' ')
+        .next()
+        .expect("banner ends with the address")
+        .to_string();
+    (child, addr)
+}
+
+fn connect(addr: &str) -> (impl Write, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).expect("connecting to the daemon");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("setting a read timeout");
+    stream.set_nodelay(true).expect("setting TCP_NODELAY");
+    let w = stream.try_clone().expect("cloning the stream");
+    (w, BufReader::new(stream))
+}
+
+fn roundtrip(w: &mut impl Write, r: &mut BufReader<TcpStream>, line: &str) -> json::Json {
+    writeln!(w, "{line}").expect("sending a request");
+    w.flush().expect("flushing a request");
+    let mut resp = String::new();
+    let n = r.read_line(&mut resp).expect("reading a response");
+    assert!(n > 0, "daemon hung up on: {line}");
+    json::parse(resp.trim()).unwrap_or_else(|e| panic!("unparseable response {resp:?}: {e}"))
+}
+
+fn shutdown(child: Child) {
+    let ok = Command::new("kill")
+        .arg("-TERM")
+        .arg(child.id().to_string())
+        .status()
+        .expect("running kill")
+        .success();
+    assert!(ok, "kill -TERM failed");
+    let code = wait_exit(child, 60);
+    assert_eq!(code, 0, "drain must exit 0");
+}
+
+fn wait_exit(mut child: Child, secs: u64) -> i32 {
+    let deadline = Instant::now() + Duration::from_secs(secs);
+    loop {
+        if let Some(st) = child.try_wait().expect("try_wait") {
+            return st.code().expect("exit code");
+        }
+        assert!(Instant::now() < deadline, "daemon did not exit in {secs}s");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn provenance(v: &json::Json) -> Option<&str> {
+    v.get("provenance").and_then(json::Json::as_str)
+}
+
+/// The warm-store soak of the acceptance checklist: 10k analyze
+/// requests cycling a handful of protocols against a stored daemon.
+/// All but the first occurrence of each protocol must come back
+/// `provenance:"cached"`, cache hits must answer in single-digit
+/// milliseconds at p99 even in a debug build, and the server's own
+/// counters must reconcile with the client tally afterwards.
+#[test]
+fn soak_10k_requests_against_a_warm_store() {
+    const TOTAL: usize = 10_000;
+    const PROTOCOLS: [&str; 7] = [
+        "CHI",
+        "MSI-blocking-cache",
+        "MESI-blocking-cache",
+        "MOSI-nonblocking-cache",
+        "MOESI-nonblocking-cache",
+        "MESIF-blocking-cache",
+        "CHI-DCT",
+    ];
+    let dir = tmp_dir("soak");
+    let (child, addr) = spawn_serve(&["--store-dir", dir.to_str().expect("utf-8 path")]);
+    let (mut w, mut r) = connect(&addr);
+
+    let mut hits = 0usize;
+    let mut hit_wall = Vec::with_capacity(TOTAL);
+    for i in 0..TOTAL {
+        let proto = PROTOCOLS[i % PROTOCOLS.len()];
+        let line = format!(r#"{{"id":"s{i}","cmd":"analyze","protocol":"{proto}"}}"#);
+        let t0 = Instant::now();
+        let v = roundtrip(&mut w, &mut r, &line);
+        let wall = t0.elapsed();
+        assert_eq!(
+            v.get("status").and_then(json::Json::as_str),
+            Some("ok"),
+            "request {i} failed: {v:?}"
+        );
+        if provenance(&v) == Some("cached") {
+            hits += 1;
+            hit_wall.push(wall);
+        }
+    }
+
+    let ratio = hits as f64 / TOTAL as f64;
+    assert!(
+        ratio > 0.9,
+        "hit ratio {ratio:.4} ({hits}/{TOTAL}) is below the 90% floor"
+    );
+    hit_wall.sort();
+    let p99 = hit_wall[hit_wall.len() * 99 / 100];
+    assert!(
+        p99 < Duration::from_millis(5),
+        "p99 cache-hit latency {p99:?} breaches the 5ms budget"
+    );
+
+    // Reconcile: the daemon's counters must agree with what the client
+    // saw — every request completed, every status counted exactly once,
+    // and the store counters partition the requests into hits + misses.
+    let m = roundtrip(&mut w, &mut r, r#"{"id":"m","cmd":"metrics"}"#);
+    let counter = |key: &str| {
+        m.get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(json::Json::as_u64)
+            .unwrap_or_else(|| panic!("counters.{key} missing: {m:?}"))
+    };
+    assert_eq!(counter("completed"), TOTAL as u64);
+    assert_eq!(
+        counter("submitted"),
+        counter("completed")
+            + counter("errors")
+            + counter("rejected")
+            + counter("cancelled")
+            + counter("panicked"),
+        "status taxonomy does not partition the submitted total"
+    );
+    let reg_counter = |key: &str| {
+        m.get("registry")
+            .and_then(|r| r.get("counters"))
+            .and_then(|c| c.get(key))
+            .and_then(json::Json::as_u64)
+            .unwrap_or(0)
+    };
+    assert_eq!(reg_counter("serve.cache_hits_total"), hits as u64);
+    assert_eq!(
+        reg_counter("serve.cache_hits_total") + reg_counter("serve.cache_misses_total"),
+        TOTAL as u64,
+        "hits + misses must cover every cacheable request"
+    );
+    // The server's own latency histogram agrees: with >99% of requests
+    // answered from the store, at least 99% of `serve.request_wall_ms`
+    // samples must sit in the <=5ms buckets.
+    let wall = m
+        .get("registry")
+        .and_then(|r| r.get("histograms"))
+        .and_then(|h| h.get("serve.request_wall_ms"))
+        .expect("serve.request_wall_ms histogram missing");
+    let count = wall.get("count").and_then(json::Json::as_u64).expect("count");
+    let under_5ms: u64 = wall
+        .get("buckets")
+        .and_then(|b| match b {
+            json::Json::Arr(items) => Some(items),
+            _ => None,
+        })
+        .expect("buckets array")
+        .iter()
+        .filter(|b| b.get("le").and_then(json::Json::as_u64).is_some_and(|le| le <= 5))
+        .map(|b| b.get("n").and_then(json::Json::as_u64).unwrap_or(0))
+        .sum();
+    assert!(
+        under_5ms * 100 >= count * 99,
+        "server-side p99 breaches 5ms: {under_5ms}/{count} samples <=5ms"
+    );
+
+    shutdown(child);
+    // Durability: the store holds exactly one record per protocol.
+    let store = vnet::store::Store::open_existing(&dir).expect("reopening the soak store");
+    assert_eq!(store.len(), PROTOCOLS.len());
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Kill the daemon, restart it on the same store directory, and the
+/// repeat of an already-answered request must be served `cached`
+/// without re-running any analysis.
+#[test]
+fn restarted_daemon_answers_repeats_from_the_store() {
+    let dir = tmp_dir("restart");
+    let flags = ["--store-dir", dir.to_str().expect("utf-8 path")];
+    let req = r#"{"id":"a1","cmd":"analyze","protocol":"MOESI-blocking-cache"}"#;
+
+    let (child, addr) = spawn_serve(&flags);
+    let (mut w, mut r) = connect(&addr);
+    let v = roundtrip(&mut w, &mut r, req);
+    assert_eq!(v.get("status").and_then(json::Json::as_str), Some("ok"));
+    assert_ne!(provenance(&v), Some("cached"), "first answer cannot be a hit");
+    shutdown(child);
+
+    let (child, addr) = spawn_serve(&flags);
+    let (mut w, mut r) = connect(&addr);
+    let v = roundtrip(&mut w, &mut r, req);
+    assert_eq!(v.get("status").and_then(json::Json::as_str), Some("ok"), "{v:?}");
+    assert_eq!(
+        provenance(&v),
+        Some("cached"),
+        "restart lost the stored answer: {v:?}"
+    );
+    // The cached line still carries the actual result payload.
+    assert!(
+        v.get("min_vns").is_some(),
+        "cached answer dropped its fields: {v:?}"
+    );
+    shutdown(child);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A batch with a poisoned item: every item gets its own response line
+/// (the panic cannot take down its neighbours), then a summary closes
+/// the batch.
+#[test]
+fn batch_isolates_a_poisoned_item_end_to_end() {
+    let (child, addr) = spawn_serve(&["--enable-test-faults"]);
+    let (mut w, mut r) = connect(&addr);
+    writeln!(
+        w,
+        r#"{{"id":"b1","cmd":"batch","items":[{{"cmd":"analyze","protocol":"CHI"}},{{"cmd":"panic"}},{{"cmd":"analyze","protocol":"no-such-protocol"}}]}}"#
+    )
+    .expect("sending the batch");
+    w.flush().expect("flushing the batch");
+
+    let mut statuses = Vec::new();
+    let summary = loop {
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).expect("reading") > 0, "hung up mid-batch");
+        let v = json::parse(line.trim()).expect("structured line");
+        if v.get("cmd").and_then(json::Json::as_str) == Some("batch") {
+            break v;
+        }
+        statuses.push(
+            v.get("status")
+                .and_then(json::Json::as_str)
+                .expect("item line has a status")
+                .to_string(),
+        );
+    };
+    assert_eq!(statuses, ["ok", "panicked", "error"], "per-item isolation broke");
+    assert_eq!(summary.get("items").and_then(json::Json::as_u64), Some(3));
+    assert_eq!(summary.get("ok").and_then(json::Json::as_u64), Some(1));
+    assert_eq!(summary.get("panicked").and_then(json::Json::as_u64), Some(1));
+    assert_eq!(summary.get("errors").and_then(json::Json::as_u64), Some(1));
+    shutdown(child);
+}
+
+/// An inline `mc` with `progress:true` streams level-boundary events
+/// before the final verdict line.
+#[test]
+fn progress_events_stream_ahead_of_the_mc_verdict() {
+    let (child, addr) = spawn_serve(&[]);
+    let (mut w, mut r) = connect(&addr);
+    writeln!(
+        w,
+        r#"{{"id":"p1","cmd":"mc","protocol":"MSI-nonblocking-cache","progress":true,"budget":{{"nodes":20000}}}}"#
+    )
+    .expect("sending the mc request");
+    w.flush().expect("flushing");
+
+    let mut events = 0usize;
+    let mut last_level = 0u64;
+    let verdict = loop {
+        let mut line = String::new();
+        assert!(r.read_line(&mut line).expect("reading") > 0, "hung up mid-stream");
+        let v = json::parse(line.trim()).expect("structured line");
+        if v.get("event").and_then(json::Json::as_str) == Some("progress") {
+            assert!(v.get("status").is_none(), "progress is not a response: {v:?}");
+            let level = v.get("level").and_then(json::Json::as_u64).expect("level");
+            assert!(level > last_level, "levels must be strictly increasing");
+            last_level = level;
+            assert!(v.get("states").and_then(json::Json::as_u64).unwrap_or(0) > 0);
+            events += 1;
+            continue;
+        }
+        break v;
+    };
+    assert!(events > 0, "no progress events arrived before the verdict");
+    assert!(
+        verdict.get("status").is_some(),
+        "stream must end with a real response: {verdict:?}"
+    );
+    shutdown(child);
+}

@@ -1,0 +1,230 @@
+//! Crash-safety of the durable result store, end to end against the
+//! real binary:
+//!
+//! * SIGKILL at arbitrary byte offsets mid-append (via the
+//!   `VNET_STORE_SLOW_APPEND_US` injection hook) must leave a store
+//!   that `vnet store verify` accepts with exit 0: the torn tail is
+//!   rolled back and the surviving log is a byte-identical prefix of
+//!   what was on disk at the moment of the kill.
+//! * Flipping a byte inside a *committed* record must never pass
+//!   silently: verify either quarantines it (exit 7) or, when the flip
+//!   lands in the final record where it is indistinguishable from a
+//!   torn tail, rolls it back (exit 0). A second verify is always
+//!   clean.
+//! * Fail-closed usage: `verify` on a missing dir and `serve
+//!   --store-dir` pointed at a non-empty non-store dir both exit 1.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output, Stdio};
+use std::time::Duration;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("vnet-storecrash-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&d);
+    std::fs::create_dir_all(&d).expect("creating the test scratch dir");
+    d
+}
+
+fn vnet() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_vnet"))
+}
+
+fn run(args: &[&str]) -> Output {
+    vnet().args(args).output().expect("running vnet")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status.code().expect("exit code")
+}
+
+fn log_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("results.log")).expect("reading results.log")
+}
+
+/// Starts `vnet store fill` with slow byte-at-a-time appends, SIGKILLs
+/// it after `kill_after`, and returns the raw log bytes at the moment
+/// of death.
+fn fill_and_kill(dir: &Path, count: usize, us_per_byte: u64, kill_after: Duration) -> Vec<u8> {
+    let mut child = vnet()
+        .args(["store", "fill"])
+        .arg(dir)
+        .args(["--count", &count.to_string()])
+        .env("VNET_STORE_SLOW_APPEND_US", us_per_byte.to_string())
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawning vnet store fill");
+    std::thread::sleep(kill_after);
+    // std's kill is SIGKILL: no destructors, no flush, no goodbye.
+    child.kill().expect("SIGKILL");
+    child.wait().expect("reaping the killed filler");
+    log_bytes(dir)
+}
+
+#[test]
+fn sigkill_mid_append_rolls_back_to_a_committed_prefix() {
+    // Several kill offsets: with ~100 bytes/record at 150us/byte a
+    // record takes ~15ms, so these land at different byte positions
+    // inside (and between) frames across runs.
+    for (i, kill_ms) in [40u64, 95, 170, 260].into_iter().enumerate() {
+        let dir = tmp_dir(&format!("kill{i}"));
+        let at_death = fill_and_kill(&dir, 500, 150, Duration::from_millis(kill_ms));
+
+        // First reopen: rollback of the torn tail is normal recovery,
+        // not corruption — exit 0, no quarantine.
+        let out = run(&["store", "verify", dir.to_str().expect("utf-8 path")]);
+        assert_eq!(
+            code(&out),
+            0,
+            "verify after SIGKILL at ~{kill_ms}ms: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(
+            vnet::store::quarantine_files(&dir).is_empty(),
+            "a torn tail must be rolled back, not quarantined"
+        );
+
+        // The recovered log is a byte-identical readable prefix of
+        // whatever was on disk when the process died.
+        let recovered = log_bytes(&dir);
+        assert!(
+            recovered.len() <= at_death.len(),
+            "recovery grew the log ({} -> {})",
+            at_death.len(),
+            recovered.len()
+        );
+        assert_eq!(
+            recovered,
+            at_death[..recovered.len()],
+            "recovered log is not a byte prefix of the pre-crash log"
+        );
+
+        // Recovery is idempotent: a second verify changes nothing.
+        assert_eq!(code(&run(&["store", "verify", dir.to_str().unwrap()])), 0);
+        assert_eq!(log_bytes(&dir), recovered, "second open modified the log");
+
+        // And the store still takes writes afterwards.
+        let out = run(&[
+            "store",
+            "fill",
+            dir.to_str().unwrap(),
+            "--count",
+            "3",
+        ]);
+        assert_eq!(code(&out), 0, "post-recovery writes failed");
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn flipping_a_committed_byte_is_quarantined_or_rolled_back_never_ignored() {
+    // A corpus of flip offsets spread across the committed log: early
+    // records (must quarantine), mid-log, and the tail (where a flip
+    // is indistinguishable from a torn write and rollback is correct).
+    let dir = tmp_dir("flip");
+    let seed = run(&["store", "fill", dir.to_str().unwrap(), "--count", "20"]);
+    assert_eq!(code(&seed), 0);
+    let pristine = log_bytes(&dir);
+    assert!(pristine.len() > 200, "seed log too small to corrupt");
+
+    let offsets = [
+        7,                     // first frame header
+        pristine.len() / 4,    // early record body
+        pristine.len() / 2,    // mid-log
+        pristine.len() * 3 / 4,
+        pristine.len() - 3, // inside the final commit marker
+    ];
+    let mut quarantined_at_least_once = false;
+    for (i, &off) in offsets.iter().enumerate() {
+        // Restore the pristine log, then flip one byte.
+        std::fs::write(dir.join("results.log"), &pristine).expect("restoring the log");
+        for q in vnet::store::quarantine_files(&dir) {
+            let _ = std::fs::remove_file(dir.join("quarantine").join(q));
+        }
+        let mut bytes = pristine.clone();
+        bytes[off] ^= 0x40;
+        std::fs::write(dir.join("results.log"), &bytes).expect("writing the flipped log");
+
+        let out = run(&["store", "verify", dir.to_str().unwrap()]);
+        let c = code(&out);
+        let stdout = String::from_utf8_lossy(&out.stdout).to_string();
+        match c {
+            // Corruption detected: the record is preserved in
+            // quarantine, never silently dropped.
+            7 => {
+                quarantined_at_least_once = true;
+                assert!(
+                    !vnet::store::quarantine_files(&dir).is_empty(),
+                    "exit 7 without a quarantine file (flip #{i} at {off})"
+                );
+                assert!(
+                    stdout.contains("quarantined"),
+                    "verify did not report the quarantine: {stdout}"
+                );
+            }
+            // Tail flips may be recovered as a torn-write rollback.
+            0 => assert!(
+                log_bytes(&dir).len() < bytes.len(),
+                "exit 0 but the corrupt byte was left in place (flip #{i} at {off})"
+            ),
+            other => panic!("verify exited {other} on flip #{i} at {off}: {stdout}"),
+        }
+        // Whatever recovery did, the store is now consistent: the next
+        // verify is clean.
+        assert_eq!(
+            code(&run(&["store", "verify", dir.to_str().unwrap()])),
+            0,
+            "store did not converge after recovery (flip #{i} at {off})"
+        );
+    }
+    assert!(
+        quarantined_at_least_once,
+        "no flip in the corpus exercised the quarantine path"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn verify_on_a_missing_or_foreign_dir_is_a_usage_error() {
+    let missing = std::env::temp_dir().join(format!("vnet-storecrash-absent-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&missing);
+    let out = run(&["store", "verify", missing.to_str().unwrap()]);
+    assert_eq!(code(&out), 1, "verify must not conjure a store from a typo");
+
+    let foreign = tmp_dir("foreign");
+    std::fs::write(foreign.join("precious.txt"), b"not yours").unwrap();
+    let out = run(&["store", "verify", foreign.to_str().unwrap()]);
+    assert_eq!(code(&out), 1);
+    let _ = std::fs::remove_dir_all(foreign);
+}
+
+#[test]
+fn serve_and_campaign_refuse_a_foreign_store_dir() {
+    let foreign = tmp_dir("serveforeign");
+    std::fs::write(foreign.join("precious.txt"), b"not yours").unwrap();
+
+    let out = vnet()
+        .args(["serve", "--listen", "127.0.0.1:0", "--store-dir"])
+        .arg(&foreign)
+        .output()
+        .expect("running vnet serve");
+    assert_eq!(code(&out), 1, "serve must refuse to initialize into it");
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a result store"),
+        "unhelpful refusal: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        foreign.join("precious.txt").exists(),
+        "refusal must not touch the directory"
+    );
+
+    let out = vnet()
+        .args(["campaign", "protocols", "--store-dir"])
+        .arg(&foreign)
+        .output()
+        .expect("running vnet campaign");
+    assert_eq!(code(&out), 1, "campaign must refuse before any mc runs");
+    let _ = std::fs::remove_dir_all(foreign);
+}
