@@ -1,0 +1,150 @@
+//! # vnet-fuzz
+//!
+//! A protocol-**mutation fuzzer** with a fail-closed **differential
+//! oracle**: seeded structural edits of [`vnet_protocol::ProtocolSpec`]s
+//! are re-rendered through the DSL (round-trip validity is itself under
+//! test), validated, and — for every mutant that survives — cross-checked
+//! *analyzer vs model checker*: the static minimum-VN assignment
+//! (`vnet-core`) must never certify a configuration the bounded
+//! explicit-state checker (`vnet-mc`) can deadlock. A deadlock trace is
+//! definitive regardless of bounds, so one bounded run suffices to refute
+//! the analyzer; agreement is only claimed from complete runs, and
+//! exhausted budgets are never counted as passes.
+//!
+//! The moving parts:
+//!
+//! * [`mutate`] — named, replayable mutation operators (flip/insert
+//!   stalls, reorder/drop actions, drop completions, swap message
+//!   classes, remove rows);
+//! * [`oracle`] — the differential verdict taxonomy
+//!   ([`MutantOutcome`]): `Consistent` / `Disagreement` /
+//!   `Undetermined`, plus the fail-closed rejection buckets;
+//! * [`shrink`] — a delta-debugging minimizer that replays the oracle
+//!   per reduction step;
+//! * [`run`] — the supervised campaign runner: per-mutant panic/timeout
+//!   isolation with retry lineage, deterministic JSON reports keyed by
+//!   `(seed, mutation trace)`, and repro bundles for findings.
+//!
+//! Determinism is load-bearing: mutant `i` of a campaign depends only on
+//! `(master seed, i)`, all oracle bounds are state/node counts (never
+//! wall-clock), and reports carry no timing — two runs of
+//! `vnet fuzz --seed S --count N` emit byte-identical reports.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mutate;
+pub mod oracle;
+pub mod report;
+pub mod run;
+pub mod shrink;
+
+pub use mutate::{apply, apply_all, generate, MutationOp};
+pub use oracle::{run_oracle, MutantOutcome, OracleOpts};
+pub use run::{run_campaign, CampaignReport, CaseResult, FuzzConfig, MutantRecord};
+pub use shrink::{minimize, ShrinkResult};
+
+use vnet_protocol::{dsl, ProtocolSpec};
+
+/// Derives the per-mutant seed for index `i` of a campaign seeded with
+/// `master`. SplitMix-style mixing keeps neighboring indices decorrelated
+/// while staying a pure function of `(master, i)`.
+pub fn mutant_seed(master: u64, index: usize) -> u64 {
+    let mut z = master ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Runs a mutation trace through the whole fail-closed pipeline:
+/// apply → render → re-parse → canonical-render check → validate →
+/// differential oracle. Returns the mutant's canonical DSL text and the
+/// outcome.
+///
+/// # Errors
+///
+/// Returns a description when the trace does not re-apply to `base`
+/// (possible for hand-edited recipes or mid-shrink candidates).
+pub fn evaluate_ops(
+    base: &ProtocolSpec,
+    ops: &[MutationOp],
+    opts: &OracleOpts,
+) -> Result<(String, MutantOutcome), String> {
+    let mutant = apply_all(base, ops)?;
+    Ok(evaluate_spec(&mutant, opts))
+}
+
+/// The pipeline of [`evaluate_ops`] starting from an already-built
+/// mutant.
+pub fn evaluate_spec(mutant: &ProtocolSpec, opts: &OracleOpts) -> (String, MutantOutcome) {
+    let text = dsl::to_text(mutant);
+    let reparsed = match dsl::parse(&text) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return (
+                text,
+                MutantOutcome::RoundTripFailed {
+                    error: format!("mutant rendering failed to re-parse: {e}"),
+                },
+            )
+        }
+    };
+    let second = dsl::to_text(&reparsed);
+    if second != text {
+        return (
+            text,
+            MutantOutcome::RoundTripFailed {
+                error: "mutant rendering is not a DSL fixed point".to_string(),
+            },
+        );
+    }
+    // The oracle runs on the *reparsed* spec so the whole textual path
+    // is what gets cross-checked, not just the in-memory mutant.
+    match reparsed.validate() {
+        Err(e) => (
+            text,
+            MutantOutcome::ValidateRejected {
+                error: e.to_string(),
+            },
+        ),
+        Ok(()) => {
+            let outcome = run_oracle(&reparsed, opts);
+            (text, outcome)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_graph::Rng64;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn mutant_seeds_are_stable_and_spread() {
+        assert_eq!(mutant_seed(7, 0), mutant_seed(7, 0));
+        assert_ne!(mutant_seed(7, 0), mutant_seed(7, 1));
+        assert_ne!(mutant_seed(7, 0), mutant_seed(8, 0));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_per_seed() {
+        let base = protocols::msi_blocking_cache();
+        let opts = OracleOpts {
+            max_states: 20_000,
+            ..OracleOpts::default()
+        };
+        for index in 0..4usize {
+            let seed = mutant_seed(11, index);
+            let mut r1 = Rng64::seed_from_u64(seed);
+            let mut r2 = Rng64::seed_from_u64(seed);
+            let (m1, o1) = generate(&base, &mut r1, 3);
+            let (m2, o2) = generate(&base, &mut r2, 3);
+            assert_eq!(o1, o2);
+            let (t1, out1) = evaluate_spec(&m1, &opts);
+            let (t2, out2) = evaluate_spec(&m2, &opts);
+            assert_eq!(t1, t2);
+            assert_eq!(out1, out2);
+        }
+    }
+}

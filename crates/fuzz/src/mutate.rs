@@ -1,0 +1,604 @@
+//! Structural mutation operators over [`ProtocolSpec`]s.
+//!
+//! Each operator is a small, named, replayable edit. A mutant is produced
+//! by applying 1..=`max_ops` operators in sequence; every operator is
+//! generated against the spec state *after* the previous ones, so a
+//! recorded trace always re-applies cleanly. Operators reference states,
+//! messages, and triggers **by name**, which keeps the recorded trace
+//! human-readable and stable across replays.
+
+use vnet_graph::Rng64;
+use vnet_protocol::{
+    Action, Cell, ControllerKind, CoreOp, Entry, Event, Guard, MsgType, ProtocolSpec, StateId,
+    Trigger,
+};
+
+/// One replayable mutation step.
+///
+/// `side`/`state`/`trigger` are rendered names (the DSL's spelling), so a
+/// trace line like `flip-stall cache IS_D Inv` reads like the table edit
+/// it performs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MutationOp {
+    /// Replace an executable entry with a stall.
+    FlipToStall {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Trigger rendering (`Load`, `Data[ack=0]`, ...).
+        trigger: String,
+    },
+    /// Insert a stall cell for a message the state does not handle.
+    InsertStall {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Message name.
+        message: String,
+    },
+    /// Swap two actions of an entry.
+    ReorderActions {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Trigger rendering.
+        trigger: String,
+        /// First action index.
+        i: usize,
+        /// Second action index.
+        j: usize,
+    },
+    /// Drop one action of an entry.
+    DropAction {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Trigger rendering.
+        trigger: String,
+        /// Index of the dropped action.
+        index: usize,
+    },
+    /// Drop a send of a *response-class* message (a completion), the
+    /// mutation most likely to manufacture a real protocol deadlock.
+    DropCompletion {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Trigger rendering.
+        trigger: String,
+        /// Index of the dropped send action.
+        index: usize,
+    },
+    /// Reclassify a message into a different [`MsgType`].
+    SwapMsgClass {
+        /// Message name.
+        message: String,
+        /// New class, DSL spelling (`req`/`fwd`/`data`/`resp`).
+        to: String,
+    },
+    /// Remove a whole `(state, trigger)` table cell.
+    RemoveRow {
+        /// Controller side.
+        side: ControllerKind,
+        /// State name.
+        state: String,
+        /// Trigger rendering.
+        trigger: String,
+    },
+}
+
+impl MutationOp {
+    /// One-line rendering used in recipes and reports.
+    pub fn render(&self) -> String {
+        match self {
+            MutationOp::FlipToStall {
+                side,
+                state,
+                trigger,
+            } => format!("flip-stall {side} {state} {trigger}"),
+            MutationOp::InsertStall {
+                side,
+                state,
+                message,
+            } => format!("insert-stall {side} {state} {message}"),
+            MutationOp::ReorderActions {
+                side,
+                state,
+                trigger,
+                i,
+                j,
+            } => format!("reorder-actions {side} {state} {trigger} {i} {j}"),
+            MutationOp::DropAction {
+                side,
+                state,
+                trigger,
+                index,
+            } => format!("drop-action {side} {state} {trigger} {index}"),
+            MutationOp::DropCompletion {
+                side,
+                state,
+                trigger,
+                index,
+            } => format!("drop-completion {side} {state} {trigger} {index}"),
+            MutationOp::SwapMsgClass { message, to } => {
+                format!("swap-msg-class {message} {to}")
+            }
+            MutationOp::RemoveRow {
+                side,
+                state,
+                trigger,
+            } => format!("remove-row {side} {state} {trigger}"),
+        }
+    }
+}
+
+/// Renders a trigger the way the DSL spells it (`Load`, `Inv`,
+/// `Data[ack>0]`).
+pub fn render_trigger(spec: &ProtocolSpec, t: &Trigger) -> String {
+    let base = match t.event {
+        Event::Core(op) => op.to_string(),
+        Event::Msg(m) => spec.message_name(m).to_string(),
+    };
+    if t.guard == Guard::Always {
+        base
+    } else {
+        format!("{base}[{}]", t.guard)
+    }
+}
+
+fn guard_by_name(name: &str) -> Option<Guard> {
+    Some(match name {
+        "ack=0" => Guard::AckZero,
+        "ack>0" => Guard::AckPositive,
+        "last-ack" => Guard::LastAck,
+        "not-last-ack" => Guard::NotLastAck,
+        "last-sharer" => Guard::LastSharer,
+        "not-last-sharer" => Guard::NotLastSharer,
+        "from-owner" => Guard::FromOwner,
+        "from-non-owner" => Guard::NotFromOwner,
+        "last-snpack" => Guard::LastSnpAck,
+        "not-last-snpack" => Guard::NotLastSnpAck,
+        "no-other-sharers" => Guard::NoOtherSharers,
+        "has-other-sharers" => Guard::HasOtherSharers,
+        "req-is-owner" => Guard::ReqIsOwner,
+        "req-not-owner" => Guard::ReqNotOwner,
+        _ => return None,
+    })
+}
+
+/// Resolves a rendered trigger back to a [`Trigger`] against `spec`.
+fn resolve_trigger(spec: &ProtocolSpec, text: &str) -> Result<Trigger, String> {
+    let (base, guard) = match text.split_once('[') {
+        Some((b, rest)) => {
+            let g = rest
+                .strip_suffix(']')
+                .ok_or_else(|| format!("malformed trigger `{text}`"))?;
+            let guard =
+                guard_by_name(g).ok_or_else(|| format!("unknown guard `{g}` in `{text}`"))?;
+            (b, guard)
+        }
+        None => (text, Guard::Always),
+    };
+    let event = match base {
+        "Load" => Event::Core(CoreOp::Load),
+        "Store" => Event::Core(CoreOp::Store),
+        "Evict" => Event::Core(CoreOp::Evict),
+        name => Event::Msg(
+            spec.message_by_name(name)
+                .ok_or_else(|| format!("unknown message `{name}`"))?,
+        ),
+    };
+    Ok(Trigger { event, guard })
+}
+
+fn msg_type_name(t: MsgType) -> &'static str {
+    match t {
+        MsgType::Request => "req",
+        MsgType::FwdRequest => "fwd",
+        MsgType::DataResponse => "data",
+        MsgType::CtrlResponse => "resp",
+    }
+}
+
+fn msg_type_by_name(name: &str) -> Option<MsgType> {
+    Some(match name {
+        "req" => MsgType::Request,
+        "fwd" => MsgType::FwdRequest,
+        "data" => MsgType::DataResponse,
+        "resp" => MsgType::CtrlResponse,
+        _ => return None,
+    })
+}
+
+const SIDES: [ControllerKind; 2] = [ControllerKind::Cache, ControllerKind::Directory];
+
+/// Applies one operator in place.
+///
+/// # Errors
+///
+/// Returns a description when the op no longer resolves against `spec`
+/// (possible when replaying a hand-edited trace).
+pub fn apply(spec: &mut ProtocolSpec, op: &MutationOp) -> Result<(), String> {
+    fn locate(
+        spec: &ProtocolSpec,
+        side: ControllerKind,
+        state: &str,
+        trigger: &str,
+    ) -> Result<(StateId, Trigger), String> {
+        let sid = spec
+            .controller(side)
+            .state_by_name(state)
+            .ok_or_else(|| format!("unknown {side} state `{state}`"))?;
+        let trig = resolve_trigger(spec, trigger)?;
+        Ok((sid, trig))
+    }
+    fn edit_entry(
+        spec: &mut ProtocolSpec,
+        side: ControllerKind,
+        state: &str,
+        trigger: &str,
+        f: impl FnOnce(&mut Entry) -> Result<(), String>,
+    ) -> Result<(), String> {
+        let (sid, trig) = locate(spec, side, state, trigger)?;
+        let ctrl = spec.controller_mut(side);
+        match ctrl.cell(sid, trig).cloned() {
+            Some(Cell::Entry(mut e)) => {
+                f(&mut e)?;
+                ctrl.set(sid, trig, Cell::Entry(e));
+                Ok(())
+            }
+            Some(Cell::Stall) => Err(format!("{side} {state} {trigger} is a stall, not an entry")),
+            None => Err(format!("no cell at {side} {state} {trigger}")),
+        }
+    }
+
+    match op {
+        MutationOp::FlipToStall {
+            side,
+            state,
+            trigger,
+        } => {
+            let (sid, trig) = locate(spec, *side, state, trigger)?;
+            let ctrl = spec.controller_mut(*side);
+            if ctrl.cell(sid, trig).is_none() {
+                return Err(format!("no cell at {side} {state} {trigger}"));
+            }
+            ctrl.set(sid, trig, Cell::Stall);
+            Ok(())
+        }
+        MutationOp::InsertStall {
+            side,
+            state,
+            message,
+        } => {
+            let sid = spec
+                .controller(*side)
+                .state_by_name(state)
+                .ok_or_else(|| format!("unknown {side} state `{state}`"))?;
+            let m = spec
+                .message_by_name(message)
+                .ok_or_else(|| format!("unknown message `{message}`"))?;
+            spec.controller_mut(*side)
+                .set(sid, Trigger::msg(m), Cell::Stall);
+            Ok(())
+        }
+        MutationOp::ReorderActions {
+            side,
+            state,
+            trigger,
+            i,
+            j,
+        } => edit_entry(spec, *side, state, trigger, |e| {
+            if *i >= e.actions.len() || *j >= e.actions.len() {
+                return Err(format!("action index out of range ({i}, {j})"));
+            }
+            e.actions.swap(*i, *j);
+            Ok(())
+        }),
+        MutationOp::DropAction {
+            side,
+            state,
+            trigger,
+            index,
+        }
+        | MutationOp::DropCompletion {
+            side,
+            state,
+            trigger,
+            index,
+        } => edit_entry(spec, *side, state, trigger, |e| {
+            if *index >= e.actions.len() {
+                return Err(format!("action index {index} out of range"));
+            }
+            e.actions.remove(*index);
+            Ok(())
+        }),
+        MutationOp::SwapMsgClass { message, to } => {
+            let m = spec
+                .message_by_name(message)
+                .ok_or_else(|| format!("unknown message `{message}`"))?;
+            let mtype =
+                msg_type_by_name(to).ok_or_else(|| format!("unknown message class `{to}`"))?;
+            spec.set_message_type(m, mtype);
+            Ok(())
+        }
+        MutationOp::RemoveRow {
+            side,
+            state,
+            trigger,
+        } => {
+            let (sid, trig) = locate(spec, *side, state, trigger)?;
+            if spec.controller_mut(*side).remove(sid, trig).is_none() {
+                return Err(format!("no cell at {side} {state} {trigger}"));
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Applies a whole trace to a fresh clone of `base`.
+///
+/// # Errors
+///
+/// Propagates the first [`apply`] failure, prefixed with the op index.
+pub fn apply_all(base: &ProtocolSpec, ops: &[MutationOp]) -> Result<ProtocolSpec, String> {
+    let mut spec = base.clone();
+    for (i, op) in ops.iter().enumerate() {
+        apply(&mut spec, op).map_err(|e| format!("op {i} ({}): {e}", op.render()))?;
+    }
+    Ok(spec)
+}
+
+/// Candidate enumeration for one operator family, in deterministic
+/// (cache-then-directory, BTreeMap) order.
+fn candidates(spec: &ProtocolSpec, family: usize) -> Vec<MutationOp> {
+    let mut out = Vec::new();
+    match family {
+        // flip-to-stall: any executable entry.
+        0 => {
+            for side in SIDES {
+                for (s, t, c) in spec.controller(side).iter() {
+                    if c.entry().is_some() {
+                        out.push(MutationOp::FlipToStall {
+                            side,
+                            state: spec.controller(side).state(s).name.clone(),
+                            trigger: render_trigger(spec, t),
+                        });
+                    }
+                }
+            }
+        }
+        // insert-stall: any (state, message) with no cell for that message.
+        1 => {
+            for side in SIDES {
+                let ctrl = spec.controller(side);
+                for (sidx, sdef) in ctrl.states().iter().enumerate() {
+                    // Both stable and transient states stay in the pool:
+                    // stable-state stalls exercise the validator's
+                    // stall-in-stable rejection, transient ones are the
+                    // deadlock-shaped edits.
+                    let sid = StateId(sidx);
+                    for m in spec.message_ids() {
+                        let handled = ctrl.entries_for_message(sid, m).next().is_some();
+                        if !handled {
+                            out.push(MutationOp::InsertStall {
+                                side,
+                                state: sdef.name.clone(),
+                                message: spec.message_name(m).to_string(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // reorder-actions: entries with >= 2 actions, all (i, j) pairs.
+        2 => {
+            for side in SIDES {
+                for (s, t, c) in spec.controller(side).iter() {
+                    if let Some(e) = c.entry() {
+                        for i in 0..e.actions.len() {
+                            for j in (i + 1)..e.actions.len() {
+                                out.push(MutationOp::ReorderActions {
+                                    side,
+                                    state: spec.controller(side).state(s).name.clone(),
+                                    trigger: render_trigger(spec, t),
+                                    i,
+                                    j,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // drop-action: any action of any entry.
+        3 => {
+            for side in SIDES {
+                for (s, t, c) in spec.controller(side).iter() {
+                    if let Some(e) = c.entry() {
+                        for index in 0..e.actions.len() {
+                            out.push(MutationOp::DropAction {
+                                side,
+                                state: spec.controller(side).state(s).name.clone(),
+                                trigger: render_trigger(spec, t),
+                                index,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // drop-completion: sends of response-class messages only.
+        4 => {
+            for side in SIDES {
+                for (s, t, c) in spec.controller(side).iter() {
+                    if let Some(e) = c.entry() {
+                        for (index, a) in e.actions.iter().enumerate() {
+                            let sent = match a {
+                                Action::Send { msg, .. } => Some(*msg),
+                                Action::SendToSharersExceptReq { msg } => Some(*msg),
+                                _ => None,
+                            };
+                            if let Some(m) = sent {
+                                if spec.message(m).mtype.is_response() {
+                                    out.push(MutationOp::DropCompletion {
+                                        side,
+                                        state: spec.controller(side).state(s).name.clone(),
+                                        trigger: render_trigger(spec, t),
+                                        index,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // swap-msg-class: every (message, other class) pair.
+        5 => {
+            for m in spec.message_ids() {
+                for t in MsgType::all() {
+                    if t != spec.message(m).mtype {
+                        out.push(MutationOp::SwapMsgClass {
+                            message: spec.message_name(m).to_string(),
+                            to: msg_type_name(t).to_string(),
+                        });
+                    }
+                }
+            }
+        }
+        // remove-row: any cell.
+        _ => {
+            for side in SIDES {
+                for (s, t, _) in spec.controller(side).iter() {
+                    out.push(MutationOp::RemoveRow {
+                        side,
+                        state: spec.controller(side).state(s).name.clone(),
+                        trigger: render_trigger(spec, t),
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+const N_FAMILIES: usize = 7;
+
+/// Generates a mutant: 1..=`max_ops` operators applied in sequence to a
+/// clone of `base`. Returns the mutant and the applied trace. The same
+/// `(base, rng state, max_ops)` always yields the same result.
+pub fn generate(
+    base: &ProtocolSpec,
+    rng: &mut Rng64,
+    max_ops: usize,
+) -> (ProtocolSpec, Vec<MutationOp>) {
+    let n_ops = 1 + rng.gen_range(0, max_ops.max(1));
+    let mut spec = base.clone();
+    let mut ops = Vec::new();
+    for _ in 0..n_ops {
+        // Pick a family, then a candidate within it; skip empty families
+        // by rotating deterministically so the stream stays aligned.
+        let start = rng.gen_range(0, N_FAMILIES);
+        let mut chosen = None;
+        for off in 0..N_FAMILIES {
+            let family = (start + off) % N_FAMILIES;
+            let cands = candidates(&spec, family);
+            if !cands.is_empty() {
+                let op = cands[rng.gen_range(0, cands.len())].clone();
+                chosen = Some(op);
+                break;
+            }
+        }
+        let Some(op) = chosen else { break };
+        if apply(&mut spec, &op).is_err() {
+            // Generated against `spec`, so this cannot fail; keep the
+            // fuzzer fail-closed rather than panicking if it ever does.
+            break;
+        }
+        ops.push(op);
+    }
+    (spec, ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_protocol::protocols;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let base = protocols::msi_blocking_cache();
+        for seed in 0..50u64 {
+            let mut r1 = Rng64::seed_from_u64(seed);
+            let mut r2 = Rng64::seed_from_u64(seed);
+            let (m1, o1) = generate(&base, &mut r1, 3);
+            let (m2, o2) = generate(&base, &mut r2, 3);
+            assert_eq!(o1, o2);
+            assert_eq!(
+                vnet_protocol::dsl::to_text(&m1),
+                vnet_protocol::dsl::to_text(&m2)
+            );
+        }
+    }
+
+    #[test]
+    fn traces_reapply_cleanly() {
+        let base = protocols::mesi_blocking_cache();
+        for seed in 0..50u64 {
+            let mut rng = Rng64::seed_from_u64(seed);
+            let (mutant, ops) = generate(&base, &mut rng, 3);
+            assert!(!ops.is_empty(), "seed {seed} produced an empty trace");
+            let replayed = apply_all(&base, &ops).expect("trace must reapply");
+            assert_eq!(
+                vnet_protocol::dsl::to_text(&mutant),
+                vnet_protocol::dsl::to_text(&replayed)
+            );
+        }
+    }
+
+    #[test]
+    fn triggers_render_and_resolve() {
+        let spec = protocols::msi_blocking_cache();
+        for side in SIDES {
+            for (_, t, _) in spec.controller(side).iter() {
+                let text = render_trigger(&spec, t);
+                let back = resolve_trigger(&spec, &text).expect("resolve");
+                assert_eq!(&back, t, "trigger `{text}` did not round-trip");
+            }
+        }
+    }
+
+    #[test]
+    fn apply_rejects_stale_names() {
+        let mut spec = protocols::msi_blocking_cache();
+        let bad = MutationOp::RemoveRow {
+            side: ControllerKind::Cache,
+            state: "NOPE".into(),
+            trigger: "Load".into(),
+        };
+        assert!(apply(&mut spec, &bad).is_err());
+    }
+
+    #[test]
+    fn mutants_differ_from_base() {
+        let base = protocols::msi_blocking_cache();
+        let base_text = vnet_protocol::dsl::to_text(&base);
+        let mut changed = 0;
+        for seed in 0..30u64 {
+            let mut rng = Rng64::seed_from_u64(seed);
+            let (mutant, _) = generate(&base, &mut rng, 3);
+            if vnet_protocol::dsl::to_text(&mutant) != base_text {
+                changed += 1;
+            }
+        }
+        // Reorders of commuting bookkeeping can render identically, but
+        // the overwhelming majority of mutants must differ.
+        assert!(changed >= 25, "only {changed}/30 mutants differed");
+    }
+}

@@ -1,0 +1,189 @@
+//! Deterministic JSON rendering of campaign results.
+//!
+//! Hand-rolled (the workspace is dependency-free): object keys are
+//! emitted in a fixed order, mutants in index order, and nothing
+//! time-dependent is ever written — two runs of the same campaign render
+//! byte-identical reports.
+
+use crate::oracle::MutantOutcome;
+use crate::run::{CampaignReport, CaseResult, FuzzConfig, MutantRecord};
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_usize(v: Option<usize>) -> String {
+    match v {
+        Some(n) => n.to_string(),
+        None => "null".to_string(),
+    }
+}
+
+/// The one-line recipe that byte-identically reproduces mutant `index`
+/// of a campaign: everything the replayer needs, nothing else.
+pub fn recipe_line(cfg: &FuzzConfig, index: usize, ops: &[crate::MutationOp]) -> String {
+    let ops_json: Vec<String> = ops
+        .iter()
+        .map(|o| format!("\"{}\"", json_escape(&o.render())))
+        .collect();
+    format!(
+        "{{\"protocol\":\"{}\",\"seed\":{},\"index\":{},\"max_ops\":{},\"max_states\":{},\
+         \"max_depth\":{},\"analyzer_nodes\":{},\"skew\":{},\"ops\":[{}]}}",
+        json_escape(&cfg.protocol),
+        cfg.seed,
+        index,
+        cfg.max_ops,
+        cfg.oracle.max_states,
+        opt_usize(cfg.oracle.max_depth),
+        cfg.oracle.analyzer_nodes,
+        cfg.oracle.skew,
+        ops_json.join(",")
+    )
+}
+
+fn outcome_fields(out: &MutantOutcome) -> String {
+    match out {
+        MutantOutcome::Disagreement {
+            checked_vns,
+            assigned_vns,
+            depth,
+            states,
+            detail,
+        } => format!(
+            ",\"checked_vns\":{checked_vns},\"assigned_vns\":{assigned_vns},\"depth\":{depth},\
+             \"states\":{states},\"detail\":\"{}\"",
+            json_escape(detail)
+        ),
+        MutantOutcome::Consistent { n_vns, detail } => format!(
+            ",\"n_vns\":{},\"detail\":\"{}\"",
+            opt_usize(*n_vns),
+            json_escape(detail)
+        ),
+        other => format!(",\"detail\":\"{}\"", json_escape(other.detail())),
+    }
+}
+
+fn render_mutant(cfg: &FuzzConfig, rec: &MutantRecord) -> String {
+    let ops_json: Vec<String> = rec
+        .ops
+        .iter()
+        .map(|o| format!("\"{}\"", json_escape(&o.render())))
+        .collect();
+    let attempts_json: Vec<String> = rec
+        .attempts
+        .iter()
+        .map(|a| format!("\"{}\"", json_escape(a)))
+        .collect();
+    let mut s = format!(
+        "{{\"index\":{},\"mutant_seed\":{},\"ops\":[{}],\"outcome\":\"{}\"",
+        rec.index,
+        rec.mutant_seed,
+        ops_json.join(","),
+        rec.result.tag()
+    );
+    match &rec.result {
+        CaseResult::Outcome(out) => s.push_str(&outcome_fields(out)),
+        CaseResult::Crashed { panic } => {
+            let _ = write!(s, ",\"detail\":\"{}\"", json_escape(panic));
+        }
+        CaseResult::TimedOut => {
+            s.push_str(",\"detail\":\"per-mutant watchdog timeout\"");
+        }
+    }
+    if !attempts_json.is_empty() {
+        let _ = write!(s, ",\"attempts\":[{}]", attempts_json.join(","));
+    }
+    if let Some(min) = &rec.minimized {
+        let min_ops: Vec<String> = min
+            .ops
+            .iter()
+            .map(|o| format!("\"{}\"", json_escape(&o.render())))
+            .collect();
+        let _ = write!(
+            s,
+            ",\"minimized\":{{\"ops\":[{}],\"steps\":{}}}",
+            min_ops.join(","),
+            min.steps
+        );
+    }
+    if rec.result.is_disagreement() {
+        let _ = write!(
+            s,
+            ",\"recipe\":{}",
+            recipe_line(cfg, rec.index, &rec.ops)
+        );
+    }
+    s.push('}');
+    s
+}
+
+/// Renders the whole campaign report as pretty-stable JSON (one mutant
+/// per line, fixed key order).
+pub fn render_report(report: &CampaignReport) -> String {
+    let cfg = &report.config;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let _ = writeln!(s, "  \"schema\": 1,");
+    let _ = writeln!(s, "  \"tool\": \"vnet-fuzz\",");
+    let _ = writeln!(s, "  \"protocol\": \"{}\",", json_escape(&cfg.protocol));
+    let _ = writeln!(s, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(s, "  \"start_index\": {},", cfg.start_index);
+    let _ = writeln!(s, "  \"count\": {},", cfg.count);
+    let _ = writeln!(s, "  \"max_ops\": {},", cfg.max_ops);
+    let _ = writeln!(
+        s,
+        "  \"oracle\": {{\"max_states\": {}, \"max_depth\": {}, \"analyzer_nodes\": {}, \
+         \"skew\": {}}},",
+        cfg.oracle.max_states,
+        opt_usize(cfg.oracle.max_depth),
+        cfg.oracle.analyzer_nodes,
+        cfg.oracle.skew
+    );
+    s.push_str("  \"counts\": {");
+    let counts = report.counts();
+    let mut first = true;
+    for (tag, n) in &counts {
+        if !first {
+            s.push_str(", ");
+        }
+        first = false;
+        let _ = write!(s, "\"{tag}\": {n}");
+    }
+    s.push_str("},\n");
+    let _ = writeln!(s, "  \"disagreements\": {},", report.disagreements());
+    s.push_str("  \"mutants\": [\n");
+    for (i, rec) in report.mutants.iter().enumerate() {
+        let sep = if i + 1 == report.mutants.len() { "" } else { "," };
+        let _ = writeln!(s, "    {}{sep}", render_mutant(cfg, rec));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_the_awkward_cases() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+}

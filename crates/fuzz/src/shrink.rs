@@ -1,0 +1,130 @@
+//! Delta-debugging minimization of a finding's mutation trace.
+//!
+//! Greedy one-at-a-time reduction: repeatedly try dropping each operator
+//! and keep any reduction under which the **full pipeline replay** (DSL
+//! round-trip, validate, differential oracle) still produces the same
+//! outcome tag. Every candidate replay is one shrink step
+//! (`fuzz.shrink_steps_total`); the loop is a fixpoint, so the result is
+//! 1-minimal — no single remaining operator can be dropped.
+
+use crate::mutate::MutationOp;
+use crate::oracle::OracleOpts;
+
+/// A minimized trace plus the work it took.
+#[derive(Debug, Clone)]
+pub struct ShrinkResult {
+    /// The 1-minimal operator trace.
+    pub ops: Vec<MutationOp>,
+    /// Canonical DSL text of the minimized mutant.
+    pub text: String,
+    /// Oracle replays performed.
+    pub steps: usize,
+}
+
+/// Minimizes `ops` while the pipeline outcome keeps the tag `want_tag`
+/// (e.g. `"disagreement"`). `base` is the unmutated spec the trace
+/// applies to.
+pub fn minimize(
+    base: &vnet_protocol::ProtocolSpec,
+    ops: &[MutationOp],
+    opts: &OracleOpts,
+    want_tag: &str,
+) -> ShrinkResult {
+    let mut current: Vec<MutationOp> = ops.to_vec();
+    let mut text = match crate::evaluate_ops(base, &current, opts) {
+        Ok((t, _)) => t,
+        Err(_) => String::new(),
+    };
+    let mut steps = 0usize;
+    let shrink_counter = vnet_obs::counter("fuzz.shrink_steps_total");
+
+    loop {
+        let mut reduced = false;
+        let mut i = 0;
+        while current.len() > 1 && i < current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            steps += 1;
+            shrink_counter.inc();
+            match crate::evaluate_ops(base, &candidate, opts) {
+                Ok((t, out)) if out.tag() == want_tag => {
+                    current = candidate;
+                    text = t;
+                    reduced = true;
+                    // Same position now holds the next op; retry it.
+                }
+                _ => i += 1,
+            }
+        }
+        if !reduced {
+            break;
+        }
+    }
+
+    ShrinkResult {
+        ops: current,
+        text,
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mutate::apply_all;
+    use vnet_protocol::{protocols, ControllerKind};
+
+    /// A trace of one load-bearing edit plus two no-ops must shrink to
+    /// the load-bearing edit alone.
+    #[test]
+    fn shrinks_to_the_load_bearing_op() {
+        let base = protocols::msi_blocking_cache();
+        let opts = OracleOpts {
+            max_states: 20_000,
+            ..OracleOpts::default()
+        };
+        // remove-row on a transient state's only exit → dead transient
+        // state → validate_rejected.
+        let killer = MutationOp::RemoveRow {
+            side: ControllerKind::Cache,
+            state: "II_A".into(),
+            trigger: "Put-Ack".into(),
+        };
+        // Benign rider: swap two commuting directory bookkeeping actions
+        // somewhere unrelated (validate still passes on its own).
+        let rider = MutationOp::SwapMsgClass {
+            message: "GetS".into(),
+            to: "fwd".into(),
+        };
+        let ops = vec![rider.clone(), killer.clone()];
+        let (_, out) = crate::evaluate_ops(&base, &ops, &opts).expect("trace applies");
+        let tag = out.tag();
+        let shrunk = minimize(&base, &ops, &opts, tag);
+        assert!(shrunk.steps > 0);
+        assert!(shrunk.ops.len() <= ops.len());
+        // The minimized trace must still reproduce the same tag.
+        let (_, replay) = crate::evaluate_ops(&base, &shrunk.ops, &opts).expect("applies");
+        assert_eq!(replay.tag(), tag);
+        // And must still re-apply cleanly.
+        assert!(apply_all(&base, &shrunk.ops).is_ok());
+    }
+
+    #[test]
+    fn single_op_traces_are_already_minimal() {
+        let base = protocols::msi_blocking_cache();
+        let opts = OracleOpts {
+            max_states: 20_000,
+            ..OracleOpts::default()
+        };
+        let op = MutationOp::RemoveRow {
+            side: ControllerKind::Cache,
+            state: "II_A".into(),
+            trigger: "Put-Ack".into(),
+        };
+        let (_, out) =
+            crate::evaluate_ops(&base, std::slice::from_ref(&op), &opts).expect("applies");
+        let shrunk = minimize(&base, std::slice::from_ref(&op), &opts, out.tag());
+        assert_eq!(shrunk.ops, vec![op]);
+        assert_eq!(shrunk.steps, 0);
+    }
+}

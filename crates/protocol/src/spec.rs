@@ -101,6 +101,24 @@ impl ProtocolSpec {
         }
     }
 
+    /// Mutable access to the controller table for `kind`. The edited spec
+    /// may no longer validate; callers (the mutation fuzzer) must re-run
+    /// [`ProtocolSpec::validate`] before trusting it.
+    pub fn controller_mut(&mut self, kind: ControllerKind) -> &mut ControllerSpec {
+        match kind {
+            ControllerKind::Cache => &mut self.cache,
+            ControllerKind::Directory => &mut self.directory,
+        }
+    }
+
+    /// Reclassifies `msg` as `mtype`. Type/direction consistency is not
+    /// re-checked here; callers must re-run [`ProtocolSpec::validate`].
+    pub fn set_message_type(&mut self, msg: MsgId, mtype: MsgType) {
+        if let Some(def) = self.messages.get_mut(msg.0) {
+            def.mtype = mtype;
+        }
+    }
+
     /// The controller kinds at which `msg` has at least one table column
     /// (i.e. the controllers that can *receive* it).
     pub fn receivers_of(&self, msg: MsgId) -> BTreeSet<ControllerKind> {

@@ -113,6 +113,13 @@ impl ControllerSpec {
         self.table.insert((state, trigger), cell);
     }
 
+    /// Removes the cell for an exact `(state, trigger)` key, returning it
+    /// if one was present. Used by structural mutators; the resulting
+    /// table may no longer validate.
+    pub fn remove(&mut self, state: StateId, trigger: Trigger) -> Option<Cell> {
+        self.table.remove(&(state, trigger))
+    }
+
     /// The cell for an exact `(state, trigger)` key.
     pub fn cell(&self, state: StateId, trigger: Trigger) -> Option<&Cell> {
         self.table.get(&(state, trigger))

@@ -170,8 +170,8 @@ pub fn execute(
 ) -> Result<ExecResult, ExecError> {
     match &req.cmd {
         Command::Ping => Ok(ExecResult::new(vec![], Provenance::Exact)),
-        // Answered inline by the server; a queued one is a no-op.
-        Command::Metrics => Ok(ExecResult::new(vec![], Provenance::Exact)),
+        // Answered inline by the server; queued ones are no-ops.
+        Command::Metrics | Command::Gc { .. } => Ok(ExecResult::new(vec![], Provenance::Exact)),
         // Batches are unpacked by the server's worker, never executed
         // whole; a stray one is a client error.
         Command::Batch { .. } => {

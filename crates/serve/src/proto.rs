@@ -58,6 +58,15 @@ pub enum Command {
     /// process metrics registry. Answered inline, never queued, so it
     /// stays responsive even when the pool is saturated.
     Metrics,
+    /// Compact the durable result store, optionally down to
+    /// `max_bytes`. Admin-gated like `metrics`: answered inline, never
+    /// queued, so operators can reclaim disk even when the pool is
+    /// saturated. Errors with `store_unavailable` when the daemon runs
+    /// without a store.
+    Gc {
+        /// Evict oldest-written entries until the log fits, if given.
+        max_bytes: Option<u64>,
+    },
     /// Many requests, one queue slot, one NDJSON response stream: one
     /// response line per item (each with its own `status`, counted in
     /// the taxonomy individually) followed by a `cmd: "batch"` summary
@@ -153,6 +162,12 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "ping" => Command::Ping,
         "panic" => Command::Panic,
         "metrics" => Command::Metrics,
+        "gc" => Command::Gc {
+            max_bytes: match u64_field(&v, "max_bytes")? {
+                Some(0) => return Err("gc max_bytes must be positive".into()),
+                other => other,
+            },
+        },
         "analyze" => Command::Analyze,
         "mc" => Command::Mc {
             vns: match v.get("vns").and_then(Json::as_str) {

@@ -334,6 +334,13 @@ impl Server {
             write_line(out, &metrics_response(&req.id, sh));
             return;
         }
+        // Store compaction is an admin action like `metrics`: answered
+        // inline, never queued, so disk can be reclaimed even when the
+        // pool is saturated (exactly when the log is likely largest).
+        if let Command::Gc { max_bytes } = req.cmd {
+            write_line(out, &gc_response(&req.id, sh, max_bytes));
+            return;
+        }
         if matches!(req.cmd, Command::Panic) && !sh.opts.test_faults {
             bump(&sh.counters.errors, "serve.errors_total");
             write_line(
@@ -498,6 +505,35 @@ fn metrics_response(id: &Option<String>, sh: &Shared) -> String {
     proto::ok_response(id, "metrics", fields)
 }
 
+/// Inline store compaction for a `gc` request. A daemon without a
+/// store answers `store_unavailable`; a failed compaction surfaces as
+/// `gc_failed` rather than pretending bytes were reclaimed.
+fn gc_response(id: &Option<String>, sh: &Shared, max_bytes: Option<u64>) -> String {
+    use crate::json::Json;
+    let Some(store) = &sh.store else {
+        return proto::error_response_with_reason(
+            id,
+            "store_unavailable",
+            "daemon is running without --store-dir",
+        );
+    };
+    let mut g = store.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    match g.gc(max_bytes) {
+        Ok(report) => proto::ok_response(
+            id,
+            "gc",
+            vec![
+                (
+                    "reclaimed_bytes",
+                    Json::num(report.bytes_before.saturating_sub(report.bytes_after)),
+                ),
+                ("records_kept", Json::num(report.kept as u64)),
+            ],
+        ),
+        Err(e) => proto::error_response_with_reason(id, "gc_failed", &e.to_string()),
+    }
+}
+
 /// The process metrics registry as a JSON value (same content as
 /// `vnet_obs::Snapshot::to_json`, rebuilt on the daemon's own
 /// serializer so it nests inside a response line).
@@ -647,6 +683,7 @@ fn cmd_name(cmd: &Command) -> &'static str {
         Command::Ping => "ping",
         Command::Panic => "panic",
         Command::Metrics => "metrics",
+        Command::Gc { .. } => "gc",
         Command::Batch { .. } => "batch",
     }
 }
@@ -1490,6 +1527,62 @@ mod tests {
             "a cached answer must not re-explore"
         );
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_over_the_wire_compacts_and_reports() {
+        let dir = tmp_dir("wire-gc");
+        let opts = ServeOpts {
+            store_dir: Some(dir.clone()),
+            ..small_opts()
+        };
+        let server = Server::start(opts).expect("server starts");
+        let (out, store) = capture();
+        // Warm the store, then gc it over the wire. The answer must be
+        // inline (no queue involvement) and carry the two report fields.
+        server.submit_line(
+            r#"{"id":"a","cmd":"analyze","protocol":"MSI-nonblocking-cache"}"#,
+            &out,
+            None,
+        );
+        wait_for_responses(&store, 1);
+        server.submit_line(r#"{"id":"g","cmd":"gc"}"#, &out, None);
+        wait_for_responses(&store, 2);
+        server.drain();
+        let all = lines(&store);
+        let g = all
+            .iter()
+            .find(|v| v.get("id").and_then(json::Json::as_str) == Some("g"))
+            .unwrap();
+        assert_eq!(status_of(g), "ok", "{g:?}");
+        assert_eq!(g.get("cmd").and_then(json::Json::as_str), Some("gc"));
+        assert!(g.get("reclaimed_bytes").and_then(json::Json::as_u64).is_some(), "{g:?}");
+        assert!(
+            g.get("records_kept").and_then(json::Json::as_u64).unwrap() >= 1,
+            "the warmed analyze record must survive a budget-less gc: {g:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn gc_without_a_store_fails_closed_and_is_answered_while_draining() {
+        let server = Server::start(small_opts()).expect("server starts");
+        let (out, store) = capture();
+        server.submit_line(r#"{"id":"g","cmd":"gc"}"#, &out, None);
+        wait_for_responses(&store, 1);
+        let v = &lines(&store)[0];
+        assert_eq!(status_of(v), "error", "{v:?}");
+        assert_eq!(
+            v.get("reason").and_then(json::Json::as_str),
+            Some("store_unavailable"),
+            "{v:?}"
+        );
+        // Zero max_bytes is a typo, rejected at parse time like zero
+        // budgets everywhere else.
+        server.submit_line(r#"{"id":"z","cmd":"gc","max_bytes":0}"#, &out, None);
+        wait_for_responses(&store, 2);
+        assert_eq!(status_of(&lines(&store)[1]), "error");
+        server.drain();
     }
 
     #[test]

@@ -142,13 +142,33 @@ impl RecordKind {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Key(pub [u8; 16]);
 
+/// Result-semantics fingerprint folded into every derived key as an
+/// implicit part 0. Bump the trailing counter whenever a change can
+/// alter the *content* of a stored result for unchanged inputs (new
+/// analyzer heuristics, mc exploration-order fixes, body schema
+/// edits): every previously derived key then stops matching, so a
+/// rebuilt binary re-computes instead of serving stale results. The
+/// orphaned records are kept-but-not-served — still in the log, never
+/// indexed under any live key — and `gc` evicts them oldest-first
+/// under a byte budget.
+pub const RESULT_FINGERPRINT: &str =
+    concat!("vnet-results/", env!("CARGO_PKG_VERSION"), "/r1");
+
 impl Key {
-    /// Derives a key from an ordered list of byte parts. Each part is
+    /// Derives a key from an ordered list of byte parts, prefixed by
+    /// the crate-wide [`RESULT_FINGERPRINT`]. Each part is
     /// length-prefixed before hashing so `["ab","c"]` and `["a","bc"]`
     /// cannot collide by concatenation.
     pub fn derive(parts: &[&[u8]]) -> Key {
+        Key::derive_with_fingerprint(RESULT_FINGERPRINT, parts)
+    }
+
+    /// [`Key::derive`] under an explicit fingerprint. Exposed so tests
+    /// can prove that a fingerprint bump misses the old entries; real
+    /// callers should use `derive`.
+    pub fn derive_with_fingerprint(fingerprint: &str, parts: &[&[u8]]) -> Key {
         let mut buf = Vec::new();
-        for part in parts {
+        for part in std::iter::once(&fingerprint.as_bytes()).chain(parts) {
             buf.extend((part.len() as u64).to_le_bytes());
             buf.extend(*part);
         }
@@ -948,6 +968,33 @@ mod tests {
         assert_eq!(a, Key::derive(&[b"ab", b"c"]));
         assert_eq!(a.to_hex().len(), 32);
         assert_ne!(a.0[..8], a.0[8..], "halves must be independent streams");
+        assert_eq!(
+            a,
+            Key::derive_with_fingerprint(RESULT_FINGERPRINT, &[b"ab", b"c"]),
+            "derive must be the fingerprinted derivation under the live fingerprint"
+        );
+    }
+
+    #[test]
+    fn fingerprint_bump_misses_old_entries_but_keeps_them() {
+        let dir = tmp_dir("fingerprint-bump");
+        // A record written by "yesterday's build" under its fingerprint.
+        let old = Key::derive_with_fingerprint("vnet-results/0.1.0/r0", &[b"analyze/1", b"spec"]);
+        {
+            let mut s = Store::open(&dir).unwrap();
+            s.put(old, RecordKind::Analyze, "stale-result").unwrap();
+        }
+        // Today's build derives a different key for the same inputs, so
+        // the lookup misses and the result is recomputed...
+        let new = Key::derive(&[b"analyze/1", b"spec"]);
+        assert_ne!(old, new, "a fingerprint bump must change every derived key");
+        let s = Store::open(&dir).unwrap();
+        assert!(s.get(&new).is_none(), "stale entry must not be served");
+        // ...while the stale record itself is kept, not destroyed: it
+        // still opens, checksums, and answers under its original key.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&old).unwrap().body, "stale-result");
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 
 pub use vnet_core as core;
+pub use vnet_fuzz as fuzz;
 pub use vnet_graph as graph;
 pub use vnet_mc as mc;
 pub use vnet_obs as obs;

@@ -17,7 +17,7 @@
 //! `.vnp` file in the text DSL. `<map>` assigns VNs as
 //! `Msg=0,Other=1,...` (unlisted messages default to VN 0).
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
 use vnet::core::assignment::{certify, VnAssignment};
@@ -56,6 +56,11 @@ enum Outcome {
     /// back to the last commit marker is normal crash recovery, this
     /// is not.
     StoreCorrupt,
+    /// `vnet fuzz` found a differential-oracle disagreement: the static
+    /// analyzer certified a VN configuration the model checker can
+    /// deadlock. The strongest possible red flag — a minimized repro
+    /// bundle is written so the finding replays byte-identically.
+    OracleDisagreement,
 }
 
 impl Outcome {
@@ -71,6 +76,7 @@ impl Outcome {
             Outcome::Incomplete => 5,
             Outcome::ServeStartupFailure => 6,
             Outcome::StoreCorrupt => 7,
+            Outcome::OracleDisagreement => 8,
         }
     }
 }
@@ -194,6 +200,11 @@ usage:
            [--store-dir <dir>] [--store-max-bytes <n>] [--enable-test-faults]
   vnet store verify <dir>
   vnet store gc <dir> [--max-bytes <n>]
+  vnet fuzz <protocol> [--seed <n>] [--count <n>] [--index <i>] [--parallel <threads>]
+           [--max-ops <n>] [--max-states <n>] [--max-depth <n>] [--timeout <dur>]
+           [--retries <n>] [--report <file>] [--findings-dir <dir>] [--no-shrink]
+           [--dump-rejected <dir>] [--inject-oracle-skew]
+  vnet fuzz --replay <recipe.json> [--report <file>] [--findings-dir <dir>]
 
 <protocol> is a built-in name or a path to a .vnp file (text DSL).
 <budget>   comma-separated limits: `500ms` / `2s` (deadline), `nodes=100000`;
@@ -232,9 +243,19 @@ normal recovery), exit 7 when committed records had to be quarantined.
 `vnet store gc <dir>` compacts to the newest record per key, evicting
 oldest-first under `--max-bytes`.
 
+`vnet fuzz` mutates <protocol> --count times (seeded, deterministic: mutant i
+depends only on --seed and i) and cross-checks every valid mutant analyzer-
+vs-model-checker. A disagreement (analyzer-certified VN config that the
+bounded checker deadlocks) exits 8, auto-shrinks, and writes a repro bundle
+under --findings-dir whose recipe.json replays byte-identically via
+`vnet fuzz --replay`. `--inject-oracle-skew` is a drill switch that checks
+safety one VN short of the assignment, deterministically manufacturing a
+disagreement to exercise the whole finding path.
+
 exit codes: 0 clean, 1 usage/input error, 2 deadlock found, 3 degraded result,
             4 interrupted (resumable checkpoint written), 5 campaign incomplete,
-            6 serve startup failure, 7 store corruption (quarantined records).";
+            6 serve startup failure, 7 store corruption (quarantined records),
+            8 fuzz oracle disagreement (analyzer vs model checker; repro written).";
 
 fn run(args: &[String]) -> Result<Outcome, String> {
     let cmd = args.first().map(String::as_str).unwrap_or("");
@@ -1006,6 +1027,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 )),
             }
         }
+        "fuzz" => run_fuzz(args),
         // Hidden: one shard-process round of `vnet mc --shard-procs`.
         // Spawned by the supervisor, never typed by hand; errors land
         // on a nonzero exit that the supervisor treats as a casualty.
@@ -1041,6 +1063,233 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         "" => Err("no command given".into()),
         other => Err(format!("unknown command {other}")),
     }
+}
+
+/// `vnet fuzz`: seeded mutation campaign (or single-recipe replay) with
+/// the analyzer-vs-model-checker differential oracle.
+fn run_fuzz(args: &[String]) -> Result<Outcome, String> {
+    use vnet::fuzz::{run_campaign, FuzzConfig};
+
+    let mut cfg;
+    let expected_ops: Option<Vec<String>>;
+    if let Some(recipe_path) = flag_value(args, "--replay")? {
+        let text = std::fs::read_to_string(&recipe_path)
+            .map_err(|e| format!("{recipe_path}: {e}"))?;
+        let (parsed, ops) = parse_recipe(&text)?;
+        cfg = parsed;
+        expected_ops = Some(ops);
+    } else {
+        let name = args
+            .get(1)
+            .filter(|a| !a.starts_with("--"))
+            .ok_or("fuzz needs a protocol (or --replay <recipe.json>)")?;
+        cfg = FuzzConfig::new(name.clone());
+        cfg.seed = parse_flag(args, "--seed", 0u64)?;
+        cfg.count = parse_flag(args, "--count", 100usize)?;
+        if let Some(index) = flag_value(args, "--index")? {
+            cfg.start_index = index
+                .parse()
+                .map_err(|_| format!("bad value for --index: `{index}`"))?;
+            cfg.count = 1;
+        }
+        cfg.max_ops = parse_flag(args, "--max-ops", cfg.max_ops)?;
+        cfg.oracle.max_states = parse_flag(args, "--max-states", cfg.oracle.max_states)?;
+        if let Some(d) = flag_value(args, "--max-depth")? {
+            cfg.oracle.max_depth =
+                Some(d.parse().map_err(|_| format!("bad value for --max-depth: `{d}`"))?);
+        }
+        cfg.oracle.skew = args.iter().any(|a| a == "--inject-oracle-skew");
+        expected_ops = None;
+    }
+    // Scheduling knobs are never part of a recipe: they cannot change
+    // report content, only how fast it is produced.
+    cfg.parallel = parse_flag(args, "--parallel", 1usize)?;
+    if let Some(t) = flag_value(args, "--timeout")? {
+        cfg.timeout = parse_duration(&t)?;
+    }
+    cfg.retries = parse_flag(args, "--retries", cfg.retries)?;
+    cfg.shrink = !args.iter().any(|a| a == "--no-shrink");
+    cfg.findings_dir = flag_value(args, "--findings-dir")?.map(PathBuf::from);
+    if cfg.count == 0 {
+        return Err("fuzz needs --count >= 1".into());
+    }
+
+    let spec = load(&cfg.protocol)?;
+    let report = run_campaign(&spec, &cfg);
+
+    // A replayed recipe must regenerate the exact trace it recorded;
+    // anything else means the recipe (or the generator) drifted, and
+    // the "byte-identical reproduction" claim would be silently false.
+    if let Some(expected) = expected_ops {
+        let got: Vec<String> = report.mutants[0].ops.iter().map(|o| o.render()).collect();
+        if got != expected {
+            return Err(format!(
+                "replay mismatch: recipe ops {expected:?} but seed {} index {} regenerates {got:?}",
+                cfg.seed, cfg.start_index
+            ));
+        }
+    }
+
+    println!(
+        "fuzz: {} mutants of {} (seed {}, start {}, max {} ops/mutant)",
+        cfg.count, cfg.protocol, cfg.seed, cfg.start_index, cfg.max_ops
+    );
+    for (tag, n) in report.counts() {
+        if n > 0 {
+            println!("  {tag:<18} {n}");
+        }
+    }
+    for rec in &report.mutants {
+        if rec.result.is_disagreement() {
+            println!(
+                "DISAGREEMENT at index {}: {}",
+                rec.index,
+                match &rec.result {
+                    vnet::fuzz::CaseResult::Outcome(o) => o.detail().to_string(),
+                    _ => String::new(),
+                }
+            );
+            println!(
+                "  recipe: {}",
+                vnet::fuzz::report::recipe_line(&cfg, rec.index, &rec.ops)
+            );
+            if let Some(min) = &rec.minimized {
+                println!(
+                    "  minimized to {} op(s) in {} shrink step(s)",
+                    min.ops.len(),
+                    min.steps
+                );
+            }
+        }
+    }
+    for (index, dir) in &report.bundles {
+        println!("repro bundle for index {index}: {}", dir.display());
+    }
+    for err in &report.bundle_errors {
+        eprintln!("warning: bundle write failed: {err}");
+    }
+
+    if let Some(path) = flag_value(args, "--report")? {
+        let json = vnet::fuzz::report::render_report(&report);
+        std::fs::write(&path, json).map_err(|e| format!("{path}: {e}"))?;
+        println!("report written to {path}");
+    }
+    if let Some(dir) = flag_value(args, "--dump-rejected")? {
+        dump_rejected(&spec, &cfg, &report, Path::new(&dir))?;
+    }
+
+    if report.disagreements() > 0 {
+        Ok(Outcome::OracleDisagreement)
+    } else if report.crashes() > 0 {
+        Ok(Outcome::Incomplete)
+    } else if report.undetermined() > 0 {
+        Ok(Outcome::Degraded)
+    } else {
+        Ok(Outcome::Clean)
+    }
+}
+
+/// Parses a repro-bundle `recipe.json` line back into a campaign config
+/// pinned to the one recorded mutant, plus the expected op renderings.
+fn parse_recipe(text: &str) -> Result<(vnet::fuzz::FuzzConfig, Vec<String>), String> {
+    use vnet::serve::json::{parse, Json};
+    let v = parse(text.trim()).map_err(|e| format!("bad recipe: {e}"))?;
+    let str_field = |k: &str| -> Result<String, String> {
+        v.get(k)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("recipe is missing `{k}`"))
+    };
+    let num_field = |k: &str| -> Result<u64, String> {
+        v.get(k)
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("recipe is missing `{k}`"))
+    };
+    let mut cfg = vnet::fuzz::FuzzConfig::new(str_field("protocol")?);
+    cfg.seed = num_field("seed")?;
+    cfg.start_index = num_field("index")? as usize;
+    cfg.count = 1;
+    cfg.max_ops = num_field("max_ops")? as usize;
+    cfg.oracle.max_states = num_field("max_states")? as usize;
+    cfg.oracle.max_depth = match v.get("max_depth") {
+        None | Some(Json::Null) => None,
+        Some(d) => Some(
+            d.as_u64()
+                .ok_or_else(|| "bad `max_depth` in recipe".to_string())? as usize,
+        ),
+    };
+    cfg.oracle.analyzer_nodes = num_field("analyzer_nodes")?;
+    cfg.oracle.skew = v
+        .get("skew")
+        .and_then(Json::as_bool)
+        .ok_or_else(|| "recipe is missing `skew`".to_string())?;
+    let ops = match v.get("ops") {
+        Some(Json::Arr(items)) => items
+            .iter()
+            .map(|i| {
+                i.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "non-string op in recipe".to_string())
+            })
+            .collect::<Result<Vec<_>, _>>()?,
+        _ => return Err("recipe is missing `ops`".into()),
+    };
+    Ok((cfg, ops))
+}
+
+/// `--dump-rejected <dir>`: writes each rejected mutant as a shrunk,
+/// self-describing bad-spec corpus candidate (the headers match what
+/// `tests/dsl_bad_specs.rs` asserts).
+fn dump_rejected(
+    spec: &ProtocolSpec,
+    cfg: &vnet::fuzz::FuzzConfig,
+    report: &vnet::fuzz::CampaignReport,
+    dir: &Path,
+) -> Result<(), String> {
+    use vnet::fuzz::{minimize, CaseResult, MutantOutcome};
+    std::fs::create_dir_all(dir).map_err(|e| format!("{}: {e}", dir.display()))?;
+    let mut written = 0usize;
+    for rec in &report.mutants {
+        let CaseResult::Outcome(out) = &rec.result else {
+            continue;
+        };
+        let expect = match out {
+            MutantOutcome::ValidateRejected { error } => {
+                format!("# expect-validate: {error}")
+            }
+            MutantOutcome::RoundTripFailed { .. } => {
+                // Re-derive the parse failure line/message so the header
+                // matches the corpus harness's `# expect:` format.
+                match dsl::parse(&rec.text) {
+                    Err(e) => format!("# expect: {}: {}", e.line, e.message),
+                    Ok(_) => continue, // canonicalization mismatch, not a parse error
+                }
+            }
+            _ => continue,
+        };
+        let min = minimize(spec, &rec.ops, &cfg.oracle, out.tag());
+        let text = if min.text.is_empty() { rec.text.clone() } else { min.text.clone() };
+        let ops_line = min
+            .ops
+            .iter()
+            .map(|o| o.render())
+            .collect::<Vec<_>>()
+            .join("; ");
+        let body = format!(
+            "# fuzz find: {} seed {} index {} ({})\n# ops: {ops_line}\n{expect}\n{text}",
+            cfg.protocol, cfg.seed, rec.index, out.tag()
+        );
+        let path = dir.join(format!(
+            "fuzz_{}_s{}_i{}.vnp",
+            cfg.protocol.to_lowercase().replace('-', "_"),
+            cfg.seed,
+            rec.index
+        ));
+        std::fs::write(&path, body).map_err(|e| format!("{}: {e}", path.display()))?;
+        written += 1;
+    }
+    println!("dumped {written} rejected mutant(s) to {}", dir.display());
+    Ok(())
 }
 
 /// The value following `name` in `args`, if the flag is present.

@@ -1,13 +1,19 @@
 //! The `.vnp` bad-spec corpus: every file under `tests/bad_specs/` is
-//! malformed on purpose and must be rejected by [`dsl::parse`] with the
-//! positioned error its `# expect:` header names — never accepted, never
-//! a panic. CI runs this as the fail-closed parser fuzz gate.
+//! malformed on purpose and must be rejected fail-closed — never
+//! accepted, never a panic. CI runs this as the fail-closed spec fuzz
+//! gate.
 //!
-//! Header convention (line 1 of each corpus file):
+//! Two header classes (the first `# expect…` comment line wins; fuzz
+//! provenance comments may precede it):
 //!
 //! ```text
-//! # expect: <line>: <message substring>
+//! # expect: <line>: <message substring>      rejected by dsl::parse
+//! # expect-validate: <message substring>     parses, rejected by validate()
 //! ```
+//!
+//! The `expect-validate` class holds minimized mutation-fuzzer finds
+//! (`vnet fuzz --dump-rejected`): structurally well-formed specs whose
+//! semantics the validator must refuse.
 
 use std::path::PathBuf;
 use vnet::protocol::dsl;
@@ -18,35 +24,46 @@ fn corpus_dir() -> PathBuf {
         .join("bad_specs")
 }
 
-struct Expectation {
-    line: usize,
-    needle: String,
+enum Expectation {
+    /// `dsl::parse` must fail at this line with this message substring.
+    Parse { line: usize, needle: String },
+    /// `dsl::parse` must succeed and `validate()` must fail with this
+    /// message substring.
+    Validate { needle: String },
 }
 
 fn expectation(text: &str) -> Result<Expectation, String> {
-    let header = text.lines().next().ok_or("empty corpus file")?;
-    let spec = header
-        .strip_prefix("# expect: ")
-        .ok_or("first line must be `# expect: <line>: <substring>`")?;
-    let (line, needle) = spec
-        .split_once(": ")
-        .ok_or("expectation must be `<line>: <substring>`")?;
-    Ok(Expectation {
-        line: line
-            .trim()
-            .parse()
-            .map_err(|e| format!("bad expected line number {line:?}: {e}"))?,
-        needle: needle.trim().to_string(),
-    })
+    for header in text.lines().take_while(|l| l.starts_with('#')) {
+        if let Some(needle) = header.strip_prefix("# expect-validate: ") {
+            return Ok(Expectation::Validate {
+                needle: needle.trim().to_string(),
+            });
+        }
+        if let Some(spec) = header.strip_prefix("# expect: ") {
+            let (line, needle) = spec
+                .split_once(": ")
+                .ok_or("expectation must be `<line>: <substring>`")?;
+            return Ok(Expectation::Parse {
+                line: line
+                    .trim()
+                    .parse()
+                    .map_err(|e| format!("bad expected line number {line:?}: {e}"))?,
+                needle: needle.trim().to_string(),
+            });
+        }
+    }
+    Err("no `# expect: <line>: <substring>` or `# expect-validate: <substring>` header".into())
 }
 
-/// Every corpus file must fail to parse, at the expected line, with the
-/// expected message. A corpus file that *parses* is itself a test bug —
-/// the gate fails closed.
+/// Every corpus file must be rejected the way its header says: a parse
+/// error at the expected position, or a clean parse that the validator
+/// then refuses. A corpus file that sails through *both* gates is
+/// itself a test bug — the gate fails closed.
 #[test]
 fn every_bad_spec_is_rejected_with_a_positioned_error() -> Result<(), String> {
     let dir = corpus_dir();
     let mut checked = 0usize;
+    let mut validate_checked = 0usize;
     let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)
         .map_err(|e| format!("reading {}: {e}", dir.display()))?
         .filter_map(|e| e.ok().map(|e| e.path()))
@@ -60,34 +77,63 @@ fn every_bad_spec_is_rejected_with_a_positioned_error() -> Result<(), String> {
             .unwrap_or_default();
         let text =
             std::fs::read_to_string(&path).map_err(|e| format!("{name}: read failed: {e}"))?;
-        let want = expectation(&text).map_err(|e| format!("{name}: {e}"))?;
-        let got = match dsl::parse(&text) {
-            Err(e) => e,
-            Ok(spec) => {
-                return Err(format!(
-                    "{name}: parsed successfully as protocol `{}` — corpus must fail closed",
-                    spec.name()
-                ))
+        match expectation(&text).map_err(|e| format!("{name}: {e}"))? {
+            Expectation::Parse { line, needle } => {
+                let got = match dsl::parse(&text) {
+                    Err(e) => e,
+                    Ok(spec) => {
+                        return Err(format!(
+                            "{name}: parsed successfully as protocol `{}` — corpus must fail closed",
+                            spec.name()
+                        ))
+                    }
+                };
+                if got.line != line {
+                    return Err(format!(
+                        "{name}: error at line {}, expected line {line} ({got})",
+                        got.line
+                    ));
+                }
+                if !got.message.contains(&needle) {
+                    return Err(format!(
+                        "{name}: error `{}` does not mention `{needle}`",
+                        got.message
+                    ));
+                }
             }
-        };
-        if got.line != want.line {
-            return Err(format!(
-                "{name}: error at line {}, expected line {} ({got})",
-                got.line, want.line
-            ));
-        }
-        if !got.message.contains(&want.needle) {
-            return Err(format!(
-                "{name}: error `{}` does not mention `{}`",
-                got.message, want.needle
-            ));
+            Expectation::Validate { needle } => {
+                let spec = dsl::parse(&text).map_err(|e| {
+                    format!("{name}: expect-validate file must parse, but: {e}")
+                })?;
+                let got = match spec.validate() {
+                    Err(e) => e.to_string(),
+                    Ok(()) => {
+                        return Err(format!(
+                            "{name}: validated successfully as protocol `{}` — corpus must fail closed",
+                            spec.name()
+                        ))
+                    }
+                };
+                if !got.contains(&needle) {
+                    return Err(format!(
+                        "{name}: validation error `{got}` does not mention `{needle}`"
+                    ));
+                }
+                validate_checked += 1;
+            }
         }
         checked += 1;
     }
-    // Guard against the corpus silently vanishing (e.g. a bad glob):
-    // there is one file per distinct parser error production.
+    // Guard against either corpus class silently vanishing (e.g. a bad
+    // glob): one file per distinct parser error production, plus the
+    // promoted fuzzer finds.
     if checked < 20 {
         return Err(format!("only {checked} corpus files found — corpus missing?"));
+    }
+    if validate_checked < 5 {
+        return Err(format!(
+            "only {validate_checked} expect-validate files found — fuzz finds missing?"
+        ));
     }
     Ok(())
 }

@@ -1,0 +1,124 @@
+//! Determinism contract of the mutation fuzzer, end to end: the same
+//! (seed, spec, oracle bounds) must produce byte-identical campaign
+//! reports across repeat runs and across `--parallel` scheduling, and
+//! the committed known-disagreement recipe must keep reproducing.
+//!
+//! These are the properties the repro story rests on — a finding whose
+//! one-line recipe does not replay byte-identically is not a finding.
+
+use vnet::fuzz::{report, run_campaign, CaseResult, FuzzConfig, MutantOutcome, OracleOpts};
+use vnet::protocol::protocols;
+use vnet::serve::json::{self, Json};
+
+fn spec(name: &str) -> vnet::protocol::ProtocolSpec {
+    protocols::extended()
+        .into_iter()
+        .find(|s| s.name() == name)
+        .unwrap_or_else(|| panic!("no built-in protocol `{name}`"))
+}
+
+fn small_config(protocol: &str, seed: u64, count: usize) -> FuzzConfig {
+    let mut cfg = FuzzConfig::new(protocol.to_string());
+    cfg.seed = seed;
+    cfg.count = count;
+    cfg.oracle.max_states = 15_000;
+    cfg
+}
+
+#[test]
+fn campaign_reports_are_byte_identical_across_runs_and_scheduling() {
+    let base = spec("MSI-blocking-cache");
+    let cfg = small_config("MSI-blocking-cache", 9, 6);
+    let first = report::render_report(&run_campaign(&base, &cfg));
+    let second = report::render_report(&run_campaign(&base, &cfg));
+    assert_eq!(first, second, "repeat runs must render identical reports");
+
+    let mut par = small_config("MSI-blocking-cache", 9, 6);
+    par.parallel = 4;
+    let third = report::render_report(&run_campaign(&base, &par));
+    assert_eq!(
+        first, third,
+        "scheduling must be invisible: serial and parallel reports must match"
+    );
+}
+
+#[test]
+fn mutant_text_and_outcome_are_functions_of_seed_and_index_alone() {
+    let base = spec("MESI-blocking-cache");
+    let opts = OracleOpts {
+        max_states: 15_000,
+        ..OracleOpts::default()
+    };
+    for index in [0usize, 3, 11] {
+        let seed = vnet::fuzz::mutant_seed(77, index);
+        let mut rng_a = vnet::graph::rng::Rng64::seed_from_u64(seed);
+        let mut rng_b = vnet::graph::rng::Rng64::seed_from_u64(seed);
+        let (mutant_a, ops_a) = vnet::fuzz::generate(&base, &mut rng_a, 3);
+        let (mutant_b, ops_b) = vnet::fuzz::generate(&base, &mut rng_b, 3);
+        assert_eq!(ops_a, ops_b, "index {index}: op traces must match");
+        let (text_a, out_a) = vnet::fuzz::evaluate_spec(&mutant_a, &opts);
+        let (text_b, out_b) = vnet::fuzz::evaluate_spec(&mutant_b, &opts);
+        assert_eq!(text_a, text_b, "index {index}: mutant DSL text must be byte-identical");
+        assert_eq!(
+            format!("{out_a:?}"),
+            format!("{out_b:?}"),
+            "index {index}: oracle outcomes must match"
+        );
+    }
+}
+
+/// The committed CI recipe (`tests/fuzz_recipes/chi-skew-drill.json`)
+/// must regenerate its recorded op trace and still produce the same
+/// disagreement. This is the library-level half of the CI shrinker-
+/// replay step; the workflow also replays it through the binary.
+#[test]
+fn committed_chi_skew_recipe_reproduces() {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fuzz_recipes/chi-skew-drill.json");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let v = json::parse(text.trim()).unwrap();
+    let protocol = v.get("protocol").and_then(Json::as_str).unwrap();
+
+    let mut cfg = FuzzConfig::new(protocol.to_string());
+    cfg.seed = v.get("seed").and_then(Json::as_u64).unwrap();
+    cfg.start_index = v.get("index").and_then(Json::as_u64).unwrap() as usize;
+    cfg.count = 1;
+    cfg.max_ops = v.get("max_ops").and_then(Json::as_u64).unwrap() as usize;
+    cfg.oracle.max_states = v.get("max_states").and_then(Json::as_u64).unwrap() as usize;
+    cfg.oracle.analyzer_nodes = v.get("analyzer_nodes").and_then(Json::as_u64).unwrap();
+    cfg.oracle.skew = v.get("skew").and_then(Json::as_bool).unwrap();
+    assert!(cfg.oracle.skew, "the committed recipe is a skew drill");
+
+    let base = spec(protocol);
+    let rep = run_campaign(&base, &cfg);
+    assert_eq!(rep.mutants.len(), 1);
+    let rec = &rep.mutants[0];
+
+    let Some(Json::Arr(want_ops)) = v.get("ops") else {
+        panic!("recipe has no ops array");
+    };
+    let got_ops: Vec<String> = rec.ops.iter().map(|o| o.render()).collect();
+    let want_ops: Vec<String> = want_ops
+        .iter()
+        .map(|o| o.as_str().unwrap().to_string())
+        .collect();
+    assert_eq!(got_ops, want_ops, "recipe must regenerate its recorded trace");
+
+    let CaseResult::Outcome(MutantOutcome::Disagreement {
+        checked_vns,
+        assigned_vns,
+        ..
+    }) = &rec.result
+    else {
+        panic!("recipe must still disagree, got {:?}", rec.result);
+    };
+    assert_eq!((*checked_vns, *assigned_vns), (1, 2));
+    assert!(
+        rec.minimized.is_some(),
+        "disagreements must come back minimized"
+    );
+
+    // And the whole finding replays byte-identically.
+    let again = run_campaign(&base, &cfg);
+    assert_eq!(report::render_report(&rep), report::render_report(&again));
+}
