@@ -120,6 +120,29 @@ fn workloads() -> Vec<Workload> {
             cfg,
         });
     }
+    // table1_mc_sym: the symmetry-reduced Table I sweep. A complete
+    // 3-cache/2-address/1-directory general space (symmetry group
+    // 3!·2! = 12) folded to canonical representatives — this row gates
+    // the key-only canonicalizer's cost: a regression here means
+    // symmetry mode stopped paying for itself. Always on, so the
+    // committed report tracks folded throughput over time.
+    {
+        let spec = protocols::msi_blocking_cache();
+        let vns = derived_vns(&spec);
+        let mut cfg = McConfig::general(&spec)
+            .with_vns(vns)
+            .with_budget(InjectionBudget::PerCache(1));
+        cfg.n_dirs = 1;
+        let cfg = cfg
+            .with_symmetry()
+            .expect("the general scenario satisfies the symmetry preconditions");
+        out.push(Workload {
+            name: "MSI@table1+sym".to_string(),
+            group: "table1_mc_sym",
+            spec,
+            cfg,
+        });
+    }
     // mc_depth_series: the bounded general sweeps (the big ones).
     for spec in [
         protocols::msi_nonblocking_cache(),

@@ -69,7 +69,8 @@ fn check_class3(spec: &ProtocolSpec, full: bool) {
     // legal under the uniform budget); the quick ones stay serial for
     // reproducible traces.
     let v = if full {
-        vnet_mc::explore_parallel(spec, &cfg.with_symmetry(), 0)
+        let sym = cfg.with_symmetry().expect("general config is symmetric");
+        vnet_mc::explore_parallel(spec, &sym, 0)
     } else {
         explore(spec, &cfg)
     };

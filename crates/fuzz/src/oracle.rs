@@ -31,6 +31,11 @@ pub struct OracleOpts {
     /// manufactures a `Disagreement`, exercising the full exit-8 →
     /// shrink → repro-bundle path end to end. Never set outside drills.
     pub skew: bool,
+    /// Run the bounded checker on the general scenario under cache ×
+    /// address symmetry reduction instead of the Figure-3 script. A
+    /// different (larger, folded) state space per bound — recorded in
+    /// the recipe so replays stay byte-identical.
+    pub symmetry: bool,
 }
 
 impl Default for OracleOpts {
@@ -43,6 +48,7 @@ impl Default for OracleOpts {
             max_depth: None,
             analyzer_nodes: 2_000_000,
             skew: false,
+            symmetry: false,
         }
     }
 }
@@ -144,9 +150,22 @@ fn merge_top_vn(map: &VnMap) -> VnMap {
 }
 
 fn bounded_cfg(spec: &ProtocolSpec, opts: &OracleOpts, vns: VnMap) -> McConfig {
-    McConfig::figure3(spec)
-        .with_vns(vns)
-        .with_limits(opts.max_states, opts.max_depth)
+    if opts.symmetry {
+        // The flag is set directly rather than through `with_symmetry()`:
+        // the general scenario always satisfies the symmetry
+        // preconditions, the explorers re-validate fail-closed at run
+        // time, and the fuzz harness keeps zero panic sites in
+        // production code (a harness panic is a finding lost).
+        let mut cfg = McConfig::general(spec)
+            .with_vns(vns)
+            .with_limits(opts.max_states, opts.max_depth);
+        cfg.symmetry = true;
+        cfg
+    } else {
+        McConfig::figure3(spec)
+            .with_vns(vns)
+            .with_limits(opts.max_states, opts.max_depth)
+    }
 }
 
 /// Runs the differential oracle on a **validated** mutant.

@@ -44,7 +44,7 @@ pub fn recipe_line(cfg: &FuzzConfig, index: usize, ops: &[crate::MutationOp]) ->
         .collect();
     format!(
         "{{\"protocol\":\"{}\",\"seed\":{},\"index\":{},\"max_ops\":{},\"max_states\":{},\
-         \"max_depth\":{},\"analyzer_nodes\":{},\"skew\":{},\"ops\":[{}]}}",
+         \"max_depth\":{},\"analyzer_nodes\":{},\"skew\":{},\"symmetry\":{},\"ops\":[{}]}}",
         json_escape(&cfg.protocol),
         cfg.seed,
         index,
@@ -53,6 +53,7 @@ pub fn recipe_line(cfg: &FuzzConfig, index: usize, ops: &[crate::MutationOp]) ->
         opt_usize(cfg.oracle.max_depth),
         cfg.oracle.analyzer_nodes,
         cfg.oracle.skew,
+        cfg.oracle.symmetry,
         ops_json.join(",")
     )
 }
@@ -149,11 +150,12 @@ pub fn render_report(report: &CampaignReport) -> String {
     let _ = writeln!(
         s,
         "  \"oracle\": {{\"max_states\": {}, \"max_depth\": {}, \"analyzer_nodes\": {}, \
-         \"skew\": {}}},",
+         \"skew\": {}, \"symmetry\": {}}},",
         cfg.oracle.max_states,
         opt_usize(cfg.oracle.max_depth),
         cfg.oracle.analyzer_nodes,
-        cfg.oracle.skew
+        cfg.oracle.skew,
+        cfg.oracle.symmetry
     );
     s.push_str("  \"counts\": {");
     let counts = report.counts();

@@ -126,6 +126,11 @@ pub struct CampaignConfig {
     /// `--shard-procs <n>` with a `<checkpoint_dir>/<protocol>.shards`
     /// working directory, so retries resume shard-by-shard.
     pub shard_procs: Option<u32>,
+    /// Check the general scenario under cache × address symmetry
+    /// reduction instead of the Figure-3 script. Thread-isolated runs
+    /// take it through [`table1_sym_config`]; process-isolated
+    /// children get `--general --symmetry`.
+    pub symmetry: bool,
 }
 
 impl CampaignConfig {
@@ -146,6 +151,7 @@ impl CampaignConfig {
             mem_budget: None,
             spill_dir: None,
             shard_procs: None,
+            symmetry: false,
         }
     }
 
@@ -212,6 +218,12 @@ impl CampaignConfig {
     /// Runs process-isolated children with `n` shard processes each.
     pub fn with_shard_procs(mut self, n: u32) -> Self {
         self.shard_procs = Some(n);
+        self
+    }
+
+    /// Sweeps the general scenario under symmetry reduction.
+    pub fn with_symmetry(mut self) -> Self {
+        self.symmetry = true;
         self
     }
 }
@@ -355,6 +367,28 @@ pub fn table1_config(spec: &ProtocolSpec) -> McConfig {
         VnOutcome::Class2(_) => VnMap::one_per_message(n),
     };
     McConfig::figure3(spec).with_vns(vns)
+}
+
+/// The symmetry-reduced Table I configuration: the general scenario
+/// (uniform per-cache budget, unordered ICN — the preconditions
+/// symmetry reduction is sound under) with the same VN resolution as
+/// [`table1_config`]. This is what `vnet campaign --symmetry` sweeps,
+/// and what its process-isolated children re-derive from
+/// `--general --symmetry`.
+pub fn table1_sym_config(spec: &ProtocolSpec) -> McConfig {
+    use vnet_core::{analyze, VnOutcome};
+    let n = spec.messages().len();
+    let vns = match analyze(spec).outcome() {
+        VnOutcome::Assigned { assignment, .. } => VnMap::from_assignment(assignment, n),
+        VnOutcome::Class2(_) => VnMap::one_per_message(n),
+    };
+    // The flag is set directly rather than through `with_symmetry()`:
+    // the general scenario always satisfies the symmetry preconditions,
+    // and the explorers re-validate fail-closed at run time anyway, so
+    // this path stays free of panic sites.
+    let mut cfg = McConfig::general(spec).with_vns(vns);
+    cfg.symmetry = true;
+    cfg
 }
 
 /// Loads a campaign entry: a built-in protocol name or a `.vnp` path.
@@ -759,6 +793,9 @@ fn attempt_process(
     };
     let mut cmd = Command::new(exe);
     cmd.arg("mc").arg(&entry.arg).arg("--machine");
+    if cc.symmetry {
+        cmd.arg("--general").arg("--symmetry");
+    }
     // Explorer selection, one per child: process shards when fanned
     // out, the serial out-of-core explorer when spilling, otherwise
     // the thread-parallel explorer.

@@ -129,6 +129,14 @@ pub enum CheckpointError {
         /// Fingerprint recorded in the file.
         found: u64,
     },
+    /// The run's configuration is unusable (e.g. symmetry with an
+    /// explicit injection script, or sizes beyond the state codec's
+    /// limits). Raised before any state is explored — fail closed, not
+    /// a panic.
+    Config {
+        /// What is wrong with the configuration.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -154,6 +162,9 @@ impl std::fmt::Display for CheckpointError {
                 "checkpoint fingerprint {found:#018x} does not match this spec/config \
                  ({expected:#018x}); refusing to resume"
             ),
+            CheckpointError::Config { detail } => {
+                write!(f, "unusable configuration: {detail}")
+            }
         }
     }
 }

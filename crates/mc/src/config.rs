@@ -235,19 +235,72 @@ impl McConfig {
         self
     }
 
-    /// Enables cache-symmetry reduction.
+    /// Enables symmetry reduction (cache permutations × home-preserving
+    /// address permutations).
     ///
-    /// # Panics
-    ///
-    /// Panics if the budget is an explicit script (which names specific
-    /// caches and breaks the symmetry).
-    pub fn with_symmetry(mut self) -> Self {
-        assert!(
-            matches!(self.budget, InjectionBudget::PerCache(_)),
-            "symmetry reduction requires a uniform per-cache budget"
-        );
+    /// Fails closed instead of panicking: an explicit injection script
+    /// names specific caches and addresses, and point-to-point ordering
+    /// pins buffers by endpoint identity — neither is permutation-
+    /// invariant, so both are rejected with a usage error.
+    pub fn with_symmetry(mut self) -> Result<Self, String> {
         self.symmetry = true;
-        self
+        self.validate_for_run()?;
+        Ok(self)
+    }
+
+    /// Full pre-run validation: the codec limits plus, when symmetry is
+    /// on, the compatibility checks (a hand-built config can set the
+    /// flag without going through [`McConfig::with_symmetry`]). Every
+    /// explorer calls this before touching a state and fails closed on
+    /// `Err`.
+    pub fn validate_for_run(&self) -> Result<(), String> {
+        self.validate()?;
+        if self.symmetry {
+            if !matches!(self.budget, InjectionBudget::PerCache(_)) {
+                return Err(
+                    "symmetry reduction requires a uniform per-cache budget; explicit \
+                     injection scripts name specific caches and break the symmetry \
+                     (use the general scenario, e.g. `vnet mc --general --symmetry`)"
+                        .into(),
+                );
+            }
+            if !matches!(self.order, IcnOrder::Unordered) {
+                return Err(
+                    "symmetry reduction requires unordered ICN buffers; point-to-point \
+                     pinning hashes endpoint identities and is not permutation-invariant"
+                        .into(),
+                );
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the state codec's size limits. The `u8` reader/sharer
+    /// masks silently corrupt beyond 8 caches, `Node::Dir` is encoded
+    /// as `0x80 | i`, and message addresses are single bytes — so any
+    /// config outside these bounds must be rejected before a single
+    /// state is encoded, not explored into garbage.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.n_caches == 0 || self.n_caches > 8 {
+            return Err(format!(
+                "n_caches = {} out of range (1..=8: reader/sharer bitmasks are u8)",
+                self.n_caches
+            ));
+        }
+        if self.n_dirs == 0 || self.n_dirs > 127 {
+            return Err(format!(
+                "n_dirs = {} out of range (1..=127: directory nodes encode as 0x80|i)",
+                self.n_dirs
+            ));
+        }
+        if self.n_addrs == 0 || self.n_addrs > 253 {
+            return Err(format!(
+                "n_addrs = {} out of range (1..=253: message addresses are u8 and must \
+                 stay below the 0xfd/0xfe codec separators)",
+                self.n_addrs
+            ));
+        }
+        Ok(())
     }
 
     /// Total number of endpoints (caches then directories).
@@ -364,6 +417,43 @@ mod tests {
         assert_eq!(c.home_of(0), 0);
         assert_eq!(c.home_of(1), 1);
         assert_eq!(c.n_endpoints(), 5);
+    }
+
+    #[test]
+    fn with_symmetry_fails_closed_on_incompatible_configs() {
+        let spec = protocols::msi_blocking_cache();
+        let err = McConfig::figure3(&spec).with_symmetry().unwrap_err();
+        assert!(err.contains("per-cache budget"), "{err}");
+        let p2p = McConfig::general(&spec).with_order(IcnOrder::PointToPoint { salt: 0 });
+        let err = p2p.with_symmetry().unwrap_err();
+        assert!(err.contains("unordered"), "{err}");
+        assert!(McConfig::general(&spec).with_symmetry().unwrap().symmetry);
+    }
+
+    #[test]
+    fn validate_enforces_codec_limits() {
+        let spec = protocols::msi_blocking_cache();
+        assert!(McConfig::general(&spec).validate().is_ok());
+        let big = McConfig {
+            n_caches: 9,
+            ..McConfig::general(&spec)
+        };
+        assert!(big.validate().unwrap_err().contains("n_caches"));
+        let none = McConfig {
+            n_caches: 0,
+            ..McConfig::general(&spec)
+        };
+        assert!(none.validate().is_err());
+        let dirs = McConfig {
+            n_dirs: 128,
+            ..McConfig::general(&spec)
+        };
+        assert!(dirs.validate().unwrap_err().contains("n_dirs"));
+        let addrs = McConfig {
+            n_addrs: 254,
+            ..McConfig::general(&spec)
+        };
+        assert!(addrs.validate().unwrap_err().contains("n_addrs"));
     }
 
     #[test]

@@ -540,12 +540,14 @@ fn run_serial_inner(
     policy: Option<&CheckpointPolicy>,
     mut on_level: impl FnMut(usize, usize),
 ) -> Result<CheckpointedRun, CheckpointError> {
-    if cfg.symmetry {
-        assert!(
-            matches!(cfg.budget, crate::config::InjectionBudget::PerCache(_)),
-            "symmetry reduction requires a uniform per-cache budget"
-        );
+    if let Err(detail) = cfg.validate_for_run() {
+        return Err(CheckpointError::Config { detail });
     }
+    // The symmetry group + scratch, built once and reused for every
+    // successor; `None` outside symmetry mode.
+    let mut canon = cfg
+        .symmetry
+        .then(|| crate::symmetry::Canonicalizer::new(cfg));
 
     let mut store = Store::new(cfg.spill.clone());
     let mut frontier: VecDeque<StateId>;
@@ -563,11 +565,13 @@ fn run_serial_inner(
         }
         None => {
             let initial = GlobalState::initial(spec, cfg);
-            let (initial, init_key) = if cfg.symmetry {
-                crate::symmetry::canonicalize(&initial)
-            } else {
-                let k = initial.encode();
-                (initial, k)
+            // The initial state is a fixed point of every permutation
+            // (all caches identical, no messages), so its canonical key
+            // equals its plain encoding; computing it through the
+            // canonicalizer keeps that an invariant, not an assumption.
+            let init_key = match canon.as_mut() {
+                Some(c) => c.canonicalize(cfg, &initial).1,
+                None => initial.encode(),
             };
             // Invariant check on the initial state (vacuous for sane
             // specs, but uniform).
@@ -707,15 +711,12 @@ fn run_serial_inner(
             }
             let mut stop: Option<Stop> = None;
             let outcome = expand(spec, cfg, &gs, &mut expand_scratch, |sstate, label| {
-                let canon_state = if cfg.symmetry {
-                    let (c, k) = crate::symmetry::canonicalize(sstate);
-                    key_buf.clear();
-                    key_buf.extend_from_slice(&k);
-                    Some(c)
-                } else {
-                    sstate.encode_into(&mut key_buf);
-                    None
-                };
+                // Symmetry mode interns the canonical *key* only — no
+                // permuted state is materialized on the hot path.
+                match canon.as_mut() {
+                    Some(c) => c.canonical_key_into(sstate, &mut key_buf),
+                    None => sstate.encode_into(&mut key_buf),
+                }
                 let (sid, inserted) = match store.keys.intern(&key_buf) {
                     Ok(v) => v,
                     Err(why) => {
@@ -733,13 +734,18 @@ fn run_serial_inner(
                 let lid = store.labels.intern(&label_buf);
                 store.push_link(id, lid, (level + 1) as u32);
                 if let Some(swmr) = &cfg.swmr {
-                    let check = canon_state.as_ref().unwrap_or(sstate);
-                    if let Some(detail) = swmr.check(check, spec) {
-                        stop = Some(Stop::Invariant {
-                            sid,
-                            state: canon_state.unwrap_or_else(|| sstate.clone()),
-                            detail,
-                        });
+                    // SWMR is permutation-invariant, so the concrete
+                    // successor is checked directly; the recorded
+                    // witness is the canonical representative (what
+                    // the interned key decodes to).
+                    if let Some(detail) = swmr.check(sstate, spec) {
+                        let state = if canon.is_some() {
+                            GlobalState::decode(&key_buf, cfg)
+                                .unwrap_or_else(|| sstate.clone())
+                        } else {
+                            sstate.clone()
+                        };
+                        stop = Some(Stop::Invariant { sid, state, detail });
                         return false;
                     }
                 }
@@ -786,7 +792,16 @@ fn run_serial_inner(
             });
             match outcome {
                 ExpandOutcome::Bug { rule, detail } => {
-                    let mut trace = rebuild_trace(&store, id, gs);
+                    let mut trace = rebuild_trace(spec, cfg, &mut store, id, gs);
+                    // The recorded rule/detail name canonical indices
+                    // under symmetry; re-derive them from the concrete
+                    // terminal the de-canonicalized trace reaches.
+                    let (rule, detail) = if cfg.symmetry {
+                        crate::trace::concrete_bug(spec, cfg, &trace.last)
+                            .unwrap_or((rule, detail))
+                    } else {
+                        (rule, detail)
+                    };
                     trace.steps.push(rule);
                     let stats = ExploreStats::bounded(
                         store.len(),
@@ -808,7 +823,7 @@ fn run_serial_inner(
                             meter.peak_bytes(),
                             store.keys.spill_stats().spilled_bytes,
                         );
-                        let trace = rebuild_trace(&store, id, gs);
+                        let trace = rebuild_trace(spec, cfg, &mut store, id, gs);
                         return Ok(CheckpointedRun::Finished(Verdict::Deadlock {
                             depth: level,
                             trace,
@@ -839,7 +854,17 @@ fn run_serial_inner(
                             meter.peak_bytes(),
                             store.keys.spill_stats().spilled_bytes,
                         );
-                        let trace = rebuild_trace(&store, sid, state);
+                        let trace = rebuild_trace(spec, cfg, &mut store, sid, state);
+                        // Keep the violation text consistent with the
+                        // concrete terminal the trace replays to.
+                        let detail = if cfg.symmetry {
+                            cfg.swmr
+                                .as_ref()
+                                .and_then(|s| s.check(&trace.last, spec))
+                                .unwrap_or(detail)
+                        } else {
+                            detail
+                        };
                         return Ok(CheckpointedRun::Finished(Verdict::InvariantViolation {
                             trace,
                             detail,
@@ -919,19 +944,52 @@ fn emit_spill_metrics(now: SpillStats, seen: &mut SpillStats) {
 /// visited bitset guards against parent cycles — impossible for links
 /// built by this explorer, but a checkpoint that passed checksum
 /// validation with a crafted payload must terminate too, not spin.
-fn rebuild_trace(store: &Store, id: StateId, last: GlobalState) -> Trace {
-    let mut steps = Vec::new();
+///
+/// Under symmetry reduction the stored labels reference *canonical*
+/// (permuted) indices and are not a concrete execution; the trace is
+/// instead de-canonicalized from the chain of canonical state keys, so
+/// the returned steps replay from the concrete initial state to the
+/// returned terminal (see [`crate::trace::decanonicalize_chain`]).
+fn rebuild_trace(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    store: &mut Store,
+    id: StateId,
+    last: GlobalState,
+) -> Trace {
+    let mut ids = Vec::new();
     let mut seen = BitSet::with_capacity(store.len());
     let mut cur = id;
     while (cur as usize) < store.len() && seen.insert(cur as usize) {
-        let label = store.labels.get(store.label_ids[cur as usize]);
-        if label.is_empty() {
-            break;
+        ids.push(cur);
+        if store.labels.get(store.label_ids[cur as usize]).is_empty() {
+            break; // the root carries the empty label
         }
-        steps.push(label.to_string());
         cur = store.parents[cur as usize];
     }
-    steps.reverse();
+    ids.reverse();
+    if cfg.symmetry {
+        let mut chain = Vec::with_capacity(ids.len());
+        let mut buf = Vec::with_capacity(160);
+        for &sid in &ids {
+            if !store.keys.get_into(sid, &mut buf) {
+                return crate::trace::decanonicalize_failed(
+                    &format!("interned state {sid} unreadable"),
+                    last,
+                );
+            }
+            chain.push(buf.clone());
+        }
+        return match crate::trace::decanonicalize_chain(spec, cfg, &chain) {
+            Ok(t) => t,
+            Err(why) => crate::trace::decanonicalize_failed(&why, last),
+        };
+    }
+    let steps = ids
+        .iter()
+        .map(|&sid| store.labels.get(store.label_ids[sid as usize]).to_string())
+        .filter(|l| !l.is_empty())
+        .collect();
     Trace { steps, last }
 }
 
@@ -1071,7 +1129,8 @@ mod tests {
         base.n_addrs = 1;
         base.n_dirs = 1;
         let plain = explore(&spec, &base);
-        let reduced = explore(&spec, &base.clone().with_symmetry());
+        let sym = base.clone().with_symmetry().expect("symmetric config");
+        let reduced = explore(&spec, &sym);
         let (p, r) = (plain.stats(), reduced.stats());
         assert!(p.complete && r.complete);
         assert!(
@@ -1081,6 +1140,26 @@ mod tests {
             p.states
         );
         assert_eq!(plain.is_deadlock(), reduced.is_deadlock());
+        // Symmetry-mode witnesses must still be *real* executions: the
+        // de-canonicalized trace replays to its recorded terminal.
+        if let Verdict::Deadlock { trace, .. } = &reduced {
+            let end = trace.replay(&spec, &sym).expect("witness must replay");
+            assert_eq!(end, trace.last, "replay must land on the recorded witness");
+        }
+    }
+
+    #[test]
+    fn symmetry_with_an_explicit_script_fails_closed() {
+        let spec = protocols::msi_blocking_cache();
+        let mut cfg = McConfig::figure3(&spec);
+        cfg.symmetry = true; // bypasses with_symmetry's validation
+        let budget = vnet_graph::Budget::unlimited();
+        match run_serial(&spec, &cfg, &budget, None, None, |_, _| {}) {
+            Err(CheckpointError::Config { detail }) => {
+                assert!(detail.contains("per-cache budget"), "{detail}");
+            }
+            other => panic!("expected a config error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -419,21 +419,9 @@ fn run_parallel_inner(
     } else {
         opts.threads
     };
-    if cfg.symmetry {
-        assert!(
-            matches!(cfg.budget, crate::config::InjectionBudget::PerCache(_)),
-            "symmetry reduction requires a uniform per-cache budget"
-        );
+    if let Err(detail) = cfg.validate_for_run() {
+        return Err(CheckpointError::Config { detail });
     }
-
-    let canon = |gs: GlobalState| -> (GlobalState, Vec<u8>) {
-        if cfg.symmetry {
-            crate::symmetry::canonicalize(&gs)
-        } else {
-            let key = gs.encode();
-            (gs, key)
-        }
-    };
 
     let visited = Visited::new();
     let mut frontier: Vec<GlobalState>;
@@ -453,7 +441,13 @@ fn run_parallel_inner(
             level = ckpt.level;
         }
         None => {
-            let (initial, init_key) = canon(GlobalState::initial(spec, cfg));
+            let initial = GlobalState::initial(spec, cfg);
+            let (initial, init_key) = if cfg.symmetry {
+                crate::symmetry::canonicalize(cfg, &initial)
+            } else {
+                let key = initial.encode();
+                (initial, key)
+            };
             visited.claim(&init_key, &init_key, "", 0);
             frontier = vec![initial];
             level = 0;
@@ -692,11 +686,31 @@ fn run_parallel_inner(
                 spill_bytes: 0,
             };
             let trace = rebuild(
+                spec,
+                cfg,
                 &visited,
                 &f.key,
                 f.state,
                 matches!(f.kind, FindingKind::Bug).then_some(&f.extra),
             );
+            // Under symmetry the recorded detail names canonical
+            // indices; keep it consistent with the concrete terminal
+            // the de-canonicalized trace replays to.
+            let detail = if cfg.symmetry {
+                match f.kind {
+                    FindingKind::Bug => crate::trace::concrete_bug(spec, cfg, &trace.last)
+                        .map(|(r, d)| format!("{r}: {d}"))
+                        .unwrap_or(f.extra),
+                    FindingKind::Invariant => cfg
+                        .swmr
+                        .as_ref()
+                        .and_then(|s| s.check(&trace.last, spec))
+                        .unwrap_or(f.extra),
+                    FindingKind::Deadlock => f.extra,
+                }
+            } else {
+                f.extra
+            };
             return Ok(CheckpointedRun::Finished(match f.kind {
                 FindingKind::Deadlock => Verdict::Deadlock {
                     depth: level,
@@ -705,12 +719,12 @@ fn run_parallel_inner(
                 },
                 FindingKind::Bug => Verdict::ModelError {
                     trace,
-                    detail: f.extra,
+                    detail,
                     stats,
                 },
                 FindingKind::Invariant => Verdict::InvariantViolation {
                     trace,
-                    detail: f.extra,
+                    detail,
                     stats,
                 },
             }));
@@ -765,6 +779,8 @@ struct WorkScratch {
     pkey: Vec<u8>,
     /// Rendered rule label.
     label: String,
+    /// Symmetry group + scratch, `None` outside symmetry mode.
+    canon: Option<crate::symmetry::Canonicalizer>,
 }
 
 impl WorkScratch {
@@ -774,6 +790,9 @@ impl WorkScratch {
             key: Vec::with_capacity(128),
             pkey: Vec::with_capacity(128),
             label: String::new(),
+            canon: cfg
+                .symmetry
+                .then(|| crate::symmetry::Canonicalizer::new(cfg)),
         }
     }
 }
@@ -799,21 +818,19 @@ fn expand_one(
         key,
         pkey,
         label,
+        canon,
     } = scratch;
     // Frontier states are already canonical in symmetry mode, so the
     // plain encoding is the parent's interned key in both modes.
     gs.encode_into(pkey);
     let mut batch: Vec<GlobalState> = Vec::new();
     let outcome = expand(spec, cfg, gs, rules, |sstate, lab| {
-        let canon_state = if cfg.symmetry {
-            let (c, k) = crate::symmetry::canonicalize(sstate);
-            key.clear();
-            key.extend_from_slice(&k);
-            Some(c)
-        } else {
-            sstate.encode_into(key);
-            None
-        };
+        // Symmetry mode derives the canonical *key* without
+        // materializing any permuted state.
+        match canon.as_mut() {
+            Some(c) => c.canonical_key_into(sstate, key),
+            None => sstate.encode_into(key),
+        }
         // The label is rendered for every claim attempt (not only fresh
         // ones) because the same-level min-resolve tie-break compares
         // label text; the buffer is reused so no allocation per call.
@@ -822,6 +839,13 @@ fn expand_one(
         if !claimed && !force {
             return true;
         }
+        // Only claimed-or-forced successors need the canonical
+        // representative materialized (it is what the key decodes to).
+        let canon_state = if canon.is_some() {
+            GlobalState::decode(key, cfg)
+        } else {
+            None
+        };
         if claimed {
             if let Some(swmr) = &cfg.swmr {
                 let check = canon_state.as_ref().unwrap_or(sstate);
@@ -875,8 +899,21 @@ fn expand_one(
     }
 }
 
-fn rebuild(visited: &Visited, key: &[u8], last: GlobalState, bug_rule: Option<&String>) -> Trace {
+/// Walks the parent keys from `key` to the root. Outside symmetry mode
+/// the stored labels already form a concrete execution; under symmetry
+/// they reference canonical indices, so the trace is de-canonicalized
+/// from the canonical key chain instead (the keys are the parent links
+/// here, so the chain comes for free).
+fn rebuild(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    visited: &Visited,
+    key: &[u8],
+    last: GlobalState,
+    bug_rule: Option<&String>,
+) -> Trace {
     let mut steps = Vec::new();
+    let mut chain = vec![key.to_vec()];
     let mut cur = key.to_vec();
     // The step cap guards against parent cycles, which cannot arise
     // from this explorer's claims but could from a crafted checkpoint.
@@ -885,13 +922,32 @@ fn rebuild(visited: &Visited, key: &[u8], last: GlobalState, bug_rule: Option<&S
             break;
         }
         steps.push(label);
+        chain.push(parent.clone());
         cur = parent;
     }
     steps.reverse();
+    chain.reverse();
+    let mut trace = if cfg.symmetry {
+        match crate::trace::decanonicalize_chain(spec, cfg, &chain) {
+            Ok(t) => t,
+            Err(why) => crate::trace::decanonicalize_failed(&why, last),
+        }
+    } else {
+        Trace { steps, last }
+    };
     if let Some(rule) = bug_rule {
-        steps.push(rule.clone());
+        let step = if cfg.symmetry {
+            // The recorded rule names canonical indices; re-derive the
+            // concrete one from the terminal the trace reaches.
+            crate::trace::concrete_bug(spec, cfg, &trace.last)
+                .map(|(r, d)| format!("{r}: {d}"))
+                .unwrap_or_else(|| rule.clone())
+        } else {
+            rule.clone()
+        };
+        trace.steps.push(step);
     }
-    Trace { steps, last }
+    trace
 }
 
 // Test-only panics below (unwrap/expect on known-good fixtures,

@@ -84,6 +84,10 @@ pub struct ProcOpts {
     /// The VN-selection flag to forward (`--unique-vns`/`--single-vn`),
     /// so workers derive the supervisor's exact `McConfig`.
     pub vn_flag: Option<String>,
+    /// Extra configuration flags to forward verbatim (`--general`,
+    /// `--symmetry`), so workers derive the supervisor's exact
+    /// `McConfig` and the shard-directory fingerprints match.
+    pub cfg_flags: Vec<String>,
     /// Budget enforced at round boundaries (deadline and node limit).
     pub budget: Budget,
     /// Per-shard, per-round respawn budget before the run degrades
@@ -109,6 +113,7 @@ impl ProcOpts {
             dir: dir.into(),
             spec_arg: spec_arg.into(),
             vn_flag: None,
+            cfg_flags: Vec::new(),
             budget: Budget::unlimited(),
             max_restarts: 2,
             policy: None,
@@ -366,6 +371,7 @@ pub fn run_worker(spec: &ProtocolSpec, cfg: &McConfig, w: &WorkerOpts) -> Result
     if n == 0 || w.shard >= n {
         return Err(format!("shard {} out of range (of {n})", w.shard));
     }
+    cfg.validate_for_run()?;
 
     // Visited keys: a spillable arena so the shard honors its slice of
     // the run's memory budget the same way the serial explorer does.
@@ -411,7 +417,7 @@ pub fn run_worker(spec: &ProtocolSpec, cfg: &McConfig, w: &WorkerOpts) -> Result
     if w.round == 0 {
         let initial = GlobalState::initial(spec, cfg);
         let key = if cfg.symmetry {
-            crate::symmetry::canonicalize(&initial).1
+            crate::symmetry::canonicalize(cfg, &initial).1
         } else {
             initial.encode()
         };
@@ -495,6 +501,9 @@ pub fn run_worker(spec: &ProtocolSpec, cfg: &McConfig, w: &WorkerOpts) -> Result
         let mut expand_scratch = Scratch::new(spec, cfg);
         let mut key_buf: Vec<u8> = Vec::with_capacity(128);
         let mut label_buf = String::new();
+        let mut canon = cfg
+            .symmetry
+            .then(|| crate::symmetry::Canonicalizer::new(cfg));
         'frontier: for &idx in &new_frontier {
             if !keys.get_into(idx, &mut scratch_key) {
                 return Err(format!("frontier state {idx} unreadable"));
@@ -503,12 +512,11 @@ pub fn run_worker(spec: &ProtocolSpec, cfg: &McConfig, w: &WorkerOpts) -> Result
                 return Err(format!("frontier state {idx} failed to decode"));
             };
             let outcome = expand(spec, cfg, &gs, &mut expand_scratch, |sstate, label| {
-                if cfg.symmetry {
-                    let (_, k) = crate::symmetry::canonicalize(sstate);
-                    key_buf.clear();
-                    key_buf.extend_from_slice(&k);
-                } else {
-                    sstate.encode_into(&mut key_buf);
+                // Key-only canonicalization: no permuted state is ever
+                // materialized on the expansion path.
+                match canon.as_mut() {
+                    Some(c) => c.canonical_key_into(sstate, &mut key_buf),
+                    None => sstate.encode_into(&mut key_buf),
                 }
                 let to = shard_of(&key_buf, n) as usize;
                 label.render_into(spec, &mut label_buf);
@@ -611,6 +619,9 @@ pub fn explore_procshard(
     let n = opts.shards;
     if n == 0 || n > 1 << 12 {
         return Err(corrupt(format!("shard count {n} out of range (1..=4096)")));
+    }
+    if let Err(detail) = cfg.validate_for_run() {
+        return Err(CheckpointError::Config { detail });
     }
     std::fs::create_dir_all(&opts.dir).map_err(|e| io_err(&opts.dir, e))?;
     sweep_stale_tmp(&opts.dir);
@@ -795,6 +806,7 @@ pub fn explore_procshard(
             let verdict = build_finding_verdict(
                 &opts.dir,
                 n,
+                spec,
                 cfg,
                 s,
                 &f,
@@ -964,6 +976,9 @@ fn spawn_worker(opts: &ProcOpts, shard: u32, round: u32, crash: bool) -> std::io
     if let Some(f) = &opts.vn_flag {
         cmd.arg(f);
     }
+    for f in &opts.cfg_flags {
+        cmd.arg(f);
+    }
     if let Some(b) = opts.mem_budget {
         cmd.arg("--mem-budget").arg(b.to_string());
     }
@@ -1051,10 +1066,44 @@ fn walk_trace(
     Ok(steps)
 }
 
+/// Walks parent references across shards from `start`, collecting the
+/// *state keys* root-ward (root inclusive). Under symmetry these are
+/// canonical-representative keys and feed the de-canonicalizer.
+fn walk_chain(
+    sections: &[Section],
+    start: (u32, u32),
+) -> Result<Vec<Vec<u8>>, CheckpointError> {
+    let mut chain = Vec::new();
+    let mut seen: HashSet<(u32, u32)> = HashSet::new();
+    let (mut s, mut i) = start;
+    loop {
+        if !seen.insert((s, i)) {
+            break;
+        }
+        let (labels, entries) = sections
+            .get(s as usize)
+            .ok_or_else(|| corrupt(format!("trace walk reached missing shard {s}")))?;
+        let e = entries
+            .get(i as usize)
+            .ok_or_else(|| corrupt(format!("trace walk reached missing entry {s}/{i}")))?;
+        chain.push(e.key.clone());
+        let label = labels
+            .get(e.label as usize)
+            .ok_or_else(|| corrupt(format!("trace walk hit missing label in shard {s}")))?;
+        if label.is_empty() {
+            break;
+        }
+        (s, i) = (e.parent_shard, e.parent_idx);
+    }
+    chain.reverse();
+    Ok(chain)
+}
+
 /// Builds the terminal verdict for the round's minimal finding.
 fn build_finding_verdict(
     dir: &Path,
     n: u32,
+    spec: &ProtocolSpec,
     cfg: &McConfig,
     shard: u32,
     f: &Finding,
@@ -1068,7 +1117,22 @@ fn build_finding_verdict(
     let last = GlobalState::decode(&entry.key, cfg)
         .ok_or_else(|| corrupt("finding state failed to decode"))?;
     let depth = entry.level as usize;
-    let mut steps = walk_trace(&sections, (shard, f.idx))?;
+    // Under symmetry the stored parent chain links canonical
+    // representatives; replay it into a concrete execution so the
+    // trace's labels are enabled step by step from the real initial
+    // state.
+    let (mut steps, last) = if cfg.symmetry {
+        let chain = walk_chain(&sections, (shard, f.idx))?;
+        match crate::trace::decanonicalize_chain(spec, cfg, &chain) {
+            Ok(t) => (t.steps, t.last),
+            Err(why) => {
+                let t = crate::trace::decanonicalize_failed(&why, last);
+                (t.steps, t.last)
+            }
+        }
+    } else {
+        (walk_trace(&sections, (shard, f.idx))?, last)
+    };
     Ok(match f.kind {
         FIND_DEADLOCK => Verdict::Deadlock {
             trace: Trace { steps, last },
@@ -1076,18 +1140,34 @@ fn build_finding_verdict(
             stats,
         },
         FIND_MODEL_ERROR => {
-            steps.push(f.rule.clone());
+            let (rule, detail) = if cfg.symmetry {
+                crate::trace::concrete_bug(spec, cfg, &last)
+                    .unwrap_or_else(|| (f.rule.clone(), f.detail.clone()))
+            } else {
+                (f.rule.clone(), f.detail.clone())
+            };
+            steps.push(rule);
             Verdict::ModelError {
                 trace: Trace { steps, last },
-                detail: f.detail.clone(),
+                detail,
                 stats,
             }
         }
-        _ => Verdict::InvariantViolation {
-            trace: Trace { steps, last },
-            detail: f.detail.clone(),
-            stats,
-        },
+        _ => {
+            let detail = if cfg.symmetry {
+                cfg.swmr
+                    .as_ref()
+                    .and_then(|sw| sw.check(&last, spec))
+                    .unwrap_or_else(|| f.detail.clone())
+            } else {
+                f.detail.clone()
+            };
+            Verdict::InvariantViolation {
+                trace: Trace { steps, last },
+                detail,
+                stats,
+            }
+        }
     })
 }
 

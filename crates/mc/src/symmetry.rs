@@ -1,85 +1,117 @@
-//! Cache-symmetry reduction.
+//! Symmetry reduction: cache permutations × address permutations.
 //!
 //! With a uniform injection budget, the caches are interchangeable: any
 //! permutation of cache indices maps reachable states to reachable
-//! states. Canonicalizing each state to the lexicographically smallest
-//! permutation image collapses symmetric orbits and shrinks the explored
-//! space by up to `n_caches!` — the standard scalar-set reduction of
-//! Murphi, specialized to the cache array.
+//! states. Addresses are interchangeable too, but only *within a home
+//! class* — address `a` is homed at `a % n_dirs`, so a permutation that
+//! moved an address across directories would also have to move the
+//! directory state and endpoint FIFOs of distinct `Dir` nodes, which
+//! the protocol rules distinguish. Home-preserving address permutations
+//! keep every `Dir` endpoint fixed, which is exactly why they commute
+//! with the transition relation.
+//!
+//! Canonicalizing each state to the lexicographically smallest image
+//! under the product group collapses symmetric orbits and shrinks the
+//! explored space by up to `n_caches! · Π_h (class_h)!` — the standard
+//! scalar-set reduction of Murphi, specialized to the cache array and
+//! the address set.
 //!
 //! Not applicable to [`crate::InjectionBudget::Explicit`] scripts (the
-//! script names specific caches, breaking the symmetry); the explorer
-//! enforces that.
+//! script names specific caches and addresses, breaking the symmetry)
+//! or to point-to-point ICN ordering (the static buffer pinning hashes
+//! endpoint identities); [`crate::McConfig::with_symmetry`] and the
+//! explorers enforce both, failing closed instead of panicking.
 
+use crate::config::McConfig;
 use crate::state::{GlobalState, Msg, Node};
 
-/// Applies a cache-index permutation to a state: `perm[i]` is the new
-/// index of old cache `i`.
-pub fn permute(gs: &GlobalState, perm: &[usize]) -> GlobalState {
-    let n = perm.len();
+/// Applies a cache-index and address-index permutation to a state:
+/// `cache_perm[i]` is the new index of old cache `i`, `addr_perm[a]`
+/// the new index of old address `a`. The address permutation must be
+/// home-preserving (`addr_perm[a] % n_dirs == a % n_dirs`) for the
+/// image to be reachable; this function applies whatever it is given.
+pub fn permute(
+    cfg: &McConfig,
+    gs: &GlobalState,
+    cache_perm: &[usize],
+    addr_perm: &[usize],
+) -> GlobalState {
+    let n = cache_perm.len();
     debug_assert_eq!(gs.caches.len(), n);
+    debug_assert_eq!(gs.dirs.len(), addr_perm.len());
+    let cache_inv = invert(cache_perm);
+    let addr_inv = invert(addr_perm);
 
     let remap_mask = |mask: u8| -> u8 {
         let mut out = 0u8;
-        for (i, &p) in perm.iter().enumerate() {
+        for (i, &p) in cache_perm.iter().enumerate() {
             if mask & (1 << i) != 0 {
                 out |= 1 << p;
             }
         }
         out
     };
-    let remap_cache = |c: u8| perm[c as usize] as u8;
+    let remap_cache = |c: u8| cache_perm[c as usize] as u8;
+    // Home-preserving address permutations never move a `Dir` node.
     let remap_node = |nd: Node| match nd {
         Node::Cache(c) => Node::Cache(remap_cache(c)),
         Node::Dir(d) => Node::Dir(d),
     };
     let remap_msg = |m: &Msg| Msg {
+        addr: addr_perm[m.addr as usize] as u8,
         src: remap_node(m.src),
         dst: remap_node(m.dst),
         requestor: remap_cache(m.requestor),
         ..*m
     };
 
-    let mut caches = vec![Vec::new(); n];
-    for (i, row) in gs.caches.iter().enumerate() {
-        let mut new_row = row.clone();
-        for line in &mut new_row {
-            line.readers = remap_mask(line.readers);
-            if let Some((w, a)) = line.writer {
-                line.writer = Some((remap_cache(w), a));
-            }
-        }
-        caches[perm[i]] = new_row;
-    }
+    let caches: Vec<Vec<_>> = (0..n)
+        .map(|nc| {
+            let row = &gs.caches[cache_inv[nc]];
+            (0..addr_perm.len())
+                .map(|na| {
+                    let mut line = row[addr_inv[na]].clone();
+                    line.readers = remap_mask(line.readers);
+                    if let Some((w, a)) = line.writer {
+                        line.writer = Some((remap_cache(w), a));
+                    }
+                    line
+                })
+                .collect()
+        })
+        .collect();
 
-    let mut budgets = vec![0u8; gs.budgets.len()];
-    for (i, &b) in gs.budgets.iter().enumerate() {
-        budgets[perm[i]] = b;
-    }
-
-    let dirs = gs
-        .dirs
-        .iter()
-        .map(|d| {
-            let mut d = d.clone();
+    // `dirs` is indexed by address, so rows move with the address
+    // permutation while their cache references are remapped.
+    let dirs = (0..addr_perm.len())
+        .map(|na| {
+            let mut d = gs.dirs[addr_inv[na]].clone();
             d.sharers = remap_mask(d.sharers);
             d.owner = d.owner.map(remap_cache);
             d
         })
         .collect();
 
+    let mut budgets = vec![0u8; gs.budgets.len()];
+    for (i, &b) in gs.budgets.iter().enumerate() {
+        budgets[cache_perm[i]] = b;
+    }
+
     // A message's *queue position* is part of the state; only identities
     // are remapped. The per-endpoint FIFOs, however, move with their
-    // endpoint.
-    let n_vns = gs.endpoint_fifos.len() / (n + gs.dirs.len()).max(1);
-    let mut endpoint_fifos = gs.endpoint_fifos.clone();
-    for (ep, _) in gs.endpoint_fifos.chunks(n_vns.max(1)).enumerate() {
-        let new_ep = if ep < n { perm[ep] } else { ep };
+    // endpoint (dir endpoints are fixed points).
+    let n_vns = cfg.vns.n_vns().max(1);
+    let n_eps = gs.endpoint_fifos.len() / n_vns;
+    let mut endpoint_fifos = Vec::with_capacity(gs.endpoint_fifos.len());
+    for new_ep in 0..n_eps {
+        let old_ep = if new_ep < n { cache_inv[new_ep] } else { new_ep };
         for vn in 0..n_vns {
-            endpoint_fifos[new_ep * n_vns + vn] = gs.endpoint_fifos[ep * n_vns + vn]
-                .iter()
-                .map(remap_msg)
-                .collect();
+            endpoint_fifos.push(
+                gs.endpoint_fifos[old_ep * n_vns + vn]
+                    .iter()
+                    .map(remap_msg)
+                    .collect(),
+            );
         }
     }
     let global_bufs = gs
@@ -96,6 +128,19 @@ pub fn permute(gs: &GlobalState, perm: &[usize]) -> GlobalState {
         global_bufs,
         endpoint_fifos,
     }
+}
+
+/// Inverse of a permutation given as `perm[old] = new`.
+fn invert(perm: &[usize]) -> Vec<usize> {
+    let mut inv = vec![0usize; perm.len()];
+    for (old, &new) in perm.iter().enumerate() {
+        inv[new] = old;
+    }
+    inv
+}
+
+fn is_identity(perm: &[usize]) -> bool {
+    perm.iter().enumerate().all(|(i, &p)| i == p)
 }
 
 /// All permutations of `0..n` (n ≤ 8 in practice).
@@ -121,25 +166,211 @@ fn heap_permute(items: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
 }
 
-/// The canonical representative of `gs`'s symmetry orbit: the
-/// permutation image with the smallest encoding. Returns the canonical
-/// state together with its encoding (so callers don't re-encode).
-pub fn canonicalize(gs: &GlobalState) -> (GlobalState, Vec<u8>) {
-    let n = gs.caches.len();
-    let mut best_state = gs.clone();
-    let mut best_key = gs.encode();
-    for perm in permutations(n) {
-        if perm.iter().enumerate().all(|(i, &p)| i == p) {
-            continue;
+/// All home-preserving address permutations: the cartesian product of
+/// the within-class permutations, where class `h` is the set of
+/// addresses homed at directory `h` (`a % n_dirs == h`). On the default
+/// 2-address/2-directory config each class is a singleton, so only the
+/// identity survives; 1-directory or 4-address/2-directory configs get
+/// a nontrivial address group.
+fn address_permutations(n_addrs: usize, n_dirs: usize) -> Vec<Vec<usize>> {
+    let nd = n_dirs.max(1);
+    let mut classes: Vec<Vec<usize>> = vec![Vec::new(); nd];
+    for a in 0..n_addrs {
+        classes[a % nd].push(a);
+    }
+    let mut out: Vec<Vec<usize>> = vec![(0..n_addrs).collect()];
+    for class in classes.iter().filter(|c| c.len() > 1) {
+        let perms = permutations(class.len());
+        let mut next = Vec::with_capacity(out.len() * perms.len());
+        for base in &out {
+            for p in &perms {
+                let mut ap = base.clone();
+                for (slot, &to) in p.iter().enumerate() {
+                    ap[class[slot]] = class[to];
+                }
+                next.push(ap);
+            }
         }
-        let candidate = permute(gs, &perm);
-        let key = candidate.encode();
-        if key < best_key {
-            best_key = key;
-            best_state = candidate;
+        out = next;
+    }
+    out
+}
+
+/// A precomputed group element with its inverse, so the permuted
+/// encoding can be emitted in output order without materializing a
+/// permuted state.
+struct PermPair {
+    cache: Vec<usize>,
+    cache_inv: Vec<usize>,
+    addr: Vec<usize>,
+    addr_inv: Vec<usize>,
+}
+
+/// Precomputed symmetry group plus reusable scratch buffers: the fast
+/// path the explorers use per successor. Create one per worker (the
+/// scratch makes it `!Sync`-shaped by design) and reuse it across
+/// millions of states — canonicalization then costs one direct
+/// encoding per non-identity group element with an early-exit byte
+/// compare, and zero state clones.
+pub struct Canonicalizer {
+    pairs: Vec<PermPair>,
+    n_caches: usize,
+    n_addrs: usize,
+    n_vns: usize,
+    scratch: Vec<u8>,
+}
+
+impl Canonicalizer {
+    /// Builds the product group for `cfg`'s shape.
+    pub fn new(cfg: &McConfig) -> Self {
+        let cps = permutations(cfg.n_caches);
+        let aps = address_permutations(cfg.n_addrs, cfg.n_dirs);
+        let mut pairs = Vec::with_capacity(cps.len() * aps.len());
+        for cp in &cps {
+            for ap in &aps {
+                if is_identity(cp) && is_identity(ap) {
+                    continue;
+                }
+                pairs.push(PermPair {
+                    cache: cp.clone(),
+                    cache_inv: invert(cp),
+                    addr: ap.clone(),
+                    addr_inv: invert(ap),
+                });
+            }
+        }
+        Canonicalizer {
+            pairs,
+            n_caches: cfg.n_caches,
+            n_addrs: cfg.n_addrs,
+            n_vns: cfg.vns.n_vns().max(1),
+            scratch: Vec::with_capacity(160),
         }
     }
-    (best_state, best_key)
+
+    /// Group order including the identity (the maximum orbit size, and
+    /// so the upper bound on the state-count reduction).
+    pub fn group_order(&self) -> usize {
+        self.pairs.len() + 1
+    }
+
+    /// Writes the canonical key of `gs`'s orbit — the lexicographically
+    /// smallest permutation image's encoding — into `best` (cleared
+    /// first). Key-only: each candidate is encoded directly into a
+    /// reused scratch buffer and compared byte-wise (slice `<` is an
+    /// early-exit prefix compare), never materialized as a state.
+    pub fn canonical_key_into(&mut self, gs: &GlobalState, best: &mut Vec<u8>) {
+        gs.encode_into(best);
+        let Canonicalizer {
+            pairs,
+            n_caches,
+            n_addrs,
+            n_vns,
+            scratch,
+        } = self;
+        for pair in pairs.iter() {
+            encode_permuted_into(gs, pair, *n_caches, *n_addrs, *n_vns, scratch);
+            if scratch.as_slice() < best.as_slice() {
+                std::mem::swap(best, scratch);
+            }
+        }
+    }
+
+    /// The canonical representative of `gs`'s orbit together with its
+    /// key. The key is an exact [`GlobalState::encode`] image, so the
+    /// state is materialized by decoding it — one allocation, no
+    /// per-permutation clones.
+    pub fn canonicalize(&mut self, cfg: &McConfig, gs: &GlobalState) -> (GlobalState, Vec<u8>) {
+        let mut key = Vec::with_capacity(160);
+        self.canonical_key_into(gs, &mut key);
+        let state = GlobalState::decode(&key, cfg).unwrap_or_else(|| gs.clone());
+        (state, key)
+    }
+}
+
+/// Emits the encoding of `permute(gs, pair)` directly into `out`,
+/// byte-for-byte identical to [`GlobalState::encode_into`] on the
+/// permuted state. Output positions are walked in order and filled via
+/// the inverse maps, so nothing is cloned.
+fn encode_permuted_into(
+    gs: &GlobalState,
+    p: &PermPair,
+    n_caches: usize,
+    n_addrs: usize,
+    n_vns: usize,
+    out: &mut Vec<u8>,
+) {
+    out.clear();
+    let remap_mask = |mask: u8| -> u8 {
+        let mut r = 0u8;
+        for (i, &np) in p.cache.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                r |= 1 << np;
+            }
+        }
+        r
+    };
+    let remap_cache = |c: u8| p.cache[c as usize] as u8;
+    for nc in 0..n_caches {
+        let row = &gs.caches[p.cache_inv[nc]];
+        for na in 0..n_addrs {
+            let l = &row[p.addr_inv[na]];
+            out.push(l.state);
+            out.push(l.needed_acks as u8);
+            out.push(remap_mask(l.readers));
+            match l.writer {
+                None => out.extend([0xff, 0]),
+                Some((w, a)) => out.extend([remap_cache(w), a as u8]),
+            }
+        }
+    }
+    for na in 0..n_addrs {
+        let d = &gs.dirs[p.addr_inv[na]];
+        out.push(d.state);
+        out.push(d.owner.map_or(0xff, remap_cache));
+        out.push(remap_mask(d.sharers));
+        out.push(d.pending as u8);
+    }
+    for nc in 0..gs.budgets.len() {
+        out.push(gs.budgets[p.cache_inv[nc]]);
+    }
+    out.extend(gs.used_injections.to_le_bytes());
+    let enc_msg = |out: &mut Vec<u8>, m: &Msg| {
+        out.push(m.msg);
+        out.push(p.addr[m.addr as usize] as u8);
+        out.push(match m.src {
+            Node::Cache(i) => p.cache[i as usize] as u8,
+            Node::Dir(i) => 0x80 | i,
+        });
+        out.push(match m.dst {
+            Node::Cache(i) => p.cache[i as usize] as u8,
+            Node::Dir(i) => 0x80 | i,
+        });
+        out.push(p.cache[m.requestor as usize] as u8);
+        out.push(m.ack as u8);
+    };
+    for buf in &gs.global_bufs {
+        out.push(0xfe);
+        for m in buf {
+            enc_msg(out, m);
+        }
+    }
+    let n_eps = gs.endpoint_fifos.len() / n_vns;
+    for ne in 0..n_eps {
+        let oe = if ne < n_caches { p.cache_inv[ne] } else { ne };
+        for vn in 0..n_vns {
+            out.push(0xfd);
+            for m in &gs.endpoint_fifos[oe * n_vns + vn] {
+                enc_msg(out, m);
+            }
+        }
+    }
+}
+
+/// One-shot canonicalization (tests, cold paths). Hot paths hold a
+/// [`Canonicalizer`] instead.
+pub fn canonicalize(cfg: &McConfig, gs: &GlobalState) -> (GlobalState, Vec<u8>) {
+    Canonicalizer::new(cfg).canonicalize(cfg, gs)
 }
 
 // Test-only panics below (unwrap/expect on known-good fixtures,
@@ -158,27 +389,43 @@ mod tests {
         (spec, cfg, gs)
     }
 
+    /// General config with a single directory, so both addresses share
+    /// a home class and the address group is nontrivial.
+    fn setup_one_dir() -> (vnet_protocol::ProtocolSpec, McConfig, GlobalState) {
+        let spec = protocols::msi_blocking_cache();
+        let cfg = McConfig {
+            n_dirs: 1,
+            ..McConfig::general(&spec)
+        };
+        let gs = GlobalState::initial(&spec, &cfg);
+        (spec, cfg, gs)
+    }
+
+    fn id(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
     #[test]
     fn identity_permutation_is_identity() {
-        let (_, _, gs) = setup();
-        assert_eq!(permute(&gs, &[0, 1, 2]), gs);
+        let (_, cfg, gs) = setup();
+        assert_eq!(permute(&cfg, &gs, &[0, 1, 2], &id(2)), gs);
     }
 
     #[test]
     fn permutation_composes_to_identity() {
-        let (spec, _, mut gs) = setup();
+        let (spec, cfg, mut gs) = setup();
         let m = spec.cache().state_by_name("M").unwrap();
         gs.caches[0][0].state = m.index() as u8;
         gs.dirs[0].owner = Some(0);
         gs.dirs[0].sharers = 0b011;
-        let once = permute(&gs, &[1, 2, 0]);
-        let back = permute(&once, &[2, 0, 1]);
+        let once = permute(&cfg, &gs, &[1, 2, 0], &id(2));
+        let back = permute(&cfg, &once, &[2, 0, 1], &id(2));
         assert_eq!(back, gs);
     }
 
     #[test]
     fn symmetric_states_share_a_canonical_form() {
-        let (spec, _, base) = setup();
+        let (spec, cfg, base) = setup();
         let m = spec.cache().state_by_name("M").unwrap();
         // Two states that differ only by which cache holds M.
         let mut a = base.clone();
@@ -187,19 +434,19 @@ mod tests {
         let mut b = base.clone();
         b.caches[2][0].state = m.index() as u8;
         b.dirs[0].owner = Some(2);
-        assert_eq!(canonicalize(&a).1, canonicalize(&b).1);
+        assert_eq!(canonicalize(&cfg, &a).1, canonicalize(&cfg, &b).1);
     }
 
     #[test]
     fn asymmetric_states_stay_distinct() {
-        let (spec, _, base) = setup();
+        let (spec, cfg, base) = setup();
         let m = spec.cache().state_by_name("M").unwrap();
         let s = spec.cache().state_by_name("S").unwrap();
         let mut a = base.clone();
         a.caches[0][0].state = m.index() as u8;
         let mut b = base.clone();
         b.caches[0][0].state = s.index() as u8;
-        assert_ne!(canonicalize(&a).1, canonicalize(&b).1);
+        assert_ne!(canonicalize(&cfg, &a).1, canonicalize(&cfg, &b).1);
     }
 
     #[test]
@@ -216,7 +463,7 @@ mod tests {
             ack: 0,
         };
         gs.endpoint_fifos[Node::Cache(0).index(3) * n_vns].push_back(msg);
-        let p = permute(&gs, &[2, 0, 1]);
+        let p = permute(&cfg, &gs, &[2, 0, 1], &id(2));
         // The FIFO moved from endpoint 0 to endpoint 2, and the message's
         // identity fields were remapped.
         let moved = &p.endpoint_fifos[Node::Cache(2).index(3) * n_vns];
@@ -228,19 +475,148 @@ mod tests {
 
     #[test]
     fn budgets_permute() {
-        let (_, _, mut gs) = setup();
+        let (_, cfg, mut gs) = setup();
         gs.budgets = vec![0, 1, 2];
-        let p = permute(&gs, &[1, 2, 0]);
+        let p = permute(&cfg, &gs, &[1, 2, 0], &id(2));
         assert_eq!(p.budgets, vec![2, 0, 1]);
     }
 
     #[test]
+    fn address_permutation_moves_dir_rows_and_cache_columns() {
+        let (spec, cfg, mut gs) = setup_one_dir();
+        let m = spec.cache().state_by_name("M").unwrap();
+        let gets = spec.message_by_name("GetS").unwrap();
+        gs.caches[1][0].state = m.index() as u8;
+        gs.dirs[0].owner = Some(1);
+        gs.dirs[0].pending = 1;
+        gs.global_bufs[0].push_back(Msg {
+            msg: gets.index() as u8,
+            addr: 0,
+            src: Node::Cache(1),
+            dst: Node::Dir(0),
+            requestor: 1,
+            ack: 0,
+        });
+        let p = permute(&cfg, &gs, &id(3), &[1, 0]);
+        // Cache columns swapped per row; dir rows swapped; message
+        // addresses remapped; dir endpoints untouched.
+        assert_eq!(p.caches[1][1].state, m.index() as u8);
+        assert_eq!(p.caches[1][0].state, gs.caches[1][1].state);
+        assert_eq!(p.dirs[1].owner, Some(1));
+        assert_eq!(p.dirs[1].pending, 1);
+        assert_eq!(p.global_bufs[0][0].addr, 1);
+        assert_eq!(p.global_bufs[0][0].dst, Node::Dir(0));
+    }
+
+    #[test]
+    fn address_permutations_are_home_preserving() {
+        // 2 addrs / 2 dirs: singleton home classes, identity only.
+        assert_eq!(address_permutations(2, 2), vec![vec![0, 1]]);
+        // 2 addrs / 1 dir: one class of two.
+        let mut aps = address_permutations(2, 1);
+        aps.sort();
+        assert_eq!(aps, vec![vec![0, 1], vec![1, 0]]);
+        // 4 addrs / 2 dirs: {0,2} and {1,3} each permute internally —
+        // 2·2 = 4 elements, all home-preserving.
+        let aps = address_permutations(4, 2);
+        assert_eq!(aps.len(), 4);
+        for ap in &aps {
+            for (a, &to) in ap.iter().enumerate() {
+                assert_eq!(a % 2, to % 2, "home class broken by {ap:?}");
+            }
+        }
+    }
+
+    #[test]
     fn all_permutations_enumerated() {
-        assert_eq!(permutations(3).len(), 6);
-        assert_eq!(permutations(4).len(), 24);
-        let mut ps = permutations(3);
-        ps.sort();
-        ps.dedup();
-        assert_eq!(ps.len(), 6);
+        for (n, want) in [(3usize, 6usize), (4, 24), (5, 120)] {
+            let mut ps = permutations(n);
+            assert_eq!(ps.len(), want);
+            ps.sort();
+            ps.dedup();
+            assert_eq!(ps.len(), want, "duplicate permutations at n={n}");
+        }
+    }
+
+    /// Deterministic pseudo-random walk over real successors, so the
+    /// property tests below run on reachable (codec-valid) states.
+    fn seeded_walk(
+        spec: &vnet_protocol::ProtocolSpec,
+        cfg: &McConfig,
+        seed: u64,
+        steps: usize,
+    ) -> GlobalState {
+        let mut cur = GlobalState::initial(spec, cfg);
+        let mut x = seed.wrapping_mul(0x9e3779b97f4a7c15).max(1);
+        for _ in 0..steps {
+            let crate::rules::Expansion::Ok(mut succs) = crate::rules::successors(spec, cfg, &cur)
+            else {
+                break;
+            };
+            if succs.is_empty() {
+                break;
+            }
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let i = (x >> 33) as usize % succs.len();
+            cur = succs.swap_remove(i).state;
+        }
+        cur
+    }
+
+    #[test]
+    fn permute_then_inverse_is_identity_on_walked_states() {
+        let (spec, cfg, _) = setup_one_dir();
+        for seed in 0..6u64 {
+            let gs = seeded_walk(&spec, &cfg, seed, 12);
+            for cp in permutations(cfg.n_caches) {
+                for ap in address_permutations(cfg.n_addrs, cfg.n_dirs) {
+                    let img = permute(&cfg, &gs, &cp, &ap);
+                    let back = permute(&cfg, &img, &invert(&cp), &invert(&ap));
+                    assert_eq!(back, gs, "seed {seed} cp {cp:?} ap {ap:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn orbit_members_share_one_canonical_key() {
+        let (spec, cfg, _) = setup_one_dir();
+        let mut canon = Canonicalizer::new(&cfg);
+        assert_eq!(canon.group_order(), 12); // 3! · 2!
+        for seed in 0..6u64 {
+            let gs = seeded_walk(&spec, &cfg, seed, 12);
+            let (rep, key) = canon.canonicalize(&cfg, &gs);
+            assert_eq!(rep.encode(), key, "canonical state must decode from its key");
+            for cp in permutations(cfg.n_caches) {
+                for ap in address_permutations(cfg.n_addrs, cfg.n_dirs) {
+                    let img = permute(&cfg, &gs, &cp, &ap);
+                    let mut k2 = Vec::new();
+                    canon.canonical_key_into(&img, &mut k2);
+                    assert_eq!(k2, key, "seed {seed} cp {cp:?} ap {ap:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fast_canonical_key_matches_brute_force() {
+        let (spec, cfg, _) = setup_one_dir();
+        let mut canon = Canonicalizer::new(&cfg);
+        for seed in 0..6u64 {
+            let gs = seeded_walk(&spec, &cfg, seed, 16);
+            // Brute force: materialize every image and encode it.
+            let mut best = gs.encode();
+            for cp in permutations(cfg.n_caches) {
+                for ap in address_permutations(cfg.n_addrs, cfg.n_dirs) {
+                    let key = permute(&cfg, &gs, &cp, &ap).encode();
+                    if key < best {
+                        best = key;
+                    }
+                }
+            }
+            let mut fast = Vec::new();
+            canon.canonical_key_into(&gs, &mut fast);
+            assert_eq!(fast, best, "seed {seed}");
+        }
     }
 }

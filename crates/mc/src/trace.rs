@@ -71,6 +71,91 @@ impl Trace {
 }
 
 
+/// Rebuilds a *concrete* execution from a chain of canonical state
+/// keys, root first (the per-step parent links a symmetry-mode explorer
+/// stores). Under symmetry reduction the stored labels reference
+/// permuted cache/address indices and do not describe any real
+/// execution; instead of trusting them, this walks forward from the
+/// concrete initial state and, at each step, picks the concrete
+/// successor whose canonical key matches the recorded child — so the
+/// returned steps are real concrete rule labels and
+/// [`Trace::replay`] reaches `last` by construction. Every recorded
+/// canonical child has at least one matching concrete successor (the
+/// transition relation commutes with the symmetry group), so `Err`
+/// here means the chain itself is damaged.
+pub(crate) fn decanonicalize_chain(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    chain: &[Vec<u8>],
+) -> Result<Trace, String> {
+    let mut canon = crate::symmetry::Canonicalizer::new(cfg);
+    let mut cur = GlobalState::initial(spec, cfg);
+    let mut key = Vec::with_capacity(160);
+    canon.canonical_key_into(&cur, &mut key);
+    let Some(first) = chain.first() else {
+        return Err("empty canonical chain".into());
+    };
+    if *first != key {
+        return Err("canonical chain does not start at the initial state".into());
+    }
+    let mut steps = Vec::with_capacity(chain.len().saturating_sub(1));
+    for (depth, want) in chain.iter().enumerate().skip(1) {
+        let succs = match crate::rules::successors(spec, cfg, &cur) {
+            crate::rules::Expansion::Ok(s) => s,
+            crate::rules::Expansion::Bug { rule, detail } => {
+                return Err(format!(
+                    "expansion hit a spec bug at depth {depth} in `{rule}`: {detail}"
+                ));
+            }
+        };
+        let mut found = None;
+        for s in succs {
+            canon.canonical_key_into(&s.state, &mut key);
+            if key == *want {
+                found = Some(s);
+                break;
+            }
+        }
+        match found {
+            Some(s) => {
+                steps.push(s.label);
+                cur = s.state;
+            }
+            None => {
+                return Err(format!(
+                    "no successor at depth {depth} maps onto the recorded canonical state"
+                ));
+            }
+        }
+    }
+    Ok(Trace { steps, last: cur })
+}
+
+/// A loud, replay-failing trace for the (provably unreachable) case
+/// where de-canonicalization could not reconstruct a concrete
+/// execution: the sentinel step is never an enabled rule label, so a
+/// differential replay reports the damage instead of silently passing.
+pub(crate) fn decanonicalize_failed(why: &str, last: GlobalState) -> Trace {
+    Trace {
+        steps: vec![format!("<witness de-canonicalization failed: {why}>")],
+        last,
+    }
+}
+
+/// Re-expands a concrete witness state to recover the concrete
+/// `(rule, detail)` of a model error that was recorded against its
+/// canonical image (whose rule label names permuted indices).
+pub(crate) fn concrete_bug(
+    spec: &ProtocolSpec,
+    cfg: &McConfig,
+    last: &GlobalState,
+) -> Option<(String, String)> {
+    match crate::rules::successors(spec, cfg, last) {
+        crate::rules::Expansion::Bug { rule, detail } => Some((rule, detail)),
+        crate::rules::Expansion::Ok(_) => None,
+    }
+}
+
 /// Parsed form of a trace step (recovered from the rule labels, whose
 /// format this crate controls).
 #[derive(Debug, Clone, PartialEq, Eq)]

@@ -104,9 +104,12 @@ pub fn resolve_protocol(proto: &ProtocolRef) -> Result<ProtocolSpec, String> {
 }
 
 /// The model-checking configuration an `mc` request resolves to: the
-/// Figure-3 scenario under the requested VN mapping. Shared by the
-/// runner and the cache-key derivation so they can never disagree.
-pub fn mc_config(spec: &ProtocolSpec, vns: VnChoice) -> McConfig {
+/// Figure-3 scenario under the requested VN mapping, or — with
+/// `symmetry: true` — the general scenario under cache × address
+/// symmetry reduction (the Figure-3 injection script names specific
+/// caches and would break the symmetry). Shared by the runner and the
+/// cache-key derivation so they can never disagree.
+pub fn mc_config(spec: &ProtocolSpec, vns: VnChoice, symmetry: bool) -> Result<McConfig, String> {
     use vnet_mc::VnMap;
     let n_msgs = spec.messages().len();
     let vn_map = match vns {
@@ -117,7 +120,11 @@ pub fn mc_config(spec: &ProtocolSpec, vns: VnChoice) -> McConfig {
             VnOutcome::Class2(_) => VnMap::one_per_message(n_msgs),
         },
     };
-    McConfig::figure3(spec).with_vns(vn_map)
+    if symmetry {
+        McConfig::general(spec).with_vns(vn_map).with_symmetry()
+    } else {
+        Ok(McConfig::figure3(spec).with_vns(vn_map))
+    }
 }
 
 /// Content address of an `analyze` result: the normalized DSL export
@@ -147,9 +154,9 @@ pub fn store_key(req: &Request) -> Option<Key> {
         }
         // A checkpointing run's response names a server-side
         // checkpoint path; replaying that from cache would be a lie.
-        Command::Mc { checkpoint: false, vns, .. } => {
+        Command::Mc { checkpoint: false, vns, symmetry, .. } => {
             let spec = resolve_protocol(&req.protocol).ok()?;
-            let cfg = mc_config(&spec, *vns);
+            let cfg = mc_config(&spec, *vns, *symmetry).ok()?;
             Some(mc_store_key(&spec, &cfg))
         }
         _ => None,
@@ -183,12 +190,13 @@ pub fn execute(
             vns,
             checkpoint,
             process,
+            symmetry,
             ..
         } => {
             if *process {
-                run_mc_process(req, budget, *vns, *checkpoint, ckpt_path)
+                run_mc_process(req, budget, *vns, *checkpoint, *symmetry, ckpt_path)
             } else {
-                run_mc(req, budget, *vns, *checkpoint, ckpt_path, on_level)
+                run_mc(req, budget, *vns, *checkpoint, *symmetry, ckpt_path, on_level)
             }
         }
         Command::Sim {
@@ -238,6 +246,7 @@ fn run_mc(
     budget: &Budget,
     vns: VnChoice,
     checkpoint: bool,
+    symmetry: bool,
     ckpt_path: Option<&Path>,
     on_level: &mut dyn FnMut(usize, usize),
 ) -> Result<ExecResult, ExecError> {
@@ -246,7 +255,7 @@ fn run_mc(
         CheckpointedRun, Verdict,
     };
     let spec = resolve_protocol(&req.protocol)?;
-    let cfg = mc_config(&spec, vns);
+    let cfg = mc_config(&spec, vns, symmetry).map_err(|e| ExecError::new("bad_request", e))?;
 
     let mut ckpt_field: Option<PathBuf> = None;
     let run = match (checkpoint, ckpt_path) {
@@ -423,6 +432,7 @@ fn run_mc_process(
     budget: &Budget,
     vns: VnChoice,
     checkpoint: bool,
+    symmetry: bool,
     ckpt_path: Option<&Path>,
 ) -> Result<ExecResult, ExecError> {
     use std::process::{Command as Proc, Stdio};
@@ -433,7 +443,7 @@ fn run_mc_process(
     // DSL via a scratch file (validated here first, so a client error
     // never burns a process spawn).
     let spec = resolve_protocol(&req.protocol)?;
-    let cfg = mc_config(&spec, vns);
+    let cfg = mc_config(&spec, vns, symmetry).map_err(|e| ExecError::new("bad_request", e))?;
     let mut scratch: Option<PathBuf> = None;
     let arg = match &req.protocol {
         ProtocolRef::Builtin(name) => name.clone(),
@@ -484,6 +494,9 @@ fn run_mc_process(
                 cmd.arg("--unique-vns");
             }
             VnChoice::Minimal => {}
+        }
+        if symmetry {
+            cmd.arg("--general").arg("--symmetry");
         }
         let mut clauses = Vec::new();
         if let Some(d) = budget.deadline {
@@ -732,7 +745,33 @@ mod tests {
             checkpoint: false,
             process,
             progress: false,
+            symmetry: false,
         }
+    }
+
+    fn mc_sym_cmd(vns: VnChoice) -> Command {
+        Command::Mc {
+            vns,
+            checkpoint: false,
+            process: false,
+            progress: false,
+            symmetry: true,
+        }
+    }
+
+    #[test]
+    fn symmetry_mc_runs_and_addresses_its_own_store_record() {
+        let plain = req(mc_cmd(VnChoice::Unique, false), "MSI-nonblocking-cache");
+        let sym = req(mc_sym_cmd(VnChoice::Unique), "MSI-nonblocking-cache");
+        // Symmetry selects the general scenario: a distinct state
+        // space, hence a distinct content address.
+        assert_ne!(store_key(&plain).unwrap(), store_key(&sym).unwrap());
+        let budget = Budget::unlimited().with_node_limit(20_000);
+        let out = run(&sym, &budget).unwrap();
+        assert!(out
+            .fields
+            .iter()
+            .any(|(k, v)| *k == "verdict" && v.as_str() == Some("no_deadlock")));
     }
 
     #[test]

@@ -38,6 +38,10 @@ pub enum Command {
         /// bytes) while the explorer runs. Inline dispatch only;
         /// progress lines carry no `status` and are not responses.
         progress: bool,
+        /// Explore the general scenario under cache × address symmetry
+        /// reduction instead of the Figure-3 script (`symmetry: true`
+        /// in the request). Distinct state space, distinct store key.
+        symmetry: bool,
     },
     /// NoC simulation (`vnet sim`).
     Sim {
@@ -191,6 +195,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 }
             },
             progress: v.get("progress").and_then(Json::as_bool).unwrap_or(false),
+            symmetry: v.get("symmetry").and_then(Json::as_bool).unwrap_or(false),
         },
         "batch" => {
             let Some(Json::Arr(items)) = v.get("items") else {

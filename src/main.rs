@@ -182,14 +182,16 @@ usage:
   vnet export-murphi <protocol>
   vnet dot <protocol> <union|condition|conflict>
   vnet diff <protocol-a> <protocol-b>
-  vnet mc <protocol> [--unique-vns | --single-vn] [--budget <budget>] [--machine]
+  vnet mc <protocol> [--unique-vns | --single-vn] [--general [--symmetry]]
+          [--caches <n>] [--addrs <n>] [--dirs <n>] [--per-cache <n>]
+          [--budget <budget>] [--machine] [--verify-witness]
           [--parallel <threads>] [--checkpoint <file>] [--resume <file>]
           [--checkpoint-interval <states>] [--stop-file <file>]
           [--inject-worker-panic <level>:<times>]
           [--mem-budget <bytes>] [--spill-dir <dir>]
           [--shard-procs <n> --shard-dir <dir>] [--inject-shard-kill <round>:<shard>]
   vnet campaign [<dir>] [--isolation thread|process] [--timeout <dur>] [--retries <n>]
-          [--threads <n>] [--budget <budget>] [--checkpoint-dir <dir>]
+          [--threads <n>] [--budget <budget>] [--symmetry] [--checkpoint-dir <dir>]
           [--stop-file <file>] [--report <file>] [--inject-worker-panic <level>:<times>]
           [--mem-budget <bytes>] [--spill-dir <dir>] [--shard-procs <n>]
   vnet sim <protocol> [--faults <plan>] [--seed <n>] [--topology ring:<n>|mesh:<r>x<c>]
@@ -203,7 +205,7 @@ usage:
   vnet fuzz <protocol> [--seed <n>] [--count <n>] [--index <i>] [--parallel <threads>]
            [--max-ops <n>] [--max-states <n>] [--max-depth <n>] [--timeout <dur>]
            [--retries <n>] [--report <file>] [--findings-dir <dir>] [--no-shrink]
-           [--dump-rejected <dir>] [--inject-oracle-skew]
+           [--dump-rejected <dir>] [--inject-oracle-skew] [--symmetry]
   vnet fuzz --replay <recipe.json> [--report <file>] [--findings-dir <dir>]
 
 <protocol> is a built-in name or a path to a .vnp file (text DSL).
@@ -216,6 +218,16 @@ usage:
 Every command also accepts `--metrics <file>` (write a JSON metrics snapshot
 on exit, even degraded/cancelled ones) and `--trace <file>` (write a span
 log). Instrumentation is off — and costs nothing — without these flags.
+
+`vnet mc --general` explores the free-running general scenario (uniform
+per-cache injection budget, unordered ICN) instead of the directed Figure-3
+script; adding `--symmetry` folds states equivalent under cache × address
+permutations into one canonical representative — same verdict, far fewer
+stored states. `--symmetry` requires `--general`: the Figure-3 script names
+specific caches and would break the symmetry (fail-closed usage error).
+`--caches/--addrs/--dirs/--per-cache` resize the general scenario (e.g.
+`--caches 4` for the 4-cache sweep symmetry makes tractable, `--per-cache 1`
+for a space small enough to complete exactly); they also need `--general`.
 
 `vnet mc --mem-budget <bytes>` bounds the explorer's accounted footprint;
 adding `--spill-dir <dir>` sheds cold visited keys to checksummed disk
@@ -369,7 +381,64 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             };
             let vns = resolve_vn_map(&spec, args);
             let mut budget = budget_flag(args)?;
-            let mut cfg = McConfig::figure3(&spec).with_vns(vns);
+            // --general swaps the directed Figure-3 injection script
+            // for the free-running general scenario (uniform per-cache
+            // budget, unordered ICN); --symmetry then folds each
+            // explored state to its canonical representative under
+            // cache × address permutations. Symmetry without --general
+            // is rejected fail-closed by with_symmetry: the Figure-3
+            // script names specific caches and breaks the symmetry.
+            let general = args.iter().any(|a| a == "--general");
+            let symmetry = args.iter().any(|a| a == "--symmetry");
+            let mut cfg = if general {
+                McConfig::general(&spec).with_vns(vns)
+            } else {
+                McConfig::figure3(&spec).with_vns(vns)
+            };
+            // --caches/--addrs/--dirs resize the general scenario (the
+            // directed Figure-3 script is written for the stock 3/2/2
+            // dimensions, so they require --general); validate() holds
+            // the codec limits fail-closed before anything runs.
+            let dim = |name: &str| -> Result<Option<usize>, String> {
+                flag_value(args, name)?
+                    .map(|v| {
+                        v.parse::<usize>()
+                            .map_err(|_| format!("bad value for {name}: `{v}`"))
+                    })
+                    .transpose()
+            };
+            let (caches, addrs, dirs, per_cache) = (
+                dim("--caches")?,
+                dim("--addrs")?,
+                dim("--dirs")?,
+                dim("--per-cache")?,
+            );
+            if (caches.is_some() || addrs.is_some() || dirs.is_some() || per_cache.is_some())
+                && !general
+            {
+                return Err(
+                    "--caches/--addrs/--dirs/--per-cache resize the general scenario; \
+                     add --general"
+                        .into(),
+                );
+            }
+            if let Some(n) = caches {
+                cfg.n_caches = n;
+            }
+            if let Some(n) = addrs {
+                cfg.n_addrs = n;
+            }
+            if let Some(n) = dirs {
+                cfg.n_dirs = n;
+            }
+            if let Some(n) = per_cache {
+                let n = u8::try_from(n).map_err(|_| "--per-cache must fit in a byte".to_string())?;
+                cfg = cfg.with_budget(vnet::mc::InjectionBudget::PerCache(n));
+            }
+            cfg.validate()?;
+            if symmetry {
+                cfg = cfg.with_symmetry()?;
+            }
 
             let machine = args.iter().any(|a| a == "--machine");
             let threads = flag_value(args, "--parallel")?
@@ -489,6 +558,23 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 } else if args.iter().any(|a| a == "--single-vn") {
                     opts.vn_flag = Some("--single-vn".into());
                 }
+                if general {
+                    opts.cfg_flags.push("--general".into());
+                }
+                if symmetry {
+                    opts.cfg_flags.push("--symmetry".into());
+                }
+                for (flag, v) in [
+                    ("--caches", caches),
+                    ("--addrs", addrs),
+                    ("--dirs", dirs),
+                    ("--per-cache", per_cache),
+                ] {
+                    if let Some(n) = v {
+                        opts.cfg_flags.push(flag.into());
+                        opts.cfg_flags.push(n.to_string());
+                    }
+                }
                 opts.budget = budget;
                 opts.mem_budget = mem_budget;
                 opts.policy = policy;
@@ -540,6 +626,22 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             }
             match &v {
                 Verdict::Deadlock { trace, .. } => {
+                    // --verify-witness replays the trace step by step
+                    // before trusting it: under --symmetry the stored
+                    // parent chain links canonical representatives, and
+                    // the de-canonicalizer must have turned it back
+                    // into a real concrete execution.
+                    if args.iter().any(|a| a == "--verify-witness") {
+                        let end = trace
+                            .replay(&spec, &cfg)
+                            .map_err(|e| format!("witness does not replay: {e}"))?;
+                        if end != trace.last {
+                            return Err(
+                                "witness replay diverged from the recorded terminal state".into()
+                            );
+                        }
+                        println!("witness verified: {} steps replay cleanly", trace.len());
+                    }
                     // --machine keeps output small and parseable for
                     // the campaign supervisor; skip the trace dump.
                     if !machine {
@@ -648,12 +750,23 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 }
                 cc = cc.with_shard_procs(n);
             }
+            if args.iter().any(|a| a == "--symmetry") {
+                cc = cc.with_symmetry();
+            }
+            // Every row of the sweep — thread-isolated runs, process
+            // children, and the store write-through below — derives
+            // its config from this one function.
+            let cfg_of = if cc.symmetry {
+                campaign::table1_sym_config
+            } else {
+                campaign::table1_config
+            };
             println!(
                 "campaign: {} protocol(s) from {dir}, {:?} isolation",
                 entries.len(),
                 cc.isolation
             );
-            let rep = campaign::run_campaign(&entries, &cc, campaign::table1_config, |r| {
+            let rep = campaign::run_campaign(&entries, &cc, cfg_of, |r| {
                 match (&r.kind, &r.error) {
                     (Some(kind), _) => println!(
                         "  {}: {kind} at depth {} ({} states) [{}]{}",
@@ -692,7 +805,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                         None => continue,
                     };
                     let spec = campaign::load_spec(&entry.arg)?;
-                    let cfg = campaign::table1_config(&spec);
+                    let cfg = cfg_of(&spec);
                     let key = vnet::serve::exec::mc_store_key(&spec, &cfg);
                     let body = vnet::serve::exec::mc_result_body(
                         &r.protocol,
@@ -1038,7 +1151,33 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             };
             let spec = load(&need("--spec")?)?;
             let vns = resolve_vn_map(&spec, args);
-            let cfg = McConfig::figure3(&spec).with_vns(vns);
+            // Mirror the supervisor's config derivation exactly, or
+            // the shard-directory fingerprint check fails closed.
+            let mut cfg = if args.iter().any(|a| a == "--general") {
+                McConfig::general(&spec).with_vns(vns)
+            } else {
+                McConfig::figure3(&spec).with_vns(vns)
+            };
+            for (flag, field) in [
+                ("--caches", &mut cfg.n_caches),
+                ("--addrs", &mut cfg.n_addrs),
+                ("--dirs", &mut cfg.n_dirs),
+            ] {
+                if let Some(v) = flag_value(args, flag)? {
+                    *field = v
+                        .parse::<usize>()
+                        .map_err(|_| format!("bad value for {flag}: `{v}`"))?;
+                }
+            }
+            if let Some(v) = flag_value(args, "--per-cache")? {
+                let n = v
+                    .parse::<u8>()
+                    .map_err(|_| format!("bad value for --per-cache: `{v}`"))?;
+                cfg = cfg.with_budget(vnet::mc::InjectionBudget::PerCache(n));
+            }
+            if args.iter().any(|a| a == "--symmetry") {
+                cfg = cfg.with_symmetry().map_err(|e| format!("shard worker: {e}"))?;
+            }
             let parse_u32 = |name: &str| -> Result<u32, String> {
                 need(name)?
                     .parse::<u32>()
@@ -1099,6 +1238,7 @@ fn run_fuzz(args: &[String]) -> Result<Outcome, String> {
                 Some(d.parse().map_err(|_| format!("bad value for --max-depth: `{d}`"))?);
         }
         cfg.oracle.skew = args.iter().any(|a| a == "--inject-oracle-skew");
+        cfg.oracle.symmetry = args.iter().any(|a| a == "--symmetry");
         expected_ops = None;
     }
     // Scheduling knobs are never part of a recipe: they cannot change
@@ -1223,6 +1363,9 @@ fn parse_recipe(text: &str) -> Result<(vnet::fuzz::FuzzConfig, Vec<String>), Str
         .get("skew")
         .and_then(Json::as_bool)
         .ok_or_else(|| "recipe is missing `skew`".to_string())?;
+    // Optional with a false default so recipes written before the
+    // field existed keep replaying byte-identically.
+    cfg.oracle.symmetry = v.get("symmetry").and_then(Json::as_bool).unwrap_or(false);
     let ops = match v.get("ops") {
         Some(Json::Arr(items)) => items
             .iter()
