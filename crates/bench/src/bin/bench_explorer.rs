@@ -143,6 +143,28 @@ fn workloads() -> Vec<Workload> {
             cfg,
         });
     }
+    // The 4-cache follow-up row: symmetry (group order 4!·2! = 48) is
+    // what makes the 4-cache general sweep tractable at all, so this
+    // row keeps the deeper fold's throughput under the same regression
+    // gate as the 3-cache one.
+    {
+        let spec = protocols::msi_blocking_cache();
+        let vns = derived_vns(&spec);
+        let mut cfg = McConfig::general(&spec)
+            .with_vns(vns)
+            .with_budget(InjectionBudget::PerCache(1));
+        cfg.n_dirs = 1;
+        cfg.n_caches = 4;
+        let cfg = cfg
+            .with_symmetry()
+            .expect("the general scenario satisfies the symmetry preconditions");
+        out.push(Workload {
+            name: "MSI@table1-4c+sym".to_string(),
+            group: "table1_mc_sym",
+            spec,
+            cfg,
+        });
+    }
     // mc_depth_series: the bounded general sweeps (the big ones).
     for spec in [
         protocols::msi_nonblocking_cache(),

@@ -13,7 +13,7 @@
 //! byte-for-byte (a requirement for replayable campaign reports).
 
 use vnet_core::{analyze_budgeted, Budget, VnOutcome};
-use vnet_mc::{explore_budgeted, McConfig, Verdict, VnMap};
+use vnet_mc::{check_parameterized, explore_budgeted, McConfig, Verdict, VnMap};
 use vnet_protocol::ProtocolSpec;
 
 /// Oracle bounds and drill switches.
@@ -185,18 +185,58 @@ pub fn run_oracle(spec: &ProtocolSpec, opts: &OracleOpts) -> MutantOutcome {
             // does not contradict it (one scenario, bounded) — either
             // way this is not the analyzer making an unsafe promise.
             let cfg = bounded_cfg(spec, opts, VnMap::one_per_message(n_messages));
+            // Third advisory leg: the flow-abstraction checker on the
+            // same config. It derives from the same waits relation the
+            // analyzer's Class-2 verdict does, so a free-for-all-N
+            // claim here is a certifier contradiction — escalated,
+            // never reconciled. Under the Figure-3 script the
+            // abstraction is inapplicable and the leg honestly records
+            // `flow-inapplicable`.
+            let flow = check_parameterized(spec, &cfg);
+            let flow_note = flow.summary();
             match explore_budgeted(spec, &cfg, &mc_budget) {
-                Verdict::Deadlock { depth, .. } => MutantOutcome::Consistent {
-                    n_vns: None,
-                    detail: format!(
-                        "class2; mc deadlocks at depth {depth} even with one VN per message"
-                    ),
-                },
-                Verdict::NoDeadlock(_) => MutantOutcome::Consistent {
-                    n_vns: None,
-                    detail: "class2; bounded scenario found no deadlock (not a contradiction)"
-                        .to_string(),
-                },
+                Verdict::Deadlock { depth, stats, .. } => {
+                    if flow.is_free_for_all_n() {
+                        return MutantOutcome::Disagreement {
+                            checked_vns: n_messages,
+                            assigned_vns: n_messages,
+                            depth,
+                            states: stats.states,
+                            detail: format!(
+                                "class2 analyzer verdict (corroborated by an mc deadlock at \
+                                 depth {depth}) contradicted by the flow leg: {flow_note}"
+                            ),
+                        };
+                    }
+                    MutantOutcome::Consistent {
+                        n_vns: None,
+                        detail: format!(
+                            "class2; mc deadlocks at depth {depth} even with one VN per \
+                             message; flow leg: {flow_note}"
+                        ),
+                    }
+                }
+                Verdict::NoDeadlock(stats) => {
+                    if flow.is_free_for_all_n() {
+                        return MutantOutcome::Disagreement {
+                            checked_vns: n_messages,
+                            assigned_vns: n_messages,
+                            depth: 0,
+                            states: stats.states,
+                            detail: format!(
+                                "class2 analyzer verdict contradicted by the flow leg: \
+                                 {flow_note}"
+                            ),
+                        };
+                    }
+                    MutantOutcome::Consistent {
+                        n_vns: None,
+                        detail: format!(
+                            "class2; bounded scenario found no deadlock (not a \
+                             contradiction); flow leg: {flow_note}"
+                        ),
+                    }
+                }
                 Verdict::ModelError { detail, .. } => MutantOutcome::ModelRejected {
                     detail: format!("model error: {detail}"),
                 },
@@ -225,6 +265,12 @@ pub fn run_oracle(spec: &ProtocolSpec, opts: &OracleOpts) -> MutantOutcome {
             let checked_vns = checked_map.n_vns();
 
             let cfg = bounded_cfg(spec, opts, checked_map);
+            // Third advisory leg on the checked map. A free-for-all-N
+            // claim that the explicit leg then refutes with a deadlock
+            // is already a Disagreement; the note keeps the
+            // contradiction on record either way.
+            let flow = check_parameterized(spec, &cfg);
+            let flow_note = flow.summary();
             match explore_budgeted(spec, &cfg, &mc_budget) {
                 Verdict::Deadlock { depth, stats, .. } => MutantOutcome::Disagreement {
                     checked_vns,
@@ -234,12 +280,12 @@ pub fn run_oracle(spec: &ProtocolSpec, opts: &OracleOpts) -> MutantOutcome {
                     detail: if skewed {
                         format!(
                             "oracle skew drill: mc deadlock at depth {depth} under {checked_vns} \
-                             VNs (analyzer assigned {assigned_vns})"
+                             VNs (analyzer assigned {assigned_vns}); flow leg: {flow_note}"
                         )
                     } else {
                         format!(
                             "mc deadlock at depth {depth} under the analyzer-certified \
-                             {assigned_vns}-VN assignment"
+                             {assigned_vns}-VN assignment; flow leg: {flow_note}"
                         )
                     },
                 },
@@ -272,13 +318,16 @@ pub fn run_oracle(spec: &ProtocolSpec, opts: &OracleOpts) -> MutantOutcome {
                     };
                     MutantOutcome::Consistent {
                         n_vns: Some(assigned_vns),
-                        detail,
+                        detail: format!("{detail}; flow leg: {flow_note}"),
                     }
                 }
+                // Bound exhaustion is never a pass — even a
+                // free-for-all-N flow claim stays advisory here, since
+                // the explicit leg could not weigh in.
                 Verdict::NoDeadlock(stats) => MutantOutcome::Undetermined {
                     reason: format!(
                         "safety check under {checked_vns} VNs hit the {}-state bound at level {} \
-                         without a verdict",
+                         without a verdict; flow leg (advisory, not a pass): {flow_note}",
                         opts.max_states, stats.levels
                     ),
                 },
@@ -309,8 +358,37 @@ mod tests {
             MutantOutcome::Consistent { n_vns, detail } => {
                 assert_eq!(*n_vns, Some(2), "CHI assigns 2 VNs");
                 assert!(detail.contains("complete"), "{detail}");
+                // The flow leg is always on record; the Figure-3 script
+                // names specific caches, so it honestly reports
+                // inapplicable rather than claiming a parameterized
+                // result it cannot certify.
+                assert!(detail.contains("flow leg: flow-inapplicable"), "{detail}");
             }
             other => panic!("expected Consistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flow_free_claim_never_upgrades_an_exhausted_bound_to_a_pass() {
+        // Symmetric general MSI-nonblocking under its assigned 2-VN map:
+        // the flow leg certifies freedom for all N, but the tiny state
+        // bound stops the explicit leg short — the outcome must stay
+        // Undetermined with the flow claim recorded as advisory only.
+        let spec = protocols::msi_nonblocking_cache();
+        let opts = OracleOpts {
+            max_states: 20_000,
+            symmetry: true,
+            ..OracleOpts::default()
+        };
+        let out = run_oracle(&spec, &opts);
+        match &out {
+            MutantOutcome::Undetermined { reason } => {
+                assert!(
+                    reason.contains("flow leg (advisory, not a pass): flow-free-all-n"),
+                    "{reason}"
+                );
+            }
+            other => panic!("expected Undetermined, got {other:?}"),
         }
     }
 

@@ -261,6 +261,12 @@ pub struct RunReport {
     pub wall_ms: u64,
     /// Why the run failed, when `kind` is `None`.
     pub error: Option<String>,
+    /// Flow-abstraction verdict for this protocol under the campaign's
+    /// configuration (see [`crate::flows`]), computed supervisor-side:
+    /// `flow-free-all-n ...` certifies deadlock freedom for every system
+    /// size, anything else is bounded-only. `None` when the spec failed
+    /// to load.
+    pub parameterized: Option<String>,
 }
 
 impl RunReport {
@@ -311,7 +317,7 @@ impl CampaignReport {
                 "{}\n    {{\"protocol\": \"{}\", \"kind\": {}, \"depth\": {}, \"states\": {}, \
                  \"levels\": {}, \"complete\": {}, \
                  \"provenance\": \"{}\", \"retries\": {}, \"resumes\": {}, \"wall_ms\": {}, \
-                 \"error\": {}}}",
+                 \"error\": {}, \"parameterized\": {}}}",
                 if i == 0 { "" } else { "," },
                 json_escape(&r.protocol),
                 match &r.kind {
@@ -328,6 +334,10 @@ impl CampaignReport {
                 r.wall_ms,
                 match &r.error {
                     Some(e) => format!("\"{}\"", json_escape(e)),
+                    None => "null".into(),
+                },
+                match &r.parameterized {
+                    Some(p) => format!("\"{}\"", json_escape(p)),
                     None => "null".into(),
                 },
             );
@@ -545,6 +555,13 @@ fn run_one(
     cfg_of: &impl Fn(&ProtocolSpec) -> McConfig,
 ) -> RunReport {
     let started = Instant::now();
+    // The flow-abstraction verdict is a pure function of the spec and
+    // config, so the supervisor computes it directly — no isolation
+    // needed — and stamps it on the report regardless of how the
+    // explicit-state run fares.
+    let parameterized = load_spec(&entry.arg)
+        .ok()
+        .map(|spec| crate::flows::check_parameterized(&spec, &cfg_of(&spec)).summary());
     let report = |kind, depth, states, levels, complete, provenance, retries, resumes, error| {
         RunReport {
             protocol: entry.name.clone(),
@@ -558,6 +575,7 @@ fn run_one(
             resumes,
             wall_ms: started.elapsed().as_millis() as u64,
             error,
+            parameterized: parameterized.clone(),
         }
     };
 
@@ -969,6 +987,16 @@ mod tests {
             "{json}"
         );
         assert!(json.contains("\"interrupted\": false"), "{json}");
+        // The supervisor stamps every run with the flow-abstraction
+        // verdict; the Figure-3 script is an explicit injection script,
+        // so these degrade to the inapplicable (bounded-only) summary.
+        assert!(
+            rep.runs
+                .iter()
+                .all(|r| matches!(&r.parameterized, Some(p) if p.starts_with("flow-"))),
+            "{json}"
+        );
+        assert!(json.contains("\"parameterized\": \"flow-inapplicable"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Parameterized (all-N) deadlock-freedom via the message-flow
+//! abstraction.
+//!
+//! Every explicit-state verdict in this crate holds only for the
+//! explored configuration (so many caches, addresses, directories).
+//! The paper's minimum-VN claims are meant to hold for *any* system
+//! size, and its static pipeline is in fact independent of N: the
+//! `causes`, `stalls`, `waits`, and `queues` relations are computed
+//! over message *classes* from the FSM tables, never over concrete
+//! endpoints. Following the flow-abstraction argument of
+//! Sethi/Talupur/Malik ("Flow Specifications of Parameterized Cache
+//! Coherence Protocols for Verifying Deadlock Freedom"), this module
+//! lifts the Eq. 4 acyclicity check into an all-N certificate:
+//!
+//! 1. extract the per-transaction **message flows** from the protocol
+//!    tables (the same worklist DFS as `vnet_core::causes`, kept
+//!    per-root so the flows themselves are inspectable);
+//! 2. check the **soundness preconditions** under which the
+//!    class-level abstraction covers every concrete instance — and
+//!    *fail closed* to [`FlowProvenance::BoundedOnly`] when any does
+//!    not hold, degrading honestly to the explicit-state answer;
+//! 3. decide Eq. 4 (`waits ∪ queues` has no cycle through a `waits`
+//!    edge) over the given VN map. Acyclicity is N-independent, so a
+//!    pass certifies deadlock freedom for every cache count, address
+//!    count, and directory count the codec can express.
+//!
+//! The check can return "certified for all N" only as
+//! [`FlowVerdict::FreeForAllN`]; everything else — an Eq. 4 cycle, a
+//! flow that does not cover the vocabulary, a config the abstraction
+//! cannot speak for — leaves the bounded explicit-state verdict as the
+//! strongest claim. It never manufactures a "free" answer.
+
+use crate::config::{IcnOrder, InjectionBudget, McConfig, VnMap};
+use std::collections::{BTreeMap, BTreeSet};
+use vnet_core::causes::compute_causes;
+use vnet_core::deadlock::{find_eq4_cycle_edges, StepKind};
+use vnet_core::queues::compute_queues;
+use vnet_core::stalls::compute_stalls;
+use vnet_core::waits::waits_from;
+use vnet_core::VnAssignment;
+use vnet_protocol::{ControllerKind, Event, MsgId, ProtocolSpec, Target};
+
+/// One per-transaction message flow: the set of trigger→send edges
+/// reachable from a single root message (a message some core event
+/// injects), traced statically through the cache and directory tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Flow {
+    /// The message a core event sends to start the transaction.
+    pub root: MsgId,
+    /// Every `trigger → send` edge reachable from the root.
+    pub edges: BTreeSet<(MsgId, MsgId)>,
+    /// Every message appearing in this flow (root included).
+    pub messages: BTreeSet<MsgId>,
+}
+
+/// Provenance of a deadlock-freedom claim after the parameterized
+/// check has run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowProvenance {
+    /// The flow abstraction applied and certified deadlock freedom for
+    /// every N under the given VN map.
+    Parameterized,
+    /// Only the explicit-state bounded verdict holds; the string says
+    /// why the abstraction could not certify more.
+    BoundedOnly(String),
+}
+
+/// The parameterized checker's answer for one (spec, VN map) pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlowVerdict {
+    /// Eq. 4 holds at the message-class level: deadlock-free for all
+    /// N under this VN map.
+    FreeForAllN {
+        /// Number of per-transaction flows extracted.
+        n_flows: usize,
+        /// Number of message classes covered by the flows.
+        n_messages: usize,
+        /// Number of VNs in the certified map.
+        n_vns: usize,
+    },
+    /// The abstraction applied but found an Eq. 4 cycle: freedom is
+    /// not provable for all N (the bounded verdict still governs —
+    /// the cycle may or may not manifest at small N).
+    NotProvable {
+        /// The offending cycle, rendered as `A -waits-> B` steps.
+        cycle: Vec<String>,
+    },
+    /// A soundness precondition failed; the abstraction cannot speak
+    /// for this configuration at all.
+    Inapplicable {
+        /// Which precondition failed, in operator-readable form.
+        reason: String,
+    },
+}
+
+impl FlowVerdict {
+    /// The machine token for this verdict (`free-all-n`,
+    /// `not-provable`, `inapplicable`).
+    pub fn verdict_token(&self) -> &'static str {
+        match self {
+            FlowVerdict::FreeForAllN { .. } => "free-all-n",
+            FlowVerdict::NotProvable { .. } => "not-provable",
+            FlowVerdict::Inapplicable { .. } => "inapplicable",
+        }
+    }
+
+    /// Whether the verdict certifies deadlock freedom for all N.
+    pub fn is_free_for_all_n(&self) -> bool {
+        matches!(self, FlowVerdict::FreeForAllN { .. })
+    }
+
+    /// The provenance of the overall deadlock-freedom claim: only a
+    /// certified [`FlowVerdict::FreeForAllN`] upgrades to
+    /// [`FlowProvenance::Parameterized`]; everything else stays
+    /// bounded-only with an honest reason.
+    pub fn provenance(&self) -> FlowProvenance {
+        match self {
+            FlowVerdict::FreeForAllN { .. } => FlowProvenance::Parameterized,
+            FlowVerdict::NotProvable { cycle } => FlowProvenance::BoundedOnly(format!(
+                "flow abstraction found an Eq. 4 cycle ({})",
+                cycle.join(", ")
+            )),
+            FlowVerdict::Inapplicable { reason } => FlowProvenance::BoundedOnly(reason.clone()),
+        }
+    }
+
+    /// The provenance as the machine string (`parameterized` or
+    /// `bounded-only: <reason>`).
+    pub fn provenance_string(&self) -> String {
+        match self.provenance() {
+            FlowProvenance::Parameterized => "parameterized".to_string(),
+            FlowProvenance::BoundedOnly(reason) => format!("bounded-only: {reason}"),
+        }
+    }
+
+    /// One-line summary for report taxonomies (fuzz oracle detail
+    /// strings, campaign JSON).
+    pub fn summary(&self) -> String {
+        match self {
+            FlowVerdict::FreeForAllN { n_vns, .. } => {
+                format!("flow-free-all-n vns={n_vns}")
+            }
+            FlowVerdict::NotProvable { cycle } => {
+                format!("flow-not-provable cycle={}", cycle.join(","))
+            }
+            FlowVerdict::Inapplicable { reason } => format!("flow-inapplicable: {reason}"),
+        }
+    }
+
+    /// The `param-result` machine line, a sibling of the campaign's
+    /// `mc-result` line. `provenance=` is the last key and runs to the
+    /// end of the line, mirroring `parse_machine_line`'s convention.
+    pub fn machine_line(&self) -> String {
+        format!(
+            "param-result verdict={} provenance={}",
+            self.verdict_token(),
+            self.provenance_string()
+        )
+    }
+
+    /// Human-readable rendering, one claim per line.
+    pub fn render(&self) -> String {
+        match self {
+            FlowVerdict::FreeForAllN {
+                n_flows,
+                n_messages,
+                n_vns,
+            } => format!(
+                "parameterized: certified deadlock-free for ALL cache counts under this \
+                 {n_vns}-VN map (flow abstraction: {n_flows} transaction flows covering \
+                 {n_messages} message classes, Eq. 4 acyclic)"
+            ),
+            FlowVerdict::NotProvable { cycle } => format!(
+                "parameterized: NOT provable for all N — Eq. 4 cycle at the message-class \
+                 level: {}\n  (the bounded explicit-state verdict above is the strongest \
+                 claim; provenance stays bounded-only)",
+                cycle.join(", ")
+            ),
+            FlowVerdict::Inapplicable { reason } => format!(
+                "parameterized: inapplicable — {reason}\n  (the bounded explicit-state \
+                 verdict above is the strongest claim; provenance stays bounded-only)"
+            ),
+        }
+    }
+}
+
+fn kind_of(target: Target) -> ControllerKind {
+    if target.is_cache() {
+        ControllerKind::Cache
+    } else {
+        ControllerKind::Directory
+    }
+}
+
+/// Extracts the per-transaction message flows from the FSM tables.
+///
+/// Roots are the messages core events inject (traced from every
+/// `Event::Core` entry of the cache table); from each root the same
+/// worklist DFS as [`vnet_core::causes`] follows every send to every
+/// controller that accepts it, but the edge set is kept *per root* so
+/// each transaction's flow is inspectable on its own.
+///
+/// The traversal is a pure function of the parsed spec: all
+/// intermediate sets are ordered (`BTreeMap`/`BTreeSet`), so two runs
+/// — on any thread, in any process — produce identical flows.
+pub fn extract_flows(spec: &ProtocolSpec) -> Vec<Flow> {
+    // Root message → the controller kinds core events send it to.
+    let mut roots: BTreeMap<MsgId, BTreeSet<ControllerKind>> = BTreeMap::new();
+    for (_, trigger, cell) in spec.cache().iter() {
+        if let Event::Core(_) = trigger.event {
+            if let Some(entry) = cell.entry() {
+                for (m, target) in entry.sends() {
+                    roots.entry(m).or_default().insert(kind_of(target));
+                }
+            }
+        }
+    }
+    roots
+        .into_iter()
+        .map(|(root, kinds)| {
+            let mut edges: BTreeSet<(MsgId, MsgId)> = BTreeSet::new();
+            let mut messages: BTreeSet<MsgId> = BTreeSet::new();
+            messages.insert(root);
+            let mut visited: BTreeSet<(MsgId, ControllerKind)> = BTreeSet::new();
+            let mut work: Vec<(MsgId, ControllerKind)> =
+                kinds.into_iter().map(|k| (root, k)).collect();
+            while let Some((m, kind)) = work.pop() {
+                if !visited.insert((m, kind)) {
+                    continue;
+                }
+                for (_, trigger, cell) in spec.controller(kind).iter() {
+                    if trigger.message() != Some(m) {
+                        continue;
+                    }
+                    if let Some(entry) = cell.entry() {
+                        for (m2, target) in entry.sends() {
+                            edges.insert((m, m2));
+                            messages.insert(m2);
+                            work.push((m2, kind_of(target)));
+                        }
+                    }
+                }
+            }
+            Flow {
+                root,
+                edges,
+                messages,
+            }
+        })
+        .collect()
+}
+
+/// Canonical one-string rendering of a spec's flows, used by the
+/// purity property tests: byte-identical across runs and threads, or
+/// the extraction is not the pure function it claims to be.
+pub fn flows_canonical(spec: &ProtocolSpec) -> String {
+    let mut out = String::new();
+    for flow in extract_flows(spec) {
+        out.push_str("flow ");
+        out.push_str(spec.message_name(flow.root));
+        out.push(':');
+        for (a, b) in &flow.edges {
+            out.push(' ');
+            out.push_str(spec.message_name(*a));
+            out.push_str("->");
+            out.push_str(spec.message_name(*b));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Decides deadlock freedom for all N under `vns`, assuming the
+/// caller has already established that the *runtime configuration* is
+/// one the abstraction may speak for (see [`check_parameterized`] for
+/// the config-level gate). This is the spec-level half: the VN map
+/// must cover the vocabulary and the extracted flows must reach every
+/// message class, otherwise the class-level relations provably
+/// under-approximate some concrete behavior and the check fails
+/// closed.
+pub fn check_vn_map(spec: &ProtocolSpec, vns: &VnMap) -> FlowVerdict {
+    let n_msgs = spec.messages().len();
+    if vns.vn_vector().len() != n_msgs {
+        return FlowVerdict::Inapplicable {
+            reason: format!(
+                "VN map covers {} messages but the spec defines {n_msgs}",
+                vns.vn_vector().len()
+            ),
+        };
+    }
+    let flows = extract_flows(spec);
+    let covered: BTreeSet<MsgId> = flows.iter().flat_map(|f| f.messages.iter().copied()).collect();
+    let missing: Vec<&str> = spec
+        .message_ids()
+        .filter(|m| !covered.contains(m))
+        .map(|m| spec.message_name(m))
+        .collect();
+    if !missing.is_empty() {
+        return FlowVerdict::Inapplicable {
+            reason: format!(
+                "flow extraction does not reach message class(es) {}; the abstraction \
+                 would under-approximate them",
+                missing.join(", ")
+            ),
+        };
+    }
+
+    let causes = compute_causes(spec);
+    let (stalls, _) = compute_stalls(spec);
+    let waits = waits_from(&stalls, &causes);
+    let assignment = VnAssignment::from_vns(vns.vn_vector().to_vec());
+    let queues = compute_queues(spec, Some(&assignment));
+    match find_eq4_cycle_edges(&waits, &queues) {
+        None => FlowVerdict::FreeForAllN {
+            n_flows: flows.len(),
+            n_messages: covered.len(),
+            n_vns: vns.n_vns(),
+        },
+        Some(edges) => {
+            let cycle = edges
+                .iter()
+                .map(|(a, b, kind)| {
+                    let step = match kind {
+                        StepKind::Waits => "-waits->",
+                        StepKind::Queues => "-queues->",
+                    };
+                    format!("{} {step} {}", spec.message_name(*a), spec.message_name(*b))
+                })
+                .collect();
+            FlowVerdict::NotProvable { cycle }
+        }
+    }
+}
+
+/// The full parameterized check for a concrete [`McConfig`]: gate on
+/// the config-level soundness preconditions, then decide Eq. 4 over
+/// the config's VN map via [`check_vn_map`].
+///
+/// Preconditions, each failing closed to
+/// [`FlowVerdict::Inapplicable`]:
+///
+/// * the config passes its own [`McConfig::validate`] (garbage in,
+///   no certificate out);
+/// * the injection budget is uniform [`InjectionBudget::PerCache`] —
+///   an explicit script names specific caches and addresses and does
+///   not generalize over N;
+/// * the ICN is [`IcnOrder::Unordered`] — point-to-point pinning
+///   hashes concrete endpoint identities, which the class-level
+///   `queues` relation cannot model;
+/// * no SWMR invariant is attached — the abstraction decides deadlock
+///   freedom only, and silently dropping a safety obligation would
+///   overclaim.
+pub fn check_parameterized(spec: &ProtocolSpec, cfg: &McConfig) -> FlowVerdict {
+    if let Err(e) = cfg.validate() {
+        return FlowVerdict::Inapplicable {
+            reason: format!("config fails validation: {e}"),
+        };
+    }
+    if !matches!(cfg.budget, InjectionBudget::PerCache(_)) {
+        return FlowVerdict::Inapplicable {
+            reason: "explicit injection script names specific caches/addresses and does \
+                     not generalize over N (use a per-cache budget, e.g. --general)"
+                .to_string(),
+        };
+    }
+    if !matches!(cfg.order, IcnOrder::Unordered) {
+        return FlowVerdict::Inapplicable {
+            reason: "point-to-point ordering pins concrete endpoint identities; the \
+                     class-level queues relation cannot model it"
+                .to_string(),
+        };
+    }
+    if cfg.swmr.is_some() {
+        return FlowVerdict::Inapplicable {
+            reason: "an SWMR invariant is attached; the flow abstraction decides \
+                     deadlock freedom only and cannot certify safety invariants"
+                .to_string(),
+        };
+    }
+    check_vn_map(spec, &cfg.vns)
+}
+
+// Tests use assert!/assert_eq! plus match-based destructuring instead
+// of unwrap/expect so the crate-wide panic-site budget is untouched.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vnet_core::{analyze, VnOutcome};
+    use vnet_protocol::protocols;
+
+    fn assigned_map(spec: &ProtocolSpec) -> Option<VnMap> {
+        match analyze(spec).outcome() {
+            VnOutcome::Assigned { assignment, .. } => {
+                Some(VnMap::from_assignment(assignment, spec.messages().len()))
+            }
+            VnOutcome::Class2(_) => None,
+        }
+    }
+
+    #[test]
+    fn extraction_covers_every_message_in_every_builtin() {
+        for spec in protocols::all() {
+            let flows = extract_flows(&spec);
+            let covered: BTreeSet<MsgId> =
+                flows.iter().flat_map(|f| f.messages.iter().copied()).collect();
+            for m in spec.message_ids() {
+                assert!(
+                    covered.contains(&m),
+                    "{}: {} not covered by any flow",
+                    spec.name(),
+                    spec.message_name(m)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flow_edges_agree_with_causes() {
+        // The union of per-flow edges is exactly the causes relation:
+        // same traversal, different bookkeeping.
+        for spec in protocols::all() {
+            let causes = compute_causes(&spec);
+            let mut union: BTreeSet<(MsgId, MsgId)> = BTreeSet::new();
+            for f in extract_flows(&spec) {
+                union.extend(f.edges.iter().copied());
+            }
+            let from_causes: BTreeSet<(MsgId, MsgId)> = causes.iter().collect();
+            assert_eq!(union, from_causes, "{}", spec.name());
+        }
+    }
+
+    #[test]
+    fn msi_nonblocking_assigned_map_is_free_for_all_n() {
+        let spec = protocols::msi_nonblocking_cache();
+        let vns = match assigned_map(&spec) {
+            Some(v) => v,
+            None => panic!("MSI-nonblocking must be assignable"),
+        };
+        let v = check_vn_map(&spec, &vns);
+        assert!(v.is_free_for_all_n(), "{v:?}");
+        assert_eq!(v.provenance(), FlowProvenance::Parameterized);
+        assert_eq!(v.verdict_token(), "free-all-n");
+    }
+
+    #[test]
+    fn msi_nonblocking_single_vn_is_not_provable() {
+        // The analyzer needs 2 VNs; one shared VN must fail Eq. 4.
+        let spec = protocols::msi_nonblocking_cache();
+        let v = check_vn_map(&spec, &VnMap::single(spec.messages().len()));
+        match &v {
+            FlowVerdict::NotProvable { cycle } => assert!(!cycle.is_empty()),
+            other => panic!("expected NotProvable, got {other:?}"),
+        }
+        match v.provenance() {
+            FlowProvenance::BoundedOnly(reason) => assert!(reason.contains("cycle"), "{reason}"),
+            FlowProvenance::Parameterized => panic!("cycle must not be parameterized"),
+        }
+    }
+
+    #[test]
+    fn mosi_nonblocking_is_free_on_one_vn() {
+        // Table I: MOSI-nonblocking needs exactly 1 VN, so even the
+        // single-VN map certifies for all N.
+        let spec = protocols::mosi_nonblocking_cache();
+        let v = check_vn_map(&spec, &VnMap::single(spec.messages().len()));
+        assert!(v.is_free_for_all_n(), "{v:?}");
+    }
+
+    #[test]
+    fn class2_blocking_msi_is_not_provable_even_one_per_message() {
+        let spec = protocols::msi_blocking_cache();
+        let v = check_vn_map(&spec, &VnMap::one_per_message(spec.messages().len()));
+        assert!(
+            matches!(v, FlowVerdict::NotProvable { .. }),
+            "a waits cycle defeats every VN map: {v:?}"
+        );
+    }
+
+    #[test]
+    fn explicit_script_config_is_inapplicable() {
+        let spec = protocols::msi_nonblocking_cache();
+        let v = check_parameterized(&spec, &McConfig::figure3(&spec));
+        match &v {
+            FlowVerdict::Inapplicable { reason } => {
+                assert!(reason.contains("injection script"), "{reason}")
+            }
+            other => panic!("figure3 must be inapplicable, got {other:?}"),
+        }
+        let p = v.provenance_string();
+        assert!(p.starts_with("bounded-only: "), "{p}");
+    }
+
+    #[test]
+    fn p2p_and_swmr_configs_are_inapplicable() {
+        let spec = protocols::msi_nonblocking_cache();
+        let p2p = McConfig::general(&spec).with_order(IcnOrder::PointToPoint { salt: 3 });
+        assert!(matches!(
+            check_parameterized(&spec, &p2p),
+            FlowVerdict::Inapplicable { .. }
+        ));
+        let swmr =
+            McConfig::general(&spec).with_swmr(crate::invariant::Swmr::by_convention(&spec));
+        assert!(matches!(
+            check_parameterized(&spec, &swmr),
+            FlowVerdict::Inapplicable { .. }
+        ));
+    }
+
+    #[test]
+    fn undersized_vn_map_is_inapplicable() {
+        let spec = protocols::msi_nonblocking_cache();
+        let v = check_vn_map(&spec, &VnMap::single(2));
+        assert!(matches!(v, FlowVerdict::Inapplicable { .. }), "{v:?}");
+    }
+
+    #[test]
+    fn machine_line_shape_is_stable() {
+        let spec = protocols::msi_nonblocking_cache();
+        let vns = match assigned_map(&spec) {
+            Some(v) => v,
+            None => return,
+        };
+        let line = check_vn_map(&spec, &vns).machine_line();
+        assert_eq!(line, "param-result verdict=free-all-n provenance=parameterized");
+    }
+
+    #[test]
+    fn canonical_rendering_is_byte_identical_across_threads() {
+        let baseline: Vec<String> = protocols::all()
+            .iter()
+            .map(flows_canonical)
+            .collect();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    protocols::all().iter().map(flows_canonical).collect::<Vec<String>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(got) => assert_eq!(got, baseline),
+                Err(_) => panic!("worker thread panicked"),
+            }
+        }
+    }
+}

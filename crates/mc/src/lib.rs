@@ -47,6 +47,7 @@ pub mod codec;
 pub mod config;
 pub mod exec;
 pub mod explore;
+pub mod flows;
 pub mod intern;
 pub mod invariant;
 pub mod murphi;
@@ -64,6 +65,10 @@ pub use campaign::{
 };
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointPolicy};
 pub use config::{IcnOrder, InjectionBudget, McConfig, VnMap};
+pub use flows::{
+    check_parameterized, check_vn_map, extract_flows, flows_canonical, Flow, FlowProvenance,
+    FlowVerdict,
+};
 pub use intern::{InternError, LabelTable, StateArena, StateId};
 pub use invariant::Swmr;
 pub use explore::{

@@ -104,7 +104,7 @@ pub fn permute(
     let n_eps = gs.endpoint_fifos.len() / n_vns;
     let mut endpoint_fifos = Vec::with_capacity(gs.endpoint_fifos.len());
     for new_ep in 0..n_eps {
-        let old_ep = if new_ep < n { cache_inv[new_ep] } else { new_ep };
+        let old_ep = cache_inv.get(new_ep).copied().unwrap_or(new_ep);
         for vn in 0..n_vns {
             endpoint_fifos.push(
                 gs.endpoint_fifos[old_ep * n_vns + vn]

@@ -136,9 +136,20 @@ pub fn analyze_store_key(spec: &ProtocolSpec) -> Key {
 /// Content address of an `mc` result: normalized spec text plus every
 /// [`McConfig`] field that shapes the reachable state space (the same
 /// fingerprint bytes checkpoints are keyed by — the VN map is in
-/// there, so each `vns` choice gets its own key).
-pub fn mc_store_key(spec: &ProtocolSpec, cfg: &McConfig) -> Key {
-    Key::derive(&[b"mc/1", dsl::to_text(spec).as_bytes(), &cfg.fingerprint_bytes()])
+/// there, so each `vns` choice gets its own key). A `parameterized`
+/// request carries extra flow-abstraction fields in its body, so it
+/// addresses a distinct record — a cached plain result must never
+/// replay with a parameterized claim (or the claim silently missing).
+pub fn mc_store_key(spec: &ProtocolSpec, cfg: &McConfig, parameterized: bool) -> Key {
+    let mut parts: Vec<&[u8]> = vec![b"mc/1"];
+    let text = dsl::to_text(spec);
+    parts.push(text.as_bytes());
+    let fp = cfg.fingerprint_bytes();
+    parts.push(&fp);
+    if parameterized {
+        parts.push(b"parameterized/1");
+    }
+    Key::derive(&parts)
 }
 
 /// The store key a request would be cached under, or `None` when the
@@ -154,10 +165,10 @@ pub fn store_key(req: &Request) -> Option<Key> {
         }
         // A checkpointing run's response names a server-side
         // checkpoint path; replaying that from cache would be a lie.
-        Command::Mc { checkpoint: false, vns, symmetry, .. } => {
+        Command::Mc { checkpoint: false, vns, symmetry, parameterized, .. } => {
             let spec = resolve_protocol(&req.protocol).ok()?;
             let cfg = mc_config(&spec, *vns, *symmetry).ok()?;
-            Some(mc_store_key(&spec, &cfg))
+            Some(mc_store_key(&spec, &cfg, *parameterized))
         }
         _ => None,
     }
@@ -191,12 +202,19 @@ pub fn execute(
             checkpoint,
             process,
             symmetry,
+            parameterized,
             ..
         } => {
+            let mode = McMode {
+                vns: *vns,
+                checkpoint: *checkpoint,
+                symmetry: *symmetry,
+                parameterized: *parameterized,
+            };
             if *process {
-                run_mc_process(req, budget, *vns, *checkpoint, *symmetry, ckpt_path)
+                run_mc_process(req, budget, mode, ckpt_path)
             } else {
-                run_mc(req, budget, *vns, *checkpoint, *symmetry, ckpt_path, on_level)
+                run_mc(req, budget, mode, ckpt_path, on_level)
             }
         }
         Command::Sim {
@@ -241,12 +259,35 @@ fn run_analyze(req: &Request, budget: &Budget) -> Result<ExecResult, ExecError> 
     Ok(ExecResult::new(fields, provenance).with_store(key, RecordKind::Analyze))
 }
 
-fn run_mc(
-    req: &Request,
-    budget: &Budget,
+/// Response fields for a `parameterized: true` mc request: the
+/// flow-abstraction verdict (see `vnet_mc::flows`), computed in the
+/// daemon — it is a pure function of spec + config, so the explorer
+/// (inline or child process) never needs to know. `parameterized` echoes
+/// the request mode; the actual claim and its fail-closed provenance
+/// ride in `param_verdict` / `param_provenance`.
+fn param_fields(spec: &ProtocolSpec, cfg: &McConfig) -> Vec<(&'static str, Json)> {
+    let fv = vnet_mc::check_parameterized(spec, cfg);
+    vec![
+        ("parameterized", Json::Bool(true)),
+        ("param_verdict", Json::str(fv.verdict_token())),
+        ("param_provenance", Json::str(fv.provenance_string())),
+    ]
+}
+
+/// The mode knobs of one `mc` request, bundled so the runner
+/// signatures stay readable as the flag set grows.
+#[derive(Clone, Copy)]
+struct McMode {
     vns: VnChoice,
     checkpoint: bool,
     symmetry: bool,
+    parameterized: bool,
+}
+
+fn run_mc(
+    req: &Request,
+    budget: &Budget,
+    mode: McMode,
     ckpt_path: Option<&Path>,
     on_level: &mut dyn FnMut(usize, usize),
 ) -> Result<ExecResult, ExecError> {
@@ -255,10 +296,11 @@ fn run_mc(
         CheckpointedRun, Verdict,
     };
     let spec = resolve_protocol(&req.protocol)?;
-    let cfg = mc_config(&spec, vns, symmetry).map_err(|e| ExecError::new("bad_request", e))?;
+    let cfg =
+        mc_config(&spec, mode.vns, mode.symmetry).map_err(|e| ExecError::new("bad_request", e))?;
 
     let mut ckpt_field: Option<PathBuf> = None;
-    let run = match (checkpoint, ckpt_path) {
+    let run = match (mode.checkpoint, ckpt_path) {
         (true, Some(path)) => {
             ckpt_field = Some(path.to_path_buf());
             let policy = CheckpointPolicy::new(path.to_path_buf());
@@ -304,6 +346,9 @@ fn run_mc(
     fields.push(("states", Json::num(stats.states as u64)));
     fields.push(("levels", Json::num(stats.levels as u64)));
     fields.push(("complete", Json::Bool(stats.complete)));
+    if mode.parameterized {
+        fields.extend(param_fields(&spec, &cfg));
+    }
     let mut result = ExecResult::new(fields, stats.provenance);
     match ckpt_field {
         Some(p) => {
@@ -312,7 +357,8 @@ fn run_mc(
             result.fields.push(("checkpoint", Json::str(p.display().to_string())));
         }
         None => {
-            result = result.with_store(mc_store_key(&spec, &cfg), RecordKind::Mc);
+            result = result
+                .with_store(mc_store_key(&spec, &cfg, mode.parameterized), RecordKind::Mc);
         }
     }
     Ok(result)
@@ -430,9 +476,7 @@ fn backoff_sleep(budget: &Budget, dur: std::time::Duration) -> Option<vnet_graph
 fn run_mc_process(
     req: &Request,
     budget: &Budget,
-    vns: VnChoice,
-    checkpoint: bool,
-    symmetry: bool,
+    mode: McMode,
     ckpt_path: Option<&Path>,
 ) -> Result<ExecResult, ExecError> {
     use std::process::{Command as Proc, Stdio};
@@ -443,7 +487,8 @@ fn run_mc_process(
     // DSL via a scratch file (validated here first, so a client error
     // never burns a process spawn).
     let spec = resolve_protocol(&req.protocol)?;
-    let cfg = mc_config(&spec, vns, symmetry).map_err(|e| ExecError::new("bad_request", e))?;
+    let cfg =
+        mc_config(&spec, mode.vns, mode.symmetry).map_err(|e| ExecError::new("bad_request", e))?;
     let mut scratch: Option<PathBuf> = None;
     let arg = match &req.protocol {
         ProtocolRef::Builtin(name) => name.clone(),
@@ -486,7 +531,7 @@ fn run_mc_process(
     loop {
         let mut cmd = Proc::new(&exe);
         cmd.arg("mc").arg(&arg).arg("--machine");
-        match vns {
+        match mode.vns {
             VnChoice::Single => {
                 cmd.arg("--single-vn");
             }
@@ -495,7 +540,7 @@ fn run_mc_process(
             }
             VnChoice::Minimal => {}
         }
-        if symmetry {
+        if mode.symmetry {
             cmd.arg("--general").arg("--symmetry");
         }
         let mut clauses = Vec::new();
@@ -511,7 +556,7 @@ fn run_mc_process(
         if let Some(b) = budget.mem_limit {
             cmd.arg("--mem-budget").arg(b.to_string());
         }
-        if checkpoint {
+        if mode.checkpoint {
             if let Some(p) = ckpt_path {
                 cmd.arg("--checkpoint").arg(p);
             }
@@ -617,10 +662,16 @@ fn run_mc_process(
                 },
             }
         };
-        let fields =
+        let mut fields =
             mc_result_fields(spec.name(), &m.kind, m.depth, m.states, m.levels, m.complete);
+        if mode.parameterized {
+            // Computed in the daemon, not the child: the flow verdict
+            // is a pure function of spec + config, so the child's
+            // machine line stays unchanged across versions.
+            fields.extend(param_fields(&spec, &cfg));
+        }
         let mut result = ExecResult::new(fields, provenance);
-        if checkpoint {
+        if mode.checkpoint {
             if let Some(p) = ckpt_path {
                 result.fields.push(("checkpoint", Json::str(p.display().to_string())));
             }
@@ -628,7 +679,8 @@ fn run_mc_process(
             // Same key derivation as the inline path: a process-run
             // result and an inline result of the same request are the
             // same record.
-            result = result.with_store(mc_store_key(&spec, &cfg), RecordKind::Mc);
+            result = result
+                .with_store(mc_store_key(&spec, &cfg, mode.parameterized), RecordKind::Mc);
         }
         return cleanup(Ok(result));
     }
@@ -746,6 +798,7 @@ mod tests {
             process,
             progress: false,
             symmetry: false,
+            parameterized: false,
         }
     }
 
@@ -756,6 +809,18 @@ mod tests {
             process: false,
             progress: false,
             symmetry: true,
+            parameterized: false,
+        }
+    }
+
+    fn mc_param_cmd(vns: VnChoice, symmetry: bool) -> Command {
+        Command::Mc {
+            vns,
+            checkpoint: false,
+            process: false,
+            progress: false,
+            symmetry,
+            parameterized: true,
         }
     }
 
@@ -772,6 +837,62 @@ mod tests {
             .fields
             .iter()
             .any(|(k, v)| *k == "verdict" && v.as_str() == Some("no_deadlock")));
+    }
+
+    #[test]
+    fn parameterized_mc_addresses_its_own_record_and_reports_the_flow_verdict() {
+        let plain = req(mc_cmd(VnChoice::Minimal, false), "MSI-nonblocking-cache");
+        let par = req(mc_param_cmd(VnChoice::Minimal, false), "MSI-nonblocking-cache");
+        // The parameterized body carries extra claim fields, so it must
+        // address its own record; the plain key derivation is untouched.
+        assert_ne!(store_key(&plain).unwrap(), store_key(&par).unwrap());
+
+        // Figure-3 names specific caches — the abstraction is
+        // inapplicable and must degrade fail-closed, not claim more.
+        let out = run(&par, &Budget::unlimited()).unwrap();
+        let field = |k: &str| {
+            out.fields
+                .iter()
+                .find(|(f, _)| *f == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert_eq!(field("parameterized").and_then(|v| v.as_bool()), Some(true));
+        assert!(
+            matches!(field("param_verdict"), Some(v) if v.as_str() == Some("inapplicable")),
+            "{:?}",
+            out.fields
+        );
+        assert!(
+            matches!(field("param_provenance"), Some(v)
+                if v.as_str().is_some_and(|s| s.starts_with("bounded-only"))),
+            "{:?}",
+            out.fields
+        );
+        let entry = out.store.expect("exact parameterized mc results are cacheable");
+        assert_eq!(entry.key, store_key(&par).unwrap());
+        assert!(entry.body.contains("param_verdict"), "{}", entry.body);
+
+        // The general scenario under the analyzer's minimal map is
+        // where the abstraction applies: certified for all N.
+        let sym = req(mc_param_cmd(VnChoice::Minimal, true), "MSI-nonblocking-cache");
+        let budget = Budget::unlimited().with_node_limit(20_000);
+        let out = run(&sym, &budget).unwrap();
+        let field = |k: &str| {
+            out.fields
+                .iter()
+                .find(|(f, _)| *f == k)
+                .map(|(_, v)| v.clone())
+        };
+        assert!(
+            matches!(field("param_verdict"), Some(v) if v.as_str() == Some("free-all-n")),
+            "{:?}",
+            out.fields
+        );
+        assert!(
+            matches!(field("param_provenance"), Some(v) if v.as_str() == Some("parameterized")),
+            "{:?}",
+            out.fields
+        );
     }
 
     #[test]

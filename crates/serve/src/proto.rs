@@ -42,6 +42,12 @@ pub enum Command {
         /// reduction instead of the Figure-3 script (`symmetry: true`
         /// in the request). Distinct state space, distinct store key.
         symmetry: bool,
+        /// Additionally run the flow-abstraction checker
+        /// (`parameterized: true` in the request): the response gains
+        /// `parameterized`/`param_verdict`/`param_provenance` fields,
+        /// and the run addresses a distinct store key so cached plain
+        /// results are never served with a parameterized claim.
+        parameterized: bool,
     },
     /// NoC simulation (`vnet sim`).
     Sim {
@@ -196,6 +202,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             },
             progress: v.get("progress").and_then(Json::as_bool).unwrap_or(false),
             symmetry: v.get("symmetry").and_then(Json::as_bool).unwrap_or(false),
+            parameterized: v
+                .get("parameterized")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         },
         "batch" => {
             let Some(Json::Arr(items)) = v.get("items") else {

@@ -152,6 +152,14 @@ fn serial_resume_reproduces_a_real_deadlock_and_its_witness() {
     let (v, resumes) = run_in_segments(&spec, &cfg, &path, 10_000, 40_000);
     assert!(resumes >= 1, "deadlock run was never interrupted");
     assert_eq!(signature(&v), baseline, "witness diverged across resume");
+    // A matching trace is not enough: the resumed witness must also
+    // replay as a real execution ending in the recorded terminal state.
+    if let Verdict::Deadlock { trace, .. } = &v {
+        let end = trace
+            .replay(&spec, &cfg)
+            .expect("resumed witness must replay cleanly");
+        assert_eq!(end, trace.last, "replay diverged from recorded terminal state");
+    }
     let _ = std::fs::remove_file(&path);
 }
 

@@ -81,12 +81,17 @@ fn deadlock_verdict_is_shard_count_invariant() {
             "CHI",
             "--single-vn",
             "--machine",
+            "--verify-witness",
             "--shard-procs",
             n,
             "--shard-dir",
             &dir_s,
         ]);
         assert_eq!(code, 2, "single-VN CHI must exit 2 (deadlock):\n{out}");
+        assert!(
+            out.contains("witness verified"),
+            "witness must replay cleanly:\n{out}"
+        );
         lines.push(machine_line(&out));
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -105,12 +110,17 @@ fn killed_shard_mid_round_reproduces_bit_identical_output() {
         "CHI",
         "--single-vn",
         "--machine",
+        "--verify-witness",
         "--shard-procs",
         "2",
         "--shard-dir",
         &dir_s,
     ]);
     assert_eq!(code, 2, "clean run failed:\n{clean}");
+    assert!(
+        clean.contains("witness verified"),
+        "witness must replay cleanly:\n{clean}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 
     let dir = tmpdir("killed");
@@ -119,6 +129,7 @@ fn killed_shard_mid_round_reproduces_bit_identical_output() {
         "CHI",
         "--single-vn",
         "--machine",
+        "--verify-witness",
         "--shard-procs",
         "2",
         "--shard-dir",
@@ -140,7 +151,7 @@ fn killed_shard_mid_round_reproduces_bit_identical_output() {
 /// the search with the same machine line a fresh run produces.
 #[test]
 fn supervisor_resumes_a_partially_explored_directory() {
-    let (_, fresh) = run_mc(&["CHI", "--single-vn", "--machine"]);
+    let (_, fresh) = run_mc(&["CHI", "--single-vn", "--machine", "--verify-witness"]);
     let fresh_line = machine_line(&fresh);
 
     let dir = tmpdir("resume");
@@ -170,12 +181,17 @@ fn supervisor_resumes_a_partially_explored_directory() {
         "CHI",
         "--single-vn",
         "--machine",
+        "--verify-witness",
         "--shard-procs",
         "2",
         "--shard-dir",
         &dir_s,
     ]);
     assert_eq!(code, 2, "resumed leg should find the deadlock:\n{leg2}");
+    assert!(
+        leg2.contains("witness verified"),
+        "resumed witness must replay cleanly:\n{leg2}"
+    );
     assert_eq!(
         machine_line(&leg2),
         fresh_line,
